@@ -1,0 +1,39 @@
+"""Figure 2(b): per-epoch node-memory read/write time when the memory is
+sharded across machines (the naive distributed layout DistTGL rejects).
+
+Paper shape: ~5 s on 1 node, ~20 s on 2 nodes, ~40 s on 4 nodes — remote
+row gathers are latency-bound and strictly ordered, so distribution makes
+the epoch *slower*, motivating memory parallelism (k >= p).
+"""
+
+import pytest
+
+from conftest import report
+from repro.sim import CostModel, WorkloadSpec, g4dn_metal
+
+WIKI_EVENTS = 157_474
+
+
+@pytest.mark.benchmark(group="fig02b")
+def test_fig02b_memory_sync_cost(benchmark):
+    w = WorkloadSpec()
+
+    def run():
+        return {
+            p: CostModel(w, g4dn_metal(p)).distributed_memory_epoch_time(
+                WIKI_EVENTS, p
+            )
+            for p in (1, 2, 4)
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report(
+        "Fig. 2(b) — epoch time of node-memory R/W, distributed layout",
+        ["1 node ~5 s | 2 nodes ~20 s | 4 nodes ~40 s"],
+        [f"{p} node(s): {t:.2f} s" for p, t in times.items()],
+    )
+
+    assert times[1] < times[2] < times[4]
+    assert times[2] > 3 * times[1]   # paper: ~4x
+    assert times[4] > 5 * times[1]   # paper: ~8x

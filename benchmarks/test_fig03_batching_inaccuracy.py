@@ -1,0 +1,46 @@
+"""Figure 3 (quantified): staleness and information loss vs batch size.
+
+The paper's Fig. 3 is a schematic of the two node-memory inaccuracies that
+batched training introduces; Figs. 2(a) and 8 show their consequences.  This
+bench measures both quantities directly on the wikipedia-like stream,
+closing the loop: larger batches => more staleness and more information
+loss, which is the mechanism behind the accuracy decay.
+"""
+
+import pytest
+
+from conftest import report
+from repro.memory import inaccuracy_sweep
+
+BATCH_SIZES = [10, 50, 200, 800, 3200]
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_batching_inaccuracy(benchmark, datasets):
+    ds = datasets("wikipedia", scale=0.02)
+    g = ds.graph
+
+    def run():
+        return inaccuracy_sweep(g, BATCH_SIZES)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for bs in BATCH_SIZES:
+        m = sweep[bs]
+        rows.append(
+            f"bs={bs:5d}: information loss {m.information_loss:6.1%}, "
+            f"mean staleness {m.mean_staleness:12.1f}, "
+            f"p90 staleness {m.p90_staleness:12.1f}"
+        )
+    report(
+        "Fig. 3 (quantified) — node-memory staleness & information loss",
+        ["schematic in the paper: both inaccuracies grow with batch size"],
+        rows,
+    )
+
+    losses = [sweep[bs].information_loss for bs in BATCH_SIZES]
+    stale = [sweep[bs].mean_staleness for bs in BATCH_SIZES]
+    assert all(a <= b + 1e-12 for a, b in zip(losses, losses[1:]))
+    assert stale[-1] > stale[0]
+    assert losses[-1] > 0.3   # large batches drop a large share of mails

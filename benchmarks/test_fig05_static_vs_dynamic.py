@@ -1,0 +1,83 @@
+"""Figure 5: per-node accuracy of static vs dynamic node memory shows no
+degree preference.
+
+The paper trains the link-prediction task with (a) dynamic node memory and
+(b) static learnable node memory, computes per-node accuracy deltas sorted by
+degree, and observes "no noticeable inclination" of high-degree nodes toward
+either — refuting EDGE's premise that active nodes have static embeddings.
+
+We reproduce: per-source-node MRR under both models on the test range, the
+delta-vs-degree Spearman correlation (should be weak), and both signs
+present (some nodes prefer dynamic, some static).
+"""
+
+import numpy as np
+import pytest
+from scipy.stats import spearmanr
+
+from conftest import BENCH_SPEC, report
+from repro.graph import eval_negatives
+from repro.memory import Mailbox, NodeMemory, StaticNodeMemory
+from repro.nn import Tensor
+from repro.parallel import ParallelConfig
+from repro.train import DistTGLTrainer, evaluate_link_prediction
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_static_vs_dynamic_per_node(benchmark, datasets):
+    ds = datasets("wikipedia")
+    g = ds.graph
+    split = g.chronological_split()
+
+    def run():
+        # (a) dynamic-memory TGN
+        tr = DistTGLTrainer(ds, ParallelConfig(1, 1, 1), BENCH_SPEC)
+        tr.train(epochs_equivalent=8)
+        dyn = evaluate_link_prediction(
+            tr.model, tr.decoder, g, tr.sampler,
+            tr.groups[0].memory.clone(), tr.groups[0].mailbox.clone(),
+            split.val.start, split.test.stop, tr.eval_negs,
+            batch_size=BENCH_SPEC.batch_size, collect_per_event=True,
+        )
+
+        # (b) static-only model: pre-trained embeddings + the same scorer
+        static = StaticNodeMemory(g.num_nodes, dim=BENCH_SPEC.memory_dim, seed=0)
+        static.pretrain(g, train_end=split.train_end, epochs=10, seed=0)
+        negs = tr.eval_negs
+        rrs = []
+        for e in range(split.val.start, split.test.stop):
+            u, v = g.src[e], g.dst[e]
+            cand = np.concatenate([[v], negs[e]])
+            eu = static.lookup(np.full(len(cand), u))
+            ev = static.lookup(cand)
+            logits = static.scorer(eu, ev).data
+            rank = 1 + (logits[1:] > logits[0]).sum() + 0.5 * (logits[1:] == logits[0]).sum()
+            rrs.append(1.0 / rank)
+        return dyn.per_event, np.array(rrs), np.arange(split.val.start, split.test.stop)
+
+    dyn_rr, static_rr, event_ids = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    src_nodes = g.src[event_ids]
+    degrees = g.degrees()
+    per_node_delta = {}
+    for node in np.unique(src_nodes):
+        sel = src_nodes == node
+        per_node_delta[node] = float(dyn_rr[sel].mean() - static_rr[sel].mean())
+
+    nodes = np.array(sorted(per_node_delta))
+    deltas = np.array([per_node_delta[n] for n in nodes])
+    node_deg = degrees[nodes]
+    rho, _ = spearmanr(node_deg, deltas)
+
+    prefer_dynamic = int((deltas > 0).sum())
+    prefer_static = int((deltas < 0).sum())
+    report(
+        "Fig. 5 — per-node static-vs-dynamic accuracy delta vs node degree",
+        ["no noticeable inclination of high-degree nodes toward either memory",
+         "both positive (dynamic better) and negative (static better) bars"],
+        [f"nodes preferring dynamic: {prefer_dynamic}, static: {prefer_static}",
+         f"Spearman rho(degree, delta) = {rho:+.3f} (weak)"],
+    )
+
+    assert prefer_dynamic > 0 and prefer_static > 0, "both regimes must appear"
+    assert abs(rho) < 0.6, "no strong degree trend (paper: none observed)"

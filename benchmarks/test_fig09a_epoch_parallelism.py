@@ -1,0 +1,56 @@
+"""Figure 9(a): convergence with epoch parallelism j ∈ {1, 2, 4} (1-8 GPUs).
+
+Paper shape: epoch parallelism converges in ~1/j the iterations with small
+accuracy loss at moderate j; at large j the loss grows (same positives for
+j consecutive iterations raise gradient variance).  Flights, with the most
+unique edges, scales worst — we assert the iteration scaling and the bounded
+accuracy loss on Wikipedia-like and MOOC-like data.
+"""
+
+import pytest
+
+from conftest import BENCH_SPEC, report
+from repro.parallel import ParallelConfig
+from repro.train import DistTGLTrainer
+
+JS = [1, 2, 4]
+
+
+@pytest.mark.benchmark(group="fig09a")
+def test_fig09a_epoch_parallelism(benchmark, datasets):
+    results = {}
+
+    def run():
+        for name in ("wikipedia", "mooc"):
+            ds = datasets(name)
+            for j in JS:
+                tr = DistTGLTrainer(ds, ParallelConfig(1, j, 1), BENCH_SPEC)
+                results[(name, j)] = tr.train(epochs_equivalent=8)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("wikipedia", "mooc"):
+        for j in JS:
+            r = results[(name, j)]
+            rows.append(
+                f"{name} 1x{j}x1: test MRR {r.test_metric:.4f}, "
+                f"{r.iterations_run} iterations"
+            )
+    report(
+        "Fig. 9(a) — epoch parallelism convergence (test MRR in parens)",
+        ["Wikipedia: 0.8354 / 0.8277 / 0.8170 for j=1/2/4 (mild decay)",
+         "MOOC: 0.5757 / 0.5652 / 0.5715",
+         "iterations scale ~1/j at equal traversed edges"],
+        rows,
+    )
+
+    for name in ("wikipedia", "mooc"):
+        base = results[(name, 1)]
+        for j in JS[1:]:
+            r = results[(name, j)]
+            # linear iteration scaling by construction of the fairness protocol
+            assert r.iterations_run == base.iterations_run // j
+            # accuracy loss bounded (paper: < 0.025 absolute at j<=4)
+            assert r.test_metric > base.test_metric - 0.12

@@ -1,0 +1,60 @@
+"""Figure 9(b): j × k combinations at fixed world size — memory parallelism
+achieves the best accuracy.
+
+Paper (8 GPUs): 1x8x1 -> 1x4x2 -> 1x2x4 -> 1x1x8 improves test MRR on three
+of four datasets; the all-memory-parallel config nearly matches single-GPU
+accuracy (0.004 average MRR drop).  We sweep j*k = 4 at bench scale and
+assert pure memory parallelism is not worse than pure epoch parallelism
+beyond a noise tolerance.
+"""
+
+import pytest
+
+from conftest import BENCH_SPEC, report
+from repro.parallel import ParallelConfig
+from repro.train import DistTGLTrainer
+
+COMBOS = [(4, 1), (2, 2), (1, 4)]  # (j, k), world = 4
+
+
+@pytest.mark.benchmark(group="fig09b")
+def test_fig09b_memory_vs_epoch_parallelism(benchmark, datasets):
+    results = {}
+
+    def run():
+        for name in ("wikipedia", "mooc"):
+            ds = datasets(name)
+            base = DistTGLTrainer(ds, ParallelConfig(1, 1, 1), BENCH_SPEC)
+            results[(name, 1, 1)] = base.train(epochs_equivalent=8)
+            for j, k in COMBOS:
+                tr = DistTGLTrainer(ds, ParallelConfig(1, j, k), BENCH_SPEC)
+                results[(name, j, k)] = tr.train(epochs_equivalent=8)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("wikipedia", "mooc"):
+        for j, k in [(1, 1)] + COMBOS:
+            r = results[(name, j, k)]
+            rows.append(
+                f"{name} 1x{j}x{k}: test MRR {r.test_metric:.4f} "
+                f"({r.iterations_run} iterations)"
+            )
+    report(
+        "Fig. 9(b) — j x k combinations at fixed world size",
+        ["Wikipedia 8GPU: 1x8x1 0.8122 < 1x1x8 0.8300 (k wins)",
+         "memory parallelism: near-single-GPU accuracy at 1/world iterations"],
+        rows,
+    )
+
+    for name in ("wikipedia", "mooc"):
+        epoch_only = results[(name, 4, 1)]
+        memory_only = results[(name, 1, 4)]
+        # the paper's headline: prioritising k over j does not lose accuracy
+        assert memory_only.test_metric > epoch_only.test_metric - 0.06
+        # near-linear convergence: same iteration budget for all combos
+        assert memory_only.iterations_run == epoch_only.iterations_run
+        # and near-single-GPU accuracy (paper: -0.004 avg; tolerance for scale)
+        base = results[(name, 1, 1)]
+        assert memory_only.test_metric > base.test_metric - 0.12

@@ -1,0 +1,64 @@
+"""Figure 10: test MRR and iterations-to-best over the (j, k) grid on
+Wikipedia.
+
+Paper: (a) test MRR degrades along j (rows) and is best at large k for fixed
+world size; (b) iterations before convergence shrink roughly linearly with
+j*k.  We sweep j, k ∈ {1, 2, 4} and assert the two aggregate shapes.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SPEC, report
+from repro.parallel import ParallelConfig
+from repro.train import DistTGLTrainer
+
+GRID = [1, 2, 4]
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_jk_grid(benchmark, datasets):
+    ds = datasets("wikipedia")
+    results = {}
+
+    def run():
+        for j in GRID:
+            for k in GRID:
+                tr = DistTGLTrainer(ds, ParallelConfig(1, j, k), BENCH_SPEC)
+                results[(j, k)] = tr.train(epochs_equivalent=8)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    mrr_rows, iter_rows = [], []
+    for j in GRID:
+        mrr_rows.append(
+            "  ".join(f"j={j},k={k}: {results[(j, k)].test_metric:.4f}" for k in GRID)
+        )
+        iter_rows.append(
+            "  ".join(
+                f"j={j},k={k}: {results[(j, k)].iterations_to_best:4d}" for k in GRID
+            )
+        )
+    report(
+        "Fig. 10 — (a) test MRR and (b) iterations-to-best on the j x k grid",
+        ["(a) row j=1: 0.8534 0.8346 0.8361 0.8300 (k grid);",
+         "    larger j loses accuracy; k=8 column stays near baseline",
+         "(b) 14274 iters at 1x1 down to 1830 at k=8, ~linear in j*k"],
+        ["test MRR grid:"] + mrr_rows + ["iterations-to-best grid:"] + iter_rows,
+    )
+
+    # (b) iterations-to-best shrink with world size j*k
+    base_iters = results[(1, 1)].iterations_to_best
+    four_way = min(results[(4, 1)].iterations_to_best,
+                   results[(2, 2)].iterations_to_best,
+                   results[(1, 4)].iterations_to_best)
+    assert four_way < base_iters
+
+    # (a) at world 4, the k-heavy config is not worse than the j-heavy one
+    assert results[(1, 4)].test_metric > results[(4, 1)].test_metric - 0.06
+
+    # every configuration stays within a tolerance of the single-GPU MRR
+    base = results[(1, 1)].test_metric
+    for (j, k), r in results.items():
+        assert r.test_metric > base - 0.15, (j, k)

@@ -1,0 +1,84 @@
+"""Figure 12(a): DistTGL training throughput and speedup, 1 to 32 GPUs.
+
+Paper: near-linear speedup on all five datasets — averages 1.95x (2 GPUs),
+3.81x (4), 7.27x (8, one machine), 13.95x (16, two machines), 25.05x (32,
+four machines).  The throughput axis is modeled (no GPUs here); the model is
+fed each dataset's workload shape (batch size, feature dims).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.data import PAPER_LOCAL_BATCH, PAPER_TABLE2
+from repro.parallel import ParallelConfig
+from repro.sim import CostModel, WorkloadSpec, g4dn_metal
+
+PAPER_SPEEDUPS = {
+    "wikipedia": [1.84, 3.65, 7.19, 13.81, 24.97],
+    "reddit": [1.95, 3.77, 6.45, 12.87, 24.19],
+    "flights": [1.99, 3.94, 7.58, 14.32, 25.98],
+    "mooc": [1.96, 3.92, 7.49, 14.59, 26.60],
+    "gdelt": [1.97, 3.75, 7.17, 14.15, 23.49],
+}
+
+# (gpus, machines, best-accuracy config builder per the paper: memory
+# parallelism on the four small datasets, mini-batch parallelism per-node on
+# GDELT)
+STEPS = [(2, 1), (4, 1), (8, 1), (16, 2), (32, 4)]
+
+
+def workload_for(name: str) -> WorkloadSpec:
+    paper = PAPER_TABLE2[name]
+    return WorkloadSpec(
+        local_batch=PAPER_LOCAL_BATCH[name],
+        edge_dim=paper.edge_dim,
+        node_feat_dim=paper.node_dim if not paper.pretrained_node_feats else 0,
+        roots_per_event=2 if paper.task == "edge-class" else 3,
+    )
+
+
+def config_for(name: str, gpus: int, machines: int) -> ParallelConfig:
+    per_machine = gpus // machines
+    if name == "gdelt":
+        return ParallelConfig(per_machine, 1, machines, machines=machines)
+    return ParallelConfig(1, 1, gpus, machines=machines)
+
+
+@pytest.mark.benchmark(group="fig12a")
+def test_fig12a_throughput_scaling(benchmark):
+    def run():
+        table = {}
+        for name in PAPER_SPEEDUPS:
+            w = workload_for(name)
+            base = CostModel(w, g4dn_metal(1)).throughput(
+                "disttgl", ParallelConfig(1, 1, 1)
+            )
+            speedups = []
+            for gpus, machines in STEPS:
+                cm = CostModel(w, g4dn_metal(machines))
+                cfg = config_for(name, gpus, machines)
+                speedups.append(cm.throughput("disttgl", cfg) / base)
+            table[name] = speedups
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, speedups in table.items():
+        ours = " / ".join(f"{s:.2f}x" for s in speedups)
+        paper = " / ".join(f"{s:.2f}x" for s in PAPER_SPEEDUPS[name])
+        rows.append(f"{name:10s} ours  {ours}")
+        rows.append(f"{'':10s} paper {paper}")
+    report(
+        "Fig. 12(a) — DistTGL speedup at 2/4/8/16/32 GPUs",
+        ["near-linear scaling, average 7.27x at 8 GPUs and 25.08x at 32"],
+        rows,
+    )
+
+    for name, speedups in table.items():
+        # monotone increasing with cluster size
+        assert all(a < b for a, b in zip(speedups, speedups[1:])), name
+        # near-linear: at least 70% efficiency at 8 GPUs, 55% at 32
+        assert speedups[2] > 0.7 * 8, name
+        assert speedups[4] > 0.55 * 32, name

@@ -1,0 +1,45 @@
+"""§3.2.4 worked example: the planner reproduces the paper's 2 x 2 x 8.
+
+"on a distributed system with 4 machines and 8 GPUs each machine, we
+determine the largest batch size is 3200 edges. The GPU saturates when batch
+size is larger than 1600 ... main memory of each machine can hold two copies
+... k = 8 ... j = 2."
+"""
+
+import pytest
+
+from conftest import report
+from repro.parallel import HardwareSpec, plan
+
+
+@pytest.mark.benchmark(group="planner")
+def test_planner_worked_example(benchmark):
+    num_nodes = 1_000_000
+    mem_dim = 100
+    per_copy = num_nodes * (mem_dim * 4 + 8 + (2 * mem_dim + 172) * 4 + 8 + 1)
+    hw = HardwareSpec(
+        machines=4,
+        gpus_per_machine=8,
+        gpu_saturation_batch=1600,
+        ram_bytes_per_machine=2 * per_copy / 0.5,
+        ram_reserved_fraction=0.5,
+    )
+
+    def run():
+        return plan(hw, max_batch=3200, num_nodes=num_nodes,
+                    memory_dim=mem_dim, edge_dim=172)
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report(
+        "§3.2.4 — planner worked example (4 machines x 8 GPUs)",
+        ["i=2 (local batch 1600), k=8 (2 copies/machine x 4), j=2"],
+        [f"planned: {trace.config.label()} (local batch {trace.local_batch})"]
+        + [f"  {n}" for n in trace.notes],
+    )
+
+    assert trace.config.i == 2
+    assert trace.config.j == 2
+    assert trace.config.k == 8
+    assert trace.local_batch == 1600
+    assert trace.config.total_gpus == 32

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Capacity planning: choose the optimal (i, j, k) for a cluster, and model
+its throughput — the paper's §3.2.4 guidelines plus Fig. 12 cost model.
+
+Walks through the paper's worked example (4 machines x 8 GPUs, max batch
+3200, GPU saturating at 1600, RAM fitting 2 memory copies -> 2x2x8) and then
+sweeps cluster sizes, printing modeled throughput for TGN / TGL / DistTGL.
+
+Run:
+    python examples/cluster_planning.py
+"""
+
+from repro.parallel import HardwareSpec, ParallelConfig, plan
+from repro.sim import CostModel, WorkloadSpec, g4dn_metal
+
+
+def worked_example() -> None:
+    print("=== paper §3.2.4 worked example ===")
+    num_nodes = 1_000_000
+    mem_dim = 100
+    per_copy = num_nodes * (mem_dim * 4 + 8 + (2 * mem_dim + 172) * 4 + 8 + 1)
+    hw = HardwareSpec(
+        machines=4,
+        gpus_per_machine=8,
+        gpu_saturation_batch=1600,
+        ram_bytes_per_machine=2 * per_copy / 0.5,  # fits exactly 2 copies
+        ram_reserved_fraction=0.5,
+    )
+    trace = plan(hw, max_batch=3200, num_nodes=num_nodes, memory_dim=mem_dim,
+                 edge_dim=172)
+    for note in trace.notes:
+        print("  *", note)
+    print(f"  => {trace.config.label()}  (paper: 2x2x8)")
+
+
+def throughput_sweep() -> None:
+    print("\n=== modeled throughput, Wikipedia workload (kE/s total) ===")
+    w = WorkloadSpec()
+    rows = [
+        ("TGN      1 GPU ", "tgn", ParallelConfig(1, 1, 1), 1),
+        ("TGL      8 GPU ", "tgl", ParallelConfig(1, 1, 8), 1),
+        ("DistTGL  1 GPU ", "disttgl", ParallelConfig(1, 1, 1), 1),
+        ("DistTGL  8 GPU ", "disttgl", ParallelConfig(1, 1, 8), 1),
+        ("DistTGL 16 GPU ", "disttgl", ParallelConfig(1, 1, 16, machines=2), 2),
+        ("DistTGL 32 GPU ", "disttgl", ParallelConfig(1, 1, 32, machines=4), 4),
+    ]
+    base = None
+    for label, system, cfg, machines in rows:
+        cm = CostModel(w, g4dn_metal(machines))
+        tput = cm.throughput(system, cfg) / 1e3
+        if system == "disttgl" and cfg.total_gpus == 1:
+            base = tput
+        speed = f"  ({tput / base:.2f}x vs DistTGL-1GPU)" if base else ""
+        print(f"  {label}: {tput:8.1f} kE/s{speed}")
+
+    print("\n=== per-iteration breakdown, DistTGL 1x1x8 ===")
+    cm = CostModel(w, g4dn_metal(1))
+    it = cm.disttgl_iteration(ParallelConfig(1, 1, 8))
+    print(f"  fetch {it.t_fetch * 1e3:6.2f} ms | mem {it.t_mem * 1e3:6.2f} ms | "
+          f"gpu {it.t_gpu * 1e3:6.2f} ms | sync {it.t_sync * 1e3:6.2f} ms")
+    print(f"  overlapped critical path: {it.total * 1e3:.2f} ms/iteration")
+
+
+def main() -> None:
+    worked_example()
+    throughput_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Traffic-graph link prediction on a Flights-like dataset, with and without
+the static node memory of §3.1.
+
+Flights is the paper's hardest small dataset: a non-bipartite traffic graph
+with a very high fraction of unique edges, where Fig. 6 shows the largest
+gain from pre-trained static node memory (better accuracy and a smoother
+convergence curve).  This example reproduces that comparison end to end:
+pre-train static embeddings on the training range, attach them, train, and
+compare against the plain dynamic-memory model.
+
+Run:
+    python examples/flights_link_prediction.py
+"""
+
+import time
+
+from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
+from repro.data import load_dataset
+
+
+def run(ds, static_dim: int, label: str):
+    spec = TrainerSpec(
+        batch_size=150,
+        memory_dim=32,
+        embed_dim=32,
+        time_dim=16,
+        base_lr=1e-3,
+        static_dim=static_dim,
+        static_pretrain_epochs=10,
+    )
+    t0 = time.time()
+    trainer = DistTGLTrainer(ds, ParallelConfig(1, 1, 1), spec)
+    result = trainer.train(epochs_equivalent=8)
+    curve = " -> ".join(f"{h.val_metric:.3f}" for h in result.history[:8])
+    print(f"[{label}] val curve: {curve}")
+    print(
+        f"[{label}] best val MRR {result.best_val:.4f} | "
+        f"test MRR {result.test_metric:.4f} | {time.time() - t0:.1f}s"
+    )
+    return result
+
+
+def main() -> None:
+    ds = load_dataset("flights", scale=0.004, seed=0)
+    print(f"dataset: {ds.graph}")
+    print(f"  unique-edge fraction: {ds.graph.unique_edge_fraction():.2f} "
+          "(highest of the small datasets — the paper's Fig. 9a culprit)")
+
+    print("\n--- dynamic node memory only (TGN-attn) ---")
+    plain = run(ds, static_dim=0, label="dynamic only")
+
+    print("\n--- dynamic + pre-trained static node memory (DistTGL, §3.1) ---")
+    static = run(ds, static_dim=32, label="with static")
+
+    delta = static.best_val - plain.best_val
+    print(f"\nstatic node memory changed best validation MRR by {delta:+.4f} "
+          "(paper Fig. 6 reports a clear gain on Flights at full scale).")
+
+
+if __name__ == "__main__":
+    main()

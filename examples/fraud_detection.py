@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Fraud-detection-style workload: dynamic edge classification on a
+GDELT-like knowledge graph, with static node memory.
+
+The paper motivates M-TGNNs with fraud detection: "the time between two
+consecutive transactions often marks out suspicious activities" — i.e. the
+*dynamic* high-frequency signal matters, which is exactly what the node
+memory (and its time encoding) captures and what static embeddings alone
+cannot.  This example trains the 56-class 6-label dynamic edge classifier
+(the paper's GDELT task) and reports F1-micro, then shows the mini-batch
+parallelism configuration the paper recommends for this dataset class.
+
+Run:
+    python examples/fraud_detection.py
+"""
+
+import time
+
+from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
+from repro.data import load_dataset
+from repro.parallel import HardwareSpec, plan
+
+
+def main() -> None:
+    ds = load_dataset("gdelt", scale=0.00005, seed=0)
+    print(f"dataset: {ds.graph}")
+    print(f"  task: {ds.task} with {ds.num_classes} classes, 6 labels/event")
+
+    spec = TrainerSpec(
+        batch_size=200,
+        memory_dim=32,
+        embed_dim=32,
+        time_dim=16,
+        base_lr=1e-3,
+    )
+
+    print("\n--- single trainer ---")
+    t0 = time.time()
+    single = DistTGLTrainer(ds, ParallelConfig(1, 1, 1), spec).train(
+        epochs_equivalent=4, verbose=True
+    )
+    print(
+        f"test F1-micro {single.test_metric:.4f} "
+        f"({single.iterations_run} iterations, {time.time() - t0:.1f}s)"
+    )
+
+    # GDELT-class datasets tolerate very large batches (Fig. 2a shows the
+    # accuracy knee far beyond one GPU's capacity), so the planner chooses
+    # mini-batch parallelism first (§3.2.4, §4.1).
+    hw = HardwareSpec(machines=1, gpus_per_machine=8, gpu_saturation_batch=3200)
+    trace = plan(hw, max_batch=25_600, num_nodes=ds.graph.num_nodes,
+                 memory_dim=100, edge_dim=ds.graph.edge_dim)
+    print("\nplanner recommendation for a GDELT-scale run on 8 GPUs:")
+    for note in trace.notes:
+        print("  *", note)
+    print(f"  => {trace.config.label()} (the paper uses 8x1x1 on one machine)")
+
+    print("\n--- mini-batch parallelism (2x1x1): one snapshot, 2 local batches ---")
+    t0 = time.time()
+    mb = DistTGLTrainer(ds, ParallelConfig(2, 1, 1), spec).train(
+        epochs_equivalent=4, verbose=True
+    )
+    print(
+        f"test F1-micro {mb.test_metric:.4f} "
+        f"({mb.iterations_run} iterations, {time.time() - t0:.1f}s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

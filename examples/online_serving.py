@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Online serving: train a DistTGL model, then serve link-ranking queries
+with the TGOpt-style redundancy-optimized inference engine.
+
+Pattern: a recommender streams new interactions into the engine
+(``observe``) and, between batches, ranks candidate destinations for active
+users (``rank_candidates``). De-duplication makes repeated (user, time)
+embeddings free and the time-encoding memoization collapses repeated Δt.
+
+Run:
+    python examples/online_serving.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
+from repro.data import load_dataset
+from repro.infer import InferenceEngine
+
+
+def main() -> None:
+    ds = load_dataset("reddit", scale=0.002, seed=0)
+    g = ds.graph
+    print(f"dataset: {g}")
+
+    spec = TrainerSpec(batch_size=100, memory_dim=32, embed_dim=32, time_dim=16,
+                       base_lr=1e-3)
+    trainer = DistTGLTrainer(ds, ParallelConfig(1, 1, 2), spec)
+    result = trainer.train(epochs_equivalent=8)
+    print(f"trained: best val MRR {result.best_val:.4f}")
+
+    engine = InferenceEngine(trainer.model, g, decoder=trainer.decoder)
+
+    # replay the stream and interleave ranking queries
+    split = g.chronological_split()
+    rng = np.random.default_rng(0)
+    chunk = 200
+    latencies = []
+    hits = 0
+    queries = 0
+    for start in range(0, split.val.stop, chunk):
+        stop = min(start + chunk, split.val.stop)
+        engine.observe(g.src[start:stop], g.dst[start:stop], g.timestamps[start:stop],
+                       edge_feats=g.edge_feats[start:stop] if g.edge_feats is not None else None)
+        if stop >= split.val.start:
+            # rank candidates for the next real event — top-10 hit rate
+            nxt = stop
+            if nxt >= g.num_events:
+                break
+            src, true_dst = int(g.src[nxt]), int(g.dst[nxt])
+            cands = np.unique(np.concatenate(
+                [[true_dst], rng.integers(g.src_partition_size, g.num_nodes, 99)]))
+            t0 = time.perf_counter()
+            scores = engine.rank_candidates(src, cands, at_time=float(g.timestamps[nxt]))
+            latencies.append(time.perf_counter() - t0)
+            top10 = cands[np.argsort(scores)[::-1][:10]]
+            hits += int(true_dst in top10)
+            queries += 1
+
+    print(f"served {queries} ranking queries: "
+          f"top-10 hit rate {hits / max(queries, 1):.2f}, "
+          f"median latency {np.median(latencies) * 1e3:.1f} ms")
+    print(f"redundancy eliminated: dedup {engine.stats.dedup_ratio:.1%}, "
+          f"time-encoding memo {engine.stats.memo_ratio:.1%}")
+
+
+if __name__ == "__main__":
+    main()

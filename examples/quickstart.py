@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: train a memory-based TGNN with DistTGL on one (logical) GPU,
+then rerun with 4-way memory parallelism and compare convergence.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import time
+
+from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
+from repro.data import load_dataset
+
+
+def main() -> None:
+    # A synthetic stand-in for the JODIE Wikipedia dataset (see DESIGN.md):
+    # bipartite user->page interactions with recurrence and preference drift.
+    ds = load_dataset("wikipedia", scale=0.01, seed=0)
+    print(f"dataset: {ds.graph}")
+    print(f"  bipartite={ds.graph.is_bipartite}  edge_dim={ds.graph.edge_dim}")
+
+    spec = TrainerSpec(
+        batch_size=100,     # paper uses 600 on 8 real GPUs; scaled for CPU
+        memory_dim=32,
+        embed_dim=32,
+        time_dim=16,
+        base_lr=1e-3,
+    )
+
+    print("\n--- single GPU baseline (1x1x1) ---")
+    t0 = time.time()
+    baseline = DistTGLTrainer(ds, ParallelConfig(1, 1, 1), spec).train(
+        epochs_equivalent=10, verbose=True
+    )
+    print(
+        f"best val MRR {baseline.best_val:.4f} | test MRR {baseline.test_metric:.4f} "
+        f"| {baseline.iterations_run} iterations | {time.time() - t0:.1f}s"
+    )
+
+    print("\n--- 4-way memory parallelism (1x1x4) ---")
+    t0 = time.time()
+    parallel = DistTGLTrainer(ds, ParallelConfig(1, 1, 4), spec).train(
+        epochs_equivalent=10, verbose=True
+    )
+    print(
+        f"best val MRR {parallel.best_val:.4f} | test MRR {parallel.test_metric:.4f} "
+        f"| {parallel.iterations_run} iterations | {time.time() - t0:.1f}s"
+    )
+
+    speedup = baseline.iterations_run / max(parallel.iterations_run, 1)
+    print(
+        f"\nmemory parallelism used {speedup:.1f}x fewer optimizer steps for the "
+        f"same traversed edges, at {parallel.best_val - baseline.best_val:+.4f} "
+        "validation MRR — the paper's near-linear convergence speedup "
+        "(Fig. 9b) in miniature."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package, so
+`pip install -e . --no-use-pep517 --no-build-isolation` goes through
+`setup.py develop` instead of PEP-517. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""DistTGL reproduction: distributed memory-based TGNN training (SC 2023).
+
+Public API tour
+---------------
+Data::
+
+    from repro.data import load_dataset
+    ds = load_dataset("wikipedia", scale=0.02)   # synthetic stand-in
+
+Training under any ``i × j × k`` configuration::
+
+    from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
+    trainer = DistTGLTrainer(ds, ParallelConfig(i=1, j=2, k=4), TrainerSpec())
+    result = trainer.train(epochs_equivalent=20)
+    print(result.best_val, result.test_metric)
+
+Planning the optimal configuration for a cluster (§3.2.4)::
+
+    from repro.parallel import HardwareSpec, plan_for_graph
+    trace = plan_for_graph(HardwareSpec(machines=4, gpus_per_machine=8), ds.graph)
+    print(trace.config.label(), trace.notes)
+
+Throughput modeling of the paper's testbed::
+
+    from repro.sim import CostModel, WorkloadSpec, g4dn_metal
+    cm = CostModel(WorkloadSpec(), g4dn_metal(4))
+    cm.throughput("disttgl", trace.config)
+"""
+
+from .data import Dataset, load_dataset
+from .graph import RecentNeighborSampler, TemporalGraph
+from .infer import InferenceEngine
+from .memory import Mailbox, MemoryDaemon, NodeMemory, StaticNodeMemory
+from .models import TGN, TGNConfig
+from .parallel import HardwareSpec, ParallelConfig, plan, plan_for_graph
+from .sim import CostModel, WorkloadSpec, g4dn_metal
+from .train import DistTGLTrainer, TrainerSpec, TrainResult, load_checkpoint, save_checkpoint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "load_dataset",
+    "TemporalGraph",
+    "RecentNeighborSampler",
+    "NodeMemory",
+    "Mailbox",
+    "StaticNodeMemory",
+    "MemoryDaemon",
+    "TGN",
+    "TGNConfig",
+    "ParallelConfig",
+    "HardwareSpec",
+    "plan",
+    "plan_for_graph",
+    "CostModel",
+    "WorkloadSpec",
+    "g4dn_metal",
+    "DistTGLTrainer",
+    "TrainerSpec",
+    "TrainResult",
+    "InferenceEngine",
+    "save_checkpoint",
+    "load_checkpoint",
+    "__version__",
+]

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+train       train a TGN under an i×j×k configuration and print the result
+plan        run the §3.2.4 planner for a cluster + dataset
+stats       print Table-2-style statistics of a generated dataset
+throughput  model Fig-12-style throughput for a system / configuration
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .data import PAPER_TABLE2, load_dataset
+from .parallel import HardwareSpec, ParallelConfig, plan_for_graph
+from .sim import CostModel, WorkloadSpec, g4dn_metal
+from .train import DistTGLTrainer, TrainerSpec
+from .utils import Timer, format_table
+
+
+def _parse_config(text: str) -> ParallelConfig:
+    """Parse the paper's 'ixjxk[@machines]' notation, e.g. '1x2x4' or
+    '2x2x8@4'."""
+    machines = 1
+    if "@" in text:
+        text, m = text.split("@", 1)
+        machines = int(m)
+    try:
+        i, j, k = (int(part) for part in text.lower().split("x"))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected ixjxk[@machines], got {text!r}"
+        ) from exc
+    return ParallelConfig(i, j, k, machines=machines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="DistTGL reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="train a TGN under an i x j x k config")
+    p_train.add_argument("--dataset", choices=sorted(PAPER_TABLE2), default="wikipedia")
+    p_train.add_argument("--scale", type=float, default=0.01)
+    p_train.add_argument("--config", type=_parse_config, default=ParallelConfig())
+    p_train.add_argument("--epochs", type=int, default=10)
+    p_train.add_argument("--batch-size", type=int, default=100)
+    p_train.add_argument("--memory-dim", type=int, default=32)
+    p_train.add_argument("--static-dim", type=int, default=0)
+    p_train.add_argument("--lr", type=float, default=1e-3)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--quiet", action="store_true")
+
+    p_plan = sub.add_parser("plan", help="choose (i, j, k) for a cluster")
+    p_plan.add_argument("--dataset", choices=sorted(PAPER_TABLE2), default="wikipedia")
+    p_plan.add_argument("--scale", type=float, default=0.01)
+    p_plan.add_argument("--machines", type=int, default=1)
+    p_plan.add_argument("--gpus", type=int, default=8)
+    p_plan.add_argument("--max-missing", type=float, default=0.5)
+
+    p_stats = sub.add_parser("stats", help="Table-2 statistics of a dataset")
+    p_stats.add_argument("--dataset", choices=sorted(PAPER_TABLE2), default="wikipedia")
+    p_stats.add_argument("--scale", type=float, default=0.01)
+
+    p_tput = sub.add_parser("throughput", help="modeled throughput (Fig. 12)")
+    p_tput.add_argument("--system", choices=["tgn", "tgl", "disttgl"], default="disttgl")
+    p_tput.add_argument("--config", type=_parse_config, default=ParallelConfig())
+    p_tput.add_argument("--local-batch", type=int, default=600)
+    p_tput.add_argument("--edge-dim", type=int, default=172)
+
+    return parser
+
+
+def cmd_train(args) -> int:
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    spec = TrainerSpec(
+        batch_size=args.batch_size,
+        memory_dim=args.memory_dim,
+        embed_dim=args.memory_dim,
+        time_dim=max(8, args.memory_dim // 2),
+        static_dim=args.static_dim,
+        base_lr=args.lr,
+        seed=args.seed,
+    )
+    trainer = DistTGLTrainer(ds, args.config, spec)
+    with Timer() as t:
+        result = trainer.train(
+            epochs_equivalent=args.epochs, verbose=not args.quiet
+        )
+    metric = "MRR" if ds.task == "link" else "F1-micro"
+    print(
+        f"[{args.config.label()}] {args.dataset}: best val {metric} "
+        f"{result.best_val:.4f} | test {metric} {result.test_metric:.4f} | "
+        f"{result.iterations_run} iterations | {t.elapsed:.1f}s"
+    )
+    return 0
+
+
+def cmd_plan(args) -> int:
+    ds = load_dataset(args.dataset, scale=args.scale)
+    hw = HardwareSpec(machines=args.machines, gpus_per_machine=args.gpus)
+    trace = plan_for_graph(hw, ds.graph, max_missing_fraction=args.max_missing)
+    for note in trace.notes:
+        print(f"* {note}")
+    print(f"=> {trace.config.label()} (local batch {trace.local_batch})")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    ds = load_dataset(args.dataset, scale=args.scale)
+    stats = ds.graph.stats()
+    paper = PAPER_TABLE2[args.dataset]
+    rows = [
+        ("|V|", stats["num_nodes"], f"{paper.num_nodes:,}"),
+        ("|E|", stats["num_events"], f"{paper.num_events:,}"),
+        ("max(t)", f"{stats['max_time']:.3g}", f"{paper.max_time:.3g}"),
+        ("d_e", stats["edge_dim"], paper.edge_dim),
+        ("bipartite", stats["bipartite"], paper.bipartite),
+        ("unique-edge frac", f"{stats['unique_edge_fraction']:.3f}", "-"),
+        ("mean degree", f"{stats['mean_degree']:.1f}", "-"),
+    ]
+    print(format_table(["stat", "generated", "paper"], rows))
+    return 0
+
+
+def cmd_throughput(args) -> int:
+    w = WorkloadSpec(local_batch=args.local_batch, edge_dim=args.edge_dim)
+    cm = CostModel(w, g4dn_metal(args.config.machines))
+    total = cm.throughput(args.system, args.config)
+    print(
+        f"{args.system} {args.config.label()}@{args.config.machines}: "
+        f"{total / 1e3:.1f} kE/s total, "
+        f"{total / args.config.total_gpus / 1e3:.1f} kE/s per GPU"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "train": cmd_train,
+        "plan": cmd_plan,
+        "stats": cmd_stats,
+        "throughput": cmd_throughput,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

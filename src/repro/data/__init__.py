@@ -1,0 +1,33 @@
+"""repro.data — synthetic stand-ins for the paper's five datasets."""
+
+from .datasets import (
+    GDELT_EVENT_CAP,
+    PAPER_LOCAL_BATCH,
+    PAPER_TABLE2,
+    Dataset,
+    PaperStats,
+    all_dataset_names,
+    load_dataset,
+    small_dataset,
+)
+from .synthetic import (
+    InteractionModel,
+    KnowledgeGraphModel,
+    generate_interaction_graph,
+    generate_knowledge_graph,
+)
+
+__all__ = [
+    "Dataset",
+    "PaperStats",
+    "PAPER_TABLE2",
+    "PAPER_LOCAL_BATCH",
+    "GDELT_EVENT_CAP",
+    "load_dataset",
+    "small_dataset",
+    "all_dataset_names",
+    "InteractionModel",
+    "KnowledgeGraphModel",
+    "generate_interaction_graph",
+    "generate_knowledge_graph",
+]

@@ -1,0 +1,27 @@
+"""repro.graph — temporal graph storage, sampling, batching, negatives."""
+
+from .batching import (
+    BatchLoader,
+    MiniBatch,
+    epoch_parallel_schedule,
+    memory_parallel_schedule,
+    segment_bounds,
+)
+from .negative import NegativeGroupStore, NegativeSampler, eval_negatives
+from .sampler import NeighborBlock, RecentNeighborSampler
+from .temporal_graph import GraphSplit, TemporalGraph
+
+__all__ = [
+    "TemporalGraph",
+    "GraphSplit",
+    "RecentNeighborSampler",
+    "NeighborBlock",
+    "BatchLoader",
+    "MiniBatch",
+    "segment_bounds",
+    "memory_parallel_schedule",
+    "epoch_parallel_schedule",
+    "NegativeSampler",
+    "NegativeGroupStore",
+    "eval_negatives",
+]

@@ -1,0 +1,169 @@
+"""Chronological mini-batch scheduling.
+
+M-TGNN training is order-constrained: batches must be processed in time
+order because each batch's node-memory writes feed the next batch's reads
+(paper §2.1.1).  This module produces:
+
+* plain chronological fixed-size batches (single-GPU / epoch parallelism);
+* *local* sub-batches for mini-batch parallelism (§3.2.1) — a global batch
+  is split chronologically into ``i`` local batches, one per trainer;
+* *segments* for memory parallelism (§3.2.3) — the training range is cut
+  into ``k`` equal time segments of whole batches, and trainer r starts at
+  segment r (the "reordered" schedule on the right of Fig. 7(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from .temporal_graph import TemporalGraph
+
+
+@dataclass
+class MiniBatch:
+    """One chronological batch of positive events (plus metadata)."""
+
+    index: int              # batch index within the epoch
+    start: int              # first event id (inclusive)
+    stop: int               # last event id (exclusive)
+    src: np.ndarray
+    dst: np.ndarray
+    times: np.ndarray
+    edge_feats: Optional[np.ndarray]
+    edge_ids: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def split_local(self, parts: int) -> List["MiniBatch"]:
+        """Chronologically split into ``parts`` local batches (§3.2.1).
+
+        "Since the global mini-batches are generated in chronological order,
+        we also split them into local mini-batches chronologically."
+        """
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        bounds = np.linspace(0, self.size, parts + 1).astype(int)
+        out = []
+        for p in range(parts):
+            lo, hi = int(bounds[p]), int(bounds[p + 1])
+            out.append(
+                MiniBatch(
+                    index=self.index,
+                    start=self.start + lo,
+                    stop=self.start + hi,
+                    src=self.src[lo:hi],
+                    dst=self.dst[lo:hi],
+                    times=self.times[lo:hi],
+                    edge_feats=self.edge_feats[lo:hi] if self.edge_feats is not None else None,
+                    edge_ids=self.edge_ids[lo:hi],
+                )
+            )
+        return out
+
+
+class BatchLoader:
+    """Fixed-size chronological batches over an event range of a graph."""
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        batch_size: int,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.graph = graph
+        self.batch_size = batch_size
+        self.start = start
+        self.stop = graph.num_events if stop is None else stop
+        if not (0 <= self.start < self.stop <= graph.num_events):
+            raise ValueError(
+                f"invalid range [{self.start}, {self.stop}) for {graph.num_events} events"
+            )
+
+    def __len__(self) -> int:
+        span = self.stop - self.start
+        return (span + self.batch_size - 1) // self.batch_size
+
+    def batch(self, index: int) -> MiniBatch:
+        lo = self.start + index * self.batch_size
+        hi = min(lo + self.batch_size, self.stop)
+        if lo >= hi:
+            raise IndexError(f"batch {index} out of range ({len(self)} batches)")
+        g = self.graph
+        return MiniBatch(
+            index=index,
+            start=lo,
+            stop=hi,
+            src=g.src[lo:hi],
+            dst=g.dst[lo:hi],
+            times=g.timestamps[lo:hi],
+            edge_feats=g.edge_feats[lo:hi] if g.edge_feats is not None else None,
+            edge_ids=np.arange(lo, hi),
+        )
+
+    def __iter__(self) -> Iterator[MiniBatch]:
+        for i in range(len(self)):
+            yield self.batch(i)
+
+
+def segment_bounds(num_batches: int, k: int) -> List[slice]:
+    """Cut ``num_batches`` chronological batches into ``k`` contiguous segments.
+
+    Segment sizes differ by at most one batch.  Memory parallelism assigns
+    trainer r the rotation (r, r+1, …, r+k-1 mod k) of these segments.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if num_batches < k:
+        raise ValueError(f"cannot cut {num_batches} batches into {k} segments")
+    bounds = np.linspace(0, num_batches, k + 1).astype(int)
+    return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(k)]
+
+
+def memory_parallel_schedule(num_batches: int, k: int) -> List[List[int]]:
+    """Per-round batch assignment for the reordered memory parallelism.
+
+    Returns ``rounds`` where ``rounds[t][r]`` is the batch index trainer r
+    processes at global iteration t (or -1 when that trainer has exhausted
+    its current segment — segments may differ by one batch).
+
+    Right side of Fig. 7(c): trainer r sweeps segments in the rotated order
+    starting at segment r, always using its own memory copy, so memory never
+    crosses trainers.
+    """
+    segments = segment_bounds(num_batches, k)
+    per_trainer: List[List[int]] = []
+    for r in range(k):
+        seq: List[int] = []
+        for step in range(k):
+            seg = segments[(r + step) % k]
+            seq.extend(range(seg.start, seg.stop))
+        per_trainer.append(seq)
+    rounds: List[List[int]] = []
+    longest = max(len(s) for s in per_trainer)
+    for t in range(longest):
+        rounds.append([seq[t] if t < len(seq) else -1 for seq in per_trainer])
+    return rounds
+
+
+def epoch_parallel_schedule(num_batches: int, j: int) -> List[List[int]]:
+    """Per-round batch assignment for reordered epoch parallelism.
+
+    Right side of Fig. 7(b): all j trainers work on the *same* positive
+    mini-batch for j consecutive iterations (each trainer pairing it with a
+    different negative group), then advance.  Returns ``rounds[t][r]`` = the
+    batch index everyone processes at iteration t; the negative-group index
+    for trainer r at iteration t is ``(t + r) % j``.
+    """
+    rounds: List[List[int]] = []
+    for b in range(num_batches):
+        for _ in range(j):
+            rounds.append([b] * j)
+    return rounds

@@ -1,0 +1,5 @@
+"""repro.infer — redundancy-aware serving of trained TGNs (TGOpt-style)."""
+
+from .engine import InferenceEngine, InferenceStats
+
+__all__ = ["InferenceEngine", "InferenceStats"]

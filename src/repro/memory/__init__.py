@@ -1,0 +1,23 @@
+"""repro.memory — dynamic node memory, mailbox, static memory, daemon."""
+
+from .buffers import SharedBuffers
+from .daemon import MemoryDaemon
+from .diagnostics import (
+    BatchingInaccuracy,
+    inaccuracy_sweep,
+    measure_batching_inaccuracy,
+)
+from .mailbox import Mailbox
+from .node_memory import NodeMemory
+from .static_memory import StaticNodeMemory
+
+__all__ = [
+    "NodeMemory",
+    "Mailbox",
+    "StaticNodeMemory",
+    "MemoryDaemon",
+    "SharedBuffers",
+    "BatchingInaccuracy",
+    "measure_batching_inaccuracy",
+    "inaccuracy_sweep",
+]

@@ -1,0 +1,150 @@
+"""Shared buffers between trainer processes and the memory daemon (§3.3).
+
+The paper lists seven buffers shared by each group of ``i × j`` trainers and
+its daemon; we reproduce them with the same names plus timestamp side-bands
+(the paper bundles timestamps with the payloads; we keep them as separate
+arrays for clarity):
+
+* ``mem_read_buf``   [i·j, cap, d_mem]   — memory read results
+* ``mail_read_buf``  [i·j, cap, mail_dim] — mail read results
+* ``read_1idx_buf``  [i·j, cap + 1]       — read indexes, slot 0 = count
+* ``mem_write_buf``  [i·j, bs, d_mem]     — memory write payload
+* ``mail_write_buf`` [i·j, bs, mail_dim]  — mail write payload
+* ``write_1idx_buf`` [i·j, bs + 1]        — write indexes, slot 0 = count
+* ``read_status`` / ``write_status`` [i·j] — request flags (0 idle, 1 pending)
+
+In the paper these live in POSIX shared memory across processes; here they
+are process-local numpy arrays shared between Python threads, which gives
+identical ordering semantics (flag writes + spin reads) without the IPC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SharedBuffers:
+    """Buffer block for one daemon group of ``num_ranks = i * j`` trainers."""
+
+    def __init__(
+        self,
+        num_ranks: int,
+        read_capacity: int,
+        write_capacity: int,
+        memory_dim: int,
+        mail_dim: int,
+    ) -> None:
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        self.num_ranks = num_ranks
+        self.read_capacity = read_capacity
+        self.write_capacity = write_capacity
+        self.memory_dim = memory_dim
+        self.mail_dim = mail_dim
+
+        self.mem_read_buf = np.zeros((num_ranks, read_capacity, memory_dim), np.float32)
+        self.mail_read_buf = np.zeros((num_ranks, read_capacity, mail_dim), np.float32)
+        self.mem_ts_read_buf = np.zeros((num_ranks, read_capacity), np.float64)
+        self.mail_ts_read_buf = np.zeros((num_ranks, read_capacity), np.float64)
+        self.read_1idx_buf = np.zeros((num_ranks, read_capacity + 1), np.int64)
+
+        self.mem_write_buf = np.zeros((num_ranks, write_capacity, memory_dim), np.float32)
+        self.mail_write_buf = np.zeros((num_ranks, write_capacity, mail_dim), np.float32)
+        self.mem_ts_write_buf = np.zeros((num_ranks, write_capacity), np.float64)
+        self.mail_ts_write_buf = np.zeros((num_ranks, write_capacity), np.float64)
+        self.write_1idx_buf = np.zeros((num_ranks, write_capacity + 1), np.int64)
+        self.mail_write_1idx_buf = np.zeros((num_ranks, write_capacity + 1), np.int64)
+
+        self.read_status = np.zeros(num_ranks, np.int8)
+        self.write_status = np.zeros(num_ranks, np.int8)
+
+    # ----------------------------------------------------------- trainer side
+    def stage_read(self, rank: int, nodes: np.ndarray) -> None:
+        n = len(nodes)
+        if n > self.read_capacity:
+            raise ValueError(f"read of {n} nodes exceeds capacity {self.read_capacity}")
+        self.read_1idx_buf[rank, 0] = n
+        self.read_1idx_buf[rank, 1 : n + 1] = nodes
+
+    def stage_write(
+        self,
+        rank: int,
+        mem_nodes: np.ndarray,
+        mem_values: np.ndarray,
+        mem_times: np.ndarray,
+        mail_nodes: np.ndarray,
+        mail_values: np.ndarray,
+        mail_times: np.ndarray,
+    ) -> None:
+        n = len(mem_nodes)
+        m = len(mail_nodes)
+        if n > self.write_capacity or m > self.write_capacity:
+            raise ValueError("write exceeds buffer capacity")
+        self.write_1idx_buf[rank, 0] = n
+        self.write_1idx_buf[rank, 1 : n + 1] = mem_nodes
+        self.mem_write_buf[rank, :n] = mem_values
+        self.mem_ts_write_buf[rank, :n] = mem_times
+        self.mail_write_1idx_buf[rank, 0] = m
+        self.mail_write_1idx_buf[rank, 1 : m + 1] = mail_nodes
+        self.mail_write_buf[rank, :m] = mail_values
+        self.mail_ts_write_buf[rank, :m] = mail_times
+
+    # ------------------------------------------------------------ daemon side
+    def read_request(self, rank: int) -> np.ndarray:
+        n = int(self.read_1idx_buf[rank, 0])
+        return self.read_1idx_buf[rank, 1 : n + 1]
+
+    def write_request(self, rank: int):
+        n = int(self.write_1idx_buf[rank, 0])
+        m = int(self.mail_write_1idx_buf[rank, 0])
+        return (
+            self.write_1idx_buf[rank, 1 : n + 1],
+            self.mem_write_buf[rank, :n],
+            self.mem_ts_write_buf[rank, :n],
+            self.mail_write_1idx_buf[rank, 1 : m + 1],
+            self.mail_write_buf[rank, :m],
+            self.mail_ts_write_buf[rank, :m],
+        )
+
+    def fill_read_result(
+        self,
+        rank: int,
+        mem: np.ndarray,
+        mem_ts: np.ndarray,
+        mail: np.ndarray,
+        mail_ts: np.ndarray,
+    ) -> None:
+        n = len(mem)
+        self.mem_read_buf[rank, :n] = mem
+        self.mem_ts_read_buf[rank, :n] = mem_ts
+        self.mail_read_buf[rank, :n] = mail
+        self.mail_ts_read_buf[rank, :n] = mail_ts
+
+    def read_result(self, rank: int):
+        n = int(self.read_1idx_buf[rank, 0])
+        return (
+            self.mem_read_buf[rank, :n].copy(),
+            self.mem_ts_read_buf[rank, :n].copy(),
+            self.mail_read_buf[rank, :n].copy(),
+            self.mail_ts_read_buf[rank, :n].copy(),
+        )
+
+    def nbytes(self) -> int:
+        return sum(
+            getattr(self, name).nbytes
+            for name in (
+                "mem_read_buf",
+                "mail_read_buf",
+                "mem_ts_read_buf",
+                "mail_ts_read_buf",
+                "read_1idx_buf",
+                "mem_write_buf",
+                "mail_write_buf",
+                "mem_ts_write_buf",
+                "mail_ts_write_buf",
+                "write_1idx_buf",
+                "mail_write_1idx_buf",
+                "read_status",
+                "write_status",
+            )
+        )

@@ -1,0 +1,245 @@
+"""Memory daemon process (paper §3.3, Algorithm 1).
+
+DistTGL serializes all node-memory access of an ``i × j`` trainer group
+through a dedicated daemon instead of a cross-process lock.  The serialized
+schedule for ``i × j = 2 × 2`` is::
+
+    (R0 R1)(W0 W1)(R2 R3)(W2 W3)(R0 R1)(W0 W1) ...
+
+i.e. the j sub-groups of i trainers alternate read-then-write in rank order;
+requests *within* one bracket are unordered.  Trainers communicate through
+:class:`~repro.memory.buffers.SharedBuffers` by staging payloads and flipping
+``read_status`` / ``write_status`` flags; the daemon spin-waits on the flags,
+applies the requests against the authoritative :class:`NodeMemory` +
+:class:`Mailbox`, fills result buffers and resets the flags.
+
+Two execution modes:
+
+* ``serial`` — the schedule is driven synchronously by the caller
+  (:meth:`MemoryDaemon.serve_reads` / :meth:`serve_writes`).  Deterministic;
+  used by the training simulator.
+* ``threaded`` — a real daemon thread runs Algorithm 1 with spin-waits,
+  concurrent with trainer threads.  Used by the system tests to demonstrate
+  the synchronization protocol is live and serializes correctly.
+
+Every served request is appended to ``access_log`` as ``(op, rank)`` so the
+tests can assert the exact (R…)(W…) bracket order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .buffers import SharedBuffers
+from .mailbox import Mailbox
+from .node_memory import NodeMemory
+
+_SPIN_SLEEP = 1e-5
+
+
+class _DaemonStopped(Exception):
+    """Internal: the daemon was asked to stop while spin-waiting."""
+
+
+class MemoryDaemon:
+    """Serves serialized memory/mail reads and writes for one trainer group.
+
+    Parameters
+    ----------
+    memory, mailbox:
+        The authoritative state owned by this daemon (one copy per memory-
+        parallel group; the ``k`` copies of §3.2.3 are ``k`` daemons).
+    i, j:
+        Mini-batch and epoch parallelism inside this group; ``i * j`` ranks.
+    read_capacity / write_capacity:
+        Max nodes per read (``bs·(d+1)`` in the paper) and per write (``bs``).
+    """
+
+    def __init__(
+        self,
+        memory: NodeMemory,
+        mailbox: Mailbox,
+        i: int = 1,
+        j: int = 1,
+        read_capacity: int = 4096,
+        write_capacity: int = 2048,
+    ) -> None:
+        if i <= 0 or j <= 0:
+            raise ValueError("i and j must be positive")
+        self.memory = memory
+        self.mailbox = mailbox
+        self.i = i
+        self.j = j
+        self.num_ranks = i * j
+        self.buffers = SharedBuffers(
+            self.num_ranks,
+            read_capacity,
+            write_capacity,
+            memory.dim,
+            mailbox.mail_dim,
+        )
+        self.access_log: List[Tuple[str, int]] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------- requests
+    def request_read(self, rank: int, nodes: np.ndarray) -> None:
+        """Trainer side: stage a read and raise the flag."""
+        if self.buffers.read_status[rank] != 0:
+            raise RuntimeError(f"rank {rank} already has a pending read")
+        self.buffers.stage_read(rank, np.asarray(nodes, dtype=np.int64))
+        self.buffers.read_status[rank] = 1
+
+    def wait_read(self, rank: int, timeout: float = 30.0):
+        """Trainer side: spin until the daemon served the read; return copies
+        of (memory, last_update, mail, mail_time)."""
+        deadline = time.monotonic() + timeout
+        while self.buffers.read_status[rank] != 0:
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"read for rank {rank} not served")
+            time.sleep(_SPIN_SLEEP)
+        return self.buffers.read_result(rank)
+
+    def request_write(
+        self,
+        rank: int,
+        mem_nodes: np.ndarray,
+        mem_values: np.ndarray,
+        mem_times: np.ndarray,
+        mail_nodes: np.ndarray,
+        mail_values: np.ndarray,
+        mail_times: np.ndarray,
+    ) -> None:
+        if self.buffers.write_status[rank] != 0:
+            raise RuntimeError(f"rank {rank} already has a pending write")
+        self.buffers.stage_write(
+            rank, mem_nodes, mem_values, mem_times, mail_nodes, mail_values, mail_times
+        )
+        self.buffers.write_status[rank] = 1
+
+    def wait_write(self, rank: int, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while self.buffers.write_status[rank] != 0:
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"write for rank {rank} not applied")
+            time.sleep(_SPIN_SLEEP)
+
+    # -------------------------------------------------------- daemon service
+    def _serve_read(self, rank: int) -> None:
+        nodes = self.buffers.read_request(rank)
+        mem, mem_ts = self.memory.read(nodes)
+        mail, mail_ts, has_mail = self.mailbox.read(nodes)
+        # Missing mail is encoded as mail_time = -1 in the shared buffer
+        # (valid timestamps are >= 0 after normalisation).
+        mail_ts = np.where(has_mail, mail_ts, -1.0)
+        self.buffers.fill_read_result(rank, mem, mem_ts, mail, mail_ts)
+        self.access_log.append(("R", rank))
+        self.buffers.read_status[rank] = 0
+
+    def _serve_write(self, rank: int) -> None:
+        (
+            mem_nodes,
+            mem_values,
+            mem_times,
+            mail_nodes,
+            mail_values,
+            mail_times,
+        ) = self.buffers.write_request(rank)
+        self.memory.write(mem_nodes, mem_values, mem_times)
+        self.mailbox.write_raw(mail_nodes, mail_values, mail_times)
+        self.access_log.append(("W", rank))
+        self.buffers.write_status[rank] = 0
+
+    def _group_ranks(self, group: int) -> range:
+        return range(group * self.i, (group + 1) * self.i)
+
+    # serial mode ------------------------------------------------------------
+    def serve_reads(self, group: int, timeout: float = 30.0) -> None:
+        """Serve the pending reads of one sub-group (bracket ``(R…)``)."""
+        for rank in self._group_ranks(group):
+            self._await_flag(self.buffers.read_status, rank, timeout)
+            self._serve_read(rank)
+
+    def serve_writes(self, group: int, timeout: float = 30.0) -> None:
+        for rank in self._group_ranks(group):
+            self._await_flag(self.buffers.write_status, rank, timeout)
+            self._serve_write(rank)
+
+    def _await_flag(self, flags: np.ndarray, rank: int, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while flags[rank] != 1:
+            if self._stop.is_set():
+                raise _DaemonStopped
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"rank {rank} never issued its request")
+            time.sleep(_SPIN_SLEEP)
+
+    # threaded mode -----------------------------------------------------------
+    def run_epochs(
+        self,
+        iterations_per_epoch: int,
+        epochs: int = 1,
+        skip_first_read: bool = True,
+    ) -> None:
+        """Algorithm 1 main loop (blocking).
+
+        Per epoch: reset state, then for every iteration serve each
+        sub-group's reads then writes in rank order.  The first read of each
+        epoch is skipped when ``skip_first_read`` — "the results are always
+        all zero matrices right after the initialization" — and trainers
+        must not issue it either.
+        """
+        try:
+            for _ in range(epochs):
+                self.memory.reset()
+                self.mailbox.reset()
+                for iteration in range(iterations_per_epoch):
+                    for group in range(self.j):
+                        if self._stop.is_set():
+                            return
+                        if iteration > 0 or not skip_first_read:
+                            self.serve_reads(group)
+                        self.serve_writes(group)
+        except _DaemonStopped:
+            return
+
+    def start(self, iterations_per_epoch: int, epochs: int = 1, skip_first_read: bool = True):
+        """Launch :meth:`run_epochs` on a daemon thread."""
+        if self._thread is not None and self._thread.is_alive():
+            raise RuntimeError("daemon already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.run_epochs,
+            args=(iterations_per_epoch, epochs, skip_first_read),
+            daemon=True,
+        )
+        self._thread.start()
+        return self._thread
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def join(self, timeout: float = 60.0) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise TimeoutError("daemon did not finish")
+            self._thread = None
+
+    # ------------------------------------------------------------------ misc
+    def bracket_log(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """Collapse the access log into (op, sorted ranks) brackets."""
+        out: List[Tuple[str, Tuple[int, ...]]] = []
+        for op, rank in self.access_log:
+            if out and out[-1][0] == op and len(out[-1][1]) < self.i:
+                out[-1] = (op, tuple(sorted(out[-1][1] + (rank,))))
+            else:
+                out.append((op, (rank,)))
+        return out

@@ -1,0 +1,82 @@
+"""Dynamic node memory state (the ``s_v`` vectors of paper §2.1).
+
+A :class:`NodeMemory` is a plain array store — the GRU that updates it lives
+in ``repro.models.memory_updater``.  Memory parallelism (§3.2.3) keeps ``k``
+independent :class:`NodeMemory` copies; :meth:`clone` and :meth:`copy_from`
+support that.
+
+The memory is *outside* the autograd graph: reads lift slices into leaf
+Tensors (no BPTT through past batches, matching TGN) and writes store
+detached arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class NodeMemory:
+    """Per-node memory vectors plus the last-update timestamps ``t^-``."""
+
+    def __init__(self, num_nodes: int, dim: int) -> None:
+        if num_nodes <= 0 or dim <= 0:
+            raise ValueError("num_nodes and dim must be positive")
+        self.num_nodes = num_nodes
+        self.dim = dim
+        self.memory = np.zeros((num_nodes, dim), dtype=np.float32)
+        self.last_update = np.zeros(num_nodes, dtype=np.float64)
+
+    # ------------------------------------------------------------------ ops
+    def read(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return copies of (memory, last_update) rows for ``nodes``.
+
+        Copies, not views: the caller may be a trainer whose writes must go
+        through the serialized daemon path, never by aliasing.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return self.memory[nodes].copy(), self.last_update[nodes].copy()
+
+    def write(self, nodes: np.ndarray, values: np.ndarray, times: np.ndarray) -> None:
+        """Overwrite memory rows and bump their last-update timestamps.
+
+        Duplicate node ids within one write keep the *last* occurrence,
+        matching numpy fancy-assignment semantics and the chronological
+        ordering of events inside a batch.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(nodes) == 0:
+            return
+        values = np.asarray(values, dtype=np.float32)
+        times = np.asarray(times, dtype=np.float64)
+        if values.shape != (len(nodes), self.dim):
+            raise ValueError(
+                f"value shape {values.shape} != ({len(nodes)}, {self.dim})"
+            )
+        self.memory[nodes] = values
+        self.last_update[nodes] = times
+
+    def reset(self) -> None:
+        """Zero everything (start of epoch, paper resets per epoch)."""
+        self.memory.fill(0.0)
+        self.last_update.fill(0.0)
+
+    # ----------------------------------------------------------- replication
+    def clone(self) -> "NodeMemory":
+        out = NodeMemory(self.num_nodes, self.dim)
+        out.memory[...] = self.memory
+        out.last_update[...] = self.last_update
+        return out
+
+    def copy_from(self, other: "NodeMemory") -> None:
+        if (other.num_nodes, other.dim) != (self.num_nodes, self.dim):
+            raise ValueError("memory shape mismatch")
+        self.memory[...] = other.memory
+        self.last_update[...] = other.last_update
+
+    def nbytes(self) -> int:
+        return self.memory.nbytes + self.last_update.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"NodeMemory(V={self.num_nodes}, d={self.dim})"

@@ -1,0 +1,29 @@
+"""repro.models — TGN-attn with static node memory, plus task decoders."""
+
+from .attention import TemporalAttention
+from .decoders import EdgeClassifier, LinkPredictor
+from .memory_updater import GRUMemoryUpdater, TransformerMemoryUpdater
+from .tgn import (
+    TGN,
+    DirectMemoryView,
+    MemoryView,
+    PreparedBatch,
+    TGNConfig,
+    WriteBack,
+)
+from .time_encoding import TimeEncoding
+
+__all__ = [
+    "TimeEncoding",
+    "GRUMemoryUpdater",
+    "TransformerMemoryUpdater",
+    "TemporalAttention",
+    "TGN",
+    "TGNConfig",
+    "WriteBack",
+    "PreparedBatch",
+    "MemoryView",
+    "DirectMemoryView",
+    "LinkPredictor",
+    "EdgeClassifier",
+]

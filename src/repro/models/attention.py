@@ -1,0 +1,100 @@
+"""Single-layer temporal graph attention (paper Eqs. 4–7).
+
+    q   = W_q {s_v || Φ(0)} + b_s                          [B, d]
+    K   = W_k {S_w || E_vw || Φ(Δt)} + b_k                  [B, k, d]
+    V   = W_v {S_w || E_vw || Φ(Δt)} + b_v                  [B, k, d]
+    h_v = softmax(q Kᵀ / sqrt(|N_v|)) V
+
+Padded neighbor slots are masked to −∞ before the softmax.  Roots with no
+temporal neighbors at all get h = projected query state (attention over an
+empty set is undefined; TGL falls back to the self state the same way).
+Multi-head support follows TGL's default of 2 heads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, concat, softmax
+from .time_encoding import TimeEncoding
+
+_NEG_INF = -1e9
+
+
+class TemporalAttention(Module):
+    def __init__(
+        self,
+        memory_dim: int,
+        edge_dim: int = 0,
+        time_dim: int = 100,
+        out_dim: int = 100,
+        num_heads: int = 2,
+        time_encoder: Optional[TimeEncoding] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if out_dim % num_heads != 0:
+            raise ValueError("out_dim must be divisible by num_heads")
+        rng = rng or np.random.default_rng(0)
+        self.memory_dim = memory_dim
+        self.edge_dim = edge_dim
+        self.out_dim = out_dim
+        self.num_heads = num_heads
+        self.head_dim = out_dim // num_heads
+        self.time_encoder = time_encoder if time_encoder is not None else TimeEncoding(time_dim)
+        t = self.time_encoder.dim
+        self.w_q = Linear(memory_dim + t, out_dim, rng=rng)
+        self.w_k = Linear(memory_dim + edge_dim + t, out_dim, rng=rng)
+        self.w_v = Linear(memory_dim + edge_dim + t, out_dim, rng=rng)
+        self.w_out = Linear(out_dim + memory_dim, out_dim, rng=rng)
+
+    def forward(
+        self,
+        root_state: Tensor,        # [B, d_mem] updated memory of the roots
+        neighbor_state: Tensor,    # [B, k, d_mem] updated memory of neighbors
+        edge_feats: Optional[np.ndarray],  # [B, k, d_e] features of the edges
+        delta_t: np.ndarray,       # [B, k] root_time - edge_time
+        mask: np.ndarray,          # [B, k] True for real neighbors
+    ) -> Tensor:
+        b, k = mask.shape
+        h_heads, d_head = self.num_heads, self.head_dim
+
+        q_in = concat([root_state, self.time_encoder.zero(b)], axis=1)
+        q = self.w_q(q_in)  # [B, D]
+
+        phi = self.time_encoder(np.asarray(delta_t, dtype=np.float32))  # [B,k,t]
+        if self.edge_dim:
+            if edge_feats is None:
+                raise ValueError("attention configured with edge features")
+            kv_in = concat(
+                [neighbor_state, Tensor(np.asarray(edge_feats, np.float32)), phi], axis=2
+            )
+        else:
+            kv_in = concat([neighbor_state, phi], axis=2)
+        key = self.w_k(kv_in)    # [B, k, D]
+        val = self.w_v(kv_in)    # [B, k, D]
+
+        # reshape to heads: [B, k, H, dh] -> scores per head
+        q_h = q.reshape(b, h_heads, d_head)                       # [B,H,dh]
+        k_h = key.reshape(b, k, h_heads, d_head).transpose((0, 2, 1, 3))  # [B,H,k,dh]
+        v_h = val.reshape(b, k, h_heads, d_head).transpose((0, 2, 1, 3))  # [B,H,k,dh]
+
+        # scores[b,h,k] = q_h · k_h / sqrt(|N_v|)
+        deg = np.maximum(mask.sum(axis=1, keepdims=True), 1).astype(np.float32)  # [B,1]
+        scale = Tensor((1.0 / np.sqrt(deg))[:, :, None])          # [B,1,1]
+        scores = (q_h.reshape(b, h_heads, 1, d_head) * k_h).sum(axis=3) * scale  # [B,H,k]
+
+        # mask out padded slots
+        bias = np.where(mask[:, None, :], 0.0, _NEG_INF).astype(np.float32)
+        scores = scores + Tensor(bias)
+        att = softmax(scores, axis=2)  # [B,H,k]
+        # zero attention rows for roots that have no neighbors at all
+        any_nbr = mask.any(axis=1).astype(np.float32)[:, None, None]
+        att = att * Tensor(any_nbr)
+
+        ctx = (att.reshape(b, h_heads, k, 1) * v_h).sum(axis=2)   # [B,H,dh]
+        ctx = ctx.reshape(b, self.out_dim)
+        # skip connection with the root's own (updated) memory
+        return self.w_out(concat([ctx, root_state], axis=1)).relu()

@@ -1,0 +1,43 @@
+"""Task heads: temporal link prediction and dynamic edge classification."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, concat
+
+
+class LinkPredictor(Module):
+    """MLP([h_u || h_v]) → logit, the self-supervised edge decoder."""
+
+    def __init__(self, embed_dim: int, hidden: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        hidden = hidden or embed_dim
+        self.fc1 = Linear(2 * embed_dim, hidden, rng=rng)
+        self.fc2 = Linear(hidden, 1, rng=rng)
+
+    def forward(self, h_src: Tensor, h_dst: Tensor) -> Tensor:
+        h = concat([h_src, h_dst], axis=1)
+        return self.fc2(self.fc1(h).relu()).reshape(-1)
+
+
+class EdgeClassifier(Module):
+    """MLP([h_u || h_v]) → per-class logits (56-class multi-label on GDELT)."""
+
+    def __init__(self, embed_dim: int, num_classes: int,
+                 hidden: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        hidden = hidden or embed_dim
+        self.num_classes = num_classes
+        self.fc1 = Linear(2 * embed_dim, hidden, rng=rng)
+        self.fc2 = Linear(hidden, num_classes, rng=rng)
+
+    def forward(self, h_src: Tensor, h_dst: Tensor) -> Tensor:
+        h = concat([h_src, h_dst], axis=1)
+        return self.fc2(self.fc1(h).relu())

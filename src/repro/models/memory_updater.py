@@ -1,0 +1,144 @@
+"""GRU memory updater (paper Eq. 3/8: s_u = UPDT(s_u, COMB({m_u}))).
+
+Given the raw cached mail ``[s_self || s_other || e]`` from the mailbox, the
+updater appends the time encoding Φ(t_mail − t⁻) and runs one GRU cell with
+the node's current memory as hidden state.  Nodes without a cached mail keep
+their memory unchanged.
+
+Gradients flow into the GRU weights and the time encoder only — the incoming
+memory rows are leaves (no back-propagation through time, per the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import GRUCell, Module, RNNCell, Tensor, concat, where
+from .time_encoding import TimeEncoding
+
+
+class GRUMemoryUpdater(Module):
+    """UPDT implemented as a GRU cell (TGN-attn's choice)."""
+
+    def __init__(
+        self,
+        memory_dim: int,
+        edge_dim: int = 0,
+        time_dim: int = 100,
+        time_encoder: Optional[TimeEncoding] = None,
+        cell: str = "gru",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.memory_dim = memory_dim
+        self.edge_dim = edge_dim
+        self.mail_dim = 2 * memory_dim + edge_dim
+        self.time_encoder = time_encoder if time_encoder is not None else TimeEncoding(time_dim)
+        input_size = self.mail_dim + self.time_encoder.dim
+        if cell == "gru":
+            self.cell = GRUCell(input_size, memory_dim, rng=rng)
+        elif cell == "rnn":
+            self.cell = RNNCell(input_size, memory_dim, rng=rng)
+        else:
+            raise ValueError(f"unknown cell {cell!r}")
+
+    def forward(
+        self,
+        memory: np.ndarray,
+        last_update: np.ndarray,
+        mail: np.ndarray,
+        mail_time: np.ndarray,
+        has_mail: np.ndarray,
+    ) -> Tuple[Tensor, np.ndarray]:
+        """Apply UPDT to every node that has a cached mail.
+
+        Parameters are raw arrays read from the (daemon-served) memory state.
+        Returns ``(updated_memory  [N, d] Tensor, new_last_update [N])``.
+        """
+        memory = np.asarray(memory, dtype=np.float32)
+        n = len(memory)
+        mem_t = Tensor(memory)  # leaf: no BPTT into previous batches
+        if n == 0:
+            return mem_t, np.asarray(last_update, dtype=np.float64)
+        delta = np.maximum(
+            np.asarray(mail_time, dtype=np.float64) - np.asarray(last_update, np.float64),
+            0.0,
+        )
+        phi = self.time_encoder(delta.astype(np.float32))
+        x = concat([Tensor(np.asarray(mail, dtype=np.float32)), phi], axis=1)
+        updated = self.cell(x, mem_t)
+        has_mail = np.asarray(has_mail, dtype=bool)
+        out = where(has_mail[:, None], updated, mem_t)
+        new_last_update = np.where(has_mail, mail_time, last_update)
+        return out, new_last_update
+
+
+class TransformerMemoryUpdater(Module):
+    """Attention-based UPDT (TGL's 'transformer' updater, simplified to the
+    single-mail mailbox): the node memory attends over the mail token through
+    a learned gate and a position-wise FFN produces the new memory.
+
+    The paper's TGN-attn uses the GRU, but the framework should support
+    swapping UPDT the way TGL does — this class is the ablation point for
+    that design choice (see benchmarks/test_ablation_updater.py).
+    """
+
+    def __init__(
+        self,
+        memory_dim: int,
+        edge_dim: int = 0,
+        time_dim: int = 100,
+        time_encoder: Optional[TimeEncoding] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        from ..nn import Linear  # deferred to keep module import light
+
+        rng = rng or np.random.default_rng(0)
+        self.memory_dim = memory_dim
+        self.edge_dim = edge_dim
+        self.mail_dim = 2 * memory_dim + edge_dim
+        self.time_encoder = (
+            time_encoder if time_encoder is not None else TimeEncoding(time_dim)
+        )
+        token = memory_dim
+        self.mail_proj = Linear(self.mail_dim + self.time_encoder.dim, token, rng=rng)
+        self.w_q = Linear(memory_dim, token, rng=rng)
+        self.w_k = Linear(token, token, rng=rng)
+        self.w_v = Linear(token, token, rng=rng)
+        self.ffn = Linear(token + memory_dim, memory_dim, rng=rng)
+
+    def forward(
+        self,
+        memory: np.ndarray,
+        last_update: np.ndarray,
+        mail: np.ndarray,
+        mail_time: np.ndarray,
+        has_mail: np.ndarray,
+    ) -> Tuple[Tensor, np.ndarray]:
+        memory = np.asarray(memory, dtype=np.float32)
+        mem_t = Tensor(memory)
+        if len(memory) == 0:
+            return mem_t, np.asarray(last_update, dtype=np.float64)
+        delta = np.maximum(
+            np.asarray(mail_time, np.float64) - np.asarray(last_update, np.float64),
+            0.0,
+        )
+        phi = self.time_encoder(delta.astype(np.float32))
+        token = self.mail_proj(
+            concat([Tensor(np.asarray(mail, np.float32)), phi], axis=1)
+        ).tanh()
+        q = self.w_q(mem_t)
+        k = self.w_k(token)
+        v = self.w_v(token)
+        # a single mail token: attention degenerates to a learned gate
+        gate = ((q * k).sum(axis=1, keepdims=True) * (1.0 / np.sqrt(self.memory_dim))).sigmoid()
+        ctx = gate * v
+        updated = self.ffn(concat([ctx, mem_t], axis=1)).tanh()
+        has_mail = np.asarray(has_mail, dtype=bool)
+        out = where(has_mail[:, None], updated, mem_t)
+        new_last_update = np.where(has_mail, mail_time, last_update)
+        return out, new_last_update

@@ -1,0 +1,332 @@
+"""TGN-attn with DistTGL's static node memory (paper §2.1 + §3.1).
+
+The model computes, for a batch of (node, time) queries:
+
+1. read memory ``s`` and cached mails for roots ∪ supporting neighbors
+   (through a :class:`MemoryView`, which is either direct array access or
+   the serialized daemon path);
+2. apply the GRU updater to nodes with cached mail → ``ŝ`` (Eq. 3/8);
+3. add the projected *static* node memory (§3.1) to form the node states;
+4. one temporal-attention layer over the k most recent neighbors → ``h``
+   (Eqs. 4–7).
+
+The reversed computation order that avoids the information-leak problem is
+inherent: embeddings consume cached mails from *previous* batches, and this
+batch's events only become mails afterwards, via :meth:`TGN.make_writeback`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple
+
+import numpy as np
+
+from ..graph.sampler import NeighborBlock, RecentNeighborSampler
+from ..memory.mailbox import Mailbox
+from ..memory.node_memory import NodeMemory
+from ..nn import Linear, Module, Tensor
+from .attention import TemporalAttention
+from .memory_updater import GRUMemoryUpdater
+from .time_encoding import TimeEncoding
+
+
+class MemoryView(Protocol):
+    """Read access to (memory, mailbox) state, however it is served."""
+
+    def read(
+        self, nodes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return (memory, last_update, mail, mail_time, has_mail) rows."""
+        ...
+
+
+class DirectMemoryView:
+    """Trivial MemoryView over local state (single trainer / simulator)."""
+
+    def __init__(self, memory: NodeMemory, mailbox: Mailbox) -> None:
+        self.memory = memory
+        self.mailbox = mailbox
+
+    def read(self, nodes: np.ndarray):
+        mem, last = self.memory.read(nodes)
+        mail, mail_t, has = self.mailbox.read(nodes)
+        return mem, last, mail, mail_t, has
+
+
+@dataclass
+class TGNConfig:
+    """Hyper-parameters (§4.0.1 defaults: d_mem=100, k=10, one layer)."""
+
+    num_nodes: int
+    memory_dim: int = 100
+    time_dim: int = 100
+    embed_dim: int = 100
+    edge_dim: int = 0
+    static_dim: int = 0          # 0 disables the static node memory path
+    num_neighbors: int = 10
+    num_heads: int = 2
+    updater: str = "gru"         # 'gru' | 'rnn' | 'transformer' (UPDT choice)
+    seed: int = 0
+
+
+@dataclass
+class WriteBack:
+    """Node-memory + mailbox updates a trainer commits after one batch."""
+
+    mem_nodes: np.ndarray     # positive roots (src ++ dst), deduplicated last-wins
+    mem_values: np.ndarray    # ŝ rows (detached)
+    mem_times: np.ndarray     # mail times consumed by the update
+    mail_src: np.ndarray      # event arrays for Mailbox.deposit
+    mail_dst: np.ndarray
+    mail_src_memory: np.ndarray
+    mail_dst_memory: np.ndarray
+    mail_times: np.ndarray
+    mail_edge_feats: Optional[np.ndarray]
+
+
+class TGN(Module):
+    """One-layer TGN-attn, optionally with static node memory."""
+
+    def __init__(self, config: TGNConfig) -> None:
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.time_encoder = TimeEncoding(config.time_dim)
+        if config.updater in ("gru", "rnn"):
+            self.updater = GRUMemoryUpdater(
+                config.memory_dim,
+                edge_dim=config.edge_dim,
+                time_encoder=self.time_encoder,
+                cell=config.updater,
+                rng=rng,
+            )
+        elif config.updater == "transformer":
+            from .memory_updater import TransformerMemoryUpdater
+
+            self.updater = TransformerMemoryUpdater(
+                config.memory_dim,
+                edge_dim=config.edge_dim,
+                time_encoder=self.time_encoder,
+                rng=rng,
+            )
+        else:
+            raise ValueError(f"unknown updater {config.updater!r}")
+        self.attention = TemporalAttention(
+            config.memory_dim,
+            edge_dim=config.edge_dim,
+            out_dim=config.embed_dim,
+            num_heads=config.num_heads,
+            time_encoder=self.time_encoder,
+            rng=rng,
+        )
+        self.static_proj = (
+            Linear(config.static_dim, config.memory_dim, rng=rng)
+            if config.static_dim > 0
+            else None
+        )
+        self._static_table: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------- static
+    def attach_static_memory(self, table: np.ndarray) -> None:
+        """Install a frozen pre-trained static table ([V, static_dim])."""
+        if self.static_proj is None:
+            raise ValueError("model built with static_dim=0")
+        table = np.asarray(table, dtype=np.float32)
+        if table.shape != (self.config.num_nodes, self.config.static_dim):
+            raise ValueError(
+                f"static table shape {table.shape} != "
+                f"({self.config.num_nodes}, {self.config.static_dim})"
+            )
+        self._static_table = table
+
+    @property
+    def has_static_memory(self) -> bool:
+        return self.static_proj is not None and self._static_table is not None
+
+    # ------------------------------------------------------------- forward
+    def prepare(
+        self,
+        nodes: np.ndarray,
+        times: np.ndarray,
+        sampler: RecentNeighborSampler,
+        view: MemoryView,
+        edge_feat_table: Optional[np.ndarray] = None,
+    ) -> "PreparedBatch":
+        """Sample neighborhoods and read memory/mail state for the queries.
+
+        The returned :class:`PreparedBatch` freezes the *raw inputs* of one
+        forward pass.  Epoch parallelism re-runs ``forward_prepared`` on the
+        same PreparedBatch across j consecutive iterations while the model
+        weights move — the paper's "ignore the difference in node memory due
+        to weight updates in the last n−1 epochs".
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        block = sampler.sample(nodes, times)
+
+        uniq, inverse = np.unique(
+            np.concatenate([block.roots, block.neighbors.reshape(-1)]),
+            return_inverse=True,
+        )
+        b, k = block.mask.shape
+        root_pos = inverse[:b]
+        nbr_pos = inverse[b:].reshape(b, k)
+
+        mem, last_upd, mail, mail_t, has_mail = view.read(uniq)
+
+        edge_feats = None
+        if self.config.edge_dim:
+            if edge_feat_table is None:
+                raise ValueError("model configured with edge features")
+            eids = block.edge_ids.copy()
+            pad = eids < 0
+            eids[pad] = 0
+            edge_feats = edge_feat_table[eids].astype(np.float32)
+            edge_feats[pad] = 0.0
+
+        return PreparedBatch(
+            block=block,
+            uniq=uniq,
+            root_pos=root_pos,
+            nbr_pos=nbr_pos,
+            memory=mem,
+            last_update=last_upd,
+            mail=mail,
+            mail_time=mail_t,
+            has_mail=has_mail,
+            edge_feats=edge_feats,
+        )
+
+    def forward_prepared(self, prep: "PreparedBatch") -> Tuple[Tensor, "_BatchState"]:
+        """Run the model on frozen raw inputs with the *current* weights."""
+        updated, new_last = self.updater(
+            prep.memory, prep.last_update, prep.mail, prep.mail_time, prep.has_mail
+        )
+        state = updated
+        if self.has_static_memory:
+            static = Tensor(self._static_table[prep.uniq])
+            state = state + self.static_proj(static)
+
+        b, k = prep.block.mask.shape
+        root_state = state.gather_rows(prep.root_pos)
+        nbr_state = state.gather_rows(prep.nbr_pos.reshape(-1)).reshape(b, k, -1)
+        h = self.attention(
+            root_state, nbr_state, prep.edge_feats, prep.block.delta_times(), prep.block.mask
+        )
+        batch_state = _BatchState(
+            uniq=prep.uniq,
+            root_pos=prep.root_pos,
+            updated_memory=updated,
+            new_last_update=new_last,
+            stale_memory=prep.memory,
+        )
+        return h, batch_state
+
+    def embed(
+        self,
+        nodes: np.ndarray,
+        times: np.ndarray,
+        sampler: RecentNeighborSampler,
+        view: MemoryView,
+        edge_feat_table: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, "_BatchState"]:
+        """prepare + forward_prepared in one call (the common path)."""
+        prep = self.prepare(nodes, times, sampler, view, edge_feat_table)
+        return self.forward_prepared(prep)
+
+    # ------------------------------------------------------------ writeback
+    def make_writeback(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        src_state: "_BatchState",
+        dst_state: "_BatchState",
+        edge_feats: Optional[np.ndarray] = None,
+    ) -> WriteBack:
+        """Build the memory/mail updates for the positive events of a batch.
+
+        Per §3.2.1 only the *root* (positive) nodes are written back;
+        supporting nodes are recomputed when referenced again.  Mails use the
+        post-update memory ``ŝ`` — still outdated w.r.t. the event itself,
+        as the paper prescribes.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+
+        src_rows = src_state.rows_for(src)
+        dst_rows = dst_state.rows_for(dst)
+        src_mem = src_state.updated_memory.data[src_rows]
+        dst_mem = dst_state.updated_memory.data[dst_rows]
+
+        nodes = np.concatenate([src, dst])
+        values = np.concatenate([src_mem, dst_mem], axis=0)
+        upd_times = np.concatenate(
+            [src_state.new_last_update[src_rows], dst_state.new_last_update[dst_rows]]
+        )
+        return WriteBack(
+            mem_nodes=nodes,
+            mem_values=values,
+            mem_times=upd_times,
+            mail_src=src,
+            mail_dst=dst,
+            mail_src_memory=src_mem,
+            mail_dst_memory=dst_mem,
+            mail_times=times,
+            mail_edge_feats=edge_feats,
+        )
+
+    @staticmethod
+    def apply_writeback(wb: WriteBack, memory: NodeMemory, mailbox: Mailbox) -> None:
+        """Commit a write-back directly (the non-daemon path)."""
+        memory.write(wb.mem_nodes, wb.mem_values, wb.mem_times)
+        mailbox.deposit(
+            wb.mail_src,
+            wb.mail_dst,
+            wb.mail_src_memory,
+            wb.mail_dst_memory,
+            wb.mail_times,
+            edge_feats=wb.mail_edge_feats,
+        )
+
+
+@dataclass
+class PreparedBatch:
+    """Frozen raw inputs of one forward pass (sampled topology + memory reads)."""
+
+    block: NeighborBlock
+    uniq: np.ndarray
+    root_pos: np.ndarray
+    nbr_pos: np.ndarray
+    memory: np.ndarray
+    last_update: np.ndarray
+    mail: np.ndarray
+    mail_time: np.ndarray
+    has_mail: np.ndarray
+    edge_feats: Optional[np.ndarray]
+
+
+class _BatchState:
+    """Bookkeeping from one ``embed`` call, used to assemble write-backs."""
+
+    def __init__(
+        self,
+        uniq: np.ndarray,
+        root_pos: np.ndarray,
+        updated_memory: Tensor,
+        new_last_update: np.ndarray,
+        stale_memory: np.ndarray,
+    ) -> None:
+        self.uniq = uniq
+        self.root_pos = root_pos
+        self.updated_memory = updated_memory
+        self.new_last_update = new_last_update
+        self.stale_memory = stale_memory
+        self._lookup = {int(n): int(i) for i, n in enumerate(uniq)}
+
+    def rows_for(self, nodes: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (self._lookup[int(n)] for n in nodes), dtype=np.int64, count=len(nodes)
+        )

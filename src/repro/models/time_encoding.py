@@ -1,0 +1,35 @@
+"""Learnable time encoding Φ(Δt) (Xu et al. 2020, used by Eqs. 1–7).
+
+Φ(Δt) = cos(Δt · ω + φ) with learnable frequencies ω initialised to a
+geometric ladder ω_i = 1 / 10^{i·α} — high frequencies resolve bursty
+inter-event gaps, low frequencies resolve long absences.  The same encoder
+instance is shared by the memory updater (Φ(t − t⁻)) and the attention
+layer (Φ(Δt), Φ(0)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, Parameter, Tensor
+
+
+class TimeEncoding(Module):
+    def __init__(self, dim: int = 100, max_period_exponent: float = 9.0) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        alpha = max_period_exponent / max(dim - 1, 1)
+        freqs = 10.0 ** (-alpha * np.arange(dim, dtype=np.float32))
+        self.omega = Parameter(freqs, name="omega")
+        self.phase = Parameter(np.zeros(dim, dtype=np.float32), name="phase")
+
+    def forward(self, delta_t: np.ndarray) -> Tensor:
+        """Encode Δt of shape ``[...]`` into ``[..., dim]``."""
+        dt = Tensor(np.asarray(delta_t, dtype=np.float32)[..., None])
+        return (dt * self.omega + self.phase).cos()
+
+    def zero(self, batch: int) -> Tensor:
+        """Φ(0) replicated for ``batch`` rows (the query side of Eq. 4)."""
+        return self.forward(np.zeros(batch, dtype=np.float32))

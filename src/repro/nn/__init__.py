@@ -1,0 +1,62 @@
+"""repro.nn — minimal numpy autograd substrate (torch replacement).
+
+Public surface:
+
+* :class:`Tensor` — numpy-backed autograd tensor
+* :class:`Module`, :class:`Parameter` — layer system
+* layers: :class:`Linear`, :class:`MLP`, :class:`LayerNorm`, :class:`Embedding`,
+  :class:`Dropout`, :class:`Sequential`
+* recurrent cells: :class:`GRUCell`, :class:`RNNCell`
+* optimizers: :class:`Adam`, :class:`SGD`; helpers ``clip_grad_norm``, ``scale_lr``
+* functional: ``softmax``, ``log_softmax``, ``bce_with_logits``,
+  ``cross_entropy``, ``multilabel_bce``, ``mse_loss``
+"""
+
+from .functional import (
+    bce_with_logits,
+    cross_entropy,
+    dropout,
+    log_softmax,
+    mse_loss,
+    multilabel_bce,
+    softmax,
+)
+from .module import Module, Parameter, flatten_grads, load_flat_grads
+from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, Sequential
+from .optim import SGD, Adam, Optimizer, clip_grad_norm, scale_lr
+from .rnn import GRUCell, RNNCell
+from .tensor import Tensor, concat, ones, stack, tensor, where, zeros
+
+__all__ = [
+    "Tensor",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "GRUCell",
+    "RNNCell",
+    "Adam",
+    "SGD",
+    "Optimizer",
+    "clip_grad_norm",
+    "scale_lr",
+    "softmax",
+    "log_softmax",
+    "bce_with_logits",
+    "cross_entropy",
+    "multilabel_bce",
+    "mse_loss",
+    "dropout",
+    "concat",
+    "stack",
+    "where",
+    "zeros",
+    "ones",
+    "tensor",
+    "flatten_grads",
+    "load_flat_grads",
+]

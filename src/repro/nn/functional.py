@@ -1,0 +1,131 @@
+"""Functional neural-network operations built on the autograd Tensor.
+
+These are the composite ops used by the TGN-attn model: numerically stable
+softmax / log-softmax (for the temporal attention, Eq. 7 of the paper),
+binary cross entropy with logits (temporal link prediction loss) and
+multi-label losses for the GDELT-style dynamic edge classification task.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` with exact gradient."""
+    shifted = np.max(x.data, axis=axis, keepdims=True)
+    exps = np.exp(x.data - shifted)
+    value = exps / exps.sum(axis=axis, keepdims=True)
+    out = Tensor(value, requires_grad=x.requires_grad, _parents=(x,))
+
+    def _backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            # d softmax = s * (grad - sum(grad * s))
+            inner = (grad * value).sum(axis=axis, keepdims=True)
+            x._accumulate((value * (grad - inner)).astype(x.dtype))
+
+    out._backward = _backward if out.requires_grad else None
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - np.max(x.data, axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    value = shifted - lse
+    out = Tensor(value, requires_grad=x.requires_grad, _parents=(x,))
+    probs = np.exp(value)
+
+    def _backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(
+                (grad - probs * grad.sum(axis=axis, keepdims=True)).astype(x.dtype)
+            )
+
+    out._backward = _backward if out.requires_grad else None
+    return out
+
+
+def bce_with_logits(
+    logits: Tensor, targets: np.ndarray, reduction: str = "mean"
+) -> Tensor:
+    """Binary cross entropy on raw logits (stable log-sum-exp form).
+
+    loss = max(z, 0) - z*y + log(1 + exp(-|z|))
+    """
+    targets = np.asarray(targets, dtype=logits.dtype)
+    z = logits.data
+    value = np.maximum(z, 0.0) - z * targets + np.log1p(np.exp(-np.abs(z)))
+    out = Tensor(
+        value if reduction == "none" else value.mean() if reduction == "mean" else value.sum(),
+        requires_grad=logits.requires_grad,
+        _parents=(logits,),
+    )
+    # overflow-free sigmoid (z can be +-100 from confident models)
+    sigmoid = np.empty_like(z)
+    pos = z >= 0
+    sigmoid[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    sigmoid[~pos] = ez / (1.0 + ez)
+
+    def _backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        local = sigmoid - targets
+        if reduction == "mean":
+            local = local / z.size
+        logits._accumulate((grad * local).astype(logits.dtype))
+
+    out._backward = _backward if out.requires_grad else None
+    return out
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, reduction: str = "mean"
+) -> Tensor:
+    """Cross entropy over the last axis with integer class targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    logp = log_softmax(logits, axis=-1)
+    batch_shape = logits.shape[:-1]
+    flat = logp.reshape((-1, logits.shape[-1]))
+    rows = np.arange(flat.shape[0])
+    picked = flat[rows, targets.reshape(-1)]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss.reshape(batch_shape)
+
+
+def multilabel_bce(
+    logits: Tensor, targets: np.ndarray, reduction: str = "mean"
+) -> Tensor:
+    """Multi-label BCE used for the 56-class 6-label GDELT edge task."""
+    return bce_with_logits(logits, targets, reduction=reduction)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray, reduction: str = "mean") -> Tensor:
+    target = np.asarray(target, dtype=pred.dtype)
+    diff = pred - Tensor(target)
+    sq = diff * diff
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    return sq
+
+
+def dropout(
+    x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None
+) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    return x * Tensor(mask)

@@ -1,0 +1,46 @@
+"""Parameter initialisation schemes (deterministic given an explicit RNG)."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import DEFAULT_DTYPE
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    bound = math.sqrt(3.0 / fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def uniform(shape: Tuple[int, ...], rng: np.random.Generator, bound: float) -> np.ndarray:
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def normal(shape: Tuple[int, ...], rng: np.random.Generator, std: float = 1.0) -> np.ndarray:
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

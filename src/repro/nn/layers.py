@@ -1,0 +1,133 @@
+"""Core layers: Linear, MLP, LayerNorm, Embedding, Sequential, Dropout."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from . import init
+from .functional import dropout
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map y = x W^T + b (weights stored [out, in] like torch)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((out_features, in_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class MLP(Module):
+    """Stack of Linear + ReLU layers with a linear head."""
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+        activation: str = "relu",
+    ) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        rng = rng or np.random.default_rng(0)
+        self.layers: List[Linear] = []
+        for idx, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layer = Linear(d_in, d_out, rng=rng)
+            setattr(self, f"layer{idx}", layer)
+            self.layers.append(layer)
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers[:-1]:
+            x = layer(x)
+            x = x.relu() if self.activation == "relu" else x.tanh()
+        return self.layers[-1](x)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim, dtype=np.float32), name="gamma")
+        self.beta = Parameter(np.zeros(dim, dtype=np.float32), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Lookup table with scatter-add gradients (used for static node memory)."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        rng: Optional[np.random.Generator] = None,
+        std: float = 0.1,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.normal((num_embeddings, dim), rng, std=std), name="weight")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return self.weight.gather_rows(np.asarray(indices, dtype=np.int64))
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.p, self.training, self.rng)
+
+
+class Sequential(Module):
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._list: List[Module] = []
+        for idx, module in enumerate(modules):
+            setattr(self, f"m{idx}", module)
+            self._list.append(module)
+
+    def forward(self, x):
+        for module in self._list:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)

@@ -1,0 +1,125 @@
+"""Module / Parameter system mirroring the torch.nn API surface we need.
+
+Modules register parameters and sub-modules automatically via
+``__setattr__`` so that ``parameters()``, ``state_dict()`` and gradient
+utilities see everything.  Weight synchronisation across logical trainers
+(the paper's NCCL model-weight allreduce) is implemented in
+``repro.parallel.allreduce`` on top of the flat parameter views exposed here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A Tensor flagged as trainable; always requires grad."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with automatic parameter / sub-module registration."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------ registry
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    # ----------------------------------------------------------- train/eval
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -------------------------------------------------------------- grads
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # --------------------------------------------------------- state dict
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {param.data.shape} vs {state[name].shape}"
+                )
+            param.data[...] = state[name]
+
+    # -------------------------------------------------------------- call
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def flatten_grads(module: Module) -> np.ndarray:
+    """Concatenate all parameter gradients into one flat float64 vector.
+
+    Missing gradients contribute zeros (a parameter may be unused in a
+    particular mini-batch, e.g. edge-feature projections on featureless
+    datasets).
+    """
+    chunks = []
+    for p in module.parameters():
+        if p.grad is None:
+            chunks.append(np.zeros(p.size, dtype=np.float64))
+        else:
+            chunks.append(p.grad.reshape(-1).astype(np.float64))
+    return np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.float64)
+
+
+def load_flat_grads(module: Module, flat: np.ndarray) -> None:
+    """Scatter a flat gradient vector back into parameter ``.grad`` slots."""
+    offset = 0
+    for p in module.parameters():
+        n = p.size
+        p.grad = flat[offset : offset + n].reshape(p.shape).astype(p.dtype)
+        offset += n
+    if offset != flat.size:
+        raise ValueError(f"flat gradient size mismatch: used {offset}, got {flat.size}")

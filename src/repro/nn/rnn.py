@@ -1,0 +1,84 @@
+"""Recurrent cells for the memory updater.
+
+TGN-attn (paper §2.1, Eq. 3) updates node memory with a GRU cell whose
+input is the mail vector and whose hidden state is the current node memory.
+Gradients stop at the cell boundary (no BPTT), exactly as the paper notes:
+"the gradients do not flow back to previous GRU cells".  That property falls
+out naturally here because the incoming memory is a plain array lifted into
+a leaf Tensor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, concat
+
+
+class GRUCell(Module):
+    """Standard GRU cell: r/z gates + candidate, matching torch.nn.GRUCell.
+
+    h' = (1 - z) * n + z * h
+    with r = sigmoid(W_ir x + b_ir + W_hr h + b_hr), etc.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # One fused matrix per source, laid out [r | z | n] along the output.
+        self.weight_ih = Parameter(
+            init.xavier_uniform((3 * hidden_size, input_size), rng), name="weight_ih"
+        )
+        self.weight_hh = Parameter(
+            init.xavier_uniform((3 * hidden_size, hidden_size), rng), name="weight_hh"
+        )
+        self.bias_ih = Parameter(init.zeros((3 * hidden_size,)), name="bias_ih")
+        self.bias_hh = Parameter(init.zeros((3 * hidden_size,)), name="bias_hh")
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        H = self.hidden_size
+        gi = x @ self.weight_ih.T + self.bias_ih
+        gh = h @ self.weight_hh.T + self.bias_hh
+        i_r, i_z, i_n = gi[:, :H], gi[:, H : 2 * H], gi[:, 2 * H :]
+        h_r, h_z, h_n = gh[:, :H], gh[:, H : 2 * H], gh[:, 2 * H :]
+        r = (i_r + h_r).sigmoid()
+        z = (i_z + h_z).sigmoid()
+        n = (i_n + r * h_n).tanh()
+        one = Tensor(np.ones((1,), dtype=np.float32))
+        return (one - z) * n + z * h
+
+
+class RNNCell(Module):
+    """Simple tanh RNN cell — an alternative, cheaper memory updater."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            init.xavier_uniform((hidden_size, input_size), rng), name="weight_ih"
+        )
+        self.weight_hh = Parameter(
+            init.xavier_uniform((hidden_size, hidden_size), rng), name="weight_hh"
+        )
+        self.bias = Parameter(init.zeros((hidden_size,)), name="bias")
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        return (x @ self.weight_ih.T + h @ self.weight_hh.T + self.bias).tanh()

@@ -1,0 +1,24 @@
+"""repro.parallel — (i, j, k) configurations, planner, gradient sync."""
+
+from .allreduce import (
+    allreduce_gradients,
+    broadcast_weights,
+    ring_allreduce_time,
+    weights_synchronized,
+)
+from .config import ParallelConfig, single_gpu
+from .planner import HardwareSpec, PlanTrace, largest_safe_batch, plan, plan_for_graph
+
+__all__ = [
+    "ParallelConfig",
+    "single_gpu",
+    "HardwareSpec",
+    "PlanTrace",
+    "plan",
+    "plan_for_graph",
+    "largest_safe_batch",
+    "allreduce_gradients",
+    "broadcast_weights",
+    "weights_synchronized",
+    "ring_allreduce_time",
+]

@@ -1,0 +1,70 @@
+"""Gradient/weight synchronisation across logical trainers.
+
+In the real system this is an NCCL all-reduce of model gradients (a few MB —
+the paper notes TGNN models are tiny, which is why weight sync scales while
+node-memory sync does not).  The logical-trainer simulator usually avoids
+explicit all-reduce by summing losses before one backward pass (bitwise
+equivalent for gradient *averaging*); these helpers exist for the cases
+where separate model replicas are stepped independently (tests, ablations)
+and for modelling the collective's cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..nn import Module, flatten_grads, load_flat_grads
+
+
+def allreduce_gradients(models: Sequence[Module]) -> np.ndarray:
+    """Average gradients across model replicas, in place. Returns the mean."""
+    models = list(models)
+    if not models:
+        raise ValueError("no models to all-reduce")
+    flats = [flatten_grads(m) for m in models]
+    sizes = {f.size for f in flats}
+    if len(sizes) != 1:
+        raise ValueError("model replicas have different parameter counts")
+    mean = np.mean(flats, axis=0)
+    for m in models:
+        load_flat_grads(m, mean)
+    return mean
+
+
+def broadcast_weights(models: Sequence[Module], root: int = 0) -> None:
+    """Copy the root replica's weights into every other replica."""
+    models = list(models)
+    state = models[root].state_dict()
+    for idx, m in enumerate(models):
+        if idx != root:
+            m.load_state_dict(state)
+
+
+def weights_synchronized(models: Sequence[Module], atol: float = 0.0) -> bool:
+    """Check all replicas hold identical parameters."""
+    models = list(models)
+    ref = models[0].state_dict()
+    for m in models[1:]:
+        other = m.state_dict()
+        for name, arr in ref.items():
+            if not np.allclose(arr, other[name], atol=atol):
+                return False
+    return True
+
+
+def ring_allreduce_time(
+    payload_bytes: float,
+    num_workers: int,
+    bandwidth_bytes_per_s: float,
+    latency_s: float = 5e-6,
+) -> float:
+    """Analytic cost of a ring all-reduce: 2(n−1)/n · payload / BW + latency.
+
+    Used by the hardware cost model for the weight-sync term of Fig. 12.
+    """
+    if num_workers <= 1:
+        return 0.0
+    steps = 2 * (num_workers - 1)
+    return steps * (payload_bytes / num_workers / bandwidth_bytes_per_s + latency_s)

@@ -1,0 +1,77 @@
+"""Training-configuration algebra: the (i, j, k) of paper §3.2.4.
+
+A DistTGL run on ``p`` machines × ``q`` GPUs is described by
+``i × j × k = p × q`` where
+
+* ``i`` — mini-batch parallelism: GPUs per mini-batch,
+* ``j`` — epoch parallelism: epochs trained concurrently per memory copy,
+* ``k`` — memory parallelism: independent node-memory copies.
+
+Hardware constraints: ``k ≥ p`` (memory never syncs across machines) and
+each machine must hold its ``k / p`` copies in RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """An ``i × j × k`` training configuration on ``p × q`` GPUs."""
+
+    i: int = 1
+    j: int = 1
+    k: int = 1
+    machines: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.i, self.j, self.k, self.machines) <= 0:
+            raise ValueError("i, j, k, machines must be positive")
+        if self.k % self.machines != 0 and self.k >= self.machines:
+            # memory copies must distribute evenly over machines
+            raise ValueError(
+                f"k={self.k} must be a multiple of machines={self.machines}"
+            )
+        if self.k < self.machines:
+            raise ValueError(
+                f"k={self.k} < machines={self.machines}: mini-batch/epoch "
+                "parallelism would require cross-machine node-memory "
+                "synchronisation, which DistTGL forbids (§3.2.4)"
+            )
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def total_gpus(self) -> int:
+        return self.i * self.j * self.k
+
+    @property
+    def gpus_per_machine(self) -> int:
+        return self.total_gpus // self.machines
+
+    @property
+    def copies_per_machine(self) -> int:
+        return self.k // self.machines
+
+    @property
+    def trainers_per_group(self) -> int:
+        """Trainers sharing one memory copy (one daemon group)."""
+        return self.i * self.j
+
+    def label(self) -> str:
+        """The paper's ``i×j×k`` notation (e.g. ``1×2×4``)."""
+        return f"{self.i}x{self.j}x{self.k}"
+
+    def global_batch_multiplier(self) -> int:
+        """Edges traversed per optimizer step relative to one local batch."""
+        return self.total_gpus
+
+    def memory_bytes_per_machine(self, num_nodes: int, memory_dim: int,
+                                 mail_dim: int) -> int:
+        """RAM needed for this machine's share of memory + mailbox copies."""
+        per_copy = num_nodes * (memory_dim * 4 + 8 + mail_dim * 4 + 8 + 1)
+        return self.copies_per_machine * per_copy
+
+
+def single_gpu() -> ParallelConfig:
+    return ParallelConfig(1, 1, 1, machines=1)

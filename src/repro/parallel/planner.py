@@ -1,0 +1,173 @@
+"""Heuristic planner for the optimal (i, j, k) configuration (paper §3.2.4).
+
+The decision procedure, verbatim from the paper:
+
+1. **i from the task**: find the largest batch size whose information loss
+   stays under a user threshold (Fig. 8 analysis), cap the local batch at
+   the GPU-saturation point, and set ``i = ceil(max_batch / local_batch)``.
+2. **k from the hardware**: prefer memory parallelism — as many memory
+   copies as RAM allows, but no more than ``p·q / i`` and at least ``p``.
+3. **j is fixed** by ``j = p·q / (i·k)``.
+
+Worked example (paper): 4 machines × 8 GPUs, max batch 3200, GPU saturates
+at 1600, RAM holds 2 copies per machine → i=2, k=8, j=2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.sampler import RecentNeighborSampler
+from ..graph.temporal_graph import TemporalGraph
+from .config import ParallelConfig
+
+
+@dataclass
+class HardwareSpec:
+    """What the planner needs to know about the cluster."""
+
+    machines: int
+    gpus_per_machine: int
+    ram_bytes_per_machine: float = 384e9         # g4dn.metal: 384 GB
+    gpu_saturation_batch: int = 1600             # local batch beyond which the
+                                                 # GPU gains no throughput
+    ram_reserved_fraction: float = 0.5           # keep half the RAM for
+                                                 # features, buffers, OS
+
+    @property
+    def total_gpus(self) -> int:
+        return self.machines * self.gpus_per_machine
+
+
+@dataclass
+class PlanTrace:
+    """The planner's decision, with its reasoning recorded."""
+
+    config: ParallelConfig
+    max_batch: int
+    local_batch: int
+    copies_per_machine: int
+    notes: List[str]
+
+
+def largest_safe_batch(
+    graph: TemporalGraph,
+    max_missing_fraction: float = 0.5,
+    batch_grid: Optional[Sequence[int]] = None,
+    high_degree_fraction: float = 0.1,
+    high_degree_max_missing: Optional[float] = None,
+    max_events: Optional[int] = None,
+) -> int:
+    """Largest batch size keeping captured-event loss under a threshold.
+
+    Implements the paper's "DistTGL would reversely find out the largest
+    batch size" given a missing-information threshold: for batch size b the
+    mailbox captures at most one event per node per batch, so the captured
+    fraction is ``captured(b) / captured(1-per-batch ideal)``.  An optional
+    stricter threshold can be applied to the top ``high_degree_fraction``
+    of nodes ("for applications where high-frequency information is
+    crucial, we can set a stricter threshold for high-degree nodes").
+    """
+    if not (0 < max_missing_fraction < 1):
+        raise ValueError("max_missing_fraction must be in (0, 1)")
+    sampler = RecentNeighborSampler(graph, k=1)
+    if batch_grid is None:
+        batch_grid = [100, 200, 300, 600, 1200, 2400, 4800, 9600, 19200]
+    degrees = graph.degrees()
+    ideal = np.maximum(degrees, 1)  # every event captured
+    num_high = max(1, int(len(degrees) * high_degree_fraction))
+    high_nodes = np.argsort(degrees)[::-1][:num_high]
+
+    best = batch_grid[0]
+    for bs in sorted(batch_grid):
+        captured = sampler.captured_event_counts(bs, max_events=max_events)
+        frac = captured.sum() / ideal.sum()
+        ok = (1.0 - frac) <= max_missing_fraction
+        if ok and high_degree_max_missing is not None:
+            frac_high = captured[high_nodes].sum() / ideal[high_nodes].sum()
+            ok = (1.0 - frac_high) <= high_degree_max_missing
+        if ok:
+            best = bs
+        else:
+            break
+    return best
+
+
+def plan(
+    hardware: HardwareSpec,
+    max_batch: int,
+    num_nodes: int,
+    memory_dim: int = 100,
+    edge_dim: int = 0,
+) -> PlanTrace:
+    """Choose (i, j, k) per §3.2.4. Returns the config plus a reasoning trace."""
+    notes: List[str] = []
+    p, q = hardware.machines, hardware.gpus_per_machine
+    total = hardware.total_gpus
+
+    # --- step 1: i from the largest batch and GPU saturation ---------------
+    local_batch = min(max_batch, hardware.gpu_saturation_batch)
+    i = max(1, int(np.ceil(max_batch / local_batch)))
+    i = min(i, total)
+    # i must divide the per-machine GPU count so that each i-group (which
+    # shares a memory copy) stays on one machine
+    while q % i != 0:
+        i -= 1
+    notes.append(
+        f"max batch {max_batch}, GPU saturates at {hardware.gpu_saturation_batch} "
+        f"=> local batch {local_batch}, i={i}"
+    )
+
+    # --- step 2: k from RAM, preferring memory parallelism ------------------
+    mail_dim = 2 * memory_dim + edge_dim
+    per_copy = num_nodes * (memory_dim * 4 + 8 + mail_dim * 4 + 8 + 1)
+    usable = hardware.ram_bytes_per_machine * (1 - hardware.ram_reserved_fraction)
+    copies_fit = max(1, int(usable // max(per_copy, 1)))
+    groups_total = total // i
+    copies_per_machine = min(copies_fit, groups_total // p)
+    copies_per_machine = max(copies_per_machine, 1)
+    k = copies_per_machine * p
+    # k must divide the group count so j = groups_total / k is integral
+    while groups_total % k != 0:
+        k -= p
+    k = max(k, p)
+    notes.append(
+        f"RAM fits {copies_fit} copies/machine ({per_copy / 1e9:.2f} GB each); "
+        f"prefer memory parallelism => k={k}"
+    )
+
+    # --- step 3: j is fixed ---------------------------------------------------
+    j = total // (i * k)
+    notes.append(f"j = {total}/({i}*{k}) = {j}")
+    config = ParallelConfig(i=i, j=j, k=k, machines=p)
+    assert config.total_gpus == total
+    return PlanTrace(
+        config=config,
+        max_batch=max_batch,
+        local_batch=local_batch,
+        copies_per_machine=copies_per_machine,
+        notes=notes,
+    )
+
+
+def plan_for_graph(
+    hardware: HardwareSpec,
+    graph: TemporalGraph,
+    memory_dim: int = 100,
+    max_missing_fraction: float = 0.5,
+    max_events: Optional[int] = None,
+) -> PlanTrace:
+    """End-to-end planning: measure the largest safe batch, then plan."""
+    max_batch = largest_safe_batch(
+        graph, max_missing_fraction=max_missing_fraction, max_events=max_events
+    )
+    return plan(
+        hardware,
+        max_batch,
+        graph.num_nodes,
+        memory_dim=memory_dim,
+        edge_dim=graph.edge_dim,
+    )

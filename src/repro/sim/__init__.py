@@ -1,0 +1,18 @@
+"""repro.sim — analytic hardware performance model (g4dn.metal testbed)."""
+
+from .costmodel import CostModel, IterationBreakdown, WorkloadSpec
+from .hardware import ClusterSpec, GPUSpec, MachineSpec, g4dn_metal
+from .pipeline import PipelineSimulator, PipelineTrace, StageTimes
+
+__all__ = [
+    "PipelineSimulator",
+    "PipelineTrace",
+    "StageTimes",
+    "GPUSpec",
+    "MachineSpec",
+    "ClusterSpec",
+    "g4dn_metal",
+    "WorkloadSpec",
+    "CostModel",
+    "IterationBreakdown",
+]

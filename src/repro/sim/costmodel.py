@@ -1,0 +1,267 @@
+"""Analytic per-iteration cost model for TGN / TGL / DistTGL training.
+
+The paper's throughput results (Figs. 2b, 12a, 12b) were measured on real
+g4dn.metal clusters; this environment has neither GPUs nor a network, so we
+model the per-iteration critical path analytically from datasheet rates and
+the measured per-batch operation counts of our implementation.  The model is
+deliberately simple — five terms — because the paper's *shape* claims only
+need the relative magnitudes:
+
+* ``t_fetch`` — mini-batch generation (CPU slicing + NVMe reads);
+* ``t_mem``  — node-memory + mailbox reads/writes against host RAM;
+* ``t_gpu``  — forward/backward FLOPs at sustained GPU rate;
+* ``t_sync`` — ring all-reduce of model gradients;
+* ``t_remote`` — cross-machine node-memory traffic (only for the naive
+  distributed-memory layout of Fig. 2b and for mini-batch parallelism
+  spanning machines, which DistTGL forbids).
+
+System differences:
+
+* **TGN** (vanilla single-GPU): fully serial pipeline, unoptimised kernels
+  (×3 GPU inefficiency — TGL reports >2× gain from kernel fusion alone).
+* **TGL** (single-machine mini-batch parallelism): shared CPU sampler and a
+  single memory copy serialise across GPUs; pipeline not overlapped.
+  Calibrated to TGL's reported 2–3× speedup on 8 GPUs.
+* **DistTGL**: prefetching overlaps fetch with compute (``max`` instead of
+  ``+``), the daemon overlaps memory ops, memory parallelism removes
+  cross-GPU serialisation, and only weights cross machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..parallel.allreduce import ring_allreduce_time
+from ..parallel.config import ParallelConfig
+from .hardware import ClusterSpec, g4dn_metal
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Per-batch operation counts (paper §4.0.1 model configuration)."""
+
+    local_batch: int = 600
+    memory_dim: int = 100
+    time_dim: int = 100
+    embed_dim: int = 100
+    edge_dim: int = 172
+    node_feat_dim: int = 0        # static node features sliced on CPU (GDELT: 413)
+    num_neighbors: int = 10
+    roots_per_event: int = 3      # src + dst + 1 negative (2 for edge classification)
+    model_param_bytes: float = 8e6  # "a few megabytes of weights" + Adam state
+
+    # ------------------------------------------------------------ volumes
+    @property
+    def mail_dim(self) -> int:
+        return 2 * self.memory_dim + self.edge_dim
+
+    @property
+    def nodes_touched(self) -> int:
+        """Memory rows fetched per local batch: roots and their supports."""
+        return self.local_batch * self.roots_per_event * (1 + self.num_neighbors)
+
+    @property
+    def read_bytes(self) -> float:
+        row = 4 * (self.memory_dim + self.mail_dim) + 16  # mem+mail+timestamps
+        return self.nodes_touched * row
+
+    @property
+    def write_bytes(self) -> float:
+        row = 4 * (self.memory_dim + self.mail_dim) + 16
+        return 2 * self.local_batch * row                 # src+dst roots only
+
+    @property
+    def fetch_bytes(self) -> float:
+        """Static mini-batch payload: sampled ids + edge + node features."""
+        per_node = 8 + 4 * self.edge_dim + 4 * self.node_feat_dim
+        return self.nodes_touched * per_node
+
+    @property
+    def flops(self) -> float:
+        """Forward+backward FLOPs for one local batch (factor 3 ≈ fwd+bwd)."""
+        d, t, e, D, k = (
+            self.memory_dim,
+            self.time_dim,
+            self.edge_dim,
+            self.embed_dim,
+            self.num_neighbors,
+        )
+        per_node_gru = 2 * 3 * d * (self.mail_dim + t + d)
+        per_root_attn = 2 * (k * 3 * D * (d + e + t) + 2 * k * D + D * (D + d))
+        per_event_dec = 2 * (2 * D * D + D)
+        roots = self.local_batch * self.roots_per_event
+        fwd = roots * ((1 + k) * per_node_gru / (1 + k) + per_root_attn) \
+            + self.nodes_touched * per_node_gru \
+            + self.local_batch * 2 * per_event_dec
+        return 3.0 * fwd
+
+
+@dataclass
+class IterationBreakdown:
+    t_fetch: float
+    t_mem: float
+    t_gpu: float
+    t_sync: float
+    t_remote: float
+    overlapped: bool
+
+    @property
+    def total(self) -> float:
+        if self.overlapped:
+            return max(self.t_fetch, self.t_mem, self.t_gpu) + self.t_sync + self.t_remote
+        return self.t_fetch + self.t_mem + self.t_gpu + self.t_sync + self.t_remote
+
+
+class CostModel:
+    """Per-iteration time and throughput for the three systems."""
+
+    # TGL's sampler contention: extra fetch cost per additional GPU sharing
+    # the CPU sampler (calibrated to TGL's 2-3x speedup plateau on 8 GPUs).
+    TGL_FETCH_CONTENTION = 1.4
+    # local per-row handling overhead of node-memory ops (memcpy + framework)
+    HANDLING_PER_ROW = 1.0e-6
+    # TGN's unoptimised kernels vs TGL's fused ones.
+    TGN_GPU_INEFFICIENCY = 3.0
+    TGN_SERIAL_OVERHEAD = 2.2
+    # DistTGL epoch parallelism prepares j negative input sets per batch; the
+    # prefetcher hides most but not all of it.
+    EPOCH_FETCH_RESIDUAL = 0.06
+    # RAM bandwidth contention per extra co-located memory copy (the paper's
+    # "limitation of the bandwidth between CPU and RAM" on 8-GPU GDELT).
+    # Applied to the fetch and memory paths; only bites when those paths are
+    # feature-heavy enough to rival GPU compute (GDELT, not Wikipedia).
+    MEMORY_COPY_CONTENTION = 0.25
+    # serialized daemon residual per extra trainer in an i*j group
+    DAEMON_SERIAL_RESIDUAL = 0.04
+
+    def __init__(self, workload: WorkloadSpec, cluster: ClusterSpec = None) -> None:
+        self.w = workload
+        self.cluster = cluster or g4dn_metal()
+
+    # ------------------------------------------------------------ primitives
+    def _t_fetch_base(self) -> float:
+        m = self.cluster.machine
+        threads = 6.0  # paper: 6 CPU threads per trainer process
+        cpu = self.w.nodes_touched * m.cpu_event_cost / threads
+        disk = self.w.fetch_bytes / m.nvme_bandwidth
+        return cpu + disk
+
+    def _t_mem_base(self) -> float:
+        m = self.cluster.machine
+        return (self.w.read_bytes + self.w.write_bytes) / m.ram_bandwidth
+
+    def _t_gpu_base(self) -> float:
+        return self.w.flops / self.cluster.machine.gpu.sustained_flops \
+            + (self.w.read_bytes + self.w.write_bytes) / self.cluster.machine.gpu.pcie_bandwidth
+
+    def _t_sync(self, world: int, cross_machine: bool) -> float:
+        if world <= 1:
+            return 0.0
+        bw = (
+            self.cluster.allreduce_bandwidth
+            if cross_machine
+            else self.cluster.machine.gpu.pcie_bandwidth
+        )
+        lat = self.cluster.ethernet_latency if cross_machine else 5e-6
+        return ring_allreduce_time(self.w.model_param_bytes, world, bw, lat)
+
+    # ------------------------------------------------------------- systems
+    def tgn_iteration(self) -> IterationBreakdown:
+        """Vanilla TGN: one GPU, serial pipeline, slow kernels."""
+        return IterationBreakdown(
+            t_fetch=self._t_fetch_base() * self.TGN_SERIAL_OVERHEAD,
+            t_mem=self._t_mem_base(),
+            t_gpu=self._t_gpu_base() * self.TGN_GPU_INEFFICIENCY,
+            t_sync=0.0,
+            t_remote=0.0,
+            overlapped=False,
+        )
+
+    def tgl_iteration(self, num_gpus: int) -> IterationBreakdown:
+        """TGL: single-machine mini-batch parallelism, shared sampler+memory."""
+        if num_gpus > self.cluster.machine.num_gpus:
+            raise ValueError("TGL does not support distributed clusters")
+        fetch = self._t_fetch_base() * (1 + self.TGL_FETCH_CONTENTION * (num_gpus - 1))
+        mem = self._t_mem_base() * num_gpus  # one memory copy, serialized ops
+        return IterationBreakdown(
+            t_fetch=fetch,
+            t_mem=mem,
+            t_gpu=self._t_gpu_base(),
+            t_sync=self._t_sync(num_gpus, cross_machine=False),
+            t_remote=0.0,
+            overlapped=False,
+        )
+
+    def disttgl_iteration(self, config: ParallelConfig) -> IterationBreakdown:
+        """DistTGL under an (i, j, k) configuration."""
+        c = config
+        copies_here = c.copies_per_machine
+        # Every co-located memory copy runs its own daemon + feature slicing;
+        # they share one machine's CPU-RAM bandwidth.  This is the effect
+        # that caps GDELT's memory-parallel scaling on 8 GPUs (§4.2): its
+        # fetch path is feature-heavy, so the contention term dominates there
+        # while staying negligible on the small datasets.
+        copy_contention = 1 + self.MEMORY_COPY_CONTENTION * (copies_here - 1)
+        fetch = (
+            self._t_fetch_base()
+            * (1 + self.EPOCH_FETCH_RESIDUAL * (c.j - 1))
+            * copy_contention
+        )
+        mem = (
+            self._t_mem_base()
+            * (1 + self.DAEMON_SERIAL_RESIDUAL * (c.trainers_per_group - 1))
+            * copy_contention
+        )
+        return IterationBreakdown(
+            t_fetch=fetch,
+            t_mem=mem,
+            t_gpu=self._t_gpu_base(),
+            t_sync=self._t_sync(c.total_gpus, cross_machine=c.machines > 1),
+            t_remote=0.0,
+            overlapped=True,
+        )
+
+    # ---------------------------------------------------------- throughput
+    def throughput(self, system: str, config: ParallelConfig) -> float:
+        """Training throughput in events/second for the whole cluster."""
+        if system == "tgn":
+            it = self.tgn_iteration()
+            world = 1
+        elif system == "tgl":
+            it = self.tgl_iteration(config.total_gpus)
+            world = config.total_gpus
+        elif system == "disttgl":
+            it = self.disttgl_iteration(config)
+            world = config.total_gpus
+        else:
+            raise ValueError(f"unknown system {system!r}")
+        return world * self.w.local_batch / it.total
+
+    def throughput_per_gpu(self, system: str, config: ParallelConfig) -> float:
+        return self.throughput(system, config) / config.total_gpus
+
+    # ------------------------------------------------------------- Fig 2(b)
+    def distributed_memory_epoch_time(
+        self, num_events: int, num_machines: int
+    ) -> float:
+        """Epoch time of node-memory R/W when the memory is *sharded across
+        machines* — the naive layout the paper rejects in Fig. 2(b).
+
+        Each machine owns 1/p of the rows; a fraction (p−1)/p of all accesses
+        are remote.  Remote accesses are scattered per-row gathers with
+        strict temporal ordering — latency-bound small messages, modeled at
+        ``small_message_bandwidth`` — while local rows pay RAM bandwidth plus
+        a per-row handling overhead.
+        """
+        w = self.w
+        m = self.cluster.machine
+        batches = max(1, num_events // w.local_batch)
+        rows_per_batch = w.nodes_touched + 2 * w.local_batch
+        row_bytes = 4 * (w.memory_dim + w.mail_dim) + 16
+        remote_frac = 0.0 if num_machines <= 1 else (num_machines - 1) / num_machines
+        local_rows = rows_per_batch * (1 - remote_frac)
+        remote_rows = rows_per_batch * remote_frac
+        t_local = local_rows * (row_bytes / m.ram_bandwidth + self.HANDLING_PER_ROW)
+        t_remote = remote_rows * row_bytes / self.cluster.small_message_bandwidth
+        return batches * (t_local + t_remote)

@@ -1,0 +1,60 @@
+"""Hardware specifications for the analytic performance model.
+
+The paper's testbed is AWS ``g4dn.metal``: dual Intel Platinum 8259CL
+(96 hardware threads), 384 GB DDR4, 8× NVIDIA T4 (16 GB GDDR6), 2× 900 GB
+NVMe in RAID0, 100 Gbps Ethernet between instances in the same rack group.
+Numbers below are public datasheet values derated to sustained rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    name: str = "T4"
+    fp32_tflops: float = 8.1          # peak
+    compute_efficiency: float = 0.20  # sustained fraction for small batched ops
+    mem_bandwidth: float = 300e9      # GDDR6 bytes/s
+    pcie_bandwidth: float = 8e9       # PCIe 3.0 x8 effective host<->device
+
+    @property
+    def sustained_flops(self) -> float:
+        return self.fp32_tflops * 1e12 * self.compute_efficiency
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    name: str = "g4dn.metal"
+    num_gpus: int = 8
+    gpu: GPUSpec = field(default_factory=GPUSpec)
+    cpu_threads: int = 96
+    ram_bytes: float = 384e9
+    ram_bandwidth: float = 80e9       # sustained DDR4 multi-channel
+    nvme_bandwidth: float = 4.4e9     # 2x 900GB NVMe RAID0
+    cpu_event_cost: float = 0.6e-6    # seconds of one CPU thread per sampled
+                                      # node of mini-batch assembly (slice,
+                                      # index, collate) — calibrated so TGL's
+                                      # single-GPU throughput lands ~20 kE/s
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    num_machines: int = 1
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    ethernet_bandwidth: float = 12.5e9   # 100 Gbps line rate
+    ethernet_latency: float = 30e-6      # same-rack RTT/2
+    # effective rates for the two pathological patterns the paper hits:
+    allreduce_bandwidth: float = 3e9     # NCCL rings over TCP (no RDMA on g4dn)
+    small_message_bandwidth: float = 250e6  # scattered per-row gathers of
+                                            # node memory rows (latency-bound)
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_machines * self.machine.num_gpus
+
+
+def g4dn_metal(num_machines: int = 1) -> ClusterSpec:
+    """The paper's exact testbed."""
+    return ClusterSpec(num_machines=num_machines)

@@ -1,0 +1,30 @@
+"""repro.train — training orchestration and evaluation."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .distributed import (
+    DistTGLTrainer,
+    HistoryPoint,
+    TrainerSpec,
+    TrainResult,
+)
+from .evaluation import (
+    EvalResult,
+    evaluate_edge_classification,
+    evaluate_link_prediction,
+    f1_micro,
+    mrr_from_logits,
+)
+
+__all__ = [
+    "DistTGLTrainer",
+    "TrainerSpec",
+    "TrainResult",
+    "HistoryPoint",
+    "EvalResult",
+    "evaluate_link_prediction",
+    "evaluate_edge_classification",
+    "mrr_from_logits",
+    "f1_micro",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,5 @@
+"""repro.utils — seeding, timing, table formatting."""
+
+from .misc import Timer, format_table, human_bytes, set_global_seed, spawn_rngs
+
+__all__ = ["set_global_seed", "spawn_rngs", "Timer", "format_table", "human_bytes"]

@@ -1,0 +1,97 @@
+"""Small shared utilities: deterministic RNG spawning, timing, formatting.
+
+Reproducibility convention used across the package: no global numpy seed is
+ever set implicitly; every stochastic component takes an explicit
+``numpy.random.Generator`` or an integer seed.  ``spawn_rngs`` derives
+independent child generators for logical trainers from one root seed, the
+same way real DistTGL derives per-rank seeds from the launch seed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+def set_global_seed(seed: int) -> np.random.Generator:
+    """Seed numpy's legacy global state *and* return a fresh Generator.
+
+    Only tests and examples should call this; library code threads
+    Generators explicitly.
+    """
+    np.random.seed(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from one root seed.
+
+    Uses ``SeedSequence.spawn`` so the streams are provably independent —
+    per-rank negative sampling in the trainer must not correlate across
+    logical trainers.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in root.spawn(count)]
+
+
+class Timer:
+    """Context-manager stopwatch with named laps.
+
+    >>> with Timer() as t:
+    ...     work()
+    >>> t.elapsed  # seconds
+    """
+
+    def __init__(self) -> None:
+        self.start: Optional[float] = None
+        self.elapsed: float = 0.0
+        self.laps: List[float] = []
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+    def lap(self) -> float:
+        now = time.perf_counter()
+        lap = now - (self.start + sum(self.laps)) if self.start else 0.0
+        self.laps.append(lap)
+        return lap
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], float_fmt: str = "{:.4f}"
+) -> str:
+    """Render an aligned plain-text table (used by benches and the CLI)."""
+    str_rows = []
+    for row in rows:
+        str_rows.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def human_bytes(n: float) -> str:
+    """1536 -> '1.5 KiB'."""
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} TiB"  # pragma: no cover

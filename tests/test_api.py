@@ -1,0 +1,85 @@
+"""Top-level public API surface and cross-module integration points."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_quickstart_runs(self):
+        """The __init__ docstring's example must actually work."""
+        from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
+        from repro.data import load_dataset
+
+        ds = repro.load_dataset("wikipedia", scale=0.004)
+        spec = TrainerSpec(batch_size=50, memory_dim=8, time_dim=8, embed_dim=8)
+        trainer = DistTGLTrainer(ds, ParallelConfig(i=1, j=1, k=2), spec)
+        result = trainer.train(epochs_equivalent=1)
+        assert np.isfinite(result.test_metric)
+
+    def test_planner_docstring_path(self):
+        from repro.parallel import HardwareSpec, plan_for_graph
+
+        ds = repro.load_dataset("mooc", scale=0.004)
+        trace = plan_for_graph(
+            HardwareSpec(machines=1, gpus_per_machine=4), ds.graph
+        )
+        assert trace.config.total_gpus == 4
+
+    def test_cost_model_docstring_path(self):
+        from repro.sim import CostModel, WorkloadSpec, g4dn_metal
+
+        cm = CostModel(WorkloadSpec(), g4dn_metal(4))
+        t = cm.throughput("disttgl", repro.ParallelConfig(2, 2, 8, machines=4))
+        assert t > 0
+
+
+class TestTrainerConfigMatrix:
+    """Every strategy combination runs end to end on both task types."""
+
+    @pytest.mark.parametrize("label,cfg", [
+        ("minibatch", repro.ParallelConfig(2, 1, 1)),
+        ("epoch", repro.ParallelConfig(1, 2, 1)),
+        ("memory", repro.ParallelConfig(1, 1, 2)),
+        ("mixed", repro.ParallelConfig(2, 2, 2)),
+    ])
+    def test_link_task(self, label, cfg):
+        from repro.train import DistTGLTrainer, TrainerSpec
+
+        ds = repro.load_dataset("wikipedia", scale=0.006, seed=1)
+        spec = TrainerSpec(batch_size=40, memory_dim=8, time_dim=8, embed_dim=8,
+                           eval_candidates=10)
+        res = DistTGLTrainer(ds, cfg, spec).train(epochs_equivalent=2)
+        assert 0.0 <= res.test_metric <= 1.0
+
+    @pytest.mark.parametrize("cfg", [
+        repro.ParallelConfig(1, 2, 1),
+        repro.ParallelConfig(2, 1, 2),
+    ])
+    def test_edge_classification_task(self, cfg):
+        from repro.train import DistTGLTrainer, TrainerSpec
+
+        ds = repro.load_dataset("gdelt", scale=0.00002, seed=1)
+        spec = TrainerSpec(batch_size=60, memory_dim=8, time_dim=8, embed_dim=8)
+        res = DistTGLTrainer(ds, cfg, spec).train(epochs_equivalent=2)
+        assert 0.0 <= res.test_metric <= 1.0
+
+    def test_static_memory_with_parallelism(self):
+        from repro.train import DistTGLTrainer, TrainerSpec
+
+        ds = repro.load_dataset("mooc", scale=0.004, seed=2)
+        spec = TrainerSpec(batch_size=40, memory_dim=8, time_dim=8, embed_dim=8,
+                           static_dim=8, static_pretrain_epochs=2,
+                           eval_candidates=10)
+        res = DistTGLTrainer(ds, repro.ParallelConfig(1, 2, 2), spec).train(
+            epochs_equivalent=2
+        )
+        assert np.isfinite(res.best_val)

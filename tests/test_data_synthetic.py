@@ -1,0 +1,145 @@
+"""Synthetic dataset generators: sizes, distributions, registry, labels."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PAPER_TABLE2,
+    InteractionModel,
+    KnowledgeGraphModel,
+    all_dataset_names,
+    generate_interaction_graph,
+    generate_knowledge_graph,
+    load_dataset,
+    small_dataset,
+)
+
+
+class TestInteractionGenerator:
+    def test_event_count(self):
+        g = generate_interaction_graph(InteractionModel(num_events=500, seed=0))
+        assert g.num_events == 500
+
+    def test_bipartite_partitions_respected(self):
+        m = InteractionModel(num_src=20, num_dst=10, num_events=400, seed=1)
+        g = generate_interaction_graph(m)
+        assert g.src.max() < 20
+        assert g.dst.min() >= 20
+        assert g.num_nodes == 30
+        assert g.src_partition_size == 20
+
+    def test_non_bipartite_no_self_loops(self):
+        m = InteractionModel(
+            num_src=15, num_dst=15, num_events=500, bipartite=False, seed=2
+        )
+        g = generate_interaction_graph(m)
+        assert (g.src != g.dst).all()
+        assert g.src_partition_size is None
+
+    def test_timestamps_sorted_and_rescaled(self):
+        m = InteractionModel(num_events=300, max_time=1000.0, seed=3)
+        g = generate_interaction_graph(m)
+        assert (np.diff(g.timestamps) >= 0).all()
+        assert g.max_time == pytest.approx(1000.0, rel=1e-6)
+
+    def test_edge_features_shape_and_range(self):
+        m = InteractionModel(num_events=200, edge_dim=16, seed=4)
+        g = generate_interaction_graph(m)
+        assert g.edge_feats.shape == (200, 16)
+        assert np.abs(g.edge_feats).max() <= 1.0  # tanh output
+
+    def test_recurrence_increases_repeats(self):
+        base = dict(num_src=30, num_dst=30, num_events=2000, seed=5)
+        low = generate_interaction_graph(InteractionModel(p_repeat=0.0, **base))
+        high = generate_interaction_graph(InteractionModel(p_repeat=0.9, **base))
+        assert high.unique_edge_fraction() < low.unique_edge_fraction()
+
+    def test_activity_skew(self):
+        m = InteractionModel(num_src=50, num_events=3000, activity_exponent=1.5, seed=6)
+        g = generate_interaction_graph(m)
+        counts = np.bincount(g.src, minlength=50)
+        top = np.sort(counts)[-5:].sum()
+        assert top > 0.3 * g.num_events  # heavy-tailed activity
+
+    def test_deterministic_by_seed(self):
+        m = InteractionModel(num_events=300, seed=7)
+        a = generate_interaction_graph(m)
+        b = generate_interaction_graph(m)
+        np.testing.assert_array_equal(a.src, b.src)
+        np.testing.assert_array_equal(a.dst, b.dst)
+
+
+class TestKnowledgeGraphGenerator:
+    def test_labels_shape_and_cardinality(self):
+        m = KnowledgeGraphModel(num_nodes=50, num_events=400, seed=0)
+        g, labels = generate_knowledge_graph(m)
+        assert labels.shape == (400, 56)
+        np.testing.assert_array_equal(labels.sum(axis=1), 6.0)
+
+    def test_edge_features_present(self):
+        m = KnowledgeGraphModel(num_nodes=40, num_events=200, seed=1)
+        g, _ = generate_knowledge_graph(m)
+        assert g.edge_feats.shape == (200, 130)
+
+    def test_labels_correlate_with_features(self):
+        """Edge features are built from the labels, so a linear probe must
+        beat chance — the task is learnable."""
+        m = KnowledgeGraphModel(num_nodes=40, num_events=1000, seed=2)
+        g, labels = generate_knowledge_graph(m)
+        X = g.edge_feats
+        # least-squares probe for class 0
+        w, *_ = np.linalg.lstsq(X, labels[:, 0] * 2 - 1, rcond=None)
+        pred = (X @ w) > 0
+        acc = (pred == (labels[:, 0] > 0.5)).mean()
+        assert acc > 0.7
+
+
+class TestRegistry:
+    def test_all_names(self):
+        assert set(all_dataset_names()) == {
+            "wikipedia",
+            "reddit",
+            "mooc",
+            "flights",
+            "gdelt",
+        }
+
+    @pytest.mark.parametrize("name", ["wikipedia", "reddit", "mooc", "flights"])
+    def test_link_datasets(self, name):
+        ds = load_dataset(name, scale=0.005, seed=0)
+        assert ds.task == "link"
+        assert ds.labels is None
+        assert ds.graph.num_events > 0
+        paper = PAPER_TABLE2[name]
+        assert ds.graph.edge_dim == paper.edge_dim
+        assert ds.graph.max_time == pytest.approx(paper.max_time, rel=1e-6)
+
+    def test_gdelt_dataset(self):
+        ds = load_dataset("gdelt", scale=0.0001, seed=0)
+        assert ds.task == "edge-class"
+        assert ds.num_classes == 56
+        assert ds.labels.shape[0] == ds.graph.num_events
+        assert ds.graph.edge_dim == 130
+
+    def test_bipartiteness_matches_paper(self):
+        assert load_dataset("wikipedia", scale=0.005).graph.is_bipartite
+        assert not load_dataset("flights", scale=0.002).graph.is_bipartite
+
+    def test_flights_has_more_unique_edges(self):
+        wiki = load_dataset("wikipedia", scale=0.01).graph
+        flights = load_dataset("flights", scale=0.005).graph
+        assert flights.unique_edge_fraction() > wiki.unique_edge_fraction()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("citeseer")
+
+    def test_small_dataset_helper(self):
+        ds = small_dataset("mooc")
+        assert ds.graph.num_events >= 1000
+
+    def test_scale_controls_size(self):
+        small = load_dataset("reddit", scale=0.002).graph
+        large = load_dataset("reddit", scale=0.01).graph
+        assert large.num_events > small.num_events
+        assert large.num_nodes > small.num_nodes

@@ -1,0 +1,119 @@
+"""Boundary conditions and failure modes across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, PaperStats, load_dataset
+from repro.graph import BatchLoader, RecentNeighborSampler, TemporalGraph
+from repro.memory import Mailbox, NodeMemory
+from repro.models import TGN, DirectMemoryView, TGNConfig
+from repro.parallel import ParallelConfig
+from repro.train import DistTGLTrainer, TrainerSpec
+
+from helpers import toy_dataset, toy_graph
+
+
+class TestGraphBoundaries:
+    def test_single_event_graph(self):
+        g = TemporalGraph([0], [1], [5.0], num_nodes=2)
+        assert g.num_events == 1
+        assert g.max_time == 0.0  # normalised
+        indptr, *_ = g.csr()
+        assert indptr[-1] == 2
+
+    def test_all_same_timestamp(self):
+        g = TemporalGraph([0, 1, 2], [3, 4, 5], [7.0, 7.0, 7.0], num_nodes=6)
+        s = RecentNeighborSampler(g, k=3)
+        # nothing is strictly before t=0 (normalised)
+        blk = s.sample(np.array([0]), np.array([0.0]))
+        assert not blk.mask.any()
+
+    def test_sampler_k_larger_than_history(self):
+        g = toy_graph(num_events=10)
+        s = RecentNeighborSampler(g, k=50)
+        blk = s.sample(g.src[-1:], g.timestamps[-1:] + 1)
+        assert blk.mask.sum() <= 10 * 2
+
+    def test_batch_size_larger_than_range(self):
+        g = toy_graph(num_events=30)
+        loader = BatchLoader(g, 1000)
+        batches = list(loader)
+        assert len(batches) == 1
+        assert batches[0].size == 30
+
+
+class TestMemoryBoundaries:
+    def test_read_empty_node_list(self):
+        m = NodeMemory(3, 2)
+        mem, ts = m.read(np.array([], dtype=np.int64))
+        assert mem.shape == (0, 2)
+
+    def test_mailbox_read_empty(self):
+        mb = Mailbox(3, 2)
+        mail, mt, has = mb.read(np.array([], dtype=np.int64))
+        assert mail.shape == (0, 4)
+
+
+class TestModelBoundaries:
+    def test_embed_single_query(self):
+        g = toy_graph(num_events=50)
+        cfg = TGNConfig(num_nodes=g.num_nodes, memory_dim=4, time_dim=4,
+                        embed_dim=4, num_neighbors=2, seed=0)
+        model = TGN(cfg)
+        view = DirectMemoryView(NodeMemory(g.num_nodes, 4), Mailbox(g.num_nodes, 4))
+        h, _ = model.embed(g.src[:1], g.timestamps[:1], RecentNeighborSampler(g, 2), view)
+        assert h.shape == (1, 4)
+
+    def test_embed_repeated_same_node(self):
+        g = toy_graph(num_events=50)
+        cfg = TGNConfig(num_nodes=g.num_nodes, memory_dim=4, time_dim=4,
+                        embed_dim=4, num_neighbors=2, seed=0)
+        model = TGN(cfg)
+        view = DirectMemoryView(NodeMemory(g.num_nodes, 4), Mailbox(g.num_nodes, 4))
+        nodes = np.array([3, 3, 3])
+        times = np.full(3, g.timestamps[30])
+        h, _ = model.embed(nodes, times, RecentNeighborSampler(g, 2), view)
+        np.testing.assert_allclose(h.data[0], h.data[1])
+        np.testing.assert_allclose(h.data[0], h.data[2])
+
+
+class TestTrainerBoundaries:
+    def test_num_classes_zero_for_link(self):
+        assert toy_dataset().num_classes == 0
+
+    def test_single_batch_per_epoch(self):
+        ds = toy_dataset(num_events=400)
+        spec = TrainerSpec(batch_size=10_000, memory_dim=8, time_dim=8,
+                           embed_dim=8, eval_candidates=5)
+        tr = DistTGLTrainer(ds, ParallelConfig(), spec)
+        res = tr.train(epochs_equivalent=2)
+        assert res.iterations_run == 2
+
+    def test_zero_lr_is_noop_on_weights(self):
+        ds = toy_dataset(num_events=400)
+        spec = TrainerSpec(batch_size=50, memory_dim=8, time_dim=8,
+                           embed_dim=8, base_lr=0.0, eval_candidates=5)
+        tr = DistTGLTrainer(ds, ParallelConfig(), spec)
+        before = tr.model.state_dict()
+        tr.train(epochs_equivalent=1)
+        after = tr.model.state_dict()
+        for k in before:
+            np.testing.assert_array_equal(before[k], after[k])
+
+    def test_history_fallback_without_completed_sweep(self):
+        ds = toy_dataset(num_events=400)
+        spec = TrainerSpec(batch_size=50, memory_dim=8, time_dim=8,
+                           embed_dim=8, eval_candidates=5)
+        tr = DistTGLTrainer(ds, ParallelConfig(), spec)
+        res = tr.train(epochs_equivalent=5, max_iterations=2)
+        assert len(res.history) == 1  # fallback evaluation point
+
+    def test_train_twice_continues(self):
+        ds = toy_dataset(num_events=400)
+        spec = TrainerSpec(batch_size=50, memory_dim=8, time_dim=8,
+                           embed_dim=8, eval_candidates=5)
+        tr = DistTGLTrainer(ds, ParallelConfig(), spec)
+        r1 = tr.train(epochs_equivalent=2, max_iterations=3)
+        r2 = tr.train(epochs_equivalent=2, max_iterations=3)
+        assert tr._iteration == 6
+        assert r2.iterations_run == 6

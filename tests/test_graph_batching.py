@@ -1,0 +1,164 @@
+"""Batch loaders and the parallel schedules of Fig. 7."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    BatchLoader,
+    epoch_parallel_schedule,
+    memory_parallel_schedule,
+    segment_bounds,
+)
+
+from helpers import toy_graph
+
+
+class TestBatchLoader:
+    def test_length(self):
+        g = toy_graph(num_events=95)
+        assert len(BatchLoader(g, 10)) == 10
+        assert len(BatchLoader(g, 95)) == 1
+        assert len(BatchLoader(g, 100)) == 1
+
+    def test_batches_partition_events(self):
+        g = toy_graph(num_events=77)
+        loader = BatchLoader(g, 10)
+        covered = []
+        for b in loader:
+            covered.extend(range(b.start, b.stop))
+        assert covered == list(range(77))
+
+    def test_batches_chronological(self):
+        g = toy_graph(num_events=60)
+        loader = BatchLoader(g, 7)
+        prev_end = -np.inf
+        for b in loader:
+            assert b.times[0] >= prev_end
+            prev_end = b.times[-1]
+
+    def test_range_restriction(self):
+        g = toy_graph(num_events=50)
+        loader = BatchLoader(g, 10, start=20, stop=40)
+        batches = list(loader)
+        assert batches[0].start == 20
+        assert batches[-1].stop == 40
+
+    def test_invalid_ranges(self):
+        g = toy_graph(num_events=50)
+        with pytest.raises(ValueError):
+            BatchLoader(g, 10, start=40, stop=30)
+        with pytest.raises(ValueError):
+            BatchLoader(g, 0)
+        with pytest.raises(IndexError):
+            BatchLoader(g, 10).batch(99)
+
+    def test_batch_carries_features(self):
+        g = toy_graph(num_events=30, edge_dim=4)
+        b = BatchLoader(g, 10).batch(1)
+        assert b.edge_feats.shape == (10, 4)
+        np.testing.assert_array_equal(b.edge_ids, np.arange(10, 20))
+
+    def test_split_local_chronological(self):
+        g = toy_graph(num_events=40)
+        b = BatchLoader(g, 30).batch(0)
+        parts = b.split_local(3)
+        assert [p.size for p in parts] == [10, 10, 10]
+        assert parts[0].stop == parts[1].start
+        assert parts[0].times[-1] <= parts[1].times[0]
+
+    def test_split_local_uneven(self):
+        g = toy_graph(num_events=40)
+        b = BatchLoader(g, 10).batch(0)
+        parts = b.split_local(3)
+        assert sum(p.size for p in parts) == 10
+
+    def test_split_local_rejects_zero(self):
+        g = toy_graph(num_events=20)
+        with pytest.raises(ValueError):
+            BatchLoader(g, 10).batch(0).split_local(0)
+
+
+class TestSegments:
+    def test_bounds_cover_everything(self):
+        segs = segment_bounds(10, 3)
+        assert segs[0].start == 0 and segs[-1].stop == 10
+        covered = sum(s.stop - s.start for s in segs)
+        assert covered == 10
+
+    def test_sizes_differ_by_at_most_one(self):
+        segs = segment_bounds(11, 4)
+        sizes = [s.stop - s.start for s in segs]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_too_many_segments(self):
+        with pytest.raises(ValueError):
+            segment_bounds(3, 5)
+        with pytest.raises(ValueError):
+            segment_bounds(3, 0)
+
+
+class TestMemoryParallelSchedule:
+    def test_each_trainer_visits_all_batches_once(self):
+        rounds = memory_parallel_schedule(12, 3)
+        per_trainer = [[r[t] for r in rounds if r[t] >= 0] for t in range(3)]
+        for seq in per_trainer:
+            assert sorted(seq) == list(range(12))
+
+    def test_rotation_offsets(self):
+        rounds = memory_parallel_schedule(12, 3)
+        # trainer r starts at segment r (size 4): first batch = 4*r
+        assert rounds[0] == [0, 4, 8]
+
+    def test_within_segment_order_ascending(self):
+        rounds = memory_parallel_schedule(12, 4)
+        seq0 = [r[1] for r in rounds]
+        # trainer 1: segments 1,2,3,0 -> 3..5,6..8,9..11,0..2
+        assert seq0 == [3, 4, 5, 6, 7, 8, 9, 10, 11, 0, 1, 2]
+
+    def test_no_memory_transfer_needed(self):
+        """Each trainer's consecutive batches are either +1 (same chronological
+        run) or a wrap — never a jump into another trainer's position."""
+        rounds = memory_parallel_schedule(16, 4)
+        for t in range(4):
+            seq = [r[t] for r in rounds]
+            for a, b in zip(seq, seq[1:]):
+                assert b == a + 1 or b < a  # advance or wrap
+
+    def test_uneven_batches_padded(self):
+        rounds = memory_parallel_schedule(10, 3)
+        flat = [r[t] for r in rounds for t in range(3)]
+        real = [x for x in flat if x >= 0]
+        assert sorted(set(real)) == list(range(10))
+
+
+class TestEpochParallelSchedule:
+    def test_every_batch_repeated_j_times(self):
+        rounds = epoch_parallel_schedule(5, 3)
+        assert len(rounds) == 15
+        from collections import Counter
+
+        counts = Counter(r[0] for r in rounds)
+        assert all(v == 3 for v in counts.values())
+
+    def test_all_trainers_same_batch_per_round(self):
+        rounds = epoch_parallel_schedule(4, 2)
+        for r in rounds:
+            assert len(set(r)) == 1
+
+    def test_blocks_are_consecutive(self):
+        rounds = epoch_parallel_schedule(3, 2)
+        batches = [r[0] for r in rounds]
+        assert batches == [0, 0, 1, 1, 2, 2]
+
+
+@settings(max_examples=30, deadline=None)
+@given(nb=st.integers(1, 60), k=st.integers(1, 8))
+def test_property_memory_schedule_is_permutation_per_trainer(nb, k):
+    if nb < k:
+        return
+    rounds = memory_parallel_schedule(nb, k)
+    for t in range(k):
+        seq = [r[t] for r in rounds if r[t] >= 0]
+        assert sorted(seq) == list(range(nb))

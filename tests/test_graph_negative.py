@@ -1,0 +1,88 @@
+"""Negative sampling: partition awareness, determinism, group rotation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import NegativeGroupStore, NegativeSampler, eval_negatives
+from repro.graph.temporal_graph import TemporalGraph
+
+from helpers import toy_graph
+
+
+class TestNegativeSampler:
+    def test_bipartite_samples_from_dst_partition(self):
+        g = toy_graph(num_src=6, num_dst=5)
+        s = NegativeSampler(g, seed=0)
+        negs = s.sample(1000)
+        assert negs.min() >= 6
+        assert negs.max() < 11
+
+    def test_general_graph_samples_all_nodes(self):
+        g = TemporalGraph([0, 1], [2, 3], [0.0, 1.0], num_nodes=4)
+        s = NegativeSampler(g, seed=0)
+        negs = s.sample(2000)
+        assert set(np.unique(negs)) == {0, 1, 2, 3}
+
+    def test_matrix_shape(self):
+        s = NegativeSampler(toy_graph(), seed=0)
+        assert s.sample_matrix(7, 3).shape == (7, 3)
+
+    def test_deterministic_with_rng(self):
+        g = toy_graph()
+        a = NegativeSampler(g, seed=5).sample(20)
+        b = NegativeSampler(g, seed=5).sample(20)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestNegativeGroupStore:
+    def test_group_shapes(self):
+        g = toy_graph(num_events=80)
+        store = NegativeGroupStore(g, num_groups=4, seed=0)
+        assert store.group(0).shape == (80,)
+
+    def test_groups_differ(self):
+        g = toy_graph(num_events=200)
+        store = NegativeGroupStore(g, num_groups=3, seed=0)
+        assert not np.array_equal(store.group(0), store.group(1))
+
+    def test_group_index_wraps(self):
+        g = toy_graph(num_events=50)
+        store = NegativeGroupStore(g, num_groups=3, seed=0)
+        np.testing.assert_array_equal(store.group(0), store.group(3))
+
+    def test_group_for_epoch_cycles(self):
+        g = toy_graph(num_events=50)
+        store = NegativeGroupStore(g, num_groups=10, seed=0)
+        np.testing.assert_array_equal(store.group_for_epoch(0), store.group_for_epoch(10))
+
+    def test_slice(self):
+        g = toy_graph(num_events=50)
+        store = NegativeGroupStore(g, num_groups=2, seed=0)
+        np.testing.assert_array_equal(store.slice(1, 5, 15), store.group(1)[5:15])
+
+    def test_num_events_override(self):
+        g = toy_graph(num_events=60)
+        store = NegativeGroupStore(g, num_groups=2, seed=0, num_events=40)
+        assert store.group(0).shape == (40,)
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ValueError):
+            NegativeGroupStore(toy_graph(), num_groups=0)
+
+    def test_deterministic_across_instances(self):
+        g = toy_graph(num_events=50)
+        a = NegativeGroupStore(g, num_groups=2, seed=9).group(1)
+        b = NegativeGroupStore(g, num_groups=2, seed=9).group(1)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEvalNegatives:
+    def test_shape_and_partition(self):
+        g = toy_graph(num_src=6, num_dst=5, num_events=30)
+        m = eval_negatives(g, num_candidates=49)
+        assert m.shape == (30, 49)
+        assert m.min() >= 6
+
+    def test_fixed_seed_reproducible(self):
+        g = toy_graph(num_events=30)
+        np.testing.assert_array_equal(eval_negatives(g), eval_negatives(g))

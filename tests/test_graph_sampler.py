@@ -1,0 +1,148 @@
+"""Temporal neighbor sampler: recency, strict-before-t, Fig. 8 counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import RecentNeighborSampler, TemporalGraph
+
+from helpers import toy_graph
+
+
+class TestSampling:
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            RecentNeighborSampler(toy_graph(), k=0)
+
+    def test_no_neighbors_before_first_event(self):
+        g = toy_graph()
+        s = RecentNeighborSampler(g, k=5)
+        block = s.sample(np.array([g.src[0]]), np.array([0.0]))
+        assert not block.mask.any()
+
+    def test_strictly_before_query_time(self):
+        g = toy_graph(num_events=300, seed=2)
+        s = RecentNeighborSampler(g, k=10)
+        roots = g.src[100:150]
+        times = g.timestamps[100:150]
+        block = s.sample(roots, times)
+        expanded = np.repeat(times, block.k).reshape(block.times.shape)
+        assert (block.times[block.mask] < expanded[block.mask]).all()
+
+    def test_event_at_query_time_excluded(self):
+        g = TemporalGraph([0, 0], [1, 2], [1.0, 2.0], num_nodes=3)
+        s = RecentNeighborSampler(g, k=5)
+        block = s.sample(np.array([0]), np.array([2.0 - 1.0]))  # normalised t=1
+        # only the t=0 event qualifies at query time 1.0
+        assert block.mask.sum() == 1
+        assert block.neighbors[0, 0] == 1
+
+    def test_most_recent_selected(self):
+        # node 0 interacts with 1,2,3,4 at t=0..3; k=2 at t=10 -> {3,4}
+        g = TemporalGraph([0, 0, 0, 0], [1, 2, 3, 4], [0.0, 1.0, 2.0, 3.0], num_nodes=5)
+        s = RecentNeighborSampler(g, k=2)
+        block = s.sample(np.array([0]), np.array([10.0]))
+        assert set(block.neighbors[0][block.mask[0]]) == {3, 4}
+
+    def test_padding_shape_and_values(self):
+        g = TemporalGraph([0], [1], [0.0], num_nodes=3)
+        s = RecentNeighborSampler(g, k=4)
+        block = s.sample(np.array([2]), np.array([1.0]))
+        assert block.neighbors.shape == (1, 4)
+        assert (block.edge_ids[~block.mask] == -1).all()
+        assert (block.times[~block.mask] == 0).all()
+
+    def test_bidirectional_neighborhood(self):
+        g = TemporalGraph([0], [1], [0.0], num_nodes=2)
+        s = RecentNeighborSampler(g, k=2)
+        blk = s.sample(np.array([1]), np.array([5.0]))
+        assert blk.neighbors[0, 0] == 0  # dst sees src
+
+    def test_delta_times(self):
+        g = TemporalGraph([0, 0], [1, 2], [0.0, 4.0], num_nodes=3)
+        s = RecentNeighborSampler(g, k=2)
+        blk = s.sample(np.array([0]), np.array([6.0]))
+        deltas = sorted(blk.delta_times()[0][blk.mask[0]])
+        np.testing.assert_allclose(deltas, [2.0, 6.0])
+
+    def test_all_nodes_includes_roots_and_neighbors(self):
+        g = toy_graph(num_events=100)
+        s = RecentNeighborSampler(g, k=5)
+        roots = g.src[50:60]
+        blk = s.sample(roots, g.timestamps[50:60])
+        nodes = blk.all_nodes()
+        assert set(roots).issubset(set(nodes))
+
+    def test_misaligned_inputs_rejected(self):
+        s = RecentNeighborSampler(toy_graph(), k=3)
+        with pytest.raises(ValueError):
+            s.sample(np.array([0, 1]), np.array([0.0]))
+
+
+class TestCapturedEvents:
+    """Fig. 8: captured events in node memory under batched COMB."""
+
+    def test_batch_size_one_captures_everything(self):
+        g = toy_graph(num_events=50)
+        s = RecentNeighborSampler(g, k=1)
+        captured = s.captured_event_counts(1)
+        np.testing.assert_array_equal(captured, g.degrees())
+
+    def test_monotonically_fewer_with_larger_batches(self):
+        g = toy_graph(num_events=400, seed=5)
+        s = RecentNeighborSampler(g, k=1)
+        totals = [s.captured_event_counts(bs).sum() for bs in (1, 4, 16, 64, 256)]
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+    def test_high_degree_nodes_lose_most(self):
+        g = toy_graph(num_events=500, num_src=3, num_dst=30, seed=6)
+        s = RecentNeighborSampler(g, k=1)
+        deg = g.degrees()
+        cap = s.captured_event_counts(100)
+        loss = (deg - cap).astype(float)
+        hi = np.argsort(deg)[-3:]
+        lo = np.argsort(deg)[:3]
+        assert loss[hi].mean() > loss[lo].mean()
+
+    def test_max_events_limits_scan(self):
+        g = toy_graph(num_events=100)
+        s = RecentNeighborSampler(g, k=1)
+        cap = s.captured_event_counts(10, max_events=20)
+        assert cap.sum() <= 2 * 20
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(5, 120),
+    nodes=st.integers(3, 15),
+    k=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_property_sampler_invariants(n, nodes, k, seed):
+    """For random graphs: masked neighbors are real edges, strictly earlier,
+    and are exactly the most recent eligible ones."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, nodes, size=n)
+    dst = rng.integers(0, nodes, size=n)
+    times = np.sort(rng.uniform(0, 100, size=n))
+    g = TemporalGraph(src, dst, times, num_nodes=nodes)
+    s = RecentNeighborSampler(g, k=k)
+
+    q_idx = rng.integers(0, n, size=5)
+    roots = g.src[q_idx]
+    q_times = g.timestamps[q_idx]
+    blk = s.sample(roots, q_times)
+
+    for i in range(5):
+        r, t = roots[i], q_times[i]
+        # brute-force eligible neighbor events
+        eligible = [
+            (g.timestamps[e], e)
+            for e in range(n)
+            if (g.src[e] == r or g.dst[e] == r) and g.timestamps[e] < t
+        ]
+        eligible.sort()
+        expect = {e for _, e in eligible[-k:]}
+        got = set(blk.edge_ids[i][blk.mask[i]])
+        assert got == expect

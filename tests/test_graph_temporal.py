@@ -1,0 +1,187 @@
+"""TemporalGraph storage: ordering, CSR, splits, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import TemporalGraph
+
+from helpers import toy_graph
+
+
+class TestConstruction:
+    def test_sorts_by_time(self):
+        g = TemporalGraph([0, 1, 2], [3, 4, 5], [5.0, 1.0, 3.0], num_nodes=6)
+        np.testing.assert_allclose(g.timestamps, [0.0, 2.0, 4.0])
+        np.testing.assert_array_equal(g.src, [1, 2, 0])
+
+    def test_normalises_min_time_to_zero(self):
+        g = TemporalGraph([0], [1], [42.0], num_nodes=2)
+        assert g.timestamps[0] == 0.0
+
+    def test_sorted_ties_keep_input_order(self):
+        g = TemporalGraph([0, 1, 2], [3, 3, 3], [1.0, 1.0, 1.0], num_nodes=4)
+        np.testing.assert_array_equal(g.src, [0, 1, 2])
+
+    def test_rejects_misaligned_arrays(self):
+        with pytest.raises(ValueError):
+            TemporalGraph([0, 1], [1], [0.0, 1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TemporalGraph([], [], [])
+
+    def test_rejects_undersized_num_nodes(self):
+        with pytest.raises(ValueError):
+            TemporalGraph([0], [5], [0.0], num_nodes=3)
+
+    def test_infers_num_nodes(self):
+        g = TemporalGraph([0], [7], [0.0])
+        assert g.num_nodes == 8
+
+    def test_edge_feats_sorted_with_events(self):
+        feats = np.array([[1.0], [2.0], [3.0]], dtype=np.float32)
+        g = TemporalGraph([0, 1, 2], [3, 4, 5], [3.0, 1.0, 2.0], edge_feats=feats)
+        np.testing.assert_allclose(g.edge_feats[:, 0], [2.0, 3.0, 1.0])
+
+    def test_edge_feats_length_checked(self):
+        with pytest.raises(ValueError):
+            TemporalGraph([0, 1], [2, 3], [0.0, 1.0], edge_feats=np.zeros((3, 4)))
+
+    def test_dims(self):
+        g = toy_graph(edge_dim=5)
+        assert g.edge_dim == 5
+        assert g.node_dim == 0
+        assert TemporalGraph([0], [1], [0.0]).edge_dim == 0
+
+    def test_bipartite_flag(self):
+        assert toy_graph().is_bipartite
+        g = TemporalGraph([0], [1], [0.0])
+        assert not g.is_bipartite
+
+
+class TestCSR:
+    def test_csr_contains_both_directions(self):
+        g = TemporalGraph([0, 0], [1, 2], [0.0, 1.0], num_nodes=3)
+        indptr, nbrs, eids, times = g.csr()
+        assert indptr[-1] == 4  # 2 events x 2 directions
+        # node 0 has two outgoing entries
+        assert indptr[1] - indptr[0] == 2
+
+    def test_csr_times_sorted_per_node(self):
+        g = toy_graph(num_events=200, seed=1)
+        indptr, _, _, times = g.csr()
+        for v in range(g.num_nodes):
+            seg = times[indptr[v] : indptr[v + 1]]
+            assert (np.diff(seg) >= 0).all()
+
+    def test_csr_neighbor_correctness(self):
+        g = TemporalGraph([0, 1], [2, 2], [0.0, 1.0], num_nodes=3)
+        indptr, nbrs, eids, _ = g.csr()
+        n2 = set(nbrs[indptr[2] : indptr[3]])
+        assert n2 == {0, 1}
+
+    def test_csr_cached(self):
+        g = toy_graph()
+        assert g.csr() is g.csr()
+
+    def test_degrees_match_event_counts(self):
+        g = toy_graph(num_events=100)
+        deg = g.degrees()
+        assert deg.sum() == 2 * g.num_events
+        manual = np.bincount(
+            np.concatenate([g.src, g.dst]), minlength=g.num_nodes
+        )
+        np.testing.assert_array_equal(deg, manual)
+
+
+class TestSplit:
+    def test_default_split_fractions(self):
+        g = toy_graph(num_events=100)
+        s = g.chronological_split()
+        assert s.train_end == 70
+        assert s.val_end == 85
+        assert s.test.stop == 100
+
+    def test_split_slices_partition_events(self):
+        g = toy_graph(num_events=50)
+        s = g.chronological_split()
+        total = (s.train.stop - s.train.start) + (s.val.stop - s.val.start) + (
+            s.test.stop - s.test.start
+        )
+        assert total == 50
+
+    def test_split_is_chronological(self):
+        g = toy_graph(num_events=80)
+        s = g.chronological_split()
+        assert g.timestamps[s.train.stop - 1] <= g.timestamps[s.val.start]
+
+    def test_invalid_fractions_rejected(self):
+        g = toy_graph()
+        with pytest.raises(ValueError):
+            g.chronological_split(train_frac=0.9, val_frac=0.2)
+        with pytest.raises(ValueError):
+            g.chronological_split(train_frac=0.0, val_frac=0.5)
+
+    def test_too_small_graph_rejected(self):
+        g = TemporalGraph([0, 1], [2, 3], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            g.chronological_split()
+
+    def test_slice_events(self):
+        g = toy_graph(num_events=40)
+        sub = g.slice_events(slice(10, 20))
+        assert sub.num_events == 10
+        assert sub.num_nodes == g.num_nodes
+        np.testing.assert_array_equal(sub.src, g.src[10:20])
+
+
+class TestStats:
+    def test_unique_edge_fraction_all_unique(self):
+        g = TemporalGraph([0, 1, 2], [3, 4, 5], [0.0, 1.0, 2.0], num_nodes=6)
+        assert g.unique_edge_fraction() == 1.0
+
+    def test_unique_edge_fraction_all_repeat(self):
+        g = TemporalGraph([0, 0], [1, 1], [0.0, 1.0], num_nodes=2)
+        assert g.unique_edge_fraction() == 0.0
+
+    def test_stats_keys(self):
+        stats = toy_graph(edge_dim=4).stats()
+        for key in (
+            "num_nodes",
+            "num_events",
+            "max_time",
+            "edge_dim",
+            "bipartite",
+            "unique_edge_fraction",
+            "mean_degree",
+        ):
+            assert key in stats
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 100),
+    nodes=st.integers(2, 20),
+    seed=st.integers(0, 10_000),
+)
+def test_property_csr_roundtrip(n, nodes, seed):
+    """Every event appears exactly twice in the CSR, under its endpoints."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, nodes, size=n)
+    dst = rng.integers(0, nodes, size=n)
+    times = rng.uniform(0, 10, size=n)
+    g = TemporalGraph(src, dst, times, num_nodes=nodes)
+    indptr, nbrs, eids, _ = g.csr()
+    counts = np.bincount(eids, minlength=n)
+    # self-loops are stored once, everything else twice
+    expected = np.where(g.src == g.dst, 1, 2)
+    np.testing.assert_array_equal(counts, expected)
+    # each event id appears under both endpoints
+    owner = np.repeat(np.arange(nodes), np.diff(indptr))
+    for e in range(min(n, 10)):
+        owners = set(owner[eids == e])
+        assert owners == {g.src[e], g.dst[e]} or (
+            g.src[e] == g.dst[e] and owners == {g.src[e]}
+        )

@@ -1,0 +1,138 @@
+"""Inference engine: correctness of dedup/memoization (bitwise vs naive),
+streaming observe(), and the serving APIs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import RecentNeighborSampler
+from repro.infer import InferenceEngine, InferenceStats
+from repro.models import TGN, LinkPredictor, TGNConfig
+
+from helpers import toy_dataset
+
+
+def build_engine(dedup=True, memoize=True, static=False, seed=0):
+    ds = toy_dataset(num_events=500, seed=seed)
+    g = ds.graph
+    cfg = TGNConfig(num_nodes=g.num_nodes, memory_dim=8, time_dim=8, embed_dim=8,
+                    edge_dim=g.edge_dim, static_dim=8 if static else 0,
+                    num_neighbors=4, seed=seed)
+    model = TGN(cfg)
+    if static:
+        table = np.random.default_rng(0).standard_normal(
+            (g.num_nodes, 8)).astype(np.float32)
+        model.attach_static_memory(table)
+    dec = LinkPredictor(8, rng=np.random.default_rng(1))
+    engine = InferenceEngine(model, g, decoder=dec, dedup=dedup,
+                             memoize_time=memoize)
+    return engine, ds
+
+
+class TestCorrectness:
+    def test_dedup_matches_naive(self):
+        fast, ds = build_engine(dedup=True, memoize=True)
+        slow, _ = build_engine(dedup=False, memoize=False)
+        g = ds.graph
+        # stream some events into both
+        for eng in (fast, slow):
+            eng.observe(g.src[:100], g.dst[:100], g.timestamps[:100],
+                        edge_feats=g.edge_feats[:100] if g.edge_feats is not None else None)
+        nodes = np.array([1, 1, 2, 1, 3, 2], dtype=np.int64)
+        times = np.full(6, g.timestamps[99] + 1.0)
+        np.testing.assert_allclose(
+            fast.embed(nodes, times), slow.embed(nodes, times), rtol=1e-5, atol=1e-6
+        )
+
+    def test_memoization_matches_naive_with_static(self):
+        fast, ds = build_engine(memoize=True, static=True)
+        slow, _ = build_engine(memoize=False, static=True)
+        g = ds.graph
+        for eng in (fast, slow):
+            eng.observe(g.src[:150], g.dst[:150], g.timestamps[:150],
+                        edge_feats=g.edge_feats[:150] if g.edge_feats is not None else None)
+        t = g.timestamps[149] + 5.0
+        nodes = g.src[:20]
+        times = np.full(20, t)
+        np.testing.assert_allclose(
+            fast.embed(nodes, times), slow.embed(nodes, times), rtol=1e-5, atol=1e-6
+        )
+
+    def test_encoder_restored_after_embed(self):
+        eng, ds = build_engine()
+        eng.embed(np.array([0]), np.array([1.0]))
+        # after embed, the original (unmemoized) forward is back in place
+        assert eng.model.time_encoder.forward == eng._original_forward
+
+
+class TestRedundancyCounters:
+    def test_dedup_ratio_counts_duplicates(self):
+        eng, ds = build_engine()
+        nodes = np.array([5, 5, 5, 6], dtype=np.int64)
+        times = np.array([1.0, 1.0, 1.0, 1.0])
+        eng.embed(nodes, times)
+        assert eng.stats.queries == 4
+        assert eng.stats.unique_queries == 2
+        assert eng.stats.dedup_ratio == pytest.approx(0.5)
+
+    def test_memo_ratio_positive_for_repeated_deltas(self):
+        eng, ds = build_engine()
+        g = ds.graph
+        eng.observe(g.src[:200], g.dst[:200], g.timestamps[:200],
+                    edge_feats=g.edge_feats[:200] if g.edge_feats is not None else None)
+        t = g.timestamps[199] + 1.0
+        eng.embed(g.src[:50], np.full(50, t))
+        assert eng.stats.memo_ratio > 0.0
+
+    def test_reset_clears_state_and_stats(self):
+        eng, ds = build_engine()
+        g = ds.graph
+        eng.observe(g.src[:50], g.dst[:50], g.timestamps[:50],
+                    edge_feats=g.edge_feats[:50] if g.edge_feats is not None else None)
+        eng.embed(np.array([0]), np.array([1.0]))
+        eng.reset()
+        assert eng.stats.queries == 0
+        assert eng.memory.memory.sum() == 0
+
+
+class TestServingAPIs:
+    def test_rank_candidates_shape(self):
+        eng, ds = build_engine()
+        g = ds.graph
+        eng.observe(g.src[:100], g.dst[:100], g.timestamps[:100],
+                    edge_feats=g.edge_feats[:100] if g.edge_feats is not None else None)
+        scores = eng.rank_candidates(int(g.src[0]), np.arange(12, 20),
+                                     at_time=g.timestamps[99] + 1)
+        assert scores.shape == (8,)
+
+    def test_predict_links_probabilities(self):
+        eng, ds = build_engine()
+        g = ds.graph
+        probs = eng.predict_links(g.src[:10], g.dst[:10], g.timestamps[:10] + 1)
+        assert probs.shape == (10,)
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_decoder_required(self):
+        eng, ds = build_engine()
+        eng.decoder = None
+        with pytest.raises(ValueError):
+            eng.rank_candidates(0, np.array([1]), 1.0)
+
+    def test_observe_updates_memory(self):
+        eng, ds = build_engine()
+        g = ds.graph
+        assert eng.memory.memory.sum() == 0
+        # first batch only deposits mails (reversed computation order);
+        # the second batch's GRU update makes the memory non-zero
+        eng.observe(g.src[:30], g.dst[:30], g.timestamps[:30],
+                    edge_feats=g.edge_feats[:30] if g.edge_feats is not None else None)
+        assert eng.mailbox.has_mail.any()
+        eng.observe(g.src[30:60], g.dst[30:60], g.timestamps[30:60],
+                    edge_feats=g.edge_feats[30:60] if g.edge_feats is not None else None)
+        assert np.abs(eng.memory.memory).sum() > 0
+
+
+class TestStats:
+    def test_empty_stats_ratios(self):
+        s = InferenceStats()
+        assert s.dedup_ratio == 0.0
+        assert s.memo_ratio == 0.0

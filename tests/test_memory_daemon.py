@@ -1,0 +1,176 @@
+"""Memory daemon (Algorithm 1): serialization order, threaded liveness."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.memory import Mailbox, MemoryDaemon, NodeMemory
+
+
+def make_daemon(i=1, j=1, num_nodes=8, dim=2):
+    mem = NodeMemory(num_nodes, dim)
+    mb = Mailbox(num_nodes, dim)
+    return MemoryDaemon(mem, mb, i=i, j=j, read_capacity=64, write_capacity=32)
+
+
+class TestSerialMode:
+    def test_read_zero_state(self):
+        d = make_daemon()
+        d.request_read(0, np.array([1, 2]))
+        d.serve_reads(0)
+        mem, mem_ts, mail, mail_ts = d.wait_read(0)
+        assert mem.shape == (2, 2)
+        assert (mem == 0).all()
+        assert (mail_ts == -1).all()  # no mail yet
+
+    def test_write_then_read_sees_value(self):
+        d = make_daemon()
+        vals = np.array([[1.0, 2.0]], dtype=np.float32)
+        d.request_write(
+            0,
+            np.array([3]), vals, np.array([1.0]),
+            np.array([3]), np.zeros((1, 4), np.float32), np.array([1.0]),
+        )
+        d.serve_writes(0)
+        d.wait_write(0)
+        d.request_read(0, np.array([3]))
+        d.serve_reads(0)
+        mem, _, _, mail_ts = d.wait_read(0)
+        np.testing.assert_allclose(mem[0], [1, 2])
+        assert mail_ts[0] == 1.0  # mail present now
+
+    def test_double_request_rejected(self):
+        d = make_daemon()
+        d.request_read(0, np.array([0]))
+        with pytest.raises(RuntimeError):
+            d.request_read(0, np.array([1]))
+
+    def test_rejects_invalid_group_sizes(self):
+        mem = NodeMemory(4, 2)
+        mb = Mailbox(4, 2)
+        with pytest.raises(ValueError):
+            MemoryDaemon(mem, mb, i=0, j=1)
+
+    def test_access_log_bracket_order(self):
+        """(R0 R1)(W0 W1)(R2 R3)(W2 W3) for i=2, j=2."""
+        d = make_daemon(i=2, j=2)
+        for it in range(2):
+            for g in range(2):
+                for r in (g * 2, g * 2 + 1):
+                    d.request_read(r, np.array([r]))
+                d.serve_reads(g)
+                for r in (g * 2, g * 2 + 1):
+                    d.wait_read(r)
+                    d.request_write(
+                        r,
+                        np.array([r]), np.zeros((1, 2), np.float32), np.array([1.0]),
+                        np.array([r]), np.zeros((1, 4), np.float32), np.array([1.0]),
+                    )
+                d.serve_writes(g)
+        brackets = d.bracket_log()
+        ops = [op for op, _ in brackets]
+        assert ops == ["R", "W", "R", "W"] * 2
+        assert brackets[0] == ("R", (0, 1))
+        assert brackets[1] == ("W", (0, 1))
+        assert brackets[2] == ("R", (2, 3))
+
+    def test_serve_timeout_when_no_request(self):
+        d = make_daemon()
+        with pytest.raises(TimeoutError):
+            d.serve_reads(0, timeout=0.05)
+
+
+class TestThreadedMode:
+    def test_end_to_end_epoch(self):
+        """Two trainer threads + daemon thread complete one epoch with the
+        first-read-skipped protocol; trainer 1 must observe trainer 0's write
+        of the same iteration (serialized order)."""
+        d = make_daemon(i=1, j=2, num_nodes=4, dim=1)
+        iterations = 4
+        seen = {0: [], 1: []}
+
+        def trainer(rank):
+            for it in range(iterations):
+                if it > 0:
+                    d.request_read(rank, np.array([0]))
+                    mem, _, _, _ = d.wait_read(rank)
+                    seen[rank].append(float(mem[0, 0]))
+                value = float(it * 10 + rank + 1)
+                d.request_write(
+                    rank,
+                    np.array([0]),
+                    np.array([[value]], dtype=np.float32),
+                    np.array([float(it)]),
+                    np.array([0]),
+                    np.zeros((1, 2), np.float32),
+                    np.array([float(it)]),
+                )
+                d.wait_write(rank)
+
+        d.start(iterations_per_epoch=iterations, epochs=1)
+        threads = [threading.Thread(target=trainer, args=(r,)) for r in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        d.join()
+
+        # rank 0 reads at iteration it see rank 1's write from iteration it-1
+        assert seen[0] == [2.0, 12.0, 22.0]
+        # rank 1 reads see rank 0's write of the same iteration
+        assert seen[1] == [11.0, 21.0, 31.0]
+
+    def test_epoch_reset_between_epochs(self):
+        d = make_daemon(i=1, j=1, num_nodes=2, dim=1)
+        observed = []
+
+        def trainer():
+            for epoch in range(2):
+                for it in range(2):
+                    if it > 0:
+                        d.request_read(0, np.array([0]))
+                        mem, _, _, _ = d.wait_read(0)
+                        observed.append(float(mem[0, 0]))
+                    d.request_write(
+                        0,
+                        np.array([0]), np.array([[7.0]], np.float32), np.array([1.0]),
+                        np.array([0]), np.zeros((1, 2), np.float32), np.array([1.0]),
+                    )
+                    d.wait_write(0)
+
+        d.start(iterations_per_epoch=2, epochs=2)
+        t = threading.Thread(target=trainer)
+        t.start()
+        t.join(timeout=30)
+        d.join()
+        # each epoch's read sees that epoch's write; reset wipes in between
+        assert observed == [7.0, 7.0]
+        log_ops = [op for op, _ in d.access_log]
+        assert log_ops == ["W", "R", "W", "W", "R", "W"]
+
+    def test_stop_terminates_daemon(self):
+        d = make_daemon()
+        d.start(iterations_per_epoch=1000, epochs=1000)
+        d.stop()
+        assert d._thread is None
+
+    def test_start_twice_rejected(self):
+        d = make_daemon()
+        d.start(iterations_per_epoch=100, epochs=100)
+        try:
+            with pytest.raises(RuntimeError):
+                d.start(iterations_per_epoch=1, epochs=1)
+        finally:
+            d.stop()
+
+
+class TestBuffers:
+    def test_capacity_enforced(self):
+        d = make_daemon()
+        with pytest.raises(ValueError):
+            d.buffers.stage_read(0, np.arange(1000))
+
+    def test_nbytes(self):
+        d = make_daemon()
+        assert d.buffers.nbytes() > 0

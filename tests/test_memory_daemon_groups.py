@@ -1,0 +1,90 @@
+"""Threaded daemon with full i x j groups: 4 concurrent trainers."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.memory import Mailbox, MemoryDaemon, NodeMemory
+
+
+class TestTwoByTwoGroup:
+    def test_four_trainers_serialize_correctly(self):
+        """i=2, j=2: groups {0,1} and {2,3}; the daemon must serve
+        (R0 R1)(W0 W1)(R2 R3)(W2 W3) per iteration, so group 1's reads see
+        group 0's writes of the same iteration."""
+        mem = NodeMemory(4, 1)
+        mb = Mailbox(4, 1)
+        daemon = MemoryDaemon(mem, mb, i=2, j=2, read_capacity=16,
+                              write_capacity=16)
+        iterations = 3
+        seen = {r: [] for r in range(4)}
+
+        def trainer(rank):
+            group = rank // 2
+            for it in range(iterations):
+                if it > 0 or group > 0:
+                    # group 0 skips only its epoch-first read; group 1's
+                    # iteration-0 read is served after group 0's writes
+                    daemon.request_read(rank, np.array([0]))
+                    m, _, _, _ = daemon.wait_read(rank)
+                    seen[rank].append(float(m[0, 0]))
+                daemon.request_write(
+                    rank,
+                    np.array([rank % 2]),           # each trainer owns a row
+                    np.array([[float(10 * it + rank + 1)]], np.float32),
+                    np.array([float(it)]),
+                    np.array([rank % 2]),
+                    np.zeros((1, 2), np.float32),
+                    np.array([float(it)]),
+                )
+                daemon.wait_write(rank)
+
+        # daemon serves: group0 reads (skipped at it=0), group0 writes,
+        # group1 reads, group1 writes
+        def daemon_loop():
+            for it in range(iterations):
+                for g in range(2):
+                    if it > 0 or g > 0:
+                        daemon.serve_reads(g)
+                    daemon.serve_writes(g)
+
+        threads = [threading.Thread(target=trainer, args=(r,)) for r in range(4)]
+        dthread = threading.Thread(target=daemon_loop)
+        for t in threads + [dthread]:
+            t.start()
+        for t in threads + [dthread]:
+            t.join(timeout=30)
+            assert not t.is_alive()
+
+        # group 1 trainers read node 0 *after* group 0's same-iteration write:
+        # at iteration it, rank 0 wrote value 10it+1 just before
+        assert seen[2] == [1.0, 11.0, 21.0]
+        assert seen[3] == [1.0, 11.0, 21.0]
+        # group 0 trainers read at it>0 see *group 1's* previous-iteration
+        # write to node 0 (rank 2 writes node 0 with value 10(it-1)+3, after
+        # rank 0's in the serialized order)
+        assert seen[0] == [3.0, 13.0]
+
+        brackets = daemon.bracket_log()
+        ops = [b[0] for b in brackets]
+        # it0: W(g0) R(g1) W(g1); it1..2: R(g0) W(g0) R(g1) W(g1)
+        assert ops == ["W", "R", "W"] + ["R", "W", "R", "W"] * 2
+        assert brackets[0] == ("W", (0, 1))
+        assert brackets[1] == ("R", (2, 3))
+
+    def test_write_last_wins_within_bracket_rank_order(self):
+        """Two trainers in one bracket writing the same node: the daemon
+        applies requests in rank order, so the higher rank's value lands."""
+        mem = NodeMemory(2, 1)
+        mb = Mailbox(2, 1)
+        daemon = MemoryDaemon(mem, mb, i=2, j=1, read_capacity=8, write_capacity=8)
+        for rank in (0, 1):
+            daemon.request_write(
+                rank,
+                np.array([0]), np.array([[float(rank + 5)]], np.float32),
+                np.array([1.0]),
+                np.array([0]), np.zeros((1, 2), np.float32), np.array([1.0]),
+            )
+        daemon.serve_writes(0)
+        assert mem.memory[0, 0] == 6.0  # rank 1 applied second

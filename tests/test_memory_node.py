@@ -1,0 +1,108 @@
+"""NodeMemory: read/write semantics, replication, last-wins duplicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import NodeMemory
+
+
+class TestBasics:
+    def test_initial_state_zero(self):
+        m = NodeMemory(5, 3)
+        assert m.memory.sum() == 0
+        assert m.last_update.sum() == 0
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            NodeMemory(0, 3)
+        with pytest.raises(ValueError):
+            NodeMemory(5, 0)
+
+    def test_write_then_read(self):
+        m = NodeMemory(4, 2)
+        m.write(np.array([1, 3]), np.array([[1.0, 2.0], [3.0, 4.0]]), np.array([5.0, 6.0]))
+        mem, ts = m.read(np.array([3, 1]))
+        np.testing.assert_allclose(mem, [[3, 4], [1, 2]])
+        np.testing.assert_allclose(ts, [6, 5])
+
+    def test_read_returns_copies(self):
+        m = NodeMemory(3, 2)
+        mem, _ = m.read(np.array([0]))
+        mem[0, 0] = 99.0
+        assert m.memory[0, 0] == 0.0
+
+    def test_empty_write_noop(self):
+        m = NodeMemory(3, 2)
+        m.write(np.array([], dtype=np.int64), np.zeros((0, 2)), np.array([]))
+        assert m.memory.sum() == 0
+
+    def test_shape_mismatch_rejected(self):
+        m = NodeMemory(3, 2)
+        with pytest.raises(ValueError):
+            m.write(np.array([0]), np.zeros((1, 3)), np.array([0.0]))
+
+    def test_duplicate_write_last_wins(self):
+        m = NodeMemory(3, 1)
+        m.write(
+            np.array([1, 1]), np.array([[10.0], [20.0]]), np.array([1.0, 2.0])
+        )
+        assert m.memory[1, 0] == 20.0
+        assert m.last_update[1] == 2.0
+
+    def test_reset(self):
+        m = NodeMemory(3, 2)
+        m.write(np.array([0]), np.ones((1, 2)), np.array([1.0]))
+        m.reset()
+        assert m.memory.sum() == 0
+        assert m.last_update.sum() == 0
+
+
+class TestReplication:
+    def test_clone_is_deep(self):
+        m = NodeMemory(3, 2)
+        m.write(np.array([1]), np.ones((1, 2)), np.array([1.0]))
+        c = m.clone()
+        c.memory[1, 0] = 42.0
+        assert m.memory[1, 0] == 1.0
+
+    def test_copy_from(self):
+        a = NodeMemory(3, 2)
+        a.write(np.array([2]), np.full((1, 2), 7.0), np.array([3.0]))
+        b = NodeMemory(3, 2)
+        b.copy_from(a)
+        np.testing.assert_allclose(b.memory, a.memory)
+        np.testing.assert_allclose(b.last_update, a.last_update)
+
+    def test_copy_from_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            NodeMemory(3, 2).copy_from(NodeMemory(3, 4))
+
+    def test_nbytes_positive(self):
+        assert NodeMemory(10, 4).nbytes() == 10 * 4 * 4 + 10 * 8
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_nodes=st.integers(1, 20),
+    dim=st.integers(1, 8),
+    writes=st.integers(1, 30),
+    seed=st.integers(0, 1000),
+)
+def test_property_memory_matches_sequential_dict(num_nodes, dim, writes, seed):
+    """NodeMemory equals a per-node dict applied write by write."""
+    rng = np.random.default_rng(seed)
+    m = NodeMemory(num_nodes, dim)
+    reference = {}
+    for _ in range(writes):
+        n = rng.integers(1, num_nodes + 1)
+        nodes = rng.integers(0, num_nodes, size=n)
+        vals = rng.standard_normal((n, dim)).astype(np.float32)
+        ts = rng.uniform(0, 100, size=n)
+        m.write(nodes, vals, ts)
+        for node, v, t in zip(nodes, vals, ts):
+            reference[int(node)] = (v, t)
+    for node, (v, t) in reference.items():
+        np.testing.assert_allclose(m.memory[node], v)
+        assert m.last_update[node] == pytest.approx(t)

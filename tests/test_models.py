@@ -1,0 +1,319 @@
+"""TGN model stack: time encoding, updater, attention, TGN, decoders."""
+
+import numpy as np
+import pytest
+
+from repro.graph import RecentNeighborSampler
+from repro.memory import Mailbox, NodeMemory
+from repro.models import (
+    TGN,
+    DirectMemoryView,
+    EdgeClassifier,
+    GRUMemoryUpdater,
+    LinkPredictor,
+    TemporalAttention,
+    TGNConfig,
+    TimeEncoding,
+)
+from repro.nn import Tensor
+
+from helpers import toy_graph
+
+RNG = np.random.default_rng(11)
+
+
+class TestTimeEncoding:
+    def test_output_shape(self):
+        enc = TimeEncoding(16)
+        out = enc(np.array([0.0, 1.0, 100.0]))
+        assert out.shape == (3, 16)
+
+    def test_matrix_input(self):
+        enc = TimeEncoding(8)
+        assert enc(np.zeros((4, 5))).shape == (4, 5, 8)
+
+    def test_zero_encoding_is_cos_phase(self):
+        enc = TimeEncoding(8)
+        out = enc.zero(3)
+        np.testing.assert_allclose(out.data, np.cos(enc.phase.data)[None, :].repeat(3, 0),
+                                   rtol=1e-5)
+
+    def test_frequency_ladder_spans_scales(self):
+        enc = TimeEncoding(10)
+        w = enc.omega.data
+        assert w[0] == pytest.approx(1.0)
+        assert w[-1] < 1e-8
+        assert (np.diff(w) < 0).all()
+
+    def test_learnable(self):
+        enc = TimeEncoding(4)
+        out = enc(np.array([1.0, 2.0]))
+        out.sum().backward()
+        assert enc.omega.grad is not None
+        assert enc.phase.grad is not None
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            TimeEncoding(0)
+
+
+class TestMemoryUpdater:
+    def _updater(self, d=4, e=0):
+        return GRUMemoryUpdater(d, edge_dim=e, time_dim=8, rng=RNG)
+
+    def test_no_mail_keeps_memory(self):
+        upd = self._updater()
+        mem = RNG.standard_normal((3, 4)).astype(np.float32)
+        out, new_t = upd(
+            mem, np.zeros(3), np.zeros((3, 8), np.float32), np.zeros(3),
+            np.zeros(3, bool),
+        )
+        np.testing.assert_allclose(out.data, mem)
+        np.testing.assert_allclose(new_t, 0.0)
+
+    def test_mail_changes_memory_and_timestamp(self):
+        upd = self._updater()
+        mem = np.zeros((2, 4), np.float32)
+        mail = RNG.standard_normal((2, 8)).astype(np.float32)
+        out, new_t = upd(mem, np.zeros(2), mail, np.array([5.0, 6.0]),
+                         np.ones(2, bool))
+        assert np.abs(out.data).sum() > 0
+        np.testing.assert_allclose(new_t, [5.0, 6.0])
+
+    def test_mixed_mail_flags(self):
+        upd = self._updater()
+        mem = np.ones((2, 4), np.float32)
+        mail = np.ones((2, 8), np.float32)
+        out, new_t = upd(mem, np.zeros(2), mail, np.array([3.0, 3.0]),
+                         np.array([True, False]))
+        np.testing.assert_allclose(out.data[1], mem[1])
+        assert not np.allclose(out.data[0], mem[0])
+        assert new_t[1] == 0.0 and new_t[0] == 3.0
+
+    def test_negative_delta_clamped(self):
+        """mail_time < last_update (possible after memory-parallel resets)
+        must not produce negative Δt."""
+        upd = self._updater()
+        out, _ = upd(
+            np.zeros((1, 4), np.float32), np.array([10.0]),
+            np.zeros((1, 8), np.float32), np.array([5.0]), np.ones(1, bool),
+        )
+        assert np.isfinite(out.data).all()
+
+    def test_empty_batch(self):
+        upd = self._updater()
+        out, ts = upd(np.zeros((0, 4), np.float32), np.zeros(0),
+                      np.zeros((0, 8), np.float32), np.zeros(0), np.zeros(0, bool))
+        assert out.shape == (0, 4)
+
+    def test_gradients_reach_gru(self):
+        upd = self._updater()
+        mail = RNG.standard_normal((3, 8)).astype(np.float32)
+        out, _ = upd(np.zeros((3, 4), np.float32), np.zeros(3), mail,
+                     np.ones(3), np.ones(3, bool))
+        out.sum().backward()
+        assert upd.cell.weight_ih.grad is not None
+
+    def test_rnn_cell_variant(self):
+        upd = GRUMemoryUpdater(4, time_dim=8, cell="rnn", rng=RNG)
+        out, _ = upd(np.zeros((2, 4), np.float32), np.zeros(2),
+                     np.ones((2, 8), np.float32), np.ones(2), np.ones(2, bool))
+        assert out.shape == (2, 4)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValueError):
+            GRUMemoryUpdater(4, cell="lstm")
+
+
+class TestTemporalAttention:
+    def _attn(self, d=6, e=0, heads=2, out=8):
+        return TemporalAttention(d, edge_dim=e, time_dim=8, out_dim=out,
+                                 num_heads=heads, rng=RNG)
+
+    def test_output_shape(self):
+        attn = self._attn()
+        b, k = 4, 5
+        root = Tensor(RNG.standard_normal((b, 6)).astype(np.float32))
+        nbr = Tensor(RNG.standard_normal((b, k, 6)).astype(np.float32))
+        mask = np.ones((b, k), bool)
+        out = attn(root, nbr, None, np.zeros((b, k)), mask)
+        assert out.shape == (b, 8)
+
+    def test_out_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            TemporalAttention(6, out_dim=7, num_heads=2)
+
+    def test_masked_neighbors_do_not_affect_output(self):
+        attn = self._attn()
+        b, k = 2, 4
+        root = Tensor(RNG.standard_normal((b, 6)).astype(np.float32))
+        base = RNG.standard_normal((b, k, 6)).astype(np.float32)
+        mask = np.array([[True, True, False, False]] * b)
+        out1 = attn(root, Tensor(base.copy()), None, np.zeros((b, k)), mask)
+        poisoned = base.copy()
+        poisoned[:, 2:] = 1e3
+        out2 = attn(root, Tensor(poisoned), None, np.zeros((b, k)), mask)
+        np.testing.assert_allclose(out1.data, out2.data, rtol=1e-4, atol=1e-5)
+
+    def test_no_neighbors_fallback_uses_root_state(self):
+        attn = self._attn()
+        root = Tensor(RNG.standard_normal((1, 6)).astype(np.float32))
+        nbr = Tensor(np.zeros((1, 3, 6), np.float32))
+        mask = np.zeros((1, 3), bool)
+        out = attn(root, nbr, None, np.zeros((1, 3)), mask)
+        assert np.isfinite(out.data).all()
+
+    def test_edge_features_required_when_configured(self):
+        attn = self._attn(e=4)
+        root = Tensor(np.zeros((1, 6), np.float32))
+        nbr = Tensor(np.zeros((1, 2, 6), np.float32))
+        with pytest.raises(ValueError):
+            attn(root, nbr, None, np.zeros((1, 2)), np.ones((1, 2), bool))
+
+    def test_gradients_flow(self):
+        attn = self._attn()
+        root = Tensor(RNG.standard_normal((3, 6)).astype(np.float32), requires_grad=True)
+        nbr = Tensor(RNG.standard_normal((3, 4, 6)).astype(np.float32))
+        attn(root, nbr, None, np.zeros((3, 4)), np.ones((3, 4), bool)).sum().backward()
+        assert root.grad is not None
+        assert attn.w_q.weight.grad is not None
+
+    def test_recency_matters(self):
+        """Two neighbor sets differing only in Δt give different outputs."""
+        attn = self._attn()
+        root = Tensor(RNG.standard_normal((1, 6)).astype(np.float32))
+        nbr = Tensor(RNG.standard_normal((1, 3, 6)).astype(np.float32))
+        mask = np.ones((1, 3), bool)
+        o1 = attn(root, nbr, None, np.zeros((1, 3)), mask)
+        o2 = attn(root, nbr, None, np.full((1, 3), 50.0), mask)
+        assert not np.allclose(o1.data, o2.data)
+
+
+def build_tgn(graph, static_dim=0, memory_dim=8):
+    cfg = TGNConfig(
+        num_nodes=graph.num_nodes,
+        memory_dim=memory_dim,
+        time_dim=8,
+        embed_dim=8,
+        edge_dim=graph.edge_dim,
+        static_dim=static_dim,
+        num_neighbors=4,
+        seed=0,
+    )
+    model = TGN(cfg)
+    mem = NodeMemory(graph.num_nodes, memory_dim)
+    mb = Mailbox(graph.num_nodes, memory_dim, edge_dim=graph.edge_dim)
+    return model, mem, mb, DirectMemoryView(mem, mb), RecentNeighborSampler(graph, k=4)
+
+
+class TestTGN:
+    def test_embed_shapes(self):
+        g = toy_graph(num_events=100, edge_dim=3)
+        model, mem, mb, view, sampler = build_tgn(g)
+        h, state = model.embed(g.src[:10], g.timestamps[:10], sampler, view,
+                               edge_feat_table=g.edge_feats)
+        assert h.shape == (10, 8)
+
+    def test_writeback_updates_only_roots(self):
+        g = toy_graph(num_events=60)
+        model, mem, mb, view, sampler = build_tgn(g)
+        src, dst = g.src[10:14], g.dst[10:14]
+        t = g.timestamps[10:14]
+        nodes = np.concatenate([src, dst])
+        h, state = model.embed(nodes, np.concatenate([t, t]), sampler, view)
+        wb = model.make_writeback(src, dst, t, state, state)
+        TGN.apply_writeback(wb, mem, mb)
+        touched = (np.abs(mem.memory).sum(axis=1) > 0) | (mem.last_update > 0)
+        assert set(np.where(touched)[0]).issubset(set(nodes))
+
+    def test_mailbox_receives_event_mails(self):
+        g = toy_graph(num_events=60)
+        model, mem, mb, view, sampler = build_tgn(g)
+        src, dst, t = g.src[:5], g.dst[:5], g.timestamps[:5]
+        nodes = np.concatenate([src, dst])
+        h, state = model.embed(nodes, np.concatenate([t, t]), sampler, view)
+        wb = model.make_writeback(src, dst, t, state, state)
+        TGN.apply_writeback(wb, mem, mb)
+        assert mb.has_mail[src].all() and mb.has_mail[dst].all()
+
+    def test_static_memory_changes_output(self):
+        g = toy_graph(num_events=80)
+        model, mem, mb, view, sampler = build_tgn(g, static_dim=6)
+        table = np.random.default_rng(0).standard_normal(
+            (g.num_nodes, 6)).astype(np.float32)
+        h0, _ = model.embed(g.src[:5], g.timestamps[:5], sampler, view)
+        assert not model.has_static_memory
+        model.attach_static_memory(table)
+        assert model.has_static_memory
+        h1, _ = model.embed(g.src[:5], g.timestamps[:5], sampler, view)
+        assert not np.allclose(h0.data, h1.data)
+
+    def test_attach_static_rejects_wrong_shape(self):
+        g = toy_graph()
+        model, *_ = build_tgn(g, static_dim=6)
+        with pytest.raises(ValueError):
+            model.attach_static_memory(np.zeros((3, 6), np.float32))
+
+    def test_attach_static_requires_config(self):
+        g = toy_graph()
+        model, *_ = build_tgn(g, static_dim=0)
+        with pytest.raises(ValueError):
+            model.attach_static_memory(np.zeros((g.num_nodes, 6), np.float32))
+
+    def test_prepare_forward_split_consistent_with_embed(self):
+        g = toy_graph(num_events=100, edge_dim=2)
+        model, mem, mb, view, sampler = build_tgn(g)
+        nodes, times = g.src[20:30], g.timestamps[20:30]
+        prep = model.prepare(nodes, times, sampler, view, edge_feat_table=g.edge_feats)
+        h1, _ = model.forward_prepared(prep)
+        h2, _ = model.embed(nodes, times, sampler, view, edge_feat_table=g.edge_feats)
+        np.testing.assert_allclose(h1.data, h2.data, rtol=1e-5)
+
+    def test_prepared_inputs_frozen_across_weight_updates(self):
+        g = toy_graph(num_events=100)
+        model, mem, mb, view, sampler = build_tgn(g)
+        # use late events so the roots actually have temporal neighbors
+        prep = model.prepare(g.src[60:65], g.timestamps[60:65], sampler, view)
+        h1, _ = model.forward_prepared(prep)
+        # perturb weights: outputs must change, prepared inputs must not
+        model.attention.w_q.weight.data += 0.5
+        h2, _ = model.forward_prepared(prep)
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_no_future_information_in_embedding(self):
+        """Writing a *future* event into memory must not affect an embedding
+        computed at an earlier timestamp via sampling (temporal eligibility);
+        only memory state can carry it, which the protocol orders correctly."""
+        g = toy_graph(num_events=100)
+        model, mem, mb, view, sampler = build_tgn(g)
+        t_query = g.timestamps[50]
+        h_before, _ = model.embed(g.src[50:51], np.array([t_query]), sampler, view)
+        # feed events after t_query into the mailbox only (not memory)
+        src, dst, t = g.src[60:70], g.dst[60:70], g.timestamps[60:70]
+        # embeddings at t_query resample the same earlier neighbors
+        h_after, _ = model.embed(g.src[50:51], np.array([t_query]), sampler, view)
+        np.testing.assert_allclose(h_before.data, h_after.data, rtol=1e-6)
+
+    def test_model_requires_edge_table_when_configured(self):
+        g = toy_graph(num_events=50, edge_dim=3)
+        model, mem, mb, view, sampler = build_tgn(g)
+        with pytest.raises(ValueError):
+            model.embed(g.src[:3], g.timestamps[:3], sampler, view)
+
+
+class TestDecoders:
+    def test_link_predictor_shape(self):
+        dec = LinkPredictor(8, rng=RNG)
+        h = Tensor(RNG.standard_normal((5, 8)).astype(np.float32))
+        assert dec(h, h).shape == (5,)
+
+    def test_edge_classifier_shape(self):
+        dec = EdgeClassifier(8, 56, rng=RNG)
+        h = Tensor(RNG.standard_normal((5, 8)).astype(np.float32))
+        assert dec(h, h).shape == (5, 56)
+
+    def test_decoder_gradients(self):
+        dec = LinkPredictor(4, rng=RNG)
+        h = Tensor(RNG.standard_normal((3, 4)).astype(np.float32), requires_grad=True)
+        dec(h, h).sum().backward()
+        assert h.grad is not None

@@ -1,0 +1,182 @@
+"""Functional op tests: softmax/losses against scipy references + gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import log_softmax as sp_log_softmax
+from scipy.special import softmax as sp_softmax
+
+from repro.nn import (
+    Tensor,
+    bce_with_logits,
+    cross_entropy,
+    dropout,
+    log_softmax,
+    mse_loss,
+    multilabel_bce,
+    softmax,
+)
+
+from helpers import check_gradients
+
+RNG = np.random.default_rng(7)
+
+
+class TestSoftmax:
+    def test_matches_scipy(self):
+        x = RNG.standard_normal((4, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            softmax(Tensor(x)).data, sp_softmax(x, axis=-1), rtol=1e-5
+        )
+
+    def test_rows_sum_to_one(self):
+        x = RNG.standard_normal((5, 7)).astype(np.float32) * 10
+        np.testing.assert_allclose(softmax(Tensor(x)).data.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_stable_for_large_logits(self):
+        x = np.array([[1000.0, 1000.0, -1000.0]], dtype=np.float32)
+        out = softmax(Tensor(x)).data
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[0, :2], 0.5, rtol=1e-5)
+
+    def test_axis_argument(self):
+        x = RNG.standard_normal((3, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            softmax(Tensor(x), axis=0).data, sp_softmax(x, axis=0), rtol=1e-5
+        )
+
+    def test_gradient(self):
+        check_gradients(lambda x: softmax(x, axis=-1), (3, 5), RNG)
+
+    def test_gradient_sums_to_zero_per_row(self):
+        # softmax is shift-invariant, so row-gradients must sum to ~0 when
+        # chained with any downstream function
+        x = Tensor(RNG.standard_normal((4, 5)).astype(np.float32), requires_grad=True)
+        (softmax(x) * Tensor(RNG.standard_normal((4, 5)).astype(np.float32))).sum().backward()
+        np.testing.assert_allclose(x.grad.sum(axis=-1), 0.0, atol=1e-5)
+
+
+class TestLogSoftmax:
+    def test_matches_scipy(self):
+        x = RNG.standard_normal((4, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            log_softmax(Tensor(x)).data, sp_log_softmax(x, axis=-1), rtol=1e-4, atol=1e-5
+        )
+
+    def test_gradient(self):
+        check_gradients(lambda x: log_softmax(x, axis=-1), (3, 4), RNG)
+
+
+class TestBCEWithLogits:
+    def test_matches_reference_formula(self):
+        z = RNG.standard_normal(50).astype(np.float32)
+        y = (RNG.random(50) > 0.5).astype(np.float32)
+        loss = bce_with_logits(Tensor(z), y)
+        p = 1 / (1 + np.exp(-z))
+        ref = -(y * np.log(p) + (1 - y) * np.log(1 - p)).mean()
+        assert float(loss.data) == pytest.approx(ref, rel=1e-4)
+
+    def test_stable_for_extreme_logits(self):
+        z = Tensor(np.array([100.0, -100.0], dtype=np.float32), requires_grad=True)
+        loss = bce_with_logits(z, np.array([1.0, 0.0]))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-6)
+        loss.backward()
+        assert np.isfinite(z.grad).all()
+
+    def test_gradient_is_sigmoid_minus_target(self):
+        z0 = RNG.standard_normal(10).astype(np.float32)
+        y = (RNG.random(10) > 0.5).astype(np.float32)
+        z = Tensor(z0, requires_grad=True)
+        bce_with_logits(z, y, reduction="sum").backward()
+        np.testing.assert_allclose(z.grad, 1 / (1 + np.exp(-z0)) - y, rtol=1e-4, atol=1e-6)
+
+    def test_reduction_none_shape(self):
+        z = Tensor(np.zeros((3, 4)))
+        out = bce_with_logits(z, np.ones((3, 4)), reduction="none")
+        assert out.shape == (3, 4)
+
+    def test_multilabel_bce_alias(self):
+        z = Tensor(np.zeros(4))
+        y = np.ones(4, dtype=np.float32)
+        assert float(multilabel_bce(z, y).data) == pytest.approx(
+            float(bce_with_logits(z, y).data)
+        )
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = RNG.standard_normal((6, 5)).astype(np.float32)
+        targets = RNG.integers(0, 5, size=6)
+        loss = cross_entropy(Tensor(logits), targets)
+        ref = -sp_log_softmax(logits, axis=-1)[np.arange(6), targets].mean()
+        assert float(loss.data) == pytest.approx(ref, rel=1e-4)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((3, 4), -20.0, dtype=np.float32)
+        targets = np.array([0, 1, 2])
+        logits[np.arange(3), targets] = 20.0
+        loss = cross_entropy(Tensor(logits), targets)
+        assert float(loss.data) < 1e-4
+
+    def test_gradient(self):
+        targets = np.array([0, 2, 1])
+        check_gradients(
+            lambda x: cross_entropy(x, targets, reduction="sum"), (3, 4), RNG
+        )
+
+    def test_reduction_sum_vs_mean(self):
+        logits = Tensor(RNG.standard_normal((4, 3)).astype(np.float32))
+        targets = np.array([0, 1, 2, 0])
+        s = float(cross_entropy(logits, targets, reduction="sum").data)
+        m = float(cross_entropy(logits, targets, reduction="mean").data)
+        assert s == pytest.approx(4 * m, rel=1e-5)
+
+
+class TestMSEAndDropout:
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        loss = mse_loss(pred, np.array([1.0, 1.0, 1.0]))
+        assert float(loss.data) == pytest.approx((0 + 1 + 4) / 3)
+
+    def test_mse_gradient(self):
+        target = RNG.standard_normal(5).astype(np.float32)
+        check_gradients(lambda x: mse_loss(x, target, reduction="sum"), (5,), RNG)
+
+    def test_dropout_identity_in_eval(self):
+        x = Tensor(np.ones((10, 10)))
+        out = dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_dropout_zero_p_identity(self):
+        x = Tensor(np.ones(5))
+        assert dropout(x, 0.0, training=True) is x
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, training=True, rng=rng)
+        assert float(out.data.mean()) == pytest.approx(1.0, abs=0.02)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 6),
+    cols=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_property_softmax_invariant_to_shift(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((rows, cols)).astype(np.float32)
+    a = softmax(Tensor(x)).data
+    b = softmax(Tensor(x + 123.0)).data
+    np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 40), seed=st.integers(0, 10_000))
+def test_property_bce_nonnegative(n, seed):
+    rng = np.random.default_rng(seed)
+    z = Tensor(rng.standard_normal(n).astype(np.float32) * 5)
+    y = (rng.random(n) > 0.5).astype(np.float32)
+    assert float(bce_with_logits(z, y).data) >= 0.0

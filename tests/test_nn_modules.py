@@ -1,0 +1,260 @@
+"""Module system, layers, RNN cells, optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    SGD,
+    Adam,
+    Dropout,
+    Embedding,
+    GRUCell,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    RNNCell,
+    Sequential,
+    Tensor,
+    clip_grad_norm,
+    flatten_grads,
+    load_flat_grads,
+    scale_lr,
+)
+
+from helpers import check_gradients
+
+RNG = np.random.default_rng(3)
+
+
+class TestModuleRegistry:
+    def test_parameters_recursive(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(2))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.b = Parameter(np.ones(3))
+
+        names = dict(Outer().named_parameters())
+        assert set(names) == {"inner.w", "b"}
+
+    def test_num_parameters(self):
+        lin = Linear(4, 3)
+        assert lin.num_parameters() == 4 * 3 + 3
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(4, 3, rng=np.random.default_rng(0))
+        b = Linear(4, 3, rng=np.random.default_rng(1))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_rejects_mismatched_keys(self):
+        a = Linear(4, 3)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": a.weight.data})
+
+    def test_load_state_dict_rejects_wrong_shape(self):
+        a = Linear(4, 3)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), Dropout(0.5))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_zero_grad(self):
+        lin = Linear(3, 2)
+        x = Tensor(np.ones((1, 3)))
+        lin(x).sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        lin = Linear(5, 3)
+        out = lin(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_linear_no_bias(self):
+        lin = Linear(5, 3, bias=False)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_linear_gradcheck(self):
+        lin = Linear(4, 3, rng=RNG)
+        check_gradients(lambda x: lin(x), (2, 4), RNG)
+
+    def test_mlp_depth(self):
+        mlp = MLP([4, 8, 8, 2], rng=RNG)
+        assert mlp(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_mlp_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_layernorm_normalises(self):
+        ln = LayerNorm(16)
+        x = Tensor(RNG.standard_normal((5, 16)).astype(np.float32) * 10 + 3)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layernorm_gradcheck(self):
+        ln = LayerNorm(6)
+        check_gradients(lambda x: ln(x), (3, 6), RNG)
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4, rng=RNG)
+        out = emb(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[1])
+
+    def test_embedding_gradient_accumulates_duplicates(self):
+        emb = Embedding(5, 2, rng=RNG)
+        emb(np.array([2, 2, 2])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], [3, 3])
+        np.testing.assert_allclose(emb.weight.grad[0], [0, 0])
+
+    def test_sequential_iteration(self):
+        seq = Sequential(Linear(2, 2), Linear(2, 2))
+        assert len(seq) == 2
+        assert len(list(seq)) == 2
+
+
+class TestRNNCells:
+    def test_gru_output_shape(self):
+        cell = GRUCell(6, 4, rng=RNG)
+        out = cell(Tensor(np.ones((3, 6))), Tensor(np.zeros((3, 4))))
+        assert out.shape == (3, 4)
+
+    def test_gru_zero_input_keeps_reasonable_range(self):
+        cell = GRUCell(6, 4, rng=RNG)
+        h = cell(Tensor(np.zeros((2, 6))), Tensor(np.zeros((2, 4))))
+        assert np.abs(h.data).max() <= 1.0  # tanh-bounded candidate
+
+    def test_gru_gradients_flow_to_all_params(self):
+        cell = GRUCell(3, 4, rng=RNG)
+        x = Tensor(RNG.standard_normal((2, 3)).astype(np.float32))
+        h = Tensor(RNG.standard_normal((2, 4)).astype(np.float32))
+        cell(x, h).sum().backward()
+        for name, p in cell.named_parameters():
+            assert p.grad is not None, name
+            assert np.abs(p.grad).sum() > 0, name
+
+    def test_gru_hidden_gradcheck(self):
+        cell = GRUCell(3, 4, rng=RNG)
+        x = Tensor(RNG.standard_normal((2, 3)).astype(np.float32))
+        check_gradients(lambda h: cell(x, h), (2, 4), RNG)
+
+    def test_gru_identity_when_update_gate_saturated(self):
+        cell = GRUCell(2, 3, rng=RNG)
+        # force z ≈ 1 (keep hidden) by biasing the update gate hugely
+        cell.bias_ih.data[3:6] = 50.0
+        h0 = RNG.standard_normal((1, 3)).astype(np.float32)
+        out = cell(Tensor(np.zeros((1, 2))), Tensor(h0))
+        np.testing.assert_allclose(out.data, h0, atol=1e-4)
+
+    def test_rnn_cell(self):
+        cell = RNNCell(3, 4, rng=RNG)
+        out = cell(Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 4))))
+        assert out.shape == (2, 4)
+        assert np.abs(out.data).max() <= 1.0
+
+
+class TestOptimizers:
+    @staticmethod
+    def _quadratic_problem(opt_cls, steps=300, **kwargs):
+        target = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+        w = Parameter(np.zeros(3))
+        opt = opt_cls([w], **kwargs)
+        for _ in range(steps):
+            loss = ((w - Tensor(target)) ** 2).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return w.data, target
+
+    def test_sgd_converges(self):
+        w, target = self._quadratic_problem(SGD, lr=0.1)
+        np.testing.assert_allclose(w, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        w, target = self._quadratic_problem(SGD, lr=0.05, momentum=0.9)
+        np.testing.assert_allclose(w, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        w, target = self._quadratic_problem(Adam, lr=0.1)
+        np.testing.assert_allclose(w, target, atol=1e-2)
+
+    def test_adam_weight_decay_shrinks(self):
+        w = Parameter(np.full(3, 5.0, dtype=np.float32))
+        opt = Adam([w], lr=0.1, weight_decay=1.0)
+        for _ in range(200):
+            loss = (w * 0.0).sum()  # only decay acts
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.abs(w.data).max() < 1.0
+
+    def test_optimizer_skips_missing_grads(self):
+        w = Parameter(np.ones(2))
+        opt = Adam([w], lr=0.1)
+        opt.step()  # no grad: should not raise or change weights
+        np.testing.assert_allclose(w.data, 1.0)
+
+    def test_optimizer_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        w = Parameter(np.ones(4))
+        w.grad = np.full(4, 10.0, dtype=np.float32)
+        pre = clip_grad_norm([w], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0, rel=1e-4)
+
+    def test_clip_noop_under_limit(self):
+        w = Parameter(np.ones(2))
+        w.grad = np.array([0.1, 0.1], dtype=np.float32)
+        clip_grad_norm([w], max_norm=10.0)
+        np.testing.assert_allclose(w.grad, [0.1, 0.1])
+
+    def test_scale_lr_linear_rule(self):
+        assert scale_lr(1e-3, 4800, 600) == pytest.approx(8e-3)
+        with pytest.raises(ValueError):
+            scale_lr(1e-3, 100, 0)
+
+
+class TestFlatGrads:
+    def test_roundtrip(self):
+        lin = Linear(3, 2, rng=RNG)
+        x = Tensor(RNG.standard_normal((4, 3)).astype(np.float32))
+        lin(x).sum().backward()
+        flat = flatten_grads(lin)
+        assert flat.size == lin.num_parameters()
+        load_flat_grads(lin, flat * 2)
+        np.testing.assert_allclose(flatten_grads(lin), flat * 2)
+
+    def test_missing_grads_become_zero(self):
+        lin = Linear(3, 2)
+        flat = flatten_grads(lin)
+        np.testing.assert_allclose(flat, 0.0)
+
+    def test_size_mismatch_raises(self):
+        lin = Linear(3, 2)
+        with pytest.raises(ValueError):
+            load_flat_grads(lin, np.zeros(5))

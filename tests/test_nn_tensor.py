@@ -1,0 +1,330 @@
+"""Autograd engine tests: every op against finite differences + invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, concat, ones, stack, tensor, where, zeros
+from repro.nn.tensor import _unbroadcast
+
+from helpers import check_gradients
+
+RNG = np.random.default_rng(42)
+
+
+class TestConstruction:
+    def test_default_dtype_is_float32(self):
+        t = Tensor([1.0, 2.0])
+        assert t.dtype == np.float32
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert t.shape == (3, 4)
+        assert t.ndim == 2
+        assert t.size == 12
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_drops_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+
+    def test_zeros_ones_tensor_helpers(self):
+        assert zeros((2, 2)).data.sum() == 0
+        assert ones((2, 2)).data.sum() == 4
+        assert tensor([1, 2]).shape == (2,)
+
+    def test_numpy_returns_underlying(self):
+        arr = np.ones(3, dtype=np.float32)
+        assert Tensor(arr).numpy() is arr
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2).backward(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        np.testing.assert_allclose(t.grad, [2, 4, 6])
+
+    def test_gradient_accumulates_across_uses(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        out = (t * 3).sum() + (t * 2).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, [5, 5])
+
+    def test_no_grad_for_non_requiring(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2))
+        (a * b).sum().backward()
+        assert b.grad is None
+
+    def test_diamond_graph_counts_paths(self):
+        # y = x*x + x*x should give dy/dx = 4x
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * x + x * x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        t = Tensor(np.ones(1), requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_gradients(lambda x: x + x * 2.0, (3, 4), RNG)
+
+    def test_add_broadcast_rows(self):
+        b = Tensor(RNG.standard_normal((4,)).astype(np.float32))
+        check_gradients(lambda x: x + b, (3, 4), RNG)
+
+    def test_radd_scalar(self):
+        check_gradients(lambda x: 2.0 + x, (5,), RNG)
+
+    def test_sub_rsub(self):
+        check_gradients(lambda x: (1.0 - x) - (x - 2.0), (4,), RNG)
+
+    def test_mul(self):
+        a = Tensor(RNG.standard_normal((3, 4)).astype(np.float32))
+        check_gradients(lambda x: x * a, (3, 4), RNG)
+
+    def test_mul_broadcast_scalar_tensor(self):
+        s = Tensor(np.array(2.5, dtype=np.float32), requires_grad=True)
+        x = Tensor(RNG.standard_normal((3, 3)).astype(np.float32))
+        (s * x).sum().backward()
+        assert s.grad.shape == ()
+        np.testing.assert_allclose(s.grad, x.data.sum(), rtol=1e-5)
+
+    def test_div(self):
+        check_gradients(lambda x: x / 3.0 + 6.0 / (x + 10.0), (4,), RNG)
+
+    def test_neg(self):
+        check_gradients(lambda x: -x, (4,), RNG)
+
+    def test_pow(self):
+        check_gradients(lambda x: (x + 5.0) ** 3, (4,), RNG, scale=0.3)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        w = Tensor(RNG.standard_normal((4, 5)).astype(np.float32), requires_grad=True)
+        x0 = RNG.standard_normal((3, 4)).astype(np.float32)
+        x = Tensor(x0, requires_grad=True)
+        (x @ w).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 5)) @ w.data.T, rtol=1e-5)
+        np.testing.assert_allclose(w.grad, x0.T @ np.ones((3, 5)), rtol=1e-5)
+
+    def test_matmul_batched(self):
+        check_gradients(lambda x: x @ x.transpose((0, 2, 1)), (2, 3, 4), RNG, scale=0.5)
+
+    def test_matmul_vector_rhs(self):
+        v = Tensor(RNG.standard_normal(4).astype(np.float32), requires_grad=True)
+        x = Tensor(RNG.standard_normal((3, 4)).astype(np.float32))
+        (x @ v).sum().backward()
+        np.testing.assert_allclose(v.grad, x.data.sum(axis=0), rtol=1e-5)
+
+
+class TestElementwiseGradients:
+    def test_exp(self):
+        check_gradients(lambda x: x.exp(), (3, 3), RNG, scale=0.5)
+
+    def test_log(self):
+        check_gradients(lambda x: (x + 5.0).log(), (3, 3), RNG, scale=0.5)
+
+    def test_sqrt(self):
+        check_gradients(lambda x: (x + 5.0).sqrt(), (3, 3), RNG, scale=0.5)
+
+    def test_tanh(self):
+        check_gradients(lambda x: x.tanh(), (3, 3), RNG)
+
+    def test_sigmoid(self):
+        check_gradients(lambda x: x.sigmoid(), (3, 3), RNG)
+
+    def test_relu_gradient_masks_negatives(self):
+        x = Tensor(np.array([-1.0, 2.0, -3.0, 4.0]), requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 1, 0, 1])
+
+    def test_cos_sin(self):
+        check_gradients(lambda x: x.cos() + x.sin(), (4,), RNG)
+
+    def test_abs(self):
+        check_gradients(lambda x: (x + 3.0).abs(), (4,), RNG, scale=0.5)
+
+    def test_clip_gradient_zero_outside(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 1, 0])
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        check_gradients(lambda x: x.sum(), (3, 4), RNG)
+
+    def test_sum_axis_keepdims(self):
+        check_gradients(lambda x: x.sum(axis=1, keepdims=True) * 2.0, (3, 4), RNG)
+
+    def test_sum_axis_no_keepdims(self):
+        check_gradients(lambda x: x.sum(axis=0), (3, 4), RNG)
+
+    def test_sum_negative_axis(self):
+        check_gradients(lambda x: x.sum(axis=-1), (2, 3), RNG)
+
+    def test_mean(self):
+        x = Tensor(np.ones((2, 5)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 5), 0.1))
+
+    def test_mean_axis(self):
+        check_gradients(lambda x: x.mean(axis=1), (3, 4), RNG)
+
+    def test_max_axis(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0], [7.0, 1.0, 3.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 1, 0], [1, 0, 0]])
+
+    def test_max_splits_ties(self):
+        x = Tensor(np.array([[2.0, 2.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+
+
+class TestShapingGradients:
+    def test_reshape(self):
+        check_gradients(lambda x: x.reshape(6, 2), (3, 4), RNG)
+
+    def test_reshape_tuple_arg(self):
+        check_gradients(lambda x: x.reshape((2, 6)), (3, 4), RNG)
+
+    def test_transpose_default(self):
+        check_gradients(lambda x: x.T @ x, (3, 4), RNG, scale=0.5)
+
+    def test_transpose_axes(self):
+        check_gradients(lambda x: x.transpose((1, 0, 2)), (2, 3, 4), RNG)
+
+    def test_getitem_slice(self):
+        check_gradients(lambda x: x[1:], (4, 3), RNG)
+
+    def test_getitem_int_column(self):
+        check_gradients(lambda x: x[:, 0], (4, 3), RNG)
+
+    def test_gather_rows_duplicate_indices_accumulate(self):
+        x = Tensor(np.eye(3, dtype=np.float32), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x.gather_rows(idx).sum().backward()
+        # each selected row receives an all-ones gradient per occurrence
+        np.testing.assert_allclose(x.grad.sum(axis=1), [6, 0, 3])
+
+    def test_concat_axis0_and_1(self):
+        a = Tensor(RNG.standard_normal((2, 3)).astype(np.float32), requires_grad=True)
+        b = Tensor(RNG.standard_normal((2, 3)).astype(np.float32), requires_grad=True)
+        concat([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+    def test_concat_gradient_slices_correctly(self):
+        a = Tensor(np.zeros((2, 2)), requires_grad=True)
+        b = Tensor(np.zeros((2, 3)), requires_grad=True)
+        out = concat([a, b], axis=1)
+        g = np.arange(10, dtype=np.float32).reshape(2, 5)
+        out.backward(g) if out.data.size == 1 else out.sum().backward()
+        assert a.grad.shape == (2, 2) and b.grad.shape == (2, 3)
+
+    def test_stack(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        s = stack([a, b], axis=0)
+        assert s.shape == (2, 3)
+        s.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+
+    def test_where_routes_gradients(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 0, 1])
+        np.testing.assert_allclose(b.grad, [0, 1, 0])
+
+
+class TestUnbroadcast:
+    def test_no_op_when_same_shape(self):
+        g = np.ones((2, 3))
+        assert _unbroadcast(g, (2, 3)) is g
+
+    def test_sums_leading_axes(self):
+        g = np.ones((5, 2, 3))
+        assert _unbroadcast(g, (2, 3)).shape == (2, 3)
+        np.testing.assert_allclose(_unbroadcast(g, (2, 3)), np.full((2, 3), 5))
+
+    def test_sums_size_one_axes(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(_unbroadcast(g, (2, 1)), np.full((2, 1), 3))
+
+    def test_scalar_target(self):
+        g = np.ones((4, 4))
+        assert _unbroadcast(g, ()).item() == 16
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_property_composite_gradcheck(rows, cols, seed):
+    """Random composite of smooth ops matches finite differences."""
+    rng = np.random.default_rng(seed)
+    w = Tensor(rng.standard_normal((cols, cols)).astype(np.float32))
+
+    def build(x):
+        return ((x @ w).tanh() * x).sigmoid().sum(axis=-1)
+
+    check_gradients(build, (rows, cols), rng, atol=5e-2, rtol=1e-1, scale=0.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    seed=st.integers(0, 10_000),
+)
+def test_property_sum_then_broadcast_roundtrip(shape, seed):
+    """x.sum() gradient is all-ones regardless of shape."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal(shape).astype(np.float32), requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones(shape))
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 30), seed=st.integers(0, 1000))
+def test_property_gather_rows_grad_counts(n, seed):
+    """gather_rows gradient equals occurrence counts row-wise."""
+    rng = np.random.default_rng(seed)
+    table = Tensor(np.zeros((7, 3), dtype=np.float32), requires_grad=True)
+    idx = rng.integers(0, 7, size=n)
+    table.gather_rows(idx).sum().backward()
+    counts = np.bincount(idx, minlength=7)
+    np.testing.assert_allclose(table.grad[:, 0], counts)

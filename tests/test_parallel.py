@@ -1,0 +1,207 @@
+"""ParallelConfig validation, the §3.2.4 planner, gradient all-reduce."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Linear, Tensor
+from repro.parallel import (
+    HardwareSpec,
+    ParallelConfig,
+    allreduce_gradients,
+    broadcast_weights,
+    largest_safe_batch,
+    plan,
+    plan_for_graph,
+    ring_allreduce_time,
+    single_gpu,
+    weights_synchronized,
+)
+
+from helpers import toy_graph
+
+
+class TestParallelConfig:
+    def test_label(self):
+        assert ParallelConfig(2, 2, 8, machines=4).label() == "2x2x8"
+
+    def test_total_gpus(self):
+        assert ParallelConfig(2, 2, 8, machines=4).total_gpus == 32
+
+    def test_copies_per_machine(self):
+        assert ParallelConfig(2, 2, 8, machines=4).copies_per_machine == 2
+
+    def test_trainers_per_group(self):
+        assert ParallelConfig(2, 3, 1).trainers_per_group == 6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(0, 1, 1)
+
+    def test_rejects_k_below_machines(self):
+        """k >= p: memory must never synchronise across machines (§3.2.4)."""
+        with pytest.raises(ValueError):
+            ParallelConfig(1, 8, 1, machines=2)
+
+    def test_rejects_k_not_multiple_of_machines(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(1, 1, 3, machines=2)
+
+    def test_single_gpu_helper(self):
+        cfg = single_gpu()
+        assert cfg.total_gpus == 1
+
+    def test_memory_bytes_per_machine(self):
+        cfg = ParallelConfig(1, 1, 4, machines=2)
+        per = cfg.memory_bytes_per_machine(1000, 100, 330)
+        assert per == 2 * 1000 * (400 + 8 + 1320 + 8 + 1)
+
+
+class TestPlanner:
+    def test_paper_worked_example(self):
+        """4 machines x 8 GPUs, max batch 3200, GPU saturates at 1600,
+        RAM holds 2 copies -> 2 x 2 x 8 (paper §3.2.4)."""
+        hw = HardwareSpec(
+            machines=4,
+            gpus_per_machine=8,
+            gpu_saturation_batch=1600,
+            # RAM sized to fit exactly 2 copies of the node memory
+            ram_bytes_per_machine=2 * 4e9,
+            ram_reserved_fraction=0.5,
+        )
+        num_nodes = 1_000_000
+        mem_dim = 100
+        per_copy = num_nodes * (mem_dim * 4 + 8 + (2 * mem_dim + 172) * 4 + 8 + 1)
+        hw = HardwareSpec(
+            machines=4,
+            gpus_per_machine=8,
+            gpu_saturation_batch=1600,
+            ram_bytes_per_machine=2 * per_copy / 0.5,
+            ram_reserved_fraction=0.5,
+        )
+        trace = plan(hw, max_batch=3200, num_nodes=num_nodes, memory_dim=100,
+                     edge_dim=172)
+        assert trace.config.i == 2
+        assert trace.config.k == 8
+        assert trace.config.j == 2
+        assert trace.local_batch == 1600
+
+    def test_small_batch_prefers_memory_parallelism(self):
+        hw = HardwareSpec(machines=1, gpus_per_machine=8,
+                          gpu_saturation_batch=1600,
+                          ram_bytes_per_machine=1e12)
+        trace = plan(hw, max_batch=600, num_nodes=10_000)
+        assert trace.config.i == 1
+        assert trace.config.k == 8
+        assert trace.config.j == 1
+
+    def test_ram_limited_falls_back_to_epoch_parallelism(self):
+        hw = HardwareSpec(machines=1, gpus_per_machine=8,
+                          gpu_saturation_batch=1600,
+                          ram_bytes_per_machine=1e5)  # fits ~nothing
+        trace = plan(hw, max_batch=600, num_nodes=100_000)
+        assert trace.config.k == 1
+        assert trace.config.j == 8
+
+    def test_product_always_matches_cluster(self):
+        for machines, gpus in [(1, 2), (1, 8), (2, 4), (2, 8), (4, 8)]:
+            hw = HardwareSpec(machines=machines, gpus_per_machine=gpus,
+                              ram_bytes_per_machine=1e12)
+            trace = plan(hw, max_batch=1000, num_nodes=5000)
+            cfg = trace.config
+            assert cfg.i * cfg.j * cfg.k == machines * gpus
+            assert cfg.k >= machines
+
+    def test_notes_populated(self):
+        hw = HardwareSpec(machines=1, gpus_per_machine=4)
+        trace = plan(hw, max_batch=600, num_nodes=1000)
+        assert len(trace.notes) == 3
+
+
+class TestLargestSafeBatch:
+    def test_loose_threshold_allows_larger_batches(self):
+        g = toy_graph(num_events=2000, seed=2)
+        strict = largest_safe_batch(g, max_missing_fraction=0.2,
+                                    batch_grid=[10, 50, 100, 500])
+        loose = largest_safe_batch(g, max_missing_fraction=0.9,
+                                   batch_grid=[10, 50, 100, 500])
+        assert loose >= strict
+
+    def test_high_degree_threshold_tightens(self):
+        g = toy_graph(num_events=2000, num_src=4, num_dst=40, seed=3)
+        base = largest_safe_batch(g, max_missing_fraction=0.8,
+                                  batch_grid=[10, 50, 100, 500])
+        tight = largest_safe_batch(g, max_missing_fraction=0.8,
+                                   high_degree_max_missing=0.3,
+                                   batch_grid=[10, 50, 100, 500])
+        assert tight <= base
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            largest_safe_batch(toy_graph(), max_missing_fraction=1.5)
+
+    def test_plan_for_graph_end_to_end(self):
+        g = toy_graph(num_events=1000)
+        hw = HardwareSpec(machines=1, gpus_per_machine=4,
+                          ram_bytes_per_machine=1e12)
+        trace = plan_for_graph(hw, g)
+        assert trace.config.total_gpus == 4
+
+
+class TestAllreduce:
+    def _replicas(self, n=3):
+        models = [Linear(4, 2, rng=np.random.default_rng(0)) for _ in range(n)]
+        rng = np.random.default_rng(1)
+        for m in models:
+            x = Tensor(rng.standard_normal((5, 4)).astype(np.float32))
+            (m(x) ** 2).sum().backward()
+        return models
+
+    def test_gradients_averaged(self):
+        models = self._replicas()
+        grads = [m.weight.grad.copy() for m in models]
+        allreduce_gradients(models)
+        expected = np.mean(grads, axis=0)
+        for m in models:
+            np.testing.assert_allclose(m.weight.grad, expected, rtol=1e-5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_gradients([])
+
+    def test_mismatched_models_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_gradients([Linear(4, 2), Linear(4, 3)])
+
+    def test_broadcast_weights(self):
+        a = Linear(4, 2, rng=np.random.default_rng(0))
+        b = Linear(4, 2, rng=np.random.default_rng(1))
+        assert not weights_synchronized([a, b])
+        broadcast_weights([a, b], root=0)
+        assert weights_synchronized([a, b])
+
+    def test_ring_allreduce_time_properties(self):
+        assert ring_allreduce_time(1e6, 1, 1e9) == 0.0
+        t2 = ring_allreduce_time(1e6, 2, 1e9)
+        t8 = ring_allreduce_time(1e6, 8, 1e9)
+        assert t8 > t2 > 0
+        # bandwidth term saturates at 2 * payload / bw as n grows
+        assert t8 < 2 * (1e6 / 1e9) + 8 * 2 * 5e-6 + 1e-3
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    machines=st.sampled_from([1, 2, 4]),
+    gpus=st.sampled_from([2, 4, 8]),
+    max_batch=st.integers(100, 10_000),
+)
+def test_property_planner_constraints(machines, gpus, max_batch):
+    hw = HardwareSpec(machines=machines, gpus_per_machine=gpus,
+                      ram_bytes_per_machine=1e12)
+    trace = plan(hw, max_batch=max_batch, num_nodes=10_000)
+    cfg = trace.config
+    assert cfg.i * cfg.j * cfg.k == machines * gpus
+    assert cfg.k >= machines
+    assert cfg.k % machines == 0
+    assert gpus % cfg.i == 0

@@ -1,0 +1,163 @@
+"""Hardware cost model: shape properties the paper's figures rely on."""
+
+import pytest
+
+from repro.parallel import ParallelConfig
+from repro.sim import ClusterSpec, CostModel, WorkloadSpec, g4dn_metal
+
+WIKI = WorkloadSpec()  # §4.0.1 defaults
+GDELT = WorkloadSpec(local_batch=3200, edge_dim=130, node_feat_dim=413,
+                     roots_per_event=2)
+
+
+def tput(w, system, cfg, machines=1):
+    return CostModel(w, g4dn_metal(machines)).throughput_per_gpu(system, cfg)
+
+
+class TestWorkloadSpec:
+    def test_volumes_positive(self):
+        assert WIKI.read_bytes > 0
+        assert WIKI.write_bytes > 0
+        assert WIKI.fetch_bytes > 0
+        assert WIKI.flops > 0
+
+    def test_mail_dim(self):
+        assert WIKI.mail_dim == 2 * 100 + 172
+
+    def test_node_feats_increase_fetch_only(self):
+        a = WorkloadSpec(node_feat_dim=0)
+        b = WorkloadSpec(node_feat_dim=413)
+        assert b.fetch_bytes > a.fetch_bytes
+        assert b.flops == a.flops
+
+
+class TestSystemOrdering:
+    """Fig. 12(b): TGN < TGL < DistTGL at one GPU."""
+
+    def test_tgn_slowest(self):
+        one = ParallelConfig(1, 1, 1)
+        assert tput(WIKI, "tgn", one) < tput(WIKI, "tgl", one)
+
+    def test_disttgl_fastest_single_gpu(self):
+        one = ParallelConfig(1, 1, 1)
+        assert tput(WIKI, "disttgl", one) > tput(WIKI, "tgl", one)
+
+    def test_tgn_within_2x_of_paper_ratio(self):
+        """Paper: TGN = 6.45, TGL = 21.07 => ratio ~0.31."""
+        one = ParallelConfig(1, 1, 1)
+        ratio = tput(WIKI, "tgn", one) / tput(WIKI, "tgl", one)
+        assert 0.15 < ratio < 0.6
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(WIKI).throughput("pytorch", ParallelConfig(1, 1, 1))
+
+
+class TestTGLPlateau:
+    """TGL achieves only 2-3x speedup on 8 GPUs (paper §1, §2.2)."""
+
+    def test_per_gpu_throughput_decays(self):
+        vals = [tput(WIKI, "tgl", ParallelConfig(1, 1, g)) for g in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_total_speedup_in_2_to_3_range(self):
+        t1 = CostModel(WIKI).throughput("tgl", ParallelConfig(1, 1, 1))
+        t8 = CostModel(WIKI).throughput("tgl", ParallelConfig(1, 1, 8))
+        assert 2.0 < t8 / t1 < 3.5
+
+    def test_tgl_rejects_multiple_machines(self):
+        cm = CostModel(WIKI, g4dn_metal(2))
+        with pytest.raises(ValueError):
+            cm.tgl_iteration(16)
+
+
+class TestDistTGLScaling:
+    """Fig. 12(a): near-linear DistTGL scaling; Fig. 12(b) decays mildly."""
+
+    def test_near_linear_8_gpus(self):
+        cm = CostModel(WIKI)
+        t1 = cm.throughput("disttgl", ParallelConfig(1, 1, 1))
+        t8 = cm.throughput("disttgl", ParallelConfig(1, 1, 8))
+        assert t8 / t1 > 6.5  # paper: 7.27x average on 8 GPUs
+
+    def test_near_linear_32_gpus(self):
+        t1 = CostModel(WIKI).throughput("disttgl", ParallelConfig(1, 1, 1))
+        cm4 = CostModel(WIKI, g4dn_metal(4))
+        t32 = cm4.throughput("disttgl", ParallelConfig(1, 1, 32, machines=4))
+        assert t32 / t1 > 20  # paper: 25.08x average on 32 GPUs
+
+    def test_disttgl_beats_tgl_at_8_gpus(self):
+        cm = CostModel(WIKI)
+        assert cm.throughput("disttgl", ParallelConfig(1, 1, 8)) > 2.0 * cm.throughput(
+            "tgl", ParallelConfig(1, 1, 8)
+        )  # paper: 2.93x improvement on 8 GPUs
+
+    def test_epoch_parallelism_mild_overhead(self):
+        base = tput(WIKI, "disttgl", ParallelConfig(1, 1, 1))
+        j8 = tput(WIKI, "disttgl", ParallelConfig(1, 8, 1))
+        assert j8 < base
+        assert j8 > 0.85 * base  # paper: 21.61 / 23.77 = 0.91
+
+    def test_cross_machine_cheaper_than_tgl_collapse(self):
+        """Even on 4 machines DistTGL's per-GPU rate beats TGL's 8-GPU rate."""
+        d = tput(WIKI, "disttgl", ParallelConfig(1, 1, 32, machines=4), machines=4)
+        t = tput(WIKI, "tgl", ParallelConfig(1, 1, 8))
+        assert d > t
+
+
+class TestGDELTShape:
+    """Fig. 12(b) right: mini-batch parallelism preferred on GDELT."""
+
+    def test_memory_parallelism_caps_on_gdelt(self):
+        i8 = tput(GDELT, "disttgl", ParallelConfig(8, 1, 1))
+        k8 = tput(GDELT, "disttgl", ParallelConfig(1, 1, 8))
+        assert i8 > k8  # paper: 22.37 vs 14.81
+
+    def test_wikipedia_shows_no_such_cap(self):
+        i8 = tput(WIKI, "disttgl", ParallelConfig(8, 1, 1))
+        k8 = tput(WIKI, "disttgl", ParallelConfig(1, 1, 8))
+        assert k8 > 0.9 * i8
+
+    def test_multi_node_mini_batch_beats_memory(self):
+        i = tput(GDELT, "disttgl", ParallelConfig(8, 1, 4, machines=4), machines=4)
+        k = tput(GDELT, "disttgl", ParallelConfig(1, 1, 32, machines=4), machines=4)
+        assert i > k  # paper: 18.32 vs 12.20
+
+
+class TestFig2b:
+    """Distributed node memory epoch time grows steeply with machines."""
+
+    def test_monotone_in_machines(self):
+        times = [
+            CostModel(WIKI, g4dn_metal(p)).distributed_memory_epoch_time(157_474, p)
+            for p in (1, 2, 4)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_two_machines_at_least_3x_single(self):
+        cm1 = CostModel(WIKI, g4dn_metal(1))
+        cm2 = CostModel(WIKI, g4dn_metal(2))
+        t1 = cm1.distributed_memory_epoch_time(157_474, 1)
+        t2 = cm2.distributed_memory_epoch_time(157_474, 2)
+        assert t2 > 3 * t1  # paper: ~4x
+
+    def test_events_scale_linearly(self):
+        cm = CostModel(WIKI)
+        a = cm.distributed_memory_epoch_time(100_000, 2)
+        b = cm.distributed_memory_epoch_time(200_000, 2)
+        assert b == pytest.approx(2 * a, rel=0.05)
+
+
+class TestIterationBreakdown:
+    def test_overlap_reduces_total(self):
+        cm = CostModel(WIKI)
+        it = cm.disttgl_iteration(ParallelConfig(1, 1, 1))
+        serial = it.t_fetch + it.t_mem + it.t_gpu + it.t_sync
+        assert it.total < serial
+
+    def test_tgn_not_overlapped(self):
+        cm = CostModel(WIKI)
+        it = cm.tgn_iteration()
+        assert it.total == pytest.approx(
+            it.t_fetch + it.t_mem + it.t_gpu + it.t_sync + it.t_remote
+        )

@@ -1,0 +1,109 @@
+"""Pipeline simulator: overlap semantics, serialization, cost-model cross-check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import ParallelConfig
+from repro.sim import CostModel, PipelineSimulator, StageTimes, WorkloadSpec
+
+
+BAL = StageTimes(fetch=1.0, mem_read=0.2, gpu=1.5, mem_write=0.1, sync=0.05)
+
+
+class TestSerialPolicy:
+    def test_epoch_time_is_sum_of_stages(self):
+        sim = PipelineSimulator(BAL, overlap=False)
+        trace = sim.run(10)
+        assert trace.epoch_time == pytest.approx(10 * BAL.serial_total, rel=1e-6)
+
+    def test_no_stage_overlap(self):
+        trace = PipelineSimulator(BAL, overlap=False).run(5)
+        # iteration n+1's fetch starts after iteration n's write finishes
+        assert (trace.fetch_start[1:] >= trace.write_end[:-1] - 1e-12).all()
+
+
+class TestOverlappedPolicy:
+    def test_faster_than_serial(self):
+        serial = PipelineSimulator(BAL, overlap=False).run(32).epoch_time
+        pipelined = PipelineSimulator(BAL, overlap=True).run(32).epoch_time
+        assert pipelined < serial
+
+    def test_steady_state_bottleneck_bound(self):
+        """Once warm, per-iteration time approaches the bottleneck stage
+        plus the serialized daemon cost — the cost model's max() claim."""
+        sim = PipelineSimulator(BAL, overlap=True, prefetch_depth=4)
+        steady = sim.steady_state_iteration_time(128)
+        bottleneck = max(BAL.fetch, BAL.gpu + BAL.sync)
+        assert steady == pytest.approx(
+            bottleneck + BAL.mem_read + BAL.mem_write, rel=0.25
+        )
+
+    def test_gpu_bound_workload_hits_high_utilization(self):
+        s = StageTimes(fetch=0.2, mem_read=0.05, gpu=2.0, mem_write=0.05)
+        trace = PipelineSimulator(s, overlap=True, prefetch_depth=4).run(64)
+        assert trace.gpu_utilization > 0.85
+
+    def test_fetch_bound_workload_stalls_gpu(self):
+        s = StageTimes(fetch=3.0, mem_read=0.05, gpu=0.5, mem_write=0.05)
+        trace = PipelineSimulator(s, overlap=True).run(64)
+        assert trace.gpu_utilization < 0.4
+        assert trace.stage_gaps().max() > 0
+
+    def test_prefetch_depth_one_still_overlaps_memory(self):
+        trace = PipelineSimulator(BAL, overlap=True, prefetch_depth=1).run(16)
+        serial = PipelineSimulator(BAL, overlap=False).run(16)
+        assert trace.epoch_time <= serial.epoch_time
+
+    def test_daemon_serialization_preserved(self):
+        """read(it) never starts before write(it-1) completes — the R/W
+        bracket order of Algorithm 1."""
+        trace = PipelineSimulator(BAL, overlap=True, prefetch_depth=8).run(32)
+        assert (trace.read_start[1:] >= trace.write_end[:-1] - 1e-12).all()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            PipelineSimulator(BAL, prefetch_depth=0)
+        with pytest.raises(ValueError):
+            PipelineSimulator(BAL).run(0)
+
+
+class TestCostModelCrossCheck:
+    def test_steady_state_matches_analytic_total(self):
+        """The analytic disttgl_iteration.total (max-based) should agree with
+        the simulated steady state within 30%."""
+        cm = CostModel(WorkloadSpec())
+        cfg = ParallelConfig(1, 1, 1)
+        stages = StageTimes.from_cost_model(cm, cfg)
+        sim = PipelineSimulator(stages, overlap=True, prefetch_depth=4)
+        steady = sim.steady_state_iteration_time(128)
+        analytic = cm.disttgl_iteration(cfg).total
+        assert steady == pytest.approx(analytic, rel=0.3)
+
+    def test_stage_split_preserves_totals(self):
+        cm = CostModel(WorkloadSpec())
+        cfg = ParallelConfig(1, 2, 2)
+        stages = StageTimes.from_cost_model(cm, cfg)
+        it = cm.disttgl_iteration(cfg)
+        assert stages.fetch == pytest.approx(it.t_fetch)
+        assert stages.mem_read + stages.mem_write == pytest.approx(it.t_mem)
+        assert stages.gpu == pytest.approx(it.t_gpu)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fetch=st.floats(0.01, 5.0),
+    gpu=st.floats(0.01, 5.0),
+    read=st.floats(0.0, 1.0),
+    write=st.floats(0.0, 1.0),
+    n=st.integers(2, 40),
+)
+def test_property_overlap_never_slower(fetch, gpu, read, write, n):
+    s = StageTimes(fetch=fetch, mem_read=read, gpu=gpu, mem_write=write)
+    serial = PipelineSimulator(s, overlap=False).run(n).epoch_time
+    pipelined = PipelineSimulator(s, overlap=True).run(n).epoch_time
+    assert pipelined <= serial + 1e-9
+    # and never faster than the data-dependency lower bound
+    lower = n * (s.mem_read + s.mem_write) + s.gpu  # serialized daemon chain
+    assert pipelined >= min(lower, serial) * 0.99 - 1e-9

@@ -1,0 +1,151 @@
+"""DistTGLTrainer: fairness accounting, schedules, per-strategy semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.parallel import ParallelConfig
+from repro.train import DistTGLTrainer, TrainerSpec
+
+from helpers import toy_dataset
+
+FAST = TrainerSpec(
+    batch_size=50,
+    memory_dim=8,
+    time_dim=8,
+    embed_dim=8,
+    base_lr=1e-3,
+    num_negative_groups=4,
+    eval_candidates=10,
+    static_pretrain_epochs=2,
+)
+
+
+def make_trainer(config=None, spec=FAST, events=600, seed=0):
+    ds = toy_dataset(num_events=events, edge_dim=4, seed=seed)
+    return DistTGLTrainer(ds, config or ParallelConfig(), spec)
+
+
+class TestConstruction:
+    def test_single_gpu_default(self):
+        tr = make_trainer()
+        assert tr.config.total_gpus == 1
+        assert len(tr.groups) == 1
+
+    def test_k_groups_created(self):
+        tr = make_trainer(ParallelConfig(1, 1, 4))
+        assert len(tr.groups) == 4
+        # memory copies are distinct objects
+        ids = {id(g.memory) for g in tr.groups}
+        assert len(ids) == 4
+
+    def test_group_schedules_are_rotations(self):
+        tr = make_trainer(ParallelConfig(1, 1, 4))
+        nb = tr.num_batches
+        for g in tr.groups:
+            assert sorted(g.schedule) == list(range(nb))
+        assert tr.groups[0].schedule[0] == 0
+        assert tr.groups[1].schedule[0] > 0
+
+    def test_global_batch_scales_with_i(self):
+        tr = make_trainer(ParallelConfig(2, 1, 1))
+        assert tr.global_batch == 2 * FAST.batch_size
+
+    def test_rejects_k_exceeding_batches(self):
+        with pytest.raises(ValueError):
+            make_trainer(ParallelConfig(1, 1, 16), events=400)
+
+    def test_lr_scales_with_world(self):
+        t1 = make_trainer(ParallelConfig(1, 1, 1))
+        t4 = make_trainer(ParallelConfig(1, 1, 4))
+        assert t4.optimizer.lr == pytest.approx(4 * t1.optimizer.lr)
+
+    def test_static_memory_attached_when_configured(self):
+        spec = TrainerSpec(**{**FAST.__dict__, "static_dim": 8})
+        tr = make_trainer(spec=spec)
+        assert tr.model.has_static_memory
+
+
+class TestFairnessAccounting:
+    """Iterations scale as 1/(i*j*k) for fixed traversed edges (§4.0.1)."""
+
+    def test_iteration_counts(self):
+        epochs = 4
+        base = make_trainer(ParallelConfig(1, 1, 1)).train(epochs_equivalent=epochs)
+        for cfg in [ParallelConfig(1, 2, 1), ParallelConfig(1, 1, 2), ParallelConfig(1, 2, 2)]:
+            res = make_trainer(cfg).train(epochs_equivalent=epochs)
+            world = cfg.j * cfg.k
+            assert res.iterations_run == base.iterations_run // world
+
+    def test_max_iterations_cap(self):
+        res = make_trainer().train(epochs_equivalent=10, max_iterations=3)
+        assert res.iterations_run == 3
+
+
+class TestTrainingBehaviour:
+    def test_loss_decreases(self):
+        tr = make_trainer(events=800)
+        res = tr.train(epochs_equivalent=6)
+        losses = [h.train_loss for h in res.history]
+        assert losses[-1] < losses[0]
+
+    def test_history_recorded_per_sweep(self):
+        tr = make_trainer()
+        res = tr.train(epochs_equivalent=4)
+        assert len(res.history) >= 3
+        its = [h.iteration for h in res.history]
+        assert its == sorted(its)
+
+    def test_test_metric_computed(self):
+        res = make_trainer().train(epochs_equivalent=2)
+        assert 0.0 <= res.test_metric <= 1.0
+
+    def test_val_metric_above_chance_after_training(self):
+        res = make_trainer(events=800).train(epochs_equivalent=8)
+        # 10 candidates + positive: chance MRR ~ H(11)/11 ~ 0.27
+        assert res.best_val > 0.32
+
+    def test_iterations_to_reach(self):
+        res = make_trainer().train(epochs_equivalent=4)
+        i70 = res.iterations_to_reach(0.7)
+        i100 = res.iterations_to_reach(1.0)
+        assert i70 <= i100
+
+    def test_deterministic_given_seed(self):
+        r1 = make_trainer(seed=3).train(epochs_equivalent=2)
+        r2 = make_trainer(seed=3).train(epochs_equivalent=2)
+        assert r1.best_val == pytest.approx(r2.best_val)
+        assert r1.test_metric == pytest.approx(r2.test_metric)
+
+    def test_memory_parallel_groups_advance_independently(self):
+        tr = make_trainer(ParallelConfig(1, 1, 3))
+        tr.train(epochs_equivalent=3, max_iterations=6)
+        positions = [g.position for g in tr.groups]
+        assert all(p == positions[0] for p in positions)  # lockstep
+        # memories hold different content (different time segments)
+        a, b = tr.groups[0].memory.memory, tr.groups[1].memory.memory
+        assert not np.allclose(a, b)
+
+
+class TestEpochParallelSemantics:
+    def test_block_structure(self):
+        tr = make_trainer(ParallelConfig(1, 2, 1))
+        res = tr.train(epochs_equivalent=4, max_iterations=4)
+        # group consumed blocks of 2: position advanced by 2 per 2 iterations
+        assert tr.groups[0].position == 4
+
+    def test_j_negative_groups_available(self):
+        spec = TrainerSpec(**{**FAST.__dict__, "num_negative_groups": 2})
+        tr = make_trainer(ParallelConfig(1, 4, 1), spec=spec)
+        assert tr.neg_store.num_groups >= 4
+
+
+class TestEdgeClassificationTask:
+    def test_gdelt_like_trains(self):
+        ds = load_dataset("gdelt", scale=0.00002, seed=0)
+        spec = TrainerSpec(batch_size=100, memory_dim=8, time_dim=8, embed_dim=8,
+                           base_lr=1e-3)
+        tr = DistTGLTrainer(ds, ParallelConfig(), spec)
+        res = tr.train(epochs_equivalent=2)
+        assert 0.0 <= res.test_metric <= 1.0
+        assert tr.neg_store is None  # no negative sampling for edge class

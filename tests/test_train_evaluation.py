@@ -1,0 +1,65 @@
+"""Evaluation metrics and protocols."""
+
+import numpy as np
+import pytest
+
+from repro.train import f1_micro, mrr_from_logits
+
+
+class TestMRR:
+    def test_perfect_ranking(self):
+        pos = np.array([10.0, 10.0])
+        neg = np.zeros((2, 49))
+        assert mrr_from_logits(pos, neg) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        pos = np.array([-10.0])
+        neg = np.zeros((1, 49))
+        assert mrr_from_logits(pos, neg) == pytest.approx(1.0 / 50)
+
+    def test_middle_rank(self):
+        pos = np.array([0.0])
+        neg = np.concatenate([np.ones(24), -np.ones(25)]).reshape(1, 49)
+        assert mrr_from_logits(pos, neg) == pytest.approx(1.0 / 25)
+
+    def test_ties_counted_half(self):
+        pos = np.array([0.0])
+        neg = np.zeros((1, 1))
+        # rank = 1 + 0 + 0.5 = 1.5
+        assert mrr_from_logits(pos, neg) == pytest.approx(1 / 1.5)
+
+    def test_random_scores_near_expected(self):
+        rng = np.random.default_rng(0)
+        pos = rng.standard_normal(4000)
+        neg = rng.standard_normal((4000, 49))
+        # E[1/rank] for uniform rank over 1..50 = H(50)/50 ~ 0.09
+        assert mrr_from_logits(pos, neg) == pytest.approx(0.09, abs=0.01)
+
+
+class TestF1Micro:
+    def test_perfect(self):
+        t = np.array([[1, 0, 1], [0, 1, 0]], dtype=float)
+        logits = np.where(t > 0, 5.0, -5.0)
+        assert f1_micro(logits, t) == pytest.approx(1.0)
+
+    def test_all_wrong(self):
+        t = np.array([[1, 0], [0, 1]], dtype=float)
+        logits = np.where(t > 0, -5.0, 5.0)
+        assert f1_micro(logits, t) == 0.0
+
+    def test_half_precision(self):
+        # predict both classes, only one is true: tp=1, fp=1, fn=0
+        t = np.array([[1, 0]], dtype=float)
+        logits = np.array([[5.0, 5.0]])
+        assert f1_micro(logits, t) == pytest.approx(2 / 3)
+
+    def test_empty_predictions_zero(self):
+        t = np.zeros((2, 3))
+        logits = np.full((2, 3), -5.0)
+        assert f1_micro(logits, t) == 0.0
+
+    def test_threshold_argument(self):
+        t = np.array([[1.0]])
+        logits = np.array([[0.4]])
+        assert f1_micro(logits, t, threshold=0.5) == 0.0
+        assert f1_micro(logits, t, threshold=0.3) == pytest.approx(1.0)

@@ -1,0 +1,61 @@
+"""Utility helpers: RNG spawning, timer, table formatting."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, format_table, human_bytes, set_global_seed, spawn_rngs
+
+
+class TestRngs:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_spawn_independent_streams(self):
+        a, b = spawn_rngs(42, 2)
+        assert not np.allclose(a.random(100), b.random(100))
+
+    def test_spawn_deterministic(self):
+        a1, _ = spawn_rngs(7, 2)
+        a2, _ = spawn_rngs(7, 2)
+        np.testing.assert_allclose(a1.random(10), a2.random(10))
+
+    def test_spawn_rejects_zero(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+    def test_set_global_seed_returns_generator(self):
+        rng = set_global_seed(3)
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestTimer:
+    def test_elapsed_positive(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_laps(self):
+        with Timer() as t:
+            time.sleep(0.005)
+            lap1 = t.lap()
+        assert lap1 > 0
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1.5], ["yy", 2.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "1.5000" in out
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_human_bytes(self):
+        assert human_bytes(10) == "10 B"
+        assert human_bytes(1536) == "1.5 KiB"
+        assert human_bytes(3 * 1024**3) == "3.0 GiB"
