@@ -24,7 +24,10 @@ def build(ds, dedup, memoize):
                     embed_dim=32, edge_dim=g.edge_dim, num_neighbors=10, seed=0)
     model = TGN(cfg)
     dec = LinkPredictor(32, rng=np.random.default_rng(1))
-    return InferenceEngine(model, g, decoder=dec, dedup=dedup, memoize_time=memoize)
+    # append_on_observe=False: this bench replays events the session-shared
+    # graph already contains; appending would duplicate its edges.
+    return InferenceEngine(model, g, decoder=dec, dedup=dedup,
+                           memoize_time=memoize, append_on_observe=False)
 
 
 @pytest.mark.benchmark(group="ablation-infer")

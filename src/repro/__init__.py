@@ -25,6 +25,19 @@ Throughput modeling of the paper's testbed::
     from repro.sim import CostModel, WorkloadSpec, g4dn_metal
     cm = CostModel(WorkloadSpec(), g4dn_metal(4))
     cm.throughput("disttgl", trace.config)
+
+Online serving (replicated + micro-batched, §3.2.3 applied to reads)::
+
+    from repro.serve import ServingCluster, LoadSpec, run_load, event_stream
+    split = ds.graph.chronological_split()
+    cluster = ServingCluster(trainer.model, ds.graph.slice_events(split.train),
+                             trainer.decoder, k=2)
+    cluster.ingest(src, dst, times)         # WAL -> all replicas -> graph
+    handle = cluster.submit_rank(src=3, candidates=cands, at_time=t)
+    scores = handle.wait()                  # flushed by the micro-batcher
+    report = run_load(cluster, LoadSpec())  # QPS + p50/p99 + dedup + shed
+
+or from the command line: ``python -m repro.cli serve-bench --replicas 1,2``.
 """
 
 from .data import Dataset, load_dataset
@@ -33,6 +46,7 @@ from .infer import InferenceEngine
 from .memory import Mailbox, MemoryDaemon, NodeMemory, StaticNodeMemory
 from .models import TGN, TGNConfig
 from .parallel import HardwareSpec, ParallelConfig, plan, plan_for_graph
+from .serve import MicroBatcher, ServingCluster, ServingReplica
 from .sim import CostModel, WorkloadSpec, g4dn_metal
 from .train import DistTGLTrainer, TrainerSpec, TrainResult, load_checkpoint, save_checkpoint
 
@@ -60,6 +74,9 @@ __all__ = [
     "TrainerSpec",
     "TrainResult",
     "InferenceEngine",
+    "ServingCluster",
+    "ServingReplica",
+    "MicroBatcher",
     "save_checkpoint",
     "load_checkpoint",
     "__version__",

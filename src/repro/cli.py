@@ -6,6 +6,9 @@ train       train a TGN under an i×j×k configuration and print the result
 plan        run the §3.2.4 planner for a cluster + dataset
 stats       print Table-2-style statistics of a generated dataset
 throughput  model Fig-12-style throughput for a system / configuration
+serve-bench train briefly, then load-test the replicated serving cluster
+            (micro-batching + streaming ingestion) and report QPS, p50/p99
+            latency, dedup ratio and shed counts per replica count
 """
 
 from __future__ import annotations
@@ -74,6 +77,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_tput.add_argument("--local-batch", type=int, default=600)
     p_tput.add_argument("--edge-dim", type=int, default=172)
 
+    p_serve = sub.add_parser(
+        "serve-bench", help="load-test the replicated serving cluster"
+    )
+    p_serve.add_argument("--dataset", choices=sorted(PAPER_TABLE2), default="wikipedia")
+    p_serve.add_argument("--scale", type=float, default=0.01)
+    p_serve.add_argument("--train-epochs", type=int, default=2)
+    p_serve.add_argument("--memory-dim", type=int, default=16)
+    p_serve.add_argument(
+        "--replicas", default="1,2",
+        help="comma-separated replica counts to benchmark (default '1,2')",
+    )
+    p_serve.add_argument("--policy", choices=["round_robin", "least_loaded"],
+                         default="round_robin")
+    p_serve.add_argument("--mode", choices=["closed", "open"], default="closed")
+    p_serve.add_argument("--clients", type=int, default=8)
+    p_serve.add_argument("--requests", type=int, default=25,
+                         help="requests per client (closed) / per 'client' row (open)")
+    p_serve.add_argument("--target-qps", type=float, default=500.0)
+    p_serve.add_argument("--candidates", type=int, default=20)
+    p_serve.add_argument("--max-batch", type=int, default=256,
+                         help="micro-batch size trigger in (src, dst) pairs")
+    p_serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                         help="micro-batch deadline trigger")
+    p_serve.add_argument("--admission", type=int, default=None,
+                         help="cluster-wide queued-request limit (shed beyond)")
+    p_serve.add_argument("--stream-chunk", type=int, default=100,
+                         help="events ingested per streaming batch while serving")
+    p_serve.add_argument("--snapshot", default=None,
+                         help="path to save a serving snapshot after the run")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--quiet", action="store_true")
+
     return parser
 
 
@@ -141,6 +176,74 @@ def cmd_throughput(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    from .serve import LoadReport, LoadSpec, ServingCluster, event_stream, run_load
+
+    try:
+        replica_counts = [int(part) for part in str(args.replicas).split(",") if part]
+    except ValueError:
+        print(f"invalid --replicas {args.replicas!r}; expected e.g. '1,2'")
+        return 2
+    if not replica_counts or min(replica_counts) < 1:
+        print("--replicas needs at least one positive count")
+        return 2
+
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    split = ds.graph.chronological_split()
+    spec = TrainerSpec(
+        batch_size=100,
+        memory_dim=args.memory_dim,
+        embed_dim=args.memory_dim,
+        time_dim=max(8, args.memory_dim // 2),
+        seed=args.seed,
+    )
+    trainer = DistTGLTrainer(ds, ParallelConfig(), spec)
+    trainer.train(epochs_equivalent=args.train_epochs, verbose=not args.quiet)
+
+    load = LoadSpec(
+        num_clients=args.clients,
+        requests_per_client=args.requests,
+        mode=args.mode,
+        target_qps=args.target_qps,
+        candidates_per_request=args.candidates,
+        seed=args.seed,
+    )
+    rows = []
+    last_cluster = None
+    for k in replica_counts:
+        # fresh serving graph per run: the training slice, which streamed
+        # val events are appended to (keeps the dataset's graph pristine)
+        serve_graph = ds.graph.slice_events(split.train)
+        cluster = ServingCluster(
+            trainer.model,
+            serve_graph,
+            trainer.decoder,
+            k=k,
+            policy=args.policy,
+            admission_limit=args.admission,
+            max_batch_pairs=args.max_batch,
+            max_delay=args.max_delay_ms * 1e-3,
+        )
+        stream = event_stream(
+            ds.graph, split.train_end, split.val_end, chunk=args.stream_chunk
+        )
+        report = run_load(cluster, load, stream=stream)
+        rows.append(report.row(f"k={k} {args.policy} {args.mode}"))
+        last_cluster = cluster
+        if not args.quiet:
+            print(
+                f"k={k}: {report.completed} served, {report.shed} shed, "
+                f"{report.qps:.0f} qps, p50 {report.p50 * 1e3:.2f} ms, "
+                f"p99 {report.p99 * 1e3:.2f} ms, dedup {report.dedup_ratio:.1%}, "
+                f"memo {report.memo_ratio:.1%}"
+            )
+    print(format_table(LoadReport.ROW_HEADERS, rows))
+    if args.snapshot and last_cluster is not None:
+        path = last_cluster.save(args.snapshot)
+        print(f"snapshot saved to {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -148,6 +251,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": cmd_plan,
         "stats": cmd_stats,
         "throughput": cmd_throughput,
+        "serve-bench": cmd_serve_bench,
     }[args.command]
     return handler(args)
 

@@ -70,9 +70,16 @@ class RecentNeighborSampler:
             raise ValueError("k must be positive")
         self.graph = graph
         self.k = k
-        self._indptr, self._nbrs, self._eids, self._times = graph.csr()
+        self._sync()
+
+    def _sync(self) -> None:
+        """(Re)load the CSR; called lazily when the graph gains events."""
+        self._indptr, self._nbrs, self._eids, self._times = self.graph.csr()
+        self._graph_version = self.graph.version
 
     def sample(self, roots: np.ndarray, times: np.ndarray) -> NeighborBlock:
+        if self._graph_version != self.graph.version:
+            self._sync()
         roots = np.asarray(roots, dtype=np.int64)
         times = np.asarray(times, dtype=np.float64)
         if roots.shape != times.shape:

@@ -45,7 +45,12 @@ class GraphSplit:
 
 
 class TemporalGraph:
-    """Immutable CTDG: event arrays + temporal CSR adjacency.
+    """CTDG: event arrays + temporal CSR adjacency, with streaming appends.
+
+    The training pipeline treats the graph as frozen; online serving appends
+    new events through :meth:`append_events`, which keeps existing event ids
+    stable (appended events get ids ``E..E+n``) and lazily invalidates the
+    CSR so samplers pick up fresh neighborhoods.
 
     Parameters
     ----------
@@ -112,6 +117,9 @@ class TemporalGraph:
         )
         self.name = name
         self._csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+        self._version = 0
+        self._sorted = True
+        self._max_time = float(self.timestamps[-1])
 
     # ------------------------------------------------------------------ meta
     @property
@@ -119,8 +127,13 @@ class TemporalGraph:
         return len(self.src)
 
     @property
+    def version(self) -> int:
+        """Bumped on every :meth:`append_events`; samplers watch it."""
+        return self._version
+
+    @property
     def max_time(self) -> float:
-        return float(self.timestamps[-1])
+        return self._max_time
 
     @property
     def edge_dim(self) -> int:
@@ -176,11 +189,103 @@ class TemporalGraph:
         indptr, _, _, _ = self.csr()
         return np.diff(indptr)
 
+    # ------------------------------------------------------------- streaming
+    def check_events(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        timestamps: np.ndarray,
+        edge_feats: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Validate a candidate event batch without mutating the graph.
+
+        Returns the coerced arrays.  Ingestion paths call this *before*
+        touching any other state (WAL, replica memories) so a bad batch
+        fails atomically instead of desynchronizing the serving system.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if not (len(src) == len(dst) == len(ts)):
+            raise ValueError("src, dst, timestamps must have equal length")
+        ef = None
+        if edge_feats is not None:
+            if self.edge_feats is None:
+                raise ValueError("graph was built without edge features")
+            ef = np.asarray(edge_feats, dtype=np.float32)
+            if ef.shape != (len(src), self.edge_dim):
+                raise ValueError(
+                    f"edge_feats shape {ef.shape} != ({len(src)}, {self.edge_dim})"
+                )
+        if len(src) == 0:
+            return src, dst, ts, ef
+        if src.min() < 0 or dst.min() < 0:
+            raise ValueError("node ids must be non-negative")
+        top = int(max(src.max(), dst.max()))
+        if top >= self.num_nodes:
+            raise ValueError(
+                f"event references node {top} outside the fixed universe "
+                f"of {self.num_nodes} nodes"
+            )
+        return src, dst, ts, ef
+
+    def append_events(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        timestamps: np.ndarray,
+        edge_feats: Optional[np.ndarray] = None,
+    ) -> slice:
+        """Append a batch of new events; returns the slice of new event ids.
+
+        Appended events keep all existing event ids stable (they are placed
+        at the end of the arrays with ids ``E..E+n``), so cached edge-feature
+        lookups and previously sampled :class:`NeighborBlock` ids stay valid.
+        Timestamps must be on the graph's normalized time axis (the one
+        ``self.timestamps`` uses) and are *not* re-normalized.
+
+        Out-of-order appends (timestamps before ``max_time``) are allowed —
+        the CSR lexsorts by time per node, so sampling stays correct — but
+        they void the global chronological ordering, after which
+        :meth:`chronological_split` / :meth:`slice_events` refuse to run.
+
+        The node universe is fixed at construction: serving-side memory and
+        mailboxes are sized ``num_nodes``, so events referencing unseen node
+        ids raise instead of silently growing the graph.
+        """
+        src, dst, ts, ef = self.check_events(src, dst, timestamps, edge_feats)
+        start = self.num_events
+        if len(src) == 0:
+            return slice(start, start)
+
+        order = np.argsort(ts, kind="stable")
+        src, dst, ts = src[order], dst[order], ts[order]
+        if self.edge_feats is not None:
+            if ef is None:
+                ef = np.zeros((len(src), self.edge_dim), dtype=np.float32)
+            else:
+                ef = ef[order]
+            self.edge_feats = np.concatenate([self.edge_feats, ef])
+
+        if ts[0] < self._max_time:
+            self._sorted = False
+        self._max_time = max(self._max_time, float(ts[-1]))
+        self.src = np.concatenate([self.src, src])
+        self.dst = np.concatenate([self.dst, dst])
+        self.timestamps = np.concatenate([self.timestamps, ts])
+        self._csr = None
+        self._version += 1
+        return slice(start, self.num_events)
+
     # ---------------------------------------------------------------- splits
     def chronological_split(
         self, train_frac: float = 0.70, val_frac: float = 0.15
     ) -> GraphSplit:
         """Split events chronologically (the standard CTDG protocol)."""
+        if not self._sorted:
+            raise ValueError(
+                "chronological split undefined after out-of-order append_events"
+            )
         if not (0 < train_frac < 1 and 0 < val_frac < 1 and train_frac + val_frac < 1):
             raise ValueError("fractions must be in (0, 1) and sum below 1")
         train_end = int(self.num_events * train_frac)
@@ -193,6 +298,8 @@ class TemporalGraph:
 
     def slice_events(self, sl: slice) -> "TemporalGraph":
         """A new graph containing only the events in ``sl`` (same node space)."""
+        if not self._sorted:
+            raise ValueError("event slices undefined after out-of-order append_events")
         return TemporalGraph(
             self.src[sl],
             self.dst[sl],

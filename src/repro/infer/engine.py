@@ -31,6 +31,7 @@ from ..memory.node_memory import NodeMemory
 from ..models.decoders import LinkPredictor
 from ..models.tgn import TGN, DirectMemoryView
 from ..nn import Tensor
+from ..utils import stable_sigmoid
 
 
 @dataclass
@@ -64,6 +65,7 @@ class InferenceEngine:
         sampler: Optional[RecentNeighborSampler] = None,
         dedup: bool = True,
         memoize_time: bool = True,
+        append_on_observe: bool = True,
     ) -> None:
         self.model = model
         self.graph = graph
@@ -71,6 +73,11 @@ class InferenceEngine:
         self.sampler = sampler or RecentNeighborSampler(graph, k=model.config.num_neighbors)
         self.dedup = dedup
         self.memoize_time = memoize_time
+        # Streaming freshness: observe() appends events to the graph so the
+        # sampler sees them.  Disable when replaying events the graph already
+        # contains (ablation benches) or when a ServingCluster appends once
+        # on behalf of k replicas.
+        self.append_on_observe = append_on_observe
         self.memory = NodeMemory(graph.num_nodes, model.config.memory_dim)
         self.mailbox = Mailbox(
             graph.num_nodes, model.config.memory_dim, edge_dim=model.config.edge_dim
@@ -88,7 +95,15 @@ class InferenceEngine:
     def _install_time_memo(self) -> None:
         """Wrap the model's time encoder with a per-call memo on unique Δt."""
         encoder = self.model.time_encoder
+        # Guard against double-wrapping: reset() may run while the memoized
+        # forward is swapped in (or another engine on the same model left its
+        # wrapper installed); capturing it as `original` would nest memo
+        # wrappers unboundedly.  Unwrap back to the true encoder forward.
         original = encoder.forward
+        while getattr(original, "_repro_time_memo", False):
+            original = original.__wrapped__
+        if encoder.forward is not original:
+            encoder.forward = original
         stats = self.stats
         memoize = self.memoize_time
 
@@ -104,6 +119,8 @@ class InferenceEngine:
             enc = original(uniq)
             return Tensor(enc.data[inverse].reshape(*arr.shape, encoder.dim))
 
+        memoized._repro_time_memo = True
+        memoized.__wrapped__ = original
         self._memoized_forward = memoized
         self._original_forward = original
 
@@ -115,7 +132,15 @@ class InferenceEngine:
     # ----------------------------------------------------------------- state
     def observe(self, src: np.ndarray, dst: np.ndarray, times: np.ndarray,
                 edge_feats: Optional[np.ndarray] = None) -> None:
-        """Fold a chronological batch of new events into the serving state."""
+        """Fold a chronological batch of new events into the serving state.
+
+        With ``append_on_observe=True`` (the default) the events are also
+        appended to the graph so the neighbor sampler sees them — observed
+        events are treated as *new*.  Replaying events the graph already
+        contains would therefore duplicate its edges (and, for historic
+        timestamps, void ``chronological_split``); construct the engine
+        with ``append_on_observe=False`` for replay/ablation use.
+        """
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
         times = np.asarray(times, dtype=np.float64)
@@ -128,6 +153,11 @@ class InferenceEngine:
         wb = self.model.make_writeback(src, dst, times, state, state,
                                        edge_feats=edge_feats)
         TGN.apply_writeback(wb, self.memory, self.mailbox)
+        if self.append_on_observe:
+            # make the events visible to the neighbor sampler (freshness);
+            # embeddings above used the pre-batch graph, matching the
+            # strictly-before-t sampling rule either way.
+            self.graph.append_events(src, dst, times, edge_feats)
 
     def reset(self) -> None:
         self.memory.reset()
@@ -193,4 +223,4 @@ class InferenceEngine:
         emb = self.embed(np.concatenate([src, dst]), np.concatenate([times, times]))
         b = len(src)
         logits = self.decoder(Tensor(emb[:b]), Tensor(emb[b:])).data
-        return 1.0 / (1.0 + np.exp(-logits))
+        return stable_sigmoid(logits)

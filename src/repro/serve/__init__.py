@@ -1,0 +1,46 @@
+"""repro.serve — online TGNN serving: micro-batching, replication, ingestion.
+
+The serving subsystem layers four pieces on the inference stack:
+
+* :class:`MicroBatcher` — deadline-based coalescing of concurrent
+  rank/predict requests into fused engine batches, so TGOpt-style
+  de-duplication and time-encoding memoization amortize *across* clients;
+* :class:`ServingCluster` / :class:`ServingReplica` — ``k`` memory-parallel
+  engine replicas (paper §3.2.3 applied to serving): the event stream is
+  broadcast to every replica, reads are routed round-robin or least-loaded,
+  and an admission limit sheds excess load;
+* :class:`EventLog` / :class:`StreamIngestor` — a write-ahead log of
+  streamed events that updates replica state *and* appends to the shared
+  :class:`~repro.graph.TemporalGraph`, keeping sampled neighborhoods fresh;
+  snapshots (:func:`save_snapshot` / :func:`load_snapshot`) persist and
+  restore the full serving state;
+* :class:`LatencyHistogram` / :class:`ThroughputMeter` + :func:`run_load` —
+  p50/p99 latency, QPS accounting and open/closed-loop load generation
+  (the ``serve-bench`` CLI entry point).
+"""
+
+from .batcher import BatcherStats, MicroBatcher, PendingResult
+from .cluster import ClusterStats, ServingCluster, ServingReplica
+from .ingest import EventLog, StreamIngestor, load_snapshot, save_snapshot
+from .loadgen import LoadReport, LoadSpec, build_queries, event_stream, run_load
+from .metrics import LatencyHistogram, ThroughputMeter
+
+__all__ = [
+    "MicroBatcher",
+    "PendingResult",
+    "BatcherStats",
+    "ServingCluster",
+    "ServingReplica",
+    "ClusterStats",
+    "EventLog",
+    "StreamIngestor",
+    "save_snapshot",
+    "load_snapshot",
+    "LatencyHistogram",
+    "ThroughputMeter",
+    "LoadSpec",
+    "LoadReport",
+    "run_load",
+    "build_queries",
+    "event_stream",
+]

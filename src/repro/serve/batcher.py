@@ -1,0 +1,307 @@
+"""Deadline-based micro-batching of concurrent serving requests.
+
+A single ``rank_candidates`` call already amortizes redundancy *within* one
+request (TGOpt dedup collapses the repeated source embedding).  Under real
+traffic the bigger win is *across* clients: many users query at nearly the
+same timestamp against overlapping candidate sets, so coalescing their
+requests into one engine batch lets de-duplication and time-encoding
+memoization fire across request boundaries.
+
+:class:`MicroBatcher` queues requests and flushes them as one fused engine
+call when either
+
+* the queued work reaches ``max_batch_pairs`` (size trigger), or
+* the oldest queued request has waited ``max_delay`` seconds (deadline
+  trigger, checked by :meth:`poll`).
+
+A flush embeds the union of all queued (node, time) queries in **one**
+:meth:`InferenceEngine.embed` call and applies the decoder to all pairs at
+once, then scatters per-request results.  Scores are bitwise-identical to
+per-request serving because dedup computes each unique (node, time) exactly
+once either way.
+
+The batcher is thread-safe: clients may submit from many threads and block
+on :meth:`PendingResult.wait`, which cooperatively drives :meth:`poll` so a
+sleeping fleet of waiters still meets the flush deadline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..infer.engine import InferenceEngine
+from ..nn import Tensor
+from ..utils import stable_sigmoid
+from .metrics import LatencyHistogram
+
+_RANK = "rank"
+_PREDICT = "predict"
+
+
+class PendingResult:
+    """Handle for one queued request; fulfilled when its batch flushes."""
+
+    __slots__ = (
+        "_batcher", "_event", "_value", "_error", "submitted_at", "completed_at"
+    )
+
+    def __init__(self, batcher: "MicroBatcher", submitted_at: float) -> None:
+        self._batcher = batcher
+        self._event = threading.Event()
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self.submitted_at = submitted_at
+        self.completed_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def value(self) -> np.ndarray:
+        if not self.done:
+            raise RuntimeError("request not flushed yet; call wait() or flush()")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def latency(self) -> float:
+        """Submit-to-completion time in seconds (batcher clock)."""
+        if self.completed_at is None:
+            raise RuntimeError("request not flushed yet")
+        return self.completed_at - self.submitted_at
+
+    def wait(self, timeout: Optional[float] = None, drive: bool = True) -> np.ndarray:
+        """Block until the result is ready; optionally drive the batcher.
+
+        ``drive=True`` makes waiting clients call :meth:`MicroBatcher.poll`,
+        so a group of blocked clients flushes itself once the deadline
+        passes — no dedicated flusher thread is required.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._event.is_set():
+            if drive:
+                self._batcher.poll()
+            if self._event.wait(timeout=1e-4):
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("request not completed within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _fulfill(self, value: np.ndarray, completed_at: float) -> None:
+        self._value = value
+        self.completed_at = completed_at
+        self._event.set()
+
+    def _fail(self, error: BaseException, completed_at: float) -> None:
+        self._error = error
+        self.completed_at = completed_at
+        self._event.set()
+
+
+@dataclass
+class _Request:
+    kind: str
+    left: np.ndarray    # source node per pair
+    right: np.ndarray   # destination / candidate node per pair
+    times: np.ndarray   # query time per pair
+    result: PendingResult
+
+    @property
+    def pairs(self) -> int:
+        return len(self.left)
+
+
+@dataclass
+class BatcherStats:
+    """Flush accounting (the bench reads these)."""
+
+    requests: int = 0
+    pairs: int = 0
+    flushes: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+    failed_flushes: int = 0
+
+    @property
+    def mean_batch_pairs(self) -> float:
+        return self.pairs / self.flushes if self.flushes else 0.0
+
+
+class MicroBatcher:
+    """Coalesces rank/predict requests into fused engine batches.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`InferenceEngine` to serve from (needs a decoder).
+    max_batch_pairs:
+        Flush as soon as queued (src, dst) pairs reach this many.
+    max_delay:
+        Flush when the oldest queued request is older than this (seconds).
+    clock:
+        Injectable time source (tests use a fake clock to step deadlines).
+    engine_lock:
+        Optional lock serializing engine access — a :class:`ServingCluster`
+        shares one model across replicas, so concurrent flushes from
+        different replicas must not interleave time-encoder swaps.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        max_batch_pairs: int = 256,
+        max_delay: float = 2e-3,
+        clock: Callable[[], float] = time.perf_counter,
+        engine_lock: Optional[threading.RLock] = None,
+    ) -> None:
+        if engine.decoder is None:
+            raise ValueError("MicroBatcher needs an engine with a decoder")
+        if max_batch_pairs <= 0:
+            raise ValueError("max_batch_pairs must be positive")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.engine = engine
+        self.max_batch_pairs = max_batch_pairs
+        self.max_delay = max_delay
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._engine_lock = engine_lock if engine_lock is not None else threading.RLock()
+        self._queue: List[_Request] = []
+        self._pending_pairs = 0
+        self._oldest: Optional[float] = None
+        self.stats = BatcherStats()
+        self.latency = LatencyHistogram()
+
+    # ------------------------------------------------------------------ state
+    @property
+    def pending_requests(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def pending_pairs(self) -> int:
+        with self._lock:
+            return self._pending_pairs
+
+    # ----------------------------------------------------------------- submit
+    def submit_rank(
+        self, src: int, candidates: np.ndarray, at_time: float
+    ) -> PendingResult:
+        """Queue a ``rank_candidates``-style request; returns raw scores."""
+        candidates = np.asarray(candidates, dtype=np.int64)
+        n = len(candidates)
+        left = np.full(n, int(src), dtype=np.int64)
+        times = np.full(n, float(at_time), dtype=np.float64)
+        return self._submit(_RANK, left, candidates, times)
+
+    def submit_predict(
+        self, src: np.ndarray, dst: np.ndarray, times: np.ndarray
+    ) -> PendingResult:
+        """Queue a ``predict_links``-style request; returns probabilities."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        if not (len(src) == len(dst) == len(times)):
+            raise ValueError("src, dst, times must align")
+        return self._submit(_PREDICT, src, dst, times)
+
+    def _submit(
+        self, kind: str, left: np.ndarray, right: np.ndarray, times: np.ndarray
+    ) -> PendingResult:
+        if len(left) == 0:
+            raise ValueError("empty request")
+        # validate in the submitting client, not at flush time — a garbage
+        # request must not poison the whole micro-batch it would ride in
+        num_nodes = self.engine.graph.num_nodes
+        for arr in (left, right):
+            if arr.min() < 0 or arr.max() >= num_nodes:
+                raise ValueError(
+                    f"node ids must be in [0, {num_nodes}); got "
+                    f"[{int(arr.min())}, {int(arr.max())}]"
+                )
+        if not np.isfinite(times).all():
+            raise ValueError("query times must be finite")
+        with self._lock:
+            now = self.clock()
+            result = PendingResult(self, submitted_at=now)
+            self._queue.append(_Request(kind, left, right, times, result))
+            self._pending_pairs += len(left)
+            if self._oldest is None:
+                self._oldest = now
+            self.stats.requests += 1
+            self.stats.pairs += len(left)
+            if self._pending_pairs >= self.max_batch_pairs:
+                self.stats.size_flushes += 1
+                self._flush_locked()
+        return result
+
+    # ------------------------------------------------------------------ flush
+    def poll(self) -> int:
+        """Flush if the oldest queued request has exceeded its deadline.
+
+        Returns the number of requests flushed (0 if the deadline has not
+        passed or the queue is empty).
+        """
+        with self._lock:
+            if self._oldest is None:
+                return 0
+            if self.clock() - self._oldest < self.max_delay:
+                return 0
+            self.stats.deadline_flushes += 1
+            return self._flush_locked()
+
+    def flush(self) -> int:
+        """Unconditionally flush the queue; returns requests served."""
+        with self._lock:
+            return self._flush_locked()
+
+    def _flush_locked(self) -> int:
+        if not self._queue:
+            return 0
+        batch, self._queue = self._queue, []
+        self._pending_pairs = 0
+        self._oldest = None
+
+        lefts = np.concatenate([r.left for r in batch])
+        rights = np.concatenate([r.right for r in batch])
+        times = np.concatenate([r.times for r in batch])
+        try:
+            with self._engine_lock:
+                # one fused embed over every endpoint of every queued pair —
+                # dedup/memoization amortize across all clients in the batch
+                emb = self.engine.embed(
+                    np.concatenate([lefts, rights]), np.concatenate([times, times])
+                )
+                total = len(lefts)
+                scores = self.engine.decoder(
+                    Tensor(emb[:total]), Tensor(emb[total:])
+                ).data
+        except Exception as exc:
+            # deliver the failure to every waiter — the batch was already
+            # dequeued, so swallowing it here would strand them forever
+            now = self.clock()
+            for req in batch:
+                req.result._fail(exc, now)
+            self.stats.flushes += 1
+            self.stats.failed_flushes += 1
+            return len(batch)
+        now = self.clock()
+        offset = 0
+        for req in batch:
+            out = scores[offset : offset + req.pairs]
+            offset += req.pairs
+            if req.kind == _PREDICT:
+                out = stable_sigmoid(out)
+            req.result._fulfill(out, now)
+            self.latency.record(max(0.0, now - req.result.submitted_at))
+        self.stats.flushes += 1
+        return len(batch)

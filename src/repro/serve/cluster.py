@@ -1,0 +1,256 @@
+"""Replicated serving: k memory-parallel engine copies behind one front door.
+
+DistTGL's §3.2.3 memory parallelism keeps ``k`` independent copies of the
+node memory so ``k`` trainers can proceed without serializing on one state.
+The same idea builds the serving side: a :class:`ServingCluster` keeps ``k``
+:class:`ServingReplica`\\ s, each a full :class:`InferenceEngine` (own node
+memory + mailbox + micro-batcher) over the **shared** trained model and
+temporal graph.
+
+* **writes** (the event stream) are broadcast — every replica folds every
+  event into its memory, so all copies stay bitwise-consistent and any
+  replica can answer any read;
+* **reads** (rank/predict queries) are routed to one replica, round-robin
+  or least-loaded, multiplying the queueing capacity by ``k``;
+* **admission control** sheds requests once the cluster-wide queue exceeds
+  a limit, keeping tail latency bounded under overload (shed requests are
+  counted, not errored).
+
+The replicas share one model, so replica fan-out here buys queueing/batching
+structure and state redundancy, not extra FLOPs — exactly the role the
+``k`` memory copies play in the paper, where the compute lives on separate
+GPUs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..graph.sampler import RecentNeighborSampler
+from ..graph.temporal_graph import TemporalGraph
+from ..infer.engine import InferenceEngine, InferenceStats
+from ..models.decoders import LinkPredictor
+from ..models.tgn import TGN
+from .batcher import MicroBatcher, PendingResult
+from .ingest import EventLog, StreamIngestor, load_snapshot, save_snapshot
+from .metrics import LatencyHistogram
+
+ROUTING_POLICIES = ("round_robin", "least_loaded")
+
+
+@dataclass
+class ClusterStats:
+    """Front-door accounting (admission + routing)."""
+
+    submitted: int = 0
+    shed: int = 0
+    routed: List[int] = field(default_factory=list)  # requests per replica
+
+    @property
+    def admitted(self) -> int:
+        return self.submitted - self.shed
+
+
+class ServingReplica:
+    """One engine copy plus its micro-batcher."""
+
+    def __init__(
+        self,
+        index: int,
+        engine: InferenceEngine,
+        max_batch_pairs: int,
+        max_delay: float,
+        clock: Callable[[], float],
+        engine_lock: Optional[threading.RLock] = None,
+    ) -> None:
+        self.index = index
+        self.engine = engine
+        self.batcher = MicroBatcher(
+            engine,
+            max_batch_pairs=max_batch_pairs,
+            max_delay=max_delay,
+            clock=clock,
+            engine_lock=engine_lock,
+        )
+
+    @property
+    def load(self) -> int:
+        """Queued (unflushed) requests on this replica."""
+        return self.batcher.pending_requests
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ServingReplica(index={self.index}, load={self.load})"
+
+
+class ServingCluster:
+    """k-replica micro-batched serving over one trained TGN.
+
+    Parameters
+    ----------
+    model, graph, decoder:
+        The trained model, the serving-time temporal graph (typically the
+        training slice — streamed events are appended to it), and the link
+        decoder.
+    k:
+        Number of memory-parallel serving replicas (paper §3.2.3).
+    policy:
+        ``'round_robin'`` or ``'least_loaded'`` read routing.
+    admission_limit:
+        Maximum queued requests across all replicas; beyond it submissions
+        are shed (return ``None``) and counted in ``stats.shed``.
+        ``None`` disables shedding.
+    max_batch_pairs / max_delay / clock:
+        Per-replica micro-batcher tuning (see :class:`MicroBatcher`).
+    """
+
+    def __init__(
+        self,
+        model: TGN,
+        graph: TemporalGraph,
+        decoder: LinkPredictor,
+        k: int = 2,
+        *,
+        policy: str = "round_robin",
+        admission_limit: Optional[int] = None,
+        max_batch_pairs: int = 256,
+        max_delay: float = 2e-3,
+        clock: Callable[[], float] = time.perf_counter,
+        dedup: bool = True,
+        memoize_time: bool = True,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose {ROUTING_POLICIES}")
+        if admission_limit is not None and admission_limit < 1:
+            raise ValueError("admission_limit must be positive (or None)")
+        self.graph = graph
+        self.policy = policy
+        self.admission_limit = admission_limit
+        self._lock = threading.RLock()          # front door (routing + shed)
+        self._engine_lock = threading.RLock()   # serializes shared-model compute
+        self._rr = 0
+
+        # one sampler shared by all replicas: the CSR cache is rebuilt once
+        # per graph append, not once per replica
+        sampler = RecentNeighborSampler(graph, k=model.config.num_neighbors)
+        self.replicas: List[ServingReplica] = []
+        for r in range(k):
+            engine = InferenceEngine(
+                model,
+                graph,
+                decoder=decoder,
+                sampler=sampler,
+                dedup=dedup,
+                memoize_time=memoize_time,
+                append_on_observe=False,  # the ingestor appends exactly once
+            )
+            self.replicas.append(
+                ServingReplica(
+                    r, engine, max_batch_pairs, max_delay, clock, self._engine_lock
+                )
+            )
+        self.wal = EventLog(edge_dim=graph.edge_dim)
+        self.ingestor = StreamIngestor(
+            graph, [rep.engine for rep in self.replicas], wal=self.wal
+        )
+        self.stats = ClusterStats(routed=[0] * k)
+
+    # ---------------------------------------------------------------- writes
+    def ingest(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        edge_feats: Optional[np.ndarray] = None,
+    ) -> int:
+        """Broadcast one chronological event batch to every replica and the
+        graph (through the WAL); returns the WAL offset."""
+        with self._engine_lock:
+            return self.ingestor.ingest(src, dst, times, edge_feats)
+
+    # ----------------------------------------------------------------- reads
+    def submit_rank(
+        self, src: int, candidates: np.ndarray, at_time: float
+    ) -> Optional[PendingResult]:
+        """Route a ranking query; ``None`` means it was load-shed."""
+        return self._route(lambda rep: rep.batcher.submit_rank(src, candidates, at_time))
+
+    def submit_predict(
+        self, src: np.ndarray, dst: np.ndarray, times: np.ndarray
+    ) -> Optional[PendingResult]:
+        """Route a link-probability query; ``None`` means it was load-shed."""
+        return self._route(lambda rep: rep.batcher.submit_predict(src, dst, times))
+
+    def _route(self, submit) -> Optional[PendingResult]:
+        # only the routing/admission *decision* runs under the front-door
+        # lock; the submit itself happens outside it because a size-triggered
+        # flush runs a full model forward, and holding the cluster lock
+        # through that would stall every other replica's front door
+        with self._lock:
+            self.stats.submitted += 1
+            if (
+                self.admission_limit is not None
+                and self.pending_requests >= self.admission_limit
+            ):
+                self.stats.shed += 1
+                return None
+            if self.policy == "round_robin":
+                replica = self.replicas[self._rr % len(self.replicas)]
+                self._rr += 1
+            else:  # least_loaded
+                replica = min(self.replicas, key=lambda rep: (rep.load, rep.index))
+            self.stats.routed[replica.index] += 1
+        return submit(replica)
+
+    # ------------------------------------------------------------- batch mgmt
+    @property
+    def pending_requests(self) -> int:
+        return sum(rep.load for rep in self.replicas)
+
+    def poll(self) -> int:
+        """Deadline-check every replica's batcher; returns requests flushed."""
+        return sum(rep.batcher.poll() for rep in self.replicas)
+
+    def flush_all(self) -> int:
+        """Force-flush every replica (drain at shutdown)."""
+        return sum(rep.batcher.flush() for rep in self.replicas)
+
+    # ------------------------------------------------------------ observability
+    def inference_stats(self) -> InferenceStats:
+        """Summed TGOpt redundancy counters across replicas."""
+        total = InferenceStats()
+        for rep in self.replicas:
+            s = rep.engine.stats
+            total.queries += s.queries
+            total.unique_queries += s.unique_queries
+            total.time_encodings_requested += s.time_encodings_requested
+            total.time_encodings_computed += s.time_encodings_computed
+        return total
+
+    def latency(self) -> LatencyHistogram:
+        """Merged request-latency histogram across replicas."""
+        merged = LatencyHistogram()
+        for rep in self.replicas:
+            merged.merge(rep.batcher.latency)
+        return merged
+
+    # ---------------------------------------------------------------- state
+    def save(self, path) -> "Path":
+        """Snapshot serving state (memory + mailbox + WAL) to ``path``."""
+        return save_snapshot(self, path)
+
+    def restore(self, path) -> dict:
+        """Restore a snapshot into this (pristine) cluster."""
+        return load_snapshot(self, path)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ServingCluster(k={len(self.replicas)}, policy={self.policy!r}, "
+            f"pending={self.pending_requests}, shed={self.stats.shed})"
+        )

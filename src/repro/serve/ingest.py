@@ -1,0 +1,253 @@
+"""Streaming graph ingestion: WAL, fan-out to replicas, snapshot/restore.
+
+The serving path must keep two things fresh as events stream in:
+
+* **state** — every replica's node memory + mailbox folds the event in via
+  :meth:`InferenceEngine.observe` (no gradients, Eq. 1–2 semantics);
+* **structure** — the shared :class:`TemporalGraph` gains the event via
+  :meth:`append_events`, so neighbor sampling sees post-training edges
+  (the fresh-neighborhood guarantee).
+
+Every ingested batch is first appended to an in-memory write-ahead log
+(:class:`EventLog`).  The WAL is the source of truth for recovery: a
+snapshot persists each replica's memory/mailbox plus the WAL itself, and a
+restore on a *pristine* cluster (training-time graph, empty WAL) replays the
+WAL into the graph and copies the state arrays back — no re-observation
+needed.  Format follows ``train/checkpoint.py``: one ``.npz`` with
+namespaced keys and a json-encoded ``meta`` blob.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..graph.temporal_graph import TemporalGraph
+from ..infer.engine import InferenceEngine
+
+SNAPSHOT_VERSION = 1
+
+EventBatch = Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]
+
+
+class EventLog:
+    """Append-only log of streamed events (the serving WAL).
+
+    Chunks are kept as-appended and concatenated lazily; offsets are event
+    indices into the logical concatenation, so ``events_since(offset)``
+    gives exactly the suffix a lagging replica (or a restore) must replay.
+    """
+
+    def __init__(self, edge_dim: int = 0) -> None:
+        if edge_dim < 0:
+            raise ValueError("edge_dim must be non-negative")
+        self.edge_dim = edge_dim
+        self._src: List[np.ndarray] = []
+        self._dst: List[np.ndarray] = []
+        self._time: List[np.ndarray] = []
+        self._feats: List[np.ndarray] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        edge_feats: Optional[np.ndarray] = None,
+    ) -> int:
+        """Append one event batch; returns the new log length (the offset
+        *after* this batch)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        if not (len(src) == len(dst) == len(times)):
+            raise ValueError("src, dst, times must have equal length")
+        if len(src) == 0:
+            return self._count
+        if self.edge_dim:
+            if edge_feats is None:
+                ef = np.zeros((len(src), self.edge_dim), dtype=np.float32)
+            else:
+                ef = np.asarray(edge_feats, dtype=np.float32)
+                if ef.shape != (len(src), self.edge_dim):
+                    raise ValueError(
+                        f"edge_feats shape {ef.shape} != ({len(src)}, {self.edge_dim})"
+                    )
+        else:
+            if edge_feats is not None:
+                raise ValueError("log configured without edge features")
+            ef = np.zeros((len(src), 0), dtype=np.float32)
+        self._src.append(src.copy())
+        self._dst.append(dst.copy())
+        self._time.append(times.copy())
+        self._feats.append(ef.copy())
+        self._count += len(src)
+        return self._count
+
+    def arrays(self) -> EventBatch:
+        """The whole log as (src, dst, times, edge_feats-or-None)."""
+        return self.events_since(0)
+
+    def events_since(self, offset: int) -> EventBatch:
+        """Events with log index >= ``offset`` (for replay/catch-up)."""
+        if not 0 <= offset <= self._count:
+            raise ValueError(f"offset {offset} outside [0, {self._count}]")
+        if self._count == 0 or offset == self._count:
+            empty = np.zeros(0, dtype=np.int64)
+            feats = (
+                np.zeros((0, self.edge_dim), dtype=np.float32) if self.edge_dim else None
+            )
+            return empty, empty.copy(), np.zeros(0, dtype=np.float64), feats
+        src = np.concatenate(self._src)[offset:]
+        dst = np.concatenate(self._dst)[offset:]
+        times = np.concatenate(self._time)[offset:]
+        feats = np.concatenate(self._feats)[offset:] if self.edge_dim else None
+        return src, dst, times, feats
+
+
+class StreamIngestor:
+    """Broadcasts an event stream: WAL -> every replica's state -> graph.
+
+    The graph append happens exactly once per batch regardless of how many
+    replica engines consume the stream (the engines are constructed with
+    ``append_on_observe=False``; appending k times would duplicate edges).
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        engines: Sequence[InferenceEngine],
+        wal: Optional[EventLog] = None,
+        append_to_graph: bool = True,
+    ) -> None:
+        if not engines:
+            raise ValueError("need at least one engine")
+        self.graph = graph
+        self.engines = list(engines)
+        self.wal = wal if wal is not None else EventLog(edge_dim=graph.edge_dim)
+        self.append_to_graph = append_to_graph
+
+    def ingest(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        edge_feats: Optional[np.ndarray] = None,
+    ) -> int:
+        """Fold one chronological event batch into the serving system.
+
+        Returns the WAL offset after the batch (== total events ingested).
+        """
+        # validate BEFORE mutating anything: a bad batch (unknown node id,
+        # mis-shaped features) must fail atomically, not leave the WAL,
+        # replica memories and graph disagreeing about what happened
+        src, dst, times, edge_feats = self.graph.check_events(
+            src, dst, times, edge_feats
+        )
+        if self.graph.edge_feats is not None and edge_feats is None:
+            # uniform zero-fill: WAL and graph pad missing features anyway,
+            # and the replicas' mailboxes require a feature payload
+            edge_feats = np.zeros((len(src), self.graph.edge_dim), dtype=np.float32)
+        offset = self.wal.append(src, dst, times, edge_feats)
+        for engine in self.engines:
+            engine.observe(src, dst, times, edge_feats=edge_feats)
+        if self.append_to_graph:
+            self.graph.append_events(src, dst, times, edge_feats)
+        return offset
+
+
+# --------------------------------------------------------------- snapshots
+def save_snapshot(cluster, path: Union[str, Path]) -> Path:
+    """Persist a :class:`ServingCluster`'s full serving state to ``path``.
+
+    Captures per-replica memory + mailbox, the WAL (events ingested since
+    the cluster was built on its training-time graph), and enough metadata
+    to validate a restore target.
+    """
+    path = Path(path)
+    arrays = {}
+    wal = cluster.wal
+    base_events = cluster.graph.num_events - len(wal)
+    meta = {
+        "format_version": SNAPSHOT_VERSION,
+        "k": len(cluster.replicas),
+        "base_events": base_events,
+        "wal_len": len(wal),
+        "graph_name": cluster.graph.name,
+        "num_nodes": cluster.graph.num_nodes,
+        "edge_dim": cluster.graph.edge_dim,
+    }
+    arrays["meta/json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+
+    src, dst, times, feats = wal.arrays()
+    arrays["wal/src"] = src
+    arrays["wal/dst"] = dst
+    arrays["wal/time"] = times
+    if feats is not None:
+        arrays["wal/edge_feats"] = feats
+
+    for r, replica in enumerate(cluster.replicas):
+        eng = replica.engine
+        p = f"replica{r}"
+        arrays[f"{p}/memory"] = eng.memory.memory
+        arrays[f"{p}/last_update"] = eng.memory.last_update
+        arrays[f"{p}/mail"] = eng.mailbox.mail
+        arrays[f"{p}/mail_time"] = eng.mailbox.mail_time
+        arrays[f"{p}/has_mail"] = eng.mailbox.has_mail
+
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_snapshot(cluster, path: Union[str, Path]) -> dict:
+    """Restore a snapshot into a *pristine* cluster; returns the metadata.
+
+    The target must be freshly built on the same training-time graph (same
+    event count, node universe, edge dim; empty WAL) with the same replica
+    count.  The WAL is replayed into the graph so samplers regain the
+    post-training edges, and state arrays are copied back verbatim — the
+    restored cluster answers queries identically to the snapshotted one.
+    """
+    data = np.load(Path(path), allow_pickle=False)
+    meta = json.loads(bytes(data["meta/json"]).decode("utf-8"))
+    if meta["format_version"] != SNAPSHOT_VERSION:
+        raise ValueError(f"unsupported snapshot version {meta['format_version']}")
+    if meta["k"] != len(cluster.replicas):
+        raise ValueError(
+            f"snapshot has k={meta['k']} replicas, cluster has {len(cluster.replicas)}"
+        )
+    if len(cluster.wal) != 0 or cluster.graph.num_events != meta["base_events"]:
+        raise ValueError(
+            "restore target must be a pristine cluster on the training-time "
+            f"graph ({meta['base_events']} events, empty WAL)"
+        )
+    if cluster.graph.num_nodes != meta["num_nodes"]:
+        raise ValueError("node universe mismatch")
+    if cluster.graph.edge_dim != meta["edge_dim"]:
+        raise ValueError("edge feature dimension mismatch")
+
+    src, dst, times = data["wal/src"], data["wal/dst"], data["wal/time"]
+    feats = data["wal/edge_feats"] if "wal/edge_feats" in data else None
+    if len(src):
+        # replay structure only — replica state is restored directly below,
+        # so the events must NOT be re-observed
+        cluster.wal.append(src, dst, times, feats)
+        cluster.graph.append_events(src, dst, times, feats)
+
+    for r, replica in enumerate(cluster.replicas):
+        eng = replica.engine
+        p = f"replica{r}"
+        eng.memory.memory[...] = data[f"{p}/memory"]
+        eng.memory.last_update[...] = data[f"{p}/last_update"]
+        eng.mailbox.mail[...] = data[f"{p}/mail"]
+        eng.mailbox.mail_time[...] = data[f"{p}/mail_time"]
+        eng.mailbox.has_mail[...] = data[f"{p}/has_mail"]
+    return meta

@@ -1,0 +1,134 @@
+"""Serving observability: latency histograms and throughput meters.
+
+Latencies are recorded in seconds and summarized as percentiles (p50/p99 —
+the numbers an SLO is written against); throughput is requests over a
+measured wall-clock window.  Both are mergeable so a cluster can aggregate
+per-replica instances into one fleet-wide view.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+class LatencyHistogram:
+    """Reservoir of latency samples with percentile queries.
+
+    Stores raw samples (serving runs here are at most ~1e5 requests, so an
+    exact reservoir beats bucketing error); sorting is deferred to query
+    time and cached until the next record.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted: Optional[np.ndarray] = None
+
+    # ----------------------------------------------------------------- write
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("latency must be non-negative")
+        self._samples.append(float(seconds))
+        self._sorted = None
+
+    def extend(self, seconds: Iterable[float]) -> None:
+        for s in seconds:
+            self.record(s)
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s samples into this histogram (in place)."""
+        self._samples.extend(other._samples)
+        self._sorted = None
+        return self
+
+    # ------------------------------------------------------------------ read
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile in seconds (0 when no samples yet)."""
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = np.sort(np.asarray(self._samples))
+        return float(np.percentile(self._sorted, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return float(max(self._samples)) if self._samples else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Seconds-valued summary dict (callers convert to ms for display)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"LatencyHistogram(n={self.count}, p50={self.p50 * 1e3:.2f}ms, "
+            f"p99={self.p99 * 1e3:.2f}ms)"
+        )
+
+
+class ThroughputMeter:
+    """Counts completed requests over a measured wall-clock window.
+
+    >>> meter = ThroughputMeter()
+    >>> meter.start(); meter.add(10); meter.stop()
+    >>> meter.qps
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+        self.count = 0
+
+    def start(self) -> "ThroughputMeter":
+        self._start = self._clock()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("meter was never started")
+        self._elapsed += self._clock() - self._start
+        self._start = None
+        return self._elapsed
+
+    def add(self, n: int = 1) -> None:
+        self.count += n
+
+    @property
+    def elapsed(self) -> float:
+        live = self._clock() - self._start if self._start is not None else 0.0
+        return self._elapsed + live
+
+    @property
+    def qps(self) -> float:
+        e = self.elapsed
+        return self.count / e if e > 0 else 0.0
+
+    def __enter__(self) -> "ThroughputMeter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

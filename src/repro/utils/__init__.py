@@ -1,5 +1,19 @@
-"""repro.utils — seeding, timing, table formatting."""
+"""repro.utils — seeding, timing, table formatting, numerics."""
 
-from .misc import Timer, format_table, human_bytes, set_global_seed, spawn_rngs
+from .misc import (
+    Timer,
+    format_table,
+    human_bytes,
+    set_global_seed,
+    spawn_rngs,
+    stable_sigmoid,
+)
 
-__all__ = ["set_global_seed", "spawn_rngs", "Timer", "format_table", "human_bytes"]
+__all__ = [
+    "set_global_seed",
+    "spawn_rngs",
+    "Timer",
+    "format_table",
+    "human_bytes",
+    "stable_sigmoid",
+]

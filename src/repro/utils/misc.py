@@ -88,6 +88,22 @@ def format_table(
     return "\n".join(lines)
 
 
+def stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function.
+
+    ``1 / (1 + exp(-x))`` overflows for large negative ``x`` (RuntimeWarnings
+    under serving load); branching on the sign keeps every exponent
+    non-positive.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
 def human_bytes(n: float) -> str:
     """1536 -> '1.5 KiB'."""
     for unit in ("B", "KiB", "MiB", "GiB", "TiB"):

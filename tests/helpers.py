@@ -80,6 +80,29 @@ def toy_graph(
     )
 
 
+def toy_serving_setup(num_events: int = 600, seed: int = 0, train_frac: float = 0.7):
+    """(model, decoder, full_graph, serve_graph, split) for serving tests.
+
+    ``serve_graph`` is the training slice — the thing a cluster serves from
+    and appends streamed events to; the full graph supplies the stream.
+    """
+    import numpy as np
+
+    from repro.models import TGN, TGNConfig
+    from repro.models.decoders import LinkPredictor
+
+    ds = toy_dataset(num_events=num_events, seed=seed)
+    g = ds.graph
+    split = g.chronological_split(train_frac=train_frac, val_frac=0.15)
+    cfg = TGNConfig(
+        num_nodes=g.num_nodes, memory_dim=8, time_dim=8, embed_dim=8,
+        edge_dim=g.edge_dim, num_neighbors=4, seed=seed,
+    )
+    model = TGN(cfg)
+    decoder = LinkPredictor(8, rng=np.random.default_rng(seed + 1))
+    return model, decoder, g, g.slice_events(split.train), split
+
+
 def toy_dataset(num_events: int = 400, edge_dim: int = 8, seed: int = 0) -> Dataset:
     """A toy Dataset wrapper (link task) big enough to train/split.
 

@@ -78,3 +78,24 @@ class TestCommands:
         ])
         assert rc == 0
         assert "[1x1x2]" in capsys.readouterr().out
+
+
+class TestServeBench:
+    def test_serve_bench_two_replica_counts(self, capsys, tmp_path):
+        snap = tmp_path / "serve-snap.npz"
+        rc = main([
+            "serve-bench", "--dataset", "wikipedia", "--scale", "0.004",
+            "--train-epochs", "1", "--memory-dim", "8", "--replicas", "1,2",
+            "--clients", "2", "--requests", "3", "--candidates", "5",
+            "--stream-chunk", "40", "--snapshot", str(snap), "--quiet",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # the report table covers both replica counts with all SLO columns
+        for needle in ("k=1", "k=2", "qps", "p50 ms", "p99 ms", "dedup", "shed"):
+            assert needle in out
+        assert snap.exists()
+
+    def test_serve_bench_rejects_bad_replicas(self, capsys):
+        assert main(["serve-bench", "--replicas", "zero"]) == 2
+        assert main(["serve-bench", "--replicas", "0"]) == 2

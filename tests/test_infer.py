@@ -136,3 +136,88 @@ class TestStats:
         s = InferenceStats()
         assert s.dedup_ratio == 0.0
         assert s.memo_ratio == 0.0
+
+
+class TestNumericalStability:
+    def test_predict_links_no_overflow_warning(self):
+        """Extreme logits must not emit RuntimeWarnings (stable sigmoid)."""
+        eng, ds = build_engine()
+        g = ds.graph
+
+        class HugeLogitDecoder:
+            def __call__(self, h_src, h_dst):
+                from repro.nn import Tensor
+                n = h_src.data.shape[0]
+                out = np.full(n, -1e4, dtype=np.float32)
+                out[: n // 2] = 1e4
+                return Tensor(out)
+
+        eng.decoder = HugeLogitDecoder()
+        with np.errstate(over="raise", invalid="raise"):
+            probs = eng.predict_links(g.src[:10], g.dst[:10], g.timestamps[:10] + 1)
+        assert probs[: 5] == pytest.approx(1.0)
+        assert probs[5:] == pytest.approx(0.0)
+
+
+class TestTimeMemoGuards:
+    def test_reset_while_memoized_does_not_nest_wrappers(self):
+        """reset() during a swapped-in memo must unwrap, not re-wrap."""
+        eng, ds = build_engine()
+        eng._swap_encoder(True)                 # memoized forward installed
+        eng.reset()                             # re-installs the memo
+        fwd = eng.model.time_encoder.forward
+        assert not getattr(fwd, "_repro_time_memo", False)
+        assert eng._original_forward is fwd or eng._original_forward == fwd
+        # the stored original is the real encoder, not a stale wrapper
+        assert not getattr(eng._memoized_forward.__wrapped__, "_repro_time_memo", False)
+
+    def test_repeated_installs_stay_flat(self):
+        eng, ds = build_engine()
+        for _ in range(5):
+            eng._swap_encoder(True)
+            eng._install_time_memo()
+        assert not getattr(
+            eng._memoized_forward.__wrapped__, "_repro_time_memo", False
+        )
+        # and embedding still works + restores the plain encoder
+        eng.embed(np.array([0]), np.array([1.0]))
+        assert not getattr(
+            eng.model.time_encoder.forward, "_repro_time_memo", False
+        )
+
+    def test_two_engines_on_one_model_unwrap_each_other(self):
+        eng1, ds = build_engine()
+        eng1._swap_encoder(True)                # leave a wrapper installed
+        eng2 = InferenceEngine(eng1.model, ds.graph, decoder=eng1.decoder,
+                               append_on_observe=False)
+        assert not getattr(eng2._memoized_forward.__wrapped__,
+                           "_repro_time_memo", False)
+        out = eng2.embed(np.array([0, 0]), np.array([1.0, 1.0]))
+        assert out.shape == (2, 8)
+
+
+class TestObserveAppendsToGraph:
+    def test_observe_appends_fresh_events(self):
+        """Satellite: observe() makes events visible to the sampler."""
+        eng, ds = build_engine()
+        g = ds.graph
+        e0 = g.num_events
+        t_new = g.max_time + 5.0
+        eng.observe(np.array([1]), np.array([15]),
+                    np.array([t_new]),
+                    edge_feats=np.zeros((1, g.edge_dim), dtype=np.float32))
+        assert g.num_events == e0 + 1
+        block = eng.sampler.sample(np.array([1]), np.array([t_new + 1.0]))
+        assert (block.edge_ids[block.mask] == e0).any()
+
+    def test_append_disabled_keeps_graph_frozen(self):
+        ds = toy_dataset(num_events=500, seed=0)
+        g = ds.graph
+        from repro.models import TGN, TGNConfig
+        cfg = TGNConfig(num_nodes=g.num_nodes, memory_dim=8, time_dim=8,
+                        embed_dim=8, edge_dim=g.edge_dim, num_neighbors=4)
+        eng = InferenceEngine(TGN(cfg), g, append_on_observe=False)
+        e0 = g.num_events
+        eng.observe(g.src[:10], g.dst[:10], g.timestamps[:10],
+                    edge_feats=g.edge_feats[:10])
+        assert g.num_events == e0

@@ -1,0 +1,177 @@
+"""Serving cluster: routing, replica consistency, load shedding, and the
+fresh-neighborhood guarantee for streamed events."""
+
+import numpy as np
+import pytest
+
+from repro.graph import RecentNeighborSampler
+from repro.infer import InferenceEngine
+from repro.serve import ServingCluster, event_stream
+
+from helpers import toy_serving_setup
+
+
+def build_cluster(k=2, **kwargs):
+    model, decoder, g, serve_graph, split = toy_serving_setup()
+    kwargs.setdefault("max_delay", 1e-3)
+    cluster = ServingCluster(model, serve_graph, decoder, k=k, **kwargs)
+    return cluster, g, split
+
+
+class TestConstruction:
+    def test_k_and_policy_validation(self):
+        model, decoder, g, sg, _ = toy_serving_setup()
+        with pytest.raises(ValueError):
+            ServingCluster(model, sg, decoder, k=0)
+        with pytest.raises(ValueError):
+            ServingCluster(model, sg, decoder, policy="random")
+        with pytest.raises(ValueError):
+            ServingCluster(model, sg, decoder, admission_limit=0)
+
+    def test_replicas_share_sampler_and_graph(self):
+        cluster, _, _ = build_cluster(k=3)
+        samplers = {id(rep.engine.sampler) for rep in cluster.replicas}
+        assert len(samplers) == 1
+        assert all(rep.engine.graph is cluster.graph for rep in cluster.replicas)
+        assert all(not rep.engine.append_on_observe for rep in cluster.replicas)
+
+
+class TestRouting:
+    def test_round_robin_distributes_evenly(self):
+        cluster, g, _ = build_cluster(
+            k=2, policy="round_robin", max_batch_pairs=10 ** 6, max_delay=100.0
+        )
+        t = cluster.graph.max_time + 1.0
+        for i in range(6):
+            cluster.submit_rank(int(g.src[i]), np.arange(12, 16), t)
+        assert [rep.load for rep in cluster.replicas] == [3, 3]
+        assert cluster.stats.routed == [3, 3]
+        cluster.flush_all()
+
+    def test_least_loaded_prefers_emptier_replica(self):
+        cluster, g, _ = build_cluster(
+            k=2, policy="least_loaded", max_batch_pairs=10 ** 6, max_delay=100.0
+        )
+        t = cluster.graph.max_time + 1.0
+        # preload replica 0 by flushing replica 1 manually
+        cluster.submit_rank(int(g.src[0]), np.arange(12, 16), t)  # -> replica 0
+        cluster.submit_rank(int(g.src[1]), np.arange(12, 16), t)  # -> replica 1
+        cluster.replicas[1].batcher.flush()
+        cluster.submit_rank(int(g.src[2]), np.arange(12, 16), t)  # 1 is emptier
+        assert cluster.replicas[1].load == 1
+        cluster.flush_all()
+
+
+class TestConsistency:
+    def test_replicas_agree_after_same_wal(self):
+        """All k memory copies are bitwise-identical after the same stream —
+        the serving analogue of §3.2.3's consistent memory copies."""
+        cluster, g, split = build_cluster(k=3)
+        for chunk in event_stream(g, split.train_end, split.val_end, chunk=40):
+            cluster.ingest(*chunk)
+        assert len(cluster.wal) == split.val_end - split.train_end
+        ref = cluster.replicas[0].engine
+        assert np.abs(ref.memory.memory).sum() > 0
+        for rep in cluster.replicas[1:]:
+            assert np.array_equal(rep.engine.memory.memory, ref.memory.memory)
+            assert np.array_equal(rep.engine.memory.last_update, ref.memory.last_update)
+            assert np.array_equal(rep.engine.mailbox.mail, ref.mailbox.mail)
+            assert np.array_equal(rep.engine.mailbox.has_mail, ref.mailbox.has_mail)
+
+    def test_replicas_match_single_engine_reference(self):
+        """A cluster replica's state equals a lone engine fed the same stream."""
+        cluster, g, split = build_cluster(k=2)
+        model, decoder, g2, serve_graph2, _ = toy_serving_setup()
+        lone = InferenceEngine(model, serve_graph2, decoder=decoder,
+                               append_on_observe=True)
+        for chunk in event_stream(g, split.train_end, split.val_end, chunk=40):
+            cluster.ingest(*chunk)
+            lone.observe(chunk[0], chunk[1], chunk[2], edge_feats=chunk[3])
+        assert np.array_equal(
+            cluster.replicas[0].engine.memory.memory, lone.memory.memory
+        )
+        assert cluster.graph.num_events == lone.graph.num_events
+
+
+class TestLoadShedding:
+    def test_shed_accounting(self):
+        cluster, g, _ = build_cluster(
+            k=2, admission_limit=3, max_batch_pairs=10 ** 6, max_delay=100.0
+        )
+        t = cluster.graph.max_time + 1.0
+        handles = [
+            cluster.submit_rank(int(g.src[i]), np.arange(12, 16), t)
+            for i in range(5)
+        ]
+        assert [h is None for h in handles] == [False, False, False, True, True]
+        assert cluster.stats.submitted == 5
+        assert cluster.stats.shed == 2
+        assert cluster.stats.admitted == 3
+        cluster.flush_all()
+        # queue drained -> admissions resume
+        assert cluster.submit_rank(int(g.src[0]), np.arange(12, 16), t) is not None
+        assert cluster.stats.shed == 2
+
+    def test_no_limit_never_sheds(self):
+        cluster, g, _ = build_cluster(k=1, max_batch_pairs=10 ** 6, max_delay=100.0)
+        t = cluster.graph.max_time + 1.0
+        for i in range(10):
+            assert cluster.submit_rank(int(g.src[i]), np.arange(12, 16), t) is not None
+        assert cluster.stats.shed == 0
+        cluster.flush_all()
+
+
+class TestFreshNeighborhoods:
+    def test_ingested_events_reachable_through_sampler(self):
+        """Acceptance: events ingested after training are sampled — serving
+        does not run against the frozen training graph."""
+        cluster, g, split = build_cluster(k=2)
+        base_events = cluster.graph.num_events
+        src, dst, times, feats = next(
+            event_stream(g, split.train_end, split.val_end, chunk=50)
+        )
+        cluster.ingest(src, dst, times, feats)
+        assert cluster.graph.num_events == base_events + 50
+
+        sampler = cluster.replicas[0].engine.sampler
+        probe = int(src[0])
+        block = sampler.sample(
+            np.array([probe]), np.array([cluster.graph.max_time + 1.0])
+        )
+        # at least one sampled edge must be a post-training event
+        assert (block.edge_ids[block.mask] >= base_events).any()
+
+    def test_queries_see_fresh_edges(self):
+        """Scores at a post-stream timestamp differ from the frozen-graph
+        scores for a node whose only recent activity came in the stream."""
+        cluster, g, split = build_cluster(k=1)
+        frozen_model, frozen_dec, _, frozen_graph, _ = toy_serving_setup()
+        frozen = InferenceEngine(frozen_model, frozen_graph, decoder=frozen_dec,
+                                 append_on_observe=False)
+
+        src, dst, times, feats = next(
+            event_stream(g, split.train_end, split.val_end, chunk=60)
+        )
+        cluster.ingest(src, dst, times, feats)
+        frozen.observe(src, dst, times, edge_feats=feats)  # state yes, graph no
+
+        probe = int(src[-1])
+        cands = np.arange(12, 20)
+        t = cluster.graph.max_time + 1.0
+        h = cluster.submit_rank(probe, cands, t)
+        cluster.flush_all()
+        stale = frozen.rank_candidates(probe, cands, t)
+        assert not np.allclose(h.value, stale)
+
+
+class TestObservability:
+    def test_inference_stats_and_latency_aggregate(self):
+        cluster, g, _ = build_cluster(k=2, max_batch_pairs=10 ** 6)
+        t = cluster.graph.max_time + 1.0
+        for i in range(4):
+            cluster.submit_rank(int(g.src[i]), np.arange(12, 18), t)
+        cluster.flush_all()
+        stats = cluster.inference_stats()
+        assert stats.queries == 4 * 12            # 6 src copies + 6 candidates
+        assert 0.0 < stats.dedup_ratio < 1.0
+        assert cluster.latency().count == 4

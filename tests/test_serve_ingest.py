@@ -1,0 +1,187 @@
+"""Streaming ingestion: WAL semantics, graph appends + sampler freshness,
+snapshot/restore round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph import RecentNeighborSampler, TemporalGraph
+from repro.serve import EventLog, ServingCluster, event_stream
+
+from helpers import toy_graph, toy_serving_setup
+
+
+class TestEventLog:
+    def test_append_and_offsets(self):
+        log = EventLog(edge_dim=0)
+        assert len(log) == 0
+        off = log.append([0, 1], [2, 3], [1.0, 2.0])
+        assert off == 2 == len(log)
+        off = log.append([4], [5], [3.0])
+        assert off == 3
+
+    def test_events_since(self):
+        log = EventLog(edge_dim=0)
+        log.append([0, 1], [2, 3], [1.0, 2.0])
+        log.append([4], [5], [3.0])
+        src, dst, times, feats = log.events_since(1)
+        np.testing.assert_array_equal(src, [1, 4])
+        np.testing.assert_array_equal(dst, [3, 5])
+        np.testing.assert_array_equal(times, [2.0, 3.0])
+        assert feats is None
+        src, _, _, _ = log.events_since(3)
+        assert len(src) == 0
+        with pytest.raises(ValueError):
+            log.events_since(4)
+
+    def test_edge_feature_handling(self):
+        log = EventLog(edge_dim=2)
+        log.append([0], [1], [1.0])                     # None -> zero-pad
+        log.append([2], [3], [2.0], np.ones((1, 2)))
+        _, _, _, feats = log.arrays()
+        np.testing.assert_array_equal(feats, [[0, 0], [1, 1]])
+        with pytest.raises(ValueError):
+            log.append([0], [1], [3.0], np.ones((1, 3)))  # wrong dim
+        with pytest.raises(ValueError):
+            EventLog(edge_dim=0).append([0], [1], [1.0], np.ones((1, 2)))
+
+    def test_appended_arrays_are_copies(self):
+        log = EventLog()
+        src = np.array([0, 1])
+        log.append(src, [2, 3], [1.0, 2.0])
+        src[0] = 99
+        assert log.arrays()[0][0] == 0
+
+
+class TestGraphAppend:
+    def test_append_extends_and_keeps_ids_stable(self):
+        g = toy_graph(num_events=40)
+        e, v0 = g.num_events, g.version
+        old_src = g.src.copy()
+        sl = g.append_events([0, 1], [7, 8], [g.max_time + 1, g.max_time + 2])
+        assert sl == slice(e, e + 2)
+        assert g.num_events == e + 2 and g.version == v0 + 1
+        np.testing.assert_array_equal(g.src[:e], old_src)
+
+    def test_sampler_sees_appended_events(self):
+        g = toy_graph(num_events=40)
+        sampler = RecentNeighborSampler(g, k=3)
+        t_new = g.max_time + 5.0
+        before = sampler.sample(np.array([0]), np.array([t_new + 1]))
+        g.append_events([0], [10], [t_new])
+        after = sampler.sample(np.array([0]), np.array([t_new + 1]))
+        assert (after.edge_ids[after.mask] == g.num_events - 1).any()
+        assert not (before.edge_ids[before.mask] == g.num_events - 1).any()
+
+    def test_node_universe_is_fixed(self):
+        g = toy_graph(num_events=40)
+        with pytest.raises(ValueError):
+            g.append_events([g.num_nodes], [0], [g.max_time + 1])
+        with pytest.raises(ValueError):
+            g.append_events([-1], [0], [g.max_time + 1])
+
+    def test_feature_validation(self):
+        g = toy_graph(num_events=40, edge_dim=4)
+        e = g.num_events
+        g.append_events([0], [7], [g.max_time + 1])     # zero-padded
+        np.testing.assert_array_equal(g.edge_feats[e], np.zeros(4))
+        with pytest.raises(ValueError):
+            g.append_events([0], [7], [g.max_time + 2], np.ones((1, 3)))
+        plain = toy_graph(num_events=40, edge_dim=0)
+        with pytest.raises(ValueError):
+            plain.append_events([0], [7], [plain.max_time + 1], np.ones((1, 4)))
+
+    def test_out_of_order_append_voids_splits(self):
+        g = toy_graph(num_events=40)
+        g.append_events([0], [7], [g.max_time / 2])     # before max_time
+        assert g.max_time > 0
+        with pytest.raises(ValueError):
+            g.chronological_split()
+        with pytest.raises(ValueError):
+            g.slice_events(slice(0, 10))
+        # CSR sampling still works (lexsorted by time per node)
+        sampler = RecentNeighborSampler(g, k=3)
+        block = sampler.sample(np.array([0]), np.array([g.max_time + 1]))
+        row = block.times[0][block.mask[0]]
+        assert (np.diff(row) >= 0).all()
+
+    def test_empty_append_is_noop(self):
+        g = toy_graph(num_events=40)
+        e, v = g.num_events, g.version
+        assert g.append_events([], [], []) == slice(e, e)
+        assert g.num_events == e and g.version == v
+
+
+class TestIngestAtomicity:
+    def test_invalid_batch_leaves_no_trace(self):
+        """A bad batch must not desynchronize WAL, replicas, and graph."""
+        model, decoder, g, serve_graph, split = toy_serving_setup()
+        cluster = ServingCluster(model, serve_graph, decoder, k=2)
+        e0 = serve_graph.num_events
+        mem0 = cluster.replicas[0].engine.memory.memory.copy()
+        t = serve_graph.max_time + 1.0
+        with pytest.raises(ValueError):            # unknown node id
+            cluster.ingest([serve_graph.num_nodes + 3], [0], [t])
+        with pytest.raises(ValueError):            # mis-shaped edge feats
+            cluster.ingest([0], [15], [t], np.ones((1, 99), dtype=np.float32))
+        assert len(cluster.wal) == 0
+        assert serve_graph.num_events == e0
+        for rep in cluster.replicas:
+            assert np.array_equal(rep.engine.memory.memory, mem0)
+        # and a valid batch still goes through afterwards
+        cluster.ingest([0], [15], [t])
+        assert len(cluster.wal) == 1 and serve_graph.num_events == e0 + 1
+
+
+class TestSnapshotRestore:
+    def _serving_cluster(self, k=2):
+        model, decoder, g, serve_graph, split = toy_serving_setup()
+        return (
+            ServingCluster(model, serve_graph, decoder, k=k, max_delay=1e-3),
+            g,
+            split,
+            (model, decoder),
+        )
+
+    def test_round_trip_state_and_queries(self, tmp_path):
+        cluster, g, split, (model, decoder) = self._serving_cluster()
+        for chunk in event_stream(g, split.train_end, split.val_end, chunk=40):
+            cluster.ingest(*chunk)
+        path = cluster.save(tmp_path / "snap.npz")
+
+        _, _, g2, serve_graph2, _ = toy_serving_setup()
+        restored = ServingCluster(model, serve_graph2, decoder, k=2, max_delay=1e-3)
+        meta = restored.restore(path)
+        assert meta["wal_len"] == len(cluster.wal) == len(restored.wal)
+        assert restored.graph.num_events == cluster.graph.num_events
+
+        for a, b in zip(cluster.replicas, restored.replicas):
+            assert np.array_equal(a.engine.memory.memory, b.engine.memory.memory)
+            assert np.array_equal(a.engine.mailbox.mail, b.engine.mailbox.mail)
+
+        probe = int(g.src[split.train_end])
+        cands = np.arange(12, 20)
+        t = cluster.graph.max_time + 1.0
+        h1 = cluster.submit_rank(probe, cands, t)
+        h2 = restored.submit_rank(probe, cands, t)
+        cluster.flush_all()
+        restored.flush_all()
+        np.testing.assert_allclose(h1.value, h2.value, rtol=1e-6, atol=1e-7)
+
+    def test_restore_refuses_dirty_or_mismatched_targets(self, tmp_path):
+        cluster, g, split, (model, decoder) = self._serving_cluster()
+        chunk = next(event_stream(g, split.train_end, split.val_end, chunk=40))
+        cluster.ingest(*chunk)
+        path = cluster.save(tmp_path / "snap.npz")
+
+        # wrong replica count
+        _, _, _, sg_a, _ = toy_serving_setup()
+        with pytest.raises(ValueError):
+            ServingCluster(model, sg_a, decoder, k=3).restore(path)
+
+        # dirty target (already ingested something)
+        _, _, g_b, sg_b, split_b = toy_serving_setup()
+        dirty = ServingCluster(model, sg_b, decoder, k=2)
+        dirty.ingest(*next(event_stream(g_b, split_b.train_end,
+                                        split_b.val_end, chunk=10)))
+        with pytest.raises(ValueError):
+            dirty.restore(path)
