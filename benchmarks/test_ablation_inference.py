@@ -13,7 +13,6 @@ import numpy as np
 import pytest
 
 from conftest import report
-from repro.graph import RecentNeighborSampler
 from repro.infer import InferenceEngine
 from repro.models import TGN, LinkPredictor, TGNConfig
 

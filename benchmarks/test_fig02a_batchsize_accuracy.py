@@ -6,7 +6,6 @@ sweep proportionally scaled batch sizes on the gdelt-like dataset and assert
 the decay between the smallest and largest batch.
 """
 
-import numpy as np
 import pytest
 
 from conftest import report

@@ -16,9 +16,7 @@ import pytest
 from scipy.stats import spearmanr
 
 from conftest import BENCH_SPEC, report
-from repro.graph import eval_negatives
-from repro.memory import Mailbox, NodeMemory, StaticNodeMemory
-from repro.nn import Tensor
+from repro.memory import StaticNodeMemory
 from repro.parallel import ParallelConfig
 from repro.train import DistTGLTrainer, evaluate_link_prediction
 

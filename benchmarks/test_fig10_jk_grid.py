@@ -6,7 +6,6 @@ world size; (b) iterations before convergence shrink roughly linearly with
 j*k.  We sweep j, k ∈ {1, 2, 4} and assert the two aggregate shapes.
 """
 
-import numpy as np
 import pytest
 
 from conftest import BENCH_SPEC, report

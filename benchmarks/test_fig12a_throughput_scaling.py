@@ -6,7 +6,6 @@ four machines).  The throughput axis is modeled (no GPUs here); the model is
 fed each dataset's workload shape (batch size, feature dims).
 """
 
-import numpy as np
 import pytest
 
 from conftest import report

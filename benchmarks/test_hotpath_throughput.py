@@ -1,0 +1,47 @@
+"""Hot-path throughput: fused execution layer vs. the pre-refactor path.
+
+Measures events/sec for the three serving-critical loops — train step, eval
+sweep and serve batch — with the fused execution layer (fused nn kernels,
+``free_graph`` backward, vectorized sampler, BatchPrep neighborhood cache +
+prefetch) against the legacy configuration (composite per-op autograd,
+per-root Python sampling loop, no cache, no prefetch, a third forward per
+train step).  Emits ``BENCH_hotpath.json`` at the repo root so the perf
+trajectory accumulates comparable data points across PRs.
+
+The assertions are deliberately looser than the measured speedups (≈1.9× /
+2.1× / 1.3× on an idle machine) so a loaded CI box does not flake; the JSON
+records the real numbers.
+"""
+
+import json
+from pathlib import Path
+
+from repro.perf import run_hotpath_bench, write_report
+
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_hotpath.json"
+
+
+def test_hotpath_throughput_report():
+    report = run_hotpath_bench()
+    out = write_report(report, REPORT_PATH)
+    assert out.exists()
+    saved = json.loads(out.read_text())
+
+    train = saved["train_step"]
+    evals = saved["eval_sweep"]
+    serve = saved["serve_batch"]
+    print(
+        f"\nhotpath: train {train['speedup']:.2f}x "
+        f"({train['fused_events_per_sec']:.0f} vs {train['legacy_events_per_sec']:.0f} ev/s), "
+        f"eval {evals['speedup']:.2f}x, serve {serve['speedup']:.2f}x"
+    )
+
+    # the train step — the paper's headline loop — must show a real win
+    # (measured ≈1.6–2.0× best-of-2; 1.3 leaves headroom for noisy runners)
+    assert train["speedup"] >= 1.3
+    # eval overlaps sampling with compute on top of the fused kernels
+    # (measured ≈1.5–2.1×)
+    assert evals["speedup"] > 1.0
+    # the serve flush is dedup-dominated, so at smoke scale its win is small
+    # and its wall-clock ratio noisy — gate only against a real regression
+    assert serve["speedup"] > 0.75

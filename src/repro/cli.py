@@ -9,6 +9,9 @@ throughput  model Fig-12-style throughput for a system / configuration
 serve-bench train briefly, then load-test the replicated serving cluster
             (micro-batching + streaming ingestion) and report QPS, p50/p99
             latency, dedup ratio and shed counts per replica count
+perf-bench  measure hot-path throughput (train step / eval sweep / serve
+            batch) with the fused execution layer vs. the legacy path and
+            write BENCH_hotpath.json
 """
 
 from __future__ import annotations
@@ -17,7 +20,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
 
 from .data import PAPER_TABLE2, load_dataset
 from .parallel import HardwareSpec, ParallelConfig, plan_for_graph
@@ -108,6 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="path to save a serving snapshot after the run")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--quiet", action="store_true")
+
+    p_perf = sub.add_parser(
+        "perf-bench", help="hot-path throughput: fused execution layer vs legacy"
+    )
+    p_perf.add_argument("--events", type=int, default=2400,
+                        help="synthetic events in the benchmark graph")
+    p_perf.add_argument("--edge-dim", type=int, default=8)
+    p_perf.add_argument("--train-steps", type=int, default=50)
+    p_perf.add_argument("--eval-sweeps", type=int, default=2)
+    p_perf.add_argument("--serve-requests", type=int, default=40)
+    p_perf.add_argument("--out", default=None,
+                        help="report path (default: BENCH_hotpath.json at repo root)")
+    p_perf.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -244,6 +259,32 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_perf_bench(args) -> int:
+    from .perf import run_hotpath_bench, write_report
+
+    report = run_hotpath_bench(
+        num_events=args.events,
+        edge_dim=args.edge_dim,
+        train_steps=args.train_steps,
+        eval_sweeps=args.eval_sweeps,
+        serve_requests=args.serve_requests,
+        seed=args.seed,
+    )
+    rows = [
+        (
+            section,
+            f"{report[section]['fused_events_per_sec']:,.0f}",
+            f"{report[section]['legacy_events_per_sec']:,.0f}",
+            f"{report[section]['speedup']:.2f}x",
+        )
+        for section in ("train_step", "eval_sweep", "serve_batch")
+    ]
+    print(format_table(["hot path", "fused ev/s", "legacy ev/s", "speedup"], rows))
+    path = write_report(report, args.out)
+    print(f"report written to {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -252,6 +293,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": cmd_stats,
         "throughput": cmd_throughput,
         "serve-bench": cmd_serve_bench,
+        "perf-bench": cmd_perf_bench,
     }[args.command]
     return handler(args)
 

@@ -11,7 +11,7 @@ all datasets except GDELT, whose 191 M events are capped by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -8,6 +8,7 @@ from .batching import (
     segment_bounds,
 )
 from .negative import NegativeGroupStore, NegativeSampler, eval_negatives
+from .prep import BatchPrep, Neighborhood, PrefetchingLoader, PreparedBatch, PrepStats
 from .sampler import NeighborBlock, RecentNeighborSampler
 from .temporal_graph import GraphSplit, TemporalGraph
 
@@ -16,6 +17,11 @@ __all__ = [
     "GraphSplit",
     "RecentNeighborSampler",
     "NeighborBlock",
+    "BatchPrep",
+    "Neighborhood",
+    "PreparedBatch",
+    "PrefetchingLoader",
+    "PrepStats",
     "BatchLoader",
     "MiniBatch",
     "segment_bounds",

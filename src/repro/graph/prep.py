@@ -1,0 +1,346 @@
+"""Unified batch-preparation pipeline: sample → slice → assemble, once.
+
+Before this module existed, four call sites (the trainer's positive/negative
+prepare helpers, the evaluation sweeps, the inference engine and the serving
+micro-batcher) each re-implemented the same sequence: sample temporal
+neighborhoods, deduplicate the memory fetch set, slice edge features, read
+memory/mailbox state and pack a :class:`PreparedBatch`.  ``BatchPrep`` is
+that sequence as a single vectorized pipeline; every layer now consumes it.
+
+Pipeline stages and their caching/overlap contracts
+---------------------------------------------------
+1. **Neighborhood** (:meth:`BatchPrep.neighborhood`) — sampling, fetch-set
+   deduplication and edge-feature slicing.  This stage depends only on the
+   *graph topology*, never on memory state, so its result is cached in an
+   LRU keyed by ``(nodes, times, graph version)``: repeated queries (epoch
+   sweeps revisiting the same batches, memory-parallel groups sharing a
+   schedule, hot serving candidate sets) skip the sampler entirely.  A graph
+   append bumps the version and naturally invalidates stale entries.
+2. **Assembly** (:meth:`BatchPrep.assemble`) — the memory/mailbox read
+   through a ``MemoryView``.  This stage is *state-dependent* and is never
+   cached or prefetched: it always runs at consume time against the current
+   state.
+3. **Overlap** (:class:`PrefetchingLoader`) — the paper's §3.3 pipeline
+   overlap made real: a background thread runs stage 1 for batch ``t+1``
+   while the caller computes on batch ``t``; stage 2 runs on the consumer
+   thread at yield time, after the caller has committed batch ``t``'s
+   write-back, so prefetching can never serve stale memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from queue import Empty, Full, Queue
+from typing import Callable, Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from .sampler import NeighborBlock, RecentNeighborSampler
+
+
+@dataclass
+class PreparedBatch:
+    """Frozen raw inputs of one forward pass (sampled topology + memory reads)."""
+
+    block: NeighborBlock
+    uniq: np.ndarray
+    root_pos: np.ndarray
+    nbr_pos: np.ndarray
+    memory: np.ndarray
+    last_update: np.ndarray
+    mail: np.ndarray
+    mail_time: np.ndarray
+    has_mail: np.ndarray
+    edge_feats: Optional[np.ndarray]
+
+
+@dataclass
+class Neighborhood:
+    """The state-independent half of a PreparedBatch (cacheable)."""
+
+    block: NeighborBlock
+    uniq: np.ndarray
+    root_pos: np.ndarray
+    nbr_pos: np.ndarray
+    edge_feats: Optional[np.ndarray]
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate retained array bytes (drives byte-bounded eviction)."""
+        b = self.block
+        total = (
+            b.roots.nbytes + b.root_times.nbytes + b.neighbors.nbytes
+            + b.edge_ids.nbytes + b.times.nbytes + b.mask.nbytes
+            + self.uniq.nbytes + self.root_pos.nbytes + self.nbr_pos.nbytes
+        )
+        if self.edge_feats is not None:
+            total += self.edge_feats.nbytes
+        return total
+
+
+@dataclass
+class PrepStats:
+    """Counters for the neighborhood cache (benches and tests read these)."""
+
+    prepared: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class BatchPrep:
+    """One vectorized sample → slice → assemble path for every workload.
+
+    Parameters
+    ----------
+    sampler:
+        The temporal neighbor sampler (its graph defines the topology).
+    edge_dim:
+        Edge-feature width the model expects; 0 disables feature slicing.
+    edge_feat_table:
+        ``[num_events, edge_dim]`` feature table.  When ``None`` (the usual
+        case) the table is read from ``sampler.graph.edge_feats`` at every
+        preparation, so streaming appends — which *rebind* the graph's
+        feature array — are picked up automatically.
+    cache_size:
+        Maximum LRU entries for the neighborhood cache; 0 disables caching.
+    cache_bytes:
+        Byte budget for cached neighborhood arrays (default 256 MiB).  Entry
+        counts alone do not bound memory — an evaluation batch covering
+        hundreds of negative candidates per event caches orders of magnitude
+        more array data than a training batch — so eviction honours both
+        limits.
+    """
+
+    DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+    def __init__(
+        self,
+        sampler: RecentNeighborSampler,
+        edge_dim: int = 0,
+        edge_feat_table: Optional[np.ndarray] = None,
+        cache_size: int = 0,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ) -> None:
+        if edge_dim and edge_feat_table is None and sampler.graph.edge_feats is None:
+            raise ValueError("edge_dim > 0 requires edge features")
+        self.sampler = sampler
+        self.edge_dim = edge_dim
+        self._edge_feat_table = edge_feat_table
+        self.cache_size = int(cache_size)
+        self.cache_bytes = int(cache_bytes)
+        self.stats = PrepStats()
+        self._cache: "OrderedDict[Tuple[bytes, bytes, int], Neighborhood]" = OrderedDict()
+        self._cached_bytes = 0
+        self._lock = threading.Lock()
+
+    @property
+    def edge_feat_table(self) -> Optional[np.ndarray]:
+        if self._edge_feat_table is not None:
+            return self._edge_feat_table
+        return self.sampler.graph.edge_feats
+
+    # ----------------------------------------------------------- stage 1
+    def neighborhood(self, nodes: np.ndarray, times: np.ndarray) -> Neighborhood:
+        """Sample + dedup + feature-slice for a (node, time) query batch.
+
+        Pure function of the graph topology — safe to cache and to run on a
+        prefetch thread.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        key = None
+        if self.cache_size > 0:
+            key = (nodes.tobytes(), times.tobytes(), self.sampler.graph.version)
+            with self._lock:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self._cache.move_to_end(key)
+                    self.stats.cache_hits += 1
+                    return hit
+            self.stats.cache_misses += 1
+
+        block = self.sampler.sample(nodes, times)
+        uniq, inverse = np.unique(
+            np.concatenate([block.roots, block.neighbors.reshape(-1)]),
+            return_inverse=True,
+        )
+        b, k = block.mask.shape
+        root_pos = inverse[:b]
+        nbr_pos = inverse[b:].reshape(b, k)
+
+        edge_feats = None
+        if self.edge_dim:
+            eids = block.edge_ids.copy()
+            pad = eids < 0
+            eids[pad] = 0
+            edge_feats = self.edge_feat_table[eids].astype(np.float32)
+            edge_feats[pad] = 0.0
+
+        neigh = Neighborhood(
+            block=block,
+            uniq=uniq,
+            root_pos=root_pos,
+            nbr_pos=nbr_pos,
+            edge_feats=edge_feats,
+        )
+        if key is not None:
+            size = neigh.nbytes
+            if size <= self.cache_bytes:
+                with self._lock:
+                    self._cache[key] = neigh
+                    self._cached_bytes += size
+                    while len(self._cache) > self.cache_size or (
+                        self._cached_bytes > self.cache_bytes and len(self._cache) > 1
+                    ):
+                        _, evicted = self._cache.popitem(last=False)
+                        self._cached_bytes -= evicted.nbytes
+        return neigh
+
+    # ----------------------------------------------------------- stage 2
+    def assemble(self, neigh: Neighborhood, view) -> PreparedBatch:
+        """Attach the current memory/mailbox state to a neighborhood.
+
+        ``view`` is any :class:`~repro.models.tgn.MemoryView`.  Never cached:
+        memory moves after every write-back.
+        """
+        mem, last_upd, mail, mail_t, has_mail = view.read(neigh.uniq)
+        self.stats.prepared += 1
+        return PreparedBatch(
+            block=neigh.block,
+            uniq=neigh.uniq,
+            root_pos=neigh.root_pos,
+            nbr_pos=neigh.nbr_pos,
+            memory=mem,
+            last_update=last_upd,
+            mail=mail,
+            mail_time=mail_t,
+            has_mail=has_mail,
+            edge_feats=neigh.edge_feats,
+        )
+
+    # ------------------------------------------------------------- facade
+    def prepare(self, nodes: np.ndarray, times: np.ndarray, view) -> PreparedBatch:
+        """Full pipeline: neighborhood (cached) + state assembly (fresh)."""
+        return self.assemble(self.neighborhood(nodes, times), view)
+
+    def prepare_events(self, batch, view) -> PreparedBatch:
+        """Prepare the positive roots of a chronological event batch.
+
+        ``batch`` is a :class:`~repro.graph.batching.MiniBatch`; the query
+        set is ``src ++ dst`` at the event timestamps, matching the layout
+        every downstream loss/decoder expects (first half sources, second
+        half destinations).
+        """
+        nodes = np.concatenate([batch.src, batch.dst])
+        times = np.concatenate([batch.times, batch.times])
+        return self.prepare(nodes, times, view)
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+            self._cached_bytes = 0
+
+
+class PrefetchingLoader:
+    """Overlap neighborhood preparation of batch ``t+1`` with compute on ``t``.
+
+    Wraps an iterable of items (typically :class:`MiniBatch`) and yields
+    ``(item, PreparedBatch)`` pairs.  A background thread runs the
+    state-independent :meth:`BatchPrep.neighborhood` stage ahead of the
+    consumer; the state-*dependent* :meth:`BatchPrep.assemble` read runs on
+    the consumer thread when the pair is yielded — i.e. strictly after the
+    consumer finished (and committed write-backs for) the previous item.
+    That split is what makes prefetching safe in a model whose memory
+    mutates every batch: topology is fetched early, state is fetched late.
+
+    Parameters
+    ----------
+    items:
+        Iterable of work items.
+    prep:
+        The shared :class:`BatchPrep` pipeline.
+    view:
+        Memory view read at yield time.
+    queries:
+        ``item -> (nodes, times)``; defaults to the positive-event layout
+        ``(src ++ dst, times ++ times)``.
+    depth:
+        Prefetch queue depth (batches prepared ahead of the consumer).
+    """
+
+    def __init__(
+        self,
+        items: Iterable,
+        prep: BatchPrep,
+        view,
+        queries: Optional[Callable[[object], Tuple[np.ndarray, np.ndarray]]] = None,
+        depth: int = 2,
+    ) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.items = items
+        self.prep = prep
+        self.view = view
+        self.queries = queries or (
+            lambda batch: (
+                np.concatenate([batch.src, batch.dst]),
+                np.concatenate([batch.times, batch.times]),
+            )
+        )
+        self.depth = depth
+
+    def __iter__(self) -> Iterator[Tuple[object, PreparedBatch]]:
+        queue: Queue = Queue(maxsize=self.depth)
+        stop = threading.Event()
+        _END = object()
+
+        def _put(payload) -> bool:
+            # bounded put that aborts when the consumer went away
+            while not stop.is_set():
+                try:
+                    queue.put(payload, timeout=0.05)
+                    return True
+                except Full:
+                    continue
+            return False
+
+        def _worker() -> None:
+            try:
+                for item in self.items:
+                    if stop.is_set():
+                        return
+                    neigh = self.prep.neighborhood(*self.queries(item))
+                    if not _put((item, neigh, None)):
+                        return
+            except BaseException as exc:  # propagate to the consumer
+                _put((None, None, exc))
+                return
+            _put(_END)
+
+        worker = threading.Thread(target=_worker, name="batchprep-prefetch", daemon=True)
+        worker.start()
+        try:
+            while True:
+                payload = queue.get()
+                if payload is _END:
+                    break
+                item, neigh, exc = payload
+                if exc is not None:
+                    raise exc
+                yield item, self.prep.assemble(neigh, self.view)
+        finally:
+            stop.set()
+            # drain so a blocked worker can observe the stop flag promptly
+            try:
+                while True:
+                    queue.get_nowait()
+            except Empty:
+                pass
+            worker.join(timeout=5.0)

@@ -63,19 +63,53 @@ class RecentNeighborSampler:
 
     The adjacency comes from :meth:`TemporalGraph.csr`, which is sorted by
     time within each node, so eligibility is one ``searchsorted`` per root.
+
+    Two equivalent implementations are kept:
+
+    * ``vectorized=True`` (default) resolves every root's eligibility cut
+      with **one** global ``searchsorted`` over composite ``(node, time-rank)``
+      integer keys — the CSR is node-major and time-sorted within nodes, so
+      mapping each edge to ``node · (R+1) + rank(time)`` yields a globally
+      sorted int64 array, and the per-root Python loop disappears.  Time
+      ranks (dense indices into the sorted unique edge times) keep the keys
+      exact — no float-precision hazards from mixing node ids with raw
+      timestamps.
+    * ``vectorized=False`` is the original per-root loop, kept as the
+      reference implementation (equivalence-tested) and the pre-refactor
+      baseline for ``benchmarks/test_hotpath_throughput.py``.
     """
 
-    def __init__(self, graph: TemporalGraph, k: int = 10) -> None:
+    def __init__(self, graph: TemporalGraph, k: int = 10, vectorized: bool = True) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
         self.graph = graph
         self.k = k
+        self.vectorized = vectorized
         self._sync()
 
     def _sync(self) -> None:
         """(Re)load the CSR; called lazily when the graph gains events."""
         self._indptr, self._nbrs, self._eids, self._times = self.graph.csr()
         self._graph_version = self.graph.version
+        # the composite-key index costs O(E log E); defer it so the loop
+        # path (and streaming appends that never sample again) skip it
+        self._edge_keys = None
+        self._uniq_times = None
+        self._rank_base = np.int64(1)
+
+    def _ensure_index(self) -> None:
+        """Build the composite-key index for the vectorized path on demand:
+        edges sorted by (owner node, time rank); ranks are exact integer
+        surrogates for the float timestamps."""
+        if self._edge_keys is not None:
+            return
+        self._uniq_times = np.unique(self._times)
+        ranks = np.searchsorted(self._uniq_times, self._times, side="left")
+        owners = np.repeat(
+            np.arange(len(self._indptr) - 1, dtype=np.int64), np.diff(self._indptr)
+        )
+        self._rank_base = np.int64(len(self._uniq_times) + 1)
+        self._edge_keys = owners * self._rank_base + ranks
 
     def sample(self, roots: np.ndarray, times: np.ndarray) -> NeighborBlock:
         if self._graph_version != self.graph.version:
@@ -84,6 +118,37 @@ class RecentNeighborSampler:
         times = np.asarray(times, dtype=np.float64)
         if roots.shape != times.shape:
             raise ValueError("roots and times must align")
+        if self.vectorized:
+            return self._sample_vectorized(roots, times)
+        return self._sample_loop(roots, times)
+
+    def _sample_vectorized(self, roots: np.ndarray, times: np.ndarray) -> NeighborBlock:
+        self._ensure_index()
+        k = self.k
+        lo = self._indptr[roots]
+        hi = self._indptr[roots + 1]
+        # rank(t) = #unique edge times < t, so edge_time < t ⟺ rank(edge) < rank(t)
+        q_ranks = np.searchsorted(self._uniq_times, times, side="left")
+        cut = np.searchsorted(self._edge_keys, roots * self._rank_base + q_ranks, side="left")
+        # queries past a node's last edge resolve beyond its segment; clamp
+        cut = np.clip(cut, lo, hi)
+        take = np.minimum(k, cut - lo)                      # [B]
+        cols = (cut - take)[:, None] + np.arange(k)[None, :]
+        mask = np.arange(k)[None, :] < take[:, None]        # [B, k]
+        safe = np.where(mask, cols, 0)
+        neighbors = np.where(mask, self._nbrs[safe], 0)
+        edge_ids = np.where(mask, self._eids[safe], -1)
+        out_times = np.where(mask, self._times[safe], 0.0)
+        return NeighborBlock(
+            roots,
+            times,
+            neighbors.astype(np.int64),
+            edge_ids.astype(np.int64),
+            out_times.astype(np.float64),
+            mask,
+        )
+
+    def _sample_loop(self, roots: np.ndarray, times: np.ndarray) -> NeighborBlock:
         b, k = len(roots), self.k
         neighbors = np.zeros((b, k), dtype=np.int64)
         edge_ids = np.full((b, k), -1, dtype=np.int64)

@@ -19,11 +19,12 @@ into the node memory/mailbox (no gradients), mirroring online serving.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
+from ..graph.prep import BatchPrep
 from ..graph.sampler import RecentNeighborSampler
 from ..graph.temporal_graph import TemporalGraph
 from ..memory.mailbox import Mailbox
@@ -66,11 +67,20 @@ class InferenceEngine:
         dedup: bool = True,
         memoize_time: bool = True,
         append_on_observe: bool = True,
+        prep_cache: int = 64,
     ) -> None:
         self.model = model
         self.graph = graph
         self.decoder = decoder
         self.sampler = sampler or RecentNeighborSampler(graph, k=model.config.num_neighbors)
+        # all serving-side batch preparation flows through the shared
+        # pipeline; the LRU pays off when hot candidate sets repeat and is
+        # version-keyed, so observe()'s graph appends invalidate naturally
+        self.prep = BatchPrep(
+            self.sampler,
+            edge_dim=model.config.edge_dim,
+            cache_size=prep_cache,
+        )
         self.dedup = dedup
         self.memoize_time = memoize_time
         # Streaming freshness: observe() appends events to the graph so the
@@ -146,10 +156,8 @@ class InferenceEngine:
         times = np.asarray(times, dtype=np.float64)
         nodes = np.concatenate([src, dst])
         query_times = np.concatenate([times, times])
-        _, state = self.model.embed(
-            nodes, query_times, self.sampler, self.view,
-            edge_feat_table=self.graph.edge_feats,
-        )
+        prep = self.prep.prepare(nodes, query_times, self.view)
+        _, state = self.model.forward_prepared(prep)
         wb = self.model.make_writeback(src, dst, times, state, state,
                                        edge_feats=edge_feats)
         TGN.apply_writeback(wb, self.memory, self.mailbox)
@@ -183,14 +191,30 @@ class InferenceEngine:
 
         self._swap_encoder(True)
         try:
-            h, _ = self.model.embed(
-                q_nodes, q_times, self.sampler, self.view,
-                edge_feat_table=self.graph.edge_feats,
-            )
+            prep = self.prep.prepare(q_nodes, q_times, self.view)
+            h, _ = self.model.forward_prepared(prep)
         finally:
             self._swap_encoder(False)
         out = h.data
         return out[inverse] if inverse is not None else out
+
+    def embed_pairs(
+        self, left: np.ndarray, right: np.ndarray, times: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Embed both endpoints of (left, right, t) pairs in one fused batch.
+
+        The micro-batcher's flush path: one BatchPrep preparation covers
+        every endpoint of every queued pair, so dedup and time-encoding
+        memoization amortize across all clients in the batch.
+        """
+        left = np.asarray(left, dtype=np.int64)
+        right = np.asarray(right, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        emb = self.embed(
+            np.concatenate([left, right]), np.concatenate([times, times])
+        )
+        n = len(left)
+        return emb[:n], emb[n:]
 
     def rank_candidates(
         self, src: int, candidates: np.ndarray, at_time: float
@@ -204,12 +228,12 @@ class InferenceEngine:
             raise ValueError("engine constructed without a decoder")
         candidates = np.asarray(candidates, dtype=np.int64)
         n = len(candidates)
-        nodes = np.concatenate([np.full(n, src, dtype=np.int64), candidates])
-        times = np.full(2 * n, at_time, dtype=np.float64)
-        emb = self.embed(nodes, times)
-        h_src = Tensor(emb[:n])
-        h_dst = Tensor(emb[n:])
-        return self.decoder(h_src, h_dst).data
+        h_src, h_dst = self.embed_pairs(
+            np.full(n, src, dtype=np.int64),
+            candidates,
+            np.full(n, at_time, dtype=np.float64),
+        )
+        return self.decoder(Tensor(h_src), Tensor(h_dst)).data
 
     def predict_links(
         self, src: np.ndarray, dst: np.ndarray, times: np.ndarray
@@ -217,10 +241,6 @@ class InferenceEngine:
         """P(edge) for each (src, dst, t) triple."""
         if self.decoder is None:
             raise ValueError("engine constructed without a decoder")
-        src = np.asarray(src, dtype=np.int64)
-        dst = np.asarray(dst, dtype=np.int64)
-        times = np.asarray(times, dtype=np.float64)
-        emb = self.embed(np.concatenate([src, dst]), np.concatenate([times, times]))
-        b = len(src)
-        logits = self.decoder(Tensor(emb[:b]), Tensor(emb[b:])).data
+        h_src, h_dst = self.embed_pairs(src, dst, times)
+        logits = self.decoder(Tensor(h_src), Tensor(h_dst)).data
         return stable_sigmoid(logits)

@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from ..nn import Linear, Module, Tensor, concat, softmax
+from ..nn.fused import attention_score, fused_enabled
 from .time_encoding import TimeEncoding
 
 _NEG_INF = -1e9
@@ -81,20 +82,26 @@ class TemporalAttention(Module):
         k_h = key.reshape(b, k, h_heads, d_head).transpose((0, 2, 1, 3))  # [B,H,k,dh]
         v_h = val.reshape(b, k, h_heads, d_head).transpose((0, 2, 1, 3))  # [B,H,k,dh]
 
-        # scores[b,h,k] = q_h · k_h / sqrt(|N_v|)
         deg = np.maximum(mask.sum(axis=1, keepdims=True), 1).astype(np.float32)  # [B,1]
-        scale = Tensor((1.0 / np.sqrt(deg))[:, :, None])          # [B,1,1]
-        scores = (q_h.reshape(b, h_heads, 1, d_head) * k_h).sum(axis=3) * scale  # [B,H,k]
+        scale = (1.0 / np.sqrt(deg))[:, :, None]                  # [B,1,1]
 
-        # mask out padded slots
-        bias = np.where(mask[:, None, :], 0.0, _NEG_INF).astype(np.float32)
-        scores = scores + Tensor(bias)
-        att = softmax(scores, axis=2)  # [B,H,k]
-        # zero attention rows for roots that have no neighbors at all
-        any_nbr = mask.any(axis=1).astype(np.float32)[:, None, None]
-        att = att * Tensor(any_nbr)
+        if fused_enabled():
+            # QK·scale → mask → softmax → Σ att·V as one graph node
+            ctx = attention_score(q_h, k_h, v_h, mask, scale, neg_inf=_NEG_INF)
+        else:
+            # composite reference path (one node per numpy op)
+            # scores[b,h,k] = q_h · k_h / sqrt(|N_v|)
+            scores = (q_h.reshape(b, h_heads, 1, d_head) * k_h).sum(axis=3) * Tensor(scale)
 
-        ctx = (att.reshape(b, h_heads, k, 1) * v_h).sum(axis=2)   # [B,H,dh]
+            # mask out padded slots
+            bias = np.where(mask[:, None, :], 0.0, _NEG_INF).astype(np.float32)
+            scores = scores + Tensor(bias)
+            att = softmax(scores, axis=2)  # [B,H,k]
+            # zero attention rows for roots that have no neighbors at all
+            any_nbr = mask.any(axis=1).astype(np.float32)[:, None, None]
+            att = att * Tensor(any_nbr)
+
+            ctx = (att.reshape(b, h_heads, k, 1) * v_h).sum(axis=2)  # [B,H,dh]
         ctx = ctx.reshape(b, self.out_dim)
         # skip connection with the root's own (updated) memory
-        return self.w_out(concat([ctx, root_state], axis=1)).relu()
+        return self.w_out(concat([ctx, root_state], axis=1), activation="relu")

@@ -22,7 +22,7 @@ class LinkPredictor(Module):
 
     def forward(self, h_src: Tensor, h_dst: Tensor) -> Tensor:
         h = concat([h_src, h_dst], axis=1)
-        return self.fc2(self.fc1(h).relu()).reshape(-1)
+        return self.fc2(self.fc1(h, activation="relu")).reshape(-1)
 
 
 class EdgeClassifier(Module):
@@ -40,4 +40,4 @@ class EdgeClassifier(Module):
 
     def forward(self, h_src: Tensor, h_dst: Tensor) -> Tensor:
         h = concat([h_src, h_dst], axis=1)
-        return self.fc2(self.fc1(h).relu())
+        return self.fc2(self.fc1(h, activation="relu"))

@@ -22,7 +22,8 @@ from typing import Optional, Protocol, Tuple
 
 import numpy as np
 
-from ..graph.sampler import NeighborBlock, RecentNeighborSampler
+from ..graph.prep import BatchPrep, PreparedBatch
+from ..graph.sampler import RecentNeighborSampler
 from ..memory.mailbox import Mailbox
 from ..memory.node_memory import NodeMemory
 from ..nn import Linear, Module, Tensor
@@ -152,7 +153,7 @@ class TGN(Module):
         sampler: RecentNeighborSampler,
         view: MemoryView,
         edge_feat_table: Optional[np.ndarray] = None,
-    ) -> "PreparedBatch":
+    ) -> PreparedBatch:
         """Sample neighborhoods and read memory/mail state for the queries.
 
         The returned :class:`PreparedBatch` freezes the *raw inputs* of one
@@ -160,43 +161,17 @@ class TGN(Module):
         same PreparedBatch across j consecutive iterations while the model
         weights move — the paper's "ignore the difference in node memory due
         to weight updates in the last n−1 epochs".
+
+        This is the compatibility facade over :class:`repro.graph.prep
+        .BatchPrep`; hot paths hold a persistent ``BatchPrep`` instead so
+        neighborhood caching and prefetch can amortize across calls.
         """
-        nodes = np.asarray(nodes, dtype=np.int64)
-        times = np.asarray(times, dtype=np.float64)
-        block = sampler.sample(nodes, times)
-
-        uniq, inverse = np.unique(
-            np.concatenate([block.roots, block.neighbors.reshape(-1)]),
-            return_inverse=True,
+        if self.config.edge_dim and edge_feat_table is None:
+            raise ValueError("model configured with edge features")
+        prep = BatchPrep(
+            sampler, edge_dim=self.config.edge_dim, edge_feat_table=edge_feat_table
         )
-        b, k = block.mask.shape
-        root_pos = inverse[:b]
-        nbr_pos = inverse[b:].reshape(b, k)
-
-        mem, last_upd, mail, mail_t, has_mail = view.read(uniq)
-
-        edge_feats = None
-        if self.config.edge_dim:
-            if edge_feat_table is None:
-                raise ValueError("model configured with edge features")
-            eids = block.edge_ids.copy()
-            pad = eids < 0
-            eids[pad] = 0
-            edge_feats = edge_feat_table[eids].astype(np.float32)
-            edge_feats[pad] = 0.0
-
-        return PreparedBatch(
-            block=block,
-            uniq=uniq,
-            root_pos=root_pos,
-            nbr_pos=nbr_pos,
-            memory=mem,
-            last_update=last_upd,
-            mail=mail,
-            mail_time=mail_t,
-            has_mail=has_mail,
-            edge_feats=edge_feats,
-        )
+        return prep.prepare(nodes, times, view)
 
     def forward_prepared(self, prep: "PreparedBatch") -> Tuple[Tensor, "_BatchState"]:
         """Run the model on frozen raw inputs with the *current* weights."""
@@ -290,22 +265,6 @@ class TGN(Module):
             wb.mail_times,
             edge_feats=wb.mail_edge_feats,
         )
-
-
-@dataclass
-class PreparedBatch:
-    """Frozen raw inputs of one forward pass (sampled topology + memory reads)."""
-
-    block: NeighborBlock
-    uniq: np.ndarray
-    root_pos: np.ndarray
-    nbr_pos: np.ndarray
-    memory: np.ndarray
-    last_update: np.ndarray
-    mail: np.ndarray
-    mail_time: np.ndarray
-    has_mail: np.ndarray
-    edge_feats: Optional[np.ndarray]
 
 
 class _BatchState:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Module, Parameter, Tensor
+from ..nn.fused import fused_enabled, time_encoding
 
 
 class TimeEncoding(Module):
@@ -28,6 +29,8 @@ class TimeEncoding(Module):
     def forward(self, delta_t: np.ndarray) -> Tensor:
         """Encode Δt of shape ``[...]`` into ``[..., dim]``."""
         dt = Tensor(np.asarray(delta_t, dtype=np.float32)[..., None])
+        if fused_enabled():
+            return time_encoding(dt, self.omega, self.phase)
         return (dt * self.omega + self.phase).cos()
 
     def zero(self, batch: int) -> Tensor:

@@ -10,8 +10,12 @@ Public surface:
 * optimizers: :class:`Adam`, :class:`SGD`; helpers ``clip_grad_norm``, ``scale_lr``
 * functional: ``softmax``, ``log_softmax``, ``bce_with_logits``,
   ``cross_entropy``, ``multilabel_bce``, ``mse_loss``
+* fused execution layer (:mod:`repro.nn.fused`): single-node kernels behind
+  a primitive/VJP registry, toggled with ``set_fused`` / ``use_fused``
 """
 
+from . import fused
+from .fused import affine, fused_enabled, set_fused, use_fused
 from .functional import (
     bce_with_logits,
     cross_entropy,
@@ -29,6 +33,11 @@ from .tensor import Tensor, concat, ones, stack, tensor, where, zeros
 
 __all__ = [
     "Tensor",
+    "fused",
+    "affine",
+    "fused_enabled",
+    "set_fused",
+    "use_fused",
     "Module",
     "Parameter",
     "Linear",

@@ -4,6 +4,10 @@ These are the composite ops used by the TGN-attn model: numerically stable
 softmax / log-softmax (for the temporal attention, Eq. 7 of the paper),
 binary cross entropy with logits (temporal link prediction loss) and
 multi-label losses for the GDELT-style dynamic edge classification task.
+
+The single-node kernels (softmax, log-softmax, BCE) live in the fused
+primitive registry (:mod:`repro.nn.fused`); this module re-exposes them
+under their historical names so every call site shares one implementation.
 """
 
 from __future__ import annotations
@@ -12,41 +16,17 @@ from typing import Optional
 
 import numpy as np
 
+from . import fused
 from .tensor import Tensor
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis`` with exact gradient."""
-    shifted = np.max(x.data, axis=axis, keepdims=True)
-    exps = np.exp(x.data - shifted)
-    value = exps / exps.sum(axis=axis, keepdims=True)
-    out = Tensor(value, requires_grad=x.requires_grad, _parents=(x,))
-
-    def _backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            # d softmax = s * (grad - sum(grad * s))
-            inner = (grad * value).sum(axis=axis, keepdims=True)
-            x._accumulate((value * (grad - inner)).astype(x.dtype))
-
-    out._backward = _backward if out.requires_grad else None
-    return out
+    return fused.softmax(x, axis=axis)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x.data - np.max(x.data, axis=axis, keepdims=True)
-    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    value = shifted - lse
-    out = Tensor(value, requires_grad=x.requires_grad, _parents=(x,))
-    probs = np.exp(value)
-
-    def _backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            x._accumulate(
-                (grad - probs * grad.sum(axis=axis, keepdims=True)).astype(x.dtype)
-            )
-
-    out._backward = _backward if out.requires_grad else None
-    return out
+    return fused.log_softmax(x, axis=axis)
 
 
 def bce_with_logits(
@@ -56,31 +36,7 @@ def bce_with_logits(
 
     loss = max(z, 0) - z*y + log(1 + exp(-|z|))
     """
-    targets = np.asarray(targets, dtype=logits.dtype)
-    z = logits.data
-    value = np.maximum(z, 0.0) - z * targets + np.log1p(np.exp(-np.abs(z)))
-    out = Tensor(
-        value if reduction == "none" else value.mean() if reduction == "mean" else value.sum(),
-        requires_grad=logits.requires_grad,
-        _parents=(logits,),
-    )
-    # overflow-free sigmoid (z can be +-100 from confident models)
-    sigmoid = np.empty_like(z)
-    pos = z >= 0
-    sigmoid[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    ez = np.exp(z[~pos])
-    sigmoid[~pos] = ez / (1.0 + ez)
-
-    def _backward(grad: np.ndarray) -> None:
-        if not logits.requires_grad:
-            return
-        local = sigmoid - targets
-        if reduction == "mean":
-            local = local / z.size
-        logits._accumulate((grad * local).astype(logits.dtype))
-
-    out._backward = _backward if out.requires_grad else None
-    return out
+    return fused.bce_with_logits(logits, targets, reduction=reduction)
 
 
 def cross_entropy(

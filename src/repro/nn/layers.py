@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from . import init
+from .fused import affine
 from .functional import dropout
 from .module import Module, Parameter
 from .tensor import Tensor
@@ -31,11 +32,8 @@ class Linear(Module):
         )
         self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
 
-    def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight.T
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+    def forward(self, x: Tensor, activation: str = "none") -> Tensor:
+        return affine(x, self.weight, self.bias, activation=activation)
 
 
 class MLP(Module):
@@ -60,8 +58,7 @@ class MLP(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         for layer in self.layers[:-1]:
-            x = layer(x)
-            x = x.relu() if self.activation == "relu" else x.tanh()
+            x = layer(x, activation=self.activation)
         return self.layers[-1](x)
 
 

@@ -10,7 +10,7 @@ utilities see everything.  Weight synchronisation across logical trainers
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 

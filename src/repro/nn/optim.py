@@ -7,7 +7,7 @@ The paper scales the learning rate linearly with the global batch size
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 import numpy as np
 

@@ -15,8 +15,9 @@ from typing import Optional
 import numpy as np
 
 from . import init
+from .fused import fused_enabled, gru_cell
 from .module import Module, Parameter
-from .tensor import Tensor, concat
+from .tensor import Tensor
 
 
 class GRUCell(Module):
@@ -47,6 +48,10 @@ class GRUCell(Module):
         self.bias_hh = Parameter(init.zeros((3 * hidden_size,)), name="bias_hh")
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        if fused_enabled():
+            return gru_cell(
+                x, h, self.weight_ih, self.weight_hh, self.bias_ih, self.bias_hh
+            )
         H = self.hidden_size
         gi = x @ self.weight_ih.T + self.bias_ih
         gh = h @ self.weight_hh.T + self.bias_hh

@@ -22,7 +22,7 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -107,7 +107,12 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a tensor with exactly one element; got shape "
+                f"{self.shape} ({self.data.size} elements)"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         return Tensor(self.data, requires_grad=False)
@@ -127,8 +132,19 @@ class Tensor:
         self.grad = None
 
     # -------------------------------------------------------------- backward
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
-        """Backpropagate from this tensor through the recorded DAG."""
+    def backward(
+        self, grad: Optional[np.ndarray] = None, free_graph: bool = False
+    ) -> None:
+        """Backpropagate from this tensor through the recorded DAG.
+
+        With ``free_graph=True`` every *interior* node releases its gradient
+        buffer, parent links and backward closure as soon as it has been
+        processed, so peak memory during the backward pass stays close to the
+        leaf-gradient footprint instead of retaining the whole forward graph.
+        Leaf gradients (parameters, inputs) are kept either way.  A freed
+        graph cannot be backpropagated a second time — training loops call
+        ``loss.backward(free_graph=True)`` once per step.
+        """
         if grad is None:
             if self.data.size != 1:
                 raise ValueError(
@@ -158,7 +174,12 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
-            # Free interior gradients eagerly?  Keep them: tests inspect them.
+            if free_graph and node._parents:
+                # interior node: its gradient has been fully propagated and
+                # its closure (holding forward residuals) is no longer needed
+                node.grad = None
+                node._backward = None
+                node._parents = ()
 
     # ------------------------------------------------------------ arithmetic
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":

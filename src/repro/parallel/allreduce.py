@@ -11,7 +11,7 @@ and for modelling the collective's cost.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -276,15 +276,11 @@ class MicroBatcher:
         times = np.concatenate([r.times for r in batch])
         try:
             with self._engine_lock:
-                # one fused embed over every endpoint of every queued pair —
-                # dedup/memoization amortize across all clients in the batch
-                emb = self.engine.embed(
-                    np.concatenate([lefts, rights]), np.concatenate([times, times])
-                )
-                total = len(lefts)
-                scores = self.engine.decoder(
-                    Tensor(emb[:total]), Tensor(emb[total:])
-                ).data
+                # one fused BatchPrep preparation over every endpoint of
+                # every queued pair — dedup/memoization amortize across all
+                # clients in the batch
+                h_left, h_right = self.engine.embed_pairs(lefts, rights, times)
+                scores = self.engine.decoder(Tensor(h_left), Tensor(h_right)).data
         except Exception as exc:
             # deliver the failure to every waiter — the batch was already
             # dequeued, so swallowing it here would strand them forever

@@ -30,7 +30,6 @@ System differences:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from ..parallel.allreduce import ring_allreduce_time
 from ..parallel.config import ParallelConfig

@@ -35,13 +35,14 @@ import numpy as np
 from ..data.datasets import Dataset
 from ..graph.batching import BatchLoader, segment_bounds
 from ..graph.negative import NegativeGroupStore, eval_negatives
+from ..graph.prep import BatchPrep, PreparedBatch
 from ..graph.sampler import RecentNeighborSampler
 from ..memory.mailbox import Mailbox
 from ..memory.node_memory import NodeMemory
 from ..memory.static_memory import StaticNodeMemory
 from ..models.decoders import EdgeClassifier, LinkPredictor
-from ..models.tgn import TGN, DirectMemoryView, PreparedBatch, TGNConfig
-from ..nn import Adam, Tensor, bce_with_logits, clip_grad_norm, concat, multilabel_bce
+from ..models.tgn import TGN, DirectMemoryView, TGNConfig
+from ..nn import Adam, bce_with_logits, clip_grad_norm, concat, multilabel_bce, use_fused
 from ..parallel.config import ParallelConfig
 from .evaluation import (
     EvalResult,
@@ -69,6 +70,8 @@ class TrainerSpec:
     static_pretrain_epochs: int = 10
     comb: str = "recent"
     seed: int = 0
+    fused: bool = True              # fused execution-layer kernels (nn.fused)
+    prep_cache_batches: int = 256   # BatchPrep neighborhood LRU entries
 
 
 @dataclass
@@ -159,6 +162,14 @@ class DistTGLTrainer:
         self.graph = graph
         self.split = graph.chronological_split()
         self.sampler = RecentNeighborSampler(graph, k=self.spec.num_neighbors)
+        # one BatchPrep pipeline for training *and* evaluation: epoch sweeps,
+        # memory-parallel groups and repeated eval passes revisit the same
+        # (nodes, times) sets, so the neighborhood LRU amortizes across all
+        self.prep = BatchPrep(
+            self.sampler,
+            edge_dim=graph.edge_dim,
+            cache_size=self.spec.prep_cache_batches,
+        )
 
         model_cfg = TGNConfig(
             num_nodes=graph.num_nodes,
@@ -250,43 +261,44 @@ class DistTGLTrainer:
     # -------------------------------------------------------------- forward
     def _prepare_positive(self, group: _MemoryGroup, batch_idx: int) -> Tuple:
         batch = self.loader.batch(batch_idx)
-        nodes = np.concatenate([batch.src, batch.dst])
-        times = np.concatenate([batch.times, batch.times])
-        prep = self.model.prepare(
-            nodes, times, self.sampler, group.view, edge_feat_table=self.graph.edge_feats
-        )
-        return batch, prep
+        return batch, self.prep.prepare_events(batch, group.view)
 
     def _prepare_negatives(
         self, group: _MemoryGroup, batch, groups_to_prepare: List[int]
     ) -> Dict[int, PreparedBatch]:
-        out: Dict[int, PreparedBatch] = {}
-        for g in groups_to_prepare:
-            negs = self.neg_store.slice(g, batch.start, batch.stop)
-            prep = self.model.prepare(
-                negs, batch.times, self.sampler, group.view,
-                edge_feat_table=self.graph.edge_feats,
+        return {
+            g: self.prep.prepare(
+                self.neg_store.slice(g, batch.start, batch.stop),
+                batch.times,
+                group.view,
             )
-            out[g] = prep
-        return out
+            for g in groups_to_prepare
+        }
 
-    def _loss_link(self, batch, prep_pos: PreparedBatch, prep_neg: PreparedBatch):
+    def _loss_link(
+        self, batch, prep_pos: PreparedBatch, prep_neg: PreparedBatch, h_pos=None
+    ):
+        """Link loss; ``h_pos`` reuses a forward already computed with the
+        current weights (the canonical sub-step-0 pass) instead of paying a
+        third forward per step."""
         b = batch.size
-        h_pos, state = self.model.forward_prepared(prep_pos)
+        if h_pos is None:
+            h_pos, _ = self.model.forward_prepared(prep_pos)
         h_neg, _ = self.model.forward_prepared(prep_neg)
         h_src, h_dst = h_pos[:b], h_pos[b:]
         logit_pos = self.decoder(h_src, h_dst)
         logit_neg = self.decoder(h_src, h_neg)
         logits = concat([logit_pos, logit_neg], axis=0)
         labels = np.concatenate([np.ones(b), np.zeros(b)]).astype(np.float32)
-        return bce_with_logits(logits, labels), state
+        return bce_with_logits(logits, labels)
 
-    def _loss_edge_class(self, batch, prep_pos: PreparedBatch):
+    def _loss_edge_class(self, batch, prep_pos: PreparedBatch, h=None):
         b = batch.size
-        h, state = self.model.forward_prepared(prep_pos)
+        if h is None:
+            h, _ = self.model.forward_prepared(prep_pos)
         logits = self.decoder(h[:b], h[b:])
         targets = self.dataset.labels[batch.start : batch.stop]
-        return multilabel_bce(logits, targets), state
+        return multilabel_bce(logits, targets)
 
     # ------------------------------------------------------------- training
     def train(
@@ -318,63 +330,77 @@ class DistTGLTrainer:
         recent_losses: List[float] = []
 
         for it in range(iterations):
-            if substep == 0:
-                # canonical pass: advance each group by one block of j batches
+            with use_fused(self.spec.fused):
+                if substep == 0:
+                    # canonical pass: advance each group by one block of j batches
+                    for group in self.groups:
+                        block = group.next_block(j)
+                        cache = {
+                            "batches": [], "pos": [], "neg": [], "h0": [],
+                            "indices": block,
+                        }
+                        for r, b_idx in enumerate(block):
+                            group.maybe_reset(b_idx)
+                            batch, prep_pos = self._prepare_positive(group, b_idx)
+                            neg_groups = (
+                                [
+                                    (self._sweep_negative_offset + g) % self.neg_store.num_groups
+                                    for g in range(j)
+                                ]
+                                if self.neg_store is not None
+                                else []
+                            )
+                            preps_neg = (
+                                self._prepare_negatives(group, batch, neg_groups)
+                                if self.neg_store is not None
+                                else {}
+                            )
+                            # canonical write with current weights; the same
+                            # forward feeds this iteration's sub-step-0 loss
+                            h_pos, state = self.model.forward_prepared(prep_pos)
+                            wb = self.model.make_writeback(
+                                batch.src, batch.dst, batch.times, state, state,
+                                edge_feats=batch.edge_feats,
+                            )
+                            TGN.apply_writeback(wb, group.memory, group.mailbox)
+                            cache["batches"].append(batch)
+                            cache["pos"].append(prep_pos)
+                            cache["neg"].append(preps_neg)
+                            cache["h0"].append(h_pos)
+                        block_cache[group.index] = cache
+
+                # gradient step: every sub-group of every memory group contributes
+                losses = []
                 for group in self.groups:
-                    block = group.next_block(j)
-                    cache = {"batches": [], "pos": [], "neg": [], "indices": block}
-                    for r, b_idx in enumerate(block):
-                        group.maybe_reset(b_idx)
-                        batch, prep_pos = self._prepare_positive(group, b_idx)
-                        neg_groups = (
-                            [
-                                (self._sweep_negative_offset + g) % self.neg_store.num_groups
-                                for g in range(j)
-                            ]
-                            if self.neg_store is not None
-                            else []
-                        )
-                        preps_neg = (
-                            self._prepare_negatives(group, batch, neg_groups)
-                            if self.neg_store is not None
-                            else {}
-                        )
-                        # canonical write with current weights (sub-step 0 compute)
-                        _, state = self.model.forward_prepared(prep_pos)
-                        wb = self.model.make_writeback(
-                            batch.src, batch.dst, batch.times, state, state,
-                            edge_feats=batch.edge_feats,
-                        )
-                        TGN.apply_writeback(wb, group.memory, group.mailbox)
-                        cache["batches"].append(batch)
-                        cache["pos"].append(prep_pos)
-                        cache["neg"].append(preps_neg)
-                    block_cache[group.index] = cache
+                    cache = block_cache[group.index]
+                    for r in range(j):
+                        batch = cache["batches"][r]
+                        prep_pos = cache["pos"][r]
+                        # sub-step 0 runs with the weights the canonical pass
+                        # just used, so its positive forward is reusable;
+                        # later sub-steps see moved weights and recompute
+                        h0 = cache["h0"][r] if substep == 0 else None
+                        if self.dataset.task == "link":
+                            neg_keys = sorted(cache["neg"][r])
+                            g_idx = neg_keys[(r + substep) % len(neg_keys)]
+                            loss = self._loss_link(
+                                batch, prep_pos, cache["neg"][r][g_idx], h_pos=h0
+                            )
+                        else:
+                            loss = self._loss_edge_class(batch, prep_pos, h=h0)
+                        losses.append(loss)
 
-            # gradient step: every sub-group of every memory group contributes
-            losses = []
-            for group in self.groups:
-                cache = block_cache[group.index]
-                for r in range(j):
-                    batch = cache["batches"][r]
-                    prep_pos = cache["pos"][r]
-                    if self.dataset.task == "link":
-                        neg_keys = sorted(cache["neg"][r])
-                        g_idx = neg_keys[(r + substep) % len(neg_keys)]
-                        loss, _ = self._loss_link(batch, prep_pos, cache["neg"][r][g_idx])
-                    else:
-                        loss, _ = self._loss_edge_class(batch, prep_pos)
-                    losses.append(loss)
-
-            total = losses[0]
-            for extra in losses[1:]:
-                total = total + extra
-            total = total * (1.0 / len(losses))
-            self.optimizer.zero_grad()
-            total.backward()
-            clip_grad_norm(self.optimizer.params, self.spec.grad_clip)
-            self.optimizer.step()
-            recent_losses.append(float(total.data))
+                total = losses[0]
+                for extra in losses[1:]:
+                    total = total + extra
+                total = total * (1.0 / len(losses))
+                self.optimizer.zero_grad()
+                # free interior grads/parents eagerly: one step never
+                # backpropagates twice, so peak memory stays near the leaves
+                total.backward(free_graph=True)
+                clip_grad_norm(self.optimizer.params, self.spec.grad_clip)
+                self.optimizer.step()
+                recent_losses.append(float(total.data))
 
             substep = (substep + 1) % j
             self._iteration += 1
@@ -421,24 +447,28 @@ class DistTGLTrainer:
     # ------------------------------------------------------------ evaluation
     def _evaluate_split(self, which: str, warm_group: _MemoryGroup) -> EvalResult:
         sl = self.split.val if which == "val" else self.split.test
-        if self.dataset.task == "link":
-            memory = warm_group.memory.clone()
-            mailbox = warm_group.mailbox.clone()
-            if which == "test":
-                # replay validation events first so test sees a warm memory
-                evaluate_link_prediction(
+        with use_fused(self.spec.fused):
+            if self.dataset.task == "link":
+                memory = warm_group.memory.clone()
+                mailbox = warm_group.mailbox.clone()
+                if which == "test":
+                    # replay validation events first so test sees a warm memory
+                    evaluate_link_prediction(
+                        self.model, self.decoder, self.graph, self.sampler,
+                        memory, mailbox,
+                        self.split.val.start, self.split.val.stop,
+                        self.eval_negs, batch_size=self.global_batch,
+                        prep=self.prep,
+                    )
+                return evaluate_link_prediction(
                     self.model, self.decoder, self.graph, self.sampler,
-                    memory, mailbox,
-                    self.split.val.start, self.split.val.stop,
+                    memory, mailbox, sl.start, sl.stop,
                     self.eval_negs, batch_size=self.global_batch,
+                    prep=self.prep,
                 )
-            return evaluate_link_prediction(
+            # GDELT protocol: zero-state chunk evaluation
+            return evaluate_edge_classification(
                 self.model, self.decoder, self.graph, self.sampler,
-                memory, mailbox, sl.start, sl.stop,
-                self.eval_negs, batch_size=self.global_batch,
+                self.dataset.labels, sl.start, sl.stop, batch_size=self.global_batch,
+                prep=self.prep,
             )
-        # GDELT protocol: zero-state chunk evaluation
-        return evaluate_edge_classification(
-            self.model, self.decoder, self.graph, self.sampler,
-            self.dataset.labels, sl.start, sl.stop, batch_size=self.global_batch,
-        )

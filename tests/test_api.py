@@ -17,7 +17,6 @@ class TestPublicAPI:
     def test_docstring_quickstart_runs(self):
         """The __init__ docstring's example must actually work."""
         from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
-        from repro.data import load_dataset
 
         ds = repro.load_dataset("wikipedia", scale=0.004)
         spec = TrainerSpec(batch_size=50, memory_dim=8, time_dim=8, embed_dim=8)

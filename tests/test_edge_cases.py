@@ -1,9 +1,7 @@
 """Boundary conditions and failure modes across the stack."""
 
 import numpy as np
-import pytest
 
-from repro.data import Dataset, PaperStats, load_dataset
 from repro.graph import BatchLoader, RecentNeighborSampler, TemporalGraph
 from repro.memory import Mailbox, NodeMemory
 from repro.models import TGN, DirectMemoryView, TGNConfig

@@ -1,0 +1,269 @@
+"""BatchPrep pipeline: equivalence with the model facade, LRU cache
+semantics, prefetch overlap safety and the vectorized sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.batching import BatchLoader
+from repro.graph.prep import BatchPrep, PrefetchingLoader
+from repro.graph.sampler import RecentNeighborSampler
+from repro.memory.mailbox import Mailbox
+from repro.memory.node_memory import NodeMemory
+from repro.models.tgn import TGN, DirectMemoryView, TGNConfig
+
+from helpers import toy_graph
+
+K = 4
+
+
+def _setup(edge_dim: int = 0, seed: int = 0):
+    g = toy_graph(num_events=120, num_src=8, num_dst=6, edge_dim=edge_dim, seed=seed)
+    sampler = RecentNeighborSampler(g, k=K)
+    cfg = TGNConfig(
+        num_nodes=g.num_nodes, memory_dim=8, time_dim=8, embed_dim=8,
+        edge_dim=edge_dim, num_neighbors=K, seed=seed,
+    )
+    model = TGN(cfg)
+    memory = NodeMemory(g.num_nodes, 8)
+    mailbox = Mailbox(g.num_nodes, 8, edge_dim=edge_dim)
+    view = DirectMemoryView(memory, mailbox)
+    return g, sampler, model, view
+
+
+def _queries(g, n=30, seed=1):
+    rng = np.random.default_rng(seed)
+    nodes = rng.integers(0, g.num_nodes, size=n)
+    times = rng.uniform(0, g.max_time, size=n)
+    return nodes, times
+
+
+class TestBatchPrepEquivalence:
+    @pytest.mark.parametrize("edge_dim", [0, 6])
+    def test_matches_model_prepare(self, edge_dim):
+        g, sampler, model, view = _setup(edge_dim)
+        nodes, times = _queries(g)
+        prep = BatchPrep(sampler, edge_dim=edge_dim, cache_size=8)
+        a = prep.prepare(nodes, times, view)
+        b = model.prepare(nodes, times, sampler, view, edge_feat_table=g.edge_feats)
+        np.testing.assert_array_equal(a.uniq, b.uniq)
+        np.testing.assert_array_equal(a.root_pos, b.root_pos)
+        np.testing.assert_array_equal(a.nbr_pos, b.nbr_pos)
+        np.testing.assert_array_equal(a.block.neighbors, b.block.neighbors)
+        np.testing.assert_array_equal(a.memory, b.memory)
+        if edge_dim:
+            np.testing.assert_array_equal(a.edge_feats, b.edge_feats)
+        else:
+            assert a.edge_feats is None
+
+    def test_forward_prepared_accepts_batchprep_output(self):
+        g, sampler, model, view = _setup(edge_dim=6)
+        nodes, times = _queries(g)
+        prep = BatchPrep(sampler, edge_dim=6)
+        h, _ = model.forward_prepared(prep.prepare(nodes, times, view))
+        assert h.shape == (len(nodes), 8)
+
+    def test_prepare_events_layout(self):
+        g, sampler, model, view = _setup()
+        loader = BatchLoader(g, 20)
+        batch = loader.batch(0)
+        prep = BatchPrep(sampler)
+        prepared = prep.prepare_events(batch, view)
+        np.testing.assert_array_equal(
+            prepared.block.roots, np.concatenate([batch.src, batch.dst])
+        )
+
+    def test_edge_dim_without_features_raises(self):
+        g, sampler, _, _ = _setup(edge_dim=0)
+        with pytest.raises(ValueError):
+            BatchPrep(sampler, edge_dim=4)
+
+
+class TestNeighborhoodCache:
+    def test_repeat_queries_hit(self):
+        g, sampler, _, view = _setup()
+        nodes, times = _queries(g)
+        prep = BatchPrep(sampler, cache_size=4)
+        a = prep.prepare(nodes, times, view)
+        b = prep.prepare(nodes, times, view)
+        assert prep.stats.cache_hits == 1
+        assert prep.stats.cache_misses == 1
+        assert a.block is b.block  # the cached Neighborhood is shared
+
+    def test_lru_evicts_oldest(self):
+        g, sampler, _, view = _setup()
+        prep = BatchPrep(sampler, cache_size=2)
+        qs = [_queries(g, seed=s) for s in range(3)]
+        for nodes, times in qs:
+            prep.prepare(nodes, times, view)
+        prep.prepare(*qs[0], view)           # evicted by the third insert
+        assert prep.stats.cache_hits == 0
+        assert prep.stats.cache_misses == 4
+
+    def test_graph_append_invalidates(self):
+        g, sampler, _, view = _setup()
+        nodes, times = _queries(g)
+        prep = BatchPrep(sampler, cache_size=4)
+        prep.prepare(nodes, times, view)
+        g.append_events(
+            np.array([0]), np.array([9]), np.array([g.max_time + 1.0])
+        )
+        prep.prepare(nodes, times, view)
+        assert prep.stats.cache_hits == 0
+        assert prep.stats.cache_misses == 2
+
+    def test_assembly_reads_fresh_memory(self):
+        g, sampler, _, view = _setup()
+        nodes, times = _queries(g)
+        prep = BatchPrep(sampler, cache_size=4)
+        a = prep.prepare(nodes, times, view)
+        view.memory.write(
+            a.uniq[:1], np.full((1, 8), 7.0, dtype=np.float32), np.array([1.0])
+        )
+        b = prep.prepare(nodes, times, view)   # cache hit for the topology...
+        assert prep.stats.cache_hits == 1
+        np.testing.assert_allclose(b.memory[0], 7.0)  # ...but state is fresh
+        np.testing.assert_allclose(a.memory[0], 0.0)
+
+    def test_byte_budget_bounds_retained_arrays(self):
+        g, sampler, _, view = _setup()
+        nodes, times = _queries(g, n=40)
+        probe = BatchPrep(sampler, cache_size=8)
+        entry_bytes = probe.neighborhood(nodes, times).nbytes
+        # budget for ~2 entries: a third insert must evict the oldest
+        prep = BatchPrep(sampler, cache_size=8, cache_bytes=int(entry_bytes * 2.5))
+        for s in range(3):
+            prep.prepare(*_queries(g, n=40, seed=s), view)
+        assert prep._cached_bytes <= prep.cache_bytes
+        assert len(prep._cache) == 2
+        prep.prepare(*_queries(g, n=40, seed=0), view)  # seed-0 was evicted
+        assert prep.stats.cache_hits == 0
+
+    def test_oversized_entry_is_not_cached(self):
+        g, sampler, _, view = _setup()
+        nodes, times = _queries(g, n=40)
+        prep = BatchPrep(sampler, cache_size=8, cache_bytes=16)
+        prep.prepare(nodes, times, view)
+        assert len(prep._cache) == 0
+        prep.prepare(nodes, times, view)
+        assert prep.stats.cache_hits == 0
+
+    def test_cache_disabled(self):
+        g, sampler, _, view = _setup()
+        nodes, times = _queries(g)
+        prep = BatchPrep(sampler, cache_size=0)
+        prep.prepare(nodes, times, view)
+        prep.prepare(nodes, times, view)
+        assert prep.stats.cache_hits == 0
+        assert prep.stats.cache_misses == 0
+
+    def test_clear_cache(self):
+        g, sampler, _, view = _setup()
+        nodes, times = _queries(g)
+        prep = BatchPrep(sampler, cache_size=4)
+        prep.prepare(nodes, times, view)
+        prep.clear_cache()
+        prep.prepare(nodes, times, view)
+        assert prep.stats.cache_misses == 2
+
+
+class TestPrefetchingLoader:
+    def test_yields_same_sequence_as_sequential(self):
+        g, sampler, model, view = _setup(edge_dim=6)
+        loader = BatchLoader(g, 25)
+        prep = BatchPrep(sampler, edge_dim=6)
+        sequential = [
+            (b.index, prep.prepare_events(b, view)) for b in loader
+        ]
+        prefetched = [
+            (b.index, p) for b, p in PrefetchingLoader(loader, prep, view)
+        ]
+        assert [i for i, _ in prefetched] == [i for i, _ in sequential]
+        for (_, a), (_, b) in zip(prefetched, sequential):
+            np.testing.assert_array_equal(a.uniq, b.uniq)
+            np.testing.assert_array_equal(a.block.neighbors, b.block.neighbors)
+            np.testing.assert_array_equal(a.memory, b.memory)
+
+    def test_memory_reads_happen_at_consume_time(self):
+        """Write-backs between yields must be visible in the next batch."""
+        g, sampler, model, view = _setup()
+        loader = BatchLoader(g, 30)
+        prep = BatchPrep(sampler)
+        seen = []
+        for batch, prepared in PrefetchingLoader(loader, prep, view, depth=3):
+            seen.append(prepared.memory.max())
+            # mutate state after consuming: the *next* prepared batch must see it
+            view.memory.write(
+                np.arange(g.num_nodes),
+                np.full((g.num_nodes, 8), float(batch.index + 1), dtype=np.float32),
+                np.zeros(g.num_nodes),
+            )
+        # batch 0 saw zero-state, batch i saw the write from batch i-1
+        np.testing.assert_allclose(seen, np.arange(len(seen), dtype=np.float64))
+
+    def test_custom_queries(self):
+        g, sampler, _, view = _setup()
+        loader = BatchLoader(g, 40)
+        prep = BatchPrep(sampler)
+        pairs = list(
+            PrefetchingLoader(
+                loader, prep, view, queries=lambda b: (b.src, b.times)
+            )
+        )
+        for batch, prepared in pairs:
+            np.testing.assert_array_equal(prepared.block.roots, batch.src)
+
+    def test_worker_exception_propagates(self):
+        g, sampler, _, view = _setup()
+        loader = BatchLoader(g, 40)
+        prep = BatchPrep(sampler)
+
+        def bad_queries(batch):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            list(PrefetchingLoader(loader, prep, view, queries=bad_queries))
+
+    def test_early_exit_does_not_hang(self):
+        g, sampler, _, view = _setup()
+        loader = BatchLoader(g, 10)
+        prep = BatchPrep(sampler)
+        for i, (batch, prepared) in enumerate(PrefetchingLoader(loader, prep, view, depth=1)):
+            if i == 1:
+                break  # the generator's finally must stop the worker
+
+    def test_invalid_depth(self):
+        g, sampler, _, view = _setup()
+        with pytest.raises(ValueError):
+            PrefetchingLoader([], BatchPrep(sampler), view, depth=0)
+
+
+class TestVectorizedSampler:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), n=st.integers(1, 60))
+    def test_property_matches_loop_sampler(self, seed, n):
+        g = toy_graph(num_events=90, num_src=7, num_dst=5, seed=seed % 5)
+        vec = RecentNeighborSampler(g, k=3, vectorized=True)
+        loop = RecentNeighborSampler(g, k=3, vectorized=False)
+        rng = np.random.default_rng(seed)
+        roots = rng.integers(0, g.num_nodes, size=n)
+        times = np.where(
+            rng.random(n) < 0.3,
+            g.timestamps[rng.integers(0, g.num_events, size=n)],  # exact ties
+            rng.uniform(-5.0, g.max_time + 5.0, size=n),
+        )
+        a = vec.sample(roots, times)
+        b = loop.sample(roots, times)
+        np.testing.assert_array_equal(a.neighbors, b.neighbors)
+        np.testing.assert_array_equal(a.edge_ids, b.edge_ids)
+        np.testing.assert_array_equal(a.times, b.times)
+        np.testing.assert_array_equal(a.mask, b.mask)
+
+    def test_resyncs_after_append(self):
+        g = toy_graph(num_events=50, seed=0)
+        s = RecentNeighborSampler(g, k=3)
+        t_new = g.max_time + 2.0
+        g.append_events(np.array([0]), np.array([8]), np.array([t_new]))
+        block = s.sample(np.array([0]), np.array([t_new + 1.0]))
+        assert 8 in block.neighbors[0][block.mask[0]]

@@ -4,7 +4,6 @@ streaming observe(), and the serving APIs."""
 import numpy as np
 import pytest
 
-from repro.graph import RecentNeighborSampler
 from repro.infer import InferenceEngine, InferenceStats
 from repro.models import TGN, LinkPredictor, TGNConfig
 

@@ -1,19 +1,15 @@
 """End-to-end integration: learning on structured data, daemon-in-the-loop
 training, cross-strategy convergence comparisons at miniature scale."""
 
-import threading
 
 import numpy as np
-import pytest
 
 from repro.data import load_dataset
 from repro.graph import BatchLoader, RecentNeighborSampler
 from repro.memory import Mailbox, MemoryDaemon, NodeMemory
-from repro.models import TGN, DirectMemoryView, LinkPredictor, TGNConfig
-from repro.nn import Adam, bce_with_logits, concat
+from repro.models import TGN, DirectMemoryView, TGNConfig
 from repro.parallel import ParallelConfig
 from repro.train import DistTGLTrainer, TrainerSpec, evaluate_link_prediction
-from repro.graph import eval_negatives
 
 from helpers import toy_dataset
 

@@ -3,7 +3,6 @@
 import threading
 
 import numpy as np
-import pytest
 
 from repro.memory import Mailbox, MemoryDaemon, NodeMemory
 

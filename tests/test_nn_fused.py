@@ -1,0 +1,308 @@
+"""Fused execution layer: finite-difference checks for every fused primitive,
+fused-vs-composite equivalence, registry mechanics and free_graph backward."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, use_fused
+from repro.nn import fused
+from repro.nn.layers import Linear
+from repro.nn.rnn import GRUCell
+
+from helpers import check_gradients
+
+RNG = np.random.default_rng(7)
+
+
+def _mask(b: int, k: int, rng, empty_rows: bool = True) -> np.ndarray:
+    mask = rng.random((b, k)) < 0.7
+    if empty_rows:
+        mask[0] = False          # a root with no temporal neighbors at all
+    mask[-1] = True              # and a fully-populated one
+    return mask
+
+
+class TestSoftmaxPrimitive:
+    def test_gradcheck(self):
+        check_gradients(lambda x: fused.softmax(x, axis=-1), (4, 6), RNG)
+
+    def test_gradcheck_middle_axis(self):
+        check_gradients(lambda x: fused.softmax(x, axis=1), (3, 4, 5), RNG)
+
+    def test_rows_sum_to_one(self):
+        out = fused.softmax(Tensor(RNG.standard_normal((5, 7)).astype(np.float32)))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(5), rtol=1e-5)
+
+    def test_log_softmax_gradcheck(self):
+        check_gradients(lambda x: fused.log_softmax(x, axis=-1), (4, 5), RNG)
+
+
+class TestBcePrimitive:
+    def test_gradcheck_mean(self):
+        targets = (RNG.random(12) > 0.5).astype(np.float32)
+        check_gradients(
+            lambda x: fused.bce_with_logits(x.reshape(-1), targets), (12,), RNG
+        )
+
+    def test_gradcheck_sum(self):
+        targets = (RNG.random(8) > 0.5).astype(np.float32)
+        check_gradients(
+            lambda x: fused.bce_with_logits(x.reshape(-1), targets, reduction="sum"),
+            (8,),
+            RNG,
+        )
+
+    def test_extreme_logits_finite(self):
+        z = Tensor(np.array([100.0, -100.0], dtype=np.float32), requires_grad=True)
+        loss = fused.bce_with_logits(z, np.array([1.0, 0.0]))
+        loss.backward()
+        assert np.isfinite(loss.data)
+        assert np.isfinite(z.grad).all()
+
+
+class TestAttentionScorePrimitive:
+    B, H, K, DH = 5, 2, 4, 3
+
+    def _fixtures(self):
+        rng = np.random.default_rng(11)
+        q = rng.standard_normal((self.B, self.H, self.DH)).astype(np.float32)
+        k = rng.standard_normal((self.B, self.H, self.K, self.DH)).astype(np.float32)
+        v = rng.standard_normal((self.B, self.H, self.K, self.DH)).astype(np.float32)
+        mask = _mask(self.B, self.K, rng)
+        deg = np.maximum(mask.sum(axis=1, keepdims=True), 1).astype(np.float32)
+        scale = (1.0 / np.sqrt(deg))[:, :, None]
+        return q, k, v, mask, scale
+
+    def test_gradcheck_q(self):
+        _, k, v, mask, scale = self._fixtures()
+        check_gradients(
+            lambda x: fused.attention_score(x, Tensor(k), Tensor(v), mask, scale),
+            (self.B, self.H, self.DH),
+            RNG,
+        )
+
+    def test_gradcheck_k(self):
+        q, _, v, mask, scale = self._fixtures()
+        check_gradients(
+            lambda x: fused.attention_score(Tensor(q), x, Tensor(v), mask, scale),
+            (self.B, self.H, self.K, self.DH),
+            RNG,
+        )
+
+    def test_gradcheck_v(self):
+        q, k, _, mask, scale = self._fixtures()
+        check_gradients(
+            lambda x: fused.attention_score(Tensor(q), Tensor(k), x, mask, scale),
+            (self.B, self.H, self.K, self.DH),
+            RNG,
+        )
+
+    def test_empty_rows_get_zero_context(self):
+        q, k, v, mask, scale = self._fixtures()
+        out = fused.attention_score(Tensor(q), Tensor(k), Tensor(v), mask, scale)
+        np.testing.assert_allclose(out.data[0], 0.0)
+
+    def test_matches_composite_chain(self):
+        from repro.nn import softmax as composite_softmax
+
+        q, k, v, mask, scale = self._fixtures()
+        fused_out = fused.attention_score(Tensor(q), Tensor(k), Tensor(v), mask, scale)
+        # the exact op sequence TemporalAttention used pre-fusion
+        qt = Tensor(q, requires_grad=False)
+        scores = (qt.reshape(self.B, self.H, 1, self.DH) * Tensor(k)).sum(axis=3) * Tensor(scale)
+        bias = np.where(mask[:, None, :], 0.0, -1e9).astype(np.float32)
+        att = composite_softmax(scores + Tensor(bias), axis=2)
+        att = att * Tensor(mask.any(axis=1).astype(np.float32)[:, None, None])
+        ref = (att.reshape(self.B, self.H, self.K, 1) * Tensor(v)).sum(axis=2)
+        np.testing.assert_allclose(fused_out.data, ref.data, atol=1e-6)
+
+
+class TestLayerAffinePrimitive:
+    @pytest.mark.parametrize("activation", ["none", "relu", "tanh"])
+    def test_gradcheck_x(self, activation):
+        w = Tensor(RNG.standard_normal((5, 4)).astype(np.float32))
+        b = Tensor(RNG.standard_normal(5).astype(np.float32))
+        check_gradients(lambda x: fused.affine(x, w, b, activation), (3, 4), RNG)
+
+    def test_gradcheck_weight(self):
+        x = Tensor(RNG.standard_normal((3, 4)).astype(np.float32))
+        b = Tensor(RNG.standard_normal(5).astype(np.float32))
+        check_gradients(lambda w: fused.affine(x, w, b, "relu"), (5, 4), RNG)
+
+    def test_gradcheck_bias(self):
+        x = Tensor(RNG.standard_normal((3, 4)).astype(np.float32))
+        w = Tensor(RNG.standard_normal((5, 4)).astype(np.float32))
+        check_gradients(lambda b: fused.affine(x, w, b.reshape(-1), "tanh"), (5,), RNG)
+
+    def test_gradcheck_3d_input(self):
+        w = Tensor(RNG.standard_normal((5, 4)).astype(np.float32))
+        b = Tensor(RNG.standard_normal(5).astype(np.float32))
+        check_gradients(lambda x: fused.affine(x, w, b, "relu"), (2, 3, 4), RNG)
+
+    def test_no_bias(self):
+        w = Tensor(RNG.standard_normal((5, 4)).astype(np.float32), requires_grad=True)
+        check_gradients(lambda x: fused.affine(x, w, None, "none"), (3, 4), RNG)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            fused.affine(Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2))), None, "gelu")
+
+    def test_linear_fused_matches_composite(self):
+        rng = np.random.default_rng(3)
+        layer = Linear(6, 4, rng=rng)
+        x = np.random.default_rng(4).standard_normal((7, 6)).astype(np.float32)
+        with use_fused(True):
+            y_fused = layer(Tensor(x), activation="relu")
+        with use_fused(False):
+            y_comp = layer(Tensor(x), activation="relu")
+        np.testing.assert_allclose(y_fused.data, y_comp.data, atol=1e-6)
+
+
+class TestGruCellPrimitive:
+    IN, HID, B = 5, 4, 6
+
+    def _cell(self):
+        return GRUCell(self.IN, self.HID, rng=np.random.default_rng(5))
+
+    def _fixtures(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((self.B, self.IN)).astype(np.float32)
+        h = rng.standard_normal((self.B, self.HID)).astype(np.float32)
+        return x, h
+
+    @pytest.mark.parametrize("slot", range(6))
+    def test_gradcheck_every_input(self, slot):
+        cell = self._cell()
+        x, h = self._fixtures()
+        fixed = [
+            Tensor(x),
+            Tensor(h),
+            Tensor(cell.weight_ih.data.copy()),
+            Tensor(cell.weight_hh.data.copy()),
+            Tensor(cell.bias_ih.data.copy()),
+            Tensor(cell.bias_hh.data.copy()),
+        ]
+        shape = fixed[slot].shape
+
+        def build(t):
+            args = list(fixed)
+            args[slot] = t.reshape(shape) if t.shape != shape else t
+            return fused.gru_cell(*args)
+
+        check_gradients(build, shape, RNG, scale=0.5)
+
+    def test_fused_matches_composite(self):
+        cell = self._cell()
+        x, h = self._fixtures()
+        with use_fused(True):
+            out_fused = cell(Tensor(x), Tensor(h))
+        with use_fused(False):
+            out_comp = cell(Tensor(x), Tensor(h))
+        np.testing.assert_allclose(out_fused.data, out_comp.data, atol=1e-6)
+
+    def test_fused_gradients_match_composite(self):
+        x, h = self._fixtures()
+        grads = {}
+        for flag in (True, False):
+            cell = self._cell()
+            with use_fused(flag):
+                out = cell(Tensor(x), Tensor(h))
+                out.sum().backward()
+            grads[flag] = {n: p.grad.copy() for n, p in cell.named_parameters()}
+        for name in grads[True]:
+            np.testing.assert_allclose(
+                grads[True][name], grads[False][name], atol=1e-5,
+                err_msg=f"grad mismatch for {name}",
+            )
+
+
+class TestTimeEncodingPrimitive:
+    def test_gradcheck_omega(self):
+        dt = Tensor(RNG.random((6, 1)).astype(np.float32) * 3.0)
+        phase = Tensor(RNG.standard_normal(4).astype(np.float32))
+        check_gradients(
+            lambda w: fused.time_encoding(dt, w.reshape(-1), phase), (4,), RNG
+        )
+
+    def test_gradcheck_phase(self):
+        dt = Tensor(RNG.random((6, 1)).astype(np.float32) * 3.0)
+        omega = Tensor(RNG.standard_normal(4).astype(np.float32))
+        check_gradients(
+            lambda p: fused.time_encoding(dt, omega, p.reshape(-1)), (4,), RNG
+        )
+
+    def test_gradcheck_dt(self):
+        omega = Tensor(RNG.standard_normal(4).astype(np.float32))
+        phase = Tensor(RNG.standard_normal(4).astype(np.float32))
+        check_gradients(lambda d: fused.time_encoding(d, omega, phase), (6, 1), RNG)
+
+    def test_module_fused_matches_composite(self):
+        from repro.models.time_encoding import TimeEncoding
+
+        enc = TimeEncoding(dim=8)
+        dt = np.random.default_rng(2).random((5, 3)).astype(np.float32) * 10
+        with use_fused(True):
+            a = enc(dt)
+        with use_fused(False):
+            b = enc(dt)
+        np.testing.assert_allclose(a.data, b.data, atol=1e-6)
+        assert a.shape == (5, 3, 8)
+
+
+class TestRegistry:
+    def test_expected_primitives_present(self):
+        for name in (
+            "softmax", "log_softmax", "bce_with_logits",
+            "attention_score", "layer_affine", "gru_cell", "time_encoding",
+        ):
+            assert name in fused.REGISTRY
+
+    def test_register_overrides(self):
+        original = fused.REGISTRY["softmax"]
+        try:
+            marker = fused.register("softmax", original.forward, original.vjp)
+            assert fused.REGISTRY["softmax"] is marker
+        finally:
+            fused.REGISTRY["softmax"] = original
+
+    def test_use_fused_restores_flag(self):
+        before = fused.fused_enabled()
+        with use_fused(not before):
+            assert fused.fused_enabled() is (not before)
+        assert fused.fused_enabled() is before
+
+
+class TestFreeGraphBackward:
+    def test_leaf_grads_match_and_interiors_freed(self):
+        x0 = RNG.standard_normal((4, 3)).astype(np.float32)
+        w0 = RNG.standard_normal((3, 3)).astype(np.float32)
+
+        def build():
+            x = Tensor(x0.copy(), requires_grad=True)
+            w = Tensor(w0.copy(), requires_grad=True)
+            mid = (x @ w).tanh()
+            out = (mid * mid).sum()
+            return x, w, mid, out
+
+        x_a, w_a, mid_a, out_a = build()
+        out_a.backward()
+        x_b, w_b, mid_b, out_b = build()
+        out_b.backward(free_graph=True)
+
+        np.testing.assert_allclose(x_a.grad, x_b.grad, rtol=1e-6)
+        np.testing.assert_allclose(w_a.grad, w_b.grad, rtol=1e-6)
+        # the retained run keeps interior state; the freed run drops it
+        assert mid_a.grad is not None
+        assert mid_b.grad is None
+        assert mid_b._parents == ()
+        assert mid_b._backward is None
+
+    def test_free_graph_with_fused_ops(self):
+        w = Tensor(RNG.standard_normal((4, 4)).astype(np.float32), requires_grad=True)
+        x = Tensor(RNG.standard_normal((5, 4)).astype(np.float32))
+        out = fused.affine(x, w, None, "tanh")
+        loss = fused.softmax(out).sum()
+        loss.backward(free_graph=True)
+        assert w.grad is not None
+        assert out.grad is None
+        assert out._backward is None

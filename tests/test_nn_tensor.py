@@ -30,6 +30,15 @@ class TestConstruction:
     def test_item_scalar(self):
         assert Tensor(3.5).item() == pytest.approx(3.5)
 
+    def test_item_scalar_any_shape(self):
+        assert Tensor(np.full((1, 1, 1), 2.0)).item() == pytest.approx(2.0)
+
+    def test_item_non_scalar_raises_value_error(self):
+        with pytest.raises(ValueError, match="exactly one element"):
+            Tensor(np.ones(3)).item()
+        with pytest.raises(ValueError, match=r"shape \(2, 2\)"):
+            Tensor(np.ones((2, 2))).item()
+
     def test_detach_drops_grad(self):
         t = Tensor([1.0], requires_grad=True)
         d = t.detach()

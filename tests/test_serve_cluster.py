@@ -4,7 +4,6 @@ fresh-neighborhood guarantee for streamed events."""
 import numpy as np
 import pytest
 
-from repro.graph import RecentNeighborSampler
 from repro.infer import InferenceEngine
 from repro.serve import ServingCluster, event_stream
 

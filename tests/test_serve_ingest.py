@@ -4,7 +4,7 @@ snapshot/restore round-trips."""
 import numpy as np
 import pytest
 
-from repro.graph import RecentNeighborSampler, TemporalGraph
+from repro.graph import RecentNeighborSampler
 from repro.serve import EventLog, ServingCluster, event_stream
 
 from helpers import toy_graph, toy_serving_setup

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.parallel import ParallelConfig
-from repro.sim import ClusterSpec, CostModel, WorkloadSpec, g4dn_metal
+from repro.sim import CostModel, WorkloadSpec, g4dn_metal
 
 WIKI = WorkloadSpec()  # §4.0.1 defaults
 GDELT = WorkloadSpec(local_batch=3200, edge_dim=130, node_feat_dim=413,

@@ -1,6 +1,5 @@
 """Pipeline simulator: overlap semantics, serialization, cost-model cross-check."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -7,7 +7,6 @@ parallelism keeps group 0's trajectory bit-identical to single-GPU.
 """
 
 import numpy as np
-import pytest
 
 from repro.graph import BatchLoader, NegativeGroupStore, RecentNeighborSampler
 from repro.memory import Mailbox, NodeMemory
