@@ -2,6 +2,12 @@
 """Capacity planning: choose the optimal (i, j, k) for a cluster, and model
 its throughput — the paper's §3.2.4 guidelines plus Fig. 12 cost model.
 
+Configurations use the facade's notation round trip:
+``ParallelConfig.parse("2x2x8@4")`` parses the paper's compact label and
+``label(with_machines=True)`` prints it back; the same strings work in
+``ExperimentConfig`` JSON (the ``parallel`` section accepts the notation
+directly) and on the CLI (``--config 2x2x8@4``).
+
 Walks through the paper's worked example (4 machines x 8 GPUs, max batch
 3200, GPU saturating at 1600, RAM fitting 2 memory copies -> 2x2x8) and then
 sweeps cluster sizes, printing modeled throughput for TGN / TGL / DistTGL.
@@ -10,7 +16,8 @@ Run:
     python examples/cluster_planning.py
 """
 
-from repro.parallel import HardwareSpec, ParallelConfig, plan
+from repro import ExperimentConfig, ParallelConfig
+from repro.parallel import HardwareSpec, plan
 from repro.sim import CostModel, WorkloadSpec, g4dn_metal
 
 
@@ -32,21 +39,29 @@ def worked_example() -> None:
         print("  *", note)
     print(f"  => {trace.config.label()}  (paper: 2x2x8)")
 
+    # the planned configuration drops straight into a declarative experiment
+    cfg = ExperimentConfig.from_dict(
+        {"parallel": trace.config.label(with_machines=True)}
+    )
+    print(f"  as ExperimentConfig: parallel={cfg.parallel.label(with_machines=True)} "
+          f"({cfg.parallel.total_gpus} GPUs)")
+
 
 def throughput_sweep() -> None:
     print("\n=== modeled throughput, Wikipedia workload (kE/s total) ===")
     w = WorkloadSpec()
     rows = [
-        ("TGN      1 GPU ", "tgn", ParallelConfig(1, 1, 1), 1),
-        ("TGL      8 GPU ", "tgl", ParallelConfig(1, 1, 8), 1),
-        ("DistTGL  1 GPU ", "disttgl", ParallelConfig(1, 1, 1), 1),
-        ("DistTGL  8 GPU ", "disttgl", ParallelConfig(1, 1, 8), 1),
-        ("DistTGL 16 GPU ", "disttgl", ParallelConfig(1, 1, 16, machines=2), 2),
-        ("DistTGL 32 GPU ", "disttgl", ParallelConfig(1, 1, 32, machines=4), 4),
+        ("TGN      1 GPU ", "tgn", "1x1x1"),
+        ("TGL      8 GPU ", "tgl", "1x1x8"),
+        ("DistTGL  1 GPU ", "disttgl", "1x1x1"),
+        ("DistTGL  8 GPU ", "disttgl", "1x1x8"),
+        ("DistTGL 16 GPU ", "disttgl", "1x1x16@2"),
+        ("DistTGL 32 GPU ", "disttgl", "1x1x32@4"),
     ]
     base = None
-    for label, system, cfg, machines in rows:
-        cm = CostModel(w, g4dn_metal(machines))
+    for label, system, notation in rows:
+        cfg = ParallelConfig.parse(notation)
+        cm = CostModel(w, g4dn_metal(cfg.machines))
         tput = cm.throughput(system, cfg) / 1e3
         if system == "disttgl" and cfg.total_gpus == 1:
             base = tput
@@ -55,7 +70,7 @@ def throughput_sweep() -> None:
 
     print("\n=== per-iteration breakdown, DistTGL 1x1x8 ===")
     cm = CostModel(w, g4dn_metal(1))
-    it = cm.disttgl_iteration(ParallelConfig(1, 1, 8))
+    it = cm.disttgl_iteration(ParallelConfig.parse("1x1x8"))
     print(f"  fetch {it.t_fetch * 1e3:6.2f} ms | mem {it.t_mem * 1e3:6.2f} ms | "
           f"gpu {it.t_gpu * 1e3:6.2f} ms | sync {it.t_sync * 1e3:6.2f} ms")
     print(f"  overlapped critical path: {it.total * 1e3:.2f} ms/iteration")

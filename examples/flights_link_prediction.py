@@ -1,6 +1,7 @@
 #!/usr/bin/env python
 """Traffic-graph link prediction on a Flights-like dataset, with and without
-the static node memory of §3.1.
+the static node memory of §3.1 — two ``ExperimentConfig`` trees differing in
+one field (``model.static_dim``), one ``Session`` each.
 
 Flights is the paper's hardest small dataset: a non-bipartite traffic graph
 with a very high fraction of unique edges, where Fig. 6 shows the largest
@@ -11,27 +12,34 @@ compare against the plain dynamic-memory model.
 
 Run:
     python examples/flights_link_prediction.py
+    python examples/flights_link_prediction.py --scale 0.002 --epochs 1  # smoke
 """
 
+import argparse
 import time
 
-from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
-from repro.data import load_dataset
+from repro import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    Session,
+    TrainConfig,
+)
 
 
-def run(ds, static_dim: int, label: str):
-    spec = TrainerSpec(
-        batch_size=150,
-        memory_dim=32,
-        embed_dim=32,
-        time_dim=16,
-        base_lr=1e-3,
-        static_dim=static_dim,
-        static_pretrain_epochs=10,
+def run(data: DataConfig, epochs: int, static_dim: int, label: str):
+    cfg = ExperimentConfig(
+        data=data,
+        model=ModelConfig(
+            memory_dim=32, embed_dim=32, time_dim=16, static_dim=static_dim,
+        ),
+        train=TrainConfig(
+            epochs=epochs, batch_size=150, base_lr=1e-3,
+            static_pretrain_epochs=10,
+        ),
     )
     t0 = time.time()
-    trainer = DistTGLTrainer(ds, ParallelConfig(1, 1, 1), spec)
-    result = trainer.train(epochs_equivalent=8)
+    result = Session(cfg).fit()
     curve = " -> ".join(f"{h.val_metric:.3f}" for h in result.history[:8])
     print(f"[{label}] val curve: {curve}")
     print(
@@ -42,16 +50,22 @@ def run(ds, static_dim: int, label: str):
 
 
 def main() -> None:
-    ds = load_dataset("flights", scale=0.004, seed=0)
-    print(f"dataset: {ds.graph}")
-    print(f"  unique-edge fraction: {ds.graph.unique_edge_fraction():.2f} "
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", type=float, default=0.004)
+    ap.add_argument("--epochs", type=int, default=8)
+    args = ap.parse_args()
+
+    data = DataConfig(dataset="flights", scale=args.scale, seed=0)
+    graph = ExperimentConfig(data=data).build_dataset().graph
+    print(f"dataset: {graph}")
+    print(f"  unique-edge fraction: {graph.unique_edge_fraction():.2f} "
           "(highest of the small datasets — the paper's Fig. 9a culprit)")
 
     print("\n--- dynamic node memory only (TGN-attn) ---")
-    plain = run(ds, static_dim=0, label="dynamic only")
+    plain = run(data, args.epochs, static_dim=0, label="dynamic only")
 
     print("\n--- dynamic + pre-trained static node memory (DistTGL, §3.1) ---")
-    static = run(ds, static_dim=32, label="with static")
+    static = run(data, args.epochs, static_dim=32, label="with static")
 
     delta = static.best_val - plain.best_val
     print(f"\nstatic node memory changed best validation MRR by {delta:+.4f} "

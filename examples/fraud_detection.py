@@ -1,6 +1,7 @@
 #!/usr/bin/env python
 """Fraud-detection-style workload: dynamic edge classification on a
-GDELT-like knowledge graph, with static node memory.
+GDELT-like knowledge graph, driven entirely through the ``repro.api``
+facade (one config tree per variant, one ``Session`` per run).
 
 The paper motivates M-TGNNs with fraud detection: "the time between two
 consecutive transactions often marks out suspicious activities" — i.e. the
@@ -12,57 +13,69 @@ parallelism configuration the paper recommends for this dataset class.
 
 Run:
     python examples/fraud_detection.py
+    python examples/fraud_detection.py --scale 0.00002 --epochs 1  # CI smoke
 """
 
+import argparse
 import time
 
-from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
-from repro.data import load_dataset
+from repro import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ParallelConfig,
+    Session,
+    TrainConfig,
+)
 from repro.parallel import HardwareSpec, plan
 
 
-def main() -> None:
-    ds = load_dataset("gdelt", scale=0.00005, seed=0)
-    print(f"dataset: {ds.graph}")
-    print(f"  task: {ds.task} with {ds.num_classes} classes, 6 labels/event")
-
-    spec = TrainerSpec(
-        batch_size=200,
-        memory_dim=32,
-        embed_dim=32,
-        time_dim=16,
-        base_lr=1e-3,
-    )
-
-    print("\n--- single trainer ---")
+def run(cfg: ExperimentConfig):
+    sess = Session(cfg)
     t0 = time.time()
-    single = DistTGLTrainer(ds, ParallelConfig(1, 1, 1), spec).train(
-        epochs_equivalent=4, verbose=True
-    )
+    result = sess.fit(verbose=True)
     print(
-        f"test F1-micro {single.test_metric:.4f} "
-        f"({single.iterations_run} iterations, {time.time() - t0:.1f}s)"
+        f"test F1-micro {result.test_metric:.4f} "
+        f"({result.iterations_run} iterations, {time.time() - t0:.1f}s)"
     )
+    return sess, result
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", type=float, default=0.00005)
+    ap.add_argument("--epochs", type=int, default=4)
+    args = ap.parse_args()
+
+    cfg = ExperimentConfig(
+        data=DataConfig(dataset="gdelt", scale=args.scale, seed=0),
+        model=ModelConfig(memory_dim=32, embed_dim=32, time_dim=16),
+        train=TrainConfig(epochs=args.epochs, batch_size=200, base_lr=1e-3),
+    )
+
+    print("--- single trainer ---")
+    sess, _ = run(cfg)
+    print(f"dataset: {sess.graph}")
+    print(f"  task: {sess.task} with {sess.dataset.num_classes} classes, "
+          "6 labels/event")
 
     # GDELT-class datasets tolerate very large batches (Fig. 2a shows the
     # accuracy knee far beyond one GPU's capacity), so the planner chooses
     # mini-batch parallelism first (§3.2.4, §4.1).
     hw = HardwareSpec(machines=1, gpus_per_machine=8, gpu_saturation_batch=3200)
-    trace = plan(hw, max_batch=25_600, num_nodes=ds.graph.num_nodes,
-                 memory_dim=100, edge_dim=ds.graph.edge_dim)
+    trace = plan(hw, max_batch=25_600, num_nodes=sess.graph.num_nodes,
+                 memory_dim=100, edge_dim=sess.graph.edge_dim)
     print("\nplanner recommendation for a GDELT-scale run on 8 GPUs:")
     for note in trace.notes:
         print("  *", note)
     print(f"  => {trace.config.label()} (the paper uses 8x1x1 on one machine)")
 
     print("\n--- mini-batch parallelism (2x1x1): one snapshot, 2 local batches ---")
-    t0 = time.time()
-    mb = DistTGLTrainer(ds, ParallelConfig(2, 1, 1), spec).train(
-        epochs_equivalent=4, verbose=True
-    )
-    print(
-        f"test F1-micro {mb.test_metric:.4f} "
-        f"({mb.iterations_run} iterations, {time.time() - t0:.1f}s)"
+    run(
+        ExperimentConfig(
+            data=cfg.data, model=cfg.model, train=cfg.train,
+            parallel=ParallelConfig.parse("2x1x1"),
+        )
     )
 
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env python
 """Online serving: train a DistTGL model, then serve concurrent clients
-from a replicated, micro-batched :class:`ServingCluster`.
+from a replicated, micro-batched serving cluster — the whole lifecycle
+through one ``repro.Session``: ``fit()`` trains, ``serve()`` builds the
+cluster, ``held_out_stream()`` yields the events to ingest while serving.
 
 The serving subsystem applies the paper's §3.2.3 memory-parallel `k`-copies
 idea to reads: `k` replicas each hold a full node-memory + mailbox copy,
@@ -17,50 +19,66 @@ and the top-10 hit rate against the actually-observed next interactions.
 
 Run:
     python examples/online_serving.py
+    python examples/online_serving.py --scale 0.002 --epochs 1 \
+        --clients 2 --queries 3                               # CI smoke
 """
 
+import argparse
 import threading
 import time
 
 import numpy as np
 
-from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
-from repro.data import load_dataset
-from repro.serve import ServingCluster, event_stream
+from repro import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ParallelConfig,
+    ServeConfig,
+    Session,
+    TrainConfig,
+)
 
-NUM_CLIENTS = 6
-QUERIES_PER_CLIENT = 20
 CANDIDATES = 50
 
 
 def main() -> None:
-    ds = load_dataset("reddit", scale=0.002, seed=0)
-    g = ds.graph
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", type=float, default=0.002)
+    ap.add_argument("--epochs", type=int, default=8)
+    ap.add_argument("--clients", type=int, default=6)
+    ap.add_argument("--queries", type=int, default=20, help="per client")
+    args = ap.parse_args()
+
+    cfg = ExperimentConfig(
+        data=DataConfig(dataset="reddit", scale=args.scale, seed=0),
+        model=ModelConfig(memory_dim=32, embed_dim=32, time_dim=16),
+        parallel=ParallelConfig.parse("1x1x2"),
+        train=TrainConfig(epochs=args.epochs, batch_size=100, base_lr=1e-3),
+        serve=ServeConfig(replicas=2, policy="least_loaded",
+                          max_batch_pairs=512, max_delay_ms=2.0,
+                          stream_chunk=100),
+    )
+    sess = Session(cfg)
+    g = sess.graph
     print(f"dataset: {g}")
 
-    spec = TrainerSpec(batch_size=100, memory_dim=32, embed_dim=32, time_dim=16,
-                       base_lr=1e-3)
-    trainer = DistTGLTrainer(ds, ParallelConfig(1, 1, 2), spec)
-    result = trainer.train(epochs_equivalent=8)
+    result = sess.fit()
     print(f"trained: best val MRR {result.best_val:.4f}")
 
     # serve from the training slice; val events stream in while we serve
-    split = g.chronological_split()
-    serve_graph = g.slice_events(split.train)
-    cluster = ServingCluster(
-        trainer.model, serve_graph, trainer.decoder,
-        k=2, policy="least_loaded", max_batch_pairs=512, max_delay=2e-3,
-    )
+    cluster = sess.serve()
+    split = sess.trainer.split
 
     # ground truth for hit rate: the next interaction of each queried source
     rng = np.random.default_rng(0)
     val_idx = rng.integers(split.train_end, split.val_end,
-                           size=NUM_CLIENTS * QUERIES_PER_CLIENT)
-    hits = np.zeros(NUM_CLIENTS, dtype=np.int64)
+                           size=args.clients * args.queries)
+    hits = np.zeros(args.clients, dtype=np.int64)
     stop_ingest = threading.Event()
 
     def ingestor() -> None:
-        for chunk in event_stream(g, split.train_end, split.val_end, chunk=100):
+        for chunk in sess.held_out_stream():
             if stop_ingest.is_set():
                 break
             cluster.ingest(*chunk)
@@ -68,8 +86,8 @@ def main() -> None:
 
     def client(cid: int) -> None:
         crng = np.random.default_rng(1000 + cid)   # per-thread generator
-        for q in range(QUERIES_PER_CLIENT):
-            i = int(val_idx[cid * QUERIES_PER_CLIENT + q])
+        for q in range(args.queries):
+            i = int(val_idx[cid * args.queries + q])
             src, true_dst = int(g.src[i]), int(g.dst[i])
             cands = np.unique(np.concatenate(
                 [[true_dst],
@@ -83,7 +101,7 @@ def main() -> None:
 
     t0 = time.perf_counter()
     ing = threading.Thread(target=ingestor)
-    clients = [threading.Thread(target=client, args=(c,)) for c in range(NUM_CLIENTS)]
+    clients = [threading.Thread(target=client, args=(c,)) for c in range(args.clients)]
     ing.start()
     for th in clients:
         th.start()
@@ -96,7 +114,7 @@ def main() -> None:
 
     lat = cluster.latency()
     stats = cluster.inference_stats()
-    total = NUM_CLIENTS * QUERIES_PER_CLIENT
+    total = args.clients * args.queries
     print(f"served {lat.count}/{total} ranking queries from "
           f"{len(cluster.replicas)} replicas in {elapsed:.2f}s "
           f"({lat.count / elapsed:.0f} qps), shed {cluster.stats.shed}")
@@ -104,7 +122,7 @@ def main() -> None:
           f"mean {lat.mean * 1e3:.2f} ms")
     print(f"top-10 hit rate {hits.sum() / max(1, lat.count):.2f} | "
           f"ingested {len(cluster.wal)} events while serving "
-          f"(graph {split.train_end} -> {serve_graph.num_events} events)")
+          f"(graph {split.train_end} -> {cluster.graph.num_events} events)")
     print(f"redundancy eliminated across clients: dedup {stats.dedup_ratio:.1%}, "
           f"time-encoding memo {stats.memo_ratio:.1%}")
     print(f"requests per replica: {cluster.stats.routed}")

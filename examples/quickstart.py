@@ -1,50 +1,68 @@
 #!/usr/bin/env python
 """Quickstart: train a memory-based TGNN with DistTGL on one (logical) GPU,
-then rerun with 4-way memory parallelism and compare convergence.
+then rerun with 4-way memory parallelism and compare convergence — all
+through the declarative ``repro.api`` facade: build an ``ExperimentConfig``,
+hand it to a ``Session``, call ``fit()``.
 
 Run:
     python examples/quickstart.py
+    python examples/quickstart.py --scale 0.004 --epochs 1   # CI smoke
 """
 
+import argparse
 import time
 
-from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
-from repro.data import load_dataset
+from repro import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ParallelConfig,
+    Session,
+    TrainConfig,
+)
+
+
+def run(cfg: ExperimentConfig):
+    label = cfg.parallel.label()
+    sess = Session(cfg)
+    t0 = time.time()
+    result = sess.fit(verbose=True)
+    print(
+        f"[{label}] best val MRR {result.best_val:.4f} | test MRR "
+        f"{result.test_metric:.4f} | {result.iterations_run} iterations | "
+        f"{time.time() - t0:.1f}s"
+    )
+    return result
 
 
 def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", type=float, default=0.01)
+    ap.add_argument("--epochs", type=int, default=10)
+    args = ap.parse_args()
+
     # A synthetic stand-in for the JODIE Wikipedia dataset (see DESIGN.md):
     # bipartite user->page interactions with recurrence and preference drift.
-    ds = load_dataset("wikipedia", scale=0.01, seed=0)
-    print(f"dataset: {ds.graph}")
-    print(f"  bipartite={ds.graph.is_bipartite}  edge_dim={ds.graph.edge_dim}")
-
-    spec = TrainerSpec(
-        batch_size=100,     # paper uses 600 on 8 real GPUs; scaled for CPU
-        memory_dim=32,
-        embed_dim=32,
-        time_dim=16,
-        base_lr=1e-3,
+    cfg = ExperimentConfig(
+        data=DataConfig(dataset="wikipedia", scale=args.scale, seed=0),
+        model=ModelConfig(memory_dim=32, embed_dim=32, time_dim=16),
+        # paper uses batch 600 on 8 real GPUs; scaled for CPU
+        train=TrainConfig(epochs=args.epochs, batch_size=100, base_lr=1e-3),
     )
+    sess = Session(cfg)
+    print(f"dataset: {sess.graph}")
+    print(f"  bipartite={sess.graph.is_bipartite}  edge_dim={sess.graph.edge_dim}")
 
     print("\n--- single GPU baseline (1x1x1) ---")
-    t0 = time.time()
-    baseline = DistTGLTrainer(ds, ParallelConfig(1, 1, 1), spec).train(
-        epochs_equivalent=10, verbose=True
-    )
-    print(
-        f"best val MRR {baseline.best_val:.4f} | test MRR {baseline.test_metric:.4f} "
-        f"| {baseline.iterations_run} iterations | {time.time() - t0:.1f}s"
-    )
+    baseline = run(cfg)
 
     print("\n--- 4-way memory parallelism (1x1x4) ---")
-    t0 = time.time()
-    parallel = DistTGLTrainer(ds, ParallelConfig(1, 1, 4), spec).train(
-        epochs_equivalent=10, verbose=True
-    )
-    print(
-        f"best val MRR {parallel.best_val:.4f} | test MRR {parallel.test_metric:.4f} "
-        f"| {parallel.iterations_run} iterations | {time.time() - t0:.1f}s"
+    # configs are immutable: a variant is a new tree with one section swapped
+    parallel = run(
+        ExperimentConfig(
+            data=cfg.data, model=cfg.model, train=cfg.train,
+            parallel=ParallelConfig.parse("1x1x4"),
+        )
     )
 
     speedup = baseline.iterations_run / max(parallel.iterations_run, 1)

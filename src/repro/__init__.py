@@ -2,57 +2,133 @@
 
 Public API tour
 ---------------
-Data::
+One declarative config, one :class:`Session` lifecycle object::
 
-    from repro.data import load_dataset
-    ds = load_dataset("wikipedia", scale=0.02)   # synthetic stand-in
+    import repro
 
-Training under any ``i × j × k`` configuration::
+    cfg = repro.ExperimentConfig(
+        data=repro.DataConfig(dataset="wikipedia", scale=0.02),
+        model=repro.ModelConfig(memory_dim=32, embed_dim=32),
+        parallel=repro.ParallelConfig.parse("1x2x4"),   # the paper's i×j×k
+        train=repro.TrainConfig(epochs=20, batch_size=100),
+    )
+    sess = repro.Session(cfg)
 
-    from repro import DistTGLTrainer, ParallelConfig, TrainerSpec
-    trainer = DistTGLTrainer(ds, ParallelConfig(i=1, j=2, k=4), TrainerSpec())
-    result = trainer.train(epochs_equivalent=20)
+    result = sess.fit()                     # train  -> TrainResult
     print(result.best_val, result.test_metric)
+    val = sess.evaluate("val")              # eval   -> EvalResult
 
-Planning the optimal configuration for a cluster (§3.2.4)::
+    engine = sess.predictor()               # infer  -> batched InferenceEngine
+    engine.rank_candidates(src=3, candidates=cands, at_time=t)
 
-    from repro.parallel import HardwareSpec, plan_for_graph
-    trace = plan_for_graph(HardwareSpec(machines=4, gpus_per_machine=8), ds.graph)
-    print(trace.config.label(), trace.notes)
-
-Throughput modeling of the paper's testbed::
-
-    from repro.sim import CostModel, WorkloadSpec, g4dn_metal
-    cm = CostModel(WorkloadSpec(), g4dn_metal(4))
-    cm.throughput("disttgl", trace.config)
-
-Online serving (replicated + micro-batched, §3.2.3 applied to reads)::
-
-    from repro.serve import ServingCluster, LoadSpec, run_load, event_stream
-    split = ds.graph.chronological_split()
-    cluster = ServingCluster(trainer.model, ds.graph.slice_events(split.train),
-                             trainer.decoder, k=2)
-    cluster.ingest(src, dst, times)         # WAL -> all replicas -> graph
+    cluster = sess.serve(replicas=2)        # serve  -> ServingCluster (§3.2.3
+    cluster.ingest(src, dst, times)         #           memory-replicas on reads)
     handle = cluster.submit_rank(src=3, candidates=cands, at_time=t)
     scores = handle.wait()                  # flushed by the micro-batcher
-    report = run_load(cluster, LoadSpec())  # QPS + p50/p99 + dedup + shed
 
-or from the command line: ``python -m repro.cli serve-bench --replicas 1,2``.
+    sess.save("runs/wiki")                  # config + checkpoint + memory state
+    sess2 = repro.Session.load("runs/wiki") # evaluate()/serving scores identical
+
+Configs are frozen dataclasses that validate at construction and round-trip
+through JSON byte-identically (``cfg.to_json()`` / ``ExperimentConfig
+.from_json``); the CLI speaks the same format (``python -m repro.cli train
+--dump-config`` / ``--config experiment.json``).  Component choices in
+configs are registry keys — plug in new ones with ``@repro.register_model``,
+``@repro.register_sampler``, ``@repro.register_router``,
+``@repro.register_memory_updater``, ``@repro.register_dataset``.
+
+Low-level API
+-------------
+Everything the Session wires together remains importable from its
+subpackage for fine-grained control:
+
+* ``repro.data.load_dataset`` — synthetic Table-2 dataset generators;
+* ``repro.train.DistTGLTrainer`` / ``TrainerSpec`` — the i×j×k training
+  orchestrator (§3.2–3.3) and its checkpointing;
+* ``repro.infer.InferenceEngine`` — TGOpt-style redundancy-aware inference;
+* ``repro.serve.ServingCluster`` — replicated micro-batched serving with
+  WAL-backed streaming ingestion;
+* ``repro.parallel.plan_for_graph`` — the §3.2.4 configuration planner;
+* ``repro.sim.CostModel`` — Fig.-12 throughput modeling of the testbed.
+
+The old *top-level* aliases of those constructors (``repro.DistTGLTrainer``
+et al.) still work but emit ``DeprecationWarning`` and will be dropped in
+the next release: new code goes through the Session facade or the
+subpackages.
 """
 
+import importlib
+import warnings
+
+from .api import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ServeConfig,
+    Session,
+    TrainConfig,
+    available_datasets,
+    available_routers,
+    register_dataset,
+    register_memory_updater,
+    register_model,
+    register_router,
+    register_sampler,
+)
 from .data import Dataset, load_dataset
 from .graph import RecentNeighborSampler, TemporalGraph
-from .infer import InferenceEngine
 from .memory import Mailbox, MemoryDaemon, NodeMemory, StaticNodeMemory
 from .models import TGN, TGNConfig
 from .parallel import HardwareSpec, ParallelConfig, plan, plan_for_graph
-from .serve import MicroBatcher, ServingCluster, ServingReplica
 from .sim import CostModel, WorkloadSpec, g4dn_metal
-from .train import DistTGLTrainer, TrainerSpec, TrainResult, load_checkpoint, save_checkpoint
+from .train import TrainResult
 
 __version__ = "1.0.0"
 
+#: legacy top-level constructor aliases -> (home module, facade replacement)
+_DEPRECATED_ALIASES = {
+    "DistTGLTrainer": ("repro.train", "Session(cfg).fit()"),
+    "TrainerSpec": ("repro.train", "ModelConfig/TrainConfig"),
+    "InferenceEngine": ("repro.infer", "Session.predictor()"),
+    "ServingCluster": ("repro.serve", "Session.serve()"),
+    "ServingReplica": ("repro.serve", "Session.serve()"),
+    "MicroBatcher": ("repro.serve", "Session.serve()"),
+    "save_checkpoint": ("repro.train", "Session.save()"),
+    "load_checkpoint": ("repro.train", "Session.load()"),
+}
+
+
+def __getattr__(name):
+    if name in _DEPRECATED_ALIASES:
+        module, replacement = _DEPRECATED_ALIASES[name]
+        warnings.warn(
+            f"the top-level alias repro.{name} is deprecated and will be "
+            f"removed in the next release; use {replacement} (the repro.api "
+            f"facade) or import {name} from {module} (low-level API)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
 __all__ = [
+    # facade
+    "Session",
+    "ExperimentConfig",
+    "DataConfig",
+    "ModelConfig",
+    "TrainConfig",
+    "ServeConfig",
+    "ParallelConfig",
+    "register_model",
+    "register_sampler",
+    "register_router",
+    "register_memory_updater",
+    "register_dataset",
+    "available_datasets",
+    "available_routers",
+    # data / graph building blocks
     "Dataset",
     "load_dataset",
     "TemporalGraph",
@@ -63,16 +139,16 @@ __all__ = [
     "MemoryDaemon",
     "TGN",
     "TGNConfig",
-    "ParallelConfig",
     "HardwareSpec",
     "plan",
     "plan_for_graph",
     "CostModel",
     "WorkloadSpec",
     "g4dn_metal",
+    "TrainResult",
+    # deprecated top-level aliases (DeprecationWarning; use the facade)
     "DistTGLTrainer",
     "TrainerSpec",
-    "TrainResult",
     "InferenceEngine",
     "ServingCluster",
     "ServingReplica",

@@ -1,0 +1,60 @@
+"""repro.api — the declarative facade: configs, registries, Session.
+
+Three layers:
+
+* **configs** — :class:`ExperimentConfig` composing :class:`DataConfig`,
+  :class:`ModelConfig`, :class:`~repro.parallel.ParallelConfig`,
+  :class:`TrainConfig` and :class:`ServeConfig`; frozen, validated at
+  construction, JSON round-trippable;
+* **registries** — string keys in configs resolve to factories via
+  ``@register_model`` / ``@register_sampler`` / ``@register_router`` /
+  ``@register_memory_updater`` / ``@register_dataset``;
+* **Session** — one lifecycle object: ``fit`` / ``evaluate`` /
+  ``predictor`` / ``serve`` / ``save`` / ``load``.
+"""
+
+from .config import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ServeConfig,
+    TrainConfig,
+)
+from .registry import (
+    DATASETS,
+    MEMORY_UPDATERS,
+    MODELS,
+    ROUTERS,
+    SAMPLERS,
+    Registry,
+    available_datasets,
+    available_routers,
+    register_dataset,
+    register_memory_updater,
+    register_model,
+    register_router,
+    register_sampler,
+)
+from .session import Session
+
+__all__ = [
+    "Session",
+    "ExperimentConfig",
+    "DataConfig",
+    "ModelConfig",
+    "TrainConfig",
+    "ServeConfig",
+    "Registry",
+    "MODELS",
+    "SAMPLERS",
+    "ROUTERS",
+    "MEMORY_UPDATERS",
+    "DATASETS",
+    "register_model",
+    "register_sampler",
+    "register_router",
+    "register_memory_updater",
+    "register_dataset",
+    "available_datasets",
+    "available_routers",
+]

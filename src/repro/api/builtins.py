@@ -1,0 +1,68 @@
+"""Built-in component registrations.
+
+Imported lazily (and exactly once) by ``registry._ensure_builtins`` so the
+registries are always populated by the time a key is resolved, without
+creating import cycles: this module imports the component packages, while
+those packages only ever import the registry *inside* functions.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from ..data.datasets import PAPER_TABLE2, load_dataset
+from ..graph.sampler import RecentNeighborSampler
+from ..models.memory_updater import GRUMemoryUpdater, TransformerMemoryUpdater
+from ..models.tgn import TGN
+from .registry import (
+    register_dataset,
+    register_memory_updater,
+    register_model,
+    register_router,
+    register_sampler,
+)
+
+# ------------------------------------------------------------------ datasets
+for _name in PAPER_TABLE2:
+    register_dataset(_name, partial(load_dataset, _name))
+
+# -------------------------------------------------------------------- models
+register_model("tgn", TGN)
+
+# ------------------------------------------------------------------ samplers
+register_sampler("recent", RecentNeighborSampler)
+
+
+# ----------------------------------------------------------- memory updaters
+@register_memory_updater("gru")
+def _make_gru(memory_dim, edge_dim, time_encoder, rng):
+    return GRUMemoryUpdater(
+        memory_dim, edge_dim=edge_dim, time_encoder=time_encoder, cell="gru", rng=rng
+    )
+
+
+@register_memory_updater("rnn")
+def _make_rnn(memory_dim, edge_dim, time_encoder, rng):
+    return GRUMemoryUpdater(
+        memory_dim, edge_dim=edge_dim, time_encoder=time_encoder, cell="rnn", rng=rng
+    )
+
+
+@register_memory_updater("transformer")
+def _make_transformer(memory_dim, edge_dim, time_encoder, rng):
+    return TransformerMemoryUpdater(
+        memory_dim, edge_dim=edge_dim, time_encoder=time_encoder, rng=rng
+    )
+
+
+# ------------------------------------------------------------------- routers
+@register_router("round_robin")
+def _route_round_robin(cluster):
+    replica = cluster.replicas[cluster._rr % len(cluster.replicas)]
+    cluster._rr += 1
+    return replica
+
+
+@register_router("least_loaded")
+def _route_least_loaded(cluster):
+    return min(cluster.replicas, key=lambda rep: (rep.load, rep.index))

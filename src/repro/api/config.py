@@ -1,0 +1,262 @@
+"""Declarative experiment configuration tree.
+
+One :class:`ExperimentConfig` describes a full run — data, model, ``i×j×k``
+parallelism, training hyper-parameters and serving shape — as a tree of
+frozen dataclasses.  Every node validates at construction, serializes with
+``to_dict()`` / ``from_dict()`` and round-trips through JSON byte-
+identically (``to_json`` sorts keys), so a config can live in a file, a
+queue message or a checkpoint directory and always rebuild the same run::
+
+    cfg = ExperimentConfig(
+        data=DataConfig(dataset="wikipedia", scale=0.01),
+        parallel=ParallelConfig.parse("1x2x4"),
+        train=TrainConfig(epochs=10, batch_size=100),
+    )
+    cfg2 = ExperimentConfig.from_json(cfg.to_json())
+    assert cfg2 == cfg
+
+Component choices (``dataset``, ``model``, ``sampler``, ``updater``,
+``policy``) are string keys validated against the registries in
+``repro.api.registry``, so registering a new component makes it instantly
+addressable from a config file.  Unknown mapping keys raise with the
+offending key name — a typo'd hyper-parameter must never be ignored.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Mapping, Optional
+
+from ..parallel.config import ParallelConfig
+from . import registry as _reg
+
+
+class ConfigBase:
+    """Shared ``to_dict``/``from_dict``/JSON plumbing for config nodes."""
+
+    def to_dict(self) -> dict:
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = value.to_dict() if hasattr(value, "to_dict") else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping):
+        if not isinstance(data, Mapping):
+            raise TypeError(f"{cls.__name__}.from_dict needs a mapping, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        for key in data:
+            if key not in known:
+                raise ValueError(
+                    f"{cls.__name__}: unknown key {key!r}; known keys: {sorted(known)}"
+                )
+        return cls(**dict(data))
+
+    def to_json(self, indent: int = 2) -> str:
+        """Deterministic JSON (sorted keys): equal configs ⇒ equal bytes."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str):
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class DataConfig(ConfigBase):
+    """Which dataset to generate/load, at what scale, with what seed."""
+
+    dataset: str = "wikipedia"
+    scale: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dataset not in _reg.DATASETS:
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}; "
+                f"available: {list(_reg.DATASETS.available())}"
+            )
+        if not self.scale > 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+
+@dataclass(frozen=True)
+class ModelConfig(ConfigBase):
+    """TGN architecture knobs; component choices are registry keys."""
+
+    model: str = "tgn"
+    memory_dim: int = 32
+    time_dim: int = 16
+    embed_dim: int = 32
+    static_dim: int = 0
+    num_neighbors: int = 10
+    num_heads: int = 2
+    updater: str = "gru"
+    sampler: str = "recent"
+
+    def __post_init__(self) -> None:
+        for name in ("memory_dim", "time_dim", "embed_dim", "num_neighbors", "num_heads"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.static_dim < 0:
+            raise ValueError(f"static_dim must be >= 0, got {self.static_dim}")
+        if self.model not in _reg.MODELS:
+            raise ValueError(
+                f"unknown model {self.model!r}; available: {list(_reg.MODELS.available())}"
+            )
+        if self.updater not in _reg.MEMORY_UPDATERS:
+            raise ValueError(
+                f"unknown updater {self.updater!r}; "
+                f"available: {list(_reg.MEMORY_UPDATERS.available())}"
+            )
+        if self.sampler not in _reg.SAMPLERS:
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}; "
+                f"available: {list(_reg.SAMPLERS.available())}"
+            )
+
+
+@dataclass(frozen=True)
+class TrainConfig(ConfigBase):
+    """Optimization hyper-parameters (scaled-down §4.0.1 defaults)."""
+
+    epochs: int = 10                  # single-GPU-equivalent epochs (§4.0.1)
+    batch_size: int = 200
+    base_lr: float = 5e-4
+    lr_scale_with_world: bool = True
+    grad_clip: float = 10.0
+    num_negative_groups: int = 10
+    eval_candidates: int = 49
+    static_pretrain_epochs: int = 10
+    comb: str = "recent"
+    seed: int = 0
+    fused: bool = True
+    prep_cache_batches: int = 256
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if not self.base_lr > 0:
+            raise ValueError(f"base_lr must be positive, got {self.base_lr}")
+        if self.comb not in ("recent", "mean"):
+            raise ValueError(f"comb must be 'recent' or 'mean', got {self.comb!r}")
+
+
+@dataclass(frozen=True)
+class ServeConfig(ConfigBase):
+    """Shape of the serving deployment built by ``Session.serve``."""
+
+    replicas: int = 2
+    policy: str = "round_robin"
+    admission_limit: Optional[int] = None
+    max_batch_pairs: int = 256
+    max_delay_ms: float = 2.0
+    stream_chunk: int = 100
+    dedup: bool = True
+    memoize_time: bool = True
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.policy not in _reg.ROUTERS:
+            raise ValueError(
+                f"unknown routing policy {self.policy!r}; "
+                f"available: {list(_reg.ROUTERS.available())}"
+            )
+        if self.admission_limit is not None and self.admission_limit < 1:
+            raise ValueError("admission_limit must be positive (or None)")
+        if self.max_batch_pairs < 1:
+            raise ValueError("max_batch_pairs must be positive")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        if self.stream_chunk < 1:
+            raise ValueError("stream_chunk must be positive")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig(ConfigBase):
+    """The whole experiment: one serializable object, one Session."""
+
+    data: DataConfig = field(default_factory=DataConfig)
+    model: ModelConfig = field(default_factory=ModelConfig)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    train: TrainConfig = field(default_factory=TrainConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
+
+    _SECTIONS = {
+        "data": DataConfig,
+        "model": ModelConfig,
+        "parallel": ParallelConfig,
+        "train": TrainConfig,
+        "serve": ServeConfig,
+    }
+
+    def __post_init__(self) -> None:
+        for name, section_cls in self._SECTIONS.items():
+            value = getattr(self, name)
+            if not isinstance(value, section_cls):
+                raise TypeError(
+                    f"ExperimentConfig.{name} must be a {section_cls.__name__}, "
+                    f"got {type(value).__name__}"
+                )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentConfig":
+        if not isinstance(data, Mapping):
+            raise TypeError(
+                f"ExperimentConfig.from_dict needs a mapping, got {type(data).__name__}"
+            )
+        kwargs = {}
+        for key, value in data.items():
+            section_cls = cls._SECTIONS.get(key)
+            if section_cls is None:
+                raise ValueError(
+                    f"ExperimentConfig: unknown key {key!r}; "
+                    f"known keys: {sorted(cls._SECTIONS)}"
+                )
+            if isinstance(value, section_cls):
+                kwargs[key] = value
+            elif key == "parallel" and isinstance(value, str):
+                # the paper's compact 'ixjxk[@machines]' notation is accepted
+                # anywhere a parallel section can appear
+                kwargs[key] = ParallelConfig.parse(value)
+            else:
+                kwargs[key] = section_cls.from_dict(value)
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------- factories
+    def trainer_spec(self):
+        """Materialize the low-level :class:`repro.train.TrainerSpec`."""
+        from ..train.distributed import TrainerSpec
+
+        m, t = self.model, self.train
+        return TrainerSpec(
+            batch_size=t.batch_size,
+            memory_dim=m.memory_dim,
+            time_dim=m.time_dim,
+            embed_dim=m.embed_dim,
+            static_dim=m.static_dim,
+            num_neighbors=m.num_neighbors,
+            num_heads=m.num_heads,
+            base_lr=t.base_lr,
+            lr_scale_with_world=t.lr_scale_with_world,
+            grad_clip=t.grad_clip,
+            num_negative_groups=t.num_negative_groups,
+            eval_candidates=t.eval_candidates,
+            static_pretrain_epochs=t.static_pretrain_epochs,
+            comb=t.comb,
+            seed=t.seed,
+            fused=t.fused,
+            prep_cache_batches=t.prep_cache_batches,
+            model=m.model,
+            sampler=m.sampler,
+            updater=m.updater,
+        )
+
+    def build_dataset(self):
+        """Resolve and invoke the dataset factory for the data section."""
+        factory = _reg.DATASETS.get(self.data.dataset)
+        return factory(scale=self.data.scale, seed=self.data.seed)

@@ -1,0 +1,159 @@
+"""Component registries: string keys in configs resolve to factories.
+
+A :class:`Registry` maps a short string key (the value that appears in a
+declarative config, e.g. ``ModelConfig.updater = "gru"``) to a factory
+callable.  The library pre-registers its built-in components (see
+``builtins.py``); downstream code plugs in new ones with the decorators::
+
+    from repro.api import register_memory_updater
+
+    @register_memory_updater("mlp")
+    def make_mlp_updater(memory_dim, edge_dim, time_encoder, rng):
+        return MyMLPUpdater(...)
+
+    cfg = ExperimentConfig(model=ModelConfig(updater="mlp"))
+
+Keys are unique (duplicate registration raises), lookups report the sorted
+set of available keys on a miss, and ``available()`` feeds CLI ``--help``
+choices so the command line always reflects what is actually registered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Tuple
+
+_builtins_state = "unloaded"        # -> "loading" -> "loaded"
+
+
+def _ensure_builtins() -> None:
+    """Populate the built-in registrations exactly once, lazily.
+
+    Lazy so that ``repro.train`` / ``repro.serve`` can resolve registry keys
+    at call time without an import cycle at module-load time.  Re-entrant
+    calls during the builtins import itself are no-ops, and a failed import
+    resets the state so the next call retries instead of leaving the
+    registries half-populated.
+    """
+    global _builtins_state
+    if _builtins_state == "unloaded":
+        _builtins_state = "loading"
+        try:
+            from . import builtins  # noqa: F401  (registration side effects)
+        except BaseException:
+            _builtins_state = "unloaded"
+            raise
+        _builtins_state = "loaded"
+
+
+class Registry:
+    """A named key -> factory mapping with strict registration semantics."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._items: Dict[str, Any] = {}
+
+    # ---------------------------------------------------------- registration
+    def register(self, key: str, obj: Any = None):
+        """Register ``obj`` under ``key``; usable as a decorator.
+
+        Duplicate keys raise ``ValueError`` — shadowing a component silently
+        is how two experiments end up running different code under one name.
+        """
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"{self.kind} registry keys must be non-empty strings")
+        # load the builtins first so registering one of their keys collides
+        # here and now, not later from some unrelated lookup
+        _ensure_builtins()
+
+        def _do_register(target: Any) -> Any:
+            if key in self._items:
+                raise ValueError(
+                    f"duplicate {self.kind} key {key!r}; "
+                    f"unregister it first to replace the factory"
+                )
+            self._items[key] = target
+            return target
+
+        if obj is None:
+            return _do_register
+        return _do_register(obj)
+
+    def unregister(self, key: str) -> None:
+        """Remove a registration (primarily for tests and hot-swapping)."""
+        _ensure_builtins()
+        if key not in self._items:
+            raise KeyError(f"no {self.kind} registered under {key!r}")
+        del self._items[key]
+
+    # --------------------------------------------------------------- lookup
+    def get(self, key: str) -> Any:
+        _ensure_builtins()
+        try:
+            return self._items[key]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {key!r}; available: {list(self.available())}"
+            ) from None
+
+    def available(self) -> Tuple[str, ...]:
+        """Sorted keys — the canonical choices list for configs and CLIs."""
+        _ensure_builtins()
+        return tuple(sorted(self._items))
+
+    def __contains__(self, key: str) -> bool:
+        _ensure_builtins()
+        return key in self._items
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.available())
+
+    def __len__(self) -> int:
+        _ensure_builtins()
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Registry({self.kind!r}, keys={list(self.available())})"
+
+
+MODELS = Registry("model")
+SAMPLERS = Registry("sampler")
+ROUTERS = Registry("router")
+MEMORY_UPDATERS = Registry("memory updater")
+DATASETS = Registry("dataset")
+
+
+def register_model(key: str, obj: Any = None):
+    """Register a model factory ``(TGNConfig) -> Module``."""
+    return MODELS.register(key, obj)
+
+
+def register_sampler(key: str, obj: Any = None):
+    """Register a sampler factory ``(graph, k=...) -> sampler``."""
+    return SAMPLERS.register(key, obj)
+
+
+def register_router(key: str, obj: Any = None):
+    """Register a serving router ``(ServingCluster) -> ServingReplica``."""
+    return ROUTERS.register(key, obj)
+
+
+def register_memory_updater(key: str, obj: Any = None):
+    """Register an updater factory ``(memory_dim, edge_dim, time_encoder, rng)
+    -> Module``."""
+    return MEMORY_UPDATERS.register(key, obj)
+
+
+def register_dataset(key: str, obj: Any = None):
+    """Register a dataset factory ``(scale=..., seed=...) -> Dataset``."""
+    return DATASETS.register(key, obj)
+
+
+def available_datasets() -> Tuple[str, ...]:
+    return DATASETS.available()
+
+
+def available_routers() -> Tuple[str, ...]:
+    return ROUTERS.available()
+
+
+Factory = Callable[..., Any]

@@ -1,0 +1,193 @@
+"""The Session facade: one lifecycle object across train / eval / infer / serve.
+
+A :class:`Session` owns everything a run needs — dataset, trainer, model,
+decoder — built once from a declarative :class:`ExperimentConfig`::
+
+    sess = Session(cfg)
+    result = sess.fit()                       # -> TrainResult
+    val = sess.evaluate("val")                # -> EvalResult
+    engine = sess.predictor()                 # batched inference handle
+    cluster = sess.serve(replicas=2)          # replicated serving cluster
+    sess.save("runs/wiki-1x2x4")              # config + checkpoint + memory
+    sess2 = Session.load("runs/wiki-1x2x4")   # bit-identical evaluate()
+
+Everything underneath (``DistTGLTrainer``, ``InferenceEngine``,
+``ServingCluster``) remains importable from its subpackage as the low-level
+API; the Session only wires it together from one serializable description.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from .config import ExperimentConfig
+
+_UNSET = object()
+
+
+class Session:
+    """One experiment lifecycle bound to an :class:`ExperimentConfig`."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        from ..train.distributed import DistTGLTrainer
+
+        self.config = config if config is not None else ExperimentConfig()
+        if not isinstance(self.config, ExperimentConfig):
+            raise TypeError(
+                f"Session needs an ExperimentConfig, got {type(self.config).__name__}"
+            )
+        self.dataset = self.config.build_dataset()
+        self.trainer = DistTGLTrainer(
+            self.dataset, self.config.parallel, self.config.trainer_spec()
+        )
+        self.result = None            # last TrainResult, if fit() has run
+
+    # -------------------------------------------------------------- plumbing
+    @property
+    def model(self):
+        return self.trainer.model
+
+    @property
+    def decoder(self):
+        return self.trainer.decoder
+
+    @property
+    def graph(self):
+        return self.dataset.graph
+
+    @property
+    def task(self) -> str:
+        return self.dataset.task
+
+    # -------------------------------------------------------------- training
+    def fit(self, epochs: Optional[int] = None, verbose: bool = False,
+            max_iterations: Optional[int] = None):
+        """Train per the config (``train.epochs`` unless overridden);
+        returns the :class:`repro.train.TrainResult`."""
+        self.result = self.trainer.train(
+            epochs_equivalent=epochs if epochs is not None else self.config.train.epochs,
+            max_iterations=max_iterations,
+            verbose=verbose,
+        )
+        return self.result
+
+    def evaluate(self, split: str = "test"):
+        """Evaluate on ``'val'`` or ``'test'`` with the current weights,
+        warm-starting from memory group 0 (the paper's protocol); returns an
+        :class:`repro.train.EvalResult`.  Side-effect free and deterministic:
+        repeated calls give identical metrics."""
+        if split not in ("val", "test"):
+            raise ValueError(f"split must be 'val' or 'test', got {split!r}")
+        return self.trainer._evaluate_split(split, warm_group=self.trainer.groups[0])
+
+    # ------------------------------------------------------------- inference
+    def predictor(self, *, append_on_observe: bool = False,
+                  dedup: bool = True, memoize_time: bool = True):
+        """A batched :class:`repro.infer.InferenceEngine` over the trained
+        model and the full dataset graph.
+
+        ``append_on_observe=False`` (the default here) keeps ``observe()``
+        from appending replayed events to the dataset's graph; pass ``True``
+        when feeding genuinely new events.
+        """
+        from ..infer.engine import InferenceEngine
+
+        decoder = self.decoder if self.task == "link" else None
+        return InferenceEngine(
+            self.model,
+            self.graph,
+            decoder=decoder,
+            sampler=self.trainer.sampler,
+            dedup=dedup,
+            memoize_time=memoize_time,
+            append_on_observe=append_on_observe,
+        )
+
+    # --------------------------------------------------------------- serving
+    def serve(self, replicas: Optional[int] = None, *, policy: Optional[str] = None,
+              admission_limit=_UNSET, max_batch_pairs: Optional[int] = None,
+              max_delay_ms: Optional[float] = None):
+        """Build a :class:`repro.serve.ServingCluster` wired to the trained
+        model and decoder.
+
+        The cluster serves from a fresh copy of the training slice of the
+        graph (held-out events can then be streamed in via
+        :meth:`held_out_stream` / ``cluster.ingest``), so repeated calls
+        never share mutable graph state.  Keyword overrides fall back to the
+        config's ``serve`` section.
+        """
+        if self.task != "link":
+            raise ValueError(
+                f"serving needs a link-prediction task, got {self.task!r}"
+            )
+        from ..serve.cluster import ServingCluster
+
+        sv = self.config.serve
+        serve_graph = self.graph.slice_events(self.trainer.split.train)
+        return ServingCluster(
+            self.model,
+            serve_graph,
+            self.decoder,
+            k=replicas if replicas is not None else sv.replicas,
+            policy=policy if policy is not None else sv.policy,
+            admission_limit=(
+                sv.admission_limit if admission_limit is _UNSET else admission_limit
+            ),
+            max_batch_pairs=(
+                max_batch_pairs if max_batch_pairs is not None else sv.max_batch_pairs
+            ),
+            max_delay=(
+                max_delay_ms if max_delay_ms is not None else sv.max_delay_ms
+            ) * 1e-3,
+            dedup=sv.dedup,
+            memoize_time=sv.memoize_time,
+        )
+
+    def held_out_stream(self, chunk: Optional[int] = None, *, stop: str = "val"):
+        """Iterator of held-out event batches (for ``cluster.ingest``):
+        the dataset's validation range (``stop='val'``) or validation+test
+        (``stop='test'``), chunked per ``serve.stream_chunk``."""
+        from ..serve.loadgen import event_stream
+
+        split = self.trainer.split
+        if stop not in ("val", "test"):
+            raise ValueError(f"stop must be 'val' or 'test', got {stop!r}")
+        end = split.val_end if stop == "val" else split.num_events
+        return event_stream(
+            self.graph, split.train_end, end,
+            chunk=chunk if chunk is not None else self.config.serve.stream_chunk,
+        )
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the session — config + full training checkpoint (weights,
+        optimizer moments, every memory group's state) — to a directory."""
+        from ..train.checkpoint import save_checkpoint
+
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / "config.json").write_text(self.config.to_json() + "\n")
+        save_checkpoint(self.trainer, path / "checkpoint.npz")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Session":
+        """Rebuild a session saved by :meth:`save`; its ``evaluate()`` and
+        serving scores match the original bit-for-bit."""
+        from ..train.checkpoint import load_checkpoint
+
+        path = Path(path)
+        config_file = path / "config.json"
+        if not config_file.exists():
+            raise FileNotFoundError(f"no session at {path} (missing config.json)")
+        sess = cls(ExperimentConfig.from_json(config_file.read_text()))
+        load_checkpoint(sess.trainer, path / "checkpoint.npz")
+        return sess
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Session(dataset={self.config.data.dataset!r}, "
+            f"parallel={self.config.parallel.label(with_machines=True)!r}, "
+            f"fitted={self.result is not None})"
+        )

@@ -1,5 +1,20 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
+Every subcommand parses its flags into a declarative
+:class:`repro.api.ExperimentConfig` and drives a :class:`repro.api.Session`
+(the facade over trainer / evaluation / inference / serving).  Two flags are
+therefore universal:
+
+``--config X``
+    Either the paper's compact ``'ixjxk[@machines]'`` parallel notation
+    (e.g. ``--config 1x2x4``) or an ExperimentConfig JSON document — a file
+    path, or ``-`` to read from stdin.  A JSON config fully describes the
+    experiment; the compact notation only sets the parallel section, with
+    the remaining sections built from the other flags.
+``--dump-config``
+    Print the resolved ExperimentConfig as JSON and exit without running.
+    ``train --dump-config | train --config -`` round-trips byte-identically.
+
 Commands
 --------
 train       train a TGN under an i×j×k configuration and print the result
@@ -12,36 +27,82 @@ serve-bench train briefly, then load-test the replicated serving cluster
 perf-bench  measure hot-path throughput (train step / eval sweep / serve
             batch) with the fused execution layer vs. the legacy path and
             write BENCH_hotpath.json
+
+Dataset and routing-policy choices come from the ``repro.api`` registries,
+so components added with ``@register_dataset`` / ``@register_router`` show
+up in ``--help`` automatically.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-
-from .data import PAPER_TABLE2, load_dataset
+from .api.config import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ServeConfig,
+    TrainConfig,
+)
+from .api.registry import DATASETS, ROUTERS
+from .api.session import Session
+from .data import PAPER_TABLE2
 from .parallel import HardwareSpec, ParallelConfig, plan_for_graph
 from .sim import CostModel, WorkloadSpec, g4dn_metal
-from .train import DistTGLTrainer, TrainerSpec
 from .utils import Timer, format_table
 
 
 def _parse_config(text: str) -> ParallelConfig:
     """Parse the paper's 'ixjxk[@machines]' notation, e.g. '1x2x4' or
-    '2x2x8@4'."""
-    machines = 1
-    if "@" in text:
-        text, m = text.split("@", 1)
-        machines = int(m)
+    '2x2x8@4'.  Thin argparse shim over :meth:`ParallelConfig.parse`."""
     try:
-        i, j, k = (int(part) for part in text.lower().split("x"))
+        return ParallelConfig.parse(text)
     except ValueError as exc:
-        raise argparse.ArgumentTypeError(
-            f"expected ixjxk[@machines], got {text!r}"
-        ) from exc
-    return ParallelConfig(i, j, k, machines=machines)
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+_NOTATION_RE = re.compile(r"^\d+x\d+x\d+(@\d+)?$", re.IGNORECASE)
+
+
+def _config_arg(text: str):
+    """The universal ``--config`` value: 'ixjxk[@machines]' notation, a path
+    to an ExperimentConfig JSON file, or '-' for JSON on stdin."""
+    if _NOTATION_RE.match(text.strip()):
+        # anything shaped like the notation is the notation: a semantic error
+        # (e.g. k not a multiple of machines) must surface, not fall through
+        # to a bogus "no such file" complaint
+        return _parse_config(text.strip())
+    try:
+        if text == "-":
+            return ExperimentConfig.from_json(sys.stdin.read())
+        path = Path(text)
+        if not path.exists():
+            raise argparse.ArgumentTypeError(
+                f"--config {text!r} is neither ixjxk[@machines] notation "
+                f"nor an existing JSON file (use '-' for stdin)"
+            )
+        return ExperimentConfig.from_json(path.read_text())
+    except argparse.ArgumentTypeError:
+        raise
+    except (ValueError, TypeError, OSError) as exc:
+        raise argparse.ArgumentTypeError(f"invalid experiment config: {exc}") from exc
+
+
+def _add_config_flags(sub: argparse.ArgumentParser,
+                      default: Optional[ParallelConfig] = None) -> None:
+    sub.add_argument(
+        "--config", type=_config_arg, default=default or ParallelConfig(),
+        help="ixjxk[@machines] parallel notation, an ExperimentConfig JSON "
+             "file, or '-' (JSON on stdin)",
+    )
+    sub.add_argument(
+        "--dump-config", action="store_true",
+        help="print the resolved ExperimentConfig JSON and exit",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,40 +110,46 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.cli", description="DistTGL reproduction CLI"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    datasets = DATASETS.available()
+    policies = ROUTERS.available()
 
     p_train = sub.add_parser("train", help="train a TGN under an i x j x k config")
-    p_train.add_argument("--dataset", choices=sorted(PAPER_TABLE2), default="wikipedia")
+    p_train.add_argument("--dataset", choices=datasets, default="wikipedia")
     p_train.add_argument("--scale", type=float, default=0.01)
-    p_train.add_argument("--config", type=_parse_config, default=ParallelConfig())
     p_train.add_argument("--epochs", type=int, default=10)
     p_train.add_argument("--batch-size", type=int, default=100)
     p_train.add_argument("--memory-dim", type=int, default=32)
     p_train.add_argument("--static-dim", type=int, default=0)
     p_train.add_argument("--lr", type=float, default=1e-3)
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--save", default=None, metavar="DIR",
+                         help="persist the session (config + checkpoint) here")
     p_train.add_argument("--quiet", action="store_true")
+    _add_config_flags(p_train)
 
     p_plan = sub.add_parser("plan", help="choose (i, j, k) for a cluster")
-    p_plan.add_argument("--dataset", choices=sorted(PAPER_TABLE2), default="wikipedia")
+    p_plan.add_argument("--dataset", choices=datasets, default="wikipedia")
     p_plan.add_argument("--scale", type=float, default=0.01)
     p_plan.add_argument("--machines", type=int, default=1)
     p_plan.add_argument("--gpus", type=int, default=8)
     p_plan.add_argument("--max-missing", type=float, default=0.5)
+    _add_config_flags(p_plan)
 
     p_stats = sub.add_parser("stats", help="Table-2 statistics of a dataset")
-    p_stats.add_argument("--dataset", choices=sorted(PAPER_TABLE2), default="wikipedia")
+    p_stats.add_argument("--dataset", choices=datasets, default="wikipedia")
     p_stats.add_argument("--scale", type=float, default=0.01)
+    _add_config_flags(p_stats)
 
     p_tput = sub.add_parser("throughput", help="modeled throughput (Fig. 12)")
     p_tput.add_argument("--system", choices=["tgn", "tgl", "disttgl"], default="disttgl")
-    p_tput.add_argument("--config", type=_parse_config, default=ParallelConfig())
     p_tput.add_argument("--local-batch", type=int, default=600)
     p_tput.add_argument("--edge-dim", type=int, default=172)
+    _add_config_flags(p_tput)
 
     p_serve = sub.add_parser(
         "serve-bench", help="load-test the replicated serving cluster"
     )
-    p_serve.add_argument("--dataset", choices=sorted(PAPER_TABLE2), default="wikipedia")
+    p_serve.add_argument("--dataset", choices=datasets, default="wikipedia")
     p_serve.add_argument("--scale", type=float, default=0.01)
     p_serve.add_argument("--train-epochs", type=int, default=2)
     p_serve.add_argument("--memory-dim", type=int, default=16)
@@ -90,8 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicas", default="1,2",
         help="comma-separated replica counts to benchmark (default '1,2')",
     )
-    p_serve.add_argument("--policy", choices=["round_robin", "least_loaded"],
-                         default="round_robin")
+    p_serve.add_argument("--policy", choices=policies, default="round_robin")
     p_serve.add_argument("--mode", choices=["closed", "open"], default="closed")
     p_serve.add_argument("--clients", type=int, default=8)
     p_serve.add_argument("--requests", type=int, default=25,
@@ -110,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="path to save a serving snapshot after the run")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--quiet", action="store_true")
+    _add_config_flags(p_serve)
 
     p_perf = sub.add_parser(
         "perf-bench", help="hot-path throughput: fused execution layer vs legacy"
@@ -123,37 +190,98 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--out", default=None,
                         help="report path (default: BENCH_hotpath.json at repo root)")
     p_perf.add_argument("--seed", type=int, default=0)
+    _add_config_flags(p_perf)
 
     return parser
 
 
-def cmd_train(args) -> int:
-    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    spec = TrainerSpec(
-        batch_size=args.batch_size,
-        memory_dim=args.memory_dim,
-        embed_dim=args.memory_dim,
-        time_dim=max(8, args.memory_dim // 2),
-        static_dim=args.static_dim,
-        base_lr=args.lr,
-        seed=args.seed,
+# ------------------------------------------------------------ config builders
+def _experiment_from_train_args(args) -> ExperimentConfig:
+    """The train command's flags -> ExperimentConfig (unless --config already
+    supplied a full JSON document, which then wins)."""
+    if isinstance(args.config, ExperimentConfig):
+        return args.config
+    md = args.memory_dim
+    return ExperimentConfig(
+        data=DataConfig(dataset=args.dataset, scale=args.scale, seed=args.seed),
+        model=ModelConfig(
+            memory_dim=md, embed_dim=md, time_dim=max(8, md // 2),
+            static_dim=args.static_dim,
+        ),
+        parallel=args.config,
+        train=TrainConfig(
+            epochs=args.epochs, batch_size=args.batch_size, base_lr=args.lr,
+            seed=args.seed,
+        ),
     )
-    trainer = DistTGLTrainer(ds, args.config, spec)
-    with Timer() as t:
-        result = trainer.train(
-            epochs_equivalent=args.epochs, verbose=not args.quiet
+
+
+def _experiment_from_serve_args(args, first_replicas: int) -> ExperimentConfig:
+    if isinstance(args.config, ExperimentConfig):
+        return args.config
+    md = args.memory_dim
+    return ExperimentConfig(
+        data=DataConfig(dataset=args.dataset, scale=args.scale, seed=args.seed),
+        model=ModelConfig(memory_dim=md, embed_dim=md, time_dim=max(8, md // 2)),
+        parallel=args.config,
+        train=TrainConfig(epochs=args.train_epochs, batch_size=100, seed=args.seed),
+        serve=ServeConfig(
+            replicas=first_replicas,
+            policy=args.policy,
+            admission_limit=args.admission,
+            max_batch_pairs=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            stream_chunk=args.stream_chunk,
+        ),
+    )
+
+
+def _experiment_from_misc_args(args) -> ExperimentConfig:
+    """plan/stats/throughput/perf-bench: only some sections are meaningful,
+    but --dump-config still emits a complete, loadable document."""
+    if isinstance(args.config, ExperimentConfig):
+        return args.config
+    kwargs = {"parallel": args.config}
+    if hasattr(args, "dataset"):
+        kwargs["data"] = DataConfig(
+            dataset=args.dataset, scale=args.scale,
+            seed=getattr(args, "seed", 0),
         )
-    metric = "MRR" if ds.task == "link" else "F1-micro"
+    return ExperimentConfig(**kwargs)
+
+
+def _maybe_dump(args, cfg: ExperimentConfig) -> bool:
+    if getattr(args, "dump_config", False):
+        print(cfg.to_json())
+        return True
+    return False
+
+
+# ------------------------------------------------------------------ commands
+def cmd_train(args) -> int:
+    cfg = _experiment_from_train_args(args)
+    if _maybe_dump(args, cfg):
+        return 0
+    sess = Session(cfg)
+    with Timer() as t:
+        result = sess.fit(verbose=not args.quiet)
+    metric = "MRR" if sess.task == "link" else "F1-micro"
     print(
-        f"[{args.config.label()}] {args.dataset}: best val {metric} "
+        f"[{cfg.parallel.label()}] {cfg.data.dataset}: best val {metric} "
         f"{result.best_val:.4f} | test {metric} {result.test_metric:.4f} | "
         f"{result.iterations_run} iterations | {t.elapsed:.1f}s"
     )
+    if args.save:
+        path = sess.save(args.save)
+        print(f"session saved to {path}")
     return 0
 
 
 def cmd_plan(args) -> int:
-    ds = load_dataset(args.dataset, scale=args.scale)
+    cfg = _experiment_from_misc_args(args)
+    if _maybe_dump(args, cfg):
+        return 0
+    ds = cfg.build_dataset()
     hw = HardwareSpec(machines=args.machines, gpus_per_machine=args.gpus)
     trace = plan_for_graph(hw, ds.graph, max_missing_fraction=args.max_missing)
     for note in trace.notes:
@@ -163,9 +291,12 @@ def cmd_plan(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    ds = load_dataset(args.dataset, scale=args.scale)
+    cfg = _experiment_from_misc_args(args)
+    if _maybe_dump(args, cfg):
+        return 0
+    ds = cfg.build_dataset()
     stats = ds.graph.stats()
-    paper = PAPER_TABLE2[args.dataset]
+    paper = PAPER_TABLE2[cfg.data.dataset]
     rows = [
         ("|V|", stats["num_nodes"], f"{paper.num_nodes:,}"),
         ("|E|", stats["num_events"], f"{paper.num_events:,}"),
@@ -180,19 +311,23 @@ def cmd_stats(args) -> int:
 
 
 def cmd_throughput(args) -> int:
+    cfg = _experiment_from_misc_args(args)
+    if _maybe_dump(args, cfg):
+        return 0
+    pc = cfg.parallel
     w = WorkloadSpec(local_batch=args.local_batch, edge_dim=args.edge_dim)
-    cm = CostModel(w, g4dn_metal(args.config.machines))
-    total = cm.throughput(args.system, args.config)
+    cm = CostModel(w, g4dn_metal(pc.machines))
+    total = cm.throughput(args.system, pc)
     print(
-        f"{args.system} {args.config.label()}@{args.config.machines}: "
+        f"{args.system} {pc.label()}@{pc.machines}: "
         f"{total / 1e3:.1f} kE/s total, "
-        f"{total / args.config.total_gpus / 1e3:.1f} kE/s per GPU"
+        f"{total / pc.total_gpus / 1e3:.1f} kE/s per GPU"
     )
     return 0
 
 
 def cmd_serve_bench(args) -> int:
-    from .serve import LoadReport, LoadSpec, ServingCluster, event_stream, run_load
+    from .serve import LoadReport, LoadSpec, run_load
 
     try:
         replica_counts = [int(part) for part in str(args.replicas).split(",") if part]
@@ -203,17 +338,12 @@ def cmd_serve_bench(args) -> int:
         print("--replicas needs at least one positive count")
         return 2
 
-    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    split = ds.graph.chronological_split()
-    spec = TrainerSpec(
-        batch_size=100,
-        memory_dim=args.memory_dim,
-        embed_dim=args.memory_dim,
-        time_dim=max(8, args.memory_dim // 2),
-        seed=args.seed,
-    )
-    trainer = DistTGLTrainer(ds, ParallelConfig(), spec)
-    trainer.train(epochs_equivalent=args.train_epochs, verbose=not args.quiet)
+    cfg = _experiment_from_serve_args(args, first_replicas=replica_counts[0])
+    if _maybe_dump(args, cfg):
+        return 0
+
+    sess = Session(cfg)
+    sess.fit(verbose=not args.quiet)
 
     load = LoadSpec(
         num_clients=args.clients,
@@ -221,29 +351,17 @@ def cmd_serve_bench(args) -> int:
         mode=args.mode,
         target_qps=args.target_qps,
         candidates_per_request=args.candidates,
-        seed=args.seed,
+        seed=cfg.data.seed,
     )
     rows = []
     last_cluster = None
     for k in replica_counts:
-        # fresh serving graph per run: the training slice, which streamed
+        # each run serves a fresh copy of the training slice, which streamed
         # val events are appended to (keeps the dataset's graph pristine)
-        serve_graph = ds.graph.slice_events(split.train)
-        cluster = ServingCluster(
-            trainer.model,
-            serve_graph,
-            trainer.decoder,
-            k=k,
-            policy=args.policy,
-            admission_limit=args.admission,
-            max_batch_pairs=args.max_batch,
-            max_delay=args.max_delay_ms * 1e-3,
-        )
-        stream = event_stream(
-            ds.graph, split.train_end, split.val_end, chunk=args.stream_chunk
-        )
+        cluster = sess.serve(replicas=k)
+        stream = sess.held_out_stream()
         report = run_load(cluster, load, stream=stream)
-        rows.append(report.row(f"k={k} {args.policy} {args.mode}"))
+        rows.append(report.row(f"k={k} {cfg.serve.policy} {args.mode}"))
         last_cluster = cluster
         if not args.quiet:
             print(
@@ -262,6 +380,9 @@ def cmd_serve_bench(args) -> int:
 def cmd_perf_bench(args) -> int:
     from .perf import run_hotpath_bench, write_report
 
+    cfg = _experiment_from_misc_args(args)
+    if _maybe_dump(args, cfg):
+        return 0
     report = run_hotpath_bench(
         num_events=args.events,
         edge_dim=args.edge_dim,

@@ -28,7 +28,6 @@ from ..memory.mailbox import Mailbox
 from ..memory.node_memory import NodeMemory
 from ..nn import Linear, Module, Tensor
 from .attention import TemporalAttention
-from .memory_updater import GRUMemoryUpdater
 from .time_encoding import TimeEncoding
 
 
@@ -94,25 +93,22 @@ class TGN(Module):
         rng = np.random.default_rng(config.seed)
         self.config = config
         self.time_encoder = TimeEncoding(config.time_dim)
-        if config.updater in ("gru", "rnn"):
-            self.updater = GRUMemoryUpdater(
-                config.memory_dim,
-                edge_dim=config.edge_dim,
-                time_encoder=self.time_encoder,
-                cell=config.updater,
-                rng=rng,
-            )
-        elif config.updater == "transformer":
-            from .memory_updater import TransformerMemoryUpdater
+        # the UPDT choice resolves through the repro.api memory-updater
+        # registry — 'gru' / 'rnn' / 'transformer' builtins and anything
+        # added via @register_memory_updater take the same path (lazy
+        # import: api depends on models, not vice versa)
+        from ..api.registry import MEMORY_UPDATERS
 
-            self.updater = TransformerMemoryUpdater(
-                config.memory_dim,
-                edge_dim=config.edge_dim,
-                time_encoder=self.time_encoder,
-                rng=rng,
-            )
-        else:
-            raise ValueError(f"unknown updater {config.updater!r}")
+        try:
+            factory = MEMORY_UPDATERS.get(config.updater)
+        except KeyError as exc:
+            raise ValueError(f"unknown updater {config.updater!r}") from exc
+        self.updater = factory(
+            config.memory_dim,
+            edge_dim=config.edge_dim,
+            time_encoder=self.time_encoder,
+            rng=rng,
+        )
         self.attention = TemporalAttention(
             config.memory_dim,
             edge_dim=config.edge_dim,

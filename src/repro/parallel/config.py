@@ -13,7 +13,8 @@ each machine must hold its ``k / p`` copies in RAM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Mapping
 
 
 @dataclass(frozen=True)
@@ -28,17 +29,59 @@ class ParallelConfig:
     def __post_init__(self) -> None:
         if min(self.i, self.j, self.k, self.machines) <= 0:
             raise ValueError("i, j, k, machines must be positive")
-        if self.k % self.machines != 0 and self.k >= self.machines:
-            # memory copies must distribute evenly over machines
-            raise ValueError(
-                f"k={self.k} must be a multiple of machines={self.machines}"
-            )
         if self.k < self.machines:
             raise ValueError(
                 f"k={self.k} < machines={self.machines}: mini-batch/epoch "
                 "parallelism would require cross-machine node-memory "
                 "synchronisation, which DistTGL forbids (§3.2.4)"
             )
+        if self.k % self.machines != 0:
+            # memory copies must distribute evenly over machines
+            raise ValueError(
+                f"k={self.k} must be a multiple of machines={self.machines}"
+            )
+
+    # ------------------------------------------------------------ notation
+    @classmethod
+    def parse(cls, text: str) -> "ParallelConfig":
+        """Parse the paper's ``'ixjxk[@machines]'`` notation, e.g. ``'1x2x4'``
+        or ``'2x2x8@4'``.  Inverse of :meth:`label` (``with_machines=True``).
+        """
+        body, machines_part = text, "1"
+        if "@" in text:
+            body, machines_part = text.split("@", 1)
+        parts = body.lower().split("x")
+        try:
+            if len(parts) != 3:
+                raise ValueError(text)
+            i, j, k = (int(part) for part in parts)
+            machines = int(machines_part)
+        except ValueError as exc:
+            raise ValueError(
+                f"expected ixjxk[@machines], got {text!r}"
+            ) from exc
+        return cls(i, j, k, machines=machines)
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; round-trips through :meth:`from_dict`."""
+        return {"i": self.i, "j": self.j, "k": self.k, "machines": self.machines}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ParallelConfig":
+        """Build from a mapping, rejecting unknown keys by name."""
+        known = {f.name for f in fields(cls)}
+        for key, value in data.items():
+            if key not in known:
+                raise ValueError(
+                    f"ParallelConfig: unknown key {key!r}; known keys: "
+                    f"{sorted(known)}"
+                )
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(
+                    f"ParallelConfig: {key} must be an integer, got {value!r}"
+                )
+        return cls(**dict(data))
 
     # ------------------------------------------------------------------ meta
     @property
@@ -58,9 +101,17 @@ class ParallelConfig:
         """Trainers sharing one memory copy (one daemon group)."""
         return self.i * self.j
 
-    def label(self) -> str:
-        """The paper's ``i×j×k`` notation (e.g. ``1×2×4``)."""
-        return f"{self.i}x{self.j}x{self.k}"
+    def label(self, with_machines: bool = False) -> str:
+        """The paper's ``i×j×k`` notation (e.g. ``1×2×4``).
+
+        ``with_machines=True`` appends ``@machines`` when more than one
+        machine is configured, making the result the exact inverse of
+        :meth:`parse`.
+        """
+        base = f"{self.i}x{self.j}x{self.k}"
+        if with_machines and self.machines != 1:
+            return f"{base}@{self.machines}"
+        return base
 
     def global_batch_multiplier(self) -> int:
         """Edges traversed per optimizer step relative to one local batch."""

@@ -99,7 +99,8 @@ class ServingCluster:
     k:
         Number of memory-parallel serving replicas (paper §3.2.3).
     policy:
-        ``'round_robin'`` or ``'least_loaded'`` read routing.
+        ``'round_robin'``, ``'least_loaded'``, or any routing key added via
+        :func:`repro.api.register_router`.
     admission_limit:
         Maximum queued requests across all replicas; beyond it submissions
         are shed (return ``None``) and counted in ``stats.shed``.
@@ -125,8 +126,16 @@ class ServingCluster:
     ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
-        if policy not in ROUTING_POLICIES:
-            raise ValueError(f"unknown policy {policy!r}; choose {ROUTING_POLICIES}")
+        # routing policies live in the repro.api router registry (the two
+        # ROUTING_POLICIES builtins plus anything @register_router added);
+        # lazy import because api depends on serve, not vice versa
+        from ..api.registry import ROUTERS
+
+        if policy not in ROUTERS:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose one of {list(ROUTERS.available())}"
+            )
+        self._router = ROUTERS.get(policy)
         if admission_limit is not None and admission_limit < 1:
             raise ValueError("admission_limit must be positive (or None)")
         self.graph = graph
@@ -200,11 +209,7 @@ class ServingCluster:
             ):
                 self.stats.shed += 1
                 return None
-            if self.policy == "round_robin":
-                replica = self.replicas[self._rr % len(self.replicas)]
-                self._rr += 1
-            else:  # least_loaded
-                replica = min(self.replicas, key=lambda rep: (rep.load, rep.index))
+            replica = self._router(self)
             self.stats.routed[replica.index] += 1
         return submit(replica)
 

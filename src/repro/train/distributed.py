@@ -36,7 +36,6 @@ from ..data.datasets import Dataset
 from ..graph.batching import BatchLoader, segment_bounds
 from ..graph.negative import NegativeGroupStore, eval_negatives
 from ..graph.prep import BatchPrep, PreparedBatch
-from ..graph.sampler import RecentNeighborSampler
 from ..memory.mailbox import Mailbox
 from ..memory.node_memory import NodeMemory
 from ..memory.static_memory import StaticNodeMemory
@@ -72,6 +71,9 @@ class TrainerSpec:
     seed: int = 0
     fused: bool = True              # fused execution-layer kernels (nn.fused)
     prep_cache_batches: int = 256   # BatchPrep neighborhood LRU entries
+    model: str = "tgn"              # repro.api model-registry key
+    sampler: str = "recent"         # repro.api sampler-registry key
+    updater: str = "gru"            # memory updater (UPDT ablation choice)
 
 
 @dataclass
@@ -161,7 +163,14 @@ class DistTGLTrainer:
         graph = dataset.graph
         self.graph = graph
         self.split = graph.chronological_split()
-        self.sampler = RecentNeighborSampler(graph, k=self.spec.num_neighbors)
+        # sampler and model keys resolve through the repro.api registries —
+        # builtins ('recent', 'tgn') and plug-ins take the same path (lazy
+        # import: the api package depends on this module, not vice versa)
+        from ..api.registry import MODELS, SAMPLERS
+
+        self.sampler = SAMPLERS.get(self.spec.sampler)(
+            graph, k=self.spec.num_neighbors
+        )
         # one BatchPrep pipeline for training *and* evaluation: epoch sweeps,
         # memory-parallel groups and repeated eval passes revisit the same
         # (nodes, times) sets, so the neighborhood LRU amortizes across all
@@ -180,9 +189,10 @@ class DistTGLTrainer:
             static_dim=self.spec.static_dim,
             num_neighbors=self.spec.num_neighbors,
             num_heads=self.spec.num_heads,
+            updater=self.spec.updater,
             seed=self.spec.seed,
         )
-        self.model = TGN(model_cfg)
+        self.model = MODELS.get(self.spec.model)(model_cfg)
         rng = np.random.default_rng(self.spec.seed + 1)
         if dataset.task == "link":
             self.decoder = LinkPredictor(self.spec.embed_dim, rng=rng)

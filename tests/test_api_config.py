@@ -1,0 +1,177 @@
+"""Declarative config tree: validation, serialization, notation round trips."""
+
+import json
+
+import pytest
+
+from repro.api.config import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ServeConfig,
+    TrainConfig,
+)
+from repro.parallel import ParallelConfig
+
+ALL_SECTIONS = [DataConfig, ModelConfig, ParallelConfig, TrainConfig, ServeConfig]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cls", ALL_SECTIONS + [ExperimentConfig])
+    def test_default_dict_round_trip(self, cls):
+        cfg = cls()
+        again = cls.from_dict(cfg.to_dict())
+        assert again == cfg
+        assert again.to_dict() == cfg.to_dict()
+
+    @pytest.mark.parametrize("cls", [
+        DataConfig, ModelConfig, TrainConfig, ServeConfig, ExperimentConfig,
+    ])
+    def test_json_round_trip_byte_identical(self, cls):
+        cfg = cls()
+        text = cfg.to_json()
+        assert cls.from_json(text).to_json() == text
+
+    def test_non_default_experiment_round_trip(self):
+        cfg = ExperimentConfig(
+            data=DataConfig(dataset="mooc", scale=0.004, seed=7),
+            model=ModelConfig(memory_dim=8, time_dim=8, embed_dim=8,
+                              static_dim=4, updater="transformer"),
+            parallel=ParallelConfig(2, 2, 8, machines=4),
+            train=TrainConfig(epochs=3, batch_size=40, base_lr=1e-3, fused=False),
+            serve=ServeConfig(replicas=3, policy="least_loaded",
+                              admission_limit=16, max_delay_ms=1.5),
+        )
+        text = cfg.to_json()
+        again = ExperimentConfig.from_json(text)
+        assert again == cfg
+        assert again.to_json() == text
+
+    def test_to_json_is_deterministic_sorted(self):
+        d = json.loads(ExperimentConfig().to_json())
+        assert list(d) == sorted(d)
+
+    def test_parallel_section_accepts_notation_string(self):
+        cfg = ExperimentConfig.from_dict({"parallel": "2x2x8@4"})
+        assert cfg.parallel == ParallelConfig(2, 2, 8, machines=4)
+
+
+class TestUnknownKeys:
+    @pytest.mark.parametrize("cls", ALL_SECTIONS + [ExperimentConfig])
+    def test_unknown_key_raises_with_name(self, cls):
+        data = cls().to_dict()
+        data["bogus_knob"] = 1
+        with pytest.raises(ValueError, match="bogus_knob"):
+            cls.from_dict(data)
+
+    def test_nested_unknown_key_names_section_and_key(self):
+        data = ExperimentConfig().to_dict()
+        data["train"]["learning_rate"] = 0.1   # typo'd hyper-parameter
+        with pytest.raises(ValueError, match="TrainConfig.*learning_rate"):
+            ExperimentConfig.from_dict(data)
+
+
+class TestValidation:
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="citeseer"):
+            DataConfig(dataset="citeseer")
+
+    def test_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            DataConfig(scale=0.0)
+
+    def test_unknown_model_updater_sampler(self):
+        with pytest.raises(ValueError, match="nope"):
+            ModelConfig(model="nope")
+        with pytest.raises(ValueError, match="nope"):
+            ModelConfig(updater="nope")
+        with pytest.raises(ValueError, match="nope"):
+            ModelConfig(sampler="nope")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="random"):
+            ServeConfig(policy="random")
+
+    def test_bad_train_values(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(batch_size=-1)
+
+    def test_experiment_section_type_checked(self):
+        with pytest.raises(TypeError, match="DataConfig"):
+            ExperimentConfig(data={"dataset": "wikipedia"})
+
+
+class TestParallelNotation:
+    def test_parse_basic(self):
+        assert ParallelConfig.parse("1x2x4") == ParallelConfig(1, 2, 4)
+
+    def test_parse_with_machines(self):
+        assert ParallelConfig.parse("2x2x8@4") == ParallelConfig(2, 2, 8, machines=4)
+
+    def test_parse_uppercase(self):
+        assert ParallelConfig.parse("1X1X2").k == 2
+
+    @pytest.mark.parametrize("bad", ["1x2", "axbxc", "1x2x3x4", "1x2x4@x", ""])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ParallelConfig.parse(bad)
+
+    @pytest.mark.parametrize("cfg", [
+        ParallelConfig(),
+        ParallelConfig(1, 2, 4),
+        ParallelConfig(2, 2, 8, machines=4),
+        ParallelConfig(1, 1, 16, machines=2),
+    ])
+    def test_label_is_inverse_of_parse(self, cfg):
+        assert ParallelConfig.parse(cfg.label(with_machines=True)) == cfg
+
+    def test_label_default_keeps_paper_notation(self):
+        assert ParallelConfig(2, 2, 8, machines=4).label() == "2x2x8"
+        assert ParallelConfig(2, 2, 8, machines=4).label(with_machines=True) == "2x2x8@4"
+
+    def test_dict_round_trip(self):
+        cfg = ParallelConfig(2, 2, 8, machines=4)
+        assert ParallelConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_dict_unknown_key(self):
+        with pytest.raises(ValueError, match="gpus"):
+            ParallelConfig.from_dict({"i": 1, "j": 1, "k": 1, "gpus": 8})
+
+    def test_dict_rejects_non_integers(self):
+        with pytest.raises(ValueError, match="k must be an integer"):
+            ParallelConfig.from_dict({"i": 1, "j": 1, "k": 2.9})
+        with pytest.raises(ValueError, match="i must be an integer"):
+            ParallelConfig.from_dict({"i": True, "j": 1, "k": 1})
+
+
+class TestParallelValidationSplit:
+    """The two §3.2.4 constraints raise distinct, correct errors."""
+
+    def test_k_below_machines_message(self):
+        with pytest.raises(ValueError, match="cross-machine"):
+            ParallelConfig(1, 8, 1, machines=2)
+
+    def test_k_not_multiple_of_machines_message(self):
+        with pytest.raises(ValueError, match="multiple of machines"):
+            ParallelConfig(1, 1, 3, machines=2)
+
+    def test_k_equal_machines_ok(self):
+        assert ParallelConfig(1, 1, 2, machines=2).copies_per_machine == 1
+
+
+class TestTrainerSpecBridge:
+    def test_trainer_spec_mirrors_sections(self):
+        cfg = ExperimentConfig(
+            model=ModelConfig(memory_dim=8, time_dim=8, embed_dim=8,
+                              num_neighbors=5, updater="rnn"),
+            train=TrainConfig(epochs=2, batch_size=33, base_lr=2e-3, seed=9),
+        )
+        spec = cfg.trainer_spec()
+        assert spec.memory_dim == 8
+        assert spec.num_neighbors == 5
+        assert spec.updater == "rnn"
+        assert spec.batch_size == 33
+        assert spec.base_lr == 2e-3
+        assert spec.seed == 9

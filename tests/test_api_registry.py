@@ -1,0 +1,166 @@
+"""Registry hygiene and plug-in component resolution."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DATASETS,
+    MEMORY_UPDATERS,
+    ROUTERS,
+    ModelConfig,
+    register_dataset,
+    register_router,
+)
+from repro.api.registry import Registry
+
+
+class TestRegistryMachinery:
+    def test_duplicate_key_raises(self):
+        reg = Registry("widget")
+        reg.register("a", object())
+        with pytest.raises(ValueError, match="duplicate widget key 'a'"):
+            reg.register("a", object())
+
+    def test_available_is_sorted(self):
+        reg = Registry("widget")
+        for key in ("zeta", "alpha", "mid"):
+            reg.register(key, key)
+        assert list(reg.available()) == ["alpha", "mid", "zeta"]
+
+    def test_missing_key_lists_available(self):
+        reg = Registry("widget")
+        reg.register("only", 1)
+        with pytest.raises(KeyError, match="only"):
+            reg.get("nope")
+
+    def test_unregister(self):
+        reg = Registry("widget")
+        reg.register("gone", 1)
+        reg.unregister("gone")
+        assert "gone" not in reg
+        with pytest.raises(KeyError):
+            reg.unregister("gone")
+
+    def test_decorator_form(self):
+        reg = Registry("widget")
+
+        @reg.register("fn")
+        def fn():
+            return 42
+
+        assert reg.get("fn")() == 42
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            Registry("widget").register("")
+
+
+class TestBuiltinRegistrations:
+    def test_paper_datasets_registered_sorted(self):
+        assert list(DATASETS.available()) == [
+            "flights", "gdelt", "mooc", "reddit", "wikipedia",
+        ]
+
+    def test_builtin_routers(self):
+        assert list(ROUTERS.available()) == ["least_loaded", "round_robin"]
+
+    def test_builtin_updaters(self):
+        assert set(MEMORY_UPDATERS.available()) == {"gru", "rnn", "transformer"}
+
+    def test_registering_builtin_key_collides_immediately(self):
+        """Even as the process's first api call, a builtin-key collision
+        raises at register() time and leaves the registries fully populated."""
+        with pytest.raises(ValueError, match="duplicate router key 'round_robin'"):
+            register_router("round_robin", lambda cluster: None)
+        assert list(ROUTERS.available()) == ["least_loaded", "round_robin"]
+
+
+class TestCLIUsesRegistries:
+    def test_dataset_choices_come_from_registry(self):
+        """--dataset choices reflect registrations, not a hardcoded table."""
+        from repro.cli import build_parser
+
+        register_dataset("toyds", lambda scale=0.01, seed=0: None)
+        try:
+            args = build_parser().parse_args(["train", "--dataset", "toyds"])
+            assert args.dataset == "toyds"
+        finally:
+            DATASETS.unregister("toyds")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "toyds"])
+
+    def test_policy_choices_come_from_registry(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--policy", "randomized"])
+
+
+class TestPluginComponents:
+    def test_registered_router_routes_cluster_reads(self):
+        from helpers import toy_graph
+
+        import repro
+
+        register_router("always_last", lambda cluster: cluster.replicas[-1])
+        try:
+            g = toy_graph()
+            model = repro.TGN(repro.TGNConfig(
+                num_nodes=g.num_nodes, memory_dim=8, time_dim=8, embed_dim=8,
+                edge_dim=g.edge_dim,
+            ))
+            from repro.models import LinkPredictor
+            from repro.serve import ServingCluster
+
+            cluster = ServingCluster(
+                model, g, LinkPredictor(8), k=3, policy="always_last",
+                max_batch_pairs=10 ** 6, max_delay=100.0,
+            )
+            for _ in range(4):
+                cluster.submit_rank(0, np.array([1, 2]), 50.0)
+            cluster.flush_all()
+            assert cluster.stats.routed == [0, 0, 4]
+        finally:
+            ROUTERS.unregister("always_last")
+
+    def test_unknown_policy_still_rejected(self):
+        from helpers import toy_graph
+
+        import repro
+        from repro.models import LinkPredictor
+        from repro.serve import ServingCluster
+
+        g = toy_graph()
+        model = repro.TGN(repro.TGNConfig(
+            num_nodes=g.num_nodes, memory_dim=8, time_dim=8, embed_dim=8,
+            edge_dim=g.edge_dim,
+        ))
+        with pytest.raises(ValueError, match="unknown policy"):
+            ServingCluster(model, g, LinkPredictor(8), policy="random")
+
+    def test_registered_memory_updater_reachable_from_config(self):
+        from repro.models.memory_updater import GRUMemoryUpdater
+
+        calls = []
+
+        @MEMORY_UPDATERS.register("custom_gru")
+        def _make(memory_dim, edge_dim, time_encoder, rng):
+            calls.append(memory_dim)
+            return GRUMemoryUpdater(
+                memory_dim, edge_dim=edge_dim, time_encoder=time_encoder,
+                cell="gru", rng=rng,
+            )
+
+        try:
+            cfg = ModelConfig(memory_dim=8, time_dim=8, embed_dim=8,
+                              updater="custom_gru")
+            assert cfg.updater == "custom_gru"
+            import repro
+
+            repro.TGN(repro.TGNConfig(
+                num_nodes=10, memory_dim=8, time_dim=8, embed_dim=8,
+                updater="custom_gru",
+            ))
+            assert calls == [8]
+        finally:
+            MEMORY_UPDATERS.unregister("custom_gru")

@@ -1,0 +1,156 @@
+"""Session facade: the full lifecycle through `repro.api` alone.
+
+Deliberately imports nothing from ``repro.train`` or ``repro.serve`` —
+every capability below must be reachable through the facade.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ParallelConfig,
+    ServeConfig,
+    Session,
+    TrainConfig,
+)
+
+TINY = ExperimentConfig(
+    data=DataConfig(dataset="wikipedia", scale=0.004, seed=0),
+    model=ModelConfig(memory_dim=8, time_dim=8, embed_dim=8),
+    parallel=ParallelConfig(1, 1, 2),
+    train=TrainConfig(epochs=1, batch_size=50, eval_candidates=10),
+    serve=ServeConfig(replicas=2, max_batch_pairs=10 ** 6, max_delay_ms=1e5),
+)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    sess = Session(TINY)
+    result = sess.fit()
+    return sess, result
+
+
+class TestLifecycleEndToEnd:
+    def test_full_lifecycle_fit_eval_serve_save_load(self, fitted, tmp_path):
+        sess, result = fitted
+        # fit -> TrainResult
+        assert result.iterations_run > 0
+        assert np.isfinite(result.best_val)
+        assert sess.result is result
+
+        # evaluate -> deterministic EvalResult
+        val = sess.evaluate("val")
+        assert 0.0 <= val.metric <= 1.0
+        assert sess.evaluate("val").metric == val.metric
+
+        # serve -> scored request through the micro-batched cluster
+        cluster = sess.serve()
+        assert len(cluster.replicas) == 2
+        cands = np.array([5, 6, 7, 8])
+        handle = cluster.submit_rank(3, cands, float(sess.graph.timestamps[-1]))
+        cluster.flush_all()
+        scores = handle.wait(timeout=10.0)
+        assert scores.shape == (4,)
+        assert np.all(np.isfinite(scores))
+
+        # save -> load -> identical evaluation and serving scores
+        path = sess.save(tmp_path / "run")
+        assert (path / "config.json").exists()
+        assert (path / "checkpoint.npz").exists()
+        sess2 = Session.load(path)
+        assert sess2.config == sess.config
+        assert sess2.evaluate("test").metric == pytest.approx(
+            sess.evaluate("test").metric, abs=1e-6
+        )
+        cluster2 = sess2.serve()
+        handle2 = cluster2.submit_rank(3, cands, float(sess2.graph.timestamps[-1]))
+        cluster2.flush_all()
+        np.testing.assert_allclose(handle2.wait(timeout=10.0), scores, atol=1e-6)
+
+    def test_predictor_scores_pairs(self, fitted):
+        sess, _ = fitted
+        engine = sess.predictor()
+        n_before = sess.graph.num_events
+        probs = engine.predict_links(
+            np.array([1, 2]), np.array([5, 6]), np.array([50.0, 60.0])
+        )
+        assert probs.shape == (2,)
+        assert np.all((probs >= 0) & (probs <= 1))
+        # default predictor never mutates the dataset graph
+        engine.observe(np.array([1]), np.array([5]), np.array([70.0]),
+                       edge_feats=np.zeros((1, sess.graph.edge_dim), np.float32))
+        assert sess.graph.num_events == n_before
+
+    def test_held_out_stream_covers_val_range(self, fitted):
+        sess, _ = fitted
+        split = sess.trainer.split
+        total = sum(len(chunk[0]) for chunk in sess.held_out_stream(chunk=37))
+        assert total == split.val_end - split.train_end
+
+    def test_serve_overrides(self, fitted):
+        sess, _ = fitted
+        cluster = sess.serve(replicas=3, policy="least_loaded", admission_limit=5)
+        assert len(cluster.replicas) == 3
+        assert cluster.policy == "least_loaded"
+        assert cluster.admission_limit == 5
+
+
+class TestSessionValidation:
+    def test_needs_experiment_config(self):
+        with pytest.raises(TypeError):
+            Session({"data": {"dataset": "wikipedia"}})
+
+    def test_default_config_works(self):
+        # construction only (no fit): dataset + trainer wiring must resolve
+        sess = Session(ExperimentConfig(
+            data=DataConfig(scale=0.004),
+            model=ModelConfig(memory_dim=8, time_dim=8, embed_dim=8),
+            train=TrainConfig(batch_size=50),
+        ))
+        assert sess.task == "link"
+        assert sess.result is None
+
+    def test_evaluate_rejects_unknown_split(self, fitted):
+        sess, _ = fitted
+        with pytest.raises(ValueError, match="split"):
+            sess.evaluate("train")
+
+    def test_serve_rejects_edge_class_task(self):
+        sess = Session(ExperimentConfig(
+            data=DataConfig(dataset="gdelt", scale=0.00002),
+            model=ModelConfig(memory_dim=8, time_dim=8, embed_dim=8),
+            train=TrainConfig(batch_size=60),
+        ))
+        with pytest.raises(ValueError, match="link"):
+            sess.serve()
+
+    def test_load_missing_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Session.load(tmp_path / "nowhere")
+
+
+class TestDeprecationShims:
+    @pytest.mark.parametrize("name", [
+        "DistTGLTrainer", "TrainerSpec", "InferenceEngine", "ServingCluster",
+        "ServingReplica", "MicroBatcher", "save_checkpoint", "load_checkpoint",
+    ])
+    def test_legacy_top_level_alias_warns_but_works(self, name):
+        import repro
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            obj = getattr(repro, name)
+        assert obj is not None
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+    def test_low_level_imports_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.infer import InferenceEngine  # noqa: F401
+            from repro.serve import ServingCluster  # noqa: F401
+            from repro.train import DistTGLTrainer, TrainerSpec  # noqa: F401
