@@ -29,6 +29,26 @@ One declarative config, one :class:`Session` lifecycle object::
     sess.save("runs/wiki")                  # config + checkpoint + memory state
     sess2 = repro.Session.load("runs/wiki") # evaluate()/serving scores identical
 
+Backend selection
+-----------------
+Every ``Session`` can execute on two engines with **identical results**:
+
+* ``sess.fit()`` — the default ``backend="local"``: the i×j×k plan runs as
+  logical trainers stepped in lockstep inside this process (the paper's
+  semantics, zero spawn cost — the semantic reference);
+* ``sess.fit(backend="process")`` — the ``repro.runtime`` backend: ``i×k``
+  real worker processes, each rebuilt from the declarative config, with the
+  k node-memory copies in ``multiprocessing.shared_memory`` and gradients
+  synchronized per step over wire collectives.  Both backends implement one
+  gradient-reduction contract (``repro.parallel.TermGradAccumulator``), so
+  the loss trajectory and metrics match **bitwise**, while multi-core hosts
+  get real parallel speedup (``python -m repro.cli runtime-bench``).
+* ``sess.serve(replicas=k, process_replicas=True)`` — serving replicas as
+  worker processes: each owns a model copy (true compute parallelism), all
+  share one node-memory segment, predictions bit-identical to the threaded
+  cluster.  ``python -m repro.cli train --backend process`` and
+  ``examples/quickstart.py --backend process`` drive the same switch.
+
 Configs are frozen dataclasses that validate at construction and round-trip
 through JSON byte-identically (``cfg.to_json()`` / ``ExperimentConfig
 .from_json``); the CLI speaks the same format (``python -m repro.cli train
@@ -48,6 +68,8 @@ subpackage for fine-grained control:
 * ``repro.infer.InferenceEngine`` — TGOpt-style redundancy-aware inference;
 * ``repro.serve.ServingCluster`` — replicated micro-batched serving with
   WAL-backed streaming ingestion;
+* ``repro.runtime`` — the process execution backend: frame transport,
+  collectives, shared-memory state, ``ProcessGroup``, process serving;
 * ``repro.parallel.plan_for_graph`` — the §3.2.4 configuration planner;
 * ``repro.sim.CostModel`` — Fig.-12 throughput modeling of the testbed.
 

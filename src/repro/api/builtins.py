@@ -26,6 +26,23 @@ from .registry import (
 for _name in PAPER_TABLE2:
     register_dataset(_name, partial(load_dataset, _name))
 
+
+@register_dataset("hotpath")
+def _hotpath_dataset(scale: float = 0.01, seed: int = 0):
+    """The hot-path benchmark graph (perf-bench / runtime-bench workload).
+
+    Registered so a declarative config can name it — the process runtime's
+    workers rebuild their dataset from the config, and the scaling bench
+    must measure the same workload the hot-path bench does.  ``scale``
+    maps to the event count the same way the Table-2 generators scale
+    (0.01 -> 2400 events).
+    """
+    from ..perf import _make_dataset
+
+    return _make_dataset(
+        num_events=max(400, int(round(240_000 * scale))), edge_dim=8, seed=seed
+    )
+
 # -------------------------------------------------------------------- models
 register_model("tgn", TGN)
 

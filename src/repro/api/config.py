@@ -133,6 +133,7 @@ class TrainConfig(ConfigBase):
     seed: int = 0
     fused: bool = True
     prep_cache_batches: int = 256
+    eval_prefetch_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -143,6 +144,10 @@ class TrainConfig(ConfigBase):
             raise ValueError(f"base_lr must be positive, got {self.base_lr}")
         if self.comb not in ("recent", "mean"):
             raise ValueError(f"comb must be 'recent' or 'mean', got {self.comb!r}")
+        if self.eval_prefetch_workers < 1:
+            raise ValueError(
+                f"eval_prefetch_workers must be >= 1, got {self.eval_prefetch_workers}"
+            )
 
 
 @dataclass(frozen=True)
@@ -251,6 +256,7 @@ class ExperimentConfig(ConfigBase):
             seed=t.seed,
             fused=t.fused,
             prep_cache_batches=t.prep_cache_batches,
+            eval_prefetch_workers=t.eval_prefetch_workers,
             model=m.model,
             sampler=m.sampler,
             updater=m.updater,

@@ -62,9 +62,40 @@ class Session:
 
     # -------------------------------------------------------------- training
     def fit(self, epochs: Optional[int] = None, verbose: bool = False,
-            max_iterations: Optional[int] = None):
+            max_iterations: Optional[int] = None, backend: str = "local"):
         """Train per the config (``train.epochs`` unless overridden);
-        returns the :class:`repro.train.TrainResult`."""
+        returns the :class:`repro.train.TrainResult`.
+
+        ``backend`` selects the execution engine:
+
+        * ``'local'`` — the logical-trainer simulator: every i×j×k plan
+          stepped in lockstep inside this process (deterministic, zero
+          spawn cost — the default and the semantic reference);
+        * ``'process'`` — the :mod:`repro.runtime` backend: ``i×k`` real
+          worker processes with shared-memory node state and wire
+          collectives.  Both backends run the identical float arithmetic
+          (one reduction contract), so the result — losses, metrics, final
+          state — matches the local backend **bitwise at every world
+          size**, and the trained state is folded back into this session,
+          so ``evaluate()`` / ``save()`` / ``serve()`` behave identically
+          afterwards.
+        """
+        if backend not in ("local", "process"):
+            raise ValueError(
+                f"backend must be 'local' or 'process', got {backend!r}"
+            )
+        if backend == "process":
+            from ..runtime.launcher import apply_process_result, run_process_fit
+
+            meta, arrays, states = run_process_fit(
+                self.config,
+                self.trainer,
+                epochs=epochs,
+                max_iterations=max_iterations,
+                verbose=verbose,
+            )
+            self.result = apply_process_result(self.trainer, meta, arrays, states)
+            return self.result
         self.result = self.trainer.train(
             epochs_equivalent=epochs if epochs is not None else self.config.train.epochs,
             max_iterations=max_iterations,
@@ -107,28 +138,32 @@ class Session:
     # --------------------------------------------------------------- serving
     def serve(self, replicas: Optional[int] = None, *, policy: Optional[str] = None,
               admission_limit=_UNSET, max_batch_pairs: Optional[int] = None,
-              max_delay_ms: Optional[float] = None):
-        """Build a :class:`repro.serve.ServingCluster` wired to the trained
-        model and decoder.
+              max_delay_ms: Optional[float] = None, process_replicas: bool = False):
+        """Build a serving cluster wired to the trained model and decoder.
 
         The cluster serves from a fresh copy of the training slice of the
         graph (held-out events can then be streamed in via
         :meth:`held_out_stream` / ``cluster.ingest``), so repeated calls
         never share mutable graph state.  Keyword overrides fall back to the
         config's ``serve`` section.
+
+        ``process_replicas=False`` (default) returns the threaded
+        :class:`repro.serve.ServingCluster`.  ``process_replicas=True``
+        returns a :class:`repro.runtime.ProcessServingCluster`: each
+        replica is a worker process with its own model copy over one
+        shared-memory serving state — bit-identical predictions, true
+        compute parallelism on multi-core hosts.  Use it as a context
+        manager (or call ``shutdown()``) to release the processes.
         """
         if self.task != "link":
             raise ValueError(
                 f"serving needs a link-prediction task, got {self.task!r}"
             )
-        from ..serve.cluster import ServingCluster
-
         sv = self.config.serve
         serve_graph = self.graph.slice_events(self.trainer.split.train)
-        return ServingCluster(
-            self.model,
-            serve_graph,
-            self.decoder,
+        # one resolved override set for either cluster kind — the two paths
+        # must never end up with silently different effective settings
+        kwargs = dict(
             k=replicas if replicas is not None else sv.replicas,
             policy=policy if policy is not None else sv.policy,
             admission_limit=(
@@ -143,6 +178,15 @@ class Session:
             dedup=sv.dedup,
             memoize_time=sv.memoize_time,
         )
+        if process_replicas:
+            from ..runtime.serving import ProcessServingCluster
+
+            return ProcessServingCluster(
+                self.config, serve_graph, self.model, self.decoder, **kwargs
+            )
+        from ..serve.cluster import ServingCluster
+
+        return ServingCluster(self.model, serve_graph, self.decoder, **kwargs)
 
     def held_out_stream(self, chunk: Optional[int] = None, *, stop: str = "val"):
         """Iterator of held-out event batches (for ``cluster.ingest``):

@@ -122,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--static-dim", type=int, default=0)
     p_train.add_argument("--lr", type=float, default=1e-3)
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--backend", choices=["local", "process"], default="local",
+                         help="execution engine: logical trainers in-process, or "
+                              "the repro.runtime i*k worker-process backend "
+                              "(identical results, real parallelism)")
     p_train.add_argument("--save", default=None, metavar="DIR",
                          help="persist the session (config + checkpoint) here")
     p_train.add_argument("--quiet", action="store_true")
@@ -177,6 +181,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--quiet", action="store_true")
     _add_config_flags(p_serve)
+
+    p_rt = sub.add_parser(
+        "runtime-bench",
+        help="process-backend step throughput at 1/2/4 workers "
+             "(emits BENCH_runtime.json)",
+    )
+    p_rt.add_argument("--workers", default="1,2,4",
+                      help="comma-separated worker counts (default '1,2,4')")
+    p_rt.add_argument("--steps", type=int, default=30,
+                      help="training iterations per measured point")
+    p_rt.add_argument("--batch-size", type=int, default=100,
+                      help="local batch per worker (weak scaling)")
+    p_rt.add_argument("--seed", type=int, default=0)
+    p_rt.add_argument("--out", default=None,
+                      help="report path (default: BENCH_runtime.json at repo root)")
+    _add_config_flags(p_rt)
 
     p_perf = sub.add_parser(
         "perf-bench", help="hot-path throughput: fused execution layer vs legacy"
@@ -264,12 +284,17 @@ def cmd_train(args) -> int:
         return 0
     sess = Session(cfg)
     with Timer() as t:
-        result = sess.fit(verbose=not args.quiet)
+        result = sess.fit(verbose=not args.quiet, backend=args.backend)
     metric = "MRR" if sess.task == "link" else "F1-micro"
+    backend_note = (
+        f" | {cfg.parallel.i * cfg.parallel.k} worker processes"
+        if args.backend == "process"
+        else ""
+    )
     print(
         f"[{cfg.parallel.label()}] {cfg.data.dataset}: best val {metric} "
         f"{result.best_val:.4f} | test {metric} {result.test_metric:.4f} | "
-        f"{result.iterations_run} iterations | {t.elapsed:.1f}s"
+        f"{result.iterations_run} iterations | {t.elapsed:.1f}s{backend_note}"
     )
     if args.save:
         path = sess.save(args.save)
@@ -296,7 +321,12 @@ def cmd_stats(args) -> int:
         return 0
     ds = cfg.build_dataset()
     stats = ds.graph.stats()
-    paper = PAPER_TABLE2[cfg.data.dataset]
+    paper = PAPER_TABLE2.get(cfg.data.dataset)
+    if paper is None:
+        # synthetic-only workloads (e.g. 'hotpath') have no Table-2 row
+        rows = [(k, v) for k, v in sorted(stats.items())]
+        print(format_table(["stat", "generated"], rows))
+        return 0
     rows = [
         ("|V|", stats["num_nodes"], f"{paper.num_nodes:,}"),
         ("|E|", stats["num_events"], f"{paper.num_events:,}"),
@@ -377,6 +407,60 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_runtime_bench(args) -> int:
+    from .runtime.bench import (
+        bench_config,
+        run_runtime_bench,
+        write_report as write_rt_report,
+    )
+
+    try:
+        counts = [int(part) for part in str(args.workers).split(",") if part]
+    except ValueError:
+        print(f"invalid --workers {args.workers!r}; expected e.g. '1,2,4'")
+        return 2
+    if not counts or min(counts) < 1:
+        print("--workers needs at least one positive count")
+        return 2
+    # a full --config JSON supplies the measured workload (data/model/train
+    # sections; the parallel section is swept as w x 1 x 1); the default is
+    # the hot-path shape, so --dump-config describes exactly what runs
+    if isinstance(args.config, ExperimentConfig):
+        base = args.config
+    else:
+        base = bench_config(
+            workers=min(counts), batch_size=args.batch_size, seed=args.seed
+        )
+    if _maybe_dump(args, base):
+        return 0
+    report = run_runtime_bench(counts, steps=args.steps, base=base)
+    rows = [
+        (
+            f"{p['workers']}",
+            f"{p['events_per_sec']:,.0f}",
+            f"{p['cpu_events_per_sec']:,.0f}",
+            f"{p['step_ms']:.1f}",
+            f"{p['sync_frac']:.1%}",
+        )
+        for p in report["workers"].values()
+    ]
+    print(
+        f"host cpus: {report['config']['host_cpus']} "
+        f"(wall speedup needs >= workers cores; ev/s-per-CPU-s is the "
+        f"core-independent measure)"
+    )
+    print(format_table(
+        ["workers", "wall ev/s", "ev per CPU-s", "step ms", "sync"], rows
+    ))
+    for key in ("speedup_vs_1", "cpu_speedup_vs_1"):
+        if key in report:
+            pretty = ", ".join(f"{w}w: {s:.2f}x" for w, s in report[key].items())
+            print(f"{key}: {pretty}")
+    path = write_rt_report(report, args.out)
+    print(f"report written to {path}")
+    return 0
+
+
 def cmd_perf_bench(args) -> int:
     from .perf import run_hotpath_bench, write_report
 
@@ -414,6 +498,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": cmd_stats,
         "throughput": cmd_throughput,
         "serve-bench": cmd_serve_bench,
+        "runtime-bench": cmd_runtime_bench,
         "perf-bench": cmd_perf_bench,
     }[args.command]
     return handler(args)

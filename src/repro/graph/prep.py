@@ -249,16 +249,19 @@ class BatchPrep:
 
 
 class PrefetchingLoader:
-    """Overlap neighborhood preparation of batch ``t+1`` with compute on ``t``.
+    """Overlap neighborhood preparation of upcoming batches with compute.
 
     Wraps an iterable of items (typically :class:`MiniBatch`) and yields
-    ``(item, PreparedBatch)`` pairs.  A background thread runs the
-    state-independent :meth:`BatchPrep.neighborhood` stage ahead of the
-    consumer; the state-*dependent* :meth:`BatchPrep.assemble` read runs on
-    the consumer thread when the pair is yielded — i.e. strictly after the
-    consumer finished (and committed write-backs for) the previous item.
-    That split is what makes prefetching safe in a model whose memory
-    mutates every batch: topology is fetched early, state is fetched late.
+    ``(item, PreparedBatch)`` pairs.  A small pool of ``workers`` threads
+    runs the state-independent :meth:`BatchPrep.neighborhood` stage ahead
+    of the consumer; the state-*dependent* :meth:`BatchPrep.assemble` read
+    runs on the consumer thread when the pair is yielded — i.e. strictly
+    after the consumer finished (and committed write-backs for) the
+    previous item.  That split is what makes prefetching safe in a model
+    whose memory mutates every batch: topology is fetched early, state is
+    fetched late, and growing the pool never changes that contract —
+    workers may *sample* out of order, but batches are re-sequenced and
+    yielded (and therefore assembled) strictly in input order.
 
     Parameters
     ----------
@@ -273,6 +276,12 @@ class PrefetchingLoader:
         ``(src ++ dst, times ++ times)``.
     depth:
         Prefetch queue depth (batches prepared ahead of the consumer).
+    workers:
+        Sampling threads.  One thread already hides most of the sampling
+        latency behind compute (§3.3); more help when a single
+        neighborhood preparation is slower than a training step — wide
+        evaluation batches with hundreds of negative candidates per event,
+        or samplers over very large graphs.
     """
 
     def __init__(
@@ -282,9 +291,12 @@ class PrefetchingLoader:
         view,
         queries: Optional[Callable[[object], Tuple[np.ndarray, np.ndarray]]] = None,
         depth: int = 2,
+        workers: int = 1,
     ) -> None:
         if depth < 1:
             raise ValueError("depth must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.items = items
         self.prep = prep
         self.view = view
@@ -295,11 +307,26 @@ class PrefetchingLoader:
             )
         )
         self.depth = depth
+        self.workers = workers
 
     def __iter__(self) -> Iterator[Tuple[object, PreparedBatch]]:
         queue: Queue = Queue(maxsize=self.depth)
         stop = threading.Event()
-        _END = object()
+        source_lock = threading.Lock()
+        source = iter(self.items)
+        next_seq = [0]
+        # bounds total in-flight batches (queue + consumer's reorder buffer):
+        # out-of-order completions park in the reorder buffer, so the queue
+        # bound alone would let fast workers race arbitrarily far ahead of
+        # one slow neighborhood and buffer the whole epoch in memory
+        budget = threading.Semaphore(self.depth + self.workers)
+        _DONE = object()
+
+        def _acquire_budget() -> bool:
+            while not stop.is_set():
+                if budget.acquire(timeout=0.05):
+                    return True
+            return False
 
         def _put(payload) -> bool:
             # bounded put that aborts when the consumer went away
@@ -312,35 +339,65 @@ class PrefetchingLoader:
             return False
 
         def _worker() -> None:
-            try:
-                for item in self.items:
-                    if stop.is_set():
+            while not stop.is_set():
+                if not _acquire_budget():
+                    return
+                with source_lock:
+                    seq = next_seq[0]
+                    try:
+                        item = next(source)
+                    except StopIteration:
+                        break
+                    except BaseException as exc:  # the source itself failed
+                        next_seq[0] += 1
+                        _put((seq, None, None, exc))
                         return
+                    next_seq[0] += 1
+                try:
                     neigh = self.prep.neighborhood(*self.queries(item))
-                    if not _put((item, neigh, None)):
-                        return
-            except BaseException as exc:  # propagate to the consumer
-                _put((None, None, exc))
-                return
-            _put(_END)
+                except BaseException as exc:  # propagate at this position
+                    _put((seq, item, None, exc))
+                    return
+                if not _put((seq, item, neigh, None)):
+                    return
+            _put(_DONE)
 
-        worker = threading.Thread(target=_worker, name="batchprep-prefetch", daemon=True)
-        worker.start()
+        pool = [
+            threading.Thread(
+                target=_worker, name=f"batchprep-prefetch-{w}", daemon=True
+            )
+            for w in range(self.workers)
+        ]
+        for thread in pool:
+            thread.start()
         try:
-            while True:
-                payload = queue.get()
-                if payload is _END:
-                    break
-                item, neigh, exc = payload
+            reorder: dict = {}
+            expected = 0
+            live = len(pool)
+            while live or reorder:
+                if expected not in reorder:
+                    payload = queue.get()
+                    if payload is _DONE:
+                        live -= 1
+                        continue
+                    seq, item, neigh, exc = payload
+                    reorder[seq] = (item, neigh, exc)
+                    continue
+                item, neigh, exc = reorder.pop(expected)
+                expected += 1
+                budget.release()
                 if exc is not None:
                     raise exc
+                # assemble at yield time, after the consumer committed the
+                # previous batch's write-back — never earlier
                 yield item, self.prep.assemble(neigh, self.view)
         finally:
             stop.set()
-            # drain so a blocked worker can observe the stop flag promptly
+            # drain so blocked workers can observe the stop flag promptly
             try:
                 while True:
                     queue.get_nowait()
             except Empty:
                 pass
-            worker.join(timeout=5.0)
+            for thread in pool:
+                thread.join(timeout=5.0)

@@ -4,17 +4,25 @@ Modules register parameters and sub-modules automatically via
 ``__setattr__`` so that ``parameters()``, ``state_dict()`` and gradient
 utilities see everything.  Weight synchronisation across logical trainers
 (the paper's NCCL model-weight allreduce) is implemented in
-``repro.parallel.allreduce`` on top of the flat parameter views exposed here.
+``repro.parallel.allreduce`` on top of the flat parameter views exposed
+here; cross-*process* weight broadcast and checkpoint persistence use the
+flat-numpy :meth:`Module.to_bytes` / :meth:`Module.from_bytes` wire format
+(a JSON manifest plus raw array payload — no pickling of Tensor graphs).
 """
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from ..utils.misc import pack_arrays, unpack_arrays
 from .tensor import Tensor
+
+_STATE_MAGIC = b"RPST"  # repro state blob, version byte follows
+_STATE_VERSION = 1
 
 
 class Parameter(Tensor):
@@ -89,6 +97,58 @@ class Module:
                     f"shape mismatch for {name}: {param.data.shape} vs {state[name].shape}"
                 )
             param.data[...] = state[name]
+
+    # -------------------------------------------------------- wire format
+    def to_bytes(self) -> bytes:
+        """Serialize the parameter state as one flat binary blob.
+
+        Layout: magic + version, a length-prefixed JSON manifest
+        (``[[name, dtype, shape], …]`` in ``named_parameters`` order), then
+        the raw array bytes concatenated in the same order (the package's
+        shared :func:`repro.utils.pack_arrays` wire format).  The blob
+        carries only numpy buffers — no pickle, so it is safe to ship
+        across processes or hosts and to load from untrusted checkpoints.
+        """
+        manifest, payload = pack_arrays(
+            (name, p.data) for name, p in self.named_parameters()
+        )
+        head = json.dumps(manifest).encode("utf-8")
+        return b"".join(
+            [
+                _STATE_MAGIC,
+                bytes([_STATE_VERSION]),
+                len(head).to_bytes(4, "big"),
+                head,
+                *payload,
+            ]
+        )
+
+    def from_bytes(self, blob: bytes) -> "Module":
+        """Load parameter state serialized by :meth:`to_bytes`, in place.
+
+        Validates the same way :meth:`load_state_dict` does: missing,
+        unexpected or re-shaped parameters raise instead of silently
+        corrupting the model.
+        """
+        if len(blob) < 9:
+            raise ValueError(f"state blob too short ({len(blob)} bytes)")
+        if blob[:4] != _STATE_MAGIC:
+            raise ValueError("not a repro module state blob (bad magic)")
+        if blob[4] != _STATE_VERSION:
+            raise ValueError(f"unsupported state blob version {blob[4]}")
+        head_len = int.from_bytes(blob[5:9], "big")
+        if 9 + head_len > len(blob):
+            raise ValueError("state blob truncated inside the manifest")
+        manifest = json.loads(blob[9 : 9 + head_len].decode("utf-8"))
+        state, offset = unpack_arrays(
+            manifest, blob, offset=9 + head_len, context="state blob"
+        )
+        if offset != len(blob):
+            raise ValueError(
+                f"state blob has {len(blob) - offset} trailing bytes"
+            )
+        self.load_state_dict(state)
+        return self
 
     # -------------------------------------------------------------- call
     def __call__(self, *args, **kwargs):

@@ -1,8 +1,11 @@
 """repro.parallel — (i, j, k) configurations, planner, gradient sync."""
 
 from .allreduce import (
+    TermGradAccumulator,
     allreduce_gradients,
     broadcast_weights,
+    load_reduced,
+    reduce_partials,
     ring_allreduce_time,
     weights_synchronized,
 )
@@ -21,4 +24,7 @@ __all__ = [
     "broadcast_weights",
     "weights_synchronized",
     "ring_allreduce_time",
+    "TermGradAccumulator",
+    "reduce_partials",
+    "load_reduced",
 ]

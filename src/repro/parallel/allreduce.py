@@ -2,20 +2,118 @@
 
 In the real system this is an NCCL all-reduce of model gradients (a few MB —
 the paper notes TGNN models are tiny, which is why weight sync scales while
-node-memory sync does not).  The logical-trainer simulator usually avoids
-explicit all-reduce by summing losses before one backward pass (bitwise
-equivalent for gradient *averaging*); these helpers exist for the cases
-where separate model replicas are stepped independently (tests, ablations)
-and for modelling the collective's cost.
+node-memory sync does not).  These helpers serve the cases where separate
+model replicas are stepped independently (tests, ablations) and model the
+collective's cost.
+
+:class:`TermGradAccumulator` is the **shared reduction contract** between
+the logical trainer and the ``repro.runtime`` process backend.  Both
+execute the global step as a sum of per-term gradients — one term per
+(memory group, sub-step, mini-batch shard) — flattened to float64 and
+accumulated *term-major inside a rank's block, block-major across blocks in
+rank order*, with a single cast back to float32 at the end.  Because both
+backends perform the identical float operations in the identical order,
+``Session.fit(backend="process")`` reproduces the logical trainer's loss
+trajectory **bitwise**, not just approximately: a guarantee a joint
+"sum losses, backward once" graph could never give across processes, since
+float32 accumulation order inside a shared autograd graph cannot be
+replicated by a wire reduction.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
-from ..nn import Module, flatten_grads, load_flat_grads
+from ..nn import Module, Parameter, flatten_grads, load_flat_grads
+
+
+class TermGradAccumulator:
+    """Float64 accumulator for per-term gradients over a fixed param list.
+
+    One accumulator represents one *block* — everything a single process
+    rank would compute: the block's loss terms are backpropagated one at a
+    time, and after each backward :meth:`add_term` folds the parameters'
+    float32 gradients (and the term's loss value) into the running float64
+    partial, then clears them.  :meth:`to_vector` freezes the partial as
+    ``[flat grads | per-param presence mask | loss]`` — exactly the payload
+    the process backend all-reduces — and :func:`reduce_partials` /
+    :func:`load_reduced` finish the reduction identically for both
+    backends.
+    """
+
+    def __init__(self, params: Sequence[Parameter]) -> None:
+        self.params = list(params)
+        self.total_size = sum(p.size for p in self.params)
+        self.flat = np.zeros(self.total_size, dtype=np.float64)
+        self.mask = np.zeros(len(self.params), dtype=np.float64)
+        self.loss = 0.0
+
+    def add_term(self, loss_value: float) -> None:
+        """Fold the current ``.grad`` state in as one term.
+
+        Grads are read, never cleared — term isolation is the caller's
+        ``zero_grad()`` before each backward.  Reading leaves *shared*
+        parameters (one object listed under several owners, e.g. the TGN's
+        time encoder) intact at every occurrence, so the reduced vector
+        reloads the identical gradient into each slot and downstream
+        consumers that walk the parameter list (gradient clipping, the
+        optimizer's per-slot moments) behave exactly as in a local step.
+        """
+        offset = 0
+        for idx, p in enumerate(self.params):
+            if p.grad is not None:
+                self.flat[offset : offset + p.size] += p.grad.reshape(-1)
+                self.mask[idx] = 1.0
+            offset += p.size
+        self.loss += float(loss_value)
+
+    def to_vector(self) -> np.ndarray:
+        """The block's reduction payload: ``[grads | mask | loss]``."""
+        return np.concatenate([self.flat, self.mask, [self.loss]])
+
+
+def reduce_partials(partials: List[np.ndarray]) -> np.ndarray:
+    """Sum block payloads in block order (the wire collective's exact math).
+
+    The process backend's root rank performs this same loop over the rank
+    payloads it gathered; the logical trainer calls it over its
+    sequentially-built blocks.  Identical nesting ⇒ identical floats.
+    """
+    if not partials:
+        raise ValueError("no partials to reduce")
+    total = partials[0].copy()
+    for part in partials[1:]:
+        total += part
+    return total
+
+
+def load_reduced(params: Sequence[Parameter], vector: np.ndarray) -> float:
+    """Scatter a reduced payload into ``.grad`` slots; returns the loss.
+
+    Parameters whose presence mask stayed zero on every block keep
+    ``grad=None`` — the optimizer must skip them exactly as it does in a
+    purely local step (loading zeros instead would decay Adam's moments).
+    """
+    params = list(params)
+    total_size = sum(p.size for p in params)
+    if vector.size != total_size + len(params) + 1:
+        raise ValueError(
+            f"reduced vector has {vector.size} entries, expected "
+            f"{total_size + len(params) + 1}"
+        )
+    mask = vector[total_size : total_size + len(params)]
+    offset = 0
+    for idx, p in enumerate(params):
+        if mask[idx] > 0:
+            p.grad = (
+                vector[offset : offset + p.size].reshape(p.shape).astype(p.dtype)
+            )
+        else:
+            p.grad = None
+        offset += p.size
+    return float(vector[-1])
 
 
 def allreduce_gradients(models: Sequence[Module]) -> np.ndarray:

@@ -1,0 +1,76 @@
+"""repro.runtime — real multi-process execution backend for i×j×k plans.
+
+Where ``repro.train`` *simulates* a DistTGL fleet with logical trainers in
+one process, this package *is* the fleet: real OS processes, shared-memory
+node state, wire collectives.  The two backends implement one
+gradient-reduction contract
+(:class:`repro.parallel.allreduce.TermGradAccumulator`), so
+``Session.fit(backend="process")`` reproduces the logical trainer's result
+— losses, metrics, final state — **bitwise at every world size**; every
+experiment keeps one declarative description and gains measured
+parallelism.
+
+Layers, bottom up:
+
+* :mod:`~repro.runtime.transport` — length-prefixed numpy frames over
+  pipes/sockets (pickle-free array payloads);
+* :mod:`~repro.runtime.collectives` — allreduce / broadcast / barrier /
+  rank-ordered serial sections over the transport, semantics matching
+  ``repro.parallel.allreduce``;
+* :mod:`~repro.runtime.sharedmem` — node memory + mailbox segments in
+  ``multiprocessing.shared_memory`` (§3.2.3's k-reader state, for real);
+* :mod:`~repro.runtime.worker` — the rank entrypoint: rebuild the shard
+  from the config via the ``repro.api`` registries, run the fused
+  BatchPrep training loop, sync gradients every step;
+* :mod:`~repro.runtime.launcher` — :class:`ProcessGroup` spawn / join /
+  failure propagation and the ``fit`` orchestration;
+* :mod:`~repro.runtime.serving` — :class:`ProcessServingCluster`,
+  process replicas with their own model copies over one shared serving
+  state (bit-identical to the threaded cluster);
+* :mod:`~repro.runtime.bench` — the 1→2→4 worker scaling benchmark behind
+  ``python -m repro.cli runtime-bench`` (``BENCH_runtime.json``).
+"""
+
+from .collectives import Communicator, make_local_communicators
+from .launcher import (
+    ProcessGroup,
+    WorkerFailure,
+    apply_process_result,
+    run_process_fit,
+)
+from .serving import ProcessPendingResult, ProcessServingCluster
+from .sharedmem import SharedGroupState, SharedStateSpec, create_group_states
+from .transport import (
+    Channel,
+    Frame,
+    PipeEndpoint,
+    SocketEndpoint,
+    TransportError,
+    TransportTimeout,
+    decode_frame,
+    encode_frame,
+    pipe_channel_pair,
+)
+
+__all__ = [
+    "Channel",
+    "Communicator",
+    "Frame",
+    "PipeEndpoint",
+    "ProcessGroup",
+    "ProcessPendingResult",
+    "ProcessServingCluster",
+    "SharedGroupState",
+    "SharedStateSpec",
+    "SocketEndpoint",
+    "TransportError",
+    "TransportTimeout",
+    "WorkerFailure",
+    "apply_process_result",
+    "create_group_states",
+    "decode_frame",
+    "encode_frame",
+    "make_local_communicators",
+    "pipe_channel_pair",
+    "run_process_fit",
+]

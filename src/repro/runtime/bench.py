@@ -1,0 +1,186 @@
+"""Runtime scaling benchmark: step throughput at 1 → 2 → 4 workers.
+
+Measures the process backend on the hot-path bench workload (the same
+synthetic graph and trainer shape as ``BENCH_hotpath.json``) under weak
+scaling — the paper's §4 protocol: the *local* batch stays fixed, so the
+global batch (and events per optimizer step) grows with the worker count.
+Each ``w`` runs an ``w×1×1`` plan, i.e. ``w`` mini-batch-parallel worker
+processes sharing one node memory.
+
+Two throughputs are reported per worker count, both measured, neither
+inferred from a model:
+
+* ``events_per_sec`` — wall-clock training-loop throughput (what this host
+  actually delivered).  On a host with at least ``w`` cores this is the
+  number that shows the parallel speedup; on a core-starved host (CI
+  sandboxes, ``host_cpus`` in the report) the workers time-share and it
+  stays near the 1-worker line.
+* ``cpu_events_per_sec`` — events divided by the *maximum per-rank CPU
+  time* (``time.process_time`` inside the worker loop).  Ranks burn CPU
+  only while computing (collective waits sleep), so this measures how well
+  per-rank step cost holds up under weak scaling.  It is an **upper
+  bound** on multi-core wall throughput, not a forecast: waits that stay
+  serialized on any core count (the rank-ordered write-back commits) do
+  not burn CPU either — ``sync_frac`` records that share.  Reported
+  separately and labeled as such, never blended into the wall number.
+
+``write_report`` emits ``BENCH_runtime.json`` next to ``BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from ..api.config import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    TrainConfig,
+)
+from ..parallel.config import ParallelConfig
+
+_NO_EVAL = 10**9  # eval cadence that never fires inside a bench window
+
+
+def bench_config(workers: int = 1, batch_size: int = 100, seed: int = 0) -> ExperimentConfig:
+    """The hot-path trainer shape as a declarative ``w×1×1`` experiment."""
+    return ExperimentConfig(
+        data=DataConfig(dataset="hotpath", scale=0.01, seed=seed),
+        model=ModelConfig(
+            memory_dim=24, time_dim=12, embed_dim=24, num_neighbors=10
+        ),
+        parallel=ParallelConfig(i=workers, j=1, k=1),
+        train=TrainConfig(
+            batch_size=batch_size,
+            num_negative_groups=4,
+            eval_candidates=10,
+            seed=seed,
+            prep_cache_batches=512,
+        ),
+    )
+
+
+def _with_workers(base: ExperimentConfig, workers: int) -> ExperimentConfig:
+    """``base`` with its parallel section replaced by ``workers×1×1``."""
+    return ExperimentConfig(
+        data=base.data,
+        model=base.model,
+        parallel=ParallelConfig(i=workers, j=1, k=1),
+        train=base.train,
+        serve=base.serve,
+    )
+
+
+def bench_worker_count(
+    workers: int,
+    steps: int = 30,
+    base: Optional[ExperimentConfig] = None,
+    timeout: float = 600.0,
+) -> Dict[str, float]:
+    """One measured point: a ``workers×1×1`` process fit of ``steps`` steps."""
+    from ..train.distributed import DistTGLTrainer
+    from .launcher import run_process_fit
+
+    cfg = _with_workers(base if base is not None else bench_config(), workers)
+    trainer = DistTGLTrainer(cfg.build_dataset(), cfg.parallel, cfg.trainer_spec())
+    meta, _, states = run_process_fit(
+        cfg,
+        trainer,
+        max_iterations=steps,
+        eval_every_sweeps=_NO_EVAL,
+        timeout=timeout,
+    )
+    for st in states:
+        st.close()
+        st.unlink()
+
+    ranks = meta["bench"]
+    events = steps * workers * cfg.train.batch_size    # j = k = 1
+    wall = max(r["loop_s"] for r in ranks)
+    cpu = max(r["cpu_s"] for r in ranks)
+    sync = max(r["sync_s"] for r in ranks)
+    return {
+        "workers": workers,
+        "steps": steps,
+        "events": events,
+        "wall_s": round(wall, 4),
+        "max_rank_cpu_s": round(cpu, 4),
+        "sync_frac": round(sync / wall, 4) if wall else 0.0,
+        "step_ms": round(1e3 * wall / steps, 3),
+        "events_per_sec": round(events / wall, 2) if wall else 0.0,
+        "cpu_events_per_sec": round(events / cpu, 2) if cpu else 0.0,
+    }
+
+
+def run_runtime_bench(
+    worker_counts: Iterable[int] = (1, 2, 4),
+    steps: int = 30,
+    batch_size: int = 100,
+    seed: int = 0,
+    timeout: float = 600.0,
+    base: Optional[ExperimentConfig] = None,
+) -> Dict:
+    """Measure every worker count; return the report dict.
+
+    ``base`` supplies the data/model/train sections of the measured
+    workload (the CLI's ``--config``); by default it is the hot-path shape
+    from :func:`bench_config` with ``batch_size``/``seed`` applied.
+
+    Interpretation note: ``cpu_events_per_sec`` divides by per-rank *CPU*
+    time, so collective waits — including waits caused by the rank-ordered
+    serial write-back commits, which stay serialized no matter how many
+    cores exist — do not count against it.  It is therefore an *upper
+    bound* on multi-core wall throughput; ``sync_frac`` shows how much of
+    the step the serialized/synchronized share occupied on this host.
+    """
+    worker_counts = sorted(set(int(w) for w in worker_counts))
+    if any(w < 1 for w in worker_counts):
+        raise ValueError("worker counts must be positive")
+    if base is None:
+        base = bench_config(batch_size=batch_size, seed=seed)
+    points = {
+        str(w): bench_worker_count(w, steps=steps, base=base, timeout=timeout)
+        for w in worker_counts
+    }
+    report = {
+        "benchmark": "runtime_scaling",
+        "config": {
+            "dataset": base.data.dataset,
+            "plan": "w x 1 x 1 (weak scaling, fixed local batch)",
+            "steps": steps,
+            "local_batch": base.train.batch_size,
+            "seed": base.train.seed,
+            "host_cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else (os.cpu_count() or 1),
+            "platform": platform.platform(),
+        },
+        "workers": points,
+    }
+    base_point = points.get("1")
+    if base_point is not None:
+        report["speedup_vs_1"] = {
+            w: round(p["events_per_sec"] / base_point["events_per_sec"], 3)
+            for w, p in points.items()
+            if w != "1" and base_point["events_per_sec"]
+        }
+        report["cpu_speedup_vs_1"] = {
+            w: round(p["cpu_events_per_sec"] / base_point["cpu_events_per_sec"], 3)
+            for w, p in points.items()
+            if w != "1" and base_point["cpu_events_per_sec"]
+        }
+    return report
+
+
+def write_report(report: Dict, path: Optional[str] = None) -> Path:
+    """Write the report to ``BENCH_runtime.json`` (repo root by default)."""
+    if path is None:
+        out = Path(__file__).resolve().parents[3] / "BENCH_runtime.json"
+    else:
+        out = Path(path)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return out

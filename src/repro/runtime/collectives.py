@@ -1,0 +1,209 @@
+"""Collective operations over the frame transport (star topology).
+
+The runtime's collectives mirror the contract of
+:mod:`repro.parallel.allreduce` — gradient *averaging* across replicas and
+root-to-all weight broadcast — but move real bytes between OS processes
+instead of sharing one weight copy.  The logical and process execution
+paths therefore agree on semantics: ``allreduce(vec)`` returns the same
+deterministic rank-ordered reduction on every rank, accumulated in float64
+exactly like :func:`repro.parallel.allreduce.allreduce_gradients`.
+
+Topology is a star: the root rank owns one channel per peer, gathers
+contributions in rank order, reduces, and fans the result back out.  For
+the model sizes this paper cares about (the whole point of §3.2 is that
+TGNN weights are *tiny* relative to node memory) a star over local pipes is
+bandwidth-trivial; the interface — not the topology — is the contract, and
+a ring could be swapped in behind it without touching callers.
+
+Every blocking wait uses the channel timeout, so a dead peer breaks the
+collective with :class:`~repro.runtime.transport.TransportTimeout` rather
+than hanging the fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .transport import Channel, Frame, TransportError
+
+
+class Communicator:
+    """Rank-aware collective endpoint for one process group.
+
+    The root holds ``peers`` (channel per non-root rank, index ``r - 1``);
+    non-roots hold a single ``root`` channel.  Ranks are dense ``0..world``
+    within this communicator — a sub-communicator (say, the ``i`` shards of
+    one memory group) renumbers its members.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        world: int,
+        root_channel: Optional[Channel] = None,
+        peer_channels: Optional[Sequence[Channel]] = None,
+    ) -> None:
+        if world <= 0:
+            raise ValueError("world must be positive")
+        if not 0 <= rank < world:
+            raise ValueError(f"rank {rank} outside world of {world}")
+        self.rank = rank
+        self.world = world
+        if world == 1:
+            self.peers: List[Channel] = []
+            self.root: Optional[Channel] = None
+        elif rank == 0:
+            if peer_channels is None or len(peer_channels) != world - 1:
+                raise ValueError(f"root needs {world - 1} peer channels")
+            self.peers = list(peer_channels)
+            self.root = None
+        else:
+            if root_channel is None:
+                raise ValueError("non-root ranks need a root channel")
+            self.peers = []
+            self.root = root_channel
+        self._seq = 0  # collective sequence number (protocol debugging)
+
+    # ------------------------------------------------------------- barrier
+    def barrier(self, tag: str = "barrier", root_section=None) -> None:
+        """Block until every rank has arrived.
+
+        ``root_section`` runs on the root between collecting the arrivals
+        and releasing the fleet — i.e. while every rank is provably idle.
+        The runtime uses it for group-exclusive state transitions (the
+        wrap-around memory reset) without a second round trip.
+        """
+        if self.world == 1:
+            if root_section is not None:
+                root_section()
+            return
+        self._seq += 1
+        meta = {"seq": self._seq}
+        if self.rank == 0:
+            for ch in self.peers:
+                ch.expect(f"{tag}/arrive")
+            if root_section is not None:
+                root_section()
+            for ch in self.peers:
+                ch.send(f"{tag}/go", meta)
+        else:
+            self.root.send(f"{tag}/arrive", meta)
+            self.root.expect(f"{tag}/go")
+
+    # ----------------------------------------------------------- allreduce
+    def allreduce_sum(self, vec: np.ndarray) -> np.ndarray:
+        """Element-wise sum of ``vec`` across ranks; same result everywhere.
+
+        Accumulation is float64 in rank order (0, 1, …) regardless of
+        message arrival order, so the reduction is deterministic — a
+        prerequisite for keeping per-rank optimizer replicas bitwise in
+        sync without re-broadcasting weights every step.
+        """
+        vec = np.ascontiguousarray(vec, dtype=np.float64)
+        if self.world == 1:
+            return vec.copy()
+        self._seq += 1
+        if self.rank == 0:
+            parts: Dict[int, np.ndarray] = {0: vec}
+            for idx, ch in enumerate(self.peers):
+                frame = ch.expect("allreduce/part")
+                part = frame.array("vec")
+                if part.shape != vec.shape:
+                    raise TransportError(
+                        f"allreduce shape mismatch: rank {idx + 1} sent "
+                        f"{part.shape}, root has {vec.shape}"
+                    )
+                parts[idx + 1] = part
+            total = parts[0].copy()
+            for r in range(1, self.world):
+                total += parts[r]
+            for ch in self.peers:
+                ch.send("allreduce/total", arrays={"vec": total})
+            return total
+        self.root.send("allreduce/part", arrays={"vec": vec})
+        return self.root.expect("allreduce/total").array("vec")
+
+    def allreduce_mean(self, vec: np.ndarray) -> np.ndarray:
+        return self.allreduce_sum(vec) / self.world
+
+    # ----------------------------------------------------------- broadcast
+    def broadcast(
+        self,
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+        meta: Optional[dict] = None,
+    ) -> Frame:
+        """Root's (arrays, meta) delivered to every rank (root included)."""
+        self._seq += 1
+        if self.rank == 0:
+            frame = Frame("broadcast", meta=meta or {}, arrays=arrays or {})
+            for ch in self.peers:
+                ch.send(frame.tag, frame.meta, frame.arrays)
+            return frame
+        return self.root.expect("broadcast")
+
+    def gather_meta(self, meta: dict) -> Optional[List[dict]]:
+        """Root receives every rank's metadata dict (rank order); peers None."""
+        self._seq += 1
+        if self.world == 1:
+            return [meta]
+        if self.rank == 0:
+            out = [meta]
+            for ch in self.peers:
+                out.append(dict(ch.expect("gather/meta").meta))
+            return out
+        self.root.send("gather/meta", meta)
+        return None
+
+    # ------------------------------------------------ ordered token chain
+    def serial_section(self, fn, tag: str = "chain") -> None:
+        """Run ``fn()`` on every rank, strictly in rank order.
+
+        The write-ordering primitive behind shared-memory commits: rank 0
+        runs first, then hands the token to rank 1, and so on.  Implemented
+        through the star (the root relays the token), so it needs no extra
+        channels beyond the ones the communicator already holds.
+        """
+        self._seq += 1
+        if self.rank == 0:
+            fn()
+            for ch in self.peers:        # release ranks 1..n in order
+                ch.send(f"{tag}/token")
+                ch.expect(f"{tag}/done")
+        else:
+            self.root.expect(f"{tag}/token")
+            fn()
+            self.root.send(f"{tag}/done")
+
+    def close(self) -> None:
+        for ch in self.peers:
+            ch.close()
+        if self.root is not None:
+            self.root.close()
+
+
+def make_local_communicators(
+    world: int, default_timeout: float = 120.0
+) -> List[Communicator]:
+    """Build a fully-wired communicator per rank over local pipes.
+
+    Used by tests and by the launcher, which passes each communicator to
+    its rank's process (the pipe ends migrate with the spawn arguments).
+    """
+    from .transport import pipe_channel_pair
+
+    if world <= 0:
+        raise ValueError("world must be positive")
+    if world == 1:
+        return [Communicator(0, 1)]
+    root_sides: List[Channel] = []
+    peer_sides: List[Channel] = []
+    for _ in range(world - 1):
+        a, b = pipe_channel_pair(default_timeout)
+        root_sides.append(a)
+        peer_sides.append(b)
+    comms = [Communicator(0, world, peer_channels=root_sides)]
+    for r in range(1, world):
+        comms.append(Communicator(r, world, root_channel=peer_sides[r - 1]))
+    return comms

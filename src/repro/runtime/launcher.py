@@ -1,0 +1,410 @@
+"""Process-group lifecycle: spawn, monitor, join, propagate failures.
+
+:class:`ProcessGroup` runs one module-level ``target`` per rank in real OS
+processes (``spawn`` start method — children rebuild state from their
+arguments rather than inheriting an address space, matching the runtime's
+"reconstruct from config" contract).  Every rank gets a control
+:class:`~repro.runtime.transport.Channel` to the parent; the worker shell
+reports a ``result`` frame on success and an ``error`` frame (with the
+remote traceback) on any exception.
+
+The parent's :meth:`join` multiplexes over control channels *and* process
+sentinels, so every failure mode becomes one raised
+:class:`WorkerFailure` instead of a hang:
+
+* a worker raises → its traceback travels back in the error frame;
+* a worker dies without a frame (segfault, ``kill -9``) → the exit code is
+  reported;
+* a worker wedges → the deadline expires, the fleet is terminated, and the
+  timeout is reported.
+
+:func:`run_process_fit` is the training orchestration on top: allocate one
+shared-memory segment per memory group, wire the collective communicators,
+spawn ``i×k`` :func:`~repro.runtime.worker.train_worker` ranks, and fold
+rank 0's result plus the final shared state back into a
+:class:`~repro.train.distributed.TrainResult` + state dict the Session
+applies to its local trainer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .collectives import Communicator, make_local_communicators
+from .sharedmem import SharedGroupState, create_group_states
+from .transport import Channel, Frame, TransportError, pipe_channel_pair
+
+DEFAULT_TIMEOUT = 600.0
+
+
+class WorkerFailure(RuntimeError):
+    """One or more ranks failed; carries per-rank diagnostics."""
+
+    def __init__(self, failures: Dict[int, str]) -> None:
+        self.failures = dict(failures)
+        detail = "\n".join(
+            f"--- rank {rank} ---\n{msg}" for rank, msg in sorted(failures.items())
+        )
+        super().__init__(f"{len(failures)} worker(s) failed:\n{detail}")
+
+
+def _worker_shell(target: Callable, rank: int, channel: Channel, kwargs: dict) -> None:
+    """Child-side wrapper: run the target, report result or failure."""
+    try:
+        meta, arrays = target(rank, channel, **kwargs)
+        channel.send("result", meta=meta or {}, arrays=arrays or {})
+    except BaseException:  # noqa: BLE001 - every failure must reach the parent
+        try:
+            channel.send("error", meta={"error": traceback.format_exc()})
+        except Exception:
+            pass  # parent still sees the nonzero exit code
+        raise SystemExit(1)
+
+
+class ProcessGroup:
+    """A fleet of worker processes with failure propagation.
+
+    Parameters
+    ----------
+    target:
+        Module-level callable ``target(rank, channel, **kwargs) ->
+        (meta, arrays)``; must be importable from the child (spawn).
+    rank_kwargs:
+        One kwargs dict per rank; its length defines the world size.
+    timeout:
+        Join deadline in seconds (also the default control-channel receive
+        timeout).  Expiry terminates the fleet and raises.
+    """
+
+    def __init__(
+        self,
+        target: Callable,
+        rank_kwargs: List[dict],
+        *,
+        name: str = "repro-rt",
+        timeout: float = DEFAULT_TIMEOUT,
+        start_method: str = "spawn",
+    ) -> None:
+        if not rank_kwargs:
+            raise ValueError("need at least one rank")
+        self.world = len(rank_kwargs)
+        self.timeout = timeout
+        ctx = mp.get_context(start_method)
+        self.channels: List[Channel] = []
+        self._child_channels: List[Channel] = []
+        self.processes: List[mp.Process] = []
+        for rank, kwargs in enumerate(rank_kwargs):
+            parent_ch, child_ch = pipe_channel_pair(timeout)
+            self.channels.append(parent_ch)
+            self._child_channels.append(child_ch)
+            self.processes.append(
+                ctx.Process(
+                    target=_worker_shell,
+                    args=(target, rank, child_ch, kwargs),
+                    name=f"{name}-{rank}",
+                    daemon=True,
+                )
+            )
+        self._started = False
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "ProcessGroup":
+        for p in self.processes:
+            p.start()
+        # start() pickled the child ends across (the resource sharer holds
+        # its own dups until each child collects them), so the parent's
+        # copies only waste fds and mask EOF on a dead worker's pipe
+        for ch in self._child_channels:
+            ch.close()
+        self._child_channels.clear()
+        self._started = True
+        return self
+
+    def terminate(self) -> None:
+        for p in self.processes:
+            if p.is_alive():
+                p.terminate()
+        for p in self.processes:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover - last resort
+                p.kill()
+                p.join(timeout=5.0)
+        for ch in self.channels:
+            ch.close()
+
+    def poll_failures(self) -> None:
+        """Raise if any rank already died badly (non-blocking health check)."""
+        failures: Dict[int, str] = {}
+        for rank, p in enumerate(self.processes):
+            if self._started and not p.is_alive() and (p.exitcode or 0) != 0:
+                msg = f"exited with code {p.exitcode}"
+                ch = self.channels[rank]
+                try:
+                    # a dead worker's pipe stays poll()-readable at EOF, so
+                    # the drain must both stop on the error frame and treat
+                    # the eventual EOF as end-of-diagnostics, not an error
+                    while ch.poll(0.0):
+                        frame = ch.recv(timeout=1.0)
+                        if frame.tag == "error":
+                            msg = frame.meta.get("error", msg)
+                            break
+                except TransportError:
+                    pass
+                failures[rank] = msg
+        if failures:
+            self.terminate()
+            raise WorkerFailure(failures)
+
+    # ----------------------------------------------------------------- join
+    def join(self, timeout: Optional[float] = None) -> List[Frame]:
+        """Wait for every rank's ``result`` frame; raise on any failure.
+
+        Returns the result frames in rank order.  On the first error frame
+        or abnormal exit the remaining ranks are terminated — a crash
+        surfaces as one raised :class:`WorkerFailure`, never a hang.
+        """
+        deadline = time.monotonic() + (timeout if timeout is not None else self.timeout)
+        results: Dict[int, Frame] = {}
+        failures: Dict[int, str] = {}
+        pending = set(range(self.world))
+        try:
+            while pending and not failures:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    for rank in sorted(pending):
+                        failures[rank] = f"no result within {self.timeout:.0f}s"
+                    break
+                conn_map = {
+                    self.channels[r].endpoint.conn: r for r in pending
+                }
+                sentinel_map = {self.processes[r].sentinel: r for r in pending}
+                ready = mp.connection.wait(
+                    list(conn_map) + list(sentinel_map), timeout=min(budget, 1.0)
+                )
+                for obj in ready:
+                    if obj in conn_map:
+                        rank = conn_map[obj]
+                        try:
+                            frame = self.channels[rank].recv(timeout=1.0)
+                        except TransportError as exc:
+                            failures.setdefault(rank, f"control channel died: {exc}")
+                            continue
+                        if frame.tag == "result":
+                            results[rank] = frame
+                            pending.discard(rank)
+                        elif frame.tag == "error":
+                            failures[rank] = frame.meta.get("error", "unknown error")
+                        # other tags (logs/progress) are ignored here
+                    else:
+                        rank = sentinel_map[obj]
+                        p = self.processes[rank]
+                        p.join(timeout=0.1)
+                        # drain any frame that raced the exit
+                        ch = self.channels[rank]
+                        while ch.poll(0.0) and rank in pending:
+                            try:
+                                frame = ch.recv(timeout=1.0)
+                            except TransportError:
+                                break
+                            if frame.tag == "result":
+                                results[rank] = frame
+                                pending.discard(rank)
+                            elif frame.tag == "error":
+                                failures[rank] = frame.meta.get(
+                                    "error", "unknown error"
+                                )
+                        if rank in pending and rank not in failures:
+                            failures[rank] = (
+                                f"exited with code {p.exitcode} before reporting"
+                            )
+        finally:
+            if failures or pending:
+                self.terminate()
+        if failures:
+            raise WorkerFailure(failures)
+        for p in self.processes:
+            p.join(timeout=5.0)
+        for ch in self.channels:
+            ch.close()
+        return [results[r] for r in range(self.world)]
+
+
+# -------------------------------------------------------------- train fit
+def snapshot_trainer_state(trainer) -> dict:
+    """The resumable half of a trainer: weights, optimizer, cursors.
+
+    This is what makes a process fit *continue* the session exactly like a
+    local fit would — a freshly-built worker loads this plus the shared
+    memory segments and is indistinguishable from the parent's trainer.
+    Node memory/mailbox contents travel separately (they are copied into
+    the shared segments, not serialized twice).
+    """
+    m_arrs, v_arrs, opt_step = trainer.optimizer.state_arrays()
+    arrays = {
+        "model": np.frombuffer(trainer.model.to_bytes(), dtype=np.uint8),
+        "decoder": np.frombuffer(trainer.decoder.to_bytes(), dtype=np.uint8),
+    }
+    for idx, (mi, vi) in enumerate(zip(m_arrs, v_arrs)):
+        arrays[f"opt/m{idx}"] = mi.copy()
+        arrays[f"opt/v{idx}"] = vi.copy()
+    meta = {
+        "opt_step": opt_step,
+        "iteration": trainer._iteration,
+        "sweep_negative_offset": trainer._sweep_negative_offset,
+        "groups": [
+            {
+                "index": g.index,
+                "position": g.position,
+                "prev_batch": g.prev_batch,
+                "sweeps_completed": g.sweeps_completed,
+            }
+            for g in trainer.groups
+        ],
+    }
+    return {"meta": meta, "arrays": arrays}
+
+
+def load_trainer_state(trainer, meta: dict, arrays: Dict[str, np.ndarray]) -> None:
+    """Inverse of :func:`snapshot_trainer_state` (weights/optimizer/cursors)."""
+    trainer.model.from_bytes(arrays["model"].tobytes())
+    trainer.decoder.from_bytes(arrays["decoder"].tobytes())
+    m_arrs, v_arrs, _ = trainer.optimizer.state_arrays()
+    for idx, (mi, vi) in enumerate(zip(m_arrs, v_arrs)):
+        mi[...] = arrays[f"opt/m{idx}"]
+        vi[...] = arrays[f"opt/v{idx}"]
+    trainer.optimizer._step = int(meta["opt_step"])
+    for g, cursor in zip(trainer.groups, meta["groups"]):
+        g.position = int(cursor["position"])
+        g.prev_batch = int(cursor["prev_batch"])
+        g.sweeps_completed = int(cursor["sweeps_completed"])
+    trainer._iteration = int(meta["iteration"])
+    trainer._sweep_negative_offset = int(meta["sweep_negative_offset"])
+
+
+def run_process_fit(
+    config,
+    trainer,
+    *,
+    epochs: Optional[int] = None,
+    max_iterations: Optional[int] = None,
+    eval_every_sweeps: int = 1,
+    verbose: bool = False,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> Tuple[dict, Dict[str, np.ndarray], List[SharedGroupState]]:
+    """Execute ``config`` across ``i×k`` worker processes, **continuing**
+    from ``trainer``'s current state (weights, optimizer moments, node
+    memory, cursors) — the same semantics as calling ``trainer.train``
+    locally.  The shared segments start as copies of the trainer's group
+    states; rank 0 receives the resumable state and broadcasts it to the
+    fleet over the wire.
+
+    Returns ``(meta, arrays, group_states)`` from rank 0: the training
+    result + cursor metadata, the trained weight/optimizer arrays, and the
+    (closed-pending) shared group states still holding the final node
+    memory of every group.  The caller copies what it needs and must call
+    ``close()``/``unlink()`` on each group state (``apply_process_result``
+    does all of this for a Session trainer).
+    """
+    from .worker import train_worker
+
+    plan = config.parallel
+    world = plan.i * plan.k
+    graph = trainer.graph
+    comb = config.train.comb
+
+    group_states = create_group_states(
+        plan.k,
+        num_nodes=graph.num_nodes,
+        memory_dim=config.model.memory_dim,
+        edge_dim=graph.edge_dim,
+        comb=comb,
+    )
+    # continue from the parent's node memory, not from zero state
+    for st, g in zip(group_states, trainer.groups):
+        st.memory.copy_from(g.memory)
+        st.mailbox.copy_from(g.mailbox)
+    shared_specs = [st.spec.to_dict() for st in group_states]
+    init_state = snapshot_trainer_state(trainer)
+
+    world_comms = make_local_communicators(world, default_timeout=timeout)
+    group_comms: List[Communicator] = []
+    for m in range(plan.k):
+        if plan.i == 1:
+            group_comms.append(Communicator(0, 1))
+        else:
+            group_comms.extend(make_local_communicators(plan.i, default_timeout=timeout))
+
+    train_meta = {
+        "epochs": epochs if epochs is not None else config.train.epochs,
+        "max_iterations": max_iterations,
+        "eval_every_sweeps": eval_every_sweeps,
+        "verbose": verbose,
+    }
+    config_dict = config.to_dict()
+    rank_kwargs = [
+        {
+            "config_dict": config_dict,
+            "shared_specs": shared_specs,
+            "world_comm": world_comms[rank],
+            "group_comm": group_comms[rank],
+            "train_meta": train_meta,
+            # only rank 0 carries the resumable state; it reaches the other
+            # ranks through the weight broadcast (Module.to_bytes frames)
+            "init_state": init_state if rank == 0 else None,
+        }
+        for rank in range(world)
+    ]
+
+    group = ProcessGroup(train_worker, rank_kwargs, timeout=timeout)
+    try:
+        results = group.start().join()
+    except BaseException:
+        for st in group_states:
+            st.close()
+            st.unlink()
+        raise
+    finally:
+        # the children own duplicated pipe ends; drop the parent's copies so
+        # repeated fits in one session do not accumulate file descriptors
+        for comm in world_comms + group_comms:
+            comm.close()
+    root = results[0]
+    return root.meta, root.arrays, group_states
+
+
+def apply_process_result(
+    trainer,
+    meta: dict,
+    arrays: Dict[str, np.ndarray],
+    group_states: List[SharedGroupState],
+):
+    """Fold a process fit's final state into a local trainer, so the
+    Session's ``evaluate`` / ``save`` / ``serve`` continue from exactly the
+    state rank 0 finished with.  Consumes (and unlinks) the shared states.
+    Returns the reconstructed :class:`~repro.train.TrainResult`.
+    """
+    from ..train.distributed import HistoryPoint, TrainResult
+
+    # worker result meta matches the snapshot layout except the iteration
+    # count, which it reports as "iterations_run"
+    load_trainer_state(
+        trainer, {**meta, "iteration": meta["iterations_run"]}, arrays
+    )
+    for g, st in zip(trainer.groups, group_states):
+        g.memory.copy_from(st.memory)
+        g.mailbox.copy_from(st.mailbox)
+        st.close()
+        st.unlink()
+
+    result = TrainResult(config_label=meta["config_label"])
+    result.history = [HistoryPoint(**point) for point in meta["history"]]
+    result.best_val = float(meta["best_val"])
+    result.iterations_to_best = int(meta["iterations_to_best"])
+    result.iterations_run = int(meta["iterations_run"])
+    result.test_metric = float(meta["test_metric"])
+    return result

@@ -1,0 +1,562 @@
+"""Process-replica serving: k worker processes over one shared serving state.
+
+The threaded :class:`~repro.serve.cluster.ServingCluster` multiplies
+queueing capacity with k replica engines, but they share one mutable model
+object, so a single lock serializes all compute.  The process cluster
+removes that ceiling: each replica is an OS process with its **own** model
+copy (true compute parallelism on multi-core hosts), while the node
+memory + mailbox live in one shared-memory segment
+(:mod:`repro.runtime.sharedmem`) — §3.2.3's "k readers of one state"
+applied to serving.  Because the state is shared, the event stream is
+folded **once** (by the fold leader, worker 0) instead of k times; every
+replica reads the same bytes the threaded replicas would each have
+computed, so predictions are bit-identical to the threaded cluster
+whenever the micro-batch compositions match (composition is the only
+arithmetic variable: a deadline flush that splits a batch differently
+changes the dedup set, which can move scores by an ulp on either cluster
+kind — that is a property of deadline batching, not of the process
+topology).
+
+Protocol (all frames over the worker's control channel):
+
+* reads — ``rank`` / ``predict`` requests are routed round-robin or
+  least-loaded, queue into the worker's own
+  :class:`~repro.serve.batcher.MicroBatcher` (micro-batching semantics
+  identical to the threaded path) and come back as ``result`` frames that
+  resolve parent-side :class:`ProcessPendingResult` handles.
+* writes — :meth:`ProcessServingCluster.ingest` runs a two-phase commit:
+  **drain** (every worker flushes its queued reads and acks, so no flush
+  can race the fold) then **fold/append** (worker 0 folds the events into
+  the shared state and its graph; the others append to their graph copies
+  only).  This is the cross-process equivalent of the threaded cluster's
+  engine lock, held exactly as long as an ingest needs it.
+
+Workers rebuild their serving graph from the declarative config (same
+"reconstruct from description" contract as the training runtime) and
+receive only the trained weight blobs over the wire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..api.config import ExperimentConfig
+from .launcher import DEFAULT_TIMEOUT, ProcessGroup
+from .sharedmem import SharedGroupState, SharedStateSpec, create_group_states
+from .transport import TransportError, TransportTimeout
+
+
+# ----------------------------------------------------------------- worker
+def serve_worker(
+    rank: int,
+    channel,
+    *,
+    config_dict: dict,
+    shared_spec: dict,
+    serve_meta: dict,
+):
+    """One serving replica: rebuild graph + model, serve until ``stop``."""
+    from ..api.registry import MODELS
+    from ..infer.engine import InferenceEngine
+    from ..models.decoders import LinkPredictor
+    from ..models.tgn import DirectMemoryView, TGNConfig
+    from ..serve.batcher import MicroBatcher
+
+    cfg = ExperimentConfig.from_dict(config_dict)
+    dataset = cfg.build_dataset()
+    split = dataset.graph.chronological_split()
+    graph = dataset.graph.slice_events(split.train)
+
+    mc = cfg.model
+    # same rebuild path as the trainer: the model key resolves through the
+    # repro.api registry, so plug-in models serve like the builtin
+    model = MODELS.get(mc.model)(
+        TGNConfig(
+            num_nodes=graph.num_nodes,
+            memory_dim=mc.memory_dim,
+            time_dim=mc.time_dim,
+            embed_dim=mc.embed_dim,
+            edge_dim=graph.edge_dim,
+            static_dim=mc.static_dim,
+            num_neighbors=mc.num_neighbors,
+            num_heads=mc.num_heads,
+            updater=mc.updater,
+            seed=cfg.train.seed,
+        )
+    )
+    decoder = LinkPredictor(mc.embed_dim, rng=np.random.default_rng(cfg.train.seed + 1))
+    model.from_bytes(serve_meta.pop("_model_blob"))
+    decoder.from_bytes(serve_meta.pop("_decoder_blob"))
+    static = serve_meta.pop("_static_table", None)
+    if static is not None:
+        model.attach_static_memory(static)
+
+    shared = SharedGroupState(SharedStateSpec.from_dict(shared_spec), create=False)
+    engine = InferenceEngine(
+        model,
+        graph,
+        decoder=decoder,
+        dedup=bool(serve_meta["dedup"]),
+        memoize_time=bool(serve_meta["memoize_time"]),
+        append_on_observe=False,
+    )
+    # replica engines serve from the one shared state instead of private copies
+    engine.memory = shared.memory
+    engine.mailbox = shared.mailbox
+    engine.view = DirectMemoryView(shared.memory, shared.mailbox)
+
+    batcher = MicroBatcher(
+        engine,
+        max_batch_pairs=int(serve_meta["max_batch_pairs"]),
+        max_delay=float(serve_meta["max_delay"]),
+    )
+    pending: Dict[int, object] = {}
+    max_delay = float(serve_meta["max_delay"])
+    idle_wait = min(max(max_delay / 2, 1e-3), 0.05)
+
+    def sweep() -> None:
+        done = [rid for rid, res in pending.items() if res.done]
+        for rid in done:
+            res = pending.pop(rid)
+            try:
+                channel.send(
+                    "result",
+                    meta={"req_id": rid, "latency": res.latency},
+                    arrays={"scores": np.asarray(res.value)},
+                )
+            except Exception as exc:  # noqa: BLE001 - value may carry the error
+                channel.send("req_error", meta={"req_id": rid, "error": repr(exc)})
+
+    channel.send("ready", meta={"rank": rank})
+    requests = 0
+    while True:
+        if not channel.poll(idle_wait):
+            batcher.poll()
+            sweep()
+            continue
+        frame = channel.recv(timeout=5.0)
+        # deadline-check on *every* loop turn: sustained sub-threshold
+        # traffic must not starve the max_delay flush trigger (the parent
+        # cannot drive worker-side polls the way a threaded waiter can)
+        batcher.poll()
+        if frame.tag == "rank":
+            requests += 1
+            pending[frame.meta["req_id"]] = batcher.submit_rank(
+                int(frame.meta["src"]),
+                frame.array("candidates"),
+                float(frame.meta["at_time"]),
+            )
+        elif frame.tag == "predict":
+            requests += 1
+            pending[frame.meta["req_id"]] = batcher.submit_predict(
+                frame.array("src"), frame.array("dst"), frame.array("times")
+            )
+        elif frame.tag == "drain":
+            batcher.flush()
+            sweep()
+            channel.send("drain_ack", meta={"rank": rank})
+            continue
+        elif frame.tag == "fold":
+            src, dst = frame.array("src"), frame.array("dst")
+            times = frame.array("times")
+            ef = frame.arrays.get("edge_feats")
+            # the fold leader advances the shared state exactly once for the
+            # whole fleet; everyone (leader included) appends to their graph
+            # copy so samplers keep seeing fresh neighborhoods
+            if frame.meta["fold_state"]:
+                engine.observe(src, dst, times, edge_feats=ef)
+            graph.append_events(src, dst, times, ef)
+            channel.send("fold_ack", meta={"rank": rank, "events": len(src)})
+            continue
+        elif frame.tag == "flush":
+            batcher.flush()
+            sweep()
+            channel.send("flush_ack", meta={"rank": rank})
+            continue
+        elif frame.tag == "stats":
+            s = engine.stats
+            channel.send(
+                "stats_ack",
+                meta={
+                    "rank": rank,
+                    "requests": requests,
+                    "queries": s.queries,
+                    "unique_queries": s.unique_queries,
+                    "time_encodings_requested": s.time_encodings_requested,
+                    "time_encodings_computed": s.time_encodings_computed,
+                    "flushes": batcher.stats.flushes,
+                    "mean_batch_pairs": batcher.stats.mean_batch_pairs,
+                },
+            )
+            continue
+        elif frame.tag == "stop":
+            batcher.flush()
+            sweep()
+            break
+        else:
+            raise TransportError(f"serve worker got unknown frame {frame.tag!r}")
+        # size-triggered flushes may have completed requests synchronously
+        sweep()
+
+    shared.close()
+    return {"rank": rank, "ok": True, "requests": requests}, {}
+
+
+# ------------------------------------------------------------------ parent
+class ProcessPendingResult:
+    """Parent-side handle for one routed request (mirrors
+    :class:`repro.serve.batcher.PendingResult`'s wait/value/done surface)."""
+
+    def __init__(self, link: "_ReplicaLink", req_id: int, submitted_at: float) -> None:
+        self._link = link
+        self._event = threading.Event()
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[str] = None
+        self.submitted_at = submitted_at
+        self.completed_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def value(self) -> np.ndarray:
+        if not self.done:
+            raise RuntimeError("request not completed yet; call wait()")
+        if self._error is not None:
+            raise RuntimeError(self._error)
+        return self._value
+
+    def wait(self, timeout: Optional[float] = None) -> np.ndarray:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._event.is_set():
+            self._link.pump(0.05)
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("request not completed within timeout")
+        return self.value
+
+    def _fulfill(self, value: np.ndarray, error: Optional[str]) -> None:
+        self._value = value
+        self._error = error
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+
+class _ReplicaLink:
+    """Parent's view of one serve worker: channel + outstanding requests."""
+
+    def __init__(self, index: int, channel) -> None:
+        self.index = index
+        self.channel = channel
+        self.lock = threading.RLock()
+        self.outstanding: Dict[int, ProcessPendingResult] = {}
+        self.acks: Dict[str, List[dict]] = {}
+
+    @property
+    def load(self) -> int:
+        return len(self.outstanding)
+
+    def pump(self, timeout: float = 0.0) -> None:
+        """Dispatch any frames the worker sent.
+
+        Results fulfill their handles; everything else (acks, ready) lands
+        in :attr:`acks` for whoever is waiting on it — concurrent pumpers
+        (a waiting client, an in-flight ingest) can therefore never steal
+        each other's frames.
+        """
+        with self.lock:
+            while self.channel.poll(timeout):
+                frame = self.channel.recv(timeout=1.0)
+                if frame.tag == "result":
+                    res = self.outstanding.pop(frame.meta["req_id"], None)
+                    if res is not None:
+                        res._fulfill(frame.array("scores"), None)
+                elif frame.tag == "req_error":
+                    res = self.outstanding.pop(frame.meta["req_id"], None)
+                    if res is not None:
+                        res._fulfill(None, frame.meta.get("error", "request failed"))
+                elif frame.tag == "error":
+                    raise TransportError(
+                        f"serve worker {self.index} failed: "
+                        f"{frame.meta.get('error', 'unknown')}"
+                    )
+                else:
+                    self.acks.setdefault(frame.tag, []).append(dict(frame.meta))
+                timeout = 0.0  # only the first poll blocks
+
+    def await_ack(self, tag: str, timeout: float) -> dict:
+        """Pump until one ``tag`` frame arrives; returns its metadata."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self.lock:
+                queued = self.acks.get(tag)
+                if queued:
+                    return queued.pop(0)
+            self.pump(0.05)
+        raise TransportTimeout(f"worker {self.index}: no {tag!r} within {timeout:.0f}s")
+
+
+@dataclass
+class ProcessClusterStats:
+    """Front-door accounting (mirrors the threaded ``ClusterStats``)."""
+
+    submitted: int = 0
+    shed: int = 0
+    ingested_events: int = 0
+    routed: List[int] = field(default_factory=list)
+
+    @property
+    def admitted(self) -> int:
+        return self.submitted - self.shed
+
+
+class ProcessServingCluster:
+    """k process replicas over one shared serving state, one front door.
+
+    Built by ``Session.serve(process_replicas=True)``.  Use as a context
+    manager (or call :meth:`shutdown`) — the replicas are real processes
+    and the shared segment must be unlinked.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        serve_graph,
+        model,
+        decoder,
+        k: int = 2,
+        *,
+        policy: str = "round_robin",
+        admission_limit: Optional[int] = None,
+        max_batch_pairs: int = 256,
+        max_delay: float = 2e-3,
+        dedup: bool = True,
+        memoize_time: bool = True,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        from ..api.registry import ROUTERS
+
+        if policy not in ROUTERS:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose one of {list(ROUTERS.available())}"
+            )
+        if admission_limit is not None and admission_limit < 1:
+            raise ValueError("admission_limit must be positive (or None)")
+        self._router = ROUTERS.get(policy)
+        self.policy = policy
+        self.admission_limit = admission_limit
+        self.graph = serve_graph
+        self.timeout = timeout
+        self._lock = threading.RLock()
+        self._rr = 0
+        self._req_counter = 0
+        self._closed = False
+        self.stats = ProcessClusterStats(routed=[0] * k)
+
+        (self._state,) = create_group_states(
+            1,
+            num_nodes=serve_graph.num_nodes,
+            memory_dim=model.config.memory_dim,
+            edge_dim=serve_graph.edge_dim,
+            name_prefix="repro-serve",
+        )
+        # spawn arguments travel through the multiprocessing pickler, so the
+        # weight blobs ride along as plain bytes (frames are for live traffic)
+        serve_meta = {
+            "max_batch_pairs": max_batch_pairs,
+            "max_delay": max_delay,
+            "dedup": dedup,
+            "memoize_time": memoize_time,
+            "_model_blob": model.to_bytes(),
+            "_decoder_blob": decoder.to_bytes(),
+            "_static_table": (
+                model._static_table.copy() if model.has_static_memory else None
+            ),
+        }
+        config_dict = config.to_dict()
+        self._group = ProcessGroup(
+            serve_worker,
+            [
+                {
+                    "config_dict": config_dict,
+                    "shared_spec": self._state.spec.to_dict(),
+                    "serve_meta": serve_meta,
+                }
+                for _ in range(k)
+            ],
+            name="repro-serve",
+            timeout=timeout,
+        )
+        self._group.start()
+        self.replicas = [
+            _ReplicaLink(idx, ch) for idx, ch in enumerate(self._group.channels)
+        ]
+        for link in self.replicas:
+            link.await_ack("ready", timeout)
+
+    # ----------------------------------------------------------------- reads
+    def submit_rank(
+        self, src: int, candidates: np.ndarray, at_time: float
+    ) -> Optional[ProcessPendingResult]:
+        """Route a ranking query; ``None`` means it was load-shed."""
+        candidates = np.asarray(candidates, dtype=np.int64)
+        return self._route(
+            "rank",
+            meta={"src": int(src), "at_time": float(at_time)},
+            arrays={"candidates": candidates},
+        )
+
+    def submit_predict(
+        self, src: np.ndarray, dst: np.ndarray, times: np.ndarray
+    ) -> Optional[ProcessPendingResult]:
+        """Route a link-probability query; ``None`` means it was load-shed."""
+        return self._route(
+            "predict",
+            meta={},
+            arrays={
+                "src": np.asarray(src, dtype=np.int64),
+                "dst": np.asarray(dst, dtype=np.int64),
+                "times": np.asarray(times, dtype=np.float64),
+            },
+        )
+
+    def _route(self, tag, meta, arrays) -> Optional[ProcessPendingResult]:
+        self._ensure_open()
+        with self._lock:
+            self.stats.submitted += 1
+            for link in self.replicas:
+                link.pump(0.0)
+            if (
+                self.admission_limit is not None
+                and self.pending_requests >= self.admission_limit
+            ):
+                self.stats.shed += 1
+                return None
+            self._group.poll_failures()
+            link = self._router(self)
+            self.stats.routed[link.index] += 1
+            self._req_counter += 1
+            req_id = self._req_counter
+            result = ProcessPendingResult(link, req_id, time.perf_counter())
+            with link.lock:
+                link.outstanding[req_id] = result
+                link.channel.send(tag, meta={**meta, "req_id": req_id}, arrays=arrays)
+            return result
+
+    # ---------------------------------------------------------------- writes
+    def ingest(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        edge_feats: Optional[np.ndarray] = None,
+    ) -> int:
+        """Two-phase broadcast of one chronological event batch.
+
+        Phase 1 (*drain*) flushes every replica's queued reads so no flush
+        can race the state fold; phase 2 folds once (worker 0) and appends
+        the events to every replica's graph copy.  Returns total events
+        ingested so far (the WAL-offset contract of the threaded cluster).
+        """
+        self._ensure_open()
+        with self._lock:
+            src, dst, times, edge_feats = self.graph.check_events(
+                src, dst, times, edge_feats
+            )
+            if self.graph.edge_feats is not None and edge_feats is None:
+                edge_feats = np.zeros(
+                    (len(src), self.graph.edge_dim), dtype=np.float32
+                )
+            arrays = {"src": src, "dst": dst, "times": times}
+            if edge_feats is not None:
+                arrays["edge_feats"] = edge_feats
+            for link in self.replicas:
+                link.channel.send("drain")
+            for link in self.replicas:
+                link.await_ack("drain_ack", self.timeout)
+            for link in self.replicas:
+                link.channel.send(
+                    "fold", meta={"fold_state": link.index == 0}, arrays=arrays
+                )
+            for link in self.replicas:
+                link.await_ack("fold_ack", self.timeout)
+            # keep the parent's reference graph in lockstep with the workers
+            self.graph.append_events(src, dst, times, edge_feats)
+            self.stats.ingested_events += len(src)
+            return self.stats.ingested_events
+
+    # ------------------------------------------------------------- batch mgmt
+    @property
+    def pending_requests(self) -> int:
+        return sum(link.load for link in self.replicas)
+
+    def poll(self) -> None:
+        """Collect any completed results (workers flush autonomously)."""
+        for link in self.replicas:
+            link.pump(0.0)
+
+    def flush_all(self) -> None:
+        """Force-flush every replica and collect the results."""
+        self._ensure_open()
+        with self._lock:
+            for link in self.replicas:
+                link.channel.send("flush")
+            for link in self.replicas:
+                link.await_ack("flush_ack", self.timeout)
+            self.poll()
+
+    # ---------------------------------------------------------- observability
+    def worker_stats(self) -> List[dict]:
+        """Per-replica engine/batcher counters (dedup, memoization, flushes)."""
+        self._ensure_open()
+        with self._lock:
+            for link in self.replicas:
+                link.channel.send("stats")
+            return [link.await_ack("stats_ack", self.timeout) for link in self.replicas]
+
+    # ------------------------------------------------------------- lifecycle
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("serving cluster already shut down")
+
+    def shutdown(self) -> None:
+        """Stop the replicas, release the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            for link in self.replicas:
+                try:
+                    link.channel.send("stop")
+                except TransportError:
+                    pass
+            self._group.join(timeout=min(self.timeout, 60.0))
+        finally:
+            self._group.terminate()
+            self._state.close()
+            self._state.unlink()
+
+    def __enter__(self) -> "ProcessServingCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ProcessServingCluster(k={len(self.replicas)}, policy={self.policy!r}, "
+            f"pending={self.pending_requests}, shed={self.stats.shed})"
+        )

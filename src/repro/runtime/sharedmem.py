@@ -1,0 +1,182 @@
+"""Node-memory and mailbox state in ``multiprocessing.shared_memory``.
+
+Memory parallelism (§3.2.3) gives each of the ``k`` groups one node-memory
+copy that its ``i`` mini-batch-parallel trainers read and write together.
+In the process runtime those trainers are separate OS processes, so the
+group's :class:`~repro.memory.node_memory.NodeMemory` and
+:class:`~repro.memory.mailbox.Mailbox` live in a shared-memory segment: the
+``i`` readers of one group map **one** array instead of holding ``i``
+private copies, exactly the paper's memory-parallel read path (and the
+serving runtime's replica fan-out shares a single serving state the same
+way).
+
+One :class:`SharedGroupState` describes one group's segment: a fixed header
+of array extents, then the five state arrays packed back to back.  The
+creator (the launcher, or the serving front door) owns the segment's
+lifetime; workers attach by name and rebind the arrays of ordinary
+``NodeMemory`` / ``Mailbox`` instances onto the mapped views, so every
+existing operation — reads-as-copies, fancy-assignment writes, COMB
+deposits, ``clone()`` — works unchanged on shared state.
+
+Write ordering is *not* this module's job: the runtime sequences writers
+through :meth:`repro.runtime.collectives.Communicator.serial_section`
+(training) or the front door's drain protocol (serving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Tuple
+
+import numpy as np
+
+from ..memory.mailbox import Mailbox
+from ..memory.node_memory import NodeMemory
+
+
+def _layout(
+    num_nodes: int, memory_dim: int, edge_dim: int
+) -> List[Tuple[str, Tuple[int, ...], np.dtype]]:
+    mail_dim = 2 * memory_dim + edge_dim
+    return [
+        ("memory", (num_nodes, memory_dim), np.dtype(np.float32)),
+        ("last_update", (num_nodes,), np.dtype(np.float64)),
+        ("mail", (num_nodes, mail_dim), np.dtype(np.float32)),
+        ("mail_time", (num_nodes,), np.dtype(np.float64)),
+        ("has_mail", (num_nodes,), np.dtype(bool)),
+    ]
+
+
+@dataclass(frozen=True)
+class SharedStateSpec:
+    """Everything a worker needs to attach: segment name + array extents."""
+
+    name: str
+    num_nodes: int
+    memory_dim: int
+    edge_dim: int
+    comb: str = "recent"
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            int(np.prod(shape)) * dtype.itemsize
+            for _, shape, dtype in _layout(self.num_nodes, self.memory_dim, self.edge_dim)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "num_nodes": self.num_nodes,
+            "memory_dim": self.memory_dim,
+            "edge_dim": self.edge_dim,
+            "comb": self.comb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SharedStateSpec":
+        return cls(**data)
+
+
+class SharedGroupState:
+    """One group's (memory, mailbox) mapped onto a shared segment.
+
+    ``create=True`` allocates and zeroes the segment (the owner must call
+    :meth:`unlink` eventually); ``create=False`` attaches to an existing
+    one by name.  Either way, :attr:`memory` and :attr:`mailbox` are real
+    ``NodeMemory`` / ``Mailbox`` objects whose arrays alias the segment.
+    """
+
+    def __init__(self, spec: SharedStateSpec, create: bool) -> None:
+        self.spec = spec
+        self.owner = create
+        if create:
+            self.shm = shared_memory.SharedMemory(
+                create=True, size=spec.nbytes, name=spec.name
+            )
+        else:
+            self.shm = shared_memory.SharedMemory(name=spec.name)
+            if self.shm.size < spec.nbytes:
+                self.close()
+                raise ValueError(
+                    f"segment {spec.name!r} holds {self.shm.size} bytes, "
+                    f"spec needs {spec.nbytes}"
+                )
+
+        views = {}
+        offset = 0
+        for name, shape, dtype in _layout(
+            spec.num_nodes, spec.memory_dim, spec.edge_dim
+        ):
+            nbytes = int(np.prod(shape)) * dtype.itemsize
+            views[name] = np.ndarray(
+                shape, dtype=dtype, buffer=self.shm.buf, offset=offset
+            )
+            offset += nbytes
+
+        # ordinary state objects, arrays rebound onto the mapped views: all
+        # NodeMemory/Mailbox operations then act on shared state directly
+        self.memory = NodeMemory(spec.num_nodes, spec.memory_dim)
+        self.memory.memory = views["memory"]
+        self.memory.last_update = views["last_update"]
+        self.mailbox = Mailbox(
+            spec.num_nodes, spec.memory_dim, edge_dim=spec.edge_dim, comb=spec.comb
+        )
+        self.mailbox.mail = views["mail"]
+        self.mailbox.mail_time = views["mail_time"]
+        self.mailbox.has_mail = views["has_mail"]
+        if create:
+            self.memory.reset()
+            self.mailbox.reset()
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Drop this process's mapping (arrays become invalid)."""
+        # release the numpy views before closing the mmap, or close() raises;
+        # a still-referenced view elsewhere makes close a no-op until the
+        # process exits, which is safe (the kernel reclaims the mapping)
+        self.memory = None
+        self.mailbox = None
+        try:
+            self.shm.close()
+        except BufferError:
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; call after every close)."""
+        self.shm.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SharedGroupState({self.spec.name!r}, V={self.spec.num_nodes}, "
+            f"d={self.spec.memory_dim}, owner={self.owner})"
+        )
+
+
+def create_group_states(
+    num_groups: int,
+    num_nodes: int,
+    memory_dim: int,
+    edge_dim: int,
+    comb: str = "recent",
+    name_prefix: str = "repro-rt",
+) -> List[SharedGroupState]:
+    """Allocate one shared segment per memory group (launcher side).
+
+    Segment names carry the pid plus a random suffix via the stdlib's
+    namespace when ``name=None`` would; we build explicit names so workers
+    can attach from a spec dict.
+    """
+    states = []
+    token = np.random.SeedSequence().entropy % (1 << 32)
+    for g in range(num_groups):
+        spec = SharedStateSpec(
+            name=f"{name_prefix}-{token:08x}-g{g}",
+            num_nodes=num_nodes,
+            memory_dim=memory_dim,
+            edge_dim=edge_dim,
+            comb=comb,
+        )
+        states.append(SharedGroupState(spec, create=True))
+    return states

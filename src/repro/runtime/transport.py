@@ -1,0 +1,247 @@
+"""Wire transport for the process runtime: length-prefixed numpy frames.
+
+Everything the runtime sends between processes — gradients, weight blobs,
+barrier tokens, serving requests — travels as a :class:`Frame`: a small JSON
+header (tag + metadata + array manifest) followed by the raw bytes of each
+array, concatenated.  The encoding is **pickle-free for arrays**: payloads
+are ``ndarray.tobytes()`` and are rebuilt with ``np.frombuffer``, so a frame
+is safe to receive from another process (or, in principle, another host)
+without ever unpickling attacker-controlled bytes, and large arrays move as
+one contiguous buffer copy instead of a pickle graph walk.
+
+Two byte-stream endpoints carry frames:
+
+* :class:`PipeEndpoint` — a ``multiprocessing.connection.Connection``
+  (``Pipe(duplex=True)``); ``send_bytes``/``recv_bytes`` move raw buffers,
+  no pickling.  This is what the launcher wires between ranks on one host.
+* :class:`SocketEndpoint` — a connected ``socket.socket`` with an explicit
+  4-byte big-endian length prefix per message, for transports that do not
+  frame for us (TCP / UNIX sockets across hosts).
+
+:class:`Channel` is the frame codec over either endpoint.  Receives take a
+timeout and raise :class:`TransportTimeout` instead of blocking forever — a
+dead peer must surface as an error, not a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..utils.misc import pack_arrays, unpack_arrays
+
+_LEN = struct.Struct(">I")
+
+FRAME_VERSION = 1
+
+
+class TransportError(RuntimeError):
+    """A peer vanished or sent garbage."""
+
+
+class TransportTimeout(TransportError):
+    """No frame arrived within the allotted time."""
+
+
+@dataclass
+class Frame:
+    """One runtime message: a tag, JSON-able metadata, named arrays."""
+
+    tag: str
+    meta: dict = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def array(self, name: str) -> np.ndarray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise TransportError(
+                f"frame {self.tag!r} missing array {name!r}; "
+                f"has {sorted(self.arrays)}"
+            ) from None
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Frame -> bytes: length-prefixed JSON header, then raw array payloads."""
+    manifest, payloads = pack_arrays(frame.arrays.items())
+    header = json.dumps(
+        {
+            "v": FRAME_VERSION,
+            "tag": frame.tag,
+            "meta": frame.meta,
+            "arrays": manifest,
+        }
+    ).encode("utf-8")
+    return b"".join([_LEN.pack(len(header)), header, *payloads])
+
+
+def decode_frame(buf: bytes) -> Frame:
+    """bytes -> Frame (inverse of :func:`encode_frame`)."""
+    if len(buf) < _LEN.size:
+        raise TransportError(f"frame too short ({len(buf)} bytes)")
+    (head_len,) = _LEN.unpack_from(buf, 0)
+    start = _LEN.size
+    try:
+        header = json.loads(buf[start : start + head_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"undecodable frame header: {exc}") from exc
+    if header.get("v") != FRAME_VERSION:
+        raise TransportError(f"unsupported frame version {header.get('v')!r}")
+    try:
+        views, offset = unpack_arrays(
+            header["arrays"], buf, offset=start + head_len, context="frame payload"
+        )
+    except ValueError as exc:
+        raise TransportError(str(exc)) from exc
+    if offset != len(buf):
+        raise TransportError(f"frame has {len(buf) - offset} trailing bytes")
+    # copy so the frame owns writable arrays independent of the buffer
+    arrays: Dict[str, np.ndarray] = {k: v.copy() for k, v in views.items()}
+    return Frame(tag=header["tag"], meta=header["meta"], arrays=arrays)
+
+
+class PipeEndpoint:
+    """Raw-bytes endpoint over a ``multiprocessing`` pipe connection."""
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+
+    def send_bytes(self, buf: bytes) -> None:
+        try:
+            self.conn.send_bytes(buf)
+        except (BrokenPipeError, OSError, EOFError) as exc:
+            raise TransportError(f"peer closed the pipe: {exc}") from exc
+
+    def recv_bytes(self, timeout: Optional[float]) -> bytes:
+        try:
+            if timeout is not None and not self.conn.poll(timeout):
+                raise TransportTimeout(
+                    f"no frame within {timeout:.1f}s (peer busy or dead)"
+                )
+            return self.conn.recv_bytes()
+        except TransportError:
+            raise
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise TransportError(f"peer closed the pipe: {exc}") from exc
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        try:
+            return self.conn.poll(timeout)
+        except (BrokenPipeError, OSError, EOFError):
+            return False
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class SocketEndpoint:
+    """Raw-bytes endpoint over a connected socket, 4-byte length prefix."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+
+    def send_bytes(self, buf: bytes) -> None:
+        try:
+            self.sock.sendall(_LEN.pack(len(buf)) + buf)
+        except OSError as exc:
+            raise TransportError(f"peer closed the socket: {exc}") from exc
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        while n:
+            try:
+                chunk = self.sock.recv(min(n, 1 << 20))
+            except socket.timeout as exc:
+                raise TransportTimeout("no frame within socket timeout") from exc
+            except OSError as exc:
+                raise TransportError(f"peer closed the socket: {exc}") from exc
+            if not chunk:
+                raise TransportError("peer closed the socket mid-frame")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    def recv_bytes(self, timeout: Optional[float]) -> bytes:
+        self.sock.settimeout(timeout)
+        (length,) = _LEN.unpack(self._recv_exact(_LEN.size))
+        return self._recv_exact(length)
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        import select
+
+        ready, _, _ = select.select([self.sock], [], [], timeout)
+        return bool(ready)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class Channel:
+    """Frame codec over a byte-stream endpoint (pipe or socket).
+
+    The default receive timeout bounds every blocking wait in the runtime:
+    when a peer dies mid-collective the survivors raise
+    :class:`TransportTimeout` (and exit) instead of deadlocking — the
+    launcher turns either signal into one raised error at the caller.
+    """
+
+    def __init__(self, endpoint, default_timeout: float = 120.0) -> None:
+        if isinstance(endpoint, (PipeEndpoint, SocketEndpoint)):
+            self.endpoint = endpoint
+        elif isinstance(endpoint, socket.socket):
+            self.endpoint = SocketEndpoint(endpoint)
+        else:  # a multiprocessing Connection (which quacks like an endpoint
+            # but times out via poll(), so it must be wrapped)
+            self.endpoint = PipeEndpoint(endpoint)
+        self.default_timeout = default_timeout
+
+    def send(
+        self,
+        tag: str,
+        meta: Optional[dict] = None,
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        self.endpoint.send_bytes(
+            encode_frame(Frame(tag=tag, meta=meta or {}, arrays=arrays or {}))
+        )
+
+    def recv(self, timeout: Optional[float] = None) -> Frame:
+        if timeout is None:
+            timeout = self.default_timeout
+        return decode_frame(self.endpoint.recv_bytes(timeout))
+
+    def expect(self, tag: str, timeout: Optional[float] = None) -> Frame:
+        """Receive one frame and require its tag (protocol violations raise)."""
+        frame = self.recv(timeout)
+        if frame.tag != tag:
+            if frame.tag == "error":
+                raise TransportError(
+                    f"peer failed: {frame.meta.get('error', 'unknown error')}"
+                )
+            raise TransportError(f"expected frame {tag!r}, got {frame.tag!r}")
+        return frame
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self.endpoint.poll(timeout)
+
+    def close(self) -> None:
+        self.endpoint.close()
+
+
+def pipe_channel_pair(default_timeout: float = 120.0):
+    """A connected (parent, child) channel pair over one duplex pipe."""
+    import multiprocessing as mp
+
+    a, b = mp.Pipe(duplex=True)
+    return Channel(a, default_timeout), Channel(b, default_timeout)

@@ -1,0 +1,301 @@
+"""Rank entrypoint for the process runtime's training workers.
+
+Each worker **rebuilds** its slice of the experiment from the declarative
+:class:`~repro.api.config.ExperimentConfig` — dataset, sampler, model,
+decoder, negative stores all resolve through the ``repro.api`` registries,
+exactly as in the parent — so nothing crosses the process boundary except
+the config dict, the shared-memory segment names and the initial weight
+broadcast.  That is the real system's contract: a rank can live on another
+host and still reconstruct identical state from the same description.
+
+Rank layout: ``world = i × k``; rank ``r`` is shard ``s = r % i`` of memory
+group ``m = r // i``.  The group's ``i`` shards map one shared node-memory /
+mailbox segment (§3.2.3's memory-parallel reads made real); epoch
+parallelism ``j`` stays inside the rank, because the ``j`` sub-steps of a
+block share the rank's cached preparations by construction.
+
+The execution loop is the logical trainer's loop
+(:meth:`repro.train.distributed.DistTGLTrainer.train`) re-derived for real
+parallelism, preserving its semantics:
+
+* **canonical pass** — per block batch: a group barrier (whose root section
+  applies the wrap-around memory reset), shard-local BatchPrep reads of the
+  shared state, a second barrier (readers before writers), the shard
+  forward, then the write-back committed through a rank-ordered serial
+  section.  Shards are chronological slices, so ordered commits reproduce
+  the logical trainer's single fancy-assignment write-back.
+* **gradient step** — the rank's block of ``j`` loss terms, each weighted
+  ``(shard/global batch size) / (j·k)`` and backpropagated alone into a
+  float64 :class:`~repro.parallel.allreduce.TermGradAccumulator` partial;
+  the all-reduce **sums** the rank partials in rank order — the very loop
+  the logical trainer runs over its blocks — and every rank applies the
+  identical reduced gradient to its own Adam replica, so replicas stay
+  bitwise in sync without per-step weight broadcast.  The partial carries a
+  per-parameter presence mask: parameters untouched on every rank keep
+  ``grad=None`` (Adam must skip them, exactly as it does locally).
+* **evaluation** — rank 0 evaluates at the logical cadence (group 0 sweep
+  boundaries) from the shared group-0 state while the fleet waits at a
+  barrier; the negative-group sweep offset advances on every rank.
+
+Because both backends execute the identical float operations in the
+identical order, the process backend reproduces the logical trainer's
+``TrainResult`` — losses *and* metrics — **bitwise** at any world size.
+Nothing weaker survives contact with Adam: its early steps behave like
+``lr·sign(g)``, so even 1e-7 gradient noise flips sub-noise elements by
+``±lr`` within an iteration or two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..api.config import ExperimentConfig
+from ..models.tgn import TGN, DirectMemoryView
+from ..nn import clip_grad_norm, use_fused
+from ..parallel.allreduce import TermGradAccumulator, load_reduced
+from .collectives import Communicator
+from .sharedmem import SharedGroupState, SharedStateSpec
+
+
+# ------------------------------------------------------------- entrypoint
+def train_worker(
+    rank: int,
+    channel,
+    *,
+    config_dict: dict,
+    shared_specs: List[dict],
+    world_comm: Communicator,
+    group_comm: Communicator,
+    train_meta: dict,
+    init_state: Optional[dict] = None,
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Execute one rank of a process-parallel ``fit``; returns the result
+    frame payload (rank 0 carries the trained state, peers ack)."""
+    from ..train.distributed import DistTGLTrainer
+
+    cfg = ExperimentConfig.from_dict(config_dict)
+    i, j, k = cfg.parallel.i, cfg.parallel.j, cfg.parallel.k
+    world = i * k
+    if world_comm.world != world or not 0 <= rank < world:
+        raise ValueError(f"rank {rank} inconsistent with plan {cfg.parallel.label()}")
+    m, s = rank // i, rank % i
+
+    dataset = cfg.build_dataset()
+    trainer = DistTGLTrainer(dataset, cfg.parallel, cfg.trainer_spec(), rank=rank)
+    spec = trainer.spec
+
+    # ---- shared state: this group's segment replaces the private arrays
+    shared = SharedGroupState(SharedStateSpec.from_dict(shared_specs[m]), create=False)
+    own_group = trainer.groups[m]
+    own_group.memory = shared.memory
+    own_group.mailbox = shared.mailbox
+    own_group.view = DirectMemoryView(shared.memory, shared.mailbox)
+    for g in trainer.groups:
+        if g.index != m:          # cursor bookkeeping only; free the arrays
+            g.memory = None
+            g.mailbox = None
+            g.view = None
+    view = own_group.view
+
+    # ---- resume state: rank 0 carries the parent trainer's snapshot
+    # (weights as Module.to_bytes blobs, optimizer moments, cursors) and
+    # broadcasts it, so every rank continues the session exactly where the
+    # parent left off — the same semantics as a local ``trainer.train``
+    from .launcher import load_trainer_state
+
+    if rank == 0:
+        if init_state is None:
+            raise ValueError("rank 0 needs the parent trainer's init_state")
+        state = world_comm.broadcast(
+            arrays=init_state["arrays"], meta=init_state["meta"]
+        )
+    else:
+        state = world_comm.broadcast()
+    load_trainer_state(trainer, dict(state.meta), state.arrays)
+    world_comm.barrier("start")
+
+    # ---- iteration plan (the logical trainer's fairness arithmetic)
+    epochs = int(train_meta.get("epochs", cfg.train.epochs))
+    max_iterations: Optional[int] = train_meta.get("max_iterations")
+    eval_every = int(train_meta.get("eval_every_sweeps", 1))
+    verbose = bool(train_meta.get("verbose", False))
+    total_batch_visits = epochs * trainer.num_batches
+    visits_per_iteration = j * k
+    iterations = max(1, total_batch_visits // visits_per_iteration)
+    if max_iterations is not None:
+        iterations = min(iterations, int(max_iterations))
+
+    history: List[dict] = []
+    recent: List[float] = []
+    cache: Optional[list] = None
+    # cursor bookkeeping continues from the resumed state, like the groups'
+    # position/sweep counters (a fresh run starts everything at -1/0)
+    prev_batch = {g.index: g.prev_batch for g in trainer.groups}
+    substep = 0
+    last_eval_sweeps = 0
+    sync_time = 0.0
+    commit_work = 0.0
+    import time as _time
+
+    loop_start = _time.perf_counter()
+    cpu_start = _time.process_time()
+
+    def timed(fn, *args, **kwargs):
+        nonlocal sync_time
+        t0 = _time.perf_counter()
+        out = fn(*args, **kwargs)
+        sync_time += _time.perf_counter() - t0
+        return out
+
+    for _ in range(iterations):
+        with use_fused(spec.fused):
+            if substep == 0:
+                # every rank advances every group's cursor (integers only);
+                # compute happens for the rank's own (group, shard) slice
+                blocks = {g.index: g.next_block(j) for g in trainer.groups}
+                for g_idx, block in blocks.items():
+                    if g_idx != m:
+                        prev_batch[g_idx] = block[-1]
+                cache = []   # this rank's block entries, one per sub-batch r
+                for b_idx in blocks[m]:
+                    wrap = b_idx <= prev_batch[m]
+                    prev_batch[m] = b_idx
+
+                    def reset_if_wrap():
+                        if wrap:
+                            shared.memory.reset()
+                            shared.mailbox.reset()
+
+                    # barrier 1: previous batch's writes are committed and
+                    # the leader applies the wrap reset before any read
+                    timed(group_comm.barrier, "pre-read", root_section=reset_if_wrap)
+                    batch = trainer.loader.batch(b_idx)
+                    shard = batch.split_local(i)[s] if i > 1 else batch
+                    # read + forward phases are the trainer's own shard
+                    # methods (one implementation, so the backends cannot
+                    # drift); only the cross-process ordering lives here
+                    read = trainer._read_shard(shard, view)
+                    # barrier 2: every shard finished reading shared state
+                    timed(group_comm.barrier, "post-read")
+                    entry, wb = trainer._forward_shard(read, batch.size)
+
+                    def commit():
+                        # the commit itself is compute, not synchronization:
+                        # keep it out of sync_time so sync_frac reports only
+                        # genuine waiting
+                        nonlocal commit_work
+                        t0 = _time.perf_counter()
+                        if wb is not None:
+                            TGN.apply_writeback(wb, shared.memory, shared.mailbox)
+                        commit_work += _time.perf_counter() - t0
+
+                    # rank-ordered commit: chronological shards in sequence
+                    # reproduce the logical single-writer write-back
+                    timed(group_comm.serial_section, commit, tag="writeback")
+                    cache.append(entry)
+
+            # ---- gradient step: this rank's block of j loss terms through
+            # the trainer's own per-term arithmetic (one shared method, so
+            # the backends cannot drift) into the float64 block partial
+            acc = TermGradAccumulator(trainer.optimizer.params)
+            for r in range(j):
+                entry = cache[r]
+                if entry is not None:
+                    trainer._accumulate_term(acc, entry, r, substep)
+            vec = acc.to_vector()
+            if world > 1:
+                # rank-ordered float64 sum at the root == the logical
+                # trainer's block-order reduce_partials, bitwise
+                vec = timed(world_comm.allreduce_sum, vec)
+            global_loss = load_reduced(trainer.optimizer.params, vec)
+            clip_grad_norm(trainer.optimizer.params, spec.grad_clip)
+            trainer.optimizer.step()
+            recent.append(global_loss)
+
+        substep = (substep + 1) % j
+        trainer._iteration += 1
+
+        group0 = trainer.groups[0]
+        if group0.sweeps_completed >= last_eval_sweeps + eval_every:
+            last_eval_sweeps = group0.sweeps_completed
+            trainer._sweep_negative_offset += j
+            timed(world_comm.barrier, "pre-eval")
+            if rank == 0:
+                val = trainer._evaluate_split("val", warm_group=group0)
+                point = {
+                    "iteration": trainer._iteration,
+                    "edges_traversed": trainer._iteration
+                    * visits_per_iteration
+                    * trainer.global_batch,
+                    "train_loss": float(np.mean(recent)),
+                    "val_metric": val.metric,
+                }
+                history.append(point)
+                if verbose:
+                    print(
+                        f"[{cfg.parallel.label()}|process w{world}] "
+                        f"it={trainer._iteration} loss={point['train_loss']:.4f} "
+                        f"val={val.metric:.4f}"
+                    )
+            recent.clear()
+            timed(world_comm.barrier, "post-eval")
+
+    loop_elapsed = _time.perf_counter() - loop_start
+    loop_cpu = _time.process_time() - cpu_start
+    world_comm.barrier("end")
+    bench = world_comm.gather_meta(
+        {
+            "rank": rank,
+            "loop_s": loop_elapsed,
+            # sync = time inside collectives minus the commit work executed
+            # under the serial section (which is compute, not waiting)
+            "sync_s": max(sync_time - commit_work, 0.0),
+            "cpu_s": loop_cpu,
+        }
+    )
+
+    # ---- finalization (rank 0 only): trailing eval, test metric, state out
+    if rank != 0:
+        shared.close()
+        return {"rank": rank, "ok": True}, {}
+
+    if not history:
+        val = trainer._evaluate_split("val", warm_group=trainer.groups[0])
+        history.append(
+            {
+                "iteration": trainer._iteration,
+                "edges_traversed": trainer._iteration
+                * visits_per_iteration
+                * trainer.global_batch,
+                "train_loss": float(np.mean(recent)) if recent else float("nan"),
+                "val_metric": val.metric,
+            }
+        )
+    vals = [h["val_metric"] for h in history]
+    best_idx = int(np.argmax(vals))
+    test = trainer._evaluate_split("test", warm_group=trainer.groups[0])
+
+    # the result payload IS a trainer snapshot (one wire layout, owned by
+    # the launcher) plus the run's outcome metadata
+    from .launcher import snapshot_trainer_state
+
+    for g in trainer.groups:
+        g.prev_batch = prev_batch[g.index]
+    snap = snapshot_trainer_state(trainer)
+    meta = {
+        **snap["meta"],
+        "rank": 0,
+        "ok": True,
+        "config_label": cfg.parallel.label(),
+        "history": history,
+        "best_val": vals[best_idx],
+        "iterations_to_best": history[best_idx]["iteration"],
+        "iterations_run": trainer._iteration,
+        "test_metric": test.metric,
+        "bench": bench,
+        "world": world,
+    }
+    shared.close()
+    return meta, snap["arrays"]

@@ -110,6 +110,38 @@ class EventLog:
         feats = np.concatenate(self._feats)[offset:] if self.edge_dim else None
         return src, dst, times, feats
 
+    def batches_since(self, offset: int) -> List[EventBatch]:
+        """The suffix from ``offset``, split at the *original* append
+        boundaries.
+
+        Mail staleness is batch-granular (every mail in a batch reads the
+        pre-batch memory), so a replica that replays a WAL suffix through
+        ``ingest`` converges to the live state **bit-identically** only when
+        it folds the same batches — replaying ``events_since`` as one big
+        batch is semantically valid streaming but lands on a slightly
+        different (coarser-staleness) state.  Catch-up paths use this.
+        """
+        if not 0 <= offset <= self._count:
+            raise ValueError(f"offset {offset} outside [0, {self._count}]")
+        out: List[EventBatch] = []
+        start = 0
+        for src, dst, times, feats in zip(
+            self._src, self._dst, self._time, self._feats
+        ):
+            stop = start + len(src)
+            if stop > offset:
+                lo = max(offset - start, 0)
+                out.append(
+                    (
+                        src[lo:].copy(),
+                        dst[lo:].copy(),
+                        times[lo:].copy(),
+                        feats[lo:].copy() if self.edge_dim else None,
+                    )
+                )
+            start = stop
+        return out
+
 
 class StreamIngestor:
     """Broadcasts an event stream: WAL -> every replica's state -> graph.

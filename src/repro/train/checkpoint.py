@@ -8,7 +8,10 @@ trajectory), and so are the Adam moments and the group positions.
 Format: a single ``.npz`` file with namespaced keys::
 
     meta/...                 json-encoded scalars (config label, iteration)
-    model/<param-name>       model + decoder parameters
+    model/blob, decoder/blob flat-numpy weight state (Module.to_bytes wire
+                             format — the same blob the process runtime
+                             broadcasts to workers; format 1 stored one
+                             entry per parameter and is still readable)
     opt/m<i>, opt/v<i>       Adam moments, opt/step
     group<m>/memory, group<m>/last_update,
     group<m>/mail, group<m>/mail_time, group<m>/has_mail,
@@ -25,7 +28,7 @@ import numpy as np
 
 from .distributed import DistTGLTrainer
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 def save_checkpoint(trainer: DistTGLTrainer, path: Union[str, Path]) -> Path:
@@ -46,8 +49,8 @@ def save_checkpoint(trainer: DistTGLTrainer, path: Union[str, Path]) -> Path:
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
 
-    for name, param in _named_params(trainer):
-        arrays[f"model/{name}"] = param.data
+    arrays["model/blob"] = np.frombuffer(trainer.model.to_bytes(), dtype=np.uint8)
+    arrays["decoder/blob"] = np.frombuffer(trainer.decoder.to_bytes(), dtype=np.uint8)
 
     m, v, step = trainer.optimizer.state_arrays()
     for idx, (mi, vi) in enumerate(zip(m, v)):
@@ -79,20 +82,25 @@ def load_checkpoint(trainer: DistTGLTrainer, path: Union[str, Path]) -> dict:
     """
     data = np.load(Path(path), allow_pickle=False)
     meta = json.loads(bytes(data["meta/json"]).decode("utf-8"))
-    if meta["format_version"] != FORMAT_VERSION:
+    if meta["format_version"] not in (1, FORMAT_VERSION):
         raise ValueError(f"unsupported checkpoint version {meta['format_version']}")
     if meta["config"] != trainer.config.label():
         raise ValueError(
             f"checkpoint config {meta['config']} != trainer {trainer.config.label()}"
         )
 
-    for name, param in _named_params(trainer):
-        key = f"model/{name}"
-        if key not in data:
-            raise KeyError(f"checkpoint missing parameter {name}")
-        if data[key].shape != param.data.shape:
-            raise ValueError(f"shape mismatch for {name}")
-        param.data[...] = data[key]
+    if meta["format_version"] == 1:
+        # per-parameter entries (pre-runtime layout)
+        for name, param in _named_params(trainer):
+            key = f"model/{name}"
+            if key not in data:
+                raise KeyError(f"checkpoint missing parameter {name}")
+            if data[key].shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}")
+            param.data[...] = data[key]
+    else:
+        trainer.model.from_bytes(data["model/blob"].tobytes())
+        trainer.decoder.from_bytes(data["decoder/blob"].tobytes())
 
     m, v, _ = trainer.optimizer.state_arrays()
     for idx, (mi, vi) in enumerate(zip(m, v)):

@@ -16,10 +16,17 @@ One :class:`DistTGLTrainer` executes any ``i × j × k`` configuration with
   ``m`` sweeping the epoch's batches starting at segment ``m`` per the
   reordered schedule of Fig. 7(c) (§3.2.3).
 
-Gradients are averaged across all ``j·k`` concurrently computed batches by
-summing their losses before a single backward pass — bitwise equivalent to
-an NCCL all-reduce of per-trainer gradients under equal weighting, since
-every logical trainer shares one weight copy by construction.
+Gradients are averaged across the ``i·j·k`` per-trainer loss terms through
+the reduction contract in :mod:`repro.parallel.allreduce`: each term — one
+(memory group, sub-step, mini-batch shard) triple — is backpropagated on
+its own, flattened to float64, and the partials are summed block-by-block
+in rank order (:class:`~repro.parallel.allreduce.TermGradAccumulator`).
+This is not merely *equivalent* to the wire all-reduce the
+``repro.runtime`` process backend performs — it is the identical float
+arithmetic, which is what lets ``Session.fit(backend="process")`` reproduce
+this trainer's loss trajectory bitwise (Adam's sign-like early steps
+amplify any sub-noise gradient difference to ~lr within a step or two, so
+nothing weaker than bitwise parity survives more than a few iterations).
 
 Fairness protocol (§4.0.1): the total number of traversed edges is fixed, so
 the iteration count scales as ``1/(i·j·k)`` relative to single-GPU.
@@ -42,7 +49,9 @@ from ..memory.static_memory import StaticNodeMemory
 from ..models.decoders import EdgeClassifier, LinkPredictor
 from ..models.tgn import TGN, DirectMemoryView, TGNConfig
 from ..nn import Adam, bce_with_logits, clip_grad_norm, concat, multilabel_bce, use_fused
+from ..parallel.allreduce import TermGradAccumulator, load_reduced, reduce_partials
 from ..parallel.config import ParallelConfig
+from ..utils.misc import derive_rng
 from .evaluation import (
     EvalResult,
     evaluate_edge_classification,
@@ -71,6 +80,7 @@ class TrainerSpec:
     seed: int = 0
     fused: bool = True              # fused execution-layer kernels (nn.fused)
     prep_cache_batches: int = 256   # BatchPrep neighborhood LRU entries
+    eval_prefetch_workers: int = 1  # sampling threads per evaluation sweep
     model: str = "tgn"              # repro.api model-registry key
     sampler: str = "recent"         # repro.api sampler-registry key
     updater: str = "gru"            # memory updater (UPDT ablation choice)
@@ -149,17 +159,31 @@ class _MemoryGroup:
 
 
 class DistTGLTrainer:
-    """Train a TGN on a dataset under any ``i × j × k`` configuration."""
+    """Train a TGN on a dataset under any ``i × j × k`` configuration.
+
+    ``rank`` identifies this trainer within a process fleet (the
+    ``repro.runtime`` backend builds one trainer per worker).  It seeds
+    :attr:`rank_rng` via :func:`repro.utils.derive_rng` — the sanctioned
+    stream for any rank-*local* randomness a component (e.g. a plug-in
+    model with dropout) may need; no builtin component draws from it today,
+    and that is the point: everything that must be identical across ranks —
+    negative group stores, evaluation candidates, model initialization —
+    deliberately keys off the plain spec seed, so logical and process
+    backends draw identical negatives by construction.
+    """
 
     def __init__(
         self,
         dataset: Dataset,
         config: Optional[ParallelConfig] = None,
         spec: Optional[TrainerSpec] = None,
+        rank: int = 0,
     ) -> None:
         self.dataset = dataset
         self.config = config or ParallelConfig()
         self.spec = spec or TrainerSpec()
+        self.rank = rank
+        self.rank_rng = derive_rng(self.spec.seed, rank)
         graph = dataset.graph
         self.graph = graph
         self.split = graph.chronological_split()
@@ -310,6 +334,92 @@ class DistTGLTrainer:
         targets = self.dataset.labels[batch.start : batch.stop]
         return multilabel_bce(logits, targets)
 
+    def _read_shard(self, shard, view):
+        """Read phase of one canonical shard: positive + negative
+        preparations against the current (pre-batch) memory state.
+
+        Shared verbatim with :mod:`repro.runtime.worker` — in the process
+        backend every shard rank runs this before any rank writes, and the
+        logical loop preserves the same reads-before-writes order.  Returns
+        ``None`` for an empty shard (ragged final batch).
+        """
+        if shard.size == 0:
+            return None
+        prep_pos = self.prep.prepare_events(shard, view)
+        neg_groups = (
+            [
+                (self._sweep_negative_offset + g) % self.neg_store.num_groups
+                for g in range(self.config.j)
+            ]
+            if self.neg_store is not None
+            else []
+        )
+        preps_neg = {
+            g: self.prep.prepare(
+                self.neg_store.slice(g, shard.start, shard.stop),
+                shard.times,
+                view,
+            )
+            for g in neg_groups
+        }
+        return shard, prep_pos, preps_neg
+
+    def _forward_shard(self, read, global_size: int):
+        """Write-phase compute of one canonical shard: the forward with the
+        current weights (which also feeds the sub-step-0 loss) plus the
+        write-back payload.  Shared verbatim with the process worker; the
+        caller commits the write-back under its own ordering (sequential
+        shard order here, a rank-ordered serial section in the runtime).
+        Returns ``(cache entry, WriteBack)`` or ``(None, None)``.
+        """
+        if read is None:
+            return None, None
+        shard, prep_pos, preps_neg = read
+        h_pos, state = self.model.forward_prepared(prep_pos)
+        wb = self.model.make_writeback(
+            shard.src, shard.dst, shard.times, state, state,
+            edge_feats=shard.edge_feats,
+        )
+        entry = {
+            "batch": shard,
+            "global_size": global_size,
+            "pos": prep_pos,
+            "neg": preps_neg,
+            "h0": h_pos,
+        }
+        return entry, wb
+
+    def _accumulate_term(
+        self, acc: TermGradAccumulator, entry: dict, r: int, substep: int
+    ) -> None:
+        """Backpropagate one cached block entry into a block partial.
+
+        This is the per-term arithmetic of the reduction contract — negative
+        -group rotation, sub-step-0 ``h0`` reuse, shard weighting, the
+        ``1/(j·k)`` scale, and the zero-grad/backward/fold sequence — in one
+        place, called verbatim by both the logical loop below and the
+        process backend's :mod:`repro.runtime.worker`.  Any edit here moves
+        both backends together; an edit that forked them would break the
+        bitwise-equivalence guarantee.
+        """
+        h0 = entry["h0"] if substep == 0 else None
+        if self.dataset.task == "link":
+            neg_keys = sorted(entry["neg"])
+            g_idx = neg_keys[(r + substep) % len(neg_keys)]
+            loss = self._loss_link(
+                entry["batch"], entry["pos"], entry["neg"][g_idx], h_pos=h0
+            )
+        else:
+            loss = self._loss_edge_class(entry["batch"], entry["pos"], h=h0)
+        weight = entry["batch"].size / entry["global_size"]
+        term = loss if weight == 1.0 else loss * weight
+        term = term * (1.0 / (self.config.j * self.config.k))
+        self.optimizer.zero_grad()
+        # free interior grads/parents eagerly: one term never
+        # backpropagates twice, so peak memory stays near the leaves
+        term.backward(free_graph=True)
+        acc.add_term(float(term.data))
+
     # ------------------------------------------------------------- training
     def train(
         self,
@@ -339,78 +449,55 @@ class DistTGLTrainer:
         last_eval_sweeps = 0
         recent_losses: List[float] = []
 
+        i = self.config.i
         for it in range(iterations):
             with use_fused(self.spec.fused):
                 if substep == 0:
                     # canonical pass: advance each group by one block of j batches
                     for group in self.groups:
                         block = group.next_block(j)
-                        cache = {
-                            "batches": [], "pos": [], "neg": [], "h0": [],
-                            "indices": block,
-                        }
-                        for r, b_idx in enumerate(block):
+                        cache = {"rows": [], "indices": block}
+                        for b_idx in block:
                             group.maybe_reset(b_idx)
-                            batch, prep_pos = self._prepare_positive(group, b_idx)
-                            neg_groups = (
-                                [
-                                    (self._sweep_negative_offset + g) % self.neg_store.num_groups
-                                    for g in range(j)
-                                ]
-                                if self.neg_store is not None
-                                else []
-                            )
-                            preps_neg = (
-                                self._prepare_negatives(group, batch, neg_groups)
-                                if self.neg_store is not None
-                                else {}
-                            )
-                            # canonical write with current weights; the same
-                            # forward feeds this iteration's sub-step-0 loss
-                            h_pos, state = self.model.forward_prepared(prep_pos)
-                            wb = self.model.make_writeback(
-                                batch.src, batch.dst, batch.times, state, state,
-                                edge_feats=batch.edge_feats,
-                            )
-                            TGN.apply_writeback(wb, group.memory, group.mailbox)
-                            cache["batches"].append(batch)
-                            cache["pos"].append(prep_pos)
-                            cache["neg"].append(preps_neg)
-                            cache["h0"].append(h_pos)
+                            batch = self.loader.batch(b_idx)
+                            shards = batch.split_local(i) if i > 1 else [batch]
+                            # read phase first, then write phase — every
+                            # shard's preparations see the pre-batch memory
+                            # state (in the process runtime all shard ranks
+                            # read before any rank writes; same order here)
+                            reads = [
+                                self._read_shard(shard, group.view)
+                                for shard in shards
+                            ]
+                            row = []
+                            for rd in reads:
+                                entry, wb = self._forward_shard(rd, batch.size)
+                                if wb is not None:
+                                    TGN.apply_writeback(wb, group.memory, group.mailbox)
+                                row.append(entry)
+                            cache["rows"].append(row)
                         block_cache[group.index] = cache
 
-                # gradient step: every sub-group of every memory group contributes
-                losses = []
+                # gradient step: one term per (group, shard, sub-batch), each
+                # backpropagated alone and folded into float64 block partials
+                # — the exact arithmetic the process backend's all-reduce
+                # performs over its ranks (block order == rank order m·i + s)
+                partials = []
                 for group in self.groups:
                     cache = block_cache[group.index]
-                    for r in range(j):
-                        batch = cache["batches"][r]
-                        prep_pos = cache["pos"][r]
-                        # sub-step 0 runs with the weights the canonical pass
-                        # just used, so its positive forward is reusable;
-                        # later sub-steps see moved weights and recompute
-                        h0 = cache["h0"][r] if substep == 0 else None
-                        if self.dataset.task == "link":
-                            neg_keys = sorted(cache["neg"][r])
-                            g_idx = neg_keys[(r + substep) % len(neg_keys)]
-                            loss = self._loss_link(
-                                batch, prep_pos, cache["neg"][r][g_idx], h_pos=h0
-                            )
-                        else:
-                            loss = self._loss_edge_class(batch, prep_pos, h=h0)
-                        losses.append(loss)
-
-                total = losses[0]
-                for extra in losses[1:]:
-                    total = total + extra
-                total = total * (1.0 / len(losses))
-                self.optimizer.zero_grad()
-                # free interior grads/parents eagerly: one step never
-                # backpropagates twice, so peak memory stays near the leaves
-                total.backward(free_graph=True)
+                    for s in range(i):
+                        acc = TermGradAccumulator(self.optimizer.params)
+                        for r in range(j):
+                            entry = cache["rows"][r][s]
+                            if entry is not None:
+                                self._accumulate_term(acc, entry, r, substep)
+                        partials.append(acc.to_vector())
+                loss_value = load_reduced(
+                    self.optimizer.params, reduce_partials(partials)
+                )
                 clip_grad_norm(self.optimizer.params, self.spec.grad_clip)
                 self.optimizer.step()
-                recent_losses.append(float(total.data))
+                recent_losses.append(loss_value)
 
             substep = (substep + 1) % j
             self._iteration += 1
@@ -457,6 +544,7 @@ class DistTGLTrainer:
     # ------------------------------------------------------------ evaluation
     def _evaluate_split(self, which: str, warm_group: _MemoryGroup) -> EvalResult:
         sl = self.split.val if which == "val" else self.split.test
+        workers = self.spec.eval_prefetch_workers
         with use_fused(self.spec.fused):
             if self.dataset.task == "link":
                 memory = warm_group.memory.clone()
@@ -468,17 +556,17 @@ class DistTGLTrainer:
                         memory, mailbox,
                         self.split.val.start, self.split.val.stop,
                         self.eval_negs, batch_size=self.global_batch,
-                        prep=self.prep,
+                        prep=self.prep, prefetch_workers=workers,
                     )
                 return evaluate_link_prediction(
                     self.model, self.decoder, self.graph, self.sampler,
                     memory, mailbox, sl.start, sl.stop,
                     self.eval_negs, batch_size=self.global_batch,
-                    prep=self.prep,
+                    prep=self.prep, prefetch_workers=workers,
                 )
             # GDELT protocol: zero-state chunk evaluation
             return evaluate_edge_classification(
                 self.model, self.decoder, self.graph, self.sampler,
                 self.dataset.labels, sl.start, sl.stop, batch_size=self.global_batch,
-                prep=self.prep,
+                prep=self.prep, prefetch_workers=workers,
             )

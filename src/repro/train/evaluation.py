@@ -82,6 +82,7 @@ def evaluate_link_prediction(
     collect_per_event: bool = False,
     prep: Optional[BatchPrep] = None,
     prefetch: bool = True,
+    prefetch_workers: int = 1,
 ) -> EvalResult:
     """Chronological MRR evaluation over events ``[start, stop)``.
 
@@ -92,7 +93,9 @@ def evaluate_link_prediction(
     (used by the Fig. 5 per-node analysis).  ``prep`` shares the caller's
     neighborhood cache across repeated sweeps; ``prefetch=False`` falls back
     to the sequential prepare-then-compute loop (the baseline the hot-path
-    bench compares against).
+    bench compares against).  ``prefetch_workers`` widens the sampling pool
+    — evaluation batches carry every negative candidate, so a single
+    preparation can outweigh the forward pass it overlaps.
     """
     view = DirectMemoryView(memory, mailbox)
     loader = BatchLoader(graph, batch_size, start=start, stop=stop)
@@ -108,7 +111,11 @@ def evaluate_link_prediction(
         return nodes, times
 
     if prefetch:
-        stream = iter(PrefetchingLoader(loader, bp, view, queries=queries))
+        stream = iter(
+            PrefetchingLoader(
+                loader, bp, view, queries=queries, workers=prefetch_workers
+            )
+        )
     else:
         stream = ((b, bp.assemble(bp.neighborhood(*queries(b)), view)) for b in loader)
 
@@ -158,6 +165,7 @@ def evaluate_edge_classification(
     mailbox: Optional[Mailbox] = None,
     prep: Optional[BatchPrep] = None,
     prefetch: bool = True,
+    prefetch_workers: int = 1,
 ) -> EvalResult:
     """F1-micro over events ``[start, stop)``; zero-state memory by default
     (the paper's GDELT protocol starts each evaluation chunk cold)."""
@@ -172,7 +180,7 @@ def evaluate_edge_classification(
     bp = _prep_for(model, sampler, prep)
 
     if prefetch:
-        stream = iter(PrefetchingLoader(loader, bp, view))
+        stream = iter(PrefetchingLoader(loader, bp, view, workers=prefetch_workers))
     else:
         stream = ((b, bp.prepare_events(b, view)) for b in loader)
 

@@ -2,18 +2,24 @@
 
 from .misc import (
     Timer,
+    derive_rng,
     format_table,
     human_bytes,
+    pack_arrays,
     set_global_seed,
     spawn_rngs,
     stable_sigmoid,
+    unpack_arrays,
 )
 
 __all__ = [
     "set_global_seed",
     "spawn_rngs",
+    "derive_rng",
     "Timer",
     "format_table",
     "human_bytes",
     "stable_sigmoid",
+    "pack_arrays",
+    "unpack_arrays",
 ]

@@ -1,4 +1,4 @@
-"""Small shared utilities: deterministic RNG spawning, timing, formatting.
+"""Small shared utilities: RNG spawning, timing, formatting, array packing.
 
 Reproducibility convention used across the package: no global numpy seed is
 ever set implicitly; every stochastic component takes an explicit
@@ -10,7 +10,7 @@ same way real DistTGL derives per-rank seeds from the launch seed.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,23 @@ def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
         raise ValueError("count must be positive")
     root = np.random.SeedSequence(seed)
     return [np.random.default_rng(s) for s in root.spawn(count)]
+
+
+def derive_rng(seed: int, rank: int) -> np.random.Generator:
+    """Deterministic per-rank generator: ``derive_rng(seed, r)`` is the same
+    stream no matter which process asks for it.
+
+    This is the launch-seed convention the process runtime shares with the
+    logical trainers: rank-local randomness comes from ``(seed, rank)`` via
+    ``SeedSequence`` spawn keys (provably independent across ranks), while
+    anything that must be *identical* on every rank — negative groups,
+    evaluation candidates, model init — keeps using the plain root seed.
+    Unlike :func:`spawn_rngs` it does not materialize the whole fleet, so a
+    worker process can derive only its own stream.
+    """
+    if rank < 0:
+        raise ValueError(f"rank must be non-negative, got {rank}")
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(rank,)))
 
 
 class Timer:
@@ -102,6 +119,47 @@ def stable_sigmoid(x: np.ndarray) -> np.ndarray:
     ex = np.exp(x[~pos])
     out[~pos] = ex / (1.0 + ex)
     return out
+
+
+def pack_arrays(arrays) -> Tuple[list, List[bytes]]:
+    """Flatten named arrays into a JSON-able manifest + raw payload chunks.
+
+    The one pickle-free array wire format of the package: a manifest of
+    ``[name, dtype.str, shape]`` triples plus the concatenated
+    ``tobytes()`` payloads, consumed by :func:`unpack_arrays`.  Both the
+    runtime's frame transport and ``nn.Module.to_bytes`` build on this
+    pair, so hardening (dtype checks, bounds) lands in one place.
+    """
+    manifest: list = []
+    payloads: List[bytes] = []
+    for name, arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        manifest.append([name, arr.dtype.str, list(arr.shape)])
+        payloads.append(arr.tobytes())
+    return manifest, payloads
+
+
+def unpack_arrays(manifest, buf, offset: int = 0, context: str = "buffer"):
+    """Rebuild arrays described by a :func:`pack_arrays` manifest.
+
+    Returns ``(dict of name -> array, end offset)``.  Arrays are read-only
+    ``np.frombuffer`` views into ``buf`` — callers that need writable or
+    buffer-independent arrays copy.  Truncated payloads raise ValueError
+    naming the offending array; callers decide whether trailing bytes
+    after ``end offset`` are an error.
+    """
+    out = {}
+    for name, dtype_str, shape in manifest:
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(buf):
+            raise ValueError(f"{context} truncated at array {name!r}")
+        out[name] = np.frombuffer(
+            buf, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+        offset += nbytes
+    return out, offset
 
 
 def human_bytes(n: float) -> str:

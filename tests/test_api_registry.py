@@ -57,8 +57,10 @@ class TestRegistryMachinery:
 
 class TestBuiltinRegistrations:
     def test_paper_datasets_registered_sorted(self):
+        # the five Table-2 stand-ins plus the hot-path bench workload
+        # (registered so runtime-bench workers can rebuild it from a config)
         assert list(DATASETS.available()) == [
-            "flights", "gdelt", "mooc", "reddit", "wikipedia",
+            "flights", "gdelt", "hotpath", "mooc", "reddit", "wikipedia",
         ]
 
     def test_builtin_routers(self):

@@ -8,7 +8,10 @@ import pytest
 from repro.api.config import ExperimentConfig
 from repro.cli import build_parser, main
 
-ALL_COMMANDS = ["train", "plan", "stats", "throughput", "serve-bench", "perf-bench"]
+ALL_COMMANDS = [
+    "train", "plan", "stats", "throughput", "serve-bench", "perf-bench",
+    "runtime-bench",
+]
 
 
 class TestDumpConfig:

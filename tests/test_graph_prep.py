@@ -238,6 +238,78 @@ class TestPrefetchingLoader:
         with pytest.raises(ValueError):
             PrefetchingLoader([], BatchPrep(sampler), view, depth=0)
 
+    def test_invalid_workers(self):
+        g, sampler, _, view = _setup()
+        with pytest.raises(ValueError):
+            PrefetchingLoader([], BatchPrep(sampler), view, workers=0)
+
+
+class TestPrefetchingLoaderPool:
+    """The multi-worker generalization: same contract, wider sampling."""
+
+    def test_pool_yields_in_order_same_as_sequential(self):
+        g, sampler, model, view = _setup(edge_dim=6)
+        loader = BatchLoader(g, 10)
+        prep = BatchPrep(sampler, edge_dim=6)
+        sequential = [(b.index, prep.prepare_events(b, view)) for b in loader]
+        pooled = [
+            (b.index, p)
+            for b, p in PrefetchingLoader(loader, prep, view, workers=4, depth=3)
+        ]
+        assert [i for i, _ in pooled] == [i for i, _ in sequential]
+        for (_, a), (_, b) in zip(pooled, sequential):
+            np.testing.assert_array_equal(a.uniq, b.uniq)
+            np.testing.assert_array_equal(a.block.neighbors, b.block.neighbors)
+
+    def test_pool_preserves_commit_at_yield_semantics(self):
+        """Even with 4 threads sampling ahead, the memory read of batch t
+        must see the consumer's write-back from batch t-1."""
+        g, sampler, model, view = _setup()
+        loader = BatchLoader(g, 15)
+        prep = BatchPrep(sampler)
+        seen = []
+        for batch, prepared in PrefetchingLoader(
+            loader, prep, view, workers=4, depth=4
+        ):
+            seen.append(prepared.memory.max())
+            view.memory.write(
+                np.arange(g.num_nodes),
+                np.full((g.num_nodes, 8), float(batch.index + 1), dtype=np.float32),
+                np.zeros(g.num_nodes),
+            )
+        np.testing.assert_allclose(seen, np.arange(len(seen), dtype=np.float64))
+
+    def test_pool_propagates_error_at_its_position(self):
+        g, sampler, _, view = _setup()
+        loader = BatchLoader(g, 10)
+        prep = BatchPrep(sampler)
+        calls = []
+
+        def queries(batch):
+            calls.append(batch.index)
+            if batch.index == 2:
+                raise RuntimeError("boom at 2")
+            return (
+                np.concatenate([batch.src, batch.dst]),
+                np.concatenate([batch.times, batch.times]),
+            )
+
+        got = []
+        with pytest.raises(RuntimeError, match="boom at 2"):
+            for batch, _ in PrefetchingLoader(
+                loader, prep, view, queries=queries, workers=3
+            ):
+                got.append(batch.index)
+        assert got == [0, 1]  # everything before the failure still arrives
+
+    def test_pool_early_exit_does_not_hang(self):
+        g, sampler, _, view = _setup()
+        loader = BatchLoader(g, 5)
+        prep = BatchPrep(sampler)
+        for i, _ in enumerate(PrefetchingLoader(loader, prep, view, workers=3)):
+            if i == 1:
+                break
+
 
 class TestVectorizedSampler:
     @settings(max_examples=20, deadline=None)

@@ -258,3 +258,46 @@ class TestFlatGrads:
         lin = Linear(3, 2)
         with pytest.raises(ValueError):
             load_flat_grads(lin, np.zeros(5))
+
+
+class TestStateBytes:
+    """The flat-numpy wire format behind worker weight broadcast and
+    checkpoints: no pickle, validated on load."""
+
+    def _mlp(self, seed):
+        return MLP([6, 5, 4], rng=np.random.default_rng(seed))
+
+    def test_roundtrip_bitwise(self):
+        src, dst = self._mlp(0), self._mlp(9)
+        blob = src.to_bytes()
+        assert isinstance(blob, bytes)
+        dst.from_bytes(blob)
+        for (n_a, a), (n_b, b) in zip(
+            src.named_parameters(), dst.named_parameters()
+        ):
+            assert n_a == n_b
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_from_bytes_returns_self_for_chaining(self):
+        src = self._mlp(0)
+        assert self._mlp(1).from_bytes(src.to_bytes()) is not src
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            self._mlp(0).from_bytes(b"PICKLE" + b"\x00" * 64)
+
+    def test_truncated_blob_rejected(self):
+        blob = self._mlp(0).to_bytes()
+        with pytest.raises(ValueError, match="truncated|trailing"):
+            self._mlp(0).from_bytes(blob[:-8])
+
+    def test_shape_mismatch_rejected(self):
+        blob = self._mlp(0).to_bytes()
+        other = MLP([6, 4, 4], rng=np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            other.from_bytes(blob)
+
+    def test_blob_layout_has_no_pickle(self):
+        blob = self._mlp(0).to_bytes()
+        assert blob[:4] == b"RPST"
+        assert b"pickle" not in blob and blob[4] == 1

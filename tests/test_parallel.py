@@ -190,6 +190,100 @@ class TestAllreduce:
         assert t8 < 2 * (1e6 / 1e9) + 8 * 2 * 5e-6 + 1e-3
 
 
+class TestTermGradAccumulator:
+    """The reduction contract shared by the logical and process backends."""
+
+    def _loss(self, model, x_seed):
+        x = Tensor(
+            np.random.default_rng(x_seed).standard_normal((5, 4)).astype(np.float32)
+        )
+        return (model(x) ** 2).sum() * (1.0 / 3)
+
+    def test_per_term_sum_equals_joint_gradient(self):
+        from repro.parallel import TermGradAccumulator, load_reduced, reduce_partials
+
+        model = Linear(4, 2, rng=np.random.default_rng(0))
+        params = model.parameters()
+        # joint: sum three losses, one backward (the pre-contract semantics)
+        joint = Linear(4, 2, rng=np.random.default_rng(0))
+        total = self._loss(joint, 1) + self._loss(joint, 2) + self._loss(joint, 3)
+        total.backward()
+        # contract: per-term backward + float64 block accumulation
+        acc = TermGradAccumulator(params)
+        loss_sum = 0.0
+        for seed in (1, 2, 3):
+            for p in params:
+                p.grad = None
+            term = self._loss(model, seed)
+            term.backward()
+            acc.add_term(float(term.data))
+            loss_sum += float(term.data)
+        value = load_reduced(params, reduce_partials([acc.to_vector()]))
+        assert value == pytest.approx(loss_sum)
+        for p_joint, p in zip(joint.parameters(), params):
+            np.testing.assert_allclose(p.grad, p_joint.grad, rtol=1e-5, atol=1e-6)
+
+    def test_block_order_reduction_is_rank_order(self):
+        from repro.parallel import TermGradAccumulator, reduce_partials
+
+        model = Linear(4, 2, rng=np.random.default_rng(0))
+        params = model.parameters()
+        vectors = []
+        for seed in (1, 2):
+            for p in params:
+                p.grad = None
+            acc = TermGradAccumulator(params)
+            term = self._loss(model, seed)
+            term.backward()
+            acc.add_term(float(term.data))
+            vectors.append(acc.to_vector())
+        total = reduce_partials(vectors)
+        manual = vectors[0].copy()
+        manual += vectors[1]
+        np.testing.assert_array_equal(total, manual)
+
+    def test_absent_grads_stay_none_after_load(self):
+        from repro.parallel import TermGradAccumulator, load_reduced
+
+        model = Linear(4, 2, rng=np.random.default_rng(0))
+        params = model.parameters()
+        for p in params:
+            p.grad = None
+        acc = TermGradAccumulator(params)
+        # only the weight receives a gradient; the bias never does
+        params[0].grad = np.ones_like(params[0].data)
+        acc.add_term(0.5)
+        load_reduced(params, acc.to_vector())
+        assert params[0].grad is not None
+        assert params[1].grad is None
+
+    def test_shared_parameter_listed_twice_keeps_gradient(self):
+        """A parameter shared between sub-modules appears multiple times in
+        the parameter walk; every occurrence must reload the same gradient
+        (a cleared occurrence would erase it for all, since it is one
+        object)."""
+        from repro.parallel import TermGradAccumulator, load_reduced
+
+        shared = Linear(4, 2, rng=np.random.default_rng(0))
+        params = shared.parameters() + shared.parameters()  # dup occurrences
+        for p in params:
+            p.grad = None
+        acc = TermGradAccumulator(params)
+        g = np.ones_like(shared.weight.data)
+        shared.weight.grad = g.copy()
+        shared.bias.grad = np.ones_like(shared.bias.data)
+        acc.add_term(1.0)
+        load_reduced(params, acc.to_vector())
+        np.testing.assert_array_equal(shared.weight.grad, g)
+
+    def test_vector_size_validated(self):
+        from repro.parallel import load_reduced
+
+        model = Linear(4, 2)
+        with pytest.raises(ValueError, match="entries"):
+            load_reduced(model.parameters(), np.zeros(3))
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     machines=st.sampled_from([1, 2, 4]),

@@ -1,0 +1,124 @@
+"""Process-replica serving: bit-identical to the threaded cluster.
+
+One trained session, two clusters — the threaded ``ServingCluster`` and the
+``repro.runtime`` process cluster (worker processes with private model
+copies over one shared node-memory segment).  The same request + ingest
+sequence must produce byte-for-byte identical scores, because the process
+replicas fold the stream once into shared state while the threaded replicas
+each fold it privately — same arithmetic, different topology.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.config import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ServeConfig,
+    TrainConfig,
+)
+from repro.api.session import Session
+
+
+@pytest.fixture(scope="module")
+def fitted_session():
+    cfg = ExperimentConfig(
+        data=DataConfig(dataset="wikipedia", scale=0.004, seed=0),
+        model=ModelConfig(memory_dim=16, time_dim=8, embed_dim=16, num_neighbors=5),
+        train=TrainConfig(
+            epochs=2, batch_size=50, seed=0,
+            eval_candidates=10, num_negative_groups=4,
+        ),
+        serve=ServeConfig(replicas=2, max_batch_pairs=64, max_delay_ms=1.0),
+    )
+    sess = Session(cfg)
+    sess.fit(max_iterations=6)
+    return sess
+
+
+def request_plan(graph, n_requests=6, candidates=8, seed=7):
+    rng = np.random.default_rng(seed)
+    t_end = float(graph.timestamps[-1])
+    plan = []
+    for _ in range(n_requests):
+        plan.append(
+            (
+                int(rng.integers(0, graph.num_nodes)),
+                rng.integers(0, graph.num_nodes, size=candidates),
+                float(rng.uniform(0.5 * t_end, t_end)),
+            )
+        )
+    return plan
+
+
+class TestBitIdenticalServing:
+    def test_scores_match_threaded_cluster_through_ingest(self, fitted_session):
+        sess = fitted_session
+        # a huge deadline pins the micro-batch composition to the explicit
+        # flush_all calls: deadline flushes are wall-clock-triggered on both
+        # cluster kinds, and a batch split at a different boundary changes
+        # the dedup set (and hence scores at the last ulp) — composition,
+        # not backend, must be the only variable in this comparison
+        threaded = sess.serve(replicas=2, max_delay_ms=10_000.0)
+        plan1 = request_plan(threaded.graph)
+        stream = list(sess.held_out_stream(chunk=40))
+
+        with sess.serve(
+            replicas=2, process_replicas=True, max_delay_ms=10_000.0
+        ) as proc:
+            # phase 1: cold-state ranking queries, round-robin routed
+            t_results = [threaded.submit_rank(*req) for req in plan1]
+            threaded.flush_all()
+            p_results = [proc.submit_rank(*req) for req in plan1]
+            proc.flush_all()
+            for t_res, p_res in zip(t_results, p_results):
+                np.testing.assert_array_equal(p_res.wait(30.0), t_res.value)
+
+            # phase 2: stream held-out events in, then query again — the
+            # fold-once shared state must equal k private threaded folds
+            for src, dst, times, feats in stream[:2]:
+                off_t = threaded.ingest(src, dst, times, feats)
+                off_p = proc.ingest(src, dst, times, feats)
+                assert off_t == off_p
+            plan2 = request_plan(threaded.graph, seed=11)
+            t_results = [threaded.submit_rank(*req) for req in plan2]
+            threaded.flush_all()
+            p_results = [proc.submit_rank(*req) for req in plan2]
+            proc.flush_all()
+            for t_res, p_res in zip(t_results, p_results):
+                np.testing.assert_array_equal(p_res.wait(30.0), t_res.value)
+
+            # predict path too (sigmoid probabilities)
+            src = np.array([1, 3, 5], dtype=np.int64)
+            dst = np.array([2, 4, 6], dtype=np.int64)
+            times = np.full(3, float(threaded.graph.timestamps[-1]))
+            t_res = threaded.submit_predict(src, dst, times)
+            threaded.flush_all()
+            p_res = proc.submit_predict(src, dst, times)
+            proc.flush_all()
+            np.testing.assert_array_equal(p_res.wait(30.0), t_res.value)
+
+    def test_round_robin_routing_and_stats(self, fitted_session):
+        sess = fitted_session
+        with sess.serve(replicas=2, process_replicas=True) as proc:
+            plan = request_plan(proc.graph, n_requests=4, seed=3)
+            results = [proc.submit_rank(*req) for req in plan]
+            proc.flush_all()
+            for res in results:
+                res.wait(30.0)
+            assert proc.stats.submitted == 4
+            assert proc.stats.routed == [2, 2]
+            stats = proc.worker_stats()
+            assert [s["rank"] for s in stats] == [0, 1]
+            assert sum(s["requests"] for s in stats) == 4
+            assert all(s["queries"] > 0 for s in stats)
+
+    def test_shutdown_is_idempotent_and_releases_workers(self, fitted_session):
+        proc = fitted_session.serve(replicas=2, process_replicas=True)
+        procs = list(proc._group.processes)
+        proc.shutdown()
+        proc.shutdown()
+        assert all(not p.is_alive() for p in procs)
+        with pytest.raises(RuntimeError, match="shut down"):
+            proc.submit_rank(0, np.array([1, 2]), 1.0)

@@ -1,0 +1,247 @@
+"""Runtime plumbing: frame codec, endpoints, collectives, shared memory."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.collectives import Communicator, make_local_communicators
+from repro.runtime.sharedmem import (
+    SharedGroupState,
+    SharedStateSpec,
+    create_group_states,
+)
+from repro.runtime.transport import (
+    Channel,
+    Frame,
+    SocketEndpoint,
+    TransportError,
+    TransportTimeout,
+    decode_frame,
+    encode_frame,
+    pipe_channel_pair,
+)
+
+
+class TestFrameCodec:
+    def test_roundtrip_arrays_and_meta(self):
+        frame = Frame(
+            tag="grads",
+            meta={"rank": 3, "label": "2x1x2"},
+            arrays={
+                "flat": np.arange(7, dtype=np.float64),
+                "mask": np.array([[True, False]]),
+                "empty": np.zeros((0, 4), dtype=np.float32),
+            },
+        )
+        out = decode_frame(encode_frame(frame))
+        assert out.tag == "grads"
+        assert out.meta == {"rank": 3, "label": "2x1x2"}
+        for name in frame.arrays:
+            np.testing.assert_array_equal(out.arrays[name], frame.arrays[name])
+            assert out.arrays[name].dtype == frame.arrays[name].dtype
+
+    def test_decoded_arrays_are_writable_copies(self):
+        out = decode_frame(
+            encode_frame(Frame("t", arrays={"x": np.ones(3, dtype=np.float32)}))
+        )
+        out.arrays["x"][0] = 5.0  # must not raise (frombuffer views are RO)
+
+    def test_truncated_payload_rejected(self):
+        buf = encode_frame(Frame("t", arrays={"x": np.ones(10)}))
+        with pytest.raises(TransportError):
+            decode_frame(buf[:-4])
+
+    def test_trailing_garbage_rejected(self):
+        buf = encode_frame(Frame("t", arrays={"x": np.ones(2)}))
+        with pytest.raises(TransportError):
+            decode_frame(buf + b"xx")
+
+    def test_missing_array_named_in_error(self):
+        frame = decode_frame(encode_frame(Frame("t")))
+        with pytest.raises(TransportError, match="missing array 'vec'"):
+            frame.array("vec")
+
+
+class TestChannels:
+    def test_pipe_channel_send_recv(self):
+        a, b = pipe_channel_pair()
+        a.send("ping", {"n": 1}, {"x": np.arange(4)})
+        frame = b.recv(timeout=5.0)
+        assert frame.tag == "ping" and frame.meta["n"] == 1
+        np.testing.assert_array_equal(frame.array("x"), np.arange(4))
+
+    def test_recv_timeout_raises(self):
+        a, b = pipe_channel_pair()
+        with pytest.raises(TransportTimeout):
+            b.recv(timeout=0.05)
+
+    def test_expect_wrong_tag_raises(self):
+        a, b = pipe_channel_pair()
+        a.send("left")
+        with pytest.raises(TransportError, match="expected frame 'right'"):
+            b.expect("right", timeout=5.0)
+
+    def test_expect_surfaces_peer_error_frame(self):
+        a, b = pipe_channel_pair()
+        a.send("error", {"error": "boom at rank 1"})
+        with pytest.raises(TransportError, match="boom at rank 1"):
+            b.expect("anything", timeout=5.0)
+
+    def test_socket_endpoint_roundtrip(self):
+        left, right = socket.socketpair()
+        ch_a = Channel(SocketEndpoint(left))
+        ch_b = Channel(SocketEndpoint(right))
+        payload = np.random.default_rng(0).standard_normal(1000)
+        ch_a.send("wire", {"k": "v"}, {"data": payload})
+        frame = ch_b.recv(timeout=5.0)
+        np.testing.assert_array_equal(frame.array("data"), payload)
+        ch_a.close()
+        with pytest.raises(TransportError):
+            ch_b.recv(timeout=1.0)
+
+
+def _run_threaded(comms, fn):
+    """Drive one communicator per thread; returns per-rank results."""
+    results = [None] * len(comms)
+    errors = []
+
+    def runner(rank):
+        try:
+            results[rank] = fn(comms[rank], rank)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=runner, args=(r,)) for r in range(len(comms))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+    if errors:
+        raise errors[0][1]
+    return results
+
+
+class TestCollectives:
+    def test_allreduce_sum_matches_rank_ordered_float64(self):
+        comms = make_local_communicators(3, default_timeout=10.0)
+        vecs = [np.random.default_rng(r).standard_normal(50) for r in range(3)]
+        out = _run_threaded(comms, lambda c, r: c.allreduce_sum(vecs[r]))
+        expected = vecs[0].astype(np.float64).copy()
+        for v in vecs[1:]:
+            expected += v
+        for res in out:
+            np.testing.assert_array_equal(res, expected)
+
+    def test_broadcast_from_root(self):
+        comms = make_local_communicators(3, default_timeout=10.0)
+        table = np.arange(12.0).reshape(3, 4)
+
+        def fn(comm, rank):
+            frame = comm.broadcast(
+                arrays={"w": table} if rank == 0 else None,
+                meta={"step": 7} if rank == 0 else None,
+            )
+            return frame
+
+        out = _run_threaded(comms, fn)
+        for frame in out:
+            np.testing.assert_array_equal(frame.array("w"), table)
+
+    def test_barrier_root_section_runs_while_everyone_waits(self):
+        comms = make_local_communicators(3, default_timeout=10.0)
+        box = []
+
+        def fn(comm, rank):
+            comm.barrier(
+                "sync", root_section=(lambda: box.append(rank)) if rank == 0 else None
+            )
+            return len(box)  # every rank must observe the root section done
+
+        out = _run_threaded(comms, fn)
+        assert box == [0]
+        assert out == [1, 1, 1]
+
+    def test_serial_section_runs_in_rank_order(self):
+        comms = make_local_communicators(4, default_timeout=10.0)
+        order = []
+
+        def fn(comm, rank):
+            comm.serial_section(lambda: order.append(rank))
+            return True
+
+        _run_threaded(comms, fn)
+        assert order == [0, 1, 2, 3]
+
+    def test_gather_meta_rank_ordered(self):
+        comms = make_local_communicators(3, default_timeout=10.0)
+        out = _run_threaded(comms, lambda c, r: c.gather_meta({"rank": r}))
+        assert [m["rank"] for m in out[0]] == [0, 1, 2]
+        assert out[1] is None and out[2] is None
+
+    def test_dead_peer_times_out_instead_of_hanging(self):
+        comms = make_local_communicators(2, default_timeout=0.1)
+        # rank 1 never shows up; rank 0's barrier must raise quickly
+        with pytest.raises(TransportTimeout):
+            comms[0].barrier()
+
+    def test_world_size_one_is_trivial(self):
+        comm = Communicator(0, 1)
+        comm.barrier()
+        np.testing.assert_array_equal(
+            comm.allreduce_sum(np.ones(3)), np.ones(3)
+        )
+
+
+class TestSharedMemory:
+    def test_state_visible_across_attachments(self):
+        (owner,) = create_group_states(1, num_nodes=9, memory_dim=4, edge_dim=2)
+        try:
+            other = SharedGroupState(owner.spec, create=False)
+            nodes = np.array([1, 5])
+            owner.memory.write(
+                nodes, np.full((2, 4), 3.5, dtype=np.float32), np.array([7.0, 8.0])
+            )
+            mem, last = other.memory.read(nodes)
+            np.testing.assert_array_equal(mem, np.full((2, 4), 3.5))
+            np.testing.assert_array_equal(last, [7.0, 8.0])
+            # mailbox too: deposit through one mapping, read through the other
+            owner.mailbox.deposit(
+                np.array([2]), np.array([3]),
+                np.ones((1, 4), dtype=np.float32),
+                np.zeros((1, 4), dtype=np.float32),
+                np.array([1.0]),
+                edge_feats=np.ones((1, 2), dtype=np.float32),
+            )
+            _, _, has = other.mailbox.read(np.array([2, 3, 4]))
+            assert list(has) == [True, True, False]
+            other.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_clone_detaches_from_shared_segment(self):
+        (owner,) = create_group_states(1, num_nodes=4, memory_dim=2, edge_dim=0)
+        try:
+            owner.memory.memory[:] = 1.0
+            clone = owner.memory.clone()
+            owner.memory.memory[:] = 9.0
+            np.testing.assert_array_equal(clone.memory, np.ones((4, 2)))
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_spec_roundtrips_and_sizes(self):
+        spec = SharedStateSpec("x", num_nodes=10, memory_dim=8, edge_dim=4)
+        assert SharedStateSpec.from_dict(spec.to_dict()) == spec
+        # memory + last_update + mail + mail_time + has_mail
+        expected = 10 * (8 * 4 + 8 + (2 * 8 + 4) * 4 + 8 + 1)
+        assert spec.nbytes == expected
+
+    def test_attach_to_missing_segment_raises(self):
+        spec = SharedStateSpec("repro-test-missing", 4, 2, 0)
+        with pytest.raises(FileNotFoundError):
+            SharedGroupState(spec, create=False)

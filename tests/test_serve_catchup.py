@@ -1,0 +1,145 @@
+"""Replica catch-up from the WAL: ``EventLog.events_since`` after restore lag.
+
+The serving WAL's contract (ROADMAP, PR 1 future direction): a replica
+restored from a snapshot that lags the live cluster can replay exactly the
+missed suffix — ``events_since(snapshot_wal_len)`` — through its normal
+ingest path and converge to the live cluster's state, answering queries
+identically.  These tests pin that contract down, including the edge cases
+(empty suffix, bad offsets) a catch-up implementation leans on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.cluster import ServingCluster
+from repro.serve.ingest import EventLog
+
+from helpers import toy_serving_setup
+
+
+def build_cluster(model, decoder, graph, **kw):
+    return ServingCluster(
+        model, graph, decoder, k=2, max_batch_pairs=64, max_delay=0.0, **kw
+    )
+
+
+def stream_chunks(graph, split, chunk=30, limit=4):
+    src = graph.src
+    chunks = []
+    for lo in range(split.train_end, split.val_end, chunk):
+        hi = min(lo + chunk, split.val_end)
+        chunks.append(
+            (
+                src[lo:hi],
+                graph.dst[lo:hi],
+                graph.timestamps[lo:hi],
+                graph.edge_feats[lo:hi] if graph.edge_feats is not None else None,
+            )
+        )
+        if len(chunks) == limit:
+            break
+    return chunks
+
+
+class TestEventsSince:
+    def test_suffix_semantics(self):
+        log = EventLog(edge_dim=0)
+        log.append(np.array([1, 2]), np.array([3, 4]), np.array([1.0, 2.0]))
+        log.append(np.array([5]), np.array([6]), np.array([3.0]))
+        src, dst, times, feats = log.events_since(1)
+        np.testing.assert_array_equal(src, [2, 5])
+        np.testing.assert_array_equal(dst, [4, 6])
+        np.testing.assert_array_equal(times, [2.0, 3.0])
+        assert feats is None
+
+    def test_empty_suffix_and_bounds(self):
+        log = EventLog(edge_dim=2)
+        log.append(
+            np.array([1]), np.array([2]), np.array([1.0]),
+            np.ones((1, 2), dtype=np.float32),
+        )
+        src, dst, times, feats = log.events_since(1)
+        assert len(src) == len(dst) == len(times) == 0
+        assert feats.shape == (0, 2)
+        with pytest.raises(ValueError):
+            log.events_since(2)
+        with pytest.raises(ValueError):
+            log.events_since(-1)
+
+
+class TestReplicaCatchUp:
+    def test_restored_cluster_catches_up_via_events_since(self, tmp_path):
+        """snapshot at offset N, keep ingesting, restore elsewhere, replay
+        ``events_since(N)`` -> both clusters answer identically."""
+        model, decoder, full, serve_graph, split = toy_serving_setup(seed=1)
+        live = build_cluster(model, decoder, serve_graph)
+        chunks = stream_chunks(full, split)
+
+        # live cluster ingests one chunk, snapshots, then keeps going
+        live.ingest(*chunks[0])
+        snap = live.save(tmp_path / "snap.npz")
+        snapshot_offset = len(live.wal)
+        for chunk in chunks[1:]:
+            live.ingest(*chunk)
+
+        # lagging replica: restore the snapshot on a pristine twin...
+        model2, decoder2, full2, serve_graph2, _ = toy_serving_setup(seed=1)
+        lagging = build_cluster(model2, decoder2, serve_graph2)
+        lagging.restore(snap)
+        assert len(lagging.wal) == snapshot_offset
+        # ...then replay exactly the missed suffix through normal ingestion.
+        # Replay preserves the original batch boundaries (mail staleness is
+        # batch-granular, so coarser replay would land on a different state)
+        missed = live.wal.events_since(snapshot_offset)
+        assert len(missed[0]) == sum(len(c[0]) for c in chunks[1:])
+        for batch in live.wal.batches_since(snapshot_offset):
+            lagging.ingest(*batch)
+
+        assert len(lagging.wal) == len(live.wal)
+        assert lagging.graph.num_events == live.graph.num_events
+        for rep_live, rep_lag in zip(live.replicas, lagging.replicas):
+            np.testing.assert_array_equal(
+                rep_lag.engine.memory.memory, rep_live.engine.memory.memory
+            )
+            np.testing.assert_array_equal(
+                rep_lag.engine.mailbox.mail, rep_live.engine.mailbox.mail
+            )
+
+        # and the caught-up replica serves the same answers
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            src = int(rng.integers(0, serve_graph.num_nodes))
+            cands = rng.integers(0, serve_graph.num_nodes, size=6)
+            at = float(full.timestamps[split.val_end - 1])
+            a = live.submit_rank(src, cands, at)
+            live.flush_all()
+            b = lagging.submit_rank(src, cands, at)
+            lagging.flush_all()
+            np.testing.assert_array_equal(b.value, a.value)
+
+    def test_catch_up_from_zero_replays_everything(self):
+        """offset 0 is the full log — a fresh twin cluster can rebuild the
+        live state with no snapshot at all."""
+        model, decoder, full, serve_graph, split = toy_serving_setup(seed=2)
+        live = build_cluster(model, decoder, serve_graph)
+        for chunk in stream_chunks(full, split, limit=2):
+            live.ingest(*chunk)
+
+        model2, decoder2, _, serve_graph2, _ = toy_serving_setup(seed=2)
+        twin = build_cluster(model2, decoder2, serve_graph2)
+        for batch in live.wal.batches_since(0):
+            twin.ingest(*batch)
+        np.testing.assert_array_equal(
+            twin.replicas[0].engine.memory.memory,
+            live.replicas[0].engine.memory.memory,
+        )
+
+    def test_batches_since_preserves_append_boundaries(self):
+        log = EventLog(edge_dim=0)
+        log.append(np.array([1, 2, 3]), np.array([4, 5, 6]), np.array([1.0, 2.0, 3.0]))
+        log.append(np.array([7]), np.array([8]), np.array([4.0]))
+        batches = log.batches_since(1)
+        assert [len(b[0]) for b in batches] == [2, 1]
+        np.testing.assert_array_equal(batches[0][0], [2, 3])
+        np.testing.assert_array_equal(batches[1][0], [7])
+        assert log.batches_since(4) == []

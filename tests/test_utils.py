@@ -5,7 +5,14 @@ import time
 import numpy as np
 import pytest
 
-from repro.utils import Timer, format_table, human_bytes, set_global_seed, spawn_rngs
+from repro.utils import (
+    Timer,
+    derive_rng,
+    format_table,
+    human_bytes,
+    set_global_seed,
+    spawn_rngs,
+)
 
 
 class TestRngs:
@@ -28,6 +35,50 @@ class TestRngs:
     def test_set_global_seed_returns_generator(self):
         rng = set_global_seed(3)
         assert isinstance(rng, np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_same_seed_rank_same_stream_anywhere(self):
+        """The launch-seed convention: (seed, rank) fully determines the
+        stream, so a process worker and a logical trainer agree."""
+        np.testing.assert_array_equal(
+            derive_rng(42, 3).random(50), derive_rng(42, 3).random(50)
+        )
+
+    def test_ranks_are_independent(self):
+        a, b = derive_rng(42, 0), derive_rng(42, 1)
+        assert not np.allclose(a.random(100), b.random(100))
+
+    def test_matches_spawn_rngs_isolation_but_not_streams(self):
+        # derive_rng is positional (spawn_key), spawn_rngs is sequential
+        # spawn; both give independent streams per rank
+        fleet = spawn_rngs(7, 3)
+        solo = derive_rng(7, 2)
+        assert not np.allclose(fleet[2].random(50), derive_rng(8, 2).random(50))
+        assert isinstance(solo, np.random.Generator)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            derive_rng(0, -1)
+
+    def test_trainer_threads_rank_rng_but_shares_negatives(self):
+        """Rank-local randomness differs per rank; the negative stream the
+        equivalence contract depends on is rank-invariant."""
+        from repro.parallel import ParallelConfig
+        from repro.train import DistTGLTrainer, TrainerSpec
+
+        from helpers import toy_dataset
+
+        ds = toy_dataset(num_events=300, seed=0)
+        spec = TrainerSpec(batch_size=50, memory_dim=8, time_dim=8, embed_dim=8,
+                           eval_candidates=5, num_negative_groups=3)
+        t0 = DistTGLTrainer(ds, ParallelConfig(2, 1, 1), spec, rank=0)
+        t1 = DistTGLTrainer(ds, ParallelConfig(2, 1, 1), spec, rank=1)
+        assert not np.allclose(t0.rank_rng.random(20), t1.rank_rng.random(20))
+        np.testing.assert_array_equal(
+            t0.neg_store.group(0), t1.neg_store.group(0)
+        )
+        np.testing.assert_array_equal(t0.eval_negs, t1.eval_negs)
 
 
 class TestTimer:
