@@ -12,6 +12,18 @@ Run:
 ``--backend process`` executes each plan on the ``repro.runtime`` backend —
 i*k real worker processes with shared-memory node state — and produces the
 same losses and metrics as the in-process logical trainers, bit for bit.
+The process fleet is fault tolerant: a rank killed mid-fit is respawned
+and the run still finishes bitwise identical to an unfaulted one.
+
+Long runs can checkpoint themselves and continue exactly where they
+stopped::
+
+    sess.fit(checkpoint_dir="runs/ckpt")        # periodic snapshots
+    sess = Session.resume("runs/ckpt")          # later / elsewhere
+    sess.fit()                                  # bitwise == uninterrupted
+
+(or ``python -m repro.cli train --checkpoint-dir runs/ckpt`` and
+``python -m repro.cli resume --dir runs/ckpt``).
 """
 
 import argparse

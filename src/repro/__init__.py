@@ -46,8 +46,53 @@ Every ``Session`` can execute on two engines with **identical results**:
 * ``sess.serve(replicas=k, process_replicas=True)`` — serving replicas as
   worker processes: each owns a model copy (true compute parallelism), all
   share one node-memory segment, predictions bit-identical to the threaded
-  cluster.  ``python -m repro.cli train --backend process`` and
-  ``examples/quickstart.py --backend process`` drive the same switch.
+  cluster (and ``cluster.save()/restore()`` snapshots are interchangeable
+  between the two kinds).  ``python -m repro.cli train --backend process``
+  and ``examples/quickstart.py --backend process`` drive the same switch.
+
+Fault tolerance & resumable runs
+--------------------------------
+The process backend survives the failures scale brings.  When a rank
+crashes, wedges, or loses its pipes mid-``fit``, the elastic supervisor
+rolls the fleet back to the last committed step boundary (a double-
+buffered shared-memory commit slab + per-group shadow segments), respawns
+the dead rank, and resumes — and because both backends execute bit-exact
+arithmetic, the recovered run still finishes **bitwise identical** to an
+unfaulted one.  ``repro.runtime.RecoveryPolicy`` tunes the restart budget,
+detection timeouts and commit cadence::
+
+    sess.fit(backend="process",
+             recovery=repro.runtime.RecoveryPolicy(max_restarts=2))
+
+Long runs checkpoint themselves and resume exactly::
+
+    sess.fit(checkpoint_dir="runs/wiki-ckpt")   # cadence from
+                                                # train.checkpoint_every
+    ...                                         # interrupted? then later:
+    sess = repro.Session.resume("runs/wiki-ckpt")
+    sess.fit()        # continues to the original target; final weights,
+                      # memory and metrics equal the uninterrupted run
+                      # bitwise (python -m repro.cli resume --dir ... too)
+
+Testing & fault-injection guide
+-------------------------------
+``repro.testing`` is the subsystem that *proves* the recovery claims, and
+it is reusable for any experiment that must survive chaos:
+
+* ``repro.testing.failpoints`` — deterministic failure injection.  Arm a
+  site with ``failpoints.enable("worker.step:3", kind="crash", rank=1)``
+  (kinds: ``crash`` = SIGKILL, ``wedge`` = hang, ``pipe_drop`` = dead
+  collectives, ``exc`` = ordinary exception); activation travels through
+  the ``REPRO_FAILPOINTS`` environment variable, so spawned worker
+  processes honor the same schedule.  Respawned ranks neutralize inherited
+  failpoints — a crash schedule fires once, not once per restart.
+* ``repro.testing.chaos`` — the chaos driver + differential oracle:
+  ``differential_chaos_fit(cfg, {"worker.step:3": ("crash", 1)}, ...)``
+  runs the faulted process fit *and* an unfaulted reference, then compares
+  losses, metrics, weights, optimizer moments and node memory for exact
+  equality (``report.bitwise_equal``); ``assert_sessions_bitwise_equal``
+  is the standalone comparator.  ``tests/test_runtime_recovery.py`` is the
+  worked example — every failure kind, hard deadlines, no hangs.
 
 Configs are frozen dataclasses that validate at construction and round-trip
 through JSON byte-identically (``cfg.to_json()`` / ``ExperimentConfig

@@ -134,6 +134,9 @@ class TrainConfig(ConfigBase):
     fused: bool = True
     prep_cache_batches: int = 256
     eval_prefetch_workers: int = 1
+    checkpoint_every: int = 0         # block boundaries between mid-run
+                                      # snapshots (0 = disabled); fit() needs
+                                      # a checkpoint_dir for them to land
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -147,6 +150,10 @@ class TrainConfig(ConfigBase):
         if self.eval_prefetch_workers < 1:
             raise ValueError(
                 f"eval_prefetch_workers must be >= 1, got {self.eval_prefetch_workers}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
 
 

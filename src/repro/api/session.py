@@ -18,6 +18,7 @@ API; the Session only wires it together from one serializable description.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Optional, Union
 
@@ -42,6 +43,7 @@ class Session:
             self.dataset, self.config.parallel, self.config.trainer_spec()
         )
         self.result = None            # last TrainResult, if fit() has run
+        self._resume_state = None     # interrupted-run bookkeeping (resume())
 
     # -------------------------------------------------------------- plumbing
     @property
@@ -62,7 +64,10 @@ class Session:
 
     # -------------------------------------------------------------- training
     def fit(self, epochs: Optional[int] = None, verbose: bool = False,
-            max_iterations: Optional[int] = None, backend: str = "local"):
+            max_iterations: Optional[int] = None, backend: str = "local",
+            recovery=None, timeout: Optional[float] = None,
+            checkpoint_dir: Optional[Union[str, Path]] = None,
+            checkpoint_every: Optional[int] = None):
         """Train per the config (``train.epochs`` unless overridden);
         returns the :class:`repro.train.TrainResult`.
 
@@ -78,30 +83,115 @@ class Session:
           state — matches the local backend **bitwise at every world
           size**, and the trained state is folded back into this session,
           so ``evaluate()`` / ``save()`` / ``serve()`` behave identically
-          afterwards.
+          afterwards.  The process backend is **fault tolerant**: a rank
+          that crashes, wedges or loses its pipes mid-fit is respawned and
+          the fleet rolls back to the last committed step boundary, still
+          finishing bitwise identical to an unfaulted run; ``recovery``
+          takes a :class:`repro.runtime.RecoveryPolicy` to tune (or, with
+          ``max_restarts=0``, disable) that behavior, and ``timeout``
+          bounds the whole fit.
+
+        ``checkpoint_dir`` (+ ``checkpoint_every``, default
+        ``config.train.checkpoint_every``, or every block boundary when no
+        cadence is configured) writes periodic mid-run snapshots — config +
+        trainer checkpoint + run bookkeeping — that :meth:`Session.resume`
+        continues from.  On a session produced by
+        :meth:`resume`, calling ``fit()`` with no iteration arguments
+        continues the interrupted run to its original target.
         """
         if backend not in ("local", "process"):
             raise ValueError(
                 f"backend must be 'local' or 'process', got {backend!r}"
             )
+        run_state = self._resume_state
+        if run_state is not None:
+            if epochs is not None or max_iterations is not None:
+                raise ValueError(
+                    "this session resumes an interrupted run; call fit() "
+                    "without epochs/max_iterations to continue it (or use "
+                    "Session.load for a fresh budget)"
+                )
+            self._resume_state = None
+        every = (
+            checkpoint_every
+            if checkpoint_every is not None
+            else self.config.train.checkpoint_every
+        )
+        if checkpoint_dir is not None and every <= 0:
+            # asking for a checkpoint directory IS asking for checkpoints:
+            # with no cadence configured, snapshot every block boundary
+            # rather than silently writing nothing
+            every = 1
+        checkpointing = checkpoint_dir is not None
         if backend == "process":
             from ..runtime.launcher import apply_process_result, run_process_fit
 
-            meta, arrays, states = run_process_fit(
-                self.config,
-                self.trainer,
+            if checkpointing:
+                raise ValueError(
+                    "periodic checkpointing (checkpoint_dir) is a local-"
+                    "backend feature; the process backend gets fault "
+                    "tolerance from elastic restart instead"
+                )
+            kwargs = dict(
                 epochs=epochs,
                 max_iterations=max_iterations,
                 verbose=verbose,
+                recovery=recovery,
+                run_state=run_state,
+            )
+            if timeout is not None:
+                kwargs["timeout"] = timeout
+            meta, arrays, states = run_process_fit(
+                self.config, self.trainer, **kwargs
             )
             self.result = apply_process_result(self.trainer, meta, arrays, states)
             return self.result
+        if recovery is not None:
+            raise ValueError("recovery policies apply to backend='process' only")
+        if timeout is not None:
+            raise ValueError("timeout applies to backend='process' only")
+        on_block_boundary = (
+            self._checkpoint_callback(Path(checkpoint_dir), int(every))
+            if checkpointing
+            else None
+        )
         self.result = self.trainer.train(
             epochs_equivalent=epochs if epochs is not None else self.config.train.epochs,
             max_iterations=max_iterations,
             verbose=verbose,
+            run_state=run_state,
+            on_block_boundary=on_block_boundary,
         )
         return self.result
+
+    def _checkpoint_callback(self, directory: Path, every: int):
+        """Periodic mid-run snapshot writer (fires at block boundaries).
+
+        Both files land via write-to-temp + rename, checkpoint first, so a
+        crash at any instant leaves either the previous complete snapshot
+        or the new one — and because ``resume.json`` records the iteration
+        of the checkpoint it belongs to, :meth:`resume` detects (and
+        refuses) a mixed pair instead of silently splicing a stale loss
+        window onto a newer checkpoint.
+        """
+        from ..train.checkpoint import save_checkpoint
+
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "config.json").write_text(self.config.to_json() + "\n")
+        counter = {"blocks": 0}
+
+        def on_block_boundary(trainer, book: dict) -> None:
+            counter["blocks"] += 1
+            if counter["blocks"] % every:
+                return
+            tmp_ckpt = directory / "checkpoint.tmp.npz"
+            save_checkpoint(trainer, tmp_ckpt)
+            tmp_ckpt.replace(directory / "checkpoint.npz")
+            tmp = directory / "resume.json.tmp"
+            tmp.write_text(json.dumps(book, indent=2, sort_keys=True) + "\n")
+            tmp.replace(directory / "resume.json")
+
+        return on_block_boundary
 
     def evaluate(self, split: str = "test"):
         """Evaluate on ``'val'`` or ``'test'`` with the current weights,
@@ -227,6 +317,47 @@ class Session:
             raise FileNotFoundError(f"no session at {path} (missing config.json)")
         sess = cls(ExperimentConfig.from_json(config_file.read_text()))
         load_checkpoint(sess.trainer, path / "checkpoint.npz")
+        return sess
+
+    @classmethod
+    def resume(cls, path: Union[str, Path]) -> "Session":
+        """Continue an interrupted fit from a periodic-checkpoint directory
+        (one written by ``fit(checkpoint_dir=...)``).
+
+        The returned session holds the checkpointed trainer state *and* the
+        run's bookkeeping (original iteration target, loss-averaging
+        window, eval cadence); calling :meth:`fit` on it with no iteration
+        arguments runs the remaining iterations — and because the
+        checkpoint anchors a bit-exact state, the resumed run's final
+        weights, memory and metrics equal an uninterrupted fit **bitwise**
+        (either backend).
+        """
+        path = Path(path)
+        resume_file = path / "resume.json"
+        if not resume_file.exists():
+            raise FileNotFoundError(
+                f"no resumable run at {path} (missing resume.json — "
+                f"directories written by Session.save hold a finished "
+                f"state; use Session.load for those)"
+            )
+        sess = cls.load(path)
+        state = json.loads(resume_file.read_text())
+        for key in ("target_iteration", "history", "recent", "last_eval_sweeps"):
+            if key not in state:
+                raise ValueError(f"resume.json at {path} is missing {key!r}")
+        if "iteration" in state and int(state["iteration"]) != sess.trainer._iteration:
+            raise ValueError(
+                f"resume.json belongs to iteration {state['iteration']} but "
+                f"checkpoint.npz is at {sess.trainer._iteration} — the "
+                f"snapshot pair is torn; re-checkpoint before resuming"
+            )
+        if int(state["target_iteration"]) < sess.trainer._iteration:
+            raise ValueError(
+                f"resume.json target {state['target_iteration']} precedes "
+                f"the checkpoint's iteration {sess.trainer._iteration} "
+                f"(torn snapshot?)"
+            )
+        sess._resume_state = state
         return sess
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -18,6 +18,10 @@ therefore universal:
 Commands
 --------
 train       train a TGN under an i×j×k configuration and print the result
+            (``--checkpoint-dir`` writes periodic resumable snapshots;
+            ``--backend process`` runs the fault-tolerant process fleet)
+resume      continue an interrupted ``train --checkpoint-dir`` run from its
+            snapshot directory — bitwise identical to never interrupting it
 plan        run the §3.2.4 planner for a cluster + dataset
 stats       print Table-2-style statistics of a generated dataset
 throughput  model Fig-12-style throughput for a system / configuration
@@ -128,8 +132,37 @@ def build_parser() -> argparse.ArgumentParser:
                               "(identical results, real parallelism)")
     p_train.add_argument("--save", default=None, metavar="DIR",
                          help="persist the session (config + checkpoint) here")
+    p_train.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="write periodic mid-run snapshots here "
+                              "(resume with `repro.cli resume --dir DIR`)")
+    p_train.add_argument("--checkpoint-every", type=int, default=None,
+                         metavar="N",
+                         help="snapshot cadence in block boundaries "
+                              "(default: train.checkpoint_every from the config)")
     p_train.add_argument("--quiet", action="store_true")
     _add_config_flags(p_train)
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="continue an interrupted train run from its checkpoint directory",
+    )
+    p_resume.add_argument("--dir", required=True, metavar="DIR",
+                          help="checkpoint directory written by "
+                               "`train --checkpoint-dir` (config + "
+                               "checkpoint.npz + resume.json)")
+    p_resume.add_argument("--backend", choices=["local", "process"],
+                          default="local")
+    p_resume.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                          help="keep snapshotting the continued run here "
+                               "(default: the --dir being resumed, so a "
+                               "second interruption stays resumable; "
+                               "'' disables)")
+    p_resume.add_argument("--checkpoint-every", type=int, default=None,
+                          metavar="N", help="snapshot cadence in block "
+                                            "boundaries (default: config)")
+    p_resume.add_argument("--save", default=None, metavar="DIR",
+                          help="persist the finished session here")
+    p_resume.add_argument("--quiet", action="store_true")
 
     p_plan = sub.add_parser("plan", help="choose (i, j, k) for a cluster")
     p_plan.add_argument("--dataset", choices=datasets, default="wikipedia")
@@ -284,7 +317,12 @@ def cmd_train(args) -> int:
         return 0
     sess = Session(cfg)
     with Timer() as t:
-        result = sess.fit(verbose=not args.quiet, backend=args.backend)
+        result = sess.fit(
+            verbose=not args.quiet,
+            backend=args.backend,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
     metric = "MRR" if sess.task == "link" else "F1-micro"
     backend_note = (
         f" | {cfg.parallel.i * cfg.parallel.k} worker processes"
@@ -295,6 +333,35 @@ def cmd_train(args) -> int:
         f"[{cfg.parallel.label()}] {cfg.data.dataset}: best val {metric} "
         f"{result.best_val:.4f} | test {metric} {result.test_metric:.4f} | "
         f"{result.iterations_run} iterations | {t.elapsed:.1f}s{backend_note}"
+    )
+    if args.save:
+        path = sess.save(args.save)
+        print(f"session saved to {path}")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    sess = Session.resume(args.dir)
+    start = sess.trainer._iteration
+    # the continued run keeps checkpointing (into the same directory unless
+    # redirected) — a resumed run interrupted again must stay resumable;
+    # the local backend is the one that supports periodic snapshots
+    ckpt_dir = args.dir if args.checkpoint_dir is None else args.checkpoint_dir
+    if args.backend != "local":
+        ckpt_dir = None
+    with Timer() as t:
+        result = sess.fit(
+            verbose=not args.quiet,
+            backend=args.backend,
+            checkpoint_dir=ckpt_dir or None,
+            checkpoint_every=args.checkpoint_every,
+        )
+    metric = "MRR" if sess.task == "link" else "F1-micro"
+    print(
+        f"[{sess.config.parallel.label()}] resumed {sess.config.data.dataset} "
+        f"at iteration {start}: best val {metric} {result.best_val:.4f} | "
+        f"test {metric} {result.test_metric:.4f} | "
+        f"{result.iterations_run} iterations | {t.elapsed:.1f}s"
     )
     if args.save:
         path = sess.save(args.save)
@@ -494,6 +561,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "train": cmd_train,
+        "resume": cmd_resume,
         "plan": cmd_plan,
         "stats": cmd_stats,
         "throughput": cmd_throughput,

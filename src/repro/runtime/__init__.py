@@ -23,7 +23,10 @@ Layers, bottom up:
   from the config via the ``repro.api`` registries, run the fused
   BatchPrep training loop, sync gradients every step;
 * :mod:`~repro.runtime.launcher` — :class:`ProcessGroup` spawn / join /
-  failure propagation and the ``fit`` orchestration;
+  failure propagation, the ``fit`` orchestration, and the elastic
+  supervisor: commit-slab rollback, dead-rank respawn, bounded restarts
+  (:class:`RecoveryPolicy`) — a faulted fit still finishes bitwise equal
+  to an unfaulted one;
 * :mod:`~repro.runtime.serving` — :class:`ProcessServingCluster`,
   process replicas with their own model copies over one shared serving
   state (bit-identical to the threaded cluster);
@@ -34,12 +37,18 @@ Layers, bottom up:
 from .collectives import Communicator, make_local_communicators
 from .launcher import (
     ProcessGroup,
+    RecoveryPolicy,
     WorkerFailure,
     apply_process_result,
     run_process_fit,
 )
 from .serving import ProcessPendingResult, ProcessServingCluster
-from .sharedmem import SharedGroupState, SharedStateSpec, create_group_states
+from .sharedmem import (
+    CommitSlab,
+    SharedGroupState,
+    SharedStateSpec,
+    create_group_states,
+)
 from .transport import (
     Channel,
     Frame,
@@ -54,8 +63,10 @@ from .transport import (
 
 __all__ = [
     "Channel",
+    "CommitSlab",
     "Communicator",
     "Frame",
+    "RecoveryPolicy",
     "PipeEndpoint",
     "ProcessGroup",
     "ProcessPendingResult",

@@ -1,4 +1,4 @@
-"""Process-group lifecycle: spawn, monitor, join, propagate failures.
+"""Process-group lifecycle: spawn, monitor, join, recover, propagate failures.
 
 :class:`ProcessGroup` runs one module-level ``target`` per rank in real OS
 processes (``spawn`` start method — children rebuild state from their
@@ -18,12 +18,26 @@ sentinels, so every failure mode becomes one raised
 * a worker wedges → the deadline expires, the fleet is terminated, and the
   timeout is reported.
 
-:func:`run_process_fit` is the training orchestration on top: allocate one
-shared-memory segment per memory group, wire the collective communicators,
-spawn ``i×k`` :func:`~repro.runtime.worker.train_worker` ranks, and fold
-rank 0's result plus the final shared state back into a
-:class:`~repro.train.distributed.TrainResult` + state dict the Session
-applies to its local trainer.
+:func:`run_process_fit` is the training orchestration on top: allocate the
+shared-memory segments (live node state per memory group, double-buffered
+shadow slots, and one :class:`~repro.runtime.sharedmem.CommitSlab`), wire
+``max_restarts + 1`` generations of collective communicators, spawn
+``i×k`` :func:`~repro.runtime.worker.train_worker` ranks under the
+**elastic supervisor**, and fold rank 0's result plus the final shared
+state back into a :class:`~repro.train.distributed.TrainResult` + state
+dict the Session applies to its local trainer.
+
+Elastic restart (:class:`RecoveryPolicy`): when a rank crashes, wedges or
+drops its pipes mid-fit, the surviving ranks park on their control
+channels (see :mod:`repro.runtime.worker`), the supervisor restores the
+live segments from the last sealed commit's shadow slots, respawns the
+dead ranks (failpoints neutralized), hands everyone the next communicator
+generation, and the fleet rolls back to the last committed step boundary
+and re-executes.  Because commits are barrier-guarded and double-buffered,
+the rollback target is always a complete consistent state, and because
+both backends execute bit-exact arithmetic, a recovered run finishes
+**bitwise identical** to an unfaulted one.  Restarts are bounded; past the
+budget the run raises :class:`WorkerFailure` exactly as before.
 """
 
 from __future__ import annotations
@@ -31,13 +45,26 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 import traceback
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from .collectives import Communicator, make_local_communicators
-from .sharedmem import SharedGroupState, create_group_states
-from .transport import Channel, Frame, TransportError, pipe_channel_pair
+from .sharedmem import (
+    CommitSlab,
+    SharedGroupState,
+    create_group_states,
+    destroy_states,
+)
+from .transport import (
+    Channel,
+    Frame,
+    TransportError,
+    decode_frame,
+    encode_frame,
+    pipe_channel_pair,
+)
 
 DEFAULT_TIMEOUT = 600.0
 
@@ -79,6 +106,12 @@ class ProcessGroup:
     timeout:
         Join deadline in seconds (also the default control-channel receive
         timeout).  Expiry terminates the fleet and raises.
+
+    A ``ProcessGroup`` is a context manager: ``with ProcessGroup(...) as
+    g: g.start().join()`` guarantees the fleet is torn down (processes
+    reaped, channels closed) even when an assertion inside the block
+    fails — chaos tests must never leak orphan processes.  ``shutdown``
+    (and therefore ``__exit__`` and repeated ``terminate``) is idempotent.
     """
 
     def __init__(
@@ -111,6 +144,7 @@ class ProcessGroup:
                 )
             )
         self._started = False
+        self._closed = False
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "ProcessGroup":
@@ -126,16 +160,32 @@ class ProcessGroup:
         return self
 
     def terminate(self) -> None:
+        """Kill whatever is still alive and release the channels (safe to
+        call repeatedly, and before :meth:`start`)."""
         for p in self.processes:
-            if p.is_alive():
+            if self._started and p.is_alive():
                 p.terminate()
         for p in self.processes:
-            p.join(timeout=5.0)
-            if p.is_alive():  # pragma: no cover - last resort
-                p.kill()
+            if self._started:
                 p.join(timeout=5.0)
-        for ch in self.channels:
+                if p.is_alive():  # pragma: no cover - last resort
+                    p.kill()
+                    p.join(timeout=5.0)
+        for ch in self.channels + self._child_channels:
             ch.close()
+        self._closed = True
+
+    def shutdown(self) -> None:
+        """Idempotent teardown alias (the context-manager exit path)."""
+        if self._closed:
+            return
+        self.terminate()
+
+    def __enter__(self) -> "ProcessGroup":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
 
     def poll_failures(self) -> None:
         """Raise if any rank already died badly (non-blocking health check)."""
@@ -286,6 +336,352 @@ def load_trainer_state(trainer, meta: dict, arrays: Dict[str, np.ndarray]) -> No
     trainer._sweep_negative_offset = int(meta["sweep_negative_offset"])
 
 
+def encode_commit(trainer, book: dict) -> bytes:
+    """Serialize the whole resumable run (trainer snapshot + loop
+    bookkeeping) into one commit-slab payload."""
+    snap = snapshot_trainer_state(trainer)
+    return encode_frame(
+        Frame("commit", meta={**snap["meta"], "book": book}, arrays=snap["arrays"])
+    )
+
+
+def decode_commit(payload: bytes) -> Tuple[dict, Dict[str, np.ndarray], dict]:
+    """Inverse of :func:`encode_commit` → ``(trainer_meta, arrays, book)``."""
+    frame = decode_frame(payload)
+    meta = dict(frame.meta)
+    book = meta.pop("book")
+    return meta, frame.arrays, book
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a process fit responds to rank failures.
+
+    ``max_restarts``
+        Recovery attempts before the run gives up and raises
+        :class:`WorkerFailure` (0 = fail on the first fault, the pre-
+        elastic behavior).
+    ``collective_timeout``
+        Per-operation deadline on the worker collectives; it bounds both
+        how long a survivor waits on a dead peer before parking and the
+        longest legitimate wait (rank 0's evaluation at a barrier), so it
+        must exceed one evaluation sweep.
+    ``commit_every``
+        Commit cadence in block boundaries (1 = every block): smaller
+        loses less work per rollback, larger pays fewer commit barriers.
+    ``park_grace``
+        How long the supervisor waits for survivors to park (and for a
+        suspected-wedged rank to show life) before killing stragglers;
+        default ``collective_timeout + 15``.
+    """
+
+    max_restarts: int = 2
+    collective_timeout: float = 120.0
+    commit_every: int = 1
+    park_grace: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.collective_timeout <= 0:
+            raise ValueError("collective_timeout must be positive")
+        if self.commit_every < 1:
+            raise ValueError("commit_every must be >= 1")
+
+    @property
+    def grace(self) -> float:
+        return (
+            self.park_grace
+            if self.park_grace is not None
+            else self.collective_timeout + 15.0
+        )
+
+
+def _make_group_comms(plan, world_timeout: float) -> List[Communicator]:
+    """One group communicator per rank (the i shards of each memory group)."""
+    comms: List[Communicator] = []
+    for _ in range(plan.k):
+        if plan.i == 1:
+            comms.append(Communicator(0, 1))
+        else:
+            comms.extend(make_local_communicators(plan.i, default_timeout=world_timeout))
+    return comms
+
+
+def prepare_recovery_state(
+    config, trainer, *, book: Optional[dict] = None, name_prefix: str = "repro-rt"
+) -> Tuple[CommitSlab, List[List[SharedGroupState]], dict]:
+    """Allocate the commit slab + per-group shadow slot pairs and seal the
+    initial commit (slot 0 = the parent trainer's current state).
+
+    Returns ``(slab, shadow_pairs, shadow_specs)`` where ``shadow_pairs[g]``
+    is group ``g``'s ``[slot0, slot1]`` states and ``shadow_specs`` is the
+    wire description workers attach from.  The caller owns everything and
+    must close + unlink it (``run_process_fit`` does).
+    """
+    graph = trainer.graph
+    plan = config.parallel
+    slot_states: List[List[SharedGroupState]] = []
+    slab: Optional[CommitSlab] = None
+    try:
+        for slot in range(2):
+            slot_states.append(
+                create_group_states(
+                    plan.k,
+                    num_nodes=graph.num_nodes,
+                    memory_dim=config.model.memory_dim,
+                    edge_dim=graph.edge_dim,
+                    comb=config.train.comb,
+                    name_prefix=f"{name_prefix}-shd{slot}",
+                )
+            )
+        # slot 0 backs the initial commit: it must hold the starting memory
+        for st, g in zip(slot_states[0], trainer.groups):
+            st.memory.copy_from(g.memory)
+            st.mailbox.copy_from(g.mailbox)
+        from .worker import initial_book
+
+        payload = encode_commit(trainer, book if book is not None else initial_book())
+        token = np.random.SeedSequence().entropy % (1 << 32)
+        slab = CommitSlab(
+            f"{name_prefix}-{token:08x}-commit",
+            capacity=len(payload) + max(1 << 20, len(payload)),
+            create=True,
+        )
+        slab.write(0, payload)
+        slab.seal(0, trainer._iteration)
+    except BaseException:
+        for states in slot_states:
+            destroy_states(states)
+        if slab is not None:
+            slab.close()
+            slab.unlink()
+        raise
+    shadow_pairs = [
+        [slot_states[0][g], slot_states[1][g]] for g in range(plan.k)
+    ]
+    shadow_specs = [
+        [pair[0].spec.to_dict(), pair[1].spec.to_dict()] for pair in shadow_pairs
+    ]
+    return slab, shadow_pairs, shadow_specs
+
+
+class _ElasticSupervisor:
+    """Parent-side fleet supervisor with rollback recovery.
+
+    Owns the worker processes and their control channels directly (rather
+    than through :class:`ProcessGroup`) because recovery respawns
+    *individual* ranks mid-run with fresh control pipes and a later
+    communicator generation.
+    """
+
+    def __init__(
+        self,
+        *,
+        world: int,
+        make_kwargs: Callable[[int, int], dict],
+        slab: CommitSlab,
+        shadow_pairs: List[List[SharedGroupState]],
+        live_states: List[SharedGroupState],
+        world_gens: List[List[Communicator]],
+        group_gens: List[List[Communicator]],
+        policy: RecoveryPolicy,
+        timeout: float,
+        name: str = "repro-rt",
+    ) -> None:
+        self.world = world
+        self.make_kwargs = make_kwargs
+        self.slab = slab
+        self.shadow_pairs = shadow_pairs
+        self.live_states = live_states
+        self.world_gens = world_gens
+        self.group_gens = group_gens
+        self.policy = policy
+        self.timeout = timeout
+        self.name = name
+        self.ctx = mp.get_context("spawn")
+        self.procs: Dict[int, mp.Process] = {}
+        self.chans: Dict[int, Channel] = {}
+        self.status: Dict[int, str] = {}      # running | parked | dead | done
+        self.diags: Dict[int, str] = {}
+        self.results: Dict[int, Frame] = {}
+        self.generation = 0
+        self.restarts = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def _spawn(self, rank: int, respawn: bool) -> None:
+        from .worker import train_worker
+
+        old = self.chans.pop(rank, None)
+        if old is not None:
+            old.close()
+        parent_ch, child_ch = pipe_channel_pair(self.timeout)
+        kwargs = self.make_kwargs(rank, self.generation)
+        kwargs["clear_failpoints"] = respawn
+        proc = self.ctx.Process(
+            target=_worker_shell,
+            args=(train_worker, rank, child_ch, kwargs),
+            name=f"{self.name}-{rank}g{self.generation}",
+            daemon=True,
+        )
+        proc.start()
+        child_ch.close()
+        self.procs[rank] = proc
+        self.chans[rank] = parent_ch
+        self.status[rank] = "running"
+
+    def _kill(self, rank: int) -> None:
+        p = self.procs.get(rank)
+        if p is not None and p.is_alive():
+            p.kill()
+            p.join(timeout=5.0)
+
+    def _cleanup(self) -> None:
+        for rank in range(self.world):
+            self._kill(rank)
+        for p in self.procs.values():
+            p.join(timeout=5.0)
+        for ch in self.chans.values():
+            ch.close()
+        for gen in range(self.generation, len(self.world_gens)):
+            for comm in self.world_gens[gen] + self.group_gens[gen]:
+                comm.close()
+
+    def _fail(self, default: str) -> None:
+        failures = dict(self.diags)
+        for rank in range(self.world):
+            if self.status.get(rank) != "done":
+                failures.setdefault(rank, default)
+        self._cleanup()
+        raise WorkerFailure(failures or {0: default})
+
+    # -------------------------------------------------------------- running
+    def run(self) -> List[Frame]:
+        """Supervise until every rank reports a result; recover (within the
+        restart budget) from crashes, wedges and dropped pipes."""
+        for rank in range(self.world):
+            self._spawn(rank, respawn=False)
+        deadline = time.monotonic() + self.timeout
+        park_deadline: Optional[float] = None
+        reaped: set = set()
+
+        while any(st != "done" for st in self.status.values()):
+            if time.monotonic() > deadline:
+                self._fail(f"no result within {self.timeout:.0f}s")
+            waitables = {}
+            for rank in range(self.world):
+                st = self.status[rank]
+                if st in ("running", "parked"):
+                    waitables[self.chans[rank].endpoint.conn] = ("chan", rank)
+                # a dead process's sentinel stays readable until reaped —
+                # that readiness IS the death notification, so keep
+                # watching it even when is_alive() already returns False
+                if st != "done" and rank not in reaped:
+                    waitables[self.procs[rank].sentinel] = ("proc", rank)
+            ready = mp.connection.wait(list(waitables), timeout=0.5)
+            for obj in ready:
+                kind, rank = waitables[obj]
+                if kind == "chan":
+                    self._drain(rank)
+                else:
+                    self.procs[rank].join(timeout=0.1)
+                    reaped.add(rank)
+                    self._drain(rank)
+                    if self.status[rank] not in ("done",):
+                        code = self.procs[rank].exitcode
+                        self.status[rank] = "dead"
+                        self.diags.setdefault(rank, f"exited with code {code}")
+
+            troubled = [
+                r for r, st in self.status.items() if st in ("parked", "dead")
+            ]
+            if troubled:
+                if park_deadline is None:
+                    park_deadline = time.monotonic() + self.policy.grace
+                undecided = [
+                    r for r, st in self.status.items() if st == "running"
+                ]
+                if not undecided:
+                    self._recover()
+                    park_deadline = None
+                    reaped.clear()  # respawned ranks have fresh processes
+                elif time.monotonic() > park_deadline:
+                    # stragglers are wedged (alive, not parked, not dead):
+                    # kill them so recovery can proceed
+                    for rank in undecided:
+                        self.diags.setdefault(
+                            rank,
+                            f"unresponsive for {self.policy.grace:.0f}s "
+                            f"(wedged); killed",
+                        )
+                        self._kill(rank)
+                        self.status[rank] = "dead"
+                    self._recover()
+                    park_deadline = None
+                    reaped.clear()
+
+        for p in self.procs.values():
+            p.join(timeout=5.0)
+        for ch in self.chans.values():
+            ch.close()
+        for gen in range(self.generation, len(self.world_gens)):
+            for comm in self.world_gens[gen] + self.group_gens[gen]:
+                comm.close()
+        return [self.results[r] for r in range(self.world)]
+
+    def _drain(self, rank: int) -> None:
+        """Dispatch whatever frames ``rank`` has sent (non-blocking)."""
+        ch = self.chans[rank]
+        while ch.poll(0.0) and self.status[rank] != "done":
+            try:
+                frame = ch.recv(timeout=1.0)
+            except TransportError:
+                return  # EOF on a dead rank's pipe; the sentinel decides
+            if frame.tag == "result":
+                self.results[rank] = frame
+                self.status[rank] = "done"
+            elif frame.tag == "parked":
+                self.status[rank] = "parked"
+                self.diags.setdefault(
+                    rank, f"parked: {frame.meta.get('error', 'peer failure')}"
+                )
+            elif frame.tag == "error":
+                self.diags[rank] = frame.meta.get("error", "unknown error")
+
+    def _recover(self) -> None:
+        """Roll the fleet back to the last sealed commit and resume it."""
+        self.restarts += 1
+        if self.restarts > self.policy.max_restarts:
+            self._fail("failed and restart budget exhausted")
+        if any(st == "done" for st in self.status.values()):
+            # a rank that finished and exited can never rejoin a collective;
+            # the remaining fleet cannot complete (failure landed in the
+            # tiny window after the end barrier) — give up cleanly
+            self._fail("fleet failed after some ranks completed")
+        prev = self.generation
+        self.generation += 1
+        slot, _ = self.slab.header
+        for live, pair in zip(self.live_states, self.shadow_pairs):
+            live.memory.copy_from(pair[slot].memory)
+            live.mailbox.copy_from(pair[slot].mailbox)
+        for comm in self.world_gens[prev] + self.group_gens[prev]:
+            comm.close()
+        for rank in range(self.world):
+            st = self.status[rank]
+            if st == "dead":
+                self._spawn(rank, respawn=True)
+            elif st == "parked":
+                try:
+                    self.chans[rank].send(
+                        "resume", meta={"generation": self.generation}
+                    )
+                    self.status[rank] = "running"
+                except TransportError:
+                    # parked worker died in the meantime: respawn it too
+                    self.diags.setdefault(rank, "died while parked")
+                    self._spawn(rank, respawn=True)
+
+
 def run_process_fit(
     config,
     trainer,
@@ -295,13 +691,20 @@ def run_process_fit(
     eval_every_sweeps: int = 1,
     verbose: bool = False,
     timeout: float = DEFAULT_TIMEOUT,
+    recovery: Optional[RecoveryPolicy] = None,
+    run_state: Optional[dict] = None,
 ) -> Tuple[dict, Dict[str, np.ndarray], List[SharedGroupState]]:
     """Execute ``config`` across ``i×k`` worker processes, **continuing**
     from ``trainer``'s current state (weights, optimizer moments, node
     memory, cursors) — the same semantics as calling ``trainer.train``
     locally.  The shared segments start as copies of the trainer's group
-    states; rank 0 receives the resumable state and broadcasts it to the
-    fleet over the wire.
+    states; the resumable state travels through the sealed commit slab.
+
+    ``recovery`` selects the :class:`RecoveryPolicy` (default: elastic
+    restart with 2 attempts).  ``run_state`` is a resumed run's bookkeeping
+    (``Session.resume``): ``{"target_iteration", "history", "recent",
+    "last_eval_sweeps"}`` — when given, the fit continues *that* run to its
+    original target instead of starting a fresh iteration plan.
 
     Returns ``(meta, arrays, group_states)`` from rank 0: the training
     result + cursor metadata, the trained weight/optimizer arrays, and the
@@ -310,12 +713,32 @@ def run_process_fit(
     ``close()``/``unlink()`` on each group state (``apply_process_result``
     does all of this for a Session trainer).
     """
-    from .worker import train_worker
+    from .worker import initial_book
 
+    policy = recovery if recovery is not None else RecoveryPolicy()
     plan = config.parallel
     world = plan.i * plan.k
     graph = trainer.graph
     comb = config.train.comb
+
+    # ---- iteration plan (the logical trainer's fairness arithmetic): one
+    # absolute target, identical for fresh runs, continues and rollbacks
+    if run_state is not None:
+        target_iteration = int(run_state["target_iteration"])
+        book = {
+            "history": list(run_state["history"]),
+            "recent": list(run_state["recent"]),
+            "last_eval_sweeps": int(run_state["last_eval_sweeps"]),
+        }
+    else:
+        epochs_eq = epochs if epochs is not None else config.train.epochs
+        total_batch_visits = epochs_eq * trainer.num_batches
+        visits_per_iteration = plan.j * plan.k
+        iterations = max(1, total_batch_visits // visits_per_iteration)
+        if max_iterations is not None:
+            iterations = min(iterations, int(max_iterations))
+        target_iteration = trainer._iteration + iterations
+        book = initial_book()
 
     group_states = create_group_states(
         plan.k,
@@ -324,55 +747,88 @@ def run_process_fit(
         edge_dim=graph.edge_dim,
         comb=comb,
     )
-    # continue from the parent's node memory, not from zero state
-    for st, g in zip(group_states, trainer.groups):
-        st.memory.copy_from(g.memory)
-        st.mailbox.copy_from(g.mailbox)
-    shared_specs = [st.spec.to_dict() for st in group_states]
-    init_state = snapshot_trainer_state(trainer)
-
-    world_comms = make_local_communicators(world, default_timeout=timeout)
-    group_comms: List[Communicator] = []
-    for m in range(plan.k):
-        if plan.i == 1:
-            group_comms.append(Communicator(0, 1))
-        else:
-            group_comms.extend(make_local_communicators(plan.i, default_timeout=timeout))
-
-    train_meta = {
-        "epochs": epochs if epochs is not None else config.train.epochs,
-        "max_iterations": max_iterations,
-        "eval_every_sweeps": eval_every_sweeps,
-        "verbose": verbose,
-    }
-    config_dict = config.to_dict()
-    rank_kwargs = [
-        {
-            "config_dict": config_dict,
-            "shared_specs": shared_specs,
-            "world_comm": world_comms[rank],
-            "group_comm": group_comms[rank],
-            "train_meta": train_meta,
-            # only rank 0 carries the resumable state; it reaches the other
-            # ranks through the weight broadcast (Module.to_bytes frames)
-            "init_state": init_state if rank == 0 else None,
-        }
-        for rank in range(world)
-    ]
-
-    group = ProcessGroup(train_worker, rank_kwargs, timeout=timeout)
+    slab: Optional[CommitSlab] = None
+    shadow_pairs: List[List[SharedGroupState]] = []
+    world_gens: List[List[Communicator]] = []
+    group_gens: List[List[Communicator]] = []
+    supervisor: Optional[_ElasticSupervisor] = None
     try:
-        results = group.start().join()
+        # continue from the parent's node memory, not from zero state
+        for st, g in zip(group_states, trainer.groups):
+            st.memory.copy_from(g.memory)
+            st.mailbox.copy_from(g.mailbox)
+        slab, shadow_pairs, shadow_specs = prepare_recovery_state(
+            config, trainer, book=book
+        )
+        shared_specs = [st.spec.to_dict() for st in group_states]
+
+        generations = policy.max_restarts + 1
+        for _ in range(generations):
+            world_gens.append(
+                make_local_communicators(
+                    world, default_timeout=policy.collective_timeout
+                )
+            )
+            group_gens.append(_make_group_comms(plan, policy.collective_timeout))
+
+        train_meta = {
+            "target_iteration": target_iteration,
+            "eval_every_sweeps": eval_every_sweeps,
+            "verbose": verbose,
+            "commit_every": policy.commit_every,
+        }
+        config_dict = config.to_dict()
+        commit_spec = slab.to_dict()
+
+        def make_kwargs(rank: int, generation: int) -> dict:
+            return {
+                "config_dict": config_dict,
+                "shared_specs": shared_specs,
+                "commit_spec": commit_spec,
+                "shadow_specs": shadow_specs,
+                # only the generations still ahead: the parent closed its
+                # duplicates of spent generations at each recovery
+                "world_comms": {
+                    g: world_gens[g][rank] for g in range(generation, generations)
+                },
+                "group_comms": {
+                    g: group_gens[g][rank] for g in range(generation, generations)
+                },
+                "generation": generation,
+                "train_meta": train_meta,
+            }
+
+        supervisor = _ElasticSupervisor(
+            world=world,
+            make_kwargs=make_kwargs,
+            slab=slab,
+            shadow_pairs=shadow_pairs,
+            live_states=group_states,
+            world_gens=world_gens,
+            group_gens=group_gens,
+            policy=policy,
+            timeout=timeout,
+        )
+        results = supervisor.run()
     except BaseException:
-        for st in group_states:
-            st.close()
-            st.unlink()
+        # _fail() already cleaned up before raising WorkerFailure; for any
+        # other escape (KeyboardInterrupt mid-loop, an OSError, a failure
+        # while wiring the generations) the fleet must still be terminated
+        # and every pre-wired pipe closed — _cleanup is idempotent
+        if supervisor is not None:
+            supervisor._cleanup()
+        else:
+            for gen_comms in world_gens + group_gens:
+                for comm in gen_comms:
+                    comm.close()
+        destroy_states(group_states)
         raise
     finally:
-        # the children own duplicated pipe ends; drop the parent's copies so
-        # repeated fits in one session do not accumulate file descriptors
-        for comm in world_comms + group_comms:
-            comm.close()
+        for pair in shadow_pairs:
+            destroy_states(pair)
+        if slab is not None:
+            slab.close()
+            slab.unlink()
     root = results[0]
     return root.meta, root.arrays, group_states
 

@@ -41,11 +41,13 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from ..api.config import ExperimentConfig
+from ..serve.ingest import EventLog, read_snapshot, write_snapshot
 from .launcher import DEFAULT_TIMEOUT, ProcessGroup
 from .sharedmem import SharedGroupState, SharedStateSpec, create_group_states
 from .transport import TransportError, TransportTimeout
@@ -353,6 +355,9 @@ class ProcessServingCluster:
         self.policy = policy
         self.admission_limit = admission_limit
         self.graph = serve_graph
+        # the front door keeps the WAL (batch boundaries included), so the
+        # process cluster snapshots/restores exactly like the threaded one
+        self.wal = EventLog(edge_dim=serve_graph.edge_dim)
         self.timeout = timeout
         self._lock = threading.RLock()
         self._rr = 0
@@ -367,39 +372,51 @@ class ProcessServingCluster:
             edge_dim=serve_graph.edge_dim,
             name_prefix="repro-serve",
         )
-        # spawn arguments travel through the multiprocessing pickler, so the
-        # weight blobs ride along as plain bytes (frames are for live traffic)
-        serve_meta = {
-            "max_batch_pairs": max_batch_pairs,
-            "max_delay": max_delay,
-            "dedup": dedup,
-            "memoize_time": memoize_time,
-            "_model_blob": model.to_bytes(),
-            "_decoder_blob": decoder.to_bytes(),
-            "_static_table": (
-                model._static_table.copy() if model.has_static_memory else None
-            ),
-        }
-        config_dict = config.to_dict()
-        self._group = ProcessGroup(
-            serve_worker,
-            [
-                {
-                    "config_dict": config_dict,
-                    "shared_spec": self._state.spec.to_dict(),
-                    "serve_meta": serve_meta,
-                }
-                for _ in range(k)
-            ],
-            name="repro-serve",
-            timeout=timeout,
-        )
-        self._group.start()
-        self.replicas = [
-            _ReplicaLink(idx, ch) for idx, ch in enumerate(self._group.channels)
-        ]
-        for link in self.replicas:
-            link.await_ack("ready", timeout)
+        try:
+            # spawn arguments travel through the multiprocessing pickler, so
+            # the weight blobs ride along as plain bytes (frames are for live
+            # traffic)
+            serve_meta = {
+                "max_batch_pairs": max_batch_pairs,
+                "max_delay": max_delay,
+                "dedup": dedup,
+                "memoize_time": memoize_time,
+                "_model_blob": model.to_bytes(),
+                "_decoder_blob": decoder.to_bytes(),
+                "_static_table": (
+                    model._static_table.copy() if model.has_static_memory else None
+                ),
+            }
+            config_dict = config.to_dict()
+            self._group = ProcessGroup(
+                serve_worker,
+                [
+                    {
+                        "config_dict": config_dict,
+                        "shared_spec": self._state.spec.to_dict(),
+                        "serve_meta": serve_meta,
+                    }
+                    for _ in range(k)
+                ],
+                name="repro-serve",
+                timeout=timeout,
+            )
+            try:
+                self._group.start()
+                self.replicas = [
+                    _ReplicaLink(idx, ch)
+                    for idx, ch in enumerate(self._group.channels)
+                ]
+                for link in self.replicas:
+                    link.await_ack("ready", timeout)
+            except BaseException:
+                self._group.shutdown()
+                raise
+        except BaseException:
+            # a half-built cluster must not strand its shared segment
+            self._state.close()
+            self._state.unlink()
+            raise
 
     # ----------------------------------------------------------------- reads
     def submit_rank(
@@ -474,6 +491,7 @@ class ProcessServingCluster:
                 edge_feats = np.zeros(
                     (len(src), self.graph.edge_dim), dtype=np.float32
                 )
+            self.wal.append(src, dst, times, edge_feats)
             arrays = {"src": src, "dst": dst, "times": times}
             if edge_feats is not None:
                 arrays["edge_feats"] = edge_feats
@@ -511,6 +529,72 @@ class ProcessServingCluster:
             for link in self.replicas:
                 link.await_ack("flush_ack", self.timeout)
             self.poll()
+
+    # ------------------------------------------------------ snapshot/restore
+    def _drain_replicas(self) -> None:
+        for link in self.replicas:
+            link.channel.send("drain")
+        for link in self.replicas:
+            link.await_ack("drain_ack", self.timeout)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the serving state — WAL + the shared memory/mailbox — in
+        the exact snapshot format of the threaded cluster.
+
+        Because the k process replicas read **one** shared state, the file
+        records that state once per replica slot; a threaded cluster that
+        ingested the same stream writes byte-identical replica payloads, so
+        the two cluster kinds restore from each other's snapshots.
+        """
+        self._ensure_open()
+        with self._lock:
+            # quiesce queued reads so no micro-batch flush mutates the
+            # shared state while it is being serialized
+            self._drain_replicas()
+            return write_snapshot(
+                path,
+                graph=self.graph,
+                wal=self.wal,
+                replica_states=[
+                    (self._state.memory, self._state.mailbox)
+                    for _ in self.replicas
+                ],
+            )
+
+    def restore(self, path: Union[str, Path]) -> dict:
+        """Restore a snapshot into this *pristine* cluster (same validation
+        as the threaded restore); returns the snapshot metadata.
+
+        The WAL replays into every replica's graph copy (structure only —
+        the ``fold`` frames carry ``fold_state=False``) and the snapshot's
+        replica-0 state is written into the shared segment, which every
+        replica reads; queries afterwards score identically to the
+        snapshotted cluster.
+        """
+        self._ensure_open()
+        with self._lock:
+            meta, (src, dst, times, feats), replica_arrays = read_snapshot(
+                path, graph=self.graph, wal=self.wal, k=len(self.replicas)
+            )
+            self._drain_replicas()
+            if len(src):
+                arrays = {"src": src, "dst": dst, "times": times}
+                if feats is not None:
+                    arrays["edge_feats"] = feats
+                for link in self.replicas:
+                    link.channel.send("fold", meta={"fold_state": False}, arrays=arrays)
+                for link in self.replicas:
+                    link.await_ack("fold_ack", self.timeout)
+                self.wal.append(src, dst, times, feats)
+                self.graph.append_events(src, dst, times, feats)
+                self.stats.ingested_events += len(src)
+            state = replica_arrays[0]
+            self._state.memory.memory[...] = state["memory"]
+            self._state.memory.last_update[...] = state["last_update"]
+            self._state.mailbox.mail[...] = state["mail"]
+            self._state.mailbox.mail_time[...] = state["mail_time"]
+            self._state.mailbox.has_mail[...] = state["has_mail"]
+            return meta
 
     # ---------------------------------------------------------- observability
     def worker_stats(self) -> List[dict]:

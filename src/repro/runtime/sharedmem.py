@@ -25,6 +25,7 @@ through :meth:`repro.runtime.collectives.Communicator.serial_section`
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import List, Tuple
@@ -166,17 +167,157 @@ def create_group_states(
 
     Segment names carry the pid plus a random suffix via the stdlib's
     namespace when ``name=None`` would; we build explicit names so workers
-    can attach from a spec dict.
+    can attach from a spec dict.  Allocation is all-or-nothing: if segment
+    ``g`` fails to allocate, segments ``0..g-1`` are closed and unlinked
+    before the error propagates — a half-built fleet must not leave
+    ``/dev/shm`` residue behind.
     """
-    states = []
+    states: List[SharedGroupState] = []
     token = np.random.SeedSequence().entropy % (1 << 32)
-    for g in range(num_groups):
-        spec = SharedStateSpec(
-            name=f"{name_prefix}-{token:08x}-g{g}",
-            num_nodes=num_nodes,
-            memory_dim=memory_dim,
-            edge_dim=edge_dim,
-            comb=comb,
-        )
-        states.append(SharedGroupState(spec, create=True))
+    try:
+        for g in range(num_groups):
+            spec = SharedStateSpec(
+                name=f"{name_prefix}-{token:08x}-g{g}",
+                num_nodes=num_nodes,
+                memory_dim=memory_dim,
+                edge_dim=edge_dim,
+                comb=comb,
+            )
+            states.append(SharedGroupState(spec, create=True))
+    except BaseException:
+        destroy_states(states)
+        raise
     return states
+
+
+def destroy_states(states: List[SharedGroupState]) -> None:
+    """Close + unlink a list of owned states, ignoring already-gone ones."""
+    for st in states:
+        try:
+            st.close()
+        except Exception:
+            pass
+        try:
+            st.unlink()
+        except FileNotFoundError:
+            pass
+
+
+# --------------------------------------------------------------- commit slab
+class CommitSlab:
+    """Double-buffered commit blob in one shared segment.
+
+    The elastic runtime's rollback anchor: at every committed step boundary
+    rank 0 serializes the whole resumable run (trainer snapshot + loop
+    bookkeeping) into the *inactive* slot, and only after every rank's
+    shadow copies are also durable does the seal flip the header to that
+    slot.  A crash at any instant therefore leaves the header pointing at a
+    complete, consistent blob: either the previous commit (flip never ran)
+    or the new one (flip ran — and the flip only runs with the fleet idle
+    at a barrier, after all writes).
+
+    Layout: ``header = (valid_slot int64, iteration int64)`` then two slots
+    of ``capacity`` bytes, each ``(length int64, payload)``.  ``valid_slot``
+    is ``-1`` until the first seal (the launcher seals slot 0 with the
+    initial state before spawning, so recovery always has an anchor).
+    """
+
+    _HEADER = struct.Struct("<qq")
+    _SLOT_LEN = struct.Struct("<q")
+
+    def __init__(self, name: str, capacity: int, create: bool) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = int(capacity)
+        self.owner = create
+        nbytes = self._HEADER.size + 2 * (self._SLOT_LEN.size + self.capacity)
+        if create:
+            self.shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
+            self._write_header(-1, -1)
+        else:
+            self.shm = shared_memory.SharedMemory(name=name)
+            if self.shm.size < nbytes:
+                self.shm.close()
+                raise ValueError(
+                    f"commit slab {name!r} holds {self.shm.size} bytes, "
+                    f"needs {nbytes}"
+                )
+
+    # ------------------------------------------------------------- wire spec
+    def to_dict(self) -> dict:
+        return {"name": self.name, "capacity": self.capacity}
+
+    @classmethod
+    def attach(cls, spec: dict) -> "CommitSlab":
+        return cls(spec["name"], spec["capacity"], create=False)
+
+    # ----------------------------------------------------------------- slots
+    def _slot_offset(self, slot: int) -> int:
+        if slot not in (0, 1):
+            raise ValueError(f"slot must be 0 or 1, got {slot}")
+        return self._HEADER.size + slot * (self._SLOT_LEN.size + self.capacity)
+
+    def _write_header(self, slot: int, iteration: int) -> None:
+        self._HEADER.pack_into(self.shm.buf, 0, slot, iteration)
+
+    @property
+    def header(self) -> Tuple[int, int]:
+        """(valid_slot, iteration) — ``(-1, -1)`` before the first seal."""
+        slot, iteration = self._HEADER.unpack_from(self.shm.buf, 0)
+        return int(slot), int(iteration)
+
+    @property
+    def next_slot(self) -> int:
+        """The inactive slot the next commit must write (0 before any seal)."""
+        slot, _ = self.header
+        return 0 if slot < 0 else 1 - slot
+
+    def write(self, slot: int, payload: bytes) -> None:
+        """Write ``payload`` into ``slot`` (does NOT make it current)."""
+        if len(payload) > self.capacity:
+            raise RuntimeError(
+                f"commit blob of {len(payload)} bytes exceeds slab capacity "
+                f"{self.capacity}; the run state grew past its headroom"
+            )
+        off = self._slot_offset(slot)
+        self._SLOT_LEN.pack_into(self.shm.buf, off, len(payload))
+        start = off + self._SLOT_LEN.size
+        self.shm.buf[start : start + len(payload)] = payload
+
+    def seal(self, slot: int, iteration: int) -> None:
+        """Flip the header to ``slot`` — the commit's atomic last step."""
+        self._write_header(slot, iteration)
+
+    def read(self, slot: "int | None" = None) -> bytes:
+        """The payload of ``slot`` (default: the sealed slot)."""
+        if slot is None:
+            slot, _ = self.header
+            if slot < 0:
+                raise RuntimeError("commit slab was never sealed")
+        off = self._slot_offset(slot)
+        (length,) = self._SLOT_LEN.unpack_from(self.shm.buf, off)
+        if not 0 <= length <= self.capacity:
+            raise RuntimeError(f"commit slab slot {slot} holds a torn length {length}")
+        start = off + self._SLOT_LEN.size
+        return bytes(self.shm.buf[start : start + length])
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - a view still alive elsewhere
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        slot, iteration = self.header
+        return (
+            f"CommitSlab({self.name!r}, capacity={self.capacity}, "
+            f"slot={slot}, iteration={iteration})"
+        )

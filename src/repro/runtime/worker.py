@@ -4,9 +4,10 @@ Each worker **rebuilds** its slice of the experiment from the declarative
 :class:`~repro.api.config.ExperimentConfig` — dataset, sampler, model,
 decoder, negative stores all resolve through the ``repro.api`` registries,
 exactly as in the parent — so nothing crosses the process boundary except
-the config dict, the shared-memory segment names and the initial weight
-broadcast.  That is the real system's contract: a rank can live on another
-host and still reconstruct identical state from the same description.
+the config dict, the shared-memory segment names and the commit slab that
+carries the resumable run state.  That is the real system's contract: a
+rank can live on another host and still reconstruct identical state from
+the same description.
 
 Rank layout: ``world = i × k``; rank ``r`` is shard ``s = r % i`` of memory
 group ``m = r // i``.  The group's ``i`` shards map one shared node-memory /
@@ -30,19 +31,35 @@ parallelism, preserving its semantics:
   the all-reduce **sums** the rank partials in rank order — the very loop
   the logical trainer runs over its blocks — and every rank applies the
   identical reduced gradient to its own Adam replica, so replicas stay
-  bitwise in sync without per-step weight broadcast.  The partial carries a
-  per-parameter presence mask: parameters untouched on every rank keep
-  ``grad=None`` (Adam must skip them, exactly as it does locally).
+  bitwise in sync without per-step weight broadcast.
 * **evaluation** — rank 0 evaluates at the logical cadence (group 0 sweep
   boundaries) from the shared group-0 state while the fleet waits at a
   barrier; the negative-group sweep offset advances on every rank.
 
-Because both backends execute the identical float operations in the
-identical order, the process backend reproduces the logical trainer's
-``TrainResult`` — losses *and* metrics — **bitwise** at any world size.
-Nothing weaker survives contact with Adam: its early steps behave like
-``lr·sign(g)``, so even 1e-7 gradient noise flips sub-noise elements by
-``±lr`` within an iteration or two.
+Fault tolerance (the elastic-restart protocol, parent side in
+:mod:`repro.runtime.launcher`):
+
+* **commit** — at every ``commit_every``-th block boundary the fleet holds
+  a two-barrier window: between the barriers each group leader copies its
+  live segment into the inactive shadow slot and rank 0 serializes the
+  resumable run (trainer snapshot + history/recent/eval bookkeeping) into
+  the inactive :class:`~repro.runtime.sharedmem.CommitSlab` slot; the
+  second barrier's root section seals the slab — the atomic flip that
+  makes the new commit current only after every byte of it is durable.
+* **park** — any :class:`~repro.runtime.transport.TransportError` inside
+  the loop (a peer crashed, wedged, or dropped its pipes) makes the rank
+  close its collectives, report ``parked`` on its control channel, and
+  wait.  The launcher restores the live segments from the sealed shadows,
+  respawns dead ranks, and answers ``resume`` with the next communicator
+  generation; the rank reloads the sealed commit and re-enters the loop.
+  Because both the rollback target and the re-executed arithmetic are
+  bit-exact, a recovered run finishes **bitwise identical** to an
+  unfaulted one.
+
+Failpoints: the loop evaluates the ``worker.step`` failpoint (keyed on the
+global iteration) each iteration — see :mod:`repro.testing.failpoints`.
+Respawned ranks neutralize inherited failpoints so a crash schedule fires
+once, not once per restart.
 """
 
 from __future__ import annotations
@@ -55,8 +72,21 @@ from ..api.config import ExperimentConfig
 from ..models.tgn import TGN, DirectMemoryView
 from ..nn import clip_grad_norm, use_fused
 from ..parallel.allreduce import TermGradAccumulator, load_reduced
+from ..testing import failpoints
 from .collectives import Communicator
-from .sharedmem import SharedGroupState, SharedStateSpec
+from .sharedmem import CommitSlab, SharedGroupState, SharedStateSpec
+from .transport import TransportError
+
+
+def initial_book() -> dict:
+    """A fresh run's loop bookkeeping (the mutable half of a commit)."""
+    return {"history": [], "recent": [], "last_eval_sweeps": 0}
+
+
+def _attach_states(specs: List[dict]) -> List[SharedGroupState]:
+    return [
+        SharedGroupState(SharedStateSpec.from_dict(d), create=False) for d in specs
+    ]
 
 
 # ------------------------------------------------------------- entrypoint
@@ -66,18 +96,30 @@ def train_worker(
     *,
     config_dict: dict,
     shared_specs: List[dict],
-    world_comm: Communicator,
-    group_comm: Communicator,
-    train_meta: dict,
-    init_state: Optional[dict] = None,
+    commit_spec: Optional[dict] = None,
+    shadow_specs: Optional[List[List[dict]]] = None,
+    world_comms: Optional[Dict[int, Communicator]] = None,
+    group_comms: Optional[Dict[int, Communicator]] = None,
+    generation: int = 0,
+    train_meta: Optional[dict] = None,
+    clear_failpoints: bool = False,
 ) -> Tuple[dict, Dict[str, np.ndarray]]:
     """Execute one rank of a process-parallel ``fit``; returns the result
     frame payload (rank 0 carries the trained state, peers ack)."""
     from ..train.distributed import DistTGLTrainer
+    from .launcher import decode_commit, encode_commit
 
+    if clear_failpoints:
+        # a respawned rank must not re-trip the failure that killed its
+        # predecessor: the env var still carries the schedule, ignore it
+        failpoints.neutralize()
+
+    train_meta = train_meta or {}
     cfg = ExperimentConfig.from_dict(config_dict)
     i, j, k = cfg.parallel.i, cfg.parallel.j, cfg.parallel.k
     world = i * k
+    world_comm = world_comms[generation]
+    group_comm = group_comms[generation]
     if world_comm.world != world or not 0 <= rank < world:
         raise ValueError(f"rank {rank} inconsistent with plan {cfg.parallel.label()}")
     m, s = rank // i, rank % i
@@ -99,42 +141,42 @@ def train_worker(
             g.view = None
     view = own_group.view
 
-    # ---- resume state: rank 0 carries the parent trainer's snapshot
-    # (weights as Module.to_bytes blobs, optimizer moments, cursors) and
-    # broadcasts it, so every rank continues the session exactly where the
-    # parent left off — the same semantics as a local ``trainer.train``
-    from .launcher import load_trainer_state
+    # ---- recovery state: the commit slab is the single source of truth for
+    # the resumable run — fresh starts load the parent's commit 0, restarts
+    # load whatever the fleet last sealed.  Group leaders (shard 0) also map
+    # their group's two shadow slots for the commit-window copies.
+    if commit_spec is None:
+        raise ValueError("train_worker needs a commit slab (commit_spec)")
+    slab = CommitSlab.attach(commit_spec)
+    shadows: Optional[List[SharedGroupState]] = None
+    if s == 0 and shadow_specs is not None:
+        shadows = _attach_states(shadow_specs[m])
 
-    if rank == 0:
-        if init_state is None:
-            raise ValueError("rank 0 needs the parent trainer's init_state")
-        state = world_comm.broadcast(
-            arrays=init_state["arrays"], meta=init_state["meta"]
-        )
-    else:
-        state = world_comm.broadcast()
-    load_trainer_state(trainer, dict(state.meta), state.arrays)
-    world_comm.barrier("start")
+    def load_committed() -> dict:
+        meta, arrays, book = decode_commit(slab.read())
+        from .launcher import load_trainer_state
 
-    # ---- iteration plan (the logical trainer's fairness arithmetic)
-    epochs = int(train_meta.get("epochs", cfg.train.epochs))
-    max_iterations: Optional[int] = train_meta.get("max_iterations")
+        load_trainer_state(trainer, meta, arrays)
+        return book
+
+    book = load_committed()
+
+    # ---- iteration plan: the launcher owns the fairness arithmetic and
+    # ships one absolute target, so fresh runs, session continues and
+    # post-crash rollbacks all execute "until iteration == target"
+    target = int(train_meta["target_iteration"])
     eval_every = int(train_meta.get("eval_every_sweeps", 1))
     verbose = bool(train_meta.get("verbose", False))
-    total_batch_visits = epochs * trainer.num_batches
+    commit_every = max(1, int(train_meta.get("commit_every", 1)))
     visits_per_iteration = j * k
-    iterations = max(1, total_batch_visits // visits_per_iteration)
-    if max_iterations is not None:
-        iterations = min(iterations, int(max_iterations))
 
-    history: List[dict] = []
-    recent: List[float] = []
+    history: List[dict] = list(book["history"])
+    recent: List[float] = list(book["recent"])
+    last_eval_sweeps = int(book["last_eval_sweeps"])
     cache: Optional[list] = None
-    # cursor bookkeeping continues from the resumed state, like the groups'
-    # position/sweep counters (a fresh run starts everything at -1/0)
     prev_batch = {g.index: g.prev_batch for g in trainer.groups}
     substep = 0
-    last_eval_sweeps = 0
+    blocks_done = 0
     sync_time = 0.0
     commit_work = 0.0
     import time as _time
@@ -149,112 +191,180 @@ def train_worker(
         sync_time += _time.perf_counter() - t0
         return out
 
-    for _ in range(iterations):
-        with use_fused(spec.fused):
+    def commit_window() -> None:
+        """Two-barrier durable commit of the whole resumable run."""
+        timed(world_comm.barrier, "commit/enter")
+        slot = slab.next_slot
+        t0 = _time.perf_counter()
+        if shadows is not None:
+            shadows[slot].memory.copy_from(shared.memory)
+            shadows[slot].mailbox.copy_from(shared.mailbox)
+        if rank == 0:
+            for g in trainer.groups:
+                g.prev_batch = prev_batch[g.index]
+            slab.write(
+                slot,
+                encode_commit(
+                    trainer,
+                    {
+                        "history": history,
+                        "recent": recent,
+                        "last_eval_sweeps": last_eval_sweeps,
+                    },
+                ),
+            )
+        nonlocal commit_work
+        commit_work += _time.perf_counter() - t0
+        iteration = trainer._iteration
+        timed(
+            world_comm.barrier,
+            "commit/seal",
+            root_section=lambda: slab.seal(slot, iteration),
+        )
+
+    def run_loop() -> None:
+        nonlocal cache, substep, blocks_done, last_eval_sweeps
+        timed(world_comm.barrier, "start")
+        while trainer._iteration < target:
+            failpoints.fire(
+                "worker.step",
+                rank=rank,
+                step=trainer._iteration,
+                pipe_drop=lambda: (world_comm.close(), group_comm.close()),
+            )
+            with use_fused(spec.fused):
+                if substep == 0:
+                    # every rank advances every group's cursor (integers
+                    # only); compute happens for the rank's own slice
+                    blocks = {g.index: g.next_block(j) for g in trainer.groups}
+                    for g_idx, block in blocks.items():
+                        if g_idx != m:
+                            prev_batch[g_idx] = block[-1]
+                    cache = []   # this rank's block entries, one per sub-batch
+                    for b_idx in blocks[m]:
+                        wrap = b_idx <= prev_batch[m]
+                        prev_batch[m] = b_idx
+
+                        def reset_if_wrap():
+                            if wrap:
+                                shared.memory.reset()
+                                shared.mailbox.reset()
+
+                        # barrier 1: previous batch's writes are committed
+                        # and the leader applies the wrap reset pre-read
+                        timed(
+                            group_comm.barrier,
+                            "pre-read",
+                            root_section=reset_if_wrap,
+                        )
+                        batch = trainer.loader.batch(b_idx)
+                        shard = batch.split_local(i)[s] if i > 1 else batch
+                        # read + forward phases are the trainer's own shard
+                        # methods (one implementation, so the backends
+                        # cannot drift); only the ordering lives here
+                        read = trainer._read_shard(shard, view)
+                        # barrier 2: every shard finished reading shared
+                        timed(group_comm.barrier, "post-read")
+                        entry, wb = trainer._forward_shard(read, batch.size)
+
+                        def commit():
+                            # the writeback is compute, not waiting: keep
+                            # it out of sync_time
+                            nonlocal commit_work
+                            t0 = _time.perf_counter()
+                            if wb is not None:
+                                TGN.apply_writeback(
+                                    wb, shared.memory, shared.mailbox
+                                )
+                            commit_work += _time.perf_counter() - t0
+
+                        # rank-ordered commit: chronological shards in
+                        # sequence reproduce the logical single-writer pass
+                        timed(group_comm.serial_section, commit, tag="writeback")
+                        cache.append(entry)
+
+                # ---- gradient step: this rank's block of j loss terms
+                # through the trainer's own per-term arithmetic into the
+                # float64 block partial
+                acc = TermGradAccumulator(trainer.optimizer.params)
+                for r in range(j):
+                    entry = cache[r]
+                    if entry is not None:
+                        trainer._accumulate_term(acc, entry, r, substep)
+                vec = acc.to_vector()
+                if world > 1:
+                    # rank-ordered float64 sum at the root == the logical
+                    # trainer's block-order reduce_partials, bitwise
+                    vec = timed(world_comm.allreduce_sum, vec)
+                global_loss = load_reduced(trainer.optimizer.params, vec)
+                clip_grad_norm(trainer.optimizer.params, spec.grad_clip)
+                trainer.optimizer.step()
+                recent.append(global_loss)
+
+            substep = (substep + 1) % j
+            trainer._iteration += 1
+
+            group0 = trainer.groups[0]
+            if group0.sweeps_completed >= last_eval_sweeps + eval_every:
+                last_eval_sweeps = group0.sweeps_completed
+                trainer._sweep_negative_offset += j
+                timed(world_comm.barrier, "pre-eval")
+                if rank == 0:
+                    val = trainer._evaluate_split("val", warm_group=group0)
+                    point = {
+                        "iteration": trainer._iteration,
+                        "edges_traversed": trainer._iteration
+                        * visits_per_iteration
+                        * trainer.global_batch,
+                        "train_loss": float(np.mean(recent)),
+                        "val_metric": val.metric,
+                    }
+                    history.append(point)
+                    if verbose:
+                        print(
+                            f"[{cfg.parallel.label()}|process w{world}] "
+                            f"it={trainer._iteration} "
+                            f"loss={point['train_loss']:.4f} "
+                            f"val={val.metric:.4f}"
+                        )
+                recent.clear()
+                timed(world_comm.barrier, "post-eval")
+
             if substep == 0:
-                # every rank advances every group's cursor (integers only);
-                # compute happens for the rank's own (group, shard) slice
-                blocks = {g.index: g.next_block(j) for g in trainer.groups}
-                for g_idx, block in blocks.items():
-                    if g_idx != m:
-                        prev_batch[g_idx] = block[-1]
-                cache = []   # this rank's block entries, one per sub-batch r
-                for b_idx in blocks[m]:
-                    wrap = b_idx <= prev_batch[m]
-                    prev_batch[m] = b_idx
+                blocks_done += 1
+                if blocks_done % commit_every == 0:
+                    commit_window()
 
-                    def reset_if_wrap():
-                        if wrap:
-                            shared.memory.reset()
-                            shared.mailbox.reset()
+        timed(world_comm.barrier, "end")
 
-                    # barrier 1: previous batch's writes are committed and
-                    # the leader applies the wrap reset before any read
-                    timed(group_comm.barrier, "pre-read", root_section=reset_if_wrap)
-                    batch = trainer.loader.batch(b_idx)
-                    shard = batch.split_local(i)[s] if i > 1 else batch
-                    # read + forward phases are the trainer's own shard
-                    # methods (one implementation, so the backends cannot
-                    # drift); only the cross-process ordering lives here
-                    read = trainer._read_shard(shard, view)
-                    # barrier 2: every shard finished reading shared state
-                    timed(group_comm.barrier, "post-read")
-                    entry, wb = trainer._forward_shard(read, batch.size)
-
-                    def commit():
-                        # the commit itself is compute, not synchronization:
-                        # keep it out of sync_time so sync_frac reports only
-                        # genuine waiting
-                        nonlocal commit_work
-                        t0 = _time.perf_counter()
-                        if wb is not None:
-                            TGN.apply_writeback(wb, shared.memory, shared.mailbox)
-                        commit_work += _time.perf_counter() - t0
-
-                    # rank-ordered commit: chronological shards in sequence
-                    # reproduce the logical single-writer write-back
-                    timed(group_comm.serial_section, commit, tag="writeback")
-                    cache.append(entry)
-
-            # ---- gradient step: this rank's block of j loss terms through
-            # the trainer's own per-term arithmetic (one shared method, so
-            # the backends cannot drift) into the float64 block partial
-            acc = TermGradAccumulator(trainer.optimizer.params)
-            for r in range(j):
-                entry = cache[r]
-                if entry is not None:
-                    trainer._accumulate_term(acc, entry, r, substep)
-            vec = acc.to_vector()
-            if world > 1:
-                # rank-ordered float64 sum at the root == the logical
-                # trainer's block-order reduce_partials, bitwise
-                vec = timed(world_comm.allreduce_sum, vec)
-            global_loss = load_reduced(trainer.optimizer.params, vec)
-            clip_grad_norm(trainer.optimizer.params, spec.grad_clip)
-            trainer.optimizer.step()
-            recent.append(global_loss)
-
-        substep = (substep + 1) % j
-        trainer._iteration += 1
-
-        group0 = trainer.groups[0]
-        if group0.sweeps_completed >= last_eval_sweeps + eval_every:
-            last_eval_sweeps = group0.sweeps_completed
-            trainer._sweep_negative_offset += j
-            timed(world_comm.barrier, "pre-eval")
-            if rank == 0:
-                val = trainer._evaluate_split("val", warm_group=group0)
-                point = {
-                    "iteration": trainer._iteration,
-                    "edges_traversed": trainer._iteration
-                    * visits_per_iteration
-                    * trainer.global_batch,
-                    "train_loss": float(np.mean(recent)),
-                    "val_metric": val.metric,
+    # ---- supervised execution: commit / park / rollback / resume
+    bench = None
+    while True:
+        try:
+            run_loop()
+            bench = world_comm.gather_meta(
+                {
+                    "rank": rank,
+                    "loop_s": _time.perf_counter() - loop_start,
+                    # sync = time inside collectives minus the commit work
+                    # executed under them (compute, not waiting)
+                    "sync_s": max(sync_time - commit_work, 0.0),
+                    "cpu_s": _time.process_time() - cpu_start,
                 }
-                history.append(point)
-                if verbose:
-                    print(
-                        f"[{cfg.parallel.label()}|process w{world}] "
-                        f"it={trainer._iteration} loss={point['train_loss']:.4f} "
-                        f"val={val.metric:.4f}"
-                    )
-            recent.clear()
-            timed(world_comm.barrier, "post-eval")
-
-    loop_elapsed = _time.perf_counter() - loop_start
-    loop_cpu = _time.process_time() - cpu_start
-    world_comm.barrier("end")
-    bench = world_comm.gather_meta(
-        {
-            "rank": rank,
-            "loop_s": loop_elapsed,
-            # sync = time inside collectives minus the commit work executed
-            # under the serial section (which is compute, not waiting)
-            "sync_s": max(sync_time - commit_work, 0.0),
-            "cpu_s": loop_cpu,
-        }
-    )
+            )
+            break
+        except TransportError as exc:
+            generation = _park(channel, rank, exc)
+            world_comm = world_comms[generation]
+            group_comm = group_comms[generation]
+            book = load_committed()
+            history = list(book["history"])
+            recent = list(book["recent"])
+            last_eval_sweeps = int(book["last_eval_sweeps"])
+            prev_batch = {g.index: g.prev_batch for g in trainer.groups}
+            substep = 0
+            blocks_done = 0
+            cache = None
 
     # ---- finalization (rank 0 only): trailing eval, test metric, state out
     if rank != 0:
@@ -299,3 +409,21 @@ def train_worker(
     }
     shared.close()
     return meta, snap["arrays"]
+
+
+def _park(channel, rank: int, exc: BaseException) -> int:
+    """Report a collective failure and wait for the launcher's verdict.
+
+    Returns the communicator generation to resume on.  If the launcher is
+    gone (or answers ``abort``) the worker exits instead of lingering.
+    """
+    try:
+        channel.send("parked", meta={"rank": rank, "error": repr(exc)})
+    except Exception:
+        raise SystemExit(1) from exc
+    while True:
+        frame = channel.recv()  # channel default timeout bounds the wait
+        if frame.tag == "resume":
+            return int(frame.meta["generation"])
+        if frame.tag == "abort":
+            raise SystemExit(1)

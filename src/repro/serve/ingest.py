@@ -39,6 +39,12 @@ class EventLog:
     Chunks are kept as-appended and concatenated lazily; offsets are event
     indices into the logical concatenation, so ``events_since(offset)``
     gives exactly the suffix a lagging replica (or a restore) must replay.
+
+    Long-lived deployments bound the WAL's memory with
+    :meth:`truncate_until`: the prefix below a safe cursor (every replica's
+    catch-up offset, a snapshot's coverage) is dropped while logical
+    offsets keep their meaning — a cursor below :attr:`base_offset` then
+    raises instead of silently replaying from the wrong place.
     """
 
     def __init__(self, edge_dim: int = 0) -> None:
@@ -50,9 +56,17 @@ class EventLog:
         self._time: List[np.ndarray] = []
         self._feats: List[np.ndarray] = []
         self._count = 0
+        self._base = 0
 
     def __len__(self) -> int:
+        """Total events ever appended (truncation does not shrink this —
+        offsets stay meaningful)."""
         return self._count
+
+    @property
+    def base_offset(self) -> int:
+        """First logical offset still held (0 until a truncation)."""
+        return self._base
 
     def append(
         self,
@@ -91,23 +105,32 @@ class EventLog:
         return self._count
 
     def arrays(self) -> EventBatch:
-        """The whole log as (src, dst, times, edge_feats-or-None)."""
-        return self.events_since(0)
+        """Everything still held, as (src, dst, times, edge_feats-or-None)."""
+        return self.events_since(self._base)
+
+    def _check_offset(self, offset: int) -> None:
+        if offset < self._base:
+            raise ValueError(
+                f"offset {offset} was truncated away (base_offset is "
+                f"{self._base}); replay from a snapshot instead"
+            )
+        if offset > self._count:
+            raise ValueError(f"offset {offset} outside [{self._base}, {self._count}]")
 
     def events_since(self, offset: int) -> EventBatch:
         """Events with log index >= ``offset`` (for replay/catch-up)."""
-        if not 0 <= offset <= self._count:
-            raise ValueError(f"offset {offset} outside [0, {self._count}]")
-        if self._count == 0 or offset == self._count:
+        self._check_offset(offset)
+        if offset == self._count:
             empty = np.zeros(0, dtype=np.int64)
             feats = (
                 np.zeros((0, self.edge_dim), dtype=np.float32) if self.edge_dim else None
             )
             return empty, empty.copy(), np.zeros(0, dtype=np.float64), feats
-        src = np.concatenate(self._src)[offset:]
-        dst = np.concatenate(self._dst)[offset:]
-        times = np.concatenate(self._time)[offset:]
-        feats = np.concatenate(self._feats)[offset:] if self.edge_dim else None
+        rel = offset - self._base
+        src = np.concatenate(self._src)[rel:]
+        dst = np.concatenate(self._dst)[rel:]
+        times = np.concatenate(self._time)[rel:]
+        feats = np.concatenate(self._feats)[rel:] if self.edge_dim else None
         return src, dst, times, feats
 
     def batches_since(self, offset: int) -> List[EventBatch]:
@@ -121,10 +144,9 @@ class EventLog:
         batch is semantically valid streaming but lands on a slightly
         different (coarser-staleness) state.  Catch-up paths use this.
         """
-        if not 0 <= offset <= self._count:
-            raise ValueError(f"offset {offset} outside [0, {self._count}]")
+        self._check_offset(offset)
         out: List[EventBatch] = []
-        start = 0
+        start = self._base
         for src, dst, times, feats in zip(
             self._src, self._dst, self._time, self._feats
         ):
@@ -141,6 +163,23 @@ class EventLog:
                 )
             start = stop
         return out
+
+    def truncate_until(self, offset: int) -> int:
+        """Release the prefix below ``offset``; returns the new
+        :attr:`base_offset`.
+
+        Truncation is **batch-granular**: only whole append batches that
+        end at or before ``offset`` are dropped, so every still-valid
+        cursor keeps seeing the original batch boundaries (the bit-exact
+        catch-up contract of :meth:`batches_since`).  The caller promises
+        no consumer still holds a cursor below ``offset`` — later reads
+        below the new base raise.
+        """
+        self._check_offset(offset)
+        while self._src and self._base + len(self._src[0]) <= offset:
+            self._base += len(self._src[0])
+            del self._src[0], self._dst[0], self._time[0], self._feats[0]
+        return self._base
 
 
 class StreamIngestor:
@@ -195,25 +234,37 @@ class StreamIngestor:
 
 
 # --------------------------------------------------------------- snapshots
-def save_snapshot(cluster, path: Union[str, Path]) -> Path:
-    """Persist a :class:`ServingCluster`'s full serving state to ``path``.
+def write_snapshot(
+    path: Union[str, Path],
+    *,
+    graph: TemporalGraph,
+    wal: EventLog,
+    replica_states: Sequence[Tuple[object, object]],
+) -> Path:
+    """Write the common snapshot format: metadata + WAL + per-replica
+    (memory, mailbox) arrays.
 
-    Captures per-replica memory + mailbox, the WAL (events ingested since
-    the cluster was built on its training-time graph), and enough metadata
-    to validate a restore target.
+    Both cluster kinds serialize through here — the threaded cluster with
+    each replica engine's private state, the process cluster with its one
+    shared state repeated per replica — so their snapshot files are
+    interchangeable whenever their serving states agree.
     """
     path = Path(path)
+    if wal.base_offset != 0:
+        raise ValueError(
+            "cannot snapshot a truncated WAL (a restore could no longer "
+            "rebuild the graph); snapshot first, truncate after"
+        )
     arrays = {}
-    wal = cluster.wal
-    base_events = cluster.graph.num_events - len(wal)
+    base_events = graph.num_events - len(wal)
     meta = {
         "format_version": SNAPSHOT_VERSION,
-        "k": len(cluster.replicas),
+        "k": len(replica_states),
         "base_events": base_events,
         "wal_len": len(wal),
-        "graph_name": cluster.graph.name,
-        "num_nodes": cluster.graph.num_nodes,
-        "edge_dim": cluster.graph.edge_dim,
+        "graph_name": graph.name,
+        "num_nodes": graph.num_nodes,
+        "edge_dim": graph.edge_dim,
     }
     arrays["meta/json"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -226,17 +277,81 @@ def save_snapshot(cluster, path: Union[str, Path]) -> Path:
     if feats is not None:
         arrays["wal/edge_feats"] = feats
 
-    for r, replica in enumerate(cluster.replicas):
-        eng = replica.engine
+    for r, (memory, mailbox) in enumerate(replica_states):
         p = f"replica{r}"
-        arrays[f"{p}/memory"] = eng.memory.memory
-        arrays[f"{p}/last_update"] = eng.memory.last_update
-        arrays[f"{p}/mail"] = eng.mailbox.mail
-        arrays[f"{p}/mail_time"] = eng.mailbox.mail_time
-        arrays[f"{p}/has_mail"] = eng.mailbox.has_mail
+        arrays[f"{p}/memory"] = memory.memory
+        arrays[f"{p}/last_update"] = memory.last_update
+        arrays[f"{p}/mail"] = mailbox.mail
+        arrays[f"{p}/mail_time"] = mailbox.mail_time
+        arrays[f"{p}/has_mail"] = mailbox.has_mail
 
     np.savez_compressed(path, **arrays)
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def read_snapshot(
+    path: Union[str, Path],
+    *,
+    graph: TemporalGraph,
+    wal: EventLog,
+    k: int,
+):
+    """Load + validate the common snapshot format against a pristine target.
+
+    Returns ``(meta, wal_batch, replica_arrays)`` where ``wal_batch`` is
+    the snapshot's ``(src, dst, times, feats)`` (possibly empty) and
+    ``replica_arrays[r]`` maps array names to the replica's state.  The
+    caller applies them under its own locking/ordering discipline.
+    """
+    data = np.load(Path(path), allow_pickle=False)
+    meta = json.loads(bytes(data["meta/json"]).decode("utf-8"))
+    if meta["format_version"] != SNAPSHOT_VERSION:
+        raise ValueError(f"unsupported snapshot version {meta['format_version']}")
+    if meta["k"] != k:
+        raise ValueError(f"snapshot has k={meta['k']} replicas, cluster has {k}")
+    if len(wal) != 0 or graph.num_events != meta["base_events"]:
+        raise ValueError(
+            "restore target must be a pristine cluster on the training-time "
+            f"graph ({meta['base_events']} events, empty WAL)"
+        )
+    if graph.num_nodes != meta["num_nodes"]:
+        raise ValueError("node universe mismatch")
+    if graph.edge_dim != meta["edge_dim"]:
+        raise ValueError("edge feature dimension mismatch")
+
+    src, dst, times = data["wal/src"], data["wal/dst"], data["wal/time"]
+    feats = data["wal/edge_feats"] if "wal/edge_feats" in data else None
+    replica_arrays = []
+    for r in range(k):
+        p = f"replica{r}"
+        replica_arrays.append(
+            {
+                "memory": data[f"{p}/memory"],
+                "last_update": data[f"{p}/last_update"],
+                "mail": data[f"{p}/mail"],
+                "mail_time": data[f"{p}/mail_time"],
+                "has_mail": data[f"{p}/has_mail"],
+            }
+        )
+    return meta, (src, dst, times, feats), replica_arrays
+
+
+def save_snapshot(cluster, path: Union[str, Path]) -> Path:
+    """Persist a :class:`ServingCluster`'s full serving state to ``path``.
+
+    Captures per-replica memory + mailbox, the WAL (events ingested since
+    the cluster was built on its training-time graph), and enough metadata
+    to validate a restore target.
+    """
+    return write_snapshot(
+        path,
+        graph=cluster.graph,
+        wal=cluster.wal,
+        replica_states=[
+            (replica.engine.memory, replica.engine.mailbox)
+            for replica in cluster.replicas
+        ],
+    )
 
 
 def load_snapshot(cluster, path: Union[str, Path]) -> dict:
@@ -248,38 +363,20 @@ def load_snapshot(cluster, path: Union[str, Path]) -> dict:
     post-training edges, and state arrays are copied back verbatim — the
     restored cluster answers queries identically to the snapshotted one.
     """
-    data = np.load(Path(path), allow_pickle=False)
-    meta = json.loads(bytes(data["meta/json"]).decode("utf-8"))
-    if meta["format_version"] != SNAPSHOT_VERSION:
-        raise ValueError(f"unsupported snapshot version {meta['format_version']}")
-    if meta["k"] != len(cluster.replicas):
-        raise ValueError(
-            f"snapshot has k={meta['k']} replicas, cluster has {len(cluster.replicas)}"
-        )
-    if len(cluster.wal) != 0 or cluster.graph.num_events != meta["base_events"]:
-        raise ValueError(
-            "restore target must be a pristine cluster on the training-time "
-            f"graph ({meta['base_events']} events, empty WAL)"
-        )
-    if cluster.graph.num_nodes != meta["num_nodes"]:
-        raise ValueError("node universe mismatch")
-    if cluster.graph.edge_dim != meta["edge_dim"]:
-        raise ValueError("edge feature dimension mismatch")
-
-    src, dst, times = data["wal/src"], data["wal/dst"], data["wal/time"]
-    feats = data["wal/edge_feats"] if "wal/edge_feats" in data else None
+    meta, (src, dst, times, feats), replica_arrays = read_snapshot(
+        path, graph=cluster.graph, wal=cluster.wal, k=len(cluster.replicas)
+    )
     if len(src):
         # replay structure only — replica state is restored directly below,
         # so the events must NOT be re-observed
         cluster.wal.append(src, dst, times, feats)
         cluster.graph.append_events(src, dst, times, feats)
 
-    for r, replica in enumerate(cluster.replicas):
+    for replica, arrays in zip(cluster.replicas, replica_arrays):
         eng = replica.engine
-        p = f"replica{r}"
-        eng.memory.memory[...] = data[f"{p}/memory"]
-        eng.memory.last_update[...] = data[f"{p}/last_update"]
-        eng.mailbox.mail[...] = data[f"{p}/mail"]
-        eng.mailbox.mail_time[...] = data[f"{p}/mail_time"]
-        eng.mailbox.has_mail[...] = data[f"{p}/has_mail"]
+        eng.memory.memory[...] = arrays["memory"]
+        eng.memory.last_update[...] = arrays["last_update"]
+        eng.mailbox.mail[...] = arrays["mail"]
+        eng.mailbox.mail_time[...] = arrays["mail_time"]
+        eng.mailbox.has_mail[...] = arrays["has_mail"]
     return meta

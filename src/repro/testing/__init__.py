@@ -1,0 +1,41 @@
+"""Testing & fault-injection subsystem.
+
+Two pieces, usable independently:
+
+* :mod:`repro.testing.failpoints` — deterministic, env-activated failure
+  injection (``failpoints.enable("worker.step:3", kind="crash", rank=1)``)
+  that spawned runtime workers honor;
+* :mod:`repro.testing.chaos` — the chaos driver + differential checker:
+  run a plan with failpoints armed, replay it unfaulted, and assert the
+  two runs are **bitwise identical** (losses, metrics, weights, node
+  memory) — the recovery-correctness oracle the bitwise local≡process
+  contract makes possible.
+
+``chaos`` pulls in the full ``repro.api`` stack, so it is imported lazily:
+worker processes that only need ``failpoints`` stay light.
+"""
+
+from . import failpoints
+
+__all__ = [
+    "failpoints",
+    "ChaosReport",
+    "chaos_fit",
+    "differential_chaos_fit",
+    "assert_sessions_bitwise_equal",
+]
+
+_CHAOS_NAMES = {
+    "ChaosReport",
+    "chaos_fit",
+    "differential_chaos_fit",
+    "assert_sessions_bitwise_equal",
+}
+
+
+def __getattr__(name):
+    if name in _CHAOS_NAMES:
+        from . import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

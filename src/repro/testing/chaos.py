@@ -1,0 +1,196 @@
+"""Chaos driver + differential checker for the fault-tolerant runtime.
+
+The runtime's recovery claim is unusually strong — a fit that loses a rank
+mid-epoch must finish **bitwise identical** to one that never saw a fault —
+and the bitwise local≡process contract from the runtime backend makes that
+claim *testable by exact equality* instead of tolerance bands.  This module
+packages the test harness:
+
+* :func:`chaos_fit` — run ``Session.fit(backend="process")`` with a set of
+  failpoints armed (and reliably cleared afterwards, pass or fail);
+* :func:`differential_chaos_fit` — the full oracle: run the faulted
+  process fit *and* an unfaulted reference fit of the same config, then
+  compare everything observable (loss history, metrics, model weights,
+  optimizer moments, node memory, mailbox state) for exact equality;
+* :func:`assert_sessions_bitwise_equal` — the state comparator, reusable
+  against any two sessions that should agree.
+
+Example::
+
+    from repro.testing import differential_chaos_fit
+
+    report = differential_chaos_fit(
+        cfg,
+        {"worker.step:3": ("crash", 1)},     # SIGKILL rank 1 at iteration 3
+        max_iterations=8,
+        recovery=RecoveryPolicy(collective_timeout=15.0),
+    )
+    assert report.recovered and report.bitwise_equal, report.differences
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..api.config import ExperimentConfig
+from ..api.session import Session
+from . import failpoints
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one differential chaos run."""
+
+    recovered: bool                      #: the faulted fit completed
+    bitwise_equal: bool                  #: faulted == reference, exactly
+    differences: List[str] = field(default_factory=list)
+    faulted_result: Optional[object] = None
+    reference_result: Optional[object] = None
+
+
+def chaos_fit(
+    config: ExperimentConfig,
+    faults: Dict[str, Tuple[str, Optional[int]]],
+    *,
+    max_iterations: Optional[int] = None,
+    epochs: Optional[int] = None,
+    recovery=None,
+    timeout: Optional[float] = None,
+):
+    """Run a process-backend fit with ``faults`` armed.
+
+    ``faults`` maps failpoint specs to ``(kind, rank)`` — e.g.
+    ``{"worker.step:3": ("crash", 1)}``.  Failpoints are cleared on exit
+    even when the fit (or an assertion around it) raises, so an armed
+    crash can never leak into the next test.  Returns ``(session,
+    result)``.
+    """
+    sess = Session(config)
+    with failpoints.scoped(faults):
+        kwargs = dict(
+            max_iterations=max_iterations, epochs=epochs, backend="process"
+        )
+        if recovery is not None:
+            kwargs["recovery"] = recovery
+        if timeout is not None:
+            kwargs["timeout"] = timeout
+        result = sess.fit(**kwargs)
+    return sess, result
+
+
+def differential_chaos_fit(
+    config: ExperimentConfig,
+    faults: Dict[str, Tuple[str, Optional[int]]],
+    *,
+    max_iterations: Optional[int] = None,
+    epochs: Optional[int] = None,
+    recovery=None,
+    timeout: Optional[float] = None,
+    reference_backend: str = "local",
+) -> ChaosReport:
+    """The recovery oracle: a faulted process fit vs. an unfaulted replay.
+
+    The reference run executes the *same* config and iteration budget with
+    no failpoints armed — on the logical trainer by default (the semantic
+    reference, which also cross-checks the backend equivalence contract),
+    or on a clean process fleet with ``reference_backend="process"``.
+    """
+    faulted_sess, faulted_res = chaos_fit(
+        config,
+        faults,
+        max_iterations=max_iterations,
+        epochs=epochs,
+        recovery=recovery,
+        timeout=timeout,
+    )
+    ref_sess = Session(config)
+    ref_kwargs = dict(max_iterations=max_iterations, epochs=epochs)
+    if reference_backend == "process":
+        ref_kwargs["backend"] = "process"
+        if timeout is not None:
+            ref_kwargs["timeout"] = timeout
+    ref_res = ref_sess.fit(**ref_kwargs)
+
+    differences = compare_sessions(faulted_sess, ref_sess)
+    differences += _compare_results(faulted_res, ref_res)
+    return ChaosReport(
+        recovered=True,
+        bitwise_equal=not differences,
+        differences=differences,
+        faulted_result=faulted_res,
+        reference_result=ref_res,
+    )
+
+
+# ------------------------------------------------------------- comparators
+def compare_sessions(a: Session, b: Session) -> List[str]:
+    """Every state difference between two sessions (empty == bitwise equal):
+    model + decoder weights, Adam moments, and per-group node memory /
+    mailbox contents and cursors."""
+    diffs: List[str] = []
+    for (name_a, p_a), (name_b, p_b) in zip(
+        list(a.model.named_parameters()) + list(a.decoder.named_parameters()),
+        list(b.model.named_parameters()) + list(b.decoder.named_parameters()),
+    ):
+        if name_a != name_b:
+            diffs.append(f"parameter order mismatch: {name_a} vs {name_b}")
+        elif not np.array_equal(p_a.data, p_b.data):
+            diffs.append(f"weights differ: {name_a}")
+    m_a, v_a, s_a = a.trainer.optimizer.state_arrays()
+    m_b, v_b, s_b = b.trainer.optimizer.state_arrays()
+    if s_a != s_b:
+        diffs.append(f"optimizer step differs: {s_a} vs {s_b}")
+    for idx, (ma, mb) in enumerate(zip(m_a, m_b)):
+        if not np.array_equal(ma, mb):
+            diffs.append(f"Adam m moment differs: param {idx}")
+    for idx, (va, vb) in enumerate(zip(v_a, v_b)):
+        if not np.array_equal(va, vb):
+            diffs.append(f"Adam v moment differs: param {idx}")
+    for g_a, g_b in zip(a.trainer.groups, b.trainer.groups):
+        tag = f"group {g_a.index}"
+        if not np.array_equal(g_a.memory.memory, g_b.memory.memory):
+            diffs.append(f"{tag}: node memory differs")
+        if not np.array_equal(g_a.memory.last_update, g_b.memory.last_update):
+            diffs.append(f"{tag}: last_update differs")
+        if not np.array_equal(g_a.mailbox.mail, g_b.mailbox.mail):
+            diffs.append(f"{tag}: mailbox differs")
+        if (g_a.position, g_a.prev_batch, g_a.sweeps_completed) != (
+            g_b.position,
+            g_b.prev_batch,
+            g_b.sweeps_completed,
+        ):
+            diffs.append(f"{tag}: cursors differ")
+    return diffs
+
+
+def _compare_results(a, b) -> List[str]:
+    diffs: List[str] = []
+    if len(a.history) != len(b.history):
+        diffs.append(f"history length differs: {len(a.history)} vs {len(b.history)}")
+        return diffs
+    for h_a, h_b in zip(a.history, b.history):
+        if (h_a.iteration, h_a.train_loss, h_a.val_metric) != (
+            h_b.iteration,
+            h_b.train_loss,
+            h_b.val_metric,
+        ):
+            diffs.append(f"history point differs at iteration {h_a.iteration}")
+    if a.test_metric != b.test_metric:
+        diffs.append(f"test metric differs: {a.test_metric} vs {b.test_metric}")
+    if a.iterations_run != b.iterations_run:
+        diffs.append(
+            f"iterations_run differs: {a.iterations_run} vs {b.iterations_run}"
+        )
+    return diffs
+
+
+def assert_sessions_bitwise_equal(a: Session, b: Session) -> None:
+    """Raise ``AssertionError`` listing every state difference, if any."""
+    diffs = compare_sessions(a, b)
+    if diffs:
+        raise AssertionError(
+            "sessions are not bitwise equal:\n  " + "\n  ".join(diffs)
+        )

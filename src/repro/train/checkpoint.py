@@ -44,6 +44,9 @@ def save_checkpoint(trainer: DistTGLTrainer, path: Union[str, Path]) -> Path:
         "dataset": trainer.dataset.name,
         "task": trainer.dataset.task,
         "sweep_negative_offset": trainer._sweep_negative_offset,
+        # rank-local RNG stream (plug-in components may draw from it);
+        # optional on read, so older format-2 checkpoints stay loadable
+        "rank_rng": trainer.rank_rng.bit_generator.state,
     }
     arrays["meta/json"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -124,6 +127,8 @@ def load_checkpoint(trainer: DistTGLTrainer, path: Union[str, Path]) -> dict:
 
     trainer._iteration = int(meta["iteration"])
     trainer._sweep_negative_offset = int(meta["sweep_negative_offset"])
+    if "rank_rng" in meta:
+        trainer.rank_rng.bit_generator.state = meta["rank_rng"]
     return meta
 
 

@@ -34,7 +34,7 @@ the iteration count scales as ``1/(i·j·k)`` relative to single-GPU.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -427,6 +427,8 @@ class DistTGLTrainer:
         eval_every_sweeps: int = 1,
         max_iterations: Optional[int] = None,
         verbose: bool = False,
+        run_state: Optional[dict] = None,
+        on_block_boundary=None,
     ) -> TrainResult:
         """Run training with the paper's fairness protocol.
 
@@ -435,19 +437,39 @@ class DistTGLTrainer:
         memory group 0 completes ``eval_every_sweeps`` sweeps, using that
         group's memory (the paper's "first memory process") to warm-start the
         validation pass.
+
+        ``run_state`` resumes an interrupted run: ``{"target_iteration",
+        "history", "recent", "last_eval_sweeps"}`` (the bookkeeping a
+        mid-run checkpoint saves) — the run continues to *that* absolute
+        target with its loss-averaging and eval cadence intact, so a
+        resumed fit reproduces an uninterrupted one bitwise.
+        ``on_block_boundary(trainer, book)`` fires after every completed
+        block (the only points where no sub-step cache is in flight, hence
+        the only checkpointable ones) with the current bookkeeping dict;
+        ``Session.fit`` hangs periodic checkpoints off it.
         """
         j, k = self.config.j, self.config.k
-        total_batch_visits = epochs_equivalent * self.num_batches
         visits_per_iteration = j * k
-        iterations = max(1, total_batch_visits // visits_per_iteration)
-        if max_iterations is not None:
-            iterations = min(iterations, max_iterations)
-
         result = TrainResult(config_label=self.config.label())
+        if run_state is not None:
+            target_iteration = int(run_state["target_iteration"])
+            iterations = max(0, target_iteration - self._iteration)
+            result.history = [
+                HistoryPoint(**point) for point in run_state["history"]
+            ]
+            recent_losses = [float(x) for x in run_state["recent"]]
+            last_eval_sweeps = int(run_state["last_eval_sweeps"])
+        else:
+            total_batch_visits = epochs_equivalent * self.num_batches
+            iterations = max(1, total_batch_visits // visits_per_iteration)
+            if max_iterations is not None:
+                iterations = min(iterations, max_iterations)
+            target_iteration = self._iteration + iterations
+            recent_losses = []
+            last_eval_sweeps = 0
+
         block_cache: List[Optional[dict]] = [None] * k
         substep = 0
-        last_eval_sweeps = 0
-        recent_losses: List[float] = []
 
         i = self.config.i
         for it in range(iterations):
@@ -520,6 +542,20 @@ class DistTGLTrainer:
                         f"[{self.config.label()}] it={self._iteration} "
                         f"loss={point.train_loss:.4f} val={val.metric:.4f}"
                     )
+
+            if substep == 0 and on_block_boundary is not None:
+                on_block_boundary(
+                    self,
+                    {
+                        # which checkpoint this bookkeeping belongs to:
+                        # resume refuses a book/checkpoint iteration mismatch
+                        "iteration": self._iteration,
+                        "target_iteration": target_iteration,
+                        "history": [asdict(h) for h in result.history],
+                        "recent": list(recent_losses),
+                        "last_eval_sweeps": last_eval_sweeps,
+                    },
+                )
 
         if not result.history:
             val = self._evaluate_split("val", warm_group=self.groups[0])

@@ -1,11 +1,17 @@
-"""Checkpointing: exact state roundtrip and resume-equals-continuous."""
+"""Checkpointing: exact state roundtrip, resume-equals-continuous,
+format-1 read compatibility and save/load/save byte stability."""
+
+import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.nn.module import Module, Parameter
 from repro.parallel import ParallelConfig
 from repro.train import DistTGLTrainer, TrainerSpec
-from repro.train.checkpoint import load_checkpoint, save_checkpoint
+from repro.train.checkpoint import _named_params, load_checkpoint, save_checkpoint
 
 from helpers import toy_dataset
 
@@ -70,6 +76,172 @@ class TestRoundtrip:
         other = make(ParallelConfig(1, 2, 1))
         with pytest.raises(ValueError):
             load_checkpoint(other, path)
+
+
+def _write_v1_checkpoint(trainer, path):
+    """Synthesize the pre-runtime format-1 layout (one entry per parameter)."""
+    arrays = {}
+    meta = {
+        "format_version": 1,
+        "config": trainer.config.label(),
+        "machines": trainer.config.machines,
+        "iteration": trainer._iteration,
+        "dataset": trainer.dataset.name,
+        "task": trainer.dataset.task,
+        "sweep_negative_offset": trainer._sweep_negative_offset,
+    }
+    arrays["meta/json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    for name, param in _named_params(trainer):
+        arrays[f"model/{name}"] = param.data
+    m, v, step = trainer.optimizer.state_arrays()
+    for idx, (mi, vi) in enumerate(zip(m, v)):
+        arrays[f"opt/m{idx}"] = mi
+        arrays[f"opt/v{idx}"] = vi
+    arrays["opt/step"] = np.array([step], dtype=np.int64)
+    for g in trainer.groups:
+        p = f"group{g.index}"
+        arrays[f"{p}/memory"] = g.memory.memory
+        arrays[f"{p}/last_update"] = g.memory.last_update
+        arrays[f"{p}/mail"] = g.mailbox.mail
+        arrays[f"{p}/mail_time"] = g.mailbox.mail_time
+        arrays[f"{p}/has_mail"] = g.mailbox.has_mail
+        arrays[f"{p}/cursor"] = np.array(
+            [g.position, g.prev_batch, g.sweeps_completed], dtype=np.int64
+        )
+    np.savez_compressed(path, **arrays)
+
+
+class TestFormatCompat:
+    def test_v1_checkpoint_still_loads(self, tmp_path):
+        """Format 1 (per-parameter entries, pre-Module.to_bytes) must stay
+        readable: same weights, optimizer moments and memory state."""
+        tr = make(seed=3)
+        tr.train(epochs_equivalent=2, max_iterations=4)
+        path = tmp_path / "v1.npz"
+        _write_v1_checkpoint(tr, path)
+
+        fresh = make(seed=3)
+        meta = load_checkpoint(fresh, path)
+        assert meta["format_version"] == 1
+        for (k, a), (_, b) in zip(
+            tr.model.named_parameters(), fresh.model.named_parameters()
+        ):
+            np.testing.assert_array_equal(a.data, b.data), k
+        m1, v1, s1 = tr.optimizer.state_arrays()
+        m2, v2, s2 = fresh.optimizer.state_arrays()
+        assert s1 == s2
+        for a, b in zip(m1 + v1, m2 + v2):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(
+            tr.groups[0].memory.memory, fresh.groups[0].memory.memory
+        )
+
+    def test_unknown_version_rejected(self, tmp_path):
+        tr = make()
+        path = tmp_path / "v9.npz"
+        save_checkpoint(tr, path)
+        data = dict(np.load(path, allow_pickle=False))
+        meta = json.loads(bytes(data["meta/json"]).decode("utf-8"))
+        meta["format_version"] = 9
+        data["meta/json"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            load_checkpoint(make(), path)
+
+    def test_v2_without_rng_state_still_loads(self, tmp_path):
+        """Older format-2 files predate the rank_rng key; it is optional."""
+        tr = make(seed=1)
+        path = tmp_path / "old-v2.npz"
+        save_checkpoint(tr, path)
+        data = dict(np.load(path, allow_pickle=False))
+        meta = json.loads(bytes(data["meta/json"]).decode("utf-8"))
+        del meta["rank_rng"]
+        data["meta/json"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **data)
+        fresh = make(seed=1)
+        load_checkpoint(fresh, path)      # must not raise
+
+    def test_rng_stream_travels_with_checkpoint(self, tmp_path):
+        """The rank-local RNG is part of the resumable state: after a
+        load, the restored trainer draws the same stream the original
+        would have."""
+        tr = make(seed=2)
+        tr.rank_rng.random(17)            # advance the stream
+        path = tmp_path / "rng.npz"
+        save_checkpoint(tr, path)
+        expected = tr.rank_rng.random(8)  # the continuation
+        fresh = make(seed=2)
+        fresh.rank_rng.random(3)          # desynchronize on purpose
+        load_checkpoint(fresh, path)
+        np.testing.assert_array_equal(fresh.rank_rng.random(8), expected)
+
+
+class _TreeModule(Module):
+    """A module tree built from a nested shape description."""
+
+    def __init__(self, tree, rng) -> None:
+        super().__init__()
+        for idx, node in enumerate(tree):
+            if isinstance(node, list):
+                setattr(self, f"child{idx}", _TreeModule(node, rng))
+            else:
+                setattr(
+                    self,
+                    f"p{idx}",
+                    Parameter(rng.standard_normal(node).astype(np.float32)),
+                )
+
+
+_shapes = st.tuples(st.integers(1, 4), st.integers(1, 4))
+_tree = st.recursive(
+    st.lists(_shapes, min_size=1, max_size=4),
+    lambda children: st.lists(_shapes | children, min_size=1, max_size=3),
+    max_leaves=6,
+)
+
+
+class TestByteStability:
+    @settings(max_examples=25, deadline=None)
+    @given(tree=_tree, seed=st.integers(0, 2**16))
+    def test_module_blob_roundtrip_is_byte_stable(self, tree, seed):
+        """to_bytes ∘ from_bytes ∘ to_bytes is the identity on bytes, for
+        arbitrary module trees — the property the checkpoint format (and
+        the worker weight wire format) relies on."""
+        rng = np.random.default_rng(seed)
+        original = _TreeModule(tree, rng)
+        blob = original.to_bytes()
+        clone = _TreeModule(tree, np.random.default_rng(seed + 1))
+        clone.from_bytes(blob)
+        assert clone.to_bytes() == blob
+        for (na, pa), (nb, pb) in zip(
+            original.named_parameters(), clone.named_parameters()
+        ):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_save_load_save_is_stable(self, tmp_path):
+        """A checkpoint reloaded and re-saved must serialize to identical
+        array contents (key set and bytes), so repeated resume cycles can
+        never drift."""
+        tr = make(seed=7)
+        tr.train(epochs_equivalent=2, max_iterations=5)
+        first = tmp_path / "first.npz"
+        save_checkpoint(tr, first)
+        fresh = make(seed=7)
+        load_checkpoint(fresh, first)
+        second = tmp_path / "second.npz"
+        save_checkpoint(fresh, second)
+        a = np.load(first, allow_pickle=False)
+        b = np.load(second, allow_pickle=False)
+        assert sorted(a.files) == sorted(b.files)
+        for key in a.files:
+            assert a[key].tobytes() == b[key].tobytes(), key
 
 
 class TestResume:

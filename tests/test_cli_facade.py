@@ -106,3 +106,30 @@ class TestTrainThroughFacade:
         ])
         assert rc == 0
         assert "least_loaded" in capsys.readouterr().out
+
+
+class TestResumeCommand:
+    def test_train_checkpoint_then_resume_matches_uninterrupted(
+        self, capsys, tmp_path
+    ):
+        base = [
+            "--scale", "0.004", "--epochs", "1", "--batch-size", "50", "--quiet",
+        ]
+        assert main(["train", *base]) == 0
+        uninterrupted = capsys.readouterr().out
+
+        ckpt = str(tmp_path / "ckpt")
+        assert main([
+            "train", *base, "--checkpoint-dir", ckpt, "--checkpoint-every", "3",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["resume", "--dir", ckpt, "--quiet"]) == 0
+        resumed = capsys.readouterr().out
+        # same best-val/test metrics and iteration count as never stopping
+        # (strip the trailing wall-clock field — the one legitimate delta)
+        metrics = uninterrupted.split(": ", 1)[1].rsplit(" | ", 1)[0]
+        assert metrics in resumed
+
+    def test_resume_without_snapshot_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="resume.json"):
+            main(["resume", "--dir", str(tmp_path)])

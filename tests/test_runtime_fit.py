@@ -123,58 +123,70 @@ class TestFailurePropagation:
         bad["data"] = {"dataset": "wikipedia", "scale": -1.0}  # validation boom
         from repro.runtime.collectives import Communicator
 
-        group = ProcessGroup(
+        with ProcessGroup(
             train_worker,
             [
                 {
                     "config_dict": bad,
                     "shared_specs": [],
-                    "world_comm": Communicator(0, 1),
-                    "group_comm": Communicator(0, 1),
+                    "world_comms": {0: Communicator(0, 1)},
+                    "group_comms": {0: Communicator(0, 1)},
                     "train_meta": {},
                 }
             ],
             timeout=120.0,
-        )
-        with pytest.raises(WorkerFailure) as err:
-            group.start().join()
+        ) as group:
+            with pytest.raises(WorkerFailure) as err:
+                group.start().join()
         assert "scale must be positive" in str(err.value)
 
     def test_wedged_worker_times_out_not_hangs(self):
         """A rank stuck in a collective (its peer never spawned) must be
         terminated at the deadline, not waited on forever."""
         from repro.runtime.collectives import make_local_communicators
-        from repro.runtime.sharedmem import create_group_states
-
-        from repro.runtime.launcher import snapshot_trainer_state
+        from repro.runtime.launcher import prepare_recovery_state
+        from repro.runtime.sharedmem import create_group_states, destroy_states
 
         cfg = tiny_config("2x1x1")
         parent = Session(cfg)
         comms = make_local_communicators(2, default_timeout=300.0)
-        states = create_group_states(1, num_nodes=2000, memory_dim=16, edge_dim=4)
+        states = create_group_states(
+            1,
+            num_nodes=parent.graph.num_nodes,
+            memory_dim=16,
+            edge_dim=parent.graph.edge_dim,
+        )
+        slab, shadow_pairs, shadow_specs = prepare_recovery_state(
+            cfg, parent.trainer
+        )
         try:
-            group = ProcessGroup(
+            with ProcessGroup(
                 train_worker,
                 [
                     {
                         "config_dict": cfg.to_dict(),
                         "shared_specs": [st.spec.to_dict() for st in states],
+                        "commit_spec": slab.to_dict(),
+                        "shadow_specs": shadow_specs,
                         # rank 0's barrier waits on a rank 1 that never starts
-                        "world_comm": comms[0],
-                        "group_comm": comms[0],
-                        "train_meta": {},
-                        "init_state": snapshot_trainer_state(parent.trainer),
+                        "world_comms": {0: comms[0]},
+                        "group_comms": {0: comms[0]},
+                        "train_meta": {"target_iteration": 4},
                     }
                 ],
                 timeout=20.0,
-            )
-            with pytest.raises(WorkerFailure, match="no result within"):
-                group.start().join()
-            assert all(not p.is_alive() for p in group.processes)
+            ) as group:
+                with pytest.raises(WorkerFailure, match="no result within"):
+                    group.start().join()
+                assert all(not p.is_alive() for p in group.processes)
         finally:
-            for st in states:
-                st.close()
-                st.unlink()
+            destroy_states(states)
+            for pair in shadow_pairs:
+                destroy_states(pair)
+            slab.close()
+            slab.unlink()
+            for comm in comms:
+                comm.close()
 
     def test_poll_failures_reports_crash_and_terminates(self):
         """The non-blocking health check (the serving front door's guard)
@@ -190,8 +202,8 @@ class TestFailurePropagation:
                 {
                     "config_dict": {"data": {"dataset": "wikipedia", "scale": -1.0}},
                     "shared_specs": [],
-                    "world_comm": Communicator(0, 1),
-                    "group_comm": Communicator(0, 1),
+                    "world_comms": {0: Communicator(0, 1)},
+                    "group_comms": {0: Communicator(0, 1)},
                     "train_meta": {},
                 }
             ],
@@ -209,6 +221,30 @@ class TestFailurePropagation:
         assert "scale must be positive" in str(err.value)
         with pytest.raises(WorkerFailure):
             group.poll_failures()
+
+    def test_process_group_shutdown_idempotent(self):
+        """shutdown()/terminate() must be safe to call repeatedly, before
+        start, and again after a join — the context-manager contract chaos
+        tests lean on."""
+        from repro.runtime.collectives import Communicator
+
+        kwargs = [
+            {
+                "config_dict": {"data": {"dataset": "wikipedia", "scale": -1.0}},
+                "shared_specs": [],
+                "world_comms": {0: Communicator(0, 1)},
+                "group_comms": {0: Communicator(0, 1)},
+                "train_meta": {},
+            }
+        ]
+        unstarted = ProcessGroup(train_worker, kwargs, timeout=30.0)
+        unstarted.shutdown()      # never started: must not raise
+        unstarted.shutdown()
+        with ProcessGroup(train_worker, kwargs, timeout=60.0) as group:
+            with pytest.raises(WorkerFailure):
+                group.start().join()
+            group.shutdown()      # join already tore down; still safe
+        group.shutdown()          # and again after __exit__
 
     def test_fit_backend_validation(self):
         sess = Session(tiny_config("1x1x1"))

@@ -122,3 +122,96 @@ class TestBitIdenticalServing:
         assert all(not p.is_alive() for p in procs)
         with pytest.raises(RuntimeError, match="shut down"):
             proc.submit_rank(0, np.array([1, 2]), 1.0)
+
+
+class TestSnapshotParity:
+    """``ProcessServingCluster.save()/restore()`` — format and behavior
+    parity with the threaded cluster, including cross-kind restores."""
+
+    def _ingest_stream(self, sess, cluster, chunks=3):
+        for batch in list(sess.held_out_stream(chunk=40))[:chunks]:
+            cluster.ingest(*batch)
+
+    def test_process_snapshot_restores_into_process_cluster(
+        self, fitted_session, tmp_path
+    ):
+        sess = fitted_session
+        plan = request_plan(sess.graph, n_requests=4)
+        with sess.serve(
+            replicas=2, process_replicas=True, max_delay_ms=10_000.0
+        ) as live:
+            self._ingest_stream(sess, live)
+            snap = live.save(tmp_path / "proc.npz")
+            expected = []
+            for src, cands, at in plan:
+                expected.append(live.submit_rank(src, cands, at))
+                live.flush_all()
+            expected = [r.value for r in expected]
+
+        with sess.serve(
+            replicas=2, process_replicas=True, max_delay_ms=10_000.0
+        ) as restored:
+            meta = restored.restore(snap)
+            assert meta["wal_len"] == len(restored.wal)
+            got = []
+            for src, cands, at in plan:
+                got.append(restored.submit_rank(src, cands, at))
+                restored.flush_all()
+            for a, b in zip(expected, (r.value for r in got)):
+                np.testing.assert_array_equal(b, a)
+
+    def test_threaded_and_process_snapshots_are_interchangeable(
+        self, fitted_session, tmp_path
+    ):
+        """The same stream folded by either cluster kind serializes the
+        same serving state, so each kind restores from the other's file
+        and serves identical scores."""
+        sess = fitted_session
+        plan = request_plan(sess.graph, n_requests=4, seed=11)
+
+        threaded = sess.serve(replicas=2, max_delay_ms=10_000.0)
+        self._ingest_stream(sess, threaded)
+        threaded_snap = threaded.save(tmp_path / "threaded.npz")
+
+        with sess.serve(
+            replicas=2, process_replicas=True, max_delay_ms=10_000.0
+        ) as proc:
+            self._ingest_stream(sess, proc)
+            proc_snap = proc.save(tmp_path / "proc.npz")
+
+        # identical replica payloads byte for byte
+        a = np.load(threaded_snap, allow_pickle=False)
+        b = np.load(proc_snap, allow_pickle=False)
+        assert sorted(a.files) == sorted(b.files)
+        for key in a.files:
+            if key != "meta/json":
+                assert a[key].tobytes() == b[key].tobytes(), key
+
+        # threaded snapshot -> fresh process cluster
+        with sess.serve(
+            replicas=2, process_replicas=True, max_delay_ms=10_000.0
+        ) as restored_proc:
+            restored_proc.restore(threaded_snap)
+            proc_scores = []
+            for src, cands, at in plan:
+                proc_scores.append(restored_proc.submit_rank(src, cands, at))
+                restored_proc.flush_all()
+            proc_scores = [r.value for r in proc_scores]
+
+        # process snapshot -> fresh threaded cluster
+        restored_threaded = sess.serve(replicas=2, max_delay_ms=10_000.0)
+        restored_threaded.restore(proc_snap)
+        for (src, cands, at), expect in zip(plan, proc_scores):
+            handle = restored_threaded.submit_rank(src, cands, at)
+            restored_threaded.flush_all()
+            np.testing.assert_array_equal(handle.value, expect)
+
+    def test_restore_rejects_dirty_process_cluster(self, fitted_session, tmp_path):
+        sess = fitted_session
+        with sess.serve(
+            replicas=2, process_replicas=True, max_delay_ms=10_000.0
+        ) as live:
+            self._ingest_stream(sess, live, chunks=1)
+            snap = live.save(tmp_path / "snap.npz")
+            with pytest.raises(ValueError, match="pristine"):
+                live.restore(snap)

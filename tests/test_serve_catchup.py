@@ -143,3 +143,96 @@ class TestReplicaCatchUp:
         np.testing.assert_array_equal(batches[0][0], [2, 3])
         np.testing.assert_array_equal(batches[1][0], [7])
         assert log.batches_since(4) == []
+
+
+class TestBoundaryCursors:
+    """The cursor edge cases a catch-up implementation leans on: empty
+    logs, the exact-tail cursor, and cursors around a truncation."""
+
+    def test_empty_log_cursors(self):
+        log = EventLog(edge_dim=0)
+        src, dst, times, feats = log.events_since(0)
+        assert len(src) == len(dst) == len(times) == 0
+        assert feats is None
+        assert log.batches_since(0) == []
+        assert len(log) == 0 and log.base_offset == 0
+        with pytest.raises(ValueError):
+            log.events_since(1)
+
+    def test_empty_log_with_edge_features_keeps_feature_shape(self):
+        log = EventLog(edge_dim=3)
+        *_, feats = log.events_since(0)
+        assert feats.shape == (0, 3)
+
+    def test_exact_tail_cursor_is_the_idle_catch_up(self):
+        """A replica already at the head replays nothing — the common case
+        of a catch-up loop polling the WAL."""
+        log = EventLog(edge_dim=0)
+        log.append(np.array([1, 2]), np.array([3, 4]), np.array([1.0, 2.0]))
+        src, *_ = log.events_since(len(log))
+        assert len(src) == 0
+        assert log.batches_since(len(log)) == []
+        # one past the tail is a protocol error, not an empty replay
+        with pytest.raises(ValueError):
+            log.events_since(len(log) + 1)
+
+    def test_truncation_is_batch_granular_and_keeps_offsets(self):
+        log = EventLog(edge_dim=0)
+        log.append(np.array([1, 2, 3]), np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0]))
+        log.append(np.array([4, 5]), np.array([4, 5]), np.array([4.0, 5.0]))
+        log.append(np.array([6]), np.array([6]), np.array([6.0]))
+        # offset 4 splits the second batch: only the first batch may go
+        assert log.truncate_until(4) == 3
+        assert log.base_offset == 3 and len(log) == 6
+        src, *_ = log.events_since(4)
+        np.testing.assert_array_equal(src, [5, 6])
+        batches = log.batches_since(3)
+        assert [len(b[0]) for b in batches] == [2, 1]
+
+    def test_post_truncation_cursor_below_base_raises(self):
+        log = EventLog(edge_dim=0)
+        log.append(np.array([1, 2]), np.array([1, 2]), np.array([1.0, 2.0]))
+        log.append(np.array([3]), np.array([3]), np.array([3.0]))
+        log.truncate_until(2)
+        with pytest.raises(ValueError, match="truncated"):
+            log.events_since(1)
+        with pytest.raises(ValueError, match="truncated"):
+            log.batches_since(0)
+
+    def test_truncated_wal_still_feeds_replica_catch_up(self):
+        """The live cluster truncates its WAL up to a snapshot cursor; a
+        replica lagging *at or past* that cursor still converges bitwise."""
+        model, decoder, full, serve_graph, split = toy_serving_setup(seed=4)
+        live = build_cluster(model, decoder, serve_graph)
+        chunks = stream_chunks(full, split, limit=4)
+        for chunk in chunks[:2]:
+            live.ingest(*chunk)
+        lag_offset = len(live.wal)
+
+        model2, decoder2, _, serve_graph2, _ = toy_serving_setup(seed=4)
+        lagging = build_cluster(model2, decoder2, serve_graph2)
+        for chunk in chunks[:2]:
+            lagging.ingest(*chunk)
+
+        for chunk in chunks[2:]:
+            live.ingest(*chunk)
+        live.wal.truncate_until(lag_offset)   # the lagging cursor stays valid
+        for batch in live.wal.batches_since(lag_offset):
+            lagging.ingest(*batch)
+        np.testing.assert_array_equal(
+            lagging.replicas[0].engine.memory.memory,
+            live.replicas[0].engine.memory.memory,
+        )
+        np.testing.assert_array_equal(
+            lagging.replicas[0].engine.mailbox.mail,
+            live.replicas[0].engine.mailbox.mail,
+        )
+
+    def test_snapshot_of_truncated_wal_is_refused(self, tmp_path):
+        model, decoder, full, serve_graph, split = toy_serving_setup(seed=4)
+        live = build_cluster(model, decoder, serve_graph)
+        for chunk in stream_chunks(full, split, limit=2):
+            live.ingest(*chunk)
+        live.wal.truncate_until(len(live.wal))
+        with pytest.raises(ValueError, match="truncated WAL"):
+            live.save(tmp_path / "snap.npz")
