@@ -24,6 +24,15 @@ stopped::
 
 (or ``python -m repro.cli train --checkpoint-dir runs/ckpt`` and
 ``python -m repro.cli resume --dir runs/ckpt``).
+
+Want to see where a run spends its time?  Telemetry is off by default;
+flip it on per run and summarize the merged span trace::
+
+    python -m repro.cli train --backend process --trace-dir runs/t
+    python -m repro.cli trace --dir runs/t      # phase breakdown, sync
+                                                # fraction, recovery events
+
+(see the "Observability guide" in ``help(repro)``).
 """
 
 import argparse

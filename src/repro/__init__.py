@@ -94,6 +94,45 @@ it is reusable for any experiment that must survive chaos:
   is the standalone comparator.  ``tests/test_runtime_recovery.py`` is the
   worked example — every failure kind, hard deadlines, no hangs.
 
+Observability guide
+-------------------
+``repro.obs`` is the unified telemetry layer: span tracing plus a shared
+metrics registry.  **Off by default** — the instrumentation points in the
+hot paths cost one global load and a ``None`` check while disabled (a
+tier-1 test guards the overhead).  Enable it per run with the config's
+``obs`` section or the ``REPRO_TRACE_DIR`` environment variable (the env
+override wins)::
+
+    cfg = repro.ExperimentConfig(
+        ...,
+        obs=repro.ObsConfig(trace_dir="runs/wiki-trace"),
+    )
+    repro.Session(cfg).fit(backend="process")
+
+Every process then writes its own Chrome trace-event JSONL lane file
+(``trace-rank0.jsonl`` … plus a ``supervisor`` lane with recovery events);
+the launcher's join path merges them into ``trace.merged.jsonl`` on one
+clock-aligned timeline — load it in Perfetto / ``chrome://tracing``, or
+summarize from the shell::
+
+    python -m repro.cli train --backend process --trace-dir runs/t
+    python -m repro.cli trace --dir runs/t     # per-phase breakdown,
+                                               # sync fraction, recovery
+                                               # timeline (--json for raw)
+
+Span names mirror the step anatomy (``sample``, ``prep``, ``forward``,
+``backward``, ``allreduce``, ``barrier``, ``commit``, ``writeback``) plus
+the recovery lifecycle (``park``, ``rollback``, ``respawn``) and serving
+(``ingest``, ``micro_batch``).  The metrics registry
+(``repro.obs.get_registry()``) shares one naming convention across
+subsystems — ``phase/<span>`` counters are fed automatically by the
+tracer, ``recovery/*`` counts restarts/rollback depth/respawn latency,
+``serve/*`` is exported by ``ServingCluster.export_metrics()`` — and
+every counter/gauge/histogram snapshot merges across processes
+(histograms are bounded uniform reservoirs, so long runs stay
+memory-safe).  ``runtime-bench`` and ``perf-bench`` source their
+per-phase columns from this telemetry rather than ad-hoc timers.
+
 Configs are frozen dataclasses that validate at construction and round-trip
 through JSON byte-identically (``cfg.to_json()`` / ``ExperimentConfig
 .from_json``); the CLI speaks the same format (``python -m repro.cli train
@@ -131,6 +170,7 @@ from .api import (
     DataConfig,
     ExperimentConfig,
     ModelConfig,
+    ObsConfig,
     ServeConfig,
     Session,
     TrainConfig,
@@ -187,6 +227,7 @@ __all__ = [
     "ModelConfig",
     "TrainConfig",
     "ServeConfig",
+    "ObsConfig",
     "ParallelConfig",
     "register_model",
     "register_sampler",

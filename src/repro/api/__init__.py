@@ -4,8 +4,8 @@ Three layers:
 
 * **configs** — :class:`ExperimentConfig` composing :class:`DataConfig`,
   :class:`ModelConfig`, :class:`~repro.parallel.ParallelConfig`,
-  :class:`TrainConfig` and :class:`ServeConfig`; frozen, validated at
-  construction, JSON round-trippable;
+  :class:`TrainConfig`, :class:`ServeConfig` and :class:`ObsConfig`;
+  frozen, validated at construction, JSON round-trippable;
 * **registries** — string keys in configs resolve to factories via
   ``@register_model`` / ``@register_sampler`` / ``@register_router`` /
   ``@register_memory_updater`` / ``@register_dataset``;
@@ -17,6 +17,7 @@ from .config import (
     DataConfig,
     ExperimentConfig,
     ModelConfig,
+    ObsConfig,
     ServeConfig,
     TrainConfig,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "ModelConfig",
     "TrainConfig",
     "ServeConfig",
+    "ObsConfig",
     "Registry",
     "MODELS",
     "SAMPLERS",

@@ -189,6 +189,27 @@ class ServeConfig(ConfigBase):
 
 
 @dataclass(frozen=True)
+class ObsConfig(ConfigBase):
+    """Telemetry switches (all observability is off by default).
+
+    ``trace_dir`` non-empty enables span tracing: every process of the run
+    writes ``trace-<lane>.jsonl`` there and the launcher merges them into
+    ``trace.merged.jsonl`` (the ``REPRO_TRACE_DIR`` env var overrides this
+    field).  ``histogram_reservoir`` caps every registry histogram's sample
+    reservoir, bounding memory under sustained traffic.
+    """
+
+    trace_dir: str = ""
+    histogram_reservoir: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.histogram_reservoir < 16:
+            raise ValueError(
+                f"histogram_reservoir must be >= 16, got {self.histogram_reservoir}"
+            )
+
+
+@dataclass(frozen=True)
 class ExperimentConfig(ConfigBase):
     """The whole experiment: one serializable object, one Session."""
 
@@ -197,6 +218,7 @@ class ExperimentConfig(ConfigBase):
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     train: TrainConfig = field(default_factory=TrainConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     _SECTIONS = {
         "data": DataConfig,
@@ -204,6 +226,7 @@ class ExperimentConfig(ConfigBase):
         "parallel": ParallelConfig,
         "train": TrainConfig,
         "serve": ServeConfig,
+        "obs": ObsConfig,
     }
 
     def __post_init__(self) -> None:

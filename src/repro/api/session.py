@@ -155,13 +155,26 @@ class Session:
             if checkpointing
             else None
         )
-        self.result = self.trainer.train(
-            epochs_equivalent=epochs if epochs is not None else self.config.train.epochs,
-            max_iterations=max_iterations,
-            verbose=verbose,
-            run_state=run_state,
-            on_block_boundary=on_block_boundary,
-        )
+        # local backend runs every logical rank in this process: one tracer
+        # lane ("local") covers the whole fit, merged on completion so the
+        # same `repro.cli trace --dir` workflow reads either backend's run
+        from .. import obs
+
+        trace_dir = obs.resolve_trace_dir(self.config)
+        if trace_dir is not None:
+            obs.configure(trace_dir, rank=0, lane="local")
+        try:
+            self.result = self.trainer.train(
+                epochs_equivalent=epochs if epochs is not None else self.config.train.epochs,
+                max_iterations=max_iterations,
+                verbose=verbose,
+                run_state=run_state,
+                on_block_boundary=on_block_boundary,
+            )
+        finally:
+            if trace_dir is not None:
+                obs.disable(flush=True)
+                obs.merge_trace_dir(trace_dir)
         return self.result
 
     def _checkpoint_callback(self, directory: Path, every: int):
@@ -268,6 +281,10 @@ class Session:
             dedup=sv.dedup,
             memoize_time=sv.memoize_time,
         )
+        if not process_replicas:
+            # process replicas ship latency snapshots over the wire and cap
+            # them worker-side; the threaded cluster takes the cap directly
+            kwargs["histogram_cap"] = self.config.obs.histogram_reservoir
         if process_replicas:
             from ..runtime.serving import ProcessServingCluster
 

@@ -31,6 +31,11 @@ serve-bench train briefly, then load-test the replicated serving cluster
 perf-bench  measure hot-path throughput (train step / eval sweep / serve
             batch) with the fused execution layer vs. the legacy path and
             write BENCH_hotpath.json
+runtime-bench  process-backend step throughput at 1/2/4 workers and write
+            BENCH_runtime.json (``--trace-dir`` keeps the per-rank span
+            traces; phase columns come from the telemetry)
+trace       merge + summarize a span-trace directory: per-lane phase
+            breakdown, sync fraction, recovery timeline
 
 Dataset and routing-policy choices come from the ``repro.api`` registries,
 so components added with ``@register_dataset`` / ``@register_router`` show
@@ -40,6 +45,7 @@ up in ``--help`` automatically.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import re
 import sys
 from pathlib import Path
@@ -49,6 +55,7 @@ from .api.config import (
     DataConfig,
     ExperimentConfig,
     ModelConfig,
+    ObsConfig,
     ServeConfig,
     TrainConfig,
 )
@@ -139,6 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="snapshot cadence in block boundaries "
                               "(default: train.checkpoint_every from the config)")
+    p_train.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="record span telemetry (Chrome trace-event "
+                              "JSONL per process) here; view with "
+                              "`repro.cli trace --dir DIR`")
     p_train.add_argument("--quiet", action="store_true")
     _add_config_flags(p_train)
 
@@ -229,6 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_rt.add_argument("--seed", type=int, default=0)
     p_rt.add_argument("--out", default=None,
                       help="report path (default: BENCH_runtime.json at repo root)")
+    p_rt.add_argument("--trace-dir", default=None, metavar="DIR",
+                      help="keep each point's span traces under DIR/w<n>/ "
+                           "(default: a discarded temporary directory)")
     _add_config_flags(p_rt)
 
     p_perf = sub.add_parser(
@@ -244,6 +258,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="report path (default: BENCH_hotpath.json at repo root)")
     p_perf.add_argument("--seed", type=int, default=0)
     _add_config_flags(p_perf)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="merge + summarize a span-trace directory "
+             "(written by train/runtime-bench with telemetry enabled)",
+    )
+    p_trace.add_argument("--dir", required=True, metavar="DIR",
+                         help="trace directory holding trace-*.jsonl lane "
+                              "files (or a pre-merged trace.merged.jsonl)")
+    p_trace.add_argument("--json", action="store_true",
+                         help="print the structural summary as JSON instead "
+                              "of the human-readable rendering")
 
     return parser
 
@@ -313,6 +339,16 @@ def _maybe_dump(args, cfg: ExperimentConfig) -> bool:
 # ------------------------------------------------------------------ commands
 def cmd_train(args) -> int:
     cfg = _experiment_from_train_args(args)
+    if args.trace_dir:
+        # the flag wins even over a full --config JSON: asking for a trace
+        # on the command line is an explicit request
+        cfg = dataclasses.replace(
+            cfg,
+            obs=ObsConfig(
+                trace_dir=str(args.trace_dir),
+                histogram_reservoir=cfg.obs.histogram_reservoir,
+            ),
+        )
     if _maybe_dump(args, cfg):
         return 0
     sess = Session(cfg)
@@ -337,6 +373,11 @@ def cmd_train(args) -> int:
     if args.save:
         path = sess.save(args.save)
         print(f"session saved to {path}")
+    if args.trace_dir:
+        print(
+            f"trace written to {args.trace_dir} "
+            f"(summarize with `repro.cli trace --dir {args.trace_dir}`)"
+        )
     return 0
 
 
@@ -500,7 +541,9 @@ def cmd_runtime_bench(args) -> int:
         )
     if _maybe_dump(args, base):
         return 0
-    report = run_runtime_bench(counts, steps=args.steps, base=base)
+    report = run_runtime_bench(
+        counts, steps=args.steps, base=base, trace_dir=args.trace_dir
+    )
     rows = [
         (
             f"{p['workers']}",
@@ -525,6 +568,42 @@ def cmd_runtime_bench(args) -> int:
             print(f"{key}: {pretty}")
     path = write_rt_report(report, args.out)
     print(f"report written to {path}")
+    if report.get("trace_dir"):
+        print(
+            f"traces kept under {report['trace_dir']}/w<n>/ "
+            f"(summarize with `repro.cli trace --dir {report['trace_dir']}/w<n>`)"
+        )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import json as _json
+
+    from .obs.merge import (
+        MERGED_NAME,
+        format_summary,
+        merge_trace_dir,
+        summarize_trace_file,
+    )
+
+    trace_dir = Path(args.dir)
+    if not trace_dir.is_dir():
+        print(f"--dir {args.dir!r} is not a directory")
+        return 2
+    merged = trace_dir / MERGED_NAME
+    if not merged.exists():
+        # runs killed before their launcher's merge step (chaos runs, ^C)
+        # leave only the per-lane files — merge them on demand
+        merged = merge_trace_dir(trace_dir)
+        if merged is None:
+            print(f"no trace-*.jsonl files under {trace_dir}")
+            return 2
+    summary = summarize_trace_file(merged)
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"merged trace: {merged}")
+        print(format_summary(summary))
     return 0
 
 
@@ -568,6 +647,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve-bench": cmd_serve_bench,
         "runtime-bench": cmd_runtime_bench,
         "perf-bench": cmd_perf_bench,
+        "trace": cmd_trace,
     }[args.command]
     return handler(args)
 

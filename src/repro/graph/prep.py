@@ -37,6 +37,7 @@ from typing import Callable, Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..obs import span as obs_span
 from .sampler import NeighborBlock, RecentNeighborSampler
 
 
@@ -166,7 +167,8 @@ class BatchPrep:
                     return hit
             self.stats.cache_misses += 1
 
-        block = self.sampler.sample(nodes, times)
+        with obs_span("sample", queries=int(len(nodes))):
+            block = self.sampler.sample(nodes, times)
         uniq, inverse = np.unique(
             np.concatenate([block.roots, block.neighbors.reshape(-1)]),
             return_inverse=True,

@@ -1,0 +1,71 @@
+"""Unified observability: span tracing + shared metrics registry.
+
+This package is the telemetry layer for the whole stack:
+
+* :mod:`repro.obs.trace` — nestable, thread-safe spans dumped as Chrome
+  trace-event JSONL, one file per process, off by default.
+* :mod:`repro.obs.metrics` — named counters/gauges/bounded histograms
+  with mergeable snapshots; one global registry shared by training,
+  runtime workers, and serving.
+* :mod:`repro.obs.merge` — cross-rank trace merge (monotonic-clock offset
+  alignment) and the summary behind ``repro.cli trace``.
+
+See the "Observability guide" section of :mod:`repro`'s docstring for
+usage.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    phase_totals,
+    reset_registry,
+)
+from .trace import (
+    Tracer,
+    configure,
+    disable,
+    env_trace_dir,
+    flush,
+    get_tracer,
+    instant,
+    is_enabled,
+    resolve_trace_dir,
+    span,
+)
+from .merge import (
+    format_summary,
+    merge_events,
+    merge_trace_dir,
+    read_trace_file,
+    summarize_trace,
+    summarize_trace_file,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "configure",
+    "disable",
+    "env_trace_dir",
+    "flush",
+    "format_summary",
+    "get_registry",
+    "get_tracer",
+    "instant",
+    "is_enabled",
+    "merge_events",
+    "merge_trace_dir",
+    "phase_totals",
+    "read_trace_file",
+    "reset_registry",
+    "resolve_trace_dir",
+    "span",
+    "summarize_trace",
+    "summarize_trace_file",
+]

@@ -1,0 +1,305 @@
+"""Span tracing: nestable, thread-safe phase spans per process.
+
+One :class:`Tracer` records *spans* — named intervals such as ``prep``,
+``forward``, ``allreduce`` — into an append-only in-process buffer and
+dumps them as Chrome trace-event-format JSONL (one event object per line,
+loadable by ``chrome://tracing`` / Perfetto after wrapping in a list).
+Every process in a run writes its own ``trace-<lane>.jsonl`` file; the
+merge step (:mod:`repro.obs.merge`) aligns the per-process monotonic
+clocks and interleaves the lanes into one timeline.
+
+Clock model: span timestamps come from ``time.monotonic()`` (immune to
+wall-clock steps), and each tracer records a one-shot *anchor pair* —
+``(epoch_anchor, mono_anchor)`` sampled together at construction — in a
+``clock_sync`` metadata line.  The merge shifts each lane by
+``epoch_anchor - mono_anchor`` so independently-started processes land on
+one shared axis without any cross-process clock protocol.
+
+Tracing is **off by default**.  The module-level :func:`span` /
+:func:`instant` helpers are the instrumentation points scattered through
+the hot paths; while no tracer is installed they cost one global load and
+a ``None`` check and return a shared no-op context manager — cheap enough
+to leave in the per-batch training loop (see the overhead guard in
+``tests/test_obs_trace.py``).  Install a tracer with :func:`configure`
+(or export ``REPRO_TRACE_DIR``); spans then also fold their durations
+into ``phase/<name>`` counters of the global metrics registry, which is
+how the benches source per-phase columns from telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+ENV_TRACE_DIR = "REPRO_TRACE_DIR"
+
+#: flush the buffer to disk once it holds this many events (file-backed
+#: tracers only) so long runs stay memory-bounded
+AUTO_FLUSH_EVENTS = 8192
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span: records its duration on exit."""
+
+    __slots__ = ("tracer", "name", "args", "t0")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self.t0 = time.monotonic()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.tracer._record(self.name, self.t0, time.monotonic() - self.t0, self.args)
+        return False
+
+
+class Tracer:
+    """Per-process span recorder with an append-only buffer.
+
+    Parameters
+    ----------
+    rank:
+        Lane id; becomes the Chrome ``pid`` so every rank renders as its
+        own row.  The launcher uses ``world`` for the supervisor lane.
+    lane:
+        Human-readable lane name (``rank0``, ``supervisor``); defaults to
+        ``rank<rank>``.
+    path:
+        Destination JSONL file.  :meth:`flush` appends buffered events
+        there (metadata header first), so a killed process leaves every
+        previously-flushed span on disk — partial traces merge fine.
+        ``None`` keeps events in memory only (:meth:`events`).
+    registry:
+        A :class:`repro.obs.metrics.MetricsRegistry` whose
+        ``phase/<name>`` counters accumulate span durations (pass ``None``
+        to disable); defaults to the global registry.
+    """
+
+    def __init__(
+        self,
+        rank: int = 0,
+        lane: Optional[str] = None,
+        path: Optional[Union[str, Path]] = None,
+        registry=None,
+    ) -> None:
+        from .metrics import get_registry
+
+        self.rank = int(rank)
+        self.lane = lane if lane is not None else f"rank{self.rank}"
+        self.path = Path(path) if path is not None else None
+        self.registry = registry if registry is not None else get_registry()
+        # the anchor pair: sampled back-to-back so epoch - mono is the
+        # lane's clock offset for merge-time alignment
+        self.mono_anchor = time.monotonic()
+        self.epoch_anchor = time.time()
+        self._buffer: List[tuple] = []
+        self._lock = threading.Lock()
+        self._tids: Dict[int, int] = {}
+        self._wrote_header = False
+
+    # ------------------------------------------------------------- recording
+    def span(self, name: str, **args) -> _Span:
+        """Context manager recording one complete ("X") span."""
+        return _Span(self, name, args)
+
+    def instant(self, name: str, **args) -> None:
+        """Record a zero-duration instant event."""
+        self._record(name, time.monotonic(), None, args)
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
+
+    def _record(self, name: str, t0: float, dur: Optional[float], args: dict) -> None:
+        # list.append is atomic under the GIL; the lock only guards swaps
+        self._buffer.append((name, self._tid(), t0, dur, args))
+        if dur is not None and self.registry is not None:
+            self.registry.counter(f"phase/{name}").add(dur)
+        if self.path is not None and len(self._buffer) >= AUTO_FLUSH_EVENTS:
+            self.flush()
+
+    # ----------------------------------------------------------------- output
+    def _header_events(self) -> List[dict]:
+        return [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": self.rank,
+                "args": {"name": self.lane},
+            },
+            {
+                "ph": "M",
+                "name": "clock_sync",
+                "pid": self.rank,
+                "args": {
+                    "epoch_anchor": self.epoch_anchor,
+                    "mono_anchor": self.mono_anchor,
+                    "lane": self.lane,
+                },
+            },
+        ]
+
+    def _to_event(self, record: tuple) -> dict:
+        name, tid, t0, dur, args = record
+        event = {
+            "name": name,
+            "ph": "X" if dur is not None else "i",
+            # Chrome wants microseconds; ts is relative to this lane's
+            # mono anchor — merge adds the lane offset
+            "ts": round((t0 - self.mono_anchor) * 1e6, 1),
+            "pid": self.rank,
+            "tid": tid,
+        }
+        if dur is not None:
+            event["dur"] = round(dur * 1e6, 1)
+        else:
+            event["s"] = "p"
+        if args:
+            event["args"] = args
+        return event
+
+    def events(self, include_header: bool = True) -> List[dict]:
+        """Buffered (unflushed) events as Chrome trace-event dicts."""
+        records = list(self._buffer)
+        out = self._header_events() if include_header else []
+        out.extend(self._to_event(r) for r in records)
+        return out
+
+    def flush(self) -> int:
+        """Append buffered events to :attr:`path`; returns events written.
+
+        The metadata header (process name + clock anchors) is written once,
+        before the first event line, so even a file truncated by SIGKILL
+        mid-run carries everything the merge needs.
+        """
+        if self.path is None:
+            return 0
+        with self._lock:
+            records, self._buffer = self._buffer, []
+        if not records and self._wrote_header:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            if not self._wrote_header:
+                for event in self._header_events():
+                    fh.write(json.dumps(event) + "\n")
+                self._wrote_header = True
+            for record in records:
+                fh.write(json.dumps(self._to_event(record)) + "\n")
+            fh.flush()
+        return len(records)
+
+
+# --------------------------------------------------------------- global state
+_TRACER: Optional[Tracer] = None
+
+
+def configure(
+    trace_dir: Optional[Union[str, Path]] = None,
+    rank: int = 0,
+    lane: Optional[str] = None,
+    filename: Optional[str] = None,
+    registry=None,
+) -> Tracer:
+    """Install (and return) the process-global tracer.
+
+    ``trace_dir`` selects file-backed tracing: events land in
+    ``<trace_dir>/trace-<lane>.jsonl`` (override with ``filename``).
+    ``None`` keeps the tracer memory-only — used by the benches to profile
+    phases without touching disk.
+    """
+    global _TRACER
+    lane = lane if lane is not None else f"rank{int(rank)}"
+    path = None
+    if trace_dir is not None:
+        path = Path(trace_dir) / (filename or f"trace-{lane}.jsonl")
+    _TRACER = Tracer(rank=rank, lane=lane, path=path, registry=registry)
+    return _TRACER
+
+
+def disable(flush: bool = True) -> None:
+    """Uninstall the global tracer (flushing file-backed buffers first)."""
+    global _TRACER
+    if _TRACER is not None and flush:
+        _TRACER.flush()
+    _TRACER = None
+
+
+def is_enabled() -> bool:
+    return _TRACER is not None
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _TRACER
+
+
+def span(name: str, **args):
+    """Record a span on the global tracer; no-op while tracing is off.
+
+    This is the instrumentation entry point used throughout the hot paths:
+    ``with span("forward"): ...``.  Disabled cost: one global load, one
+    ``None`` check, one shared no-op context manager.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **args)
+
+
+def instant(name: str, **args) -> None:
+    """Record an instant event on the global tracer; no-op while off."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.instant(name, **args)
+
+
+def flush() -> int:
+    """Flush the global tracer's file buffer (0 when tracing is off)."""
+    tracer = _TRACER
+    return tracer.flush() if tracer is not None else 0
+
+
+def env_trace_dir() -> Optional[str]:
+    """The ``REPRO_TRACE_DIR`` override (None when unset/empty)."""
+    value = os.environ.get(ENV_TRACE_DIR, "").strip()
+    return value or None
+
+
+def resolve_trace_dir(config=None) -> Optional[str]:
+    """Effective trace directory: the env override wins, then the
+    experiment config's ``obs.trace_dir`` (empty = disabled)."""
+    env = env_trace_dir()
+    if env:
+        return env
+    if config is not None:
+        obs_cfg = getattr(config, "obs", None)
+        if obs_cfg is not None and obs_cfg.trace_dir:
+            return obs_cfg.trace_dir
+    return None

@@ -111,6 +111,28 @@ def _train_steps(trainer: DistTGLTrainer, steps: int) -> int:
     return events
 
 
+def profile_train_phases(ds: Dataset, steps: int, seed: int = 0) -> Dict[str, float]:
+    """Per-phase seconds of the fused training loop, from span telemetry.
+
+    Runs a separate pass of the canonical ``DistTGLTrainer.train`` loop
+    under a memory-only tracer with a private metrics registry and reads
+    the ``phase/<name>`` counters back.  Kept separate from the timed
+    fused/legacy measurement passes, which stay telemetry-free so the
+    reported throughputs are untraced numbers.
+    """
+    from .obs.metrics import MetricsRegistry, phase_totals
+    from .obs.trace import configure, disable
+
+    trainer = _make_trainer(ds, True, seed)
+    registry = MetricsRegistry()
+    configure(None, rank=0, lane="perf", registry=registry)
+    try:
+        trainer.train(max_iterations=steps, eval_every_sweeps=10**9)
+    finally:
+        disable(flush=False)
+    return {k: round(v, 4) for k, v in sorted(phase_totals(registry).items())}
+
+
 def bench_train_step(ds: Dataset, modern: bool, steps: int, seed: int = 0) -> float:
     trainer = _make_trainer(ds, modern, seed)
     _train_steps(trainer, min(5, steps))          # warm caches + allocator
@@ -210,6 +232,11 @@ def run_hotpath_bench(
             "speedup": round(fused / legacy, 3),
         }
 
+    train_section = section(bench_train_step, train_steps, seed)
+    # the phase column comes from span telemetry — a separate profiled pass
+    # through the canonical training loop, so the timed runs stay untraced
+    train_section["phases_s"] = profile_train_phases(ds, train_steps, seed)
+
     return {
         "benchmark": "hotpath_throughput",
         "config": {
@@ -221,7 +248,7 @@ def run_hotpath_bench(
             "seed": seed,
             "platform": platform.platform(),
         },
-        "train_step": section(bench_train_step, train_steps, seed),
+        "train_step": train_section,
         "eval_sweep": section(bench_eval_sweep, eval_sweeps, seed),
         "serve_batch": section(bench_serve_batch, serve_requests, 20, seed),
     }

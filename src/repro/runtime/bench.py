@@ -32,15 +32,19 @@ from __future__ import annotations
 import json
 import os
 import platform
+import shutil
+import tempfile
 from pathlib import Path
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Union
 
 from ..api.config import (
     DataConfig,
     ExperimentConfig,
     ModelConfig,
+    ObsConfig,
     TrainConfig,
 )
+from ..obs.trace import ENV_TRACE_DIR, env_trace_dir
 from ..parallel.config import ParallelConfig
 
 _NO_EVAL = 10**9  # eval cadence that never fires inside a bench window
@@ -64,14 +68,24 @@ def bench_config(workers: int = 1, batch_size: int = 100, seed: int = 0) -> Expe
     )
 
 
-def _with_workers(base: ExperimentConfig, workers: int) -> ExperimentConfig:
-    """``base`` with its parallel section replaced by ``workers×1×1``."""
+def _with_workers(
+    base: ExperimentConfig, workers: int, trace_dir: Optional[str] = None
+) -> ExperimentConfig:
+    """``base`` with its parallel section replaced by ``workers×1×1`` (and
+    optionally its ``obs.trace_dir`` pointed at this run's directory)."""
+    obs = base.obs
+    if trace_dir is not None:
+        obs = ObsConfig(
+            trace_dir=str(trace_dir),
+            histogram_reservoir=base.obs.histogram_reservoir,
+        )
     return ExperimentConfig(
         data=base.data,
         model=base.model,
         parallel=ParallelConfig(i=workers, j=1, k=1),
         train=base.train,
         serve=base.serve,
+        obs=obs,
     )
 
 
@@ -80,20 +94,46 @@ def bench_worker_count(
     steps: int = 30,
     base: Optional[ExperimentConfig] = None,
     timeout: float = 600.0,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, float]:
-    """One measured point: a ``workers×1×1`` process fit of ``steps`` steps."""
+    """One measured point: a ``workers×1×1`` process fit of ``steps`` steps.
+
+    The fit always runs under span tracing — the per-phase columns and
+    ``sync_s`` come from the workers' telemetry, not bench-side timers.
+    With ``trace_dir`` the per-rank files and the merged timeline land in
+    ``<trace_dir>/w<workers>/`` (each worker count needs its own directory
+    or rank files would interleave); without it a temporary directory is
+    used and discarded after the phase totals are harvested.
+    """
     from ..train.distributed import DistTGLTrainer
     from .launcher import run_process_fit
 
-    cfg = _with_workers(base if base is not None else bench_config(), workers)
-    trainer = DistTGLTrainer(cfg.build_dataset(), cfg.parallel, cfg.trainer_spec())
-    meta, _, states = run_process_fit(
-        cfg,
-        trainer,
-        max_iterations=steps,
-        eval_every_sweeps=_NO_EVAL,
-        timeout=timeout,
+    tmp = None
+    if trace_dir is None:
+        tmp = tempfile.mkdtemp(prefix=f"repro-trace-w{workers}-")
+        run_dir = Path(tmp)
+    else:
+        run_dir = Path(trace_dir) / f"w{workers}"
+    cfg = _with_workers(
+        base if base is not None else bench_config(), workers, trace_dir=str(run_dir)
     )
+    trainer = DistTGLTrainer(cfg.build_dataset(), cfg.parallel, cfg.trainer_spec())
+    # the env override must not collapse every worker count into one trace
+    # directory (rank files would interleave) — the per-count config wins
+    env_saved = os.environ.pop(ENV_TRACE_DIR, None)
+    try:
+        meta, _, states = run_process_fit(
+            cfg,
+            trainer,
+            max_iterations=steps,
+            eval_every_sweeps=_NO_EVAL,
+            timeout=timeout,
+        )
+    finally:
+        if env_saved is not None:
+            os.environ[ENV_TRACE_DIR] = env_saved
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
     for st in states:
         st.close()
         st.unlink()
@@ -103,17 +143,28 @@ def bench_worker_count(
     wall = max(r["loop_s"] for r in ranks)
     cpu = max(r["cpu_s"] for r in ranks)
     sync = max(r["sync_s"] for r in ranks)
-    return {
+    # per-phase seconds from the span telemetry: max across ranks, like the
+    # wall/cpu/sync columns (the slowest rank paces the fleet)
+    phases: Dict[str, float] = {}
+    for r in ranks:
+        for name, total in (r.get("phases") or {}).items():
+            phases[name] = max(phases.get(name, 0.0), float(total))
+    point = {
         "workers": workers,
         "steps": steps,
         "events": events,
         "wall_s": round(wall, 4),
         "max_rank_cpu_s": round(cpu, 4),
+        "sync_s": round(sync, 4),
         "sync_frac": round(sync / wall, 4) if wall else 0.0,
         "step_ms": round(1e3 * wall / steps, 3),
         "events_per_sec": round(events / wall, 2) if wall else 0.0,
         "cpu_events_per_sec": round(events / cpu, 2) if cpu else 0.0,
+        "phases_s": {k: round(v, 4) for k, v in sorted(phases.items())},
     }
+    if trace_dir is not None:
+        point["trace_dir"] = str(run_dir)
+    return point
 
 
 def run_runtime_bench(
@@ -123,6 +174,7 @@ def run_runtime_bench(
     seed: int = 0,
     timeout: float = 600.0,
     base: Optional[ExperimentConfig] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> Dict:
     """Measure every worker count; return the report dict.
 
@@ -142,8 +194,14 @@ def run_runtime_bench(
         raise ValueError("worker counts must be positive")
     if base is None:
         base = bench_config(batch_size=batch_size, seed=seed)
+    if trace_dir is None:
+        # `repro.cli runtime-bench --trace-dir` sets the argument; the env
+        # var is the no-flag way to keep the per-count traces around
+        trace_dir = env_trace_dir()
     points = {
-        str(w): bench_worker_count(w, steps=steps, base=base, timeout=timeout)
+        str(w): bench_worker_count(
+            w, steps=steps, base=base, timeout=timeout, trace_dir=trace_dir
+        )
         for w in worker_counts
     }
     report = {
@@ -161,6 +219,8 @@ def run_runtime_bench(
         },
         "workers": points,
     }
+    if trace_dir is not None:
+        report["trace_dir"] = str(trace_dir)
     base_point = points.get("1")
     if base_point is not None:
         report["speedup_vs_1"] = {

@@ -46,10 +46,14 @@ import multiprocessing as mp
 import time
 import traceback
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import get_registry
+from ..obs.merge import merge_trace_dir
+from ..obs.trace import Tracer, resolve_trace_dir
 from .collectives import Communicator, make_local_communicators
 from .sharedmem import (
     CommitSlab,
@@ -488,6 +492,7 @@ class _ElasticSupervisor:
         policy: RecoveryPolicy,
         timeout: float,
         name: str = "repro-rt",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.world = world
         self.make_kwargs = make_kwargs
@@ -499,11 +504,13 @@ class _ElasticSupervisor:
         self.policy = policy
         self.timeout = timeout
         self.name = name
+        self.tracer = tracer              # supervisor lane of the run trace
         self.ctx = mp.get_context("spawn")
         self.procs: Dict[int, mp.Process] = {}
         self.chans: Dict[int, Channel] = {}
         self.status: Dict[int, str] = {}      # running | parked | dead | done
         self.diags: Dict[int, str] = {}
+        self.park_iters: Dict[int, int] = {}  # iteration each rank parked at
         self.results: Dict[int, Frame] = {}
         self.generation = 0
         self.restarts = 0
@@ -645,11 +652,19 @@ class _ElasticSupervisor:
                 self.diags.setdefault(
                     rank, f"parked: {frame.meta.get('error', 'peer failure')}"
                 )
+                if "iteration" in frame.meta:
+                    self.park_iters[rank] = int(frame.meta["iteration"])
             elif frame.tag == "error":
                 self.diags[rank] = frame.meta.get("error", "unknown error")
 
     def _recover(self) -> None:
-        """Roll the fleet back to the last sealed commit and resume it."""
+        """Roll the fleet back to the last sealed commit and resume it.
+
+        The whole recovery is one ``rollback`` span on the supervisor lane
+        (with per-rank ``respawn`` sub-spans) and a set of ``recovery/*``
+        registry metrics, so a chaos run's recovery is auditable from the
+        trace/metrics alone.
+        """
         self.restarts += 1
         if self.restarts > self.policy.max_restarts:
             self._fail("failed and restart budget exhausted")
@@ -660,26 +675,75 @@ class _ElasticSupervisor:
             self._fail("fleet failed after some ranks completed")
         prev = self.generation
         self.generation += 1
-        slot, _ = self.slab.header
-        for live, pair in zip(self.live_states, self.shadow_pairs):
-            live.memory.copy_from(pair[slot].memory)
-            live.mailbox.copy_from(pair[slot].mailbox)
-        for comm in self.world_gens[prev] + self.group_gens[prev]:
-            comm.close()
-        for rank in range(self.world):
-            st = self.status[rank]
-            if st == "dead":
+        slot, sealed_iteration = self.slab.header
+        # rollback depth: iterations of re-execution the fleet pays — how
+        # far past the sealed commit the furthest surviving rank had run
+        depth = max(
+            (it - sealed_iteration for it in self.park_iters.values()),
+            default=0,
+        )
+        depth = max(depth, 0)
+        dead = [r for r, st in self.status.items() if st == "dead"]
+        registry = get_registry()
+        registry.counter("recovery/restarts").add()
+        registry.gauge("recovery/rollback_depth").set(float(depth))
+        registry.gauge("recovery/generation").set(float(self.generation))
+        rollback_span = (
+            self.tracer.span(
+                "rollback",
+                generation=self.generation,
+                restart=self.restarts,
+                slot=int(slot),
+                sealed_iteration=int(sealed_iteration),
+                depth=int(depth),
+                dead_ranks=dead,
+            )
+            if self.tracer is not None
+            else None
+        )
+        if rollback_span is not None:
+            rollback_span.__enter__()
+        try:
+            for live, pair in zip(self.live_states, self.shadow_pairs):
+                live.memory.copy_from(pair[slot].memory)
+                live.mailbox.copy_from(pair[slot].mailbox)
+            for comm in self.world_gens[prev] + self.group_gens[prev]:
+                comm.close()
+            for rank in range(self.world):
+                st = self.status[rank]
+                if st == "dead":
+                    self._respawn_traced(rank)
+                elif st == "parked":
+                    try:
+                        self.chans[rank].send(
+                            "resume", meta={"generation": self.generation}
+                        )
+                        self.status[rank] = "running"
+                    except TransportError:
+                        # parked worker died in the meantime: respawn it too
+                        self.diags.setdefault(rank, "died while parked")
+                        self._respawn_traced(rank)
+        finally:
+            if rollback_span is not None:
+                rollback_span.__exit__(None, None, None)
+            if self.tracer is not None:
+                self.tracer.flush()
+        self.park_iters.clear()
+
+    def _respawn_traced(self, rank: int) -> None:
+        """Respawn one dead rank, recording its spawn latency as a span and
+        a ``recovery/respawn_latency_s`` histogram sample."""
+        registry = get_registry()
+        t0 = time.perf_counter()
+        if self.tracer is not None:
+            with self.tracer.span("respawn", rank=rank, generation=self.generation):
                 self._spawn(rank, respawn=True)
-            elif st == "parked":
-                try:
-                    self.chans[rank].send(
-                        "resume", meta={"generation": self.generation}
-                    )
-                    self.status[rank] = "running"
-                except TransportError:
-                    # parked worker died in the meantime: respawn it too
-                    self.diags.setdefault(rank, "died while parked")
-                    self._spawn(rank, respawn=True)
+        else:
+            self._spawn(rank, respawn=True)
+        registry.counter("recovery/respawns").add()
+        registry.histogram("recovery/respawn_latency_s").record(
+            time.perf_counter() - t0
+        )
 
 
 def run_process_fit(
@@ -740,6 +804,22 @@ def run_process_fit(
         target_iteration = trainer._iteration + iterations
         book = initial_book()
 
+    # telemetry: resolve the trace directory once (env beats config) and
+    # ship it to every rank; the supervisor gets its own lane so recovery
+    # spans interleave with worker spans on the merged timeline
+    trace_dir = resolve_trace_dir(config)
+    supervisor_tracer: Optional[Tracer] = None
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
+        supervisor_tracer = Tracer(
+            rank=world,
+            lane="supervisor",
+            path=Path(trace_dir) / "trace-supervisor.jsonl",
+        )
+        # a lifecycle mark so the supervisor lane exists on the merged
+        # timeline even for runs that never needed a recovery
+        supervisor_tracer.instant("launch", world=world)
+
     group_states = create_group_states(
         plan.k,
         num_nodes=graph.num_nodes,
@@ -777,6 +857,8 @@ def run_process_fit(
             "verbose": verbose,
             "commit_every": policy.commit_every,
         }
+        if trace_dir is not None:
+            train_meta["trace_dir"] = str(trace_dir)
         config_dict = config.to_dict()
         commit_spec = slab.to_dict()
 
@@ -808,6 +890,7 @@ def run_process_fit(
             group_gens=group_gens,
             policy=policy,
             timeout=timeout,
+            tracer=supervisor_tracer,
         )
         results = supervisor.run()
     except BaseException:
@@ -829,6 +912,17 @@ def run_process_fit(
         if slab is not None:
             slab.close()
             slab.unlink()
+        if trace_dir is not None:
+            # always leave a merged timeline — a failed chaos run's partial
+            # traces are exactly when you want one.  Best effort: telemetry
+            # must never turn a completed fit into a failure.
+            try:
+                if supervisor_tracer is not None:
+                    supervisor_tracer.instant("join")
+                    supervisor_tracer.flush()
+                merge_trace_dir(trace_dir)
+            except Exception:  # pragma: no cover - defensive
+                pass
     root = results[0]
     return root.meta, root.arrays, group_states
 

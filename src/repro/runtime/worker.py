@@ -71,6 +71,11 @@ import numpy as np
 from ..api.config import ExperimentConfig
 from ..models.tgn import TGN, DirectMemoryView
 from ..nn import clip_grad_norm, use_fused
+from ..obs import configure as obs_configure
+from ..obs import flush as obs_flush
+from ..obs import instant as obs_instant
+from ..obs import span
+from ..obs.metrics import phase_totals
 from ..parallel.allreduce import TermGradAccumulator, load_reduced
 from ..testing import failpoints
 from .collectives import Communicator
@@ -115,6 +120,11 @@ def train_worker(
         failpoints.neutralize()
 
     train_meta = train_meta or {}
+    # span tracing: the launcher resolves the trace directory (env/config)
+    # once and ships it in train_meta; each rank appends to its own file so
+    # a SIGKILLed peer cannot corrupt anyone else's trace
+    if train_meta.get("trace_dir"):
+        obs_configure(train_meta["trace_dir"], rank=rank, lane=f"rank{rank}")
     cfg = ExperimentConfig.from_dict(config_dict)
     i, j, k = cfg.parallel.i, cfg.parallel.j, cfg.parallel.k
     world = i * k
@@ -184,47 +194,60 @@ def train_worker(
     loop_start = _time.perf_counter()
     cpu_start = _time.process_time()
 
-    def timed(fn, *args, **kwargs):
+    def synced(phase, fn, *args, **kwargs):
+        """Run a collective under telemetry: one ``cat="sync"`` span named
+        after the phase (``barrier``/``allreduce``/``serial``) plus the
+        always-on ``sync_time`` accounting the bench reports."""
         nonlocal sync_time
-        t0 = _time.perf_counter()
-        out = fn(*args, **kwargs)
-        sync_time += _time.perf_counter() - t0
+        tag = args[0] if args and isinstance(args[0], str) else kwargs.get("tag")
+        span_args = {"cat": "sync"}
+        if tag is not None:
+            span_args["tag"] = tag
+        with span(phase, **span_args):
+            t0 = _time.perf_counter()
+            out = fn(*args, **kwargs)
+            sync_time += _time.perf_counter() - t0
         return out
 
     def commit_window() -> None:
         """Two-barrier durable commit of the whole resumable run."""
-        timed(world_comm.barrier, "commit/enter")
+        synced("barrier", world_comm.barrier, "commit/enter")
         slot = slab.next_slot
         t0 = _time.perf_counter()
-        if shadows is not None:
-            shadows[slot].memory.copy_from(shared.memory)
-            shadows[slot].mailbox.copy_from(shared.mailbox)
-        if rank == 0:
-            for g in trainer.groups:
-                g.prev_batch = prev_batch[g.index]
-            slab.write(
-                slot,
-                encode_commit(
-                    trainer,
-                    {
-                        "history": history,
-                        "recent": recent,
-                        "last_eval_sweeps": last_eval_sweeps,
-                    },
-                ),
-            )
+        with span("commit", cat="commit", slot=int(slot)):
+            if shadows is not None:
+                shadows[slot].memory.copy_from(shared.memory)
+                shadows[slot].mailbox.copy_from(shared.mailbox)
+            if rank == 0:
+                for g in trainer.groups:
+                    g.prev_batch = prev_batch[g.index]
+                slab.write(
+                    slot,
+                    encode_commit(
+                        trainer,
+                        {
+                            "history": history,
+                            "recent": recent,
+                            "last_eval_sweeps": last_eval_sweeps,
+                        },
+                    ),
+                )
         nonlocal commit_work
         commit_work += _time.perf_counter() - t0
         iteration = trainer._iteration
-        timed(
+        synced(
+            "barrier",
             world_comm.barrier,
             "commit/seal",
             root_section=lambda: slab.seal(slot, iteration),
         )
+        # a sealed commit is a durable rollback point — make the trace as
+        # durable, so a kill after this instant still shows the full run-up
+        obs_flush()
 
     def run_loop() -> None:
         nonlocal cache, substep, blocks_done, last_eval_sweeps
-        timed(world_comm.barrier, "start")
+        synced("barrier", world_comm.barrier, "start")
         while trainer._iteration < target:
             failpoints.fire(
                 "worker.step",
@@ -252,7 +275,8 @@ def train_worker(
 
                         # barrier 1: previous batch's writes are committed
                         # and the leader applies the wrap reset pre-read
-                        timed(
+                        synced(
+                            "barrier",
                             group_comm.barrier,
                             "pre-read",
                             root_section=reset_if_wrap,
@@ -264,7 +288,7 @@ def train_worker(
                         # cannot drift); only the ordering lives here
                         read = trainer._read_shard(shard, view)
                         # barrier 2: every shard finished reading shared
-                        timed(group_comm.barrier, "post-read")
+                        synced("barrier", group_comm.barrier, "post-read")
                         entry, wb = trainer._forward_shard(read, batch.size)
 
                         def commit():
@@ -272,15 +296,19 @@ def train_worker(
                             # it out of sync_time
                             nonlocal commit_work
                             t0 = _time.perf_counter()
-                            if wb is not None:
-                                TGN.apply_writeback(
-                                    wb, shared.memory, shared.mailbox
-                                )
+                            with span("writeback", cat="commit"):
+                                if wb is not None:
+                                    TGN.apply_writeback(
+                                        wb, shared.memory, shared.mailbox
+                                    )
                             commit_work += _time.perf_counter() - t0
 
                         # rank-ordered commit: chronological shards in
                         # sequence reproduce the logical single-writer pass
-                        timed(group_comm.serial_section, commit, tag="writeback")
+                        synced(
+                            "serial", group_comm.serial_section, commit,
+                            tag="writeback",
+                        )
                         cache.append(entry)
 
                 # ---- gradient step: this rank's block of j loss terms
@@ -295,7 +323,7 @@ def train_worker(
                 if world > 1:
                     # rank-ordered float64 sum at the root == the logical
                     # trainer's block-order reduce_partials, bitwise
-                    vec = timed(world_comm.allreduce_sum, vec)
+                    vec = synced("allreduce", world_comm.allreduce_sum, vec)
                 global_loss = load_reduced(trainer.optimizer.params, vec)
                 clip_grad_norm(trainer.optimizer.params, spec.grad_clip)
                 trainer.optimizer.step()
@@ -308,7 +336,7 @@ def train_worker(
             if group0.sweeps_completed >= last_eval_sweeps + eval_every:
                 last_eval_sweeps = group0.sweeps_completed
                 trainer._sweep_negative_offset += j
-                timed(world_comm.barrier, "pre-eval")
+                synced("barrier", world_comm.barrier, "pre-eval")
                 if rank == 0:
                     val = trainer._evaluate_split("val", warm_group=group0)
                     point = {
@@ -328,20 +356,21 @@ def train_worker(
                             f"val={val.metric:.4f}"
                         )
                 recent.clear()
-                timed(world_comm.barrier, "post-eval")
+                synced("barrier", world_comm.barrier, "post-eval")
 
             if substep == 0:
                 blocks_done += 1
                 if blocks_done % commit_every == 0:
                     commit_window()
 
-        timed(world_comm.barrier, "end")
+        synced("barrier", world_comm.barrier, "end")
 
     # ---- supervised execution: commit / park / rollback / resume
     bench = None
     while True:
         try:
             run_loop()
+            obs_flush()
             bench = world_comm.gather_meta(
                 {
                     "rank": rank,
@@ -350,11 +379,15 @@ def train_worker(
                     # executed under them (compute, not waiting)
                     "sync_s": max(sync_time - commit_work, 0.0),
                     "cpu_s": _time.process_time() - cpu_start,
+                    "commit_s": commit_work,
+                    # span-fed per-phase seconds (empty unless tracing) —
+                    # the bench's phase columns come from here
+                    "phases": phase_totals(),
                 }
             )
             break
         except TransportError as exc:
-            generation = _park(channel, rank, exc)
+            generation = _park(channel, rank, exc, iteration=trainer._iteration)
             world_comm = world_comms[generation]
             group_comm = group_comms[generation]
             book = load_committed()
@@ -369,6 +402,7 @@ def train_worker(
     # ---- finalization (rank 0 only): trailing eval, test metric, state out
     if rank != 0:
         shared.close()
+        obs_flush()
         return {"rank": rank, "ok": True}, {}
 
     if not history:
@@ -408,17 +442,25 @@ def train_worker(
         "world": world,
     }
     shared.close()
+    obs_flush()
     return meta, snap["arrays"]
 
 
-def _park(channel, rank: int, exc: BaseException) -> int:
+def _park(channel, rank: int, exc: BaseException, iteration: int = -1) -> int:
     """Report a collective failure and wait for the launcher's verdict.
 
     Returns the communicator generation to resume on.  If the launcher is
     gone (or answers ``abort``) the worker exits instead of lingering.
     """
+    # mark the park on the timeline and make the trace durable before
+    # blocking — if recovery never comes, the events are already on disk
+    obs_instant("park", iteration=int(iteration), error=repr(exc))
+    obs_flush()
     try:
-        channel.send("parked", meta={"rank": rank, "error": repr(exc)})
+        channel.send(
+            "parked",
+            meta={"rank": rank, "error": repr(exc), "iteration": int(iteration)},
+        )
     except Exception:
         raise SystemExit(1) from exc
     while True:

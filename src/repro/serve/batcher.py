@@ -36,6 +36,7 @@ import numpy as np
 
 from ..infer.engine import InferenceEngine
 from ..nn import Tensor
+from ..obs import span
 from ..utils import stable_sigmoid
 from .metrics import LatencyHistogram
 
@@ -153,6 +154,9 @@ class MicroBatcher:
         Optional lock serializing engine access — a :class:`ServingCluster`
         shares one model across replicas, so concurrent flushes from
         different replicas must not interleave time-encoder swaps.
+    histogram_cap:
+        Reservoir cap for the request-latency histogram (bounds memory
+        under sustained traffic).
     """
 
     def __init__(
@@ -162,6 +166,7 @@ class MicroBatcher:
         max_delay: float = 2e-3,
         clock: Callable[[], float] = time.perf_counter,
         engine_lock: Optional[threading.RLock] = None,
+        histogram_cap: Optional[int] = None,
     ) -> None:
         if engine.decoder is None:
             raise ValueError("MicroBatcher needs an engine with a decoder")
@@ -179,7 +184,11 @@ class MicroBatcher:
         self._pending_pairs = 0
         self._oldest: Optional[float] = None
         self.stats = BatcherStats()
-        self.latency = LatencyHistogram()
+        self.latency = (
+            LatencyHistogram(cap=histogram_cap)
+            if histogram_cap is not None
+            else LatencyHistogram()
+        )
 
     # ------------------------------------------------------------------ state
     @property
@@ -275,12 +284,13 @@ class MicroBatcher:
         rights = np.concatenate([r.right for r in batch])
         times = np.concatenate([r.times for r in batch])
         try:
-            with self._engine_lock:
-                # one fused BatchPrep preparation over every endpoint of
-                # every queued pair — dedup/memoization amortize across all
-                # clients in the batch
-                h_left, h_right = self.engine.embed_pairs(lefts, rights, times)
-                scores = self.engine.decoder(Tensor(h_left), Tensor(h_right)).data
+            with span("micro_batch", requests=len(batch), pairs=int(len(lefts))):
+                with self._engine_lock:
+                    # one fused BatchPrep preparation over every endpoint of
+                    # every queued pair — dedup/memoization amortize across
+                    # all clients in the batch
+                    h_left, h_right = self.engine.embed_pairs(lefts, rights, times)
+                    scores = self.engine.decoder(Tensor(h_left), Tensor(h_right)).data
         except Exception as exc:
             # deliver the failure to every waiter — the batch was already
             # dequeued, so swallowing it here would strand them forever

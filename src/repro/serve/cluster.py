@@ -36,6 +36,7 @@ from ..graph.temporal_graph import TemporalGraph
 from ..infer.engine import InferenceEngine, InferenceStats
 from ..models.decoders import LinkPredictor
 from ..models.tgn import TGN
+from ..obs import get_registry, span
 from .batcher import MicroBatcher, PendingResult
 from .ingest import EventLog, StreamIngestor, load_snapshot, save_snapshot
 from .metrics import LatencyHistogram
@@ -67,6 +68,7 @@ class ServingReplica:
         max_delay: float,
         clock: Callable[[], float],
         engine_lock: Optional[threading.RLock] = None,
+        histogram_cap: Optional[int] = None,
     ) -> None:
         self.index = index
         self.engine = engine
@@ -76,6 +78,7 @@ class ServingReplica:
             max_delay=max_delay,
             clock=clock,
             engine_lock=engine_lock,
+            histogram_cap=histogram_cap,
         )
 
     @property
@@ -107,6 +110,10 @@ class ServingCluster:
         ``None`` disables shedding.
     max_batch_pairs / max_delay / clock:
         Per-replica micro-batcher tuning (see :class:`MicroBatcher`).
+    histogram_cap:
+        Reservoir cap for each replica's latency histogram (bounds the
+        per-replica sample memory under sustained traffic; ``None`` keeps
+        the :mod:`repro.obs.metrics` default).
     """
 
     def __init__(
@@ -123,6 +130,7 @@ class ServingCluster:
         clock: Callable[[], float] = time.perf_counter,
         dedup: bool = True,
         memoize_time: bool = True,
+        histogram_cap: Optional[int] = None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -161,7 +169,13 @@ class ServingCluster:
             )
             self.replicas.append(
                 ServingReplica(
-                    r, engine, max_batch_pairs, max_delay, clock, self._engine_lock
+                    r,
+                    engine,
+                    max_batch_pairs,
+                    max_delay,
+                    clock,
+                    self._engine_lock,
+                    histogram_cap=histogram_cap,
                 )
             )
         self.wal = EventLog(edge_dim=graph.edge_dim)
@@ -180,8 +194,13 @@ class ServingCluster:
     ) -> int:
         """Broadcast one chronological event batch to every replica and the
         graph (through the WAL); returns the WAL offset."""
-        with self._engine_lock:
-            return self.ingestor.ingest(src, dst, times, edge_feats)
+        with span("ingest", events=int(len(src)), replicas=len(self.replicas)):
+            with self._engine_lock:
+                offset = self.ingestor.ingest(src, dst, times, edge_feats)
+        registry = get_registry()
+        registry.counter("serve/ingested_events").add(float(len(src)))
+        registry.counter("serve/ingest_batches").add()
+        return offset
 
     # ----------------------------------------------------------------- reads
     def submit_rank(
@@ -201,13 +220,16 @@ class ServingCluster:
         # lock; the submit itself happens outside it because a size-triggered
         # flush runs a full model forward, and holding the cluster lock
         # through that would stall every other replica's front door
+        registry = get_registry()
         with self._lock:
             self.stats.submitted += 1
+            registry.counter("serve/submitted").add()
             if (
                 self.admission_limit is not None
                 and self.pending_requests >= self.admission_limit
             ):
                 self.stats.shed += 1
+                registry.counter("serve/shed").add()
                 return None
             replica = self._router(self)
             self.stats.routed[replica.index] += 1
@@ -244,6 +266,23 @@ class ServingCluster:
         for rep in self.replicas:
             merged.merge(rep.batcher.latency)
         return merged
+
+    def export_metrics(self) -> dict:
+        """Fold cluster state into the shared registry; returns its snapshot.
+
+        The merged replica latency histogram lands under
+        ``serve/latency_s`` next to the ``serve/*`` counters the front door
+        maintains, giving one export path for the whole process.
+        """
+        registry = get_registry()
+        latency = self.latency()
+        if latency.count:
+            registry.histogram("serve/latency_s", cap=latency.cap).merge_snapshot(
+                latency.snapshot()
+            )
+        registry.gauge("serve/pending_requests").set(float(self.pending_requests))
+        registry.gauge("serve/replicas").set(float(len(self.replicas)))
+        return registry.snapshot()
 
     # ---------------------------------------------------------------- state
     def save(self, path) -> "Path":

@@ -4,83 +4,54 @@ Latencies are recorded in seconds and summarized as percentiles (p50/p99 —
 the numbers an SLO is written against); throughput is requests over a
 measured wall-clock window.  Both are mergeable so a cluster can aggregate
 per-replica instances into one fleet-wide view.
+
+This module is now a thin serving-flavored veneer over the shared
+:mod:`repro.obs.metrics` layer: :class:`LatencyHistogram` is a bounded
+reservoir histogram (count/mean/max stay exact at any volume; percentiles
+read a uniform downsample once traffic exceeds the cap), so a replica
+under sustained load holds at most ``cap`` samples instead of growing
+without limit.  Snapshots from many replicas/processes merge through the
+same reservoir-preserving path every other subsystem uses.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, Optional
 
-import numpy as np
+from ..obs.metrics import DEFAULT_RESERVOIR_CAP, Histogram
 
 
-class LatencyHistogram:
-    """Reservoir of latency samples with percentile queries.
+class LatencyHistogram(Histogram):
+    """Bounded reservoir of latency samples with percentile queries.
 
-    Stores raw samples (serving runs here are at most ~1e5 requests, so an
-    exact reservoir beats bucketing error); sorting is deferred to query
-    time and cached until the next record.
+    Exact ``count``/``mean``/``maximum`` plus a uniform reservoir of at
+    most ``cap`` samples for percentiles (Algorithm R downsampling kicks
+    in past the cap).  Rejects negative latencies at the door.
     """
 
-    def __init__(self) -> None:
-        self._samples: List[float] = []
-        self._sorted: Optional[np.ndarray] = None
+    def __init__(self, cap: int = DEFAULT_RESERVOIR_CAP, seed: int = 0) -> None:
+        super().__init__(name="latency", cap=cap, seed=seed)
 
     # ----------------------------------------------------------------- write
     def record(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("latency must be non-negative")
-        self._samples.append(float(seconds))
-        self._sorted = None
+        super().record(seconds)
 
     def extend(self, seconds: Iterable[float]) -> None:
         for s in seconds:
             self.record(s)
 
-    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+    def merge(self, other: Histogram) -> "LatencyHistogram":
         """Fold ``other``'s samples into this histogram (in place)."""
-        self._samples.extend(other._samples)
-        self._sorted = None
+        super().merge(other)
         return self
 
     # ------------------------------------------------------------------ read
-    @property
-    def count(self) -> int:
-        return len(self._samples)
-
-    def percentile(self, q: float) -> float:
-        """q-th percentile in seconds (0 when no samples yet)."""
-        if not self._samples:
-            return 0.0
-        if self._sorted is None:
-            self._sorted = np.sort(np.asarray(self._samples))
-        return float(np.percentile(self._sorted, q))
-
-    @property
-    def p50(self) -> float:
-        return self.percentile(50.0)
-
-    @property
-    def p99(self) -> float:
-        return self.percentile(99.0)
-
-    @property
-    def mean(self) -> float:
-        return float(np.mean(self._samples)) if self._samples else 0.0
-
-    @property
-    def maximum(self) -> float:
-        return float(max(self._samples)) if self._samples else 0.0
-
     def summary(self) -> Dict[str, float]:
         """Seconds-valued summary dict (callers convert to ms for display)."""
-        return {
-            "count": float(self.count),
-            "mean": self.mean,
-            "p50": self.p50,
-            "p99": self.p99,
-            "max": self.maximum,
-        }
+        return super().summary()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -49,6 +49,7 @@ from ..memory.static_memory import StaticNodeMemory
 from ..models.decoders import EdgeClassifier, LinkPredictor
 from ..models.tgn import TGN, DirectMemoryView, TGNConfig
 from ..nn import Adam, bce_with_logits, clip_grad_norm, concat, multilabel_bce, use_fused
+from ..obs import span
 from ..parallel.allreduce import TermGradAccumulator, load_reduced, reduce_partials
 from ..parallel.config import ParallelConfig
 from ..utils.misc import derive_rng
@@ -345,23 +346,26 @@ class DistTGLTrainer:
         """
         if shard.size == 0:
             return None
-        prep_pos = self.prep.prepare_events(shard, view)
-        neg_groups = (
-            [
-                (self._sweep_negative_offset + g) % self.neg_store.num_groups
-                for g in range(self.config.j)
-            ]
-            if self.neg_store is not None
-            else []
-        )
-        preps_neg = {
-            g: self.prep.prepare(
-                self.neg_store.slice(g, shard.start, shard.stop),
-                shard.times,
-                view,
+        # telemetry spans only observe this method — the arithmetic inside
+        # is byte-identical with or without a tracer installed
+        with span("prep", size=int(shard.size)):
+            prep_pos = self.prep.prepare_events(shard, view)
+            neg_groups = (
+                [
+                    (self._sweep_negative_offset + g) % self.neg_store.num_groups
+                    for g in range(self.config.j)
+                ]
+                if self.neg_store is not None
+                else []
             )
-            for g in neg_groups
-        }
+            preps_neg = {
+                g: self.prep.prepare(
+                    self.neg_store.slice(g, shard.start, shard.stop),
+                    shard.times,
+                    view,
+                )
+                for g in neg_groups
+            }
         return shard, prep_pos, preps_neg
 
     def _forward_shard(self, read, global_size: int):
@@ -375,11 +379,12 @@ class DistTGLTrainer:
         if read is None:
             return None, None
         shard, prep_pos, preps_neg = read
-        h_pos, state = self.model.forward_prepared(prep_pos)
-        wb = self.model.make_writeback(
-            shard.src, shard.dst, shard.times, state, state,
-            edge_feats=shard.edge_feats,
-        )
+        with span("forward", size=int(shard.size)):
+            h_pos, state = self.model.forward_prepared(prep_pos)
+            wb = self.model.make_writeback(
+                shard.src, shard.dst, shard.times, state, state,
+                edge_feats=shard.edge_feats,
+            )
         entry = {
             "batch": shard,
             "global_size": global_size,
@@ -402,23 +407,24 @@ class DistTGLTrainer:
         both backends together; an edit that forked them would break the
         bitwise-equivalence guarantee.
         """
-        h0 = entry["h0"] if substep == 0 else None
-        if self.dataset.task == "link":
-            neg_keys = sorted(entry["neg"])
-            g_idx = neg_keys[(r + substep) % len(neg_keys)]
-            loss = self._loss_link(
-                entry["batch"], entry["pos"], entry["neg"][g_idx], h_pos=h0
-            )
-        else:
-            loss = self._loss_edge_class(entry["batch"], entry["pos"], h=h0)
-        weight = entry["batch"].size / entry["global_size"]
-        term = loss if weight == 1.0 else loss * weight
-        term = term * (1.0 / (self.config.j * self.config.k))
-        self.optimizer.zero_grad()
-        # free interior grads/parents eagerly: one term never
-        # backpropagates twice, so peak memory stays near the leaves
-        term.backward(free_graph=True)
-        acc.add_term(float(term.data))
+        with span("backward", term=int(r), substep=int(substep)):
+            h0 = entry["h0"] if substep == 0 else None
+            if self.dataset.task == "link":
+                neg_keys = sorted(entry["neg"])
+                g_idx = neg_keys[(r + substep) % len(neg_keys)]
+                loss = self._loss_link(
+                    entry["batch"], entry["pos"], entry["neg"][g_idx], h_pos=h0
+                )
+            else:
+                loss = self._loss_edge_class(entry["batch"], entry["pos"], h=h0)
+            weight = entry["batch"].size / entry["global_size"]
+            term = loss if weight == 1.0 else loss * weight
+            term = term * (1.0 / (self.config.j * self.config.k))
+            self.optimizer.zero_grad()
+            # free interior grads/parents eagerly: one term never
+            # backpropagates twice, so peak memory stays near the leaves
+            term.backward(free_graph=True)
+            acc.add_term(float(term.data))
 
     # ------------------------------------------------------------- training
     def train(
@@ -581,7 +587,7 @@ class DistTGLTrainer:
     def _evaluate_split(self, which: str, warm_group: _MemoryGroup) -> EvalResult:
         sl = self.split.val if which == "val" else self.split.test
         workers = self.spec.eval_prefetch_workers
-        with use_fused(self.spec.fused):
+        with span("eval", split=which), use_fused(self.spec.fused):
             if self.dataset.task == "link":
                 memory = warm_group.memory.clone()
                 mailbox = warm_group.mailbox.clone()

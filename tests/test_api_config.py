@@ -8,12 +8,15 @@ from repro.api.config import (
     DataConfig,
     ExperimentConfig,
     ModelConfig,
+    ObsConfig,
     ServeConfig,
     TrainConfig,
 )
 from repro.parallel import ParallelConfig
 
-ALL_SECTIONS = [DataConfig, ModelConfig, ParallelConfig, TrainConfig, ServeConfig]
+ALL_SECTIONS = [
+    DataConfig, ModelConfig, ParallelConfig, TrainConfig, ServeConfig, ObsConfig,
+]
 
 
 class TestRoundTrip:
@@ -25,7 +28,8 @@ class TestRoundTrip:
         assert again.to_dict() == cfg.to_dict()
 
     @pytest.mark.parametrize("cls", [
-        DataConfig, ModelConfig, TrainConfig, ServeConfig, ExperimentConfig,
+        DataConfig, ModelConfig, TrainConfig, ServeConfig, ObsConfig,
+        ExperimentConfig,
     ])
     def test_json_round_trip_byte_identical(self, cls):
         cfg = cls()

@@ -1,0 +1,215 @@
+"""Metrics registry: bounded reservoir histograms, mergeable snapshots.
+
+The histogram contract under test: ``count``/``mean``/``max`` stay exact at
+any volume, memory stays bounded by the reservoir cap, percentiles stay
+accurate to reservoir resolution, and snapshots merge across processes —
+including the capped case, where each side contributes proportionally to
+its true count.  ``repro.serve.metrics.LatencyHistogram`` is the serving
+facade over the same reservoir (the unbounded-growth fix).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    phase_totals,
+    reset_registry,
+)
+from repro.serve.metrics import LatencyHistogram
+
+
+class TestHistogramBounded:
+    def test_reservoir_never_exceeds_cap(self):
+        h = Histogram("h", cap=64)
+        for i in range(10_000):
+            h.record(float(i))
+        assert len(h.snapshot()["samples"]) == 64
+        assert h.count == 10_000
+        # exact stats stay exact past the cap
+        assert h.total == float(sum(range(10_000)))
+        assert h.maximum == 9999.0
+        assert h.mean == pytest.approx(4999.5)
+
+    def test_under_cap_is_exact(self):
+        h = Histogram("h", cap=1000)
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        h.extend(values)
+        assert sorted(h.snapshot()["samples"]) == sorted(values)
+        assert h.p50 == np.percentile(values, 50)
+        assert h.maximum == 5.0
+
+    def test_percentiles_accurate_past_cap(self):
+        """A uniform[0,1) stream sampled down to 2k still has p50/p99 close
+        to the exact stream percentiles."""
+        rng = np.random.default_rng(7)
+        values = rng.random(50_000)
+        h = Histogram("h", cap=2048, seed=1)
+        h.extend(values)
+        assert h.p50 == pytest.approx(np.percentile(values, 50), abs=0.03)
+        assert h.p99 == pytest.approx(np.percentile(values, 99), abs=0.03)
+
+    def test_reservoir_is_uniform_not_prefix(self):
+        """Algorithm R must keep sampling the tail: after 10x cap values in
+        increasing order, the reservoir mean tracks the stream mean, which a
+        keep-the-first-cap policy would miss by ~5x."""
+        h = Histogram("h", cap=256, seed=3)
+        n = 2560
+        h.extend(float(i) for i in range(n))
+        sample_mean = float(np.mean(h.snapshot()["samples"]))
+        assert sample_mean == pytest.approx((n - 1) / 2, rel=0.15)
+
+    def test_deterministic_given_seed(self):
+        a, b = Histogram(cap=32, seed=9), Histogram(cap=32, seed=9)
+        for i in range(500):
+            a.record(float(i))
+            b.record(float(i))
+        assert a.snapshot() == b.snapshot()
+
+
+class TestHistogramMerge:
+    def test_merge_exact_when_under_cap(self):
+        a, b = Histogram(cap=100), Histogram(cap=100)
+        a.extend([1.0, 2.0, 3.0])
+        b.extend([10.0, 20.0])
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == 36.0
+        assert a.maximum == 20.0
+        assert sorted(a.snapshot()["samples"]) == [1.0, 2.0, 3.0, 10.0, 20.0]
+
+    def test_merge_capped_is_proportional(self):
+        """When the combined reservoirs exceed cap, each side's share of the
+        merged reservoir tracks its share of the true stream."""
+        a = Histogram(cap=200, seed=0)
+        b = Histogram(cap=200, seed=1)
+        a.extend([0.0] * 3000)    # 75% of the combined stream
+        b.extend([1.0] * 1000)    # 25%
+        a.merge(b)
+        samples = a.snapshot()["samples"]
+        assert len(samples) == 200
+        frac_b = sum(samples) / len(samples)
+        assert frac_b == pytest.approx(0.25, abs=0.08)
+        # exact stats exact regardless
+        assert a.count == 4000
+        assert a.total == 1000.0
+
+    def test_merge_empty_other_is_noop(self):
+        a = Histogram(cap=10)
+        a.record(2.0)
+        before = a.snapshot()
+        a.merge(Histogram(cap=10))
+        assert a.snapshot() == before
+
+    def test_snapshot_json_round_trip(self):
+        h = Histogram(cap=16)
+        h.extend([0.5, 1.5, 2.5])
+        snap = json.loads(json.dumps(h.snapshot()))
+        again = Histogram.from_snapshot(snap)
+        assert again.count == 3 and again.summary() == h.summary()
+
+
+class TestLatencyHistogram:
+    """The serving facade keeps its legacy API on the bounded reservoir."""
+
+    def test_memory_bounded(self):
+        h = LatencyHistogram(cap=128)
+        for _ in range(20_000):
+            h.record(0.001)
+        assert len(h.snapshot()["samples"]) == 128
+        assert h.count == 20_000
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-0.1)
+
+    def test_summary_keys_stable(self):
+        h = LatencyHistogram()
+        h.extend([0.01, 0.02, 0.03])
+        assert set(h.summary()) == {"count", "mean", "p50", "p99", "max"}
+
+    def test_merge_returns_self(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(0.1)
+        b.record(0.2)
+        assert a.merge(b) is a
+        assert a.count == 2 and a.maximum == 0.2
+
+
+class TestRegistry:
+    def test_get_or_create_and_kind_check(self):
+        reg = MetricsRegistry()
+        c = reg.counter("runtime/steps")
+        assert reg.counter("runtime/steps") is c
+        with pytest.raises(TypeError):
+            reg.gauge("runtime/steps")
+
+    def test_counter_gauge_basics(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add()
+        reg.counter("a").add(2.5)
+        reg.gauge("b").set(7.0)
+        assert reg.value("a") == 3.5
+        assert reg.value("b") == 7.0
+        assert reg.value("missing", default=-1.0) == -1.0
+
+    def test_snapshot_merge_across_processes(self):
+        """The launcher join path: worker registries snapshot, the parent
+        folds them — counters add, gauges last-write, histograms merge."""
+        worker1, worker2, parent = (
+            MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        )
+        worker1.counter("recovery/restarts").add(1)
+        worker2.counter("recovery/restarts").add(2)
+        worker1.gauge("recovery/generation").set(1)
+        worker2.gauge("recovery/generation").set(3)
+        worker1.histogram("serve/latency_s").record(0.1)
+        worker2.histogram("serve/latency_s").record(0.3)
+        snap1 = json.loads(json.dumps(worker1.snapshot()))  # crosses a pipe
+        parent.merge_snapshot(snap1)
+        parent.merge_snapshot(worker2.snapshot())
+        assert parent.value("recovery/restarts") == 3.0
+        assert parent.value("recovery/generation") == 3.0
+        assert parent.histogram("serve/latency_s").count == 2
+
+    def test_phase_totals_reads_phase_counters(self):
+        reg = MetricsRegistry()
+        reg.counter("phase/forward").add(1.5)
+        reg.counter("phase/allreduce").add(0.5)
+        reg.counter("runtime/steps").add(10)       # not a phase
+        assert phase_totals(reg) == {"forward": 1.5, "allreduce": 0.5}
+
+    def test_global_registry_resets(self):
+        get_registry().counter("tmp/x").add()
+        assert "tmp/x" in get_registry().names()
+        reset_registry()
+        assert "tmp/x" not in get_registry().names()
+
+
+class TestMetricObjects:
+    def test_counter_thread_safety_shape(self):
+        import threading
+
+        c = Counter("c")
+
+        def worker():
+            for _ in range(1000):
+                c.add()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000.0
+
+    def test_gauge_snapshot(self):
+        g = Gauge("g")
+        g.set(4.2)
+        assert g.snapshot() == {"type": "gauge", "value": 4.2}
