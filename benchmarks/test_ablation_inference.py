@@ -30,7 +30,11 @@ def build(ds, dedup, memoize):
 
 
 @pytest.mark.benchmark(group="ablation-infer")
-def test_ablation_inference_redundancy(benchmark, datasets):
+def test_ablation_inference_redundancy(benchmark, datasets, monkeypatch):
+    # this bench measures the *eager* redundancy machinery (the compiled
+    # embed path computes identical encodings without routing through the
+    # memo, so its hit counters would read zero under REPRO_COMPILE=1)
+    monkeypatch.delenv("REPRO_COMPILE", raising=False)
     ds = datasets("wikipedia", scale=0.02)
     g = ds.graph
     warm = 2000

@@ -71,6 +71,10 @@ def main() -> None:
     ap.add_argument("--scale", type=float, default=0.01)
     ap.add_argument("--epochs", type=int, default=10)
     ap.add_argument("--backend", choices=["local", "process"], default="local")
+    # trace-and-replay step compiler (repro.nn.tape): records each step
+    # shape once, then replays it as a flat tape with pooled buffers —
+    # same losses/weights bit for bit, fewer Python cycles per step
+    ap.add_argument("--compile", action="store_true")
     args = ap.parse_args()
 
     # A synthetic stand-in for the JODIE Wikipedia dataset (see DESIGN.md):
@@ -79,7 +83,10 @@ def main() -> None:
         data=DataConfig(dataset="wikipedia", scale=args.scale, seed=0),
         model=ModelConfig(memory_dim=32, embed_dim=32, time_dim=16),
         # paper uses batch 600 on 8 real GPUs; scaled for CPU
-        train=TrainConfig(epochs=args.epochs, batch_size=100, base_lr=1e-3),
+        train=TrainConfig(
+            epochs=args.epochs, batch_size=100, base_lr=1e-3,
+            compile=args.compile,
+        ),
     )
     sess = Session(cfg)
     print(f"dataset: {sess.graph}")

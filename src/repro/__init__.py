@@ -133,6 +133,31 @@ every counter/gauge/histogram snapshot merges across processes
 memory-safe).  ``runtime-bench`` and ``perf-bench`` source their
 per-phase columns from this telemetry rather than ad-hoc timers.
 
+Step compiler
+-------------
+The hot training/serving step is highly repetitive — the same op sequence
+over a handful of batch shapes — so ``repro.nn.tape`` records it once
+eagerly and replays it as a flat tape: no graph construction, no topo
+sort, gradients accumulated into pooled buffers.  Opt in per run::
+
+    cfg = repro.ExperimentConfig(
+        ...,
+        train=repro.TrainConfig(..., compile=True),
+    )
+
+or force it on/off for any entry point with ``REPRO_COMPILE=1/0`` (the
+CLI also takes ``train --compile``; ``InferenceEngine(compile=True)``
+tapes the serving embed path).  Compilation is **observationally
+invisible**: replay mirrors the eager engine's accumulation order
+exactly, so loss trajectories, weights and optimizer state stay bitwise
+identical on both backends — CI runs the whole tier-1 suite again under
+``REPRO_COMPILE=1`` to hold that line.  Tapes are keyed by step shape;
+a shape or toggle change falls back to eager and retraces, and any
+untapeable step (custom model, replay fault) is negative-cached so the
+run simply stays eager.  Trace/replay/retrace activity shows up in the
+observability layer as ``cat="compile"`` spans and ``compile/*``
+counters.
+
 Configs are frozen dataclasses that validate at construction and round-trip
 through JSON byte-identically (``cfg.to_json()`` / ``ExperimentConfig
 .from_json``); the CLI speaks the same format (``python -m repro.cli train

@@ -137,6 +137,9 @@ class TrainConfig(ConfigBase):
     checkpoint_every: int = 0         # block boundaries between mid-run
                                       # snapshots (0 = disabled); fit() needs
                                       # a checkpoint_dir for them to land
+    compile: bool = False             # trace-and-replay step compiler
+                                      # (repro.nn.tape); REPRO_COMPILE=1/0
+                                      # overrides at runtime
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -290,6 +293,7 @@ class ExperimentConfig(ConfigBase):
             model=m.model,
             sampler=m.sampler,
             updater=m.updater,
+            compile=t.compile,
         )
 
     def build_dataset(self):

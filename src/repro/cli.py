@@ -150,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record span telemetry (Chrome trace-event "
                               "JSONL per process) here; view with "
                               "`repro.cli trace --dir DIR`")
+    p_train.add_argument("--compile", action="store_true",
+                         help="trace-and-replay step compiler (repro.nn.tape): "
+                              "record each step shape once, replay it as a "
+                              "flat tape with pooled buffers (bitwise "
+                              "identical results; REPRO_COMPILE=1/0 overrides)")
     p_train.add_argument("--quiet", action="store_true")
     _add_config_flags(p_train)
 
@@ -290,7 +295,7 @@ def _experiment_from_train_args(args) -> ExperimentConfig:
         parallel=args.config,
         train=TrainConfig(
             epochs=args.epochs, batch_size=args.batch_size, base_lr=args.lr,
-            seed=args.seed,
+            seed=args.seed, compile=getattr(args, "compile", False),
         ),
     )
 
@@ -621,16 +626,26 @@ def cmd_perf_bench(args) -> int:
         serve_requests=args.serve_requests,
         seed=args.seed,
     )
-    rows = [
-        (
-            section,
-            f"{report[section]['fused_events_per_sec']:,.0f}",
-            f"{report[section]['legacy_events_per_sec']:,.0f}",
-            f"{report[section]['speedup']:.2f}x",
+    rows = []
+    for section in ("train_step", "eval_sweep", "serve_batch"):
+        s = report[section]
+        rows.append(
+            (
+                section,
+                f"{s['fused_events_per_sec']:,.0f}",
+                f"{s['legacy_events_per_sec']:,.0f}",
+                f"{s['speedup']:.2f}x",
+                f"{s['compiled_events_per_sec']:,.0f}"
+                if "compiled_events_per_sec" in s else "-",
+                f"{s['speedup_compiled_vs_fused']:.2f}x"
+                if "speedup_compiled_vs_fused" in s else "-",
+            )
         )
-        for section in ("train_step", "eval_sweep", "serve_batch")
-    ]
-    print(format_table(["hot path", "fused ev/s", "legacy ev/s", "speedup"], rows))
+    print(format_table(
+        ["hot path", "fused ev/s", "legacy ev/s", "speedup",
+         "traced ev/s", "traced/fused"],
+        rows,
+    ))
     path = write_report(report, args.out)
     print(f"report written to {path}")
     return 0

@@ -56,6 +56,32 @@ class PreparedBatch:
     has_mail: np.ndarray
     edge_feats: Optional[np.ndarray]
 
+    # State-derived arrays the memory updaters need, hoisted here so the
+    # batch exposes one stable allocation per pass (sub-steps and tape
+    # replays reuse it).  Formulas mirror the updater's own computation
+    # bit-for-bit; both are pure functions of the frozen reads above.
+    def mail_dt32(self) -> np.ndarray:
+        """float32 ``max(mail_time − last_update, 0)`` (time-encoder input)."""
+        arr = self.__dict__.get("_mail_dt32")
+        if arr is None:
+            arr = np.maximum(
+                np.asarray(self.mail_time, dtype=np.float64)
+                - np.asarray(self.last_update, np.float64),
+                0.0,
+            ).astype(np.float32)
+            self.__dict__["_mail_dt32"] = arr
+        return arr
+
+    def new_last_update(self) -> np.ndarray:
+        """Post-update ``last_update`` column (mail time where mail exists)."""
+        arr = self.__dict__.get("_new_last")
+        if arr is None:
+            arr = np.where(
+                np.asarray(self.has_mail, dtype=bool), self.mail_time, self.last_update
+            )
+            self.__dict__["_new_last"] = arr
+        return arr
+
 
 @dataclass
 class Neighborhood:

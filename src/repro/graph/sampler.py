@@ -57,6 +57,47 @@ class NeighborBlock:
         """Unique set of root + real neighbor ids (memory fetch set)."""
         return np.unique(np.concatenate([self.roots, self.neighbors[self.mask]]))
 
+    # Topology-pure derived arrays, cached on the block so repeated passes
+    # over the same neighborhood (sub-steps, tape replays) reuse one stable
+    # allocation.  Formulas mirror the attention call sites bit-for-bit.
+    def _derived(self, name: str, build):
+        cache = self.__dict__.setdefault("_derived_cache", {})
+        arr = cache.get(name)
+        if arr is None:
+            arr = build()
+            cache[name] = arr
+        return arr
+
+    def delta_times32(self) -> np.ndarray:
+        """``delta_times()`` cast to float32 (the attention input dtype)."""
+        return self._derived(
+            "dt32", lambda: np.asarray(self.delta_times(), dtype=np.float32)
+        )
+
+    def attn_scale(self) -> np.ndarray:
+        """[B,1,1] per-root 1/sqrt(|N_v|) attention scale."""
+
+        def build():
+            deg = np.maximum(self.mask.sum(axis=1, keepdims=True), 1).astype(
+                np.float32
+            )
+            return (1.0 / np.sqrt(deg))[:, :, None]
+
+        return self._derived("scale", build)
+
+    def attn_bias(self, neg_inf: float) -> np.ndarray:
+        """[B,1,k] additive mask bias (0 real / ``neg_inf`` padded)."""
+        return self._derived(
+            ("bias", neg_inf),
+            lambda: np.where(self.mask[:, None, :], 0.0, neg_inf).astype(np.float32),
+        )
+
+    def any_nbr32(self) -> np.ndarray:
+        """[B,1,1] float32 indicator that the root has any real neighbor."""
+        return self._derived(
+            "any", lambda: self.mask.any(axis=1).astype(np.float32)[:, None, None]
+        )
+
 
 class RecentNeighborSampler:
     """Samples the ``k`` most recent neighbors before each query time.

@@ -19,6 +19,7 @@ into the node memory/mailbox (no gradients), mirroring online serving.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -30,8 +31,8 @@ from ..graph.temporal_graph import TemporalGraph
 from ..memory.mailbox import Mailbox
 from ..memory.node_memory import NodeMemory
 from ..models.decoders import LinkPredictor
-from ..models.tgn import TGN, DirectMemoryView
-from ..nn import Tensor
+from ..models.tgn import TGN, DirectMemoryView, tape_inputs, tape_ready, tape_signature
+from ..nn import StepCompiler, Tensor, fused_enabled
 from ..utils import stable_sigmoid
 
 
@@ -68,6 +69,7 @@ class InferenceEngine:
         memoize_time: bool = True,
         append_on_observe: bool = True,
         prep_cache: int = 64,
+        compile: bool = False,
     ) -> None:
         self.model = model
         self.graph = graph
@@ -94,6 +96,12 @@ class InferenceEngine:
         )
         self.view = DirectMemoryView(self.memory, self.mailbox)
         self.stats = InferenceStats()
+        # step compiler for the embed hot path (spec opt-in, REPRO_COMPILE
+        # overrides).  Serving batch shapes repeat heavily (fixed candidate
+        # counts), so a handful of taped programs covers the steady state.
+        env = os.environ.get("REPRO_COMPILE", "").strip().lower()
+        compile_on = compile if env == "" else env not in ("0", "false", "off")
+        self._compiler = StepCompiler(maxsize=64, name="serve") if compile_on else None
         # pre-computation: the static projection is frozen after training
         self._static_proj_table: Optional[np.ndarray] = None
         if model.has_static_memory:
@@ -189,14 +197,43 @@ class InferenceEngine:
             q_nodes, q_times, inverse = nodes, times, None
         self.stats.unique_queries += len(q_nodes)
 
-        self._swap_encoder(True)
-        try:
+        if self._compiler is not None and tape_ready(self.model):
+            # compiled embed: the taped forward binds Δt as a named input, so
+            # the memoizing encoder wrapper (whose unique/inverse index maps
+            # are data-dependent) stays swapped out.  Φ is elementwise over
+            # Δt, so memoized and raw encodings are bit-identical — only the
+            # memo-hit counters go unreported on this path.
             prep = self.prep.prepare(q_nodes, q_times, self.view)
-            h, _ = self.model.forward_prepared(prep)
-        finally:
-            self._swap_encoder(False)
-        out = h.data
+            out = self._embed_compiled(prep)
+        else:
+            self._swap_encoder(True)
+            try:
+                prep = self.prep.prepare(q_nodes, q_times, self.view)
+                h, _ = self.model.forward_prepared(prep)
+            finally:
+                self._swap_encoder(False)
+            out = h.data
         return out[inverse] if inverse is not None else out
+
+    def _embed_compiled(self, prep) -> np.ndarray:
+        """Forward-only tape over the prepared embed pass (bitwise equal to
+        the eager forward; eager fallback on any replay fault)."""
+        compiler = self._compiler
+        key = ("serve", fused_enabled()) + tape_signature(prep)
+        program = compiler.lookup(key)
+        if program is not None:
+            out = compiler.replay(
+                key, program, tape_inputs("pos", prep), backward=False
+            )
+            if out is not None:
+                return out
+            return self.model.forward_prepared(prep)[0].data
+        if compiler.wants_trace(key):
+            with compiler.trace(key, tape_inputs("pos", prep)) as handle:
+                h, _ = self.model.forward_prepared(prep)
+                handle.root = h
+            return h.data
+        return self.model.forward_prepared(prep)[0].data
 
     def embed_pairs(
         self, left: np.ndarray, right: np.ndarray, times: np.ndarray

@@ -58,6 +58,7 @@ class TemporalAttention(Module):
         edge_feats: Optional[np.ndarray],  # [B, k, d_e] features of the edges
         delta_t: np.ndarray,       # [B, k] root_time - edge_time
         mask: np.ndarray,          # [B, k] True for real neighbors
+        topo=None,                 # optional NeighborBlock with cached scale/bias
     ) -> Tensor:
         b, k = mask.shape
         h_heads, d_head = self.num_heads, self.head_dim
@@ -82,8 +83,14 @@ class TemporalAttention(Module):
         k_h = key.reshape(b, k, h_heads, d_head).transpose((0, 2, 1, 3))  # [B,H,k,dh]
         v_h = val.reshape(b, k, h_heads, d_head).transpose((0, 2, 1, 3))  # [B,H,k,dh]
 
-        deg = np.maximum(mask.sum(axis=1, keepdims=True), 1).astype(np.float32)  # [B,1]
-        scale = (1.0 / np.sqrt(deg))[:, :, None]                  # [B,1,1]
+        # derived mask arrays: read from the block's per-topology cache when
+        # available (stable allocations the step compiler can bind), else
+        # compute fresh — the formulas are identical either way
+        if topo is not None:
+            scale = topo.attn_scale()                             # [B,1,1]
+        else:
+            deg = np.maximum(mask.sum(axis=1, keepdims=True), 1).astype(np.float32)
+            scale = (1.0 / np.sqrt(deg))[:, :, None]              # [B,1,1]
 
         if fused_enabled():
             # QK·scale → mask → softmax → Σ att·V as one graph node
@@ -94,11 +101,17 @@ class TemporalAttention(Module):
             scores = (q_h.reshape(b, h_heads, 1, d_head) * k_h).sum(axis=3) * Tensor(scale)
 
             # mask out padded slots
-            bias = np.where(mask[:, None, :], 0.0, _NEG_INF).astype(np.float32)
+            if topo is not None:
+                bias = topo.attn_bias(_NEG_INF)
+            else:
+                bias = np.where(mask[:, None, :], 0.0, _NEG_INF).astype(np.float32)
             scores = scores + Tensor(bias)
             att = softmax(scores, axis=2)  # [B,H,k]
             # zero attention rows for roots that have no neighbors at all
-            any_nbr = mask.any(axis=1).astype(np.float32)[:, None, None]
+            if topo is not None:
+                any_nbr = topo.any_nbr32()
+            else:
+                any_nbr = mask.any(axis=1).astype(np.float32)[:, None, None]
             att = att * Tensor(any_nbr)
 
             ctx = (att.reshape(b, h_heads, k, 1) * v_h).sum(axis=2)  # [B,H,dh]

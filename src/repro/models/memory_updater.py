@@ -22,6 +22,11 @@ from .time_encoding import TimeEncoding
 class GRUMemoryUpdater(Module):
     """UPDT implemented as a GRU cell (TGN-attn's choice)."""
 
+    #: accepts ``prep=`` (a PreparedBatch) and reads the hoisted Δt /
+    #: new-last-update arrays from it — required for step-compiler taping,
+    #: where every array leaf must be a stable named input
+    supports_prep = True
+
     def __init__(
         self,
         memory_dim: int,
@@ -52,10 +57,14 @@ class GRUMemoryUpdater(Module):
         mail: np.ndarray,
         mail_time: np.ndarray,
         has_mail: np.ndarray,
+        prep=None,
     ) -> Tuple[Tensor, np.ndarray]:
         """Apply UPDT to every node that has a cached mail.
 
         Parameters are raw arrays read from the (daemon-served) memory state.
+        With ``prep`` (the owning :class:`~repro.graph.prep.PreparedBatch`)
+        the Δt and new-last-update arrays come from its per-batch cache —
+        bitwise identical, but stable allocations the tape can bind.
         Returns ``(updated_memory  [N, d] Tensor, new_last_update [N])``.
         """
         memory = np.asarray(memory, dtype=np.float32)
@@ -63,16 +72,23 @@ class GRUMemoryUpdater(Module):
         mem_t = Tensor(memory)  # leaf: no BPTT into previous batches
         if n == 0:
             return mem_t, np.asarray(last_update, dtype=np.float64)
-        delta = np.maximum(
-            np.asarray(mail_time, dtype=np.float64) - np.asarray(last_update, np.float64),
-            0.0,
-        )
-        phi = self.time_encoder(delta.astype(np.float32))
+        if prep is not None:
+            dt32 = prep.mail_dt32()
+        else:
+            dt32 = np.maximum(
+                np.asarray(mail_time, dtype=np.float64)
+                - np.asarray(last_update, np.float64),
+                0.0,
+            ).astype(np.float32)
+        phi = self.time_encoder(dt32)
         x = concat([Tensor(np.asarray(mail, dtype=np.float32)), phi], axis=1)
         updated = self.cell(x, mem_t)
         has_mail = np.asarray(has_mail, dtype=bool)
         out = where(has_mail[:, None], updated, mem_t)
-        new_last_update = np.where(has_mail, mail_time, last_update)
+        if prep is not None:
+            new_last_update = prep.new_last_update()
+        else:
+            new_last_update = np.where(has_mail, mail_time, last_update)
         return out, new_last_update
 
 
@@ -85,6 +101,8 @@ class TransformerMemoryUpdater(Module):
     swapping UPDT the way TGL does — this class is the ablation point for
     that design choice (see benchmarks/test_ablation_updater.py).
     """
+
+    supports_prep = True
 
     def __init__(
         self,
@@ -118,16 +136,21 @@ class TransformerMemoryUpdater(Module):
         mail: np.ndarray,
         mail_time: np.ndarray,
         has_mail: np.ndarray,
+        prep=None,
     ) -> Tuple[Tensor, np.ndarray]:
         memory = np.asarray(memory, dtype=np.float32)
         mem_t = Tensor(memory)
         if len(memory) == 0:
             return mem_t, np.asarray(last_update, dtype=np.float64)
-        delta = np.maximum(
-            np.asarray(mail_time, np.float64) - np.asarray(last_update, np.float64),
-            0.0,
-        )
-        phi = self.time_encoder(delta.astype(np.float32))
+        if prep is not None:
+            dt32 = prep.mail_dt32()
+        else:
+            dt32 = np.maximum(
+                np.asarray(mail_time, np.float64)
+                - np.asarray(last_update, np.float64),
+                0.0,
+            ).astype(np.float32)
+        phi = self.time_encoder(dt32)
         token = self.mail_proj(
             concat([Tensor(np.asarray(mail, np.float32)), phi], axis=1)
         ).tanh()
@@ -140,5 +163,8 @@ class TransformerMemoryUpdater(Module):
         updated = self.ffn(concat([ctx, mem_t], axis=1)).tanh()
         has_mail = np.asarray(has_mail, dtype=bool)
         out = where(has_mail[:, None], updated, mem_t)
-        new_last_update = np.where(has_mail, mail_time, last_update)
+        if prep is not None:
+            new_last_update = prep.new_last_update()
+        else:
+            new_last_update = np.where(has_mail, mail_time, last_update)
         return out, new_last_update

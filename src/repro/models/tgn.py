@@ -171,20 +171,41 @@ class TGN(Module):
 
     def forward_prepared(self, prep: "PreparedBatch") -> Tuple[Tensor, "_BatchState"]:
         """Run the model on frozen raw inputs with the *current* weights."""
-        updated, new_last = self.updater(
-            prep.memory, prep.last_update, prep.mail, prep.mail_time, prep.has_mail
-        )
+        if getattr(self.updater, "supports_prep", False):
+            updated, new_last = self.updater(
+                prep.memory,
+                prep.last_update,
+                prep.mail,
+                prep.mail_time,
+                prep.has_mail,
+                prep=prep,
+            )
+        else:
+            updated, new_last = self.updater(
+                prep.memory, prep.last_update, prep.mail, prep.mail_time, prep.has_mail
+            )
         state = updated
         if self.has_static_memory:
             static = Tensor(self._static_table[prep.uniq])
             state = state + self.static_proj(static)
 
-        b, k = prep.block.mask.shape
+        block = prep.block
+        b, k = block.mask.shape
         root_state = state.gather_rows(prep.root_pos)
         nbr_state = state.gather_rows(prep.nbr_pos.reshape(-1)).reshape(b, k, -1)
-        h = self.attention(
-            root_state, nbr_state, prep.edge_feats, prep.block.delta_times(), prep.block.mask
-        )
+        if hasattr(block, "delta_times32"):
+            h = self.attention(
+                root_state,
+                nbr_state,
+                prep.edge_feats,
+                block.delta_times32(),
+                block.mask,
+                topo=block,
+            )
+        else:  # custom sampler block without the cache protocol
+            h = self.attention(
+                root_state, nbr_state, prep.edge_feats, block.delta_times(), block.mask
+            )
         batch_state = _BatchState(
             uniq=prep.uniq,
             root_pos=prep.root_pos,
@@ -263,6 +284,61 @@ class TGN(Module):
         )
 
 
+# ------------------------------------------------------------ step compiler
+def tape_signature(prep: "PreparedBatch") -> Tuple[int, int, int]:
+    """Shape key of one prepared batch: ``(|uniq|, B, k)``.
+
+    Everything a :class:`~repro.nn.tape.TapeProgram` specializes on, shape-
+    wise, is a function of these three numbers (plus model toggles the
+    caller mixes into its cache key).
+    """
+    b, k = prep.block.mask.shape
+    return (int(len(prep.uniq)), int(b), int(k))
+
+
+def tape_inputs(prefix: str, prep: "PreparedBatch", out: Optional[dict] = None) -> dict:
+    """Named replay inputs for one :class:`PreparedBatch`.
+
+    These are exactly the array leaves a traced ``forward_prepared`` pass
+    touches (see :mod:`repro.nn.tape`): the frozen memory/mail reads, the
+    dedup index maps, and the hoisted per-topology attention arrays.  The
+    same builder feeds trace and replay, so leaf binding is by stable
+    identity at trace time and by name afterwards.
+    """
+    from .attention import _NEG_INF
+
+    inputs = out if out is not None else {}
+    block = prep.block
+    inputs[prefix + ".memory"] = prep.memory
+    inputs[prefix + ".mail"] = prep.mail
+    inputs[prefix + ".has_mail"] = prep.has_mail
+    inputs[prefix + ".mail_dt"] = prep.mail_dt32()
+    inputs[prefix + ".root_pos"] = prep.root_pos
+    inputs[prefix + ".nbr_pos"] = prep.nbr_pos
+    inputs[prefix + ".delta"] = block.delta_times32()
+    inputs[prefix + ".mask"] = block.mask
+    inputs[prefix + ".scale"] = block.attn_scale()
+    inputs[prefix + ".bias"] = block.attn_bias(_NEG_INF)
+    inputs[prefix + ".any"] = block.any_nbr32()
+    if prep.edge_feats is not None:
+        inputs[prefix + ".edge"] = prep.edge_feats
+    return inputs
+
+
+def tape_ready(model: Module) -> bool:
+    """Whether ``model``'s prepared forward can be traced into a tape.
+
+    Conservative by construction: exactly the stock :class:`TGN` with a
+    prep-aware updater and no static-memory table (the static gather
+    allocates per step, which the tape cannot bind).
+    """
+    return (
+        type(model) is TGN
+        and getattr(model.updater, "supports_prep", False)
+        and not model.has_static_memory
+    )
+
+
 class _BatchState:
     """Bookkeeping from one ``embed`` call, used to assemble write-backs."""
 
@@ -279,9 +355,8 @@ class _BatchState:
         self.updated_memory = updated_memory
         self.new_last_update = new_last_update
         self.stale_memory = stale_memory
-        self._lookup = {int(n): int(i) for i, n in enumerate(uniq)}
 
     def rows_for(self, nodes: np.ndarray) -> np.ndarray:
-        return np.fromiter(
-            (self._lookup[int(n)] for n in nodes), dtype=np.int64, count=len(nodes)
-        )
+        # uniq comes from np.unique, so it is sorted: binary search replaces
+        # the old per-node dict lookup (same row indices, vectorized)
+        return np.searchsorted(self.uniq, np.asarray(nodes, dtype=np.int64))

@@ -12,7 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Module, Parameter, Tensor
+from ..nn.tape import register_static
 from ..nn.fused import fused_enabled, time_encoding
+
+# Φ(0) inputs are all-zero vectors whose only degree of freedom is the batch
+# size; cache (and register as tape statics) the first few sizes seen so the
+# step compiler can bind them by reference instead of falling back.
+_ZERO_CACHE_CAP = 64
 
 
 class TimeEncoding(Module):
@@ -25,6 +31,7 @@ class TimeEncoding(Module):
         freqs = 10.0 ** (-alpha * np.arange(dim, dtype=np.float32))
         self.omega = Parameter(freqs, name="omega")
         self.phase = Parameter(np.zeros(dim, dtype=np.float32), name="phase")
+        self._zero_cache: dict = {}
 
     def forward(self, delta_t: np.ndarray) -> Tensor:
         """Encode Δt of shape ``[...]`` into ``[..., dim]``."""
@@ -35,4 +42,9 @@ class TimeEncoding(Module):
 
     def zero(self, batch: int) -> Tensor:
         """Φ(0) replicated for ``batch`` rows (the query side of Eq. 4)."""
-        return self.forward(np.zeros(batch, dtype=np.float32))
+        zeros = self._zero_cache.get(batch)
+        if zeros is None:
+            zeros = np.zeros(batch, dtype=np.float32)
+            if len(self._zero_cache) < _ZERO_CACHE_CAP:
+                self._zero_cache[batch] = register_static(zeros)
+        return self.forward(zeros)

@@ -12,10 +12,13 @@ Public surface:
   ``cross_entropy``, ``multilabel_bce``, ``mse_loss``
 * fused execution layer (:mod:`repro.nn.fused`): single-node kernels behind
   a primitive/VJP registry, toggled with ``set_fused`` / ``use_fused``
+* step compiler (:mod:`repro.nn.tape`): :class:`StepCompiler` traces one
+  eager step into a flat tape and replays it with pooled buffers
 """
 
 from . import fused
 from .fused import affine, fused_enabled, set_fused, use_fused
+from .tape import StepCompiler, TapeInvalid, TapeProgram, compile_tape, register_static
 from .functional import (
     bce_with_logits,
     cross_entropy,
@@ -68,4 +71,9 @@ __all__ = [
     "tensor",
     "flatten_grads",
     "load_flat_grads",
+    "StepCompiler",
+    "TapeProgram",
+    "TapeInvalid",
+    "compile_tape",
+    "register_static",
 ]

@@ -39,6 +39,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from . import tensor as _tensor_mod
 from .tensor import Tensor
 
 __all__ = [
@@ -106,6 +107,12 @@ def apply(name: str, *inputs: Tensor, **kwargs) -> Tensor:
                     t._accumulate(np.asarray(g, dtype=t.dtype))
 
         out._backward = _backward
+    tracer = _tensor_mod._TRACER
+    if tracer is not None:
+        # The tape re-runs ``prim.forward`` at every replay, so residuals are
+        # regenerated per replay and only the primitive id + kwargs need to
+        # be recorded here.
+        tracer.record(out, "fused", (name, kwargs))
     return out
 
 

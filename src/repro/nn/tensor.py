@@ -30,6 +30,24 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 DEFAULT_DTYPE = np.float32
 
+#: Active tape recorder (see :mod:`repro.nn.tape`).  While ``None`` every op
+#: pays one global load + ``is None`` test — the same budget as the disabled
+#: obs spans.  When a trace is active each op reports its output node, op id
+#: and non-tensor operands so the tape can replay the step without rebuilding
+#: the Python graph.
+_TRACER = None
+
+
+def set_tracer(tracer):
+    """Install (or clear, with ``None``) the module-level tape recorder.
+
+    Returns the previously installed recorder so callers can restore it.
+    """
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
 
 def _as_array(value: ArrayLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
     if isinstance(value, np.ndarray):
@@ -57,7 +75,9 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor participating in a dynamic autograd graph."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_parents", "name", "_grad_buf"
+    )
 
     def __init__(
         self,
@@ -73,6 +93,7 @@ class Tensor:
         self._parents = _parents
         self._backward = _backward
         self.name = name
+        self._grad_buf: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ meta
     @property
@@ -120,7 +141,23 @@ class Tensor:
     # --------------------------------------------------------------- helpers
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = grad.astype(self.data.dtype, copy=True)
+            # First contribution: write into the per-tensor gradient arena
+            # when its shape still matches instead of allocating a fresh
+            # buffer every step.  ``copyto(..., casting="unsafe")`` performs
+            # the same value conversion as ``astype(dtype, copy=True)``, so
+            # reusing the arena is bitwise-identical to the allocating path.
+            buf = self._grad_buf
+            if (
+                isinstance(buf, np.ndarray)
+                and buf.shape == grad.shape
+                and buf is not grad
+            ):
+                np.copyto(buf, grad, casting="unsafe")
+                self.grad = buf
+            else:
+                self.grad = grad.astype(self.data.dtype, copy=True)
+                if isinstance(self.grad, np.ndarray):
+                    self._grad_buf = self.grad
         else:
             self.grad += grad
 
@@ -197,6 +234,8 @@ class Tensor:
                 other._accumulate(_unbroadcast(grad, other.shape))
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "add", None)
         return out
 
     __radd__ = __add__
@@ -209,6 +248,8 @@ class Tensor:
                 self._accumulate(-grad)
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "neg", None)
         return out
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
@@ -232,6 +273,8 @@ class Tensor:
                 other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "mul", None)
         return out
 
     __rmul__ = __mul__
@@ -253,6 +296,8 @@ class Tensor:
                 )
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "truediv", None)
         return out
 
     def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
@@ -268,6 +313,8 @@ class Tensor:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "pow", (exponent,))
         return out
 
     def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
@@ -296,6 +343,8 @@ class Tensor:
                 other._accumulate(_unbroadcast(_as_array(gb, b.dtype), b.shape))
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "matmul", None)
         return out
 
     # ----------------------------------------------------------- elementwise
@@ -308,6 +357,8 @@ class Tensor:
                 self._accumulate(grad * value)
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "exp", None)
         return out
 
     def log(self) -> "Tensor":
@@ -318,6 +369,8 @@ class Tensor:
                 self._accumulate(grad / self.data)
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "log", None)
         return out
 
     def sqrt(self) -> "Tensor":
@@ -329,6 +382,8 @@ class Tensor:
                 self._accumulate(grad * 0.5 / value)
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "sqrt", None)
         return out
 
     def tanh(self) -> "Tensor":
@@ -340,6 +395,8 @@ class Tensor:
                 self._accumulate(grad * (1.0 - value**2))
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "tanh", None)
         return out
 
     def sigmoid(self) -> "Tensor":
@@ -351,6 +408,8 @@ class Tensor:
                 self._accumulate(grad * value * (1.0 - value))
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "sigmoid", None)
         return out
 
     def relu(self) -> "Tensor":
@@ -362,6 +421,8 @@ class Tensor:
                 self._accumulate(grad * mask)
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "relu", None)
         return out
 
     def cos(self) -> "Tensor":
@@ -372,6 +433,8 @@ class Tensor:
                 self._accumulate(-grad * np.sin(self.data))
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "cos", None)
         return out
 
     def sin(self) -> "Tensor":
@@ -382,6 +445,8 @@ class Tensor:
                 self._accumulate(grad * np.cos(self.data))
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "sin", None)
         return out
 
     def abs(self) -> "Tensor":
@@ -428,6 +493,8 @@ class Tensor:
             self._accumulate(np.broadcast_to(g, self.shape).astype(self.dtype))
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "sum", (axis, keepdims))
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -467,6 +534,8 @@ class Tensor:
                 self._accumulate(grad.reshape(self.shape))
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "reshape", None)
         return out
 
     def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
@@ -483,6 +552,8 @@ class Tensor:
                 self._accumulate(grad.transpose(inverse))
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "transpose", (axes, inverse))
         return out
 
     def __getitem__(self, index) -> "Tensor":
@@ -495,6 +566,8 @@ class Tensor:
                 self._accumulate(full)
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "getitem", (index,))
         return out
 
     def gather_rows(self, indices: np.ndarray) -> "Tensor":
@@ -514,6 +587,8 @@ class Tensor:
                 self._accumulate(full)
 
         out._backward = _backward if out.requires_grad else None
+        if _TRACER is not None:
+            _TRACER.record(out, "gather_rows", (indices,))
         return out
 
 
@@ -536,6 +611,8 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
                 t._accumulate(grad[tuple(slicer)])
 
     out._backward = _backward if requires else None
+    if _TRACER is not None:
+        _TRACER.record(out, "concat", (axis,))
     return out
 
 
@@ -572,6 +649,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
             b._accumulate(_unbroadcast(grad * (~condition), b.shape))
 
     out._backward = _backward if out.requires_grad else None
+    if _TRACER is not None:
+        _TRACER.record(out, "where", (condition,))
     return out
 
 

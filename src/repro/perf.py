@@ -19,6 +19,7 @@ so the repo's performance trajectory has comparable data points over time.
 from __future__ import annotations
 
 import json
+import math
 import platform
 import time
 from pathlib import Path
@@ -54,7 +55,9 @@ def _make_dataset(num_events: int, edge_dim: int, seed: int) -> Dataset:
     return Dataset("hotpath", graph, paper, "link")
 
 
-def _make_trainer(ds: Dataset, modern: bool, seed: int) -> DistTGLTrainer:
+def _make_trainer(
+    ds: Dataset, modern: bool, seed: int, compiled: bool = False
+) -> DistTGLTrainer:
     spec = TrainerSpec(
         batch_size=100,
         memory_dim=24,
@@ -65,6 +68,7 @@ def _make_trainer(ds: Dataset, modern: bool, seed: int) -> DistTGLTrainer:
         seed=seed,
         fused=modern,
         prep_cache_batches=512 if modern else 0,
+        compile=compiled,
     )
     trainer = DistTGLTrainer(ds, ParallelConfig(), spec)
     trainer.sampler.vectorized = modern
@@ -77,6 +81,7 @@ def _train_steps(trainer: DistTGLTrainer, steps: int) -> int:
     nb = trainer.num_batches
     events = 0
     modern = trainer.spec.fused
+    compiled = trainer._compiler is not None
     with use_fused(modern):
         for s in range(steps):
             b_idx = s % nb
@@ -89,22 +94,51 @@ def _train_steps(trainer: DistTGLTrainer, steps: int) -> int:
                 if trainer.neg_store is not None
                 else {}
             )
-            h_pos, state = trainer.model.forward_prepared(prep_pos)
-            wb = trainer.model.make_writeback(
-                batch.src, batch.dst, batch.times, state, state,
-                edge_feats=batch.edge_feats,
-            )
-            TGN.apply_writeback(wb, group.memory, group.mailbox)
-            # the refactored trainer reuses the canonical forward for the
-            # sub-step-0 loss; the legacy path paid a third forward per step
-            h0 = h_pos if modern else None
-            if trainer.dataset.task == "link":
-                g_idx = next(iter(preps_neg))
-                loss = trainer._loss_link(batch, prep_pos, preps_neg[g_idx], h_pos=h0)
+            value = None
+            if compiled:
+                entry = {
+                    "batch": batch,
+                    "global_size": batch.size,
+                    "pos": prep_pos,
+                    "neg": preps_neg,
+                    "h0": None,
+                }
+                # merged step tape: canonical forward + sub-step-0 term in
+                # one replay, write-back rebuilt from the captures
+                wb = trainer._forward_entry_compiled(entry, 0)
+                if wb is None:
+                    h_pos, state = trainer._forward_prepared_compiled(prep_pos)
+                    entry["h0"] = h_pos
+                    wb = trainer.model.make_writeback(
+                        batch.src, batch.dst, batch.times, state, state,
+                        edge_feats=batch.edge_feats,
+                    )
+                TGN.apply_writeback(wb, group.memory, group.mailbox)
+                g_idx = min(preps_neg) if preps_neg else None
+                value = trainer._consume_step_entry(entry, g_idx)
+                if value is None:
+                    value = trainer._compiled_term(entry, g_idx)
+                h_pos = entry["h0"]
             else:
-                loss = trainer._loss_edge_class(batch, prep_pos, h=h0)
-            trainer.optimizer.zero_grad()
-            loss.backward(free_graph=modern)
+                h_pos, state = trainer.model.forward_prepared(prep_pos)
+                wb = trainer.model.make_writeback(
+                    batch.src, batch.dst, batch.times, state, state,
+                    edge_feats=batch.edge_feats,
+                )
+                TGN.apply_writeback(wb, group.memory, group.mailbox)
+            if value is None:
+                # the refactored trainer reuses the canonical forward for the
+                # sub-step-0 loss; the legacy path paid a third forward per step
+                h0 = h_pos if modern else None
+                if trainer.dataset.task == "link":
+                    g_idx = next(iter(preps_neg))
+                    loss = trainer._loss_link(
+                        batch, prep_pos, preps_neg[g_idx], h_pos=h0
+                    )
+                else:
+                    loss = trainer._loss_edge_class(batch, prep_pos, h=h0)
+                trainer.optimizer.zero_grad()
+                loss.backward(free_graph=modern)
             clip_grad_norm(trainer.optimizer.params, trainer.spec.grad_clip)
             trainer.optimizer.step()
             events += batch.size
@@ -133,9 +167,19 @@ def profile_train_phases(ds: Dataset, steps: int, seed: int = 0) -> Dict[str, fl
     return {k: round(v, 4) for k, v in sorted(phase_totals(registry).items())}
 
 
-def bench_train_step(ds: Dataset, modern: bool, steps: int, seed: int = 0) -> float:
-    trainer = _make_trainer(ds, modern, seed)
-    _train_steps(trainer, min(5, steps))          # warm caches + allocator
+def bench_train_step(
+    ds: Dataset, modern: bool, steps: int, seed: int = 0, compiled: bool = False
+) -> float:
+    trainer = _make_trainer(ds, modern, seed, compiled=compiled)
+    # warm caches + allocator; the compiled lane warms one full
+    # (batch, negative-group) cycle so every shape key is traced before the
+    # timed run (replays only)
+    if compiled:
+        groups = trainer.neg_store.num_groups if trainer.neg_store else 1
+        warm = math.lcm(trainer.num_batches, groups)
+    else:
+        warm = min(5, steps)
+    _train_steps(trainer, warm)
     t0 = time.perf_counter()
     events = _train_steps(trainer, steps)
     elapsed = time.perf_counter() - t0
@@ -232,7 +276,22 @@ def run_hotpath_bench(
             "speedup": round(fused / legacy, 3),
         }
 
-    train_section = section(bench_train_step, train_steps, seed)
+    # train section: fused / legacy / compiled (traced tape replay on top of
+    # the fused layer), all interleaved per repeat
+    fused = legacy = compiled = 0.0
+    for _ in range(repeats):
+        fused = max(fused, bench_train_step(ds, True, train_steps, seed))
+        legacy = max(legacy, bench_train_step(ds, False, train_steps, seed))
+        compiled = max(
+            compiled, bench_train_step(ds, True, train_steps, seed, compiled=True)
+        )
+    train_section = {
+        "fused_events_per_sec": round(fused, 2),
+        "legacy_events_per_sec": round(legacy, 2),
+        "speedup": round(fused / legacy, 3),
+        "compiled_events_per_sec": round(compiled, 2),
+        "speedup_compiled_vs_fused": round(compiled / fused, 3),
+    }
     # the phase column comes from span telemetry — a separate profiled pass
     # through the canonical training loop, so the timed runs stay untraced
     train_section["phases_s"] = profile_train_phases(ds, train_steps, seed)

@@ -289,7 +289,9 @@ def train_worker(
                         read = trainer._read_shard(shard, view)
                         # barrier 2: every shard finished reading shared
                         synced("barrier", group_comm.barrier, "post-read")
-                        entry, wb = trainer._forward_shard(read, batch.size)
+                        entry, wb = trainer._forward_shard(
+                            read, batch.size, row=len(cache)
+                        )
 
                         def commit():
                             # the writeback is compute, not waiting: keep

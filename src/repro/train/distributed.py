@@ -34,6 +34,7 @@ the iteration count scales as ``1/(i·j·k)`` relative to single-GPU.
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -47,8 +48,25 @@ from ..memory.mailbox import Mailbox
 from ..memory.node_memory import NodeMemory
 from ..memory.static_memory import StaticNodeMemory
 from ..models.decoders import EdgeClassifier, LinkPredictor
-from ..models.tgn import TGN, DirectMemoryView, TGNConfig
-from ..nn import Adam, bce_with_logits, clip_grad_norm, concat, multilabel_bce, use_fused
+from ..models.tgn import (
+    TGN,
+    DirectMemoryView,
+    TGNConfig,
+    _BatchState,
+    tape_inputs,
+    tape_ready,
+    tape_signature,
+)
+from ..nn import (
+    Adam,
+    StepCompiler,
+    Tensor,
+    bce_with_logits,
+    clip_grad_norm,
+    concat,
+    multilabel_bce,
+    use_fused,
+)
 from ..obs import span
 from ..parallel.allreduce import TermGradAccumulator, load_reduced, reduce_partials
 from ..parallel.config import ParallelConfig
@@ -85,6 +103,8 @@ class TrainerSpec:
     model: str = "tgn"              # repro.api model-registry key
     sampler: str = "recent"         # repro.api sampler-registry key
     updater: str = "gru"            # memory updater (UPDT ablation choice)
+    compile: bool = False           # trace-and-replay step compiler (nn.tape);
+                                    # the REPRO_COMPILE env var overrides
 
 
 @dataclass
@@ -271,6 +291,20 @@ class DistTGLTrainer:
         self._iteration = 0
         self._sweep_negative_offset = 0
 
+        # step compiler: spec opt-in, overridable by REPRO_COMPILE=1/0.
+        # One compiler per trainer; tapes are keyed by shape signature so a
+        # full sweep over the batch schedule warms every key once.
+        env = os.environ.get("REPRO_COMPILE", "").strip().lower()
+        compile_on = self.spec.compile if env == "" else env not in ("0", "false", "off")
+        self._compiler = (
+            StepCompiler(
+                maxsize=max(128, 4 * self.num_batches), name=f"trainer{rank}"
+            )
+            if compile_on
+            else None
+        )
+        self._labels_cache: Dict[int, np.ndarray] = {}
+
     # ------------------------------------------------------------ plumbing
     def _build_groups(self) -> List[_MemoryGroup]:
         k = self.config.k
@@ -321,11 +355,22 @@ class DistTGLTrainer:
             h_pos, _ = self.model.forward_prepared(prep_pos)
         h_neg, _ = self.model.forward_prepared(prep_neg)
         h_src, h_dst = h_pos[:b], h_pos[b:]
-        logit_pos = self.decoder(h_src, h_dst)
-        logit_neg = self.decoder(h_src, h_neg)
-        logits = concat([logit_pos, logit_neg], axis=0)
-        labels = np.concatenate([np.ones(b), np.zeros(b)]).astype(np.float32)
-        return bce_with_logits(logits, labels)
+        # batched decoder: score the positive and negative pairs in one
+        # [2b]-row pass instead of two decoder calls (row r of the output is
+        # the same dot-product either way, so the logits are unchanged)
+        logits = self.decoder(
+            concat([h_src, h_src], axis=0), concat([h_dst, h_neg], axis=0)
+        )
+        return bce_with_logits(logits, self._link_labels(b))
+
+    def _link_labels(self, b: int) -> np.ndarray:
+        """[1…1 0…0] target vector, cached per batch size (a stable
+        allocation the step compiler binds as a named input)."""
+        arr = self._labels_cache.get(b)
+        if arr is None:
+            arr = np.concatenate([np.ones(b), np.zeros(b)]).astype(np.float32)
+            self._labels_cache[b] = arr
+        return arr
 
     def _loss_edge_class(self, batch, prep_pos: PreparedBatch, h=None):
         b = batch.size
@@ -368,31 +413,162 @@ class DistTGLTrainer:
             }
         return shard, prep_pos, preps_neg
 
-    def _forward_shard(self, read, global_size: int):
+    def _forward_shard(self, read, global_size: int, row: int = 0):
         """Write-phase compute of one canonical shard: the forward with the
         current weights (which also feeds the sub-step-0 loss) plus the
         write-back payload.  Shared verbatim with the process worker; the
         caller commits the write-back under its own ordering (sequential
         shard order here, a rank-ordered serial section in the runtime).
-        Returns ``(cache entry, WriteBack)`` or ``(None, None)``.
+        ``row`` is the entry's position in its block — it determines which
+        negative group the sub-step-0 term will rotate to, which the merged
+        step tape needs at forward time.  Returns ``(cache entry,
+        WriteBack)`` or ``(None, None)``.
         """
         if read is None:
             return None, None
         shard, prep_pos, preps_neg = read
-        with span("forward", size=int(shard.size)):
-            h_pos, state = self.model.forward_prepared(prep_pos)
-            wb = self.model.make_writeback(
-                shard.src, shard.dst, shard.times, state, state,
-                edge_feats=shard.edge_feats,
-            )
         entry = {
             "batch": shard,
             "global_size": global_size,
             "pos": prep_pos,
             "neg": preps_neg,
-            "h0": h_pos,
+            "h0": None,
         }
+        with span("forward", size=int(shard.size)):
+            wb = self._forward_entry_compiled(entry, row)
+            if wb is None:
+                h_pos, state = self._forward_prepared_compiled(prep_pos)
+                entry["h0"] = h_pos
+                wb = self.model.make_writeback(
+                    shard.src, shard.dst, shard.times, state, state,
+                    edge_feats=shard.edge_feats,
+                )
         return entry, wb
+
+    def _step_g_idx(self, entry: dict, row: int) -> Optional[int]:
+        """The negative group the sub-step-0 term of this entry will use —
+        the same rotation ``_accumulate_term`` applies with ``r=row``,
+        ``substep=0``."""
+        if self.dataset.task != "link":
+            return None
+        neg_keys = sorted(entry["neg"])
+        return neg_keys[row % len(neg_keys)]
+
+    def _forward_entry_compiled(self, entry: dict, row: int):
+        """Merged-step tape: one program covering the canonical forward AND
+        the sub-step-0 loss term (forward + full backward), sharing the
+        positive forward exactly as the eager ``h0`` reuse does.
+
+        On replay, the write-back state is rebuilt from the tape's captured
+        updated-memory value, the term's loss value and gradients are
+        stashed on the entry (``_step``) with an ownership token on the
+        program, and :meth:`_consume_step_entry` folds them at the term's
+        reduction-order position.  A later replay of the same program (k>1
+        groups / j>1 rows share shapes) revokes ownership, and the revoked
+        term falls back to the standalone term tape — whose graph, and
+        therefore gradient bits, are identical.  Returns the WriteBack, or
+        ``None`` when the caller must run the plain canonical forward.
+        """
+        compiler = self._compiler
+        if compiler is None or not tape_ready(self.model):
+            return None
+        if self.dataset.task == "link" and not entry["neg"]:
+            return None
+        g_idx = self._step_g_idx(entry, row)
+        key = ("step",) + self._term_key(entry, g_idx)[1:]
+        shard = entry["batch"]
+        prep = entry["pos"]
+        program = compiler.lookup(key)
+        if program is not None:
+            inputs = self._term_inputs(entry, g_idx)
+            out = compiler.replay(key, program, inputs, publish=False)
+            if out is None:
+                return None
+            program.owner = entry
+            entry["_step"] = (program, g_idx, float(out))
+            state = _BatchState(
+                uniq=prep.uniq,
+                root_pos=prep.root_pos,
+                updated_memory=Tensor(program.captured()[0]),
+                new_last_update=prep.new_last_update(),
+                stale_memory=prep.memory,
+            )
+            return self.model.make_writeback(
+                shard.src, shard.dst, shard.times, state, state,
+                edge_feats=shard.edge_feats,
+            )
+        if not compiler.wants_trace(key):
+            return None
+        inputs = self._term_inputs(entry, g_idx)
+        with compiler.trace(key, inputs) as handle:
+            h_pos, state = self.model.forward_prepared(prep)
+            entry["h0"] = h_pos
+            term = self._term_loss(entry, g_idx, h_pos)
+            handle.root = term
+            handle.captures = [state.updated_memory]
+        entry["_step_term"] = (g_idx, term)
+        return self.model.make_writeback(
+            shard.src, shard.dst, shard.times, state, state,
+            edge_feats=shard.edge_feats,
+        )
+
+    def _consume_step_entry(self, entry: dict, g_idx: Optional[int]):
+        """Fold point of the merged-step stash: returns the term's loss
+        value with ``param.grad`` populated exactly as the eager zero-grad/
+        backward sequence would leave it, or ``None`` when the stash is
+        missing, revoked, or for a different negative group (the caller
+        then runs the standalone term path, which is bit-identical)."""
+        st = entry.pop("_step", None)
+        if st is not None:
+            program, g0, value = st
+            if program.owner is entry and g0 == g_idx:
+                self.optimizer.zero_grad()
+                program.publish_grads()
+                return value
+            return None
+        st = entry.pop("_step_term", None)
+        if st is not None:
+            g0, term = st
+            if g0 != g_idx:
+                return None
+            self.optimizer.zero_grad()
+            term.backward(free_graph=True)
+            return float(term.data)
+        return None
+
+    def _forward_prepared_compiled(self, prep: PreparedBatch):
+        """Canonical-pass forward, through the step compiler when enabled.
+
+        Replays reconstruct the write-back state from the tape's captured
+        updated-memory value and return ``h0=None``: the sub-step-0 term
+        then recomputes the positive forward inside its own tape, which is
+        bitwise identical to reusing ``h0`` because the weights do not move
+        between the canonical pass and the gradient step of one iteration.
+        """
+        compiler = self._compiler
+        if compiler is None or not tape_ready(self.model):
+            return self.model.forward_prepared(prep)
+        key = ("fwd", self.spec.fused) + tape_signature(prep)
+        program = compiler.lookup(key)
+        if program is not None:
+            out = compiler.replay(key, program, tape_inputs("pos", prep), backward=False)
+            if out is not None:
+                state = _BatchState(
+                    uniq=prep.uniq,
+                    root_pos=prep.root_pos,
+                    updated_memory=Tensor(program.captured()[0]),
+                    new_last_update=prep.new_last_update(),
+                    stale_memory=prep.memory,
+                )
+                return None, state
+            return self.model.forward_prepared(prep)
+        if compiler.wants_trace(key):
+            with compiler.trace(key, tape_inputs("pos", prep)) as handle:
+                h_pos, state = self.model.forward_prepared(prep)
+                handle.root = h_pos
+                handle.captures = [state.updated_memory]
+            return h_pos, state
+        return self.model.forward_prepared(prep)
 
     def _accumulate_term(
         self, acc: TermGradAccumulator, entry: dict, r: int, substep: int
@@ -408,23 +584,95 @@ class DistTGLTrainer:
         bitwise-equivalence guarantee.
         """
         with span("backward", term=int(r), substep=int(substep)):
-            h0 = entry["h0"] if substep == 0 else None
             if self.dataset.task == "link":
                 neg_keys = sorted(entry["neg"])
                 g_idx = neg_keys[(r + substep) % len(neg_keys)]
-                loss = self._loss_link(
-                    entry["batch"], entry["pos"], entry["neg"][g_idx], h_pos=h0
-                )
             else:
-                loss = self._loss_edge_class(entry["batch"], entry["pos"], h=h0)
-            weight = entry["batch"].size / entry["global_size"]
-            term = loss if weight == 1.0 else loss * weight
-            term = term * (1.0 / (self.config.j * self.config.k))
+                g_idx = None
+            if substep == 0:
+                value = self._consume_step_entry(entry, g_idx)
+                if value is not None:
+                    acc.add_term(value)
+                    return
+            if self._compiler is not None:
+                value = self._compiled_term(entry, g_idx)
+                if value is not None:
+                    acc.add_term(value)
+                    return
+            h0 = entry["h0"] if substep == 0 else None
+            term = self._term_loss(entry, g_idx, h0)
             self.optimizer.zero_grad()
             # free interior grads/parents eagerly: one term never
             # backpropagates twice, so peak memory stays near the leaves
             term.backward(free_graph=True)
             acc.add_term(float(term.data))
+
+    def _term_loss(self, entry: dict, g_idx: Optional[int], h0):
+        """The weighted per-term loss graph (shared by eager and trace)."""
+        if g_idx is not None:
+            loss = self._loss_link(
+                entry["batch"], entry["pos"], entry["neg"][g_idx], h_pos=h0
+            )
+        else:
+            loss = self._loss_edge_class(entry["batch"], entry["pos"], h=h0)
+        weight = entry["batch"].size / entry["global_size"]
+        term = loss if weight == 1.0 else loss * weight
+        return term * (1.0 / (self.config.j * self.config.k))
+
+    def _term_key(self, entry: dict, g_idx: Optional[int]):
+        key = (
+            "term",
+            self.dataset.task,
+            self.spec.fused,
+            float(entry["batch"].size / entry["global_size"]),
+            tape_signature(entry["pos"]),
+        )
+        if g_idx is not None:
+            key += (tape_signature(entry["neg"][g_idx]),)
+        return key
+
+    def _term_inputs(self, entry: dict, g_idx: Optional[int]) -> dict:
+        inputs = tape_inputs("pos", entry["pos"])
+        if g_idx is not None:
+            tape_inputs("neg", entry["neg"][g_idx], out=inputs)
+            inputs["labels"] = self._link_labels(entry["batch"].size)
+        else:
+            batch = entry["batch"]
+            inputs["targets"] = self.dataset.labels[batch.start : batch.stop]
+        return inputs
+
+    def _compiled_term(self, entry: dict, g_idx: Optional[int]) -> Optional[float]:
+        """Run one term through the step compiler.
+
+        Returns the term's loss value with parameter grads populated
+        exactly as the eager ``zero_grad → backward(free_graph=True)``
+        sequence would leave them, or ``None`` when the term must stay
+        eager (unsupported model, negative-cached key, or a replay fault —
+        the caller's eager path re-zeros the grads, so a partial replay
+        cannot leak).
+        """
+        if not tape_ready(self.model):
+            return None
+        compiler = self._compiler
+        key = self._term_key(entry, g_idx)
+        program = compiler.lookup(key)
+        if program is not None:
+            inputs = self._term_inputs(entry, g_idx)
+            self.optimizer.zero_grad()
+            out = compiler.replay(key, program, inputs)
+            return float(out) if out is not None else None
+        if not compiler.wants_trace(key):
+            return None
+        inputs = self._term_inputs(entry, g_idx)
+        with compiler.trace(key, inputs) as handle:
+            # the trace recomputes the positive forward (h0=None): bitwise
+            # identical to the eager h0 reuse, since the weights are frozen
+            # between the canonical pass and this gradient step
+            handle.root = self._term_loss(entry, g_idx, None)
+        term = handle.root
+        self.optimizer.zero_grad()
+        term.backward(free_graph=True)
+        return float(term.data)
 
     # ------------------------------------------------------------- training
     def train(
@@ -499,7 +747,9 @@ class DistTGLTrainer:
                             ]
                             row = []
                             for rd in reads:
-                                entry, wb = self._forward_shard(rd, batch.size)
+                                entry, wb = self._forward_shard(
+                                    rd, batch.size, row=len(cache["rows"])
+                                )
                                 if wb is not None:
                                     TGN.apply_writeback(wb, group.memory, group.mailbox)
                                 row.append(entry)

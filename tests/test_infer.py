@@ -73,7 +73,10 @@ class TestRedundancyCounters:
         assert eng.stats.unique_queries == 2
         assert eng.stats.dedup_ratio == pytest.approx(0.5)
 
-    def test_memo_ratio_positive_for_repeated_deltas(self):
+    def test_memo_ratio_positive_for_repeated_deltas(self, monkeypatch):
+        # the counter under test belongs to the eager memo wrapper, which
+        # the compiled embed path (REPRO_COMPILE=1) legitimately bypasses
+        monkeypatch.delenv("REPRO_COMPILE", raising=False)
         eng, ds = build_engine()
         g = ds.graph
         eng.observe(g.src[:200], g.dst[:200], g.timestamps[:200],

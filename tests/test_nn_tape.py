@@ -1,0 +1,240 @@
+"""Unit tests for the trace-and-replay step compiler (repro.nn.tape).
+
+The tape's contract is *bitwise* equivalence with the eager engine: a
+replayed program must produce the same root value and the same parameter
+gradients — same bits, same dtypes — as running the recorded computation
+eagerly on the same inputs.  Everything else (negative caching, retrace on
+shape change, capture plumbing, the gradient-pool aliasing rules) exists to
+keep that contract cheap and safe, so each piece gets a direct test here.
+"""
+
+import numpy as np
+
+from repro.nn import StepCompiler, Tensor, register_static
+from repro.nn.tape import _STATICS, _ptr
+
+
+def _params(seed=0, n=4, d=3):
+    rng = np.random.default_rng(seed)
+    w = Tensor(rng.standard_normal((n, d)).astype(np.float32), requires_grad=True)
+    b = Tensor(rng.standard_normal(d).astype(np.float32), requires_grad=True)
+    return w, b
+
+
+def _loss(w, b, x_arr):
+    h = (Tensor(x_arr) @ w + b).tanh()
+    return (h * h).sum()
+
+
+def _x(seed, rows=5, n=4):
+    return np.random.default_rng(seed).standard_normal((rows, n)).astype(np.float32)
+
+
+def _eager_grads(w, b, x_arr):
+    w.grad = b.grad = None
+    loss = _loss(w, b, x_arr)
+    loss.backward()
+    return loss.data.copy(), w.grad.copy(), b.grad.copy()
+
+
+def _trace(compiler, key, w, b, x_arr):
+    inputs = {"x": x_arr}
+    with compiler.trace(key, inputs) as handle:
+        handle.root = _loss(w, b, x_arr)
+    return compiler.lookup(key)
+
+
+class TestReplayBitwise:
+    def test_replay_matches_eager_exactly(self):
+        w, b = _params()
+        compiler = StepCompiler()
+        program = _trace(compiler, "k", w, b, _x(0))
+        assert program is not None
+        for seed in (1, 2, 3):
+            x = _x(seed)
+            ref_loss, ref_gw, ref_gb = _eager_grads(w, b, x)
+            w.grad = b.grad = None
+            out = compiler.replay("k", program, {"x": x})
+            assert out is not None
+            assert np.array_equal(out, ref_loss) and out.dtype == ref_loss.dtype
+            assert np.array_equal(w.grad, ref_gw) and w.grad.dtype == ref_gw.dtype
+            assert np.array_equal(b.grad, ref_gb) and b.grad.dtype == ref_gb.dtype
+
+    def test_replay_is_stable_across_repeats(self):
+        w, b = _params()
+        compiler = StepCompiler()
+        program = _trace(compiler, "k", w, b, _x(0))
+        x = _x(7)
+        first = compiler.replay("k", program, {"x": x}).copy()
+        gw, gb = w.grad.copy(), b.grad.copy()
+        for _ in range(3):
+            again = compiler.replay("k", program, {"x": x})
+            assert np.array_equal(again, first)
+            assert np.array_equal(w.grad, gw) and np.array_equal(b.grad, gb)
+
+    def test_forward_only_replay_leaves_grads_alone(self):
+        w, b = _params()
+        compiler = StepCompiler()
+        program = _trace(compiler, "k", w, b, _x(0))
+        x = _x(5)
+        ref_loss, _, _ = _eager_grads(w, b, x)
+        sentinel = np.full_like(w.data, 7.0)
+        w.grad = sentinel
+        out = compiler.replay("k", program, {"x": x}, backward=False)
+        assert np.array_equal(out, ref_loss)
+        assert w.grad is sentinel
+
+    def test_deferred_publish(self):
+        w, b = _params()
+        compiler = StepCompiler()
+        program = _trace(compiler, "k", w, b, _x(0))
+        x = _x(9)
+        _, ref_gw, ref_gb = _eager_grads(w, b, x)
+        w.grad = b.grad = None
+        compiler.replay("k", program, {"x": x}, publish=False)
+        assert w.grad is None and b.grad is None
+        program.publish_grads()
+        assert np.array_equal(w.grad, ref_gw) and np.array_equal(b.grad, ref_gb)
+
+
+class TestInvalidation:
+    def test_changed_input_layout_negative_caches(self):
+        w, b = _params()
+        compiler = StepCompiler()
+        program = _trace(compiler, "k", w, b, _x(0, rows=5))
+        # same key, different row count: the replay faults, the key is
+        # negative-cached, and the caller is told to stay eager
+        out = compiler.replay("k", program, {"x": _x(1, rows=6)})
+        assert out is None
+        assert compiler.lookup("k") is None
+        assert not compiler.wants_trace("k")
+        assert "layout" in compiler.fallback_reason("k")
+
+    def test_new_shape_new_key_retraces(self):
+        w, b = _params()
+        compiler = StepCompiler()
+        _trace(compiler, ("k", 5), w, b, _x(0, rows=5))
+        assert compiler.wants_trace(("k", 6))
+        _trace(compiler, ("k", 6), w, b, _x(0, rows=6))
+        assert compiler.num_programs == 2
+        for rows, key in ((5, ("k", 5)), (6, ("k", 6))):
+            x = _x(3, rows=rows)
+            ref_loss, ref_gw, _ = _eager_grads(w, b, x)
+            out = compiler.replay(key, compiler.lookup(key), {"x": x})
+            assert np.array_equal(out, ref_loss)
+            assert np.array_equal(w.grad, ref_gw)
+
+    def test_trace_without_root_negative_caches(self):
+        compiler = StepCompiler()
+        with compiler.trace("k", {}):
+            pass
+        assert compiler.lookup("k") is None
+        assert not compiler.wants_trace("k")
+
+    def test_lru_evicts_oldest(self):
+        w, b = _params()
+        compiler = StepCompiler(maxsize=2)
+        for i in range(3):
+            _trace(compiler, ("k", i), w, b, _x(i))
+        assert compiler.lookup(("k", 0)) is None
+        assert compiler.lookup(("k", 2)) is not None
+
+
+class TestBinding:
+    def test_registered_static_binds(self):
+        w, b = _params()
+        idx = np.array([0, 2, 3])
+        register_static(idx)
+        try:
+
+            def loss(x_arr):
+                h = (Tensor(x_arr) @ w + b).tanh()
+                return h[idx].sum()
+
+            compiler = StepCompiler()
+            x0 = _x(0)
+            with compiler.trace("k", {"x": x0}) as handle:
+                handle.root = loss(x0)
+            program = compiler.lookup("k")
+            assert program is not None, compiler.fallback_reason("k")
+            x = _x(4)
+            w.grad = b.grad = None
+            ref = loss(x)
+            ref.backward()
+            ref_gw = w.grad.copy()
+            w.grad = b.grad = None
+            out = compiler.replay("k", program, {"x": x})
+            assert np.array_equal(out, ref.data)
+            assert np.array_equal(w.grad, ref_gw)
+        finally:
+            _STATICS.pop(_ptr(idx), None)
+
+    def test_unbindable_leaf_negative_caches(self):
+        w, b = _params()
+        compiler = StepCompiler()
+        x0 = _x(0)
+        # the fresh array below is neither a named input nor registered
+        # static, so compilation must refuse (replaying it as a baked-in
+        # constant would silently produce stale results)
+        stray = np.random.default_rng(9).standard_normal((5, 4)).astype(np.float32)
+        with compiler.trace("k", {"x": x0}) as handle:
+            handle.root = _loss(w, b, x0) + (Tensor(stray) @ w).sum()
+        assert compiler.lookup("k") is None
+        assert not compiler.wants_trace("k")
+
+
+class TestCaptures:
+    def test_captured_interior_value(self):
+        w, b = _params()
+        compiler = StepCompiler()
+        x0 = _x(0)
+        with compiler.trace("k", {"x": x0}) as handle:
+            h = (Tensor(x0) @ w + b).tanh()
+            handle.root = (h * h).sum()
+            handle.captures = [h]
+        program = compiler.lookup("k")
+        x = _x(6)
+        eager_h = np.tanh(x @ w.data + b.data)
+        compiler.replay("k", program, {"x": x})
+        assert np.array_equal(program.captured()[0], eager_h)
+
+
+class TestGradientPool:
+    def test_sole_contributor_adoption_does_not_alias_params(self):
+        # (a + b).sum(): the add VJP hands the *same* broadcast gradient to
+        # both parents; the pool must not let two parameter slots adopt one
+        # array, or a later in-place update (clip_grad_norm) would hit both
+        a = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+        c = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+        compiler = StepCompiler()
+        with compiler.trace("k", {}) as handle:
+            handle.root = (a + c).sum()
+        program = compiler.lookup("k")
+        a.grad = c.grad = None
+        compiler.replay("k", program, {})
+        assert np.array_equal(a.grad, np.ones((3, 2)))
+        assert np.array_equal(c.grad, np.ones((3, 2)))
+        assert a.grad is not c.grad
+        a.grad *= 2.0
+        assert np.array_equal(c.grad, np.ones((3, 2)))
+
+    def test_multi_contribution_accumulates_like_eager(self):
+        w, _ = _params()
+        compiler = StepCompiler()
+
+        def loss():
+            # w contributes through two separate consumers: the pooled slot
+            # must accumulate exactly like eager ``grad += g``
+            return (w * 2.0).sum() + (w * w).sum()
+
+        with compiler.trace("k", {}) as handle:
+            handle.root = loss()
+        program = compiler.lookup("k")
+        w.grad = None
+        ref = loss()
+        ref.backward()
+        ref_gw = w.grad.copy()
+        w.grad = None
+        out = compiler.replay("k", program, {})
+        assert np.array_equal(out, ref.data)
+        assert np.array_equal(w.grad, ref_gw)

@@ -1,0 +1,133 @@
+"""Step compiler vs. eager: bitwise equivalence over full fits.
+
+The compiler's contract (see ``repro.nn.tape``) is that turning it on is
+*observationally invisible*: identical loss trajectories, eval metrics,
+weights and optimizer state, bit for bit, on both execution backends, with
+the fused layer on or off — and under fault injection, since recovery
+correctness is itself stated in bitwise terms (PR 5).  These tests pin the
+contract at the fit level; ``tests/test_nn_tape.py`` covers the tape core.
+"""
+
+import numpy as np
+import pytest
+
+from helpers import toy_dataset
+from repro.api.config import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    TrainConfig,
+)
+from repro.infer import InferenceEngine
+from repro.nn import use_fused
+from repro.parallel.config import ParallelConfig
+from repro.runtime.launcher import RecoveryPolicy
+from repro.testing import differential_chaos_fit
+from repro.train import DistTGLTrainer, TrainerSpec
+
+
+def _fit(compile_on: bool, fused: bool, j: int = 1, k: int = 1):
+    ds = toy_dataset(num_events=400, seed=0)
+    spec = TrainerSpec(
+        batch_size=50, memory_dim=16, time_dim=16, embed_dim=16,
+        num_neighbors=5, num_negative_groups=4, fused=fused,
+        compile=compile_on, seed=0,
+    )
+    trainer = DistTGLTrainer(ds, ParallelConfig(j=j, k=k), spec)
+    result = trainer.train(epochs_equivalent=2, eval_every_sweeps=1)
+    return trainer, result
+
+
+def _trajectory(result):
+    return (
+        [h.train_loss for h in result.history],
+        [h.val_metric for h in result.history],
+        result.test_metric,
+    )
+
+
+class TestFitBitwiseEquivalence:
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_compiled_fit_matches_eager_bitwise(self, fused):
+        _, eager = _fit(False, fused)
+        trainer, compiled = _fit(True, fused)
+        assert _trajectory(eager) == _trajectory(compiled)
+        # the equivalence must come from real replays, not silent fallback
+        assert trainer._compiler.num_programs > 0
+        assert trainer._compiler.num_fallbacks == 0
+
+    def test_compiled_fit_matches_eager_multi_term(self):
+        """j=2, k=2: the block cache makes several terms share one shape key,
+        exercising the merged-step ownership/revocation protocol."""
+        _, eager = _fit(False, True, j=2, k=2)
+        trainer, compiled = _fit(True, True, j=2, k=2)
+        assert _trajectory(eager) == _trajectory(compiled)
+        assert trainer._compiler.num_fallbacks == 0
+
+    def test_shape_change_falls_back_then_retraces(self):
+        """Every distinct step shape gets its own program: the ragged final
+        batch (400·0.7 train events / batch 50) first runs eagerly (trace),
+        then replays — no key ever degrades to a permanent fallback."""
+        trainer, _ = _fit(True, True)
+        compiler = trainer._compiler
+        sigs = set()
+        for key in list(compiler._cache):
+            assert compiler.fallback_reason(key) is None
+            sigs.add(key[4])
+        # at least two distinct positive-batch signatures => a mid-fit shape
+        # change happened and was retraced rather than poisoning the cache
+        assert len(sigs) >= 2
+
+
+class TestCompiledServeEquivalence:
+    def test_engine_compile_flag_is_bitwise_invisible(self):
+        ds = toy_dataset(num_events=400, seed=0)
+        spec = TrainerSpec(
+            batch_size=50, memory_dim=16, time_dim=16, embed_dim=16,
+            num_neighbors=5, num_negative_groups=4, fused=True, seed=0,
+        )
+        trainer = DistTGLTrainer(ds, ParallelConfig(), spec)
+        trainer.train(max_iterations=4, eval_every_sweeps=10**9)
+        graph = ds.graph.slice_events(trainer.split.train)
+        engines = [
+            InferenceEngine(
+                trainer.model, graph, decoder=trainer.decoder, compile=c
+            )
+            for c in (False, True)
+        ]
+        rng = np.random.default_rng(0)
+        with use_fused(True):
+            for _ in range(6):
+                cands = rng.integers(0, graph.num_nodes, size=15)
+                src = int(rng.integers(0, graph.num_nodes))
+                t = float(rng.uniform(0.0, graph.timestamps[-1]))
+                scores = [e.rank_candidates(src, cands, t) for e in engines]
+                assert np.array_equal(scores[0], scores[1])
+        assert engines[1]._compiler.num_fallbacks == 0
+
+
+class TestCompiledChaos:
+    def test_sigkill_under_compile_recovers_bitwise(self):
+        """SIGKILL a rank mid-epoch with the compiler on: the elastic restart
+        must land bitwise on the unfaulted *local* reference — compiled
+        replay state is process-private and rebuilt from scratch by the
+        replacement rank, so recovery and compilation compose."""
+        config = ExperimentConfig(
+            data=DataConfig(dataset="wikipedia", scale=0.004, seed=0),
+            model=ModelConfig(memory_dim=16, time_dim=8, embed_dim=16, num_neighbors=5),
+            parallel=ParallelConfig.parse("2x1x1"),
+            train=TrainConfig(
+                epochs=3, batch_size=50, seed=0,
+                eval_candidates=10, num_negative_groups=4,
+                compile=True,
+            ),
+        )
+        report = differential_chaos_fit(
+            config,
+            {"worker.step:3": ("crash", 1)},
+            max_iterations=8,
+            recovery=RecoveryPolicy(collective_timeout=8.0, park_grace=10.0),
+            timeout=240.0,
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences

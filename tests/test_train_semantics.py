@@ -63,8 +63,11 @@ def manual_reference_run(ds, spec, iterations):
             # gradient step
             h_pos, _ = model.forward_prepared(prep_pos)
             h_neg, _ = model.forward_prepared(prep_neg)
-            logits = concat([decoder(h_pos[:b], h_pos[b:]),
-                             decoder(h_pos[:b], h_neg)], axis=0)
+            # batched decoder: score [pos; neg] pairs in one pass (the
+            # trainer's _loss_link does the same)
+            h_src = h_pos[:b]
+            logits = decoder(concat([h_src, h_src], axis=0),
+                             concat([h_pos[b:], h_neg], axis=0))
             labels = np.concatenate([np.ones(b), np.zeros(b)]).astype(np.float32)
             loss = bce_with_logits(logits, labels)
             opt.zero_grad()
