@@ -17,8 +17,19 @@ several client threads issuing ranking queries that block on their
 micro-batched results.  It reports QPS, p50/p99 latency, the dedup ratio
 and the top-10 hit rate against the actually-observed next interactions.
 
+With ``--continual`` the example becomes train-while-serve: a
+:class:`repro.serve.ContinualLearner` rides along, drains the write-ahead
+log as the ingestor streams, refits with warm-started weights in the
+background, and hot-swaps each new model version into the live cluster
+while the client threads keep querying.  Bitwise swap verification needs
+quiet probes (micro-batch composition moves scores at the last ulp, so a
+probe coalesced with live traffic is not comparable), so the in-flight
+swaps run unverified and a final quiesced refit asserts parity against a
+fresh load of its exported checkpoint.
+
 Run:
     python examples/online_serving.py
+    python examples/online_serving.py --continual               # + refits
     python examples/online_serving.py --scale 0.002 --epochs 1 \
         --clients 2 --queries 3                               # CI smoke
 """
@@ -48,6 +59,11 @@ def main() -> None:
     ap.add_argument("--epochs", type=int, default=8)
     ap.add_argument("--clients", type=int, default=6)
     ap.add_argument("--queries", type=int, default=20, help="per client")
+    ap.add_argument("--continual", action="store_true",
+                    help="refit on the ingested stream and hot-swap the "
+                         "live model while serving (bitwise-verified)")
+    ap.add_argument("--refit-events", type=int, default=150,
+                    help="WAL events between continual refits")
     args = ap.parse_args()
 
     cfg = ExperimentConfig(
@@ -69,6 +85,18 @@ def main() -> None:
     # serve from the training slice; val events stream in while we serve
     cluster = sess.serve()
     split = sess.trainer.split
+
+    learner = None
+    if args.continual:
+        from repro.serve import ContinualLearner
+
+        # verified probes need a quiesced cluster; live swaps run unverified
+        # and the final refit after the run asserts parity (see module doc)
+        learner = ContinualLearner(
+            sess, cluster, interval_events=args.refit_events,
+            refit_epochs=1, verify=False,
+        )
+        learner.start(poll_interval=0.1)
 
     # ground truth for hit rate: the next interaction of each queried source
     rng = np.random.default_rng(0)
@@ -126,6 +154,21 @@ def main() -> None:
     print(f"redundancy eliminated across clients: dedup {stats.dedup_ratio:.1%}, "
           f"time-encoding memo {stats.memo_ratio:.1%}")
     print(f"requests per replica: {cluster.stats.routed}")
+
+    if learner is not None:
+        learner.stop()
+        # the fleet is quiet now: one last refit over whatever remains in
+        # the WAL, this time with the bitwise parity assertion armed
+        learner.verify = True
+        final = learner.refit_and_swap()
+        for rep in learner.reports:
+            tag = "verified" if rep.verified else "live"
+            print(f"refit v{rep.version}: {rep.drained_events} WAL events, "
+                  f"loss {rep.train_loss:.4f}, {rep.duration_s:.2f}s [{tag}]")
+        assert final.verified, "quiesced hot-swap failed bitwise parity"
+        print(f"continual: {len(learner.reports)} hot-swaps, model now "
+              f"v{cluster.model_version}, final swap bitwise-verified")
+        learner.detach()
 
 
 if __name__ == "__main__":

@@ -74,6 +74,45 @@ Long runs checkpoint themselves and resume exactly::
                       # memory and metrics equal the uninterrupted run
                       # bitwise (python -m repro.cli resume --dir ... too)
 
+Serving at scale
+----------------
+The serving tier is elastic and keeps learning without ever breaking the
+bitwise contract.  Three layers, all config-driven (``ServeConfig``) and
+all scriptable from the cluster object:
+
+* **Tail-latency SLOs** — ``deadline_ms`` gives every request a completion
+  budget: requests whose budget cannot be met are shed at admission
+  (``stats.shed_deadline``) instead of queueing to expire.
+  ``hedge_quantile`` arms hedged dispatch: a request in flight longer than
+  that latency quantile is duplicated onto the least-loaded other replica,
+  the first result wins, and the loser is cancelled *before* it reaches
+  the engine — so hedges cut p99 without double-counting a single
+  ``serve/*`` metric, and the hedged bytes equal the unhedged bytes.
+* **Autoscaling** — ``repro.serve.ReplicaAutoscaler`` grows and shrinks
+  the fleet between ``min_replicas``/``max_replicas`` from queue depth and
+  the latency reservoir.  ``cluster.add_replica()`` seeds the newcomer
+  bitwise from a live copy; ``remove_replica()`` parks the victim until
+  its in-flight work drains.  Works on both cluster kinds.
+* **Online continual learning** — ``repro.serve.ContinualLearner`` is the
+  train-while-serve loop: it drains the WAL past a held cursor
+  (``cluster.hold_wal_cursor`` — truncation never outruns a reader),
+  warm-starts a short refit over base + streamed events, exports a
+  loadable checkpoint directory, hot-swaps the new weights into the live
+  fleet (``cluster.hot_swap``, either backend), then *proves* the swap:
+  probe queries against a fresh ``Session.load`` of the export must match
+  byte for byte or the swap raises::
+
+      cluster = sess.serve(replicas=2)
+      learner = repro.serve.ContinualLearner(sess, cluster)
+      cluster.ingest(src, dst, times)     # ... live traffic ...
+      report = learner.maybe_refit()      # drains WAL, refits, hot-swaps
+      assert report.verified              # bitwise vs. fresh load
+
+``python -m repro.cli serve-bench --closed-loop`` drives all three at once
+— sustained load, rolling hot-swaps, a replica SIGKILL — and gates on
+scale-ups, verified swaps, zero parity violations and hedging beating p99
+(report: ``BENCH_serving_elastic.json``).
+
 Testing & fault-injection guide
 -------------------------------
 ``repro.testing`` is the subsystem that *proves* the recovery claims, and
@@ -93,6 +132,9 @@ it is reusable for any experiment that must survive chaos:
   equality (``report.bitwise_equal``); ``assert_sessions_bitwise_equal``
   is the standalone comparator.  ``tests/test_runtime_recovery.py`` is the
   worked example — every failure kind, hard deadlines, no hangs.
+  ``differential_chaos_serve`` applies the same oracle to the serving
+  tier: SIGKILL a replica mid-stream (``serve.replica`` failpoints) and
+  require every response byte-equal to an unfaulted reference fleet.
 
 Observability guide
 -------------------

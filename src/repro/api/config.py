@@ -140,6 +140,10 @@ class TrainConfig(ConfigBase):
     compile: bool = False             # trace-and-replay step compiler
                                       # (repro.nn.tape); REPRO_COMPILE=1/0
                                       # overrides at runtime
+    train_frac: float = 0.70          # chronological split boundaries; the
+    val_frac: float = 0.15            # continual-learning refit moves them so
+                                      # drained WAL events land in the train
+                                      # region instead of the held-out tail
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -148,6 +152,12 @@ class TrainConfig(ConfigBase):
             raise ValueError(f"batch_size must be positive, got {self.batch_size}")
         if not self.base_lr > 0:
             raise ValueError(f"base_lr must be positive, got {self.base_lr}")
+        if not (0 < self.train_frac < 1 and 0 < self.val_frac < 1
+                and self.train_frac + self.val_frac < 1):
+            raise ValueError(
+                "train_frac/val_frac must be in (0, 1) and sum below 1, got "
+                f"{self.train_frac}/{self.val_frac}"
+            )
         if self.comb not in ("recent", "mean"):
             raise ValueError(f"comb must be 'recent' or 'mean', got {self.comb!r}")
         if self.eval_prefetch_workers < 1:
@@ -162,7 +172,24 @@ class TrainConfig(ConfigBase):
 
 @dataclass(frozen=True)
 class ServeConfig(ConfigBase):
-    """Shape of the serving deployment built by ``Session.serve``."""
+    """Shape of the serving deployment built by ``Session.serve``.
+
+    The elastic/SLO/continual knobs are all off by default (``None`` / 0),
+    so a plain deployment behaves exactly like the fixed-k cluster:
+
+    * ``min_replicas``/``max_replicas`` bound the fleet for a
+      :class:`repro.serve.ReplicaAutoscaler`;
+    * ``deadline_ms`` gives every request a completion budget — requests
+      whose budget cannot be met are shed at admission (deadline-aware
+      shedding) or expired in the queue;
+    * ``hedge_quantile`` arms hedged dispatch: a request in flight longer
+      than that latency percentile is duplicated onto a second replica
+      (first result wins, the loser is cancelled);
+    * ``wal_auto_truncate`` lets the cluster drop WAL batches every
+      consumer (replicas + held cursors) has passed;
+    * ``refit_interval_events``/``refit_epochs`` pace the
+      :class:`repro.serve.ContinualLearner` train-while-serve loop.
+    """
 
     replicas: int = 2
     policy: str = "round_robin"
@@ -172,6 +199,17 @@ class ServeConfig(ConfigBase):
     stream_chunk: int = 100
     dedup: bool = True
     memoize_time: bool = True
+    min_replicas: Optional[int] = None
+    max_replicas: Optional[int] = None
+    scale_up_queue: float = 8.0
+    scale_down_queue: float = 1.0
+    scale_interval_ms: float = 50.0
+    deadline_ms: Optional[float] = None
+    hedge_quantile: Optional[float] = None
+    hedge_min_ms: float = 0.5
+    wal_auto_truncate: bool = False
+    refit_interval_events: int = 0
+    refit_epochs: int = 1
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -189,6 +227,36 @@ class ServeConfig(ConfigBase):
             raise ValueError("max_delay_ms must be non-negative")
         if self.stream_chunk < 1:
             raise ValueError("stream_chunk must be positive")
+        if (self.min_replicas is None) != (self.max_replicas is None):
+            raise ValueError(
+                "min_replicas and max_replicas must be set together"
+            )
+        if self.min_replicas is not None:
+            if self.min_replicas < 1:
+                raise ValueError("min_replicas must be >= 1")
+            if self.max_replicas < self.min_replicas:
+                raise ValueError("max_replicas must be >= min_replicas")
+            if not (self.min_replicas <= self.replicas <= self.max_replicas):
+                raise ValueError(
+                    f"replicas={self.replicas} outside autoscale bounds "
+                    f"[{self.min_replicas}, {self.max_replicas}]"
+                )
+        if self.scale_up_queue <= 0 or self.scale_down_queue < 0:
+            raise ValueError("scale_up_queue must be > 0, scale_down_queue >= 0")
+        if self.scale_down_queue >= self.scale_up_queue:
+            raise ValueError("scale_down_queue must be below scale_up_queue")
+        if self.scale_interval_ms < 0:
+            raise ValueError("scale_interval_ms must be non-negative")
+        if self.deadline_ms is not None and not self.deadline_ms > 0:
+            raise ValueError("deadline_ms must be positive (or None)")
+        if self.hedge_quantile is not None and not (0 < self.hedge_quantile < 100):
+            raise ValueError("hedge_quantile must be in (0, 100) (or None)")
+        if self.hedge_min_ms < 0:
+            raise ValueError("hedge_min_ms must be non-negative")
+        if self.refit_interval_events < 0:
+            raise ValueError("refit_interval_events must be >= 0")
+        if self.refit_epochs < 1:
+            raise ValueError("refit_epochs must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -294,6 +362,8 @@ class ExperimentConfig(ConfigBase):
             sampler=m.sampler,
             updater=m.updater,
             compile=t.compile,
+            train_frac=t.train_frac,
+            val_frac=t.val_frac,
         )
 
     def build_dataset(self):

@@ -30,7 +30,8 @@ _UNSET = object()
 class Session:
     """One experiment lifecycle bound to an :class:`ExperimentConfig`."""
 
-    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+    def __init__(self, config: Optional[ExperimentConfig] = None, *,
+                 dataset=None) -> None:
         from ..train.distributed import DistTGLTrainer
 
         self.config = config if config is not None else ExperimentConfig()
@@ -38,7 +39,11 @@ class Session:
             raise TypeError(
                 f"Session needs an ExperimentConfig, got {type(self.config).__name__}"
             )
-        self.dataset = self.config.build_dataset()
+        # an explicit dataset bypasses config.build_dataset(): continual
+        # refits train over base-train + WAL-drained events, a graph no
+        # declarative config describes (the config still names the base
+        # dataset, so save()/load() round-trip against the base graph)
+        self.dataset = dataset if dataset is not None else self.config.build_dataset()
         self.trainer = DistTGLTrainer(
             self.dataset, self.config.parallel, self.config.trainer_spec()
         )
@@ -161,7 +166,11 @@ class Session:
         from .. import obs
 
         trace_dir = obs.resolve_trace_dir(self.config)
-        if trace_dir is not None:
+        # own the tracer only if nobody outside configured one — a caller
+        # tracing a longer lifecycle (e.g. the elastic serving bench wraps
+        # fit + serve + refits in one lane) keeps its tracer across fits
+        own_tracer = trace_dir is not None and obs.get_tracer() is None
+        if own_tracer:
             obs.configure(trace_dir, rank=0, lane="local")
         try:
             self.result = self.trainer.train(
@@ -172,7 +181,7 @@ class Session:
                 on_block_boundary=on_block_boundary,
             )
         finally:
-            if trace_dir is not None:
+            if own_tracer:
                 obs.disable(flush=True)
                 obs.merge_trace_dir(trace_dir)
         return self.result
@@ -248,7 +257,11 @@ class Session:
         graph (held-out events can then be streamed in via
         :meth:`held_out_stream` / ``cluster.ingest``), so repeated calls
         never share mutable graph state.  Keyword overrides fall back to the
-        config's ``serve`` section.
+        config's ``serve`` section.  The SLO fields (``deadline_ms``,
+        ``hedge_quantile``, ``hedge_min_ms``) and ``wal_auto_truncate``
+        flow straight from the config; hedged dispatch and deadline
+        shedding are threaded-cluster features, while both backends honor
+        WAL auto-truncation and the latency reservoir cap.
 
         ``process_replicas=False`` (default) returns the threaded
         :class:`repro.serve.ServingCluster`.  ``process_replicas=True``
@@ -280,11 +293,19 @@ class Session:
             ) * 1e-3,
             dedup=sv.dedup,
             memoize_time=sv.memoize_time,
+            histogram_cap=self.config.obs.histogram_reservoir,
+            auto_truncate_wal=sv.wal_auto_truncate,
         )
         if not process_replicas:
-            # process replicas ship latency snapshots over the wire and cap
-            # them worker-side; the threaded cluster takes the cap directly
-            kwargs["histogram_cap"] = self.config.obs.histogram_reservoir
+            # SLO plumbing is a front-door (threaded) feature: hedged
+            # dispatch needs cancellable queue entries, which the process
+            # protocol does not expose (its resilience features are replica
+            # respawn + request replay instead)
+            kwargs["deadline"] = (
+                sv.deadline_ms * 1e-3 if sv.deadline_ms is not None else None
+            )
+            kwargs["hedge_quantile"] = sv.hedge_quantile
+            kwargs["hedge_min_delay"] = sv.hedge_min_ms * 1e-3
         if process_replicas:
             from ..runtime.serving import ProcessServingCluster
 

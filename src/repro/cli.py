@@ -229,6 +229,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="path to save a serving snapshot after the run")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--quiet", action="store_true")
+    p_serve.add_argument(
+        "--closed-loop", action="store_true",
+        help="run the elastic closed-loop bench instead of the load sweep: "
+             "autoscaling + continual refit/hot-swap + hedging + a replica "
+             "SIGKILL, every response checked bitwise (emits "
+             "BENCH_serving_elastic.json)",
+    )
+    p_serve.add_argument("--ticks", type=int, default=6,
+                         help="closed-loop: load bursts to run")
+    p_serve.add_argument("--burst", type=int, default=12,
+                         help="closed-loop: requests per burst")
+    p_serve.add_argument("--report", default="BENCH_serving_elastic.json",
+                         help="closed-loop: where the JSON report lands")
+    p_serve.add_argument("--no-process-stage", action="store_true",
+                         help="closed-loop: skip the process-cluster/SIGKILL "
+                              "stage (threaded + hedging only)")
     _add_config_flags(p_serve)
 
     p_rt = sub.add_parser(
@@ -471,6 +487,44 @@ def cmd_throughput(args) -> int:
 
 def cmd_serve_bench(args) -> int:
     from .serve import LoadReport, LoadSpec, run_load
+
+    if args.closed_loop:
+        from .serve.bench import run_elastic_bench
+
+        cfg = args.config if isinstance(args.config, ExperimentConfig) else None
+        if cfg is not None and _maybe_dump(args, cfg):
+            return 0
+        report = run_elastic_bench(
+            cfg,
+            ticks=args.ticks,
+            burst=args.burst,
+            process_stage=not args.no_process_stage,
+            out=args.report,
+            verbose=not args.quiet,
+        )
+        t = report["threaded"]
+        print(
+            f"threaded: {t['requests']} requests, {t['violations']} violations, "
+            f"{t['scale_ups']} up / {t['scale_downs']} down, "
+            f"{t['hot_swaps']} hot-swaps "
+            f"(p99 {t['latency_ms']['p99']:.2f} ms)"
+        )
+        h = report["hedging"]
+        print(
+            f"hedging: p99 {h['off']['p99']:.2f} -> {h['on']['p99']:.2f} ms "
+            f"({h['on']['hedge_rate']:.0%} hedged)"
+        )
+        if "process" in report:
+            p = report["process"]
+            print(
+                f"process: {p['requests']} requests, {p['violations']} "
+                f"violations, {p['recoveries']} recoveries, "
+                f"{p['hot_swaps']} hot-swaps"
+            )
+        gates = " ".join(f"{k}={'ok' if v else 'FAIL'}" for k, v in report["ok"].items())
+        print(f"gates: {gates}")
+        print(f"report written to {args.report}")
+        return 0 if report["passed"] else 1
 
     try:
         replica_counts = [int(part) for part in str(args.replicas).split(",") if part]

@@ -181,6 +181,19 @@ class InferenceEngine:
         self.stats = InferenceStats()
         self._install_time_memo()
 
+    def refresh_weights(self) -> None:
+        """Re-derive weight-dependent precomputations after a hot swap.
+
+        ``Module.from_bytes`` overwrites parameter arrays in place, so
+        compiled tapes and the time-memo wrapper stay valid — but the
+        static-projection table was materialised from the *old* weights
+        and must be rebuilt.  Call after swapping new weights into
+        ``self.model`` / ``self.decoder``.
+        """
+        if self.model.has_static_memory:
+            static = Tensor(self.model._static_table)
+            self._static_proj_table = self.model.static_proj(static).data.copy()
+
     # ----------------------------------------------------------------- query
     def embed(self, nodes: np.ndarray, times: np.ndarray) -> np.ndarray:
         """Embeddings for (node, time) queries with dedup + memoization."""

@@ -30,6 +30,25 @@ Protocol (all frames over the worker's control channel):
   the shared state and its graph; the others append to their graph copies
   only).  This is the cross-process equivalent of the threaded cluster's
   engine lock, held exactly as long as an ingest needs it.
+* control — ``swap`` hot-loads new model/decoder weights (the worker
+  flushes queued work against the old weights first, then overwrites its
+  parameter arrays in place and refreshes the precomputed static
+  projection); ``stop`` retires the worker.
+
+Elasticity & recovery: the parent owns every worker *individually* (no
+fixed-size :class:`~repro.runtime.launcher.ProcessGroup`), so
+:meth:`~ProcessServingCluster.add_replica` spawns one more process into
+the fleet, :meth:`~ProcessServingCluster.remove_replica` drains and
+retires the newest, and a replica that dies mid-stream (``SIGKILL``, a
+``serve.replica`` crash failpoint) is respawned into its slot with
+failpoints neutralized.  The shared segment makes the respawn's state
+instantly correct; its private graph catches up from the parent's copy
+(which outlives WAL truncation), and the dead worker's outstanding
+requests are re-sent to the fresh replica — re-execution against the same
+shared state computes the same bytes, so recovery is invisible in the
+response stream as long as no fold landed between submit and replay (the
+cluster's synchronous two-phase ingest guarantees exactly that for
+requests in flight when a fold starts).
 
 Workers rebuild their serving graph from the declarative config (same
 "reconstruct from description" contract as the training runtime) and
@@ -38,19 +57,22 @@ receive only the trained weight blobs over the wire.
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..api.config import ExperimentConfig
+from ..obs import get_registry
 from ..serve.ingest import EventLog, read_snapshot, write_snapshot
-from .launcher import DEFAULT_TIMEOUT, ProcessGroup
+from ..serve.metrics import LatencyHistogram
+from .launcher import DEFAULT_TIMEOUT, _worker_shell
 from .sharedmem import SharedGroupState, SharedStateSpec, create_group_states
-from .transport import TransportError, TransportTimeout
+from .transport import TransportError, TransportTimeout, pipe_channel_pair
 
 
 # ----------------------------------------------------------------- worker
@@ -61,6 +83,7 @@ def serve_worker(
     config_dict: dict,
     shared_spec: dict,
     serve_meta: dict,
+    clear_failpoints: bool = False,
 ):
     """One serving replica: rebuild graph + model, serve until ``stop``."""
     from ..api.registry import MODELS
@@ -68,10 +91,19 @@ def serve_worker(
     from ..models.decoders import LinkPredictor
     from ..models.tgn import DirectMemoryView, TGNConfig
     from ..serve.batcher import MicroBatcher
+    from ..testing import failpoints
+
+    if clear_failpoints:
+        # a respawned replica inherits REPRO_FAILPOINTS from the parent's
+        # environment; it must not re-trip the failure that killed its
+        # predecessor
+        failpoints.neutralize()
 
     cfg = ExperimentConfig.from_dict(config_dict)
     dataset = cfg.build_dataset()
-    split = dataset.graph.chronological_split()
+    split = dataset.graph.chronological_split(
+        train_frac=cfg.train.train_frac, val_frac=cfg.train.val_frac
+    )
     graph = dataset.graph.slice_events(split.train)
 
     mc = cfg.model
@@ -147,6 +179,9 @@ def serve_worker(
         # cannot drive worker-side polls the way a threaded waiter can)
         batcher.poll()
         if frame.tag == "rank":
+            # chaos hook: fires before the request is served, so a crash
+            # leaves it outstanding in the parent for recovery to replay
+            failpoints.fire("serve.replica", rank=rank)
             requests += 1
             pending[frame.meta["req_id"]] = batcher.submit_rank(
                 int(frame.meta["src"]),
@@ -154,6 +189,7 @@ def serve_worker(
                 float(frame.meta["at_time"]),
             )
         elif frame.tag == "predict":
+            failpoints.fire("serve.replica", rank=rank)
             requests += 1
             pending[frame.meta["req_id"]] = batcher.submit_predict(
                 frame.array("src"), frame.array("dst"), frame.array("times")
@@ -174,6 +210,22 @@ def serve_worker(
                 engine.observe(src, dst, times, edge_feats=ef)
             graph.append_events(src, dst, times, ef)
             channel.send("fold_ack", meta={"rank": rank, "events": len(src)})
+            continue
+        elif frame.tag == "swap":
+            # hot swap: queued work completes against the old weights, then
+            # from_bytes overwrites the parameter arrays in place (compiled
+            # tapes read weights by reference, so they stay valid) and the
+            # engine rebuilds its precomputed static projection
+            batcher.flush()
+            sweep()
+            model.from_bytes(frame.array("model_blob").tobytes())
+            if "decoder_blob" in frame.arrays:
+                decoder.from_bytes(frame.array("decoder_blob").tobytes())
+            engine.refresh_weights()
+            channel.send(
+                "swap_ack",
+                meta={"rank": rank, "version": int(frame.meta.get("version", -1))},
+            )
             continue
         elif frame.tag == "flush":
             batcher.flush()
@@ -216,11 +268,16 @@ class ProcessPendingResult:
 
     def __init__(self, link: "_ReplicaLink", req_id: int, submitted_at: float) -> None:
         self._link = link
+        self._cluster: Optional["ProcessServingCluster"] = None
         self._event = threading.Event()
         self._value: Optional[np.ndarray] = None
         self._error: Optional[str] = None
+        self.req_id = req_id
         self.submitted_at = submitted_at
         self.completed_at: Optional[float] = None
+        # the original (tag, meta, arrays) so a replica failure can replay
+        # the request verbatim on the respawned worker
+        self.resend: Optional[Tuple[str, dict, dict]] = None
 
     @property
     def done(self) -> bool:
@@ -234,10 +291,21 @@ class ProcessPendingResult:
             raise RuntimeError(self._error)
         return self._value
 
+    @property
+    def latency(self) -> float:
+        if self.completed_at is None:
+            raise RuntimeError("request not completed yet")
+        return self.completed_at - self.submitted_at
+
     def wait(self, timeout: Optional[float] = None) -> np.ndarray:
         deadline = None if timeout is None else time.monotonic() + timeout
         while not self._event.is_set():
             self._link.pump(0.05)
+            if self._link.dead and self._cluster is not None:
+                # replica died with this request outstanding: drive the
+                # cluster's recovery, which respawns the slot and re-sends
+                # the request (rebinding self._link)
+                self._cluster.poll()
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError("request not completed within timeout")
         return self.value
@@ -250,12 +318,22 @@ class ProcessPendingResult:
 
 
 class _ReplicaLink:
-    """Parent's view of one serve worker: channel + outstanding requests."""
+    """Parent's view of one serve worker: process + channel + outstanding
+    requests."""
 
-    def __init__(self, index: int, channel) -> None:
+    def __init__(
+        self,
+        index: int,
+        channel,
+        proc=None,
+        on_result: Optional[Callable[[ProcessPendingResult], None]] = None,
+    ) -> None:
         self.index = index
         self.channel = channel
+        self.proc = proc
+        self.on_result = on_result
         self.lock = threading.RLock()
+        self.failed = False
         self.outstanding: Dict[int, ProcessPendingResult] = {}
         self.acks: Dict[str, List[dict]] = {}
 
@@ -263,21 +341,47 @@ class _ReplicaLink:
     def load(self) -> int:
         return len(self.outstanding)
 
+    @property
+    def dead(self) -> bool:
+        """The worker can no longer answer: its pipe broke or its process
+        exited while the cluster still expects it to serve."""
+        return self.failed or (self.proc is not None and not self.proc.is_alive())
+
+    def send(self, tag: str, meta: Optional[dict] = None, arrays=None) -> bool:
+        """Best-effort frame send; a broken pipe marks the link dead
+        instead of raising (recovery picks the slot up)."""
+        try:
+            with self.lock:
+                self.channel.send(tag, meta=meta or {}, arrays=arrays or {})
+            return True
+        except (TransportError, OSError):
+            self.failed = True
+            return False
+
     def pump(self, timeout: float = 0.0) -> None:
         """Dispatch any frames the worker sent.
 
         Results fulfill their handles; everything else (acks, ready) lands
         in :attr:`acks` for whoever is waiting on it — concurrent pumpers
         (a waiting client, an in-flight ingest) can therefore never steal
-        each other's frames.
+        each other's frames.  EOF on a dead worker's pipe marks the link
+        failed rather than raising: death is a recoverable condition here.
         """
         with self.lock:
-            while self.channel.poll(timeout):
-                frame = self.channel.recv(timeout=1.0)
+            while True:
+                try:
+                    if not self.channel.poll(timeout):
+                        return
+                    frame = self.channel.recv(timeout=1.0)
+                except (TransportError, TransportTimeout, OSError):
+                    self.failed = True
+                    return
                 if frame.tag == "result":
                     res = self.outstanding.pop(frame.meta["req_id"], None)
                     if res is not None:
                         res._fulfill(frame.array("scores"), None)
+                        if self.on_result is not None:
+                            self.on_result(res)
                 elif frame.tag == "req_error":
                     res = self.outstanding.pop(frame.meta["req_id"], None)
                     if res is not None:
@@ -292,7 +396,12 @@ class _ReplicaLink:
                 timeout = 0.0  # only the first poll blocks
 
     def await_ack(self, tag: str, timeout: float) -> dict:
-        """Pump until one ``tag`` frame arrives; returns its metadata."""
+        """Pump until one ``tag`` frame arrives; returns its metadata.
+
+        Raises :class:`TransportError` promptly when the worker dies while
+        waiting (instead of burning the whole timeout) — callers translate
+        that into slot recovery.
+        """
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             with self.lock:
@@ -300,7 +409,23 @@ class _ReplicaLink:
                 if queued:
                     return queued.pop(0)
             self.pump(0.05)
+            if self.dead:
+                # one last drain: the ack may have raced the death
+                self.pump(0.0)
+                with self.lock:
+                    queued = self.acks.get(tag)
+                    if queued:
+                        return queued.pop(0)
+                raise TransportError(
+                    f"serve worker {self.index} died awaiting {tag!r}"
+                )
         raise TransportTimeout(f"worker {self.index}: no {tag!r} within {timeout:.0f}s")
+
+    def close(self) -> None:
+        try:
+            self.channel.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
 
 
 @dataclass
@@ -309,7 +434,9 @@ class ProcessClusterStats:
 
     submitted: int = 0
     shed: int = 0
+    completed: int = 0
     ingested_events: int = 0
+    recoveries: int = 0
     routed: List[int] = field(default_factory=list)
 
     @property
@@ -323,6 +450,15 @@ class ProcessServingCluster:
     Built by ``Session.serve(process_replicas=True)``.  Use as a context
     manager (or call :meth:`shutdown`) — the replicas are real processes
     and the shared segment must be unlinked.
+
+    Elasticity parity with the threaded cluster: :meth:`add_replica` /
+    :meth:`remove_replica` grow and shrink the fleet (the
+    :class:`~repro.serve.elastic.ReplicaAutoscaler` drives either cluster
+    kind), :meth:`hot_swap` rolls new weights through every worker, and
+    WAL cursors + :meth:`truncate_wal` bound the front-door log.  Hedged
+    duplicate dispatch is a threaded-cluster feature only: true loser
+    cancellation needs the pre-compute queue access that worker processes
+    do not expose over the wire.
     """
 
     def __init__(
@@ -340,6 +476,8 @@ class ProcessServingCluster:
         dedup: bool = True,
         memoize_time: bool = True,
         timeout: float = DEFAULT_TIMEOUT,
+        histogram_cap: Optional[int] = None,
+        auto_truncate_wal: bool = False,
     ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -359,11 +497,25 @@ class ProcessServingCluster:
         # process cluster snapshots/restores exactly like the threaded one
         self.wal = EventLog(edge_dim=serve_graph.edge_dim)
         self.timeout = timeout
+        self.auto_truncate_wal = auto_truncate_wal
+        self.model_version = 0
         self._lock = threading.RLock()
         self._rr = 0
         self._req_counter = 0
         self._closed = False
+        self._wal_cursors: Dict[str, int] = {}
+        # events the workers' config-rebuilt serve graphs start with; the
+        # parent graph tail past this point is what a freshly spawned
+        # worker replays to catch up (it outlives WAL truncation)
+        self._base_events = serve_graph.num_events
         self.stats = ProcessClusterStats(routed=[0] * k)
+        self.request_latency = (
+            LatencyHistogram(cap=histogram_cap)
+            if histogram_cap is not None
+            else LatencyHistogram()
+        )
+        self._ctx = mp.get_context("spawn")
+        self._retired: List = []
 
         (self._state,) = create_group_states(
             1,
@@ -372,51 +524,148 @@ class ProcessServingCluster:
             edge_dim=serve_graph.edge_dim,
             name_prefix="repro-serve",
         )
+        # spawn arguments travel through the multiprocessing pickler, so
+        # the weight blobs ride along as plain bytes (frames are for live
+        # traffic); hot_swap updates them so respawns and added replicas
+        # always start on the current model version
+        self._model_blob = model.to_bytes()
+        self._decoder_blob = decoder.to_bytes()
+        self._static_table = (
+            model._static_table.copy() if model.has_static_memory else None
+        )
+        self._serve_opts = {
+            "max_batch_pairs": max_batch_pairs,
+            "max_delay": max_delay,
+            "dedup": dedup,
+            "memoize_time": memoize_time,
+        }
+        self._config_dict = config.to_dict()
+        self.replicas: List[_ReplicaLink] = []
         try:
-            # spawn arguments travel through the multiprocessing pickler, so
-            # the weight blobs ride along as plain bytes (frames are for live
-            # traffic)
-            serve_meta = {
-                "max_batch_pairs": max_batch_pairs,
-                "max_delay": max_delay,
-                "dedup": dedup,
-                "memoize_time": memoize_time,
-                "_model_blob": model.to_bytes(),
-                "_decoder_blob": decoder.to_bytes(),
-                "_static_table": (
-                    model._static_table.copy() if model.has_static_memory else None
-                ),
-            }
-            config_dict = config.to_dict()
-            self._group = ProcessGroup(
-                serve_worker,
-                [
-                    {
-                        "config_dict": config_dict,
-                        "shared_spec": self._state.spec.to_dict(),
-                        "serve_meta": serve_meta,
-                    }
-                    for _ in range(k)
-                ],
-                name="repro-serve",
-                timeout=timeout,
-            )
-            try:
-                self._group.start()
-                self.replicas = [
-                    _ReplicaLink(idx, ch)
-                    for idx, ch in enumerate(self._group.channels)
-                ]
-                for link in self.replicas:
-                    link.await_ack("ready", timeout)
-            except BaseException:
-                self._group.shutdown()
-                raise
+            for index in range(k):
+                self.replicas.append(self._spawn_link(index))
         except BaseException:
-            # a half-built cluster must not strand its shared segment
+            # a half-built cluster must not strand processes or the segment
+            for link in self.replicas:
+                if link.proc is not None and link.proc.is_alive():
+                    link.proc.terminate()
+                link.close()
             self._state.close()
             self._state.unlink()
             raise
+
+    # ------------------------------------------------------------- spawning
+    def _spawn_link(self, index: int, *, clear_failpoints: bool = False) -> _ReplicaLink:
+        """Start one serve worker and wait for its ``ready`` frame."""
+        parent_ch, child_ch = pipe_channel_pair(self.timeout)
+        kwargs = {
+            "config_dict": self._config_dict,
+            "shared_spec": self._state.spec.to_dict(),
+            "serve_meta": {
+                **self._serve_opts,
+                "_model_blob": self._model_blob,
+                "_decoder_blob": self._decoder_blob,
+                "_static_table": self._static_table,
+            },
+            "clear_failpoints": clear_failpoints,
+        }
+        proc = self._ctx.Process(
+            target=_worker_shell,
+            args=(serve_worker, index, child_ch, kwargs),
+            name=f"repro-serve-{index}",
+            daemon=True,
+        )
+        proc.start()
+        child_ch.close()
+        link = _ReplicaLink(index, parent_ch, proc=proc, on_result=self._on_result)
+        try:
+            link.await_ack("ready", self.timeout)
+        except BaseException:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+            link.close()
+            raise
+        return link
+
+    def _catch_up(self, link: _ReplicaLink) -> None:
+        """Replay the parent graph's post-construction tail into a freshly
+        spawned worker's private graph (state is shared memory, so it is
+        already correct)."""
+        tail = self.graph.num_events - self._base_events
+        if not tail:
+            return
+        arrays = {
+            "src": self.graph.src[self._base_events:],
+            "dst": self.graph.dst[self._base_events:],
+            "times": self.graph.timestamps[self._base_events:],
+        }
+        if self.graph.edge_feats is not None:
+            arrays["edge_feats"] = self.graph.edge_feats[self._base_events:]
+        link.send("fold", meta={"fold_state": False}, arrays=arrays)
+        link.await_ack("fold_ack", self.timeout)
+
+    def _on_result(self, res: ProcessPendingResult) -> None:
+        self.stats.completed += 1
+        self.request_latency.record(max(0.0, res.latency))
+        get_registry().counter("serve/completed").add()
+
+    # ------------------------------------------------------------- recovery
+    def _check_replicas(self) -> None:
+        """Pump every link; respawn any slot whose worker died."""
+        for index in range(len(self.replicas)):
+            link = self.replicas[index]
+            link.pump(0.0)
+            if link.dead:
+                self._recover(index)
+
+    def _recover(self, index: int) -> _ReplicaLink:
+        """Respawn slot ``index`` and replay its outstanding requests.
+
+        The respawn neutralizes inherited failpoints (a crash failpoint
+        must take a replica down once, not turn recovery into a crash
+        loop).  Re-executed requests read the same shared state the dead
+        worker would have — the synchronous two-phase ingest means no fold
+        can have landed between the original submit and this replay — so
+        the response stream is bitwise what an unfaulted run produces.
+        """
+        old = self.replicas[index]
+        if old.proc is not None:
+            old.proc.join(timeout=5.0)
+        old.close()
+        link = self._spawn_link(index, clear_failpoints=True)
+        self._catch_up(link)
+        for req_id, res in sorted(old.outstanding.items()):
+            tag, meta, arrays = res.resend
+            res._link = link
+            link.outstanding[req_id] = res
+            link.send(tag, meta={**meta, "req_id": req_id}, arrays=arrays)
+        old.outstanding.clear()
+        self.replicas[index] = link
+        self.stats.recoveries += 1
+        get_registry().counter("serve/replica_recoveries").add()
+        return link
+
+    def _ack_or_recover(
+        self,
+        index: int,
+        tag: str,
+        resend: Optional[Callable[[_ReplicaLink], None]],
+    ) -> dict:
+        """Await ``tag`` from slot ``index``; if the worker died, recover
+        the slot, re-issue the phase's frame via ``resend`` and await once
+        more.  ``resend=None`` means the phase cannot be replayed safely
+        (the fold leader mid-state-fold) — death propagates."""
+        for attempt in range(2):
+            link = self.replicas[index]
+            try:
+                return link.await_ack(tag, self.timeout)
+            except TransportError:
+                if resend is None or attempt or not link.dead:
+                    raise
+                fresh = self._recover(index)
+                resend(fresh)
+        raise TransportError(f"worker {index} failed twice awaiting {tag!r}")
 
     # ----------------------------------------------------------------- reads
     def submit_rank(
@@ -448,23 +697,27 @@ class ProcessServingCluster:
         self._ensure_open()
         with self._lock:
             self.stats.submitted += 1
-            for link in self.replicas:
-                link.pump(0.0)
+            self._check_replicas()
             if (
                 self.admission_limit is not None
                 and self.pending_requests >= self.admission_limit
             ):
                 self.stats.shed += 1
                 return None
-            self._group.poll_failures()
             link = self._router(self)
             self.stats.routed[link.index] += 1
             self._req_counter += 1
             req_id = self._req_counter
             result = ProcessPendingResult(link, req_id, time.perf_counter())
+            result._cluster = self
+            result.resend = (tag, dict(meta), dict(arrays))
             with link.lock:
                 link.outstanding[req_id] = result
-                link.channel.send(tag, meta={**meta, "req_id": req_id}, arrays=arrays)
+                sent = link.send(tag, meta={**meta, "req_id": req_id}, arrays=arrays)
+            if not sent:
+                # the pipe broke on the send itself: recover now so the
+                # request replays immediately on the fresh worker
+                self._recover(link.index)
             return result
 
     # ---------------------------------------------------------------- writes
@@ -481,9 +734,17 @@ class ProcessServingCluster:
         can race the state fold; phase 2 folds once (worker 0) and appends
         the events to every replica's graph copy.  Returns total events
         ingested so far (the WAL-offset contract of the threaded cluster).
+
+        A non-leader replica that dies mid-ingest is recovered in place
+        (its catch-up replays through the parent graph, then this batch is
+        re-sent structure-only).  A fold-leader death between the state
+        fold starting and its ack is not recoverable — the parent cannot
+        know whether the shared state advanced — and propagates as a
+        transport error.
         """
         self._ensure_open()
         with self._lock:
+            self._check_replicas()
             src, dst, times, edge_feats = self.graph.check_events(
                 src, dst, times, edge_feats
             )
@@ -496,19 +757,64 @@ class ProcessServingCluster:
             if edge_feats is not None:
                 arrays["edge_feats"] = edge_feats
             for link in self.replicas:
-                link.channel.send("drain")
+                link.send("drain")
+            for index in range(len(self.replicas)):
+                self._ack_or_recover(index, "drain_ack", lambda l: l.send("drain"))
             for link in self.replicas:
-                link.await_ack("drain_ack", self.timeout)
-            for link in self.replicas:
-                link.channel.send(
+                link.send(
                     "fold", meta={"fold_state": link.index == 0}, arrays=arrays
                 )
-            for link in self.replicas:
-                link.await_ack("fold_ack", self.timeout)
+            for index in range(len(self.replicas)):
+                self._ack_or_recover(
+                    index,
+                    "fold_ack",
+                    None
+                    if index == 0
+                    else (
+                        lambda l: l.send(
+                            "fold", meta={"fold_state": False}, arrays=arrays
+                        )
+                    ),
+                )
             # keep the parent's reference graph in lockstep with the workers
             self.graph.append_events(src, dst, times, edge_feats)
             self.stats.ingested_events += len(src)
+            registry = get_registry()
+            registry.counter("serve/ingested_events").add(float(len(src)))
+            registry.counter("serve/ingest_batches").add()
+            if self.auto_truncate_wal:
+                self.truncate_wal()
             return self.stats.ingested_events
+
+    # ------------------------------------------------------------ WAL cursors
+    def hold_wal_cursor(self, name: str, offset: int) -> None:
+        """Register a consumer at logical WAL ``offset``: truncation never
+        drops events at or past the minimum held cursor."""
+        with self._lock:
+            self._wal_cursors[name] = int(offset)
+
+    def release_wal_cursor(self, name: str) -> None:
+        with self._lock:
+            self._wal_cursors.pop(name, None)
+
+    def wal_cursor_floor(self) -> int:
+        """The minimum catch-up cursor across consumers (replicas fold
+        synchronously inside :meth:`ingest`, so theirs is ``len(wal)``)."""
+        with self._lock:
+            cursors = list(self._wal_cursors.values())
+        return min(cursors + [len(self.wal)])
+
+    def truncate_wal(self) -> int:
+        """Drop WAL batches below the cursor floor; returns events dropped."""
+        before = self.wal.base_offset
+        self.wal.truncate_until(self.wal_cursor_floor())
+        dropped = self.wal.base_offset - before
+        if dropped:
+            get_registry().counter("serve/wal_truncated_events").add(float(dropped))
+        get_registry().gauge("serve/wal_held_events").set(
+            float(len(self.wal) - self.wal.base_offset)
+        )
+        return dropped
 
     # ------------------------------------------------------------- batch mgmt
     @property
@@ -516,26 +822,134 @@ class ProcessServingCluster:
         return sum(link.load for link in self.replicas)
 
     def poll(self) -> None:
-        """Collect any completed results (workers flush autonomously)."""
-        for link in self.replicas:
-            link.pump(0.0)
+        """Collect completed results; recover any dead replica slots."""
+        with self._lock:
+            self._check_replicas()
 
     def flush_all(self) -> None:
         """Force-flush every replica and collect the results."""
         self._ensure_open()
         with self._lock:
+            self._check_replicas()
             for link in self.replicas:
-                link.channel.send("flush")
-            for link in self.replicas:
+                link.send("flush")
+            for index in range(len(self.replicas)):
+                self._ack_or_recover(index, "flush_ack", lambda l: l.send("flush"))
+            self._check_replicas()
+
+    # -------------------------------------------------------------- elasticity
+    def add_replica(self) -> _ReplicaLink:
+        """Grow the fleet by one worker process.
+
+        The shared segment makes the newcomer's serving state correct by
+        construction; its private graph catches up from the parent's copy
+        (which holds the full ingested history even after WAL truncation),
+        and it starts answering on the current model version — hot_swap
+        keeps the spawn-template weight blobs fresh.
+        """
+        self._ensure_open()
+        with self._lock:
+            index = len(self.replicas)
+            link = self._spawn_link(index)
+            self._catch_up(link)
+            self.replicas.append(link)
+            self.stats.routed.append(0)
+        registry = get_registry()
+        registry.counter("serve/replicas_added").add()
+        registry.gauge("serve/replicas").set(float(len(self.replicas)))
+        return link
+
+    def remove_replica(self) -> _ReplicaLink:
+        """Shrink the fleet by draining and retiring the newest worker.
+
+        The retiree flushes its queued reads (every outstanding request
+        completes before the ``stop``), so a scale-down is invisible in
+        the response stream.
+        """
+        self._ensure_open()
+        with self._lock:
+            if len(self.replicas) <= 1:
+                raise ValueError("cannot remove the last replica")
+            link = self.replicas[-1]
+            try:
+                link.send("flush")
                 link.await_ack("flush_ack", self.timeout)
-            self.poll()
+                link.pump(0.0)
+            except (TransportError, TransportTimeout):
+                pass  # a dying retiree's requests replay below
+            self.replicas.pop()
+            # anything still outstanding (the worker died mid-drain) is
+            # re-routed to a surviving replica
+            for req_id, res in sorted(link.outstanding.items()):
+                target = self.replicas[0]
+                tag, meta, arrays = res.resend
+                res._link = target
+                target.outstanding[req_id] = res
+                target.send(tag, meta={**meta, "req_id": req_id}, arrays=arrays)
+            link.outstanding.clear()
+            link.send("stop")
+            if link.proc is not None:
+                # reaped lazily at shutdown so scale-down never blocks on
+                # the worker's exit
+                self._retired.append(link.proc)
+        registry = get_registry()
+        registry.counter("serve/replicas_removed").add()
+        registry.gauge("serve/replicas").set(float(len(self.replicas)))
+        return link
+
+    # --------------------------------------------------------------- hot swap
+    def hot_swap(
+        self,
+        model_blob: bytes,
+        decoder_blob: Optional[bytes] = None,
+        *,
+        version: Optional[int] = None,
+    ) -> int:
+        """Roll new model/decoder weights through every worker in place.
+
+        Queued work flushes against the old weights first; then each
+        worker overwrites its parameter arrays and refreshes its static
+        projection.  Serving memory/mailbox state carries across — a swap
+        changes the *model*, not the streamed history.  The spawn-template
+        blobs update too, so respawns and added replicas join on the new
+        version.
+        """
+        self._ensure_open()
+        with self._lock:
+            self.flush_all()
+            self._model_blob = bytes(model_blob)
+            if decoder_blob is not None:
+                self._decoder_blob = bytes(decoder_blob)
+            self.model_version = (
+                version if version is not None else self.model_version + 1
+            )
+            arrays = {"model_blob": np.frombuffer(self._model_blob, dtype=np.uint8)}
+            if decoder_blob is not None:
+                arrays["decoder_blob"] = np.frombuffer(
+                    self._decoder_blob, dtype=np.uint8
+                )
+            meta = {"version": self.model_version}
+            for link in self.replicas:
+                link.send("swap", meta=meta, arrays=arrays)
+            for index in range(len(self.replicas)):
+                # a slot recovered mid-swap respawns from the already-
+                # updated template blobs; the re-sent swap is idempotent
+                self._ack_or_recover(
+                    index,
+                    "swap_ack",
+                    lambda l: l.send("swap", meta=meta, arrays=arrays),
+                )
+        registry = get_registry()
+        registry.counter("serve/hot_swaps").add()
+        registry.gauge("serve/model_version").set(float(self.model_version))
+        return self.model_version
 
     # ------------------------------------------------------ snapshot/restore
     def _drain_replicas(self) -> None:
         for link in self.replicas:
-            link.channel.send("drain")
-        for link in self.replicas:
-            link.await_ack("drain_ack", self.timeout)
+            link.send("drain")
+        for index in range(len(self.replicas)):
+            self._ack_or_recover(index, "drain_ack", lambda l: l.send("drain"))
 
     def save(self, path: Union[str, Path]) -> Path:
         """Persist the serving state — WAL + the shared memory/mailbox — in
@@ -582,9 +996,15 @@ class ProcessServingCluster:
                 if feats is not None:
                     arrays["edge_feats"] = feats
                 for link in self.replicas:
-                    link.channel.send("fold", meta={"fold_state": False}, arrays=arrays)
-                for link in self.replicas:
-                    link.await_ack("fold_ack", self.timeout)
+                    link.send("fold", meta={"fold_state": False}, arrays=arrays)
+                for index in range(len(self.replicas)):
+                    self._ack_or_recover(
+                        index,
+                        "fold_ack",
+                        lambda l: l.send(
+                            "fold", meta={"fold_state": False}, arrays=arrays
+                        ),
+                    )
                 self.wal.append(src, dst, times, feats)
                 self.graph.append_events(src, dst, times, feats)
                 self.stats.ingested_events += len(src)
@@ -601,9 +1021,30 @@ class ProcessServingCluster:
         """Per-replica engine/batcher counters (dedup, memoization, flushes)."""
         self._ensure_open()
         with self._lock:
+            self._check_replicas()
             for link in self.replicas:
-                link.channel.send("stats")
-            return [link.await_ack("stats_ack", self.timeout) for link in self.replicas]
+                link.send("stats")
+            return [
+                self._ack_or_recover(index, "stats_ack", lambda l: l.send("stats"))
+                for index in range(len(self.replicas))
+            ]
+
+    def latency(self) -> LatencyHistogram:
+        """Front-door request latency (recorded once per completed
+        request, submit to result-frame arrival)."""
+        return self.request_latency
+
+    def export_metrics(self) -> dict:
+        """Fold cluster state into the shared registry; returns its snapshot."""
+        registry = get_registry()
+        if self.request_latency.count:
+            registry.histogram(
+                "serve/latency_s", cap=self.request_latency.cap
+            ).merge_snapshot(self.request_latency.snapshot())
+        registry.gauge("serve/pending_requests").set(float(self.pending_requests))
+        registry.gauge("serve/replicas").set(float(len(self.replicas)))
+        registry.gauge("serve/model_version").set(float(self.model_version))
+        return registry.snapshot()
 
     # ------------------------------------------------------------- lifecycle
     def _ensure_open(self) -> None:
@@ -615,15 +1056,25 @@ class ProcessServingCluster:
         if self._closed:
             return
         self._closed = True
+        procs = [
+            link.proc for link in self.replicas if link.proc is not None
+        ] + self._retired
         try:
             for link in self.replicas:
-                try:
-                    link.channel.send("stop")
-                except TransportError:
-                    pass
-            self._group.join(timeout=min(self.timeout, 60.0))
+                link.send("stop")
+            deadline = time.monotonic() + min(self.timeout, 60.0)
+            for proc in procs:
+                proc.join(timeout=max(0.1, deadline - time.monotonic()))
         finally:
-            self._group.terminate()
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+                    if proc.is_alive():  # pragma: no cover - last resort
+                        proc.kill()
+                        proc.join(timeout=5.0)
+            for link in self.replicas:
+                link.close()
             self._state.close()
             self._state.unlink()
 

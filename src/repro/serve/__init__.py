@@ -1,26 +1,45 @@
 """repro.serve — online TGNN serving: micro-batching, replication, ingestion.
 
-The serving subsystem layers four pieces on the inference stack:
+The serving subsystem layers six pieces on the inference stack:
 
 * :class:`MicroBatcher` — deadline-based coalescing of concurrent
   rank/predict requests into fused engine batches, so TGOpt-style
   de-duplication and time-encoding memoization amortize *across* clients;
+  per-request deadline budgets and cancellation support hedging/shedding;
 * :class:`ServingCluster` / :class:`ServingReplica` — ``k`` memory-parallel
   engine replicas (paper §3.2.3 applied to serving): the event stream is
   broadcast to every replica, reads are routed round-robin or least-loaded,
-  and an admission limit sheds excess load;
+  deadline-aware admission sheds requests whose budget cannot be met, and
+  hedged dispatch duplicates stragglers onto a second replica (first
+  result wins, the loser is cancelled);
 * :class:`EventLog` / :class:`StreamIngestor` — a write-ahead log of
   streamed events that updates replica state *and* appends to the shared
   :class:`~repro.graph.TemporalGraph`, keeping sampled neighborhoods fresh;
   snapshots (:func:`save_snapshot` / :func:`load_snapshot`) persist and
-  restore the full serving state;
-* :class:`LatencyHistogram` / :class:`ThroughputMeter` + :func:`run_load` —
-  p50/p99 latency, QPS accounting and open/closed-loop load generation
-  (the ``serve-bench`` CLI entry point).
+  restore the full serving state; named WAL cursors gate batch-granular
+  truncation so the log stays bounded without stranding lagging readers;
+* :class:`ReplicaAutoscaler` — a queue-depth + tail-latency control loop
+  that grows and shrinks the fleet between configured bounds
+  (``cluster.add_replica()`` / ``remove_replica()``, either backend);
+* :class:`ContinualLearner` — train-while-serve: drains the WAL, refits
+  with warm-started weights, hot-swaps the new checkpoint into the live
+  fleet, and asserts the swap bitwise against a freshly loaded session;
+* :class:`LatencyHistogram` / :class:`ThroughputMeter` + :func:`run_load`
+  / :func:`run_elastic_bench` — p50/p99/p99.9 latency, QPS and hedge-rate
+  accounting, open/closed-loop load generation, and the closed-loop
+  elastic bench (the ``serve-bench`` CLI entry points).
 """
 
-from .batcher import BatcherStats, MicroBatcher, PendingResult
+from .batcher import (
+    BatcherStats,
+    DeadlineExceeded,
+    MicroBatcher,
+    PendingResult,
+    RequestCancelled,
+)
 from .cluster import ClusterStats, ServingCluster, ServingReplica
+from .continual import ContinualLearner, RefitReport
+from .elastic import AutoscaleDecision, ReplicaAutoscaler
 from .ingest import EventLog, StreamIngestor, load_snapshot, save_snapshot
 from .loadgen import LoadReport, LoadSpec, build_queries, event_stream, run_load
 from .metrics import LatencyHistogram, ThroughputMeter
@@ -29,9 +48,15 @@ __all__ = [
     "MicroBatcher",
     "PendingResult",
     "BatcherStats",
+    "RequestCancelled",
+    "DeadlineExceeded",
     "ServingCluster",
     "ServingReplica",
     "ClusterStats",
+    "ReplicaAutoscaler",
+    "AutoscaleDecision",
+    "ContinualLearner",
+    "RefitReport",
     "EventLog",
     "StreamIngestor",
     "save_snapshot",
@@ -41,6 +66,16 @@ __all__ = [
     "LoadSpec",
     "LoadReport",
     "run_load",
+    "run_elastic_bench",
     "build_queries",
     "event_stream",
 ]
+
+
+def __getattr__(name):
+    # run_elastic_bench pulls in the api layer; keep the common import light
+    if name == "run_elastic_bench":
+        from .bench import run_elastic_bench
+
+        return run_elastic_bench
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

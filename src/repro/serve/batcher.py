@@ -44,11 +44,20 @@ _RANK = "rank"
 _PREDICT = "predict"
 
 
+class RequestCancelled(RuntimeError):
+    """The request was cancelled before its batch flushed (hedge loser)."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline budget ran out while it sat in the queue."""
+
+
 class PendingResult:
     """Handle for one queued request; fulfilled when its batch flushes."""
 
     __slots__ = (
-        "_batcher", "_event", "_value", "_error", "submitted_at", "completed_at"
+        "_batcher", "_event", "_value", "_error", "submitted_at", "completed_at",
+        "cancelled",
     )
 
     def __init__(self, batcher: "MicroBatcher", submitted_at: float) -> None:
@@ -58,6 +67,7 @@ class PendingResult:
         self._error: Optional[BaseException] = None
         self.submitted_at = submitted_at
         self.completed_at: Optional[float] = None
+        self.cancelled = False
 
     @property
     def done(self) -> bool:
@@ -97,6 +107,16 @@ class PendingResult:
             raise self._error
         return self._value
 
+    def cancel(self) -> bool:
+        """Withdraw the request if it has not flushed yet.
+
+        A cancelled request is removed from the queue before any compute
+        happens — the hedging front door cancels the losing duplicate this
+        way, so losers never reach the engine and never double-count
+        latency.  Returns ``True`` if the request was still pending.
+        """
+        return self._batcher._cancel(self)
+
     def _fulfill(self, value: np.ndarray, completed_at: float) -> None:
         self._value = value
         self.completed_at = completed_at
@@ -115,6 +135,7 @@ class _Request:
     right: np.ndarray   # destination / candidate node per pair
     times: np.ndarray   # query time per pair
     result: PendingResult
+    deadline: Optional[float] = None  # absolute clock time; None = no budget
 
     @property
     def pairs(self) -> int:
@@ -131,6 +152,8 @@ class BatcherStats:
     size_flushes: int = 0
     deadline_flushes: int = 0
     failed_flushes: int = 0
+    cancelled: int = 0    # withdrawn before flush (hedge losers)
+    expired: int = 0      # deadline ran out in the queue
 
     @property
     def mean_batch_pairs(self) -> float:
@@ -183,6 +206,9 @@ class MicroBatcher:
         self._queue: List[_Request] = []
         self._pending_pairs = 0
         self._oldest: Optional[float] = None
+        # EWMA of flush compute time (batcher clock) — the cluster's
+        # deadline-aware admission uses it to estimate time-to-completion
+        self.flush_ewma = 0.0
         self.stats = BatcherStats()
         self.latency = (
             LatencyHistogram(cap=histogram_cap)
@@ -201,19 +227,32 @@ class MicroBatcher:
         with self._lock:
             return self._pending_pairs
 
+    def estimate_wait(self) -> float:
+        """Expected queue-to-completion time for a request submitted now.
+
+        Worst-case queueing delay (``max_delay``) plus the EWMA flush cost
+        scaled by how full the current batch already is.  Deliberately
+        cheap and pessimistic: deadline-aware admission sheds on it.
+        """
+        with self._lock:
+            fill = self._pending_pairs / self.max_batch_pairs
+        return self.max_delay + self.flush_ewma * (1.0 + fill)
+
     # ----------------------------------------------------------------- submit
     def submit_rank(
-        self, src: int, candidates: np.ndarray, at_time: float
+        self, src: int, candidates: np.ndarray, at_time: float,
+        deadline: Optional[float] = None,
     ) -> PendingResult:
         """Queue a ``rank_candidates``-style request; returns raw scores."""
         candidates = np.asarray(candidates, dtype=np.int64)
         n = len(candidates)
         left = np.full(n, int(src), dtype=np.int64)
         times = np.full(n, float(at_time), dtype=np.float64)
-        return self._submit(_RANK, left, candidates, times)
+        return self._submit(_RANK, left, candidates, times, deadline=deadline)
 
     def submit_predict(
-        self, src: np.ndarray, dst: np.ndarray, times: np.ndarray
+        self, src: np.ndarray, dst: np.ndarray, times: np.ndarray,
+        deadline: Optional[float] = None,
     ) -> PendingResult:
         """Queue a ``predict_links``-style request; returns probabilities."""
         src = np.asarray(src, dtype=np.int64)
@@ -221,10 +260,11 @@ class MicroBatcher:
         times = np.asarray(times, dtype=np.float64)
         if not (len(src) == len(dst) == len(times)):
             raise ValueError("src, dst, times must align")
-        return self._submit(_PREDICT, src, dst, times)
+        return self._submit(_PREDICT, src, dst, times, deadline=deadline)
 
     def _submit(
-        self, kind: str, left: np.ndarray, right: np.ndarray, times: np.ndarray
+        self, kind: str, left: np.ndarray, right: np.ndarray, times: np.ndarray,
+        deadline: Optional[float] = None,
     ) -> PendingResult:
         if len(left) == 0:
             raise ValueError("empty request")
@@ -242,7 +282,9 @@ class MicroBatcher:
         with self._lock:
             now = self.clock()
             result = PendingResult(self, submitted_at=now)
-            self._queue.append(_Request(kind, left, right, times, result))
+            self._queue.append(
+                _Request(kind, left, right, times, result, deadline=deadline)
+            )
             self._pending_pairs += len(left)
             if self._oldest is None:
                 self._oldest = now
@@ -273,6 +315,28 @@ class MicroBatcher:
         with self._lock:
             return self._flush_locked()
 
+    def _cancel(self, result: PendingResult) -> bool:
+        """Withdraw ``result``'s request if still queued (see
+        :meth:`PendingResult.cancel`)."""
+        with self._lock:
+            for i, req in enumerate(self._queue):
+                if req.result is result:
+                    del self._queue[i]
+                    self._pending_pairs -= req.pairs
+                    self._oldest = (
+                        min(r.result.submitted_at for r in self._queue)
+                        if self._queue
+                        else None
+                    )
+                    self.stats.cancelled += 1
+                    now = self.clock()
+                    result.cancelled = True
+                    result._fail(RequestCancelled("request cancelled"), now)
+                    return True
+        # already dequeued: flushed (done) or being flushed right now —
+        # completion wins, the cancel is a no-op
+        return False
+
     def _flush_locked(self) -> int:
         if not self._queue:
             return 0
@@ -280,11 +344,30 @@ class MicroBatcher:
         self._pending_pairs = 0
         self._oldest = None
 
-        lefts = np.concatenate([r.left for r in batch])
-        rights = np.concatenate([r.right for r in batch])
-        times = np.concatenate([r.times for r in batch])
+        # deadline-expired requests are dropped before any compute: their
+        # caller already gave up on the budget, so embedding them would only
+        # steal batch capacity from requests that can still meet their SLO.
+        # Dropping rows is bitwise-safe for the survivors (dedup computes
+        # each unique (node, time) once regardless of batch composition).
+        now = self.clock()
+        live: List[_Request] = []
+        for req in batch:
+            if req.deadline is not None and now > req.deadline:
+                self.stats.expired += 1
+                req.result._fail(
+                    DeadlineExceeded("deadline exceeded in queue"), now
+                )
+            else:
+                live.append(req)
+        if not live:
+            return len(batch)
+
+        lefts = np.concatenate([r.left for r in live])
+        rights = np.concatenate([r.right for r in live])
+        times = np.concatenate([r.times for r in live])
+        started = now
         try:
-            with span("micro_batch", requests=len(batch), pairs=int(len(lefts))):
+            with span("micro_batch", requests=len(live), pairs=int(len(lefts))):
                 with self._engine_lock:
                     # one fused BatchPrep preparation over every endpoint of
                     # every queued pair — dedup/memoization amortize across
@@ -295,14 +378,19 @@ class MicroBatcher:
             # deliver the failure to every waiter — the batch was already
             # dequeued, so swallowing it here would strand them forever
             now = self.clock()
-            for req in batch:
+            for req in live:
                 req.result._fail(exc, now)
             self.stats.flushes += 1
             self.stats.failed_flushes += 1
             return len(batch)
         now = self.clock()
+        self.flush_ewma = (
+            max(0.0, now - started)
+            if self.flush_ewma == 0.0
+            else 0.8 * self.flush_ewma + 0.2 * max(0.0, now - started)
+        )
         offset = 0
-        for req in batch:
+        for req in live:
             out = scores[offset : offset + req.pairs]
             offset += req.pairs
             if req.kind == _PREDICT:

@@ -13,8 +13,22 @@ temporal graph.
 * **reads** (rank/predict queries) are routed to one replica, round-robin
   or least-loaded, multiplying the queueing capacity by ``k``;
 * **admission control** sheds requests once the cluster-wide queue exceeds
-  a limit, keeping tail latency bounded under overload (shed requests are
-  counted, not errored).
+  a limit — or, with a ``deadline`` budget configured, sheds exactly the
+  requests whose budget the routed replica cannot meet (deadline-aware
+  shedding), keeping tail latency bounded under overload;
+* **hedging** duplicates a request onto a second replica once it has been
+  in flight longer than a configurable latency quantile; the first result
+  wins and the loser is cancelled *before* it reaches the engine, so a
+  straggling replica cannot drag the tail.  Hedged and unhedged paths are
+  bitwise-identical because micro-batch composition never changes scores
+  (dedup computes each unique (node, time) once either way);
+* **elasticity** — :meth:`add_replica` seeds a new engine copy bitwise
+  from an existing replica and :meth:`remove_replica` drains the newest
+  one, so a :class:`repro.serve.ReplicaAutoscaler` can grow/shrink the
+  fleet under live traffic;
+* **hot swap** — :meth:`hot_swap` loads new model/decoder weights into the
+  shared parameters in place (serving memory carries across), the
+  train-while-serve path of :class:`repro.serve.ContinualLearner`.
 
 The replicas share one model, so replica fan-out here buys queueing/batching
 structure and state redundancy, not extra FLOPs — exactly the role the
@@ -27,7 +41,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -37,7 +51,7 @@ from ..infer.engine import InferenceEngine, InferenceStats
 from ..models.decoders import LinkPredictor
 from ..models.tgn import TGN
 from ..obs import get_registry, span
-from .batcher import MicroBatcher, PendingResult
+from .batcher import DeadlineExceeded, MicroBatcher, PendingResult
 from .ingest import EventLog, StreamIngestor, load_snapshot, save_snapshot
 from .metrics import LatencyHistogram
 
@@ -46,15 +60,129 @@ ROUTING_POLICIES = ("round_robin", "least_loaded")
 
 @dataclass
 class ClusterStats:
-    """Front-door accounting (admission + routing)."""
+    """Front-door accounting (admission + routing + hedging)."""
 
     submitted: int = 0
     shed: int = 0
+    shed_deadline: int = 0   # subset of shed: budget could not be met
+    completed: int = 0       # front-door requests that returned a value
+    expired: int = 0         # admitted but deadline ran out in the queue
+    hedged: int = 0          # requests that dispatched a duplicate
+    hedge_wins: int = 0      # hedges whose duplicate finished first
     routed: List[int] = field(default_factory=list)  # requests per replica
 
     @property
     def admitted(self) -> int:
         return self.submitted - self.shed
+
+
+class FrontRequest:
+    """Front-door handle over one admitted request (plus its hedge, if any).
+
+    Mirrors the :class:`PendingResult` surface (``done`` / ``value`` /
+    ``wait`` / ``latency``) so callers are agnostic to hedging.  ``wait``
+    drives :meth:`ServingCluster.poll`, which both meets batcher deadlines
+    and dispatches hedges — a fleet of blocked clients keeps the whole
+    front door making progress.
+    """
+
+    __slots__ = (
+        "_cluster", "_event", "_dispatch", "_primary", "_primary_index",
+        "_hedge", "_hedge_index", "_value", "_error", "_settled",
+        "submitted_at", "completed_at", "deadline", "hedged", "hedge_won",
+    )
+
+    def __init__(
+        self,
+        cluster: "ServingCluster",
+        dispatch: Callable[["ServingReplica"], PendingResult],
+        submitted_at: float,
+        deadline: Optional[float],
+    ) -> None:
+        self._cluster = cluster
+        self._event = threading.Event()
+        self._dispatch = dispatch
+        self._primary: Optional[PendingResult] = None
+        self._primary_index = -1
+        self._hedge: Optional[PendingResult] = None
+        self._hedge_index = -1
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self._settled = False
+        self.submitted_at = submitted_at
+        self.completed_at: Optional[float] = None
+        self.deadline = deadline
+        self.hedged = False
+        self.hedge_won = False
+
+    # ------------------------------------------------------------- inspect
+    @property
+    def done(self) -> bool:
+        return self._try_settle()
+
+    @property
+    def value(self) -> np.ndarray:
+        if not self._try_settle():
+            raise RuntimeError("request not completed yet; call wait() or poll()")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def latency(self) -> float:
+        """Submit-to-completion time in seconds (cluster clock)."""
+        if self.completed_at is None:
+            raise RuntimeError("request not completed yet")
+        return self.completed_at - self.submitted_at
+
+    def wait(self, timeout: Optional[float] = None, drive: bool = True) -> np.ndarray:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._try_settle():
+            if drive:
+                self._cluster.poll()
+            if self._event.wait(timeout=1e-4):
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("request not completed within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    # -------------------------------------------------------------- settle
+    def _try_settle(self) -> bool:
+        """Resolve the race between the primary and its hedge exactly once.
+
+        The first lane to complete *successfully* wins; the loser is
+        cancelled before it can reach the engine.  A failed lane only
+        settles the request once no other lane can still succeed.
+        """
+        cluster = self._cluster
+        with cluster._lock:
+            if self._settled:
+                return True
+            if self._primary is None:
+                return False  # dispatch still in flight on the submitter
+            winner = loser = None
+            hedge_won = False
+            for cand, is_hedge in ((self._primary, False), (self._hedge, True)):
+                if cand is not None and cand.done and cand._error is None:
+                    winner, hedge_won = cand, is_hedge
+                    loser = self._primary if is_hedge else self._hedge
+                    break
+            if winner is None:
+                prim, hedge = self._primary, self._hedge
+                if not prim.done or (hedge is not None and not hedge.done):
+                    return False  # a lane can still succeed
+                self._error = prim._error if not prim.cancelled else hedge._error
+                self.completed_at = prim.completed_at
+            else:
+                self._value = winner._value
+                self.completed_at = winner.completed_at
+                self.hedge_won = hedge_won
+            self._settled = True
+            self._event.set()
+            cluster._finish(self, loser)
+        return True
 
 
 class ServingReplica:
@@ -114,6 +242,25 @@ class ServingCluster:
         Reservoir cap for each replica's latency histogram (bounds the
         per-replica sample memory under sustained traffic; ``None`` keeps
         the :mod:`repro.obs.metrics` default).
+    deadline:
+        Default per-request completion budget in seconds.  A request is
+        shed at admission when the routed replica's estimated wait already
+        exceeds the budget, and expired (failed with
+        :class:`DeadlineExceeded`) if the budget runs out in the queue.
+        ``None`` disables deadlines; an explicit ``deadline=`` on submit
+        overrides per request.
+    hedge_quantile:
+        Arm hedged dispatch: a request in flight longer than this
+        percentile of the front-door latency reservoir (e.g. ``99.0``) is
+        duplicated onto a second replica — first result wins, the loser is
+        cancelled before compute.  ``None`` disables hedging.
+    hedge_min_delay:
+        Floor for the hedge delay in seconds (guards against a cold/noisy
+        reservoir triggering hedges instantly).
+    auto_truncate_wal:
+        Drop WAL batches every consumer has passed after each ingest
+        (replicas fold synchronously, so without held cursors the floor is
+        the full WAL).  See :meth:`hold_wal_cursor`.
     """
 
     def __init__(
@@ -131,6 +278,10 @@ class ServingCluster:
         dedup: bool = True,
         memoize_time: bool = True,
         histogram_cap: Optional[int] = None,
+        deadline: Optional[float] = None,
+        hedge_quantile: Optional[float] = None,
+        hedge_min_delay: float = 5e-4,
+        auto_truncate_wal: bool = False,
     ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -146,43 +297,71 @@ class ServingCluster:
         self._router = ROUTERS.get(policy)
         if admission_limit is not None and admission_limit < 1:
             raise ValueError("admission_limit must be positive (or None)")
+        if deadline is not None and not deadline > 0:
+            raise ValueError("deadline must be positive (or None)")
+        if hedge_quantile is not None and not (0 < hedge_quantile < 100):
+            raise ValueError("hedge_quantile must be in (0, 100) (or None)")
+        self.model = model
+        self.decoder = decoder
         self.graph = graph
         self.policy = policy
         self.admission_limit = admission_limit
+        self.deadline = deadline
+        self.hedge_quantile = hedge_quantile
+        self.hedge_min_delay = hedge_min_delay
+        self.auto_truncate_wal = auto_truncate_wal
+        self.clock = clock
+        self.model_version = 0
+        self._dedup = dedup
+        self._memoize_time = memoize_time
+        self._max_batch_pairs = max_batch_pairs
+        self._max_delay = max_delay
+        self._histogram_cap = histogram_cap
         self._lock = threading.RLock()          # front door (routing + shed)
         self._engine_lock = threading.RLock()   # serializes shared-model compute
         self._rr = 0
+        self._inflight: List[FrontRequest] = []
+        self._draining: List[ServingReplica] = []  # removed, not yet empty
+        self._wal_cursors: Dict[str, int] = {}
+        self.request_latency = (
+            LatencyHistogram(cap=histogram_cap)
+            if histogram_cap is not None
+            else LatencyHistogram()
+        )
 
         # one sampler shared by all replicas: the CSR cache is rebuilt once
         # per graph append, not once per replica
-        sampler = RecentNeighborSampler(graph, k=model.config.num_neighbors)
+        self._sampler = RecentNeighborSampler(graph, k=model.config.num_neighbors)
         self.replicas: List[ServingReplica] = []
-        for r in range(k):
-            engine = InferenceEngine(
-                model,
-                graph,
-                decoder=decoder,
-                sampler=sampler,
-                dedup=dedup,
-                memoize_time=memoize_time,
-                append_on_observe=False,  # the ingestor appends exactly once
-            )
-            self.replicas.append(
-                ServingReplica(
-                    r,
-                    engine,
-                    max_batch_pairs,
-                    max_delay,
-                    clock,
-                    self._engine_lock,
-                    histogram_cap=histogram_cap,
-                )
-            )
+        for _ in range(k):
+            self._build_replica()
         self.wal = EventLog(edge_dim=graph.edge_dim)
         self.ingestor = StreamIngestor(
             graph, [rep.engine for rep in self.replicas], wal=self.wal
         )
         self.stats = ClusterStats(routed=[0] * k)
+
+    def _build_replica(self) -> ServingReplica:
+        engine = InferenceEngine(
+            self.model,
+            self.graph,
+            decoder=self.decoder,
+            sampler=self._sampler,
+            dedup=self._dedup,
+            memoize_time=self._memoize_time,
+            append_on_observe=False,  # the ingestor appends exactly once
+        )
+        rep = ServingReplica(
+            len(self.replicas),
+            engine,
+            self._max_batch_pairs,
+            self._max_delay,
+            self.clock,
+            self._engine_lock,
+            histogram_cap=self._histogram_cap,
+        )
+        self.replicas.append(rep)
+        return rep
 
     # ---------------------------------------------------------------- writes
     def ingest(
@@ -200,27 +379,80 @@ class ServingCluster:
         registry = get_registry()
         registry.counter("serve/ingested_events").add(float(len(src)))
         registry.counter("serve/ingest_batches").add()
+        if self.auto_truncate_wal:
+            self.truncate_wal()
         return offset
+
+    # ------------------------------------------------------------ WAL cursors
+    def hold_wal_cursor(self, name: str, offset: int) -> None:
+        """Register a consumer at logical WAL ``offset``: truncation never
+        drops events at or past the minimum held cursor.  The
+        :class:`ContinualLearner` holds one while a refit drains the WAL;
+        re-holding the same name moves it."""
+        with self._lock:
+            self._wal_cursors[name] = int(offset)
+
+    def release_wal_cursor(self, name: str) -> None:
+        with self._lock:
+            self._wal_cursors.pop(name, None)
+
+    def wal_cursor_floor(self) -> int:
+        """The minimum catch-up cursor across consumers.
+
+        Replicas fold every batch synchronously inside :meth:`ingest`, so
+        their cursor is always ``len(wal)``; held cursors (refits in
+        flight, external tailers) lower the floor.
+        """
+        with self._lock:
+            cursors = list(self._wal_cursors.values())
+        return min(cursors + [len(self.wal)])
+
+    def truncate_wal(self) -> int:
+        """Drop WAL batches below the cursor floor; returns events dropped."""
+        before = self.wal.base_offset
+        self.wal.truncate_until(self.wal_cursor_floor())
+        dropped = self.wal.base_offset - before
+        if dropped:
+            get_registry().counter("serve/wal_truncated_events").add(float(dropped))
+        get_registry().gauge("serve/wal_held_events").set(float(len(self.wal) - self.wal.base_offset))
+        return dropped
 
     # ----------------------------------------------------------------- reads
     def submit_rank(
-        self, src: int, candidates: np.ndarray, at_time: float
-    ) -> Optional[PendingResult]:
+        self, src: int, candidates: np.ndarray, at_time: float,
+        deadline: Optional[float] = None,
+    ) -> Optional[FrontRequest]:
         """Route a ranking query; ``None`` means it was load-shed."""
-        return self._route(lambda rep: rep.batcher.submit_rank(src, candidates, at_time))
+        candidates = np.asarray(candidates, dtype=np.int64)
+        return self._route(
+            lambda rep, dl: rep.batcher.submit_rank(
+                src, candidates, at_time, deadline=dl
+            ),
+            deadline,
+        )
 
     def submit_predict(
-        self, src: np.ndarray, dst: np.ndarray, times: np.ndarray
-    ) -> Optional[PendingResult]:
+        self, src: np.ndarray, dst: np.ndarray, times: np.ndarray,
+        deadline: Optional[float] = None,
+    ) -> Optional[FrontRequest]:
         """Route a link-probability query; ``None`` means it was load-shed."""
-        return self._route(lambda rep: rep.batcher.submit_predict(src, dst, times))
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        return self._route(
+            lambda rep, dl: rep.batcher.submit_predict(src, dst, times, deadline=dl),
+            deadline,
+        )
 
-    def _route(self, submit) -> Optional[PendingResult]:
+    def _route(self, submit, deadline: Optional[float]) -> Optional[FrontRequest]:
         # only the routing/admission *decision* runs under the front-door
         # lock; the submit itself happens outside it because a size-triggered
         # flush runs a full model forward, and holding the cluster lock
         # through that would stall every other replica's front door
         registry = get_registry()
+        now = self.clock()
+        if deadline is None and self.deadline is not None:
+            deadline = now + self.deadline
         with self._lock:
             self.stats.submitted += 1
             registry.counter("serve/submitted").add()
@@ -232,8 +464,103 @@ class ServingCluster:
                 registry.counter("serve/shed").add()
                 return None
             replica = self._router(self)
+            if deadline is not None and now + replica.batcher.estimate_wait() > deadline:
+                # deadline-aware shedding: the routed replica cannot meet
+                # the budget, so refusing now is strictly better than
+                # queueing work that will expire before it flushes
+                self.stats.shed += 1
+                self.stats.shed_deadline += 1
+                registry.counter("serve/shed").add()
+                registry.counter("serve/shed_deadline").add()
+                return None
             self.stats.routed[replica.index] += 1
-        return submit(replica)
+            front = FrontRequest(
+                self,
+                lambda rep: submit(rep, deadline),
+                submitted_at=now,
+                deadline=deadline,
+            )
+            front._primary_index = replica.index
+            self._inflight.append(front)
+        front._primary = front._dispatch(replica)
+        return front
+
+    def _finish(self, front: FrontRequest, loser: Optional[PendingResult]) -> None:
+        """Settle-time bookkeeping (called by ``FrontRequest._try_settle``
+        under the front-door lock): record latency exactly once, count the
+        outcome, cancel the losing hedge lane."""
+        try:
+            self._inflight.remove(front)
+        except ValueError:
+            pass
+        registry = get_registry()
+        if front._error is None:
+            self.stats.completed += 1
+            registry.counter("serve/completed").add()
+            self.request_latency.record(max(0.0, front.latency))
+            if front.hedge_won:
+                self.stats.hedge_wins += 1
+                registry.counter("serve/hedge_wins").add()
+        elif isinstance(front._error, DeadlineExceeded):
+            self.stats.expired += 1
+            registry.counter("serve/expired").add()
+        if loser is not None and not loser.done:
+            loser.cancel()
+
+    # ---------------------------------------------------------------- hedging
+    def hedge_delay(self) -> Optional[float]:
+        """Seconds in flight before a request is hedged (``None`` = off).
+
+        Reads the configured quantile from the front-door latency
+        reservoir; falls back to the batcher deadline while the reservoir
+        is cold so early traffic neither hedges instantly nor never.
+        """
+        if self.hedge_quantile is None:
+            return None
+        if self.request_latency.count >= 16:
+            return max(
+                self.hedge_min_delay,
+                self.request_latency.percentile(self.hedge_quantile),
+            )
+        return max(self.hedge_min_delay, self._max_delay)
+
+    def _sweep(self) -> None:
+        """Settle finished front requests and dispatch due hedges."""
+        with self._lock:
+            inflight = list(self._inflight)
+        if not inflight:
+            return
+        now = self.clock()
+        delay = self.hedge_delay()
+        registry = get_registry()
+        for front in inflight:
+            if front._try_settle():
+                continue
+            if (
+                delay is not None
+                and front._hedge is None
+                and len(self.replicas) > 1
+                and now - front.submitted_at >= delay
+            ):
+                with self._lock:
+                    if front._settled or front._hedge is not None:
+                        continue
+                    # least-loaded among the *other* replicas — hedging to
+                    # the straggler itself would be pointless
+                    others = [
+                        rep for rep in self.replicas
+                        if rep.index != front._primary_index
+                    ]
+                    if not others:
+                        continue
+                    target = min(others, key=lambda rep: (rep.load, rep.index))
+                    front.hedged = True
+                    front._hedge_index = target.index
+                    self.stats.hedged += 1
+                    registry.counter("serve/hedged").add()
+                # the duplicate submit runs outside the front-door lock
+                # (it may size-trigger a full flush)
+                front._hedge = front._dispatch(target)
 
     # ------------------------------------------------------------- batch mgmt
     @property
@@ -241,12 +568,103 @@ class ServingCluster:
         return sum(rep.load for rep in self.replicas)
 
     def poll(self) -> int:
-        """Deadline-check every replica's batcher; returns requests flushed."""
-        return sum(rep.batcher.poll() for rep in self.replicas)
+        """Drive the cluster: batcher deadlines, hedges, settlement.
+
+        Returns the number of batcher requests flushed.
+        """
+        flushed = sum(rep.batcher.poll() for rep in self.replicas)
+        for rep in list(self._draining):
+            rep.batcher.flush()
+            self._draining.remove(rep)
+        self._sweep()
+        return flushed
 
     def flush_all(self) -> int:
         """Force-flush every replica (drain at shutdown)."""
-        return sum(rep.batcher.flush() for rep in self.replicas)
+        flushed = sum(rep.batcher.flush() for rep in self.replicas)
+        for rep in list(self._draining):
+            flushed += rep.batcher.flush()
+            self._draining.remove(rep)
+        self._sweep()
+        return flushed
+
+    # -------------------------------------------------------------- elasticity
+    def add_replica(self) -> ServingReplica:
+        """Grow the fleet by one replica, seeded bitwise from replica 0.
+
+        Replaying the WAL from zero would rebuild the same state, but the
+        WAL may already be truncated — the running replicas *are* the
+        state, so the new engine copies memory/mailbox arrays from an
+        existing copy (bitwise-identical by construction) and starts
+        answering immediately.
+        """
+        with self._engine_lock, self._lock:
+            src = self.replicas[0].engine
+            rep = self._build_replica()
+            eng = rep.engine
+            eng.memory.memory[...] = src.memory.memory
+            eng.memory.last_update[...] = src.memory.last_update
+            eng.mailbox.mail[...] = src.mailbox.mail
+            eng.mailbox.mail_time[...] = src.mailbox.mail_time
+            eng.mailbox.has_mail[...] = src.mailbox.has_mail
+            self.ingestor.engines.append(eng)
+            self.stats.routed.append(0)
+        registry = get_registry()
+        registry.counter("serve/replicas_added").add()
+        registry.gauge("serve/replicas").set(float(len(self.replicas)))
+        return rep
+
+    def remove_replica(self) -> ServingReplica:
+        """Shrink the fleet by draining and retiring the newest replica.
+
+        The retired batcher keeps getting flushed by :meth:`poll` /
+        :meth:`flush_all` until empty, so in-flight work admitted during
+        the scale-down still completes.
+        """
+        with self._engine_lock, self._lock:
+            if len(self.replicas) <= 1:
+                raise ValueError("cannot remove the last replica")
+            rep = self.replicas.pop()
+            self.ingestor.engines.remove(rep.engine)
+            rep.batcher.flush()
+            if rep.batcher.pending_requests:
+                self._draining.append(rep)
+        registry = get_registry()
+        registry.counter("serve/replicas_removed").add()
+        registry.gauge("serve/replicas").set(float(len(self.replicas)))
+        return rep
+
+    # --------------------------------------------------------------- hot swap
+    def hot_swap(
+        self,
+        model_blob: bytes,
+        decoder_blob: Optional[bytes] = None,
+        *,
+        version: Optional[int] = None,
+    ) -> int:
+        """Load new model/decoder weights into the live fleet in place.
+
+        Queued work is flushed against the old weights first, then
+        ``Module.from_bytes`` overwrites the shared parameter arrays (the
+        compiled serving tapes read weights by reference, so they stay
+        valid) and every engine refreshes its precomputed static
+        projection.  Serving memory/mailbox state carries across — a swap
+        changes the *model*, not the streamed history.
+        """
+        with self._engine_lock:
+            self.flush_all()
+            self.model.from_bytes(model_blob)
+            if decoder_blob is not None:
+                self.decoder.from_bytes(decoder_blob)
+            for rep in self.replicas:
+                rep.engine.refresh_weights()
+            self.model_version = (
+                version if version is not None else self.model_version + 1
+            )
+        registry = get_registry()
+        registry.counter("serve/hot_swaps").add()
+        registry.gauge("serve/model_version").set(float(self.model_version))
+        return self.model_version
 
     # ------------------------------------------------------------ observability
     def inference_stats(self) -> InferenceStats:
@@ -261,7 +679,21 @@ class ServingCluster:
         return total
 
     def latency(self) -> LatencyHistogram:
-        """Merged request-latency histogram across replicas."""
+        """The front-door request-latency histogram.
+
+        Recorded exactly once per completed admitted request — hedged
+        requests contribute the winning lane only, so the reservoir the
+        p50/p99/p99.9 columns and the hedge delay read from never
+        double-counts.  :meth:`replica_latency` keeps the per-batcher view.
+        """
+        if self.request_latency.count:
+            return self.request_latency
+        # cold front door (e.g. raw batcher access in older callers):
+        # fall back to the per-replica histograms so latency() never lies
+        return self.replica_latency()
+
+    def replica_latency(self) -> LatencyHistogram:
+        """Merged per-replica batcher latency histogram."""
         merged = LatencyHistogram()
         for rep in self.replicas:
             merged.merge(rep.batcher.latency)
@@ -270,9 +702,9 @@ class ServingCluster:
     def export_metrics(self) -> dict:
         """Fold cluster state into the shared registry; returns its snapshot.
 
-        The merged replica latency histogram lands under
-        ``serve/latency_s`` next to the ``serve/*`` counters the front door
-        maintains, giving one export path for the whole process.
+        The front-door latency histogram lands under ``serve/latency_s``
+        next to the ``serve/*`` counters the front door maintains, giving
+        one export path for the whole process.
         """
         registry = get_registry()
         latency = self.latency()
@@ -282,6 +714,7 @@ class ServingCluster:
             )
         registry.gauge("serve/pending_requests").set(float(self.pending_requests))
         registry.gauge("serve/replicas").set(float(len(self.replicas)))
+        registry.gauge("serve/model_version").set(float(self.model_version))
         return registry.snapshot()
 
     # ---------------------------------------------------------------- state

@@ -250,11 +250,6 @@ def write_snapshot(
     interchangeable whenever their serving states agree.
     """
     path = Path(path)
-    if wal.base_offset != 0:
-        raise ValueError(
-            "cannot snapshot a truncated WAL (a restore could no longer "
-            "rebuild the graph); snapshot first, truncate after"
-        )
     arrays = {}
     base_events = graph.num_events - len(wal)
     meta = {
@@ -270,7 +265,20 @@ def write_snapshot(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
 
-    src, dst, times, feats = wal.arrays()
+    if wal.base_offset == 0:
+        src, dst, times, feats = wal.arrays()
+    else:
+        # truncated WAL: the graph's event tail holds the same logical
+        # content byte-for-byte (chronological ingest keeps append order
+        # stable through the graph's sort), so cursor-driven truncation
+        # never costs snapshotability.  Restore replays structure only,
+        # so the lost batch boundaries don't matter.
+        src = graph.src[base_events:]
+        dst = graph.dst[base_events:]
+        times = graph.timestamps[base_events:]
+        feats = (
+            graph.edge_feats[base_events:] if graph.edge_feats is not None else None
+        )
     arrays["wal/src"] = src
     arrays["wal/dst"] = dst
     arrays["wal/time"] = times

@@ -64,6 +64,8 @@ class LoadReport:
     flushes: int
     mean_batch_pairs: float
     routed: List[int]
+    p999: float = 0.0          # seconds; reads the same latency reservoir
+    hedge_rate: float = 0.0    # hedged / admitted (threaded front door)
 
     def row(self, label: str) -> list:
         """One table row (CLI/bench display, latencies in ms)."""
@@ -74,11 +76,16 @@ class LoadReport:
             f"{self.qps:.0f}",
             f"{self.p50 * 1e3:.2f}",
             f"{self.p99 * 1e3:.2f}",
+            f"{self.p999 * 1e3:.2f}",
+            f"{self.hedge_rate:.1%}",
             f"{self.dedup_ratio:.1%}",
             f"{self.mean_batch_pairs:.0f}",
         ]
 
-    ROW_HEADERS = ["config", "ok", "shed", "qps", "p50 ms", "p99 ms", "dedup", "pairs/flush"]
+    ROW_HEADERS = [
+        "config", "ok", "shed", "qps", "p50 ms", "p99 ms", "p99.9 ms",
+        "hedge%", "dedup", "pairs/flush",
+    ]
 
 
 def build_queries(
@@ -198,6 +205,11 @@ def run_load(
             sum(s.pairs for s in batch_pairs) / max(1, sum(s.flushes for s in batch_pairs))
         ),
         routed=list(cluster.stats.routed),
+        p999=lat.percentile(99.9),
+        hedge_rate=(
+            getattr(cluster.stats, "hedged", 0)
+            / max(1, cluster.stats.submitted - cluster.stats.shed)
+        ),
     )
 
 

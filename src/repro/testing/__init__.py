@@ -22,6 +22,7 @@ __all__ = [
     "ChaosReport",
     "chaos_fit",
     "differential_chaos_fit",
+    "differential_chaos_serve",
     "assert_sessions_bitwise_equal",
 ]
 
@@ -29,6 +30,7 @@ _CHAOS_NAMES = {
     "ChaosReport",
     "chaos_fit",
     "differential_chaos_fit",
+    "differential_chaos_serve",
     "assert_sessions_bitwise_equal",
 }
 

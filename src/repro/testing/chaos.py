@@ -187,6 +187,78 @@ def _compare_results(a, b) -> List[str]:
     return diffs
 
 
+def differential_chaos_serve(
+    config: ExperimentConfig,
+    faults: Dict[str, Tuple[str, Optional[int]]],
+    *,
+    replicas: int = 2,
+    queries_per_phase: int = 3,
+    candidates: int = 8,
+    ingest_chunks: int = 2,
+    fit_iterations: Optional[int] = 6,
+    timeout: float = 60.0,
+) -> ChaosReport:
+    """The serving recovery oracle: a faulted process fleet vs. a clean
+    single-replica threaded cluster on the same request/ingest schedule.
+
+    ``faults`` arms ``serve.replica`` failpoints (e.g.
+    ``{"serve.replica:2": ("crash", 1)}`` SIGKILLs replica 1 on its second
+    request) around a :class:`~repro.runtime.serving.ProcessServingCluster`
+    run that interleaves ingest batches with ranking queries.  A killed
+    replica is respawned, caught up from the graph tail, and its
+    outstanding requests replayed — so every response must still match the
+    unfaulted reference **byte for byte** (each query is flushed alone on
+    both sides, pinning batch composition).  The report's
+    ``faulted_result`` carries the process cluster's stats (recoveries,
+    completions) for assertions beyond equality.
+    """
+    sess = Session(config)
+    sess.fit(max_iterations=fit_iterations)
+    chunks = list(sess.held_out_stream())[:ingest_chunks]
+    rng_seed = config.data.seed + 99
+
+    def run_schedule(cluster, wait_timeout: float) -> List[bytes]:
+        rng = np.random.default_rng(rng_seed)
+        blobs: List[bytes] = []
+        for phase in range(len(chunks) + 1):
+            if phase > 0:
+                cluster.ingest(*chunks[phase - 1])
+            for _ in range(queries_per_phase):
+                src = int(rng.integers(0, cluster.graph.num_nodes))
+                cands = rng.integers(0, cluster.graph.num_nodes, size=candidates)
+                at = float(cluster.graph.timestamps[-1]) + 1.0
+                handle = cluster.submit_rank(src, cands, at)
+                cluster.flush_all()
+                blobs.append(handle.wait(wait_timeout).tobytes())
+        return blobs
+
+    with failpoints.scoped(faults):
+        with sess.serve(
+            replicas=replicas, process_replicas=True, max_delay_ms=10_000.0
+        ) as proc:
+            faulted = run_schedule(proc, timeout)
+            proc_stats = proc.stats
+
+    reference = run_schedule(sess.serve(replicas=1, max_delay_ms=10_000.0), timeout)
+
+    differences = [
+        f"query {i}: faulted response differs from reference"
+        for i, (a, b) in enumerate(zip(faulted, reference))
+        if a != b
+    ]
+    if len(faulted) != len(reference):
+        differences.append(
+            f"response count differs: {len(faulted)} vs {len(reference)}"
+        )
+    return ChaosReport(
+        recovered=len(faulted) == (len(chunks) + 1) * queries_per_phase,
+        bitwise_equal=not differences,
+        differences=differences,
+        faulted_result=proc_stats,
+        reference_result=None,
+    )
+
+
 def assert_sessions_bitwise_equal(a: Session, b: Session) -> None:
     """Raise ``AssertionError`` listing every state difference, if any."""
     diffs = compare_sessions(a, b)

@@ -105,6 +105,8 @@ class TrainerSpec:
     updater: str = "gru"            # memory updater (UPDT ablation choice)
     compile: bool = False           # trace-and-replay step compiler (nn.tape);
                                     # the REPRO_COMPILE env var overrides
+    train_frac: float = 0.70        # chronological split boundaries; continual
+    val_frac: float = 0.15          # refits move them to absorb WAL events
 
 
 @dataclass
@@ -207,7 +209,9 @@ class DistTGLTrainer:
         self.rank_rng = derive_rng(self.spec.seed, rank)
         graph = dataset.graph
         self.graph = graph
-        self.split = graph.chronological_split()
+        self.split = graph.chronological_split(
+            train_frac=self.spec.train_frac, val_frac=self.spec.val_frac
+        )
         # sampler and model keys resolve through the repro.api registries —
         # builtins ('recent', 'tgn') and plug-ins take the same path (lazy
         # import: the api package depends on this module, not vice versa)

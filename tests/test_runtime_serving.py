@@ -116,7 +116,7 @@ class TestBitIdenticalServing:
 
     def test_shutdown_is_idempotent_and_releases_workers(self, fitted_session):
         proc = fitted_session.serve(replicas=2, process_replicas=True)
-        procs = list(proc._group.processes)
+        procs = [link.proc for link in proc.replicas]
         proc.shutdown()
         proc.shutdown()
         assert all(not p.is_alive() for p in procs)

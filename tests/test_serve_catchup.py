@@ -228,11 +228,27 @@ class TestBoundaryCursors:
             live.replicas[0].engine.mailbox.mail,
         )
 
-    def test_snapshot_of_truncated_wal_is_refused(self, tmp_path):
+    def test_snapshot_of_truncated_wal_round_trips(self, tmp_path):
+        """Truncation no longer costs snapshotability: the graph tail holds
+        the WAL's logical content, so a truncated cluster snapshots and
+        restores bitwise like an untruncated one."""
         model, decoder, full, serve_graph, split = toy_serving_setup(seed=4)
         live = build_cluster(model, decoder, serve_graph)
         for chunk in stream_chunks(full, split, limit=2):
             live.ingest(*chunk)
         live.wal.truncate_until(len(live.wal))
-        with pytest.raises(ValueError, match="truncated WAL"):
-            live.save(tmp_path / "snap.npz")
+        path = live.save(tmp_path / "snap.npz")
+
+        model2, decoder2, _, serve_graph2, _ = toy_serving_setup(seed=4)
+        restored = build_cluster(model2, decoder2, serve_graph2)
+        restored.restore(path)
+        np.testing.assert_array_equal(
+            restored.replicas[0].engine.memory.memory,
+            live.replicas[0].engine.memory.memory,
+        )
+        np.testing.assert_array_equal(
+            restored.graph.src, live.graph.src
+        )
+        np.testing.assert_array_equal(
+            restored.graph.timestamps, live.graph.timestamps
+        )

@@ -1,0 +1,66 @@
+"""Serving fault injection: a SIGKILLed replica must recover bitwise.
+
+``differential_chaos_serve`` runs the same ingest/query schedule against a
+faulted process fleet and a clean single-replica threaded cluster; each
+query flushes alone on both sides, pinning micro-batch composition, so the
+comparison is exact byte equality — the serving analogue of the training
+recovery oracle in ``test_runtime_recovery``.
+"""
+
+from repro import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ParallelConfig,
+    ServeConfig,
+    TrainConfig,
+)
+from repro.testing import differential_chaos_serve
+
+TINY = ExperimentConfig(
+    data=DataConfig(dataset="wikipedia", scale=0.004, seed=0),
+    model=ModelConfig(memory_dim=8, time_dim=8, embed_dim=8),
+    parallel=ParallelConfig(1, 1, 2),
+    train=TrainConfig(epochs=1, batch_size=50, eval_candidates=10),
+    serve=ServeConfig(replicas=2, max_batch_pairs=10 ** 6, max_delay_ms=1e5),
+)
+
+
+class TestServingChaos:
+    def test_replica_crash_recovers_bitwise(self):
+        """SIGKILL replica 1 on its second request, mid-schedule: the fleet
+        respawns it, catches it up from the graph tail, replays the
+        outstanding request, and every response still matches the unfaulted
+        reference exactly."""
+        report = differential_chaos_serve(
+            TINY,
+            {"serve.replica:2": ("crash", 1)},
+            queries_per_phase=2,
+            ingest_chunks=2,
+            fit_iterations=6,
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences
+        assert report.faulted_result.recoveries >= 1
+
+    def test_crash_after_ingest_replays_caught_up_state(self):
+        """Killing a replica in a later phase (after WAL folds) exercises
+        catch-up over ingested events, not just the base slice."""
+        report = differential_chaos_serve(
+            TINY,
+            {"serve.replica:3": ("crash", 0)},
+            queries_per_phase=2,
+            ingest_chunks=2,
+            fit_iterations=6,
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences
+        assert report.faulted_result.recoveries >= 1
+
+    def test_unfaulted_schedule_is_a_clean_baseline(self):
+        report = differential_chaos_serve(
+            TINY, {}, queries_per_phase=2, ingest_chunks=1, fit_iterations=6
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences
+        assert report.faulted_result.recoveries == 0

@@ -1,0 +1,168 @@
+"""Train-while-serve: WAL drain, warm-started refit, bitwise-verified
+hot-swap, and cursor-gated truncation.
+
+The learner's contract is the strong one: after every refit the live fleet
+must answer probe queries byte-identically to a ``Session.load`` of the
+exported checkpoint directory — ``refit_and_swap`` raises otherwise, so
+``report.verified`` doubles as the parity assertion.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    ParallelConfig,
+    ServeConfig,
+    Session,
+    TrainConfig,
+)
+from repro.serve import ContinualLearner
+
+TINY = ExperimentConfig(
+    data=DataConfig(dataset="wikipedia", scale=0.004, seed=0),
+    model=ModelConfig(memory_dim=8, time_dim=8, embed_dim=8),
+    parallel=ParallelConfig(1, 1, 2),
+    train=TrainConfig(epochs=1, batch_size=50, eval_candidates=10),
+    serve=ServeConfig(
+        replicas=1, max_batch_pairs=10 ** 6, max_delay_ms=1e5,
+        wal_auto_truncate=True, refit_interval_events=25, refit_epochs=1,
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    sess = Session(TINY)
+    sess.fit(max_iterations=8)
+    return sess
+
+
+def ingest_chunks(sess, cluster, n):
+    chunks = list(sess.held_out_stream(chunk=30))[:n]
+    for chunk in chunks:
+        cluster.ingest(*chunk)
+    return sum(len(c[0]) for c in chunks)
+
+
+class TestRefitAndSwap:
+    def test_refit_swaps_and_verifies_bitwise(self, fitted, tmp_path):
+        cluster = fitted.serve(replicas=2)
+        learner = ContinualLearner(
+            fitted, cluster, workdir=tmp_path, probe_queries=2,
+            probe_candidates=6,
+        )
+        assert learner.version == 0 and learner.pending_events == 0
+
+        ingested = ingest_chunks(fitted, cluster, 2)
+        assert learner.pending_events == ingested
+
+        report = learner.refit_and_swap()
+        assert report.verified                    # bitwise parity held
+        assert report.version == 1 == cluster.model_version
+        assert report.drained_events == ingested
+        assert report.cursor == len(cluster.wal)
+        assert learner.pending_events == 0
+        assert np.isfinite(report.train_loss)
+        # the export is a loadable session directory carrying the refit
+        # weights under the BASE config
+        ref = Session.load(report.checkpoint_dir)
+        assert ref.model.to_bytes() == learner.current_blobs[0]
+        assert ref.decoder.to_bytes() == learner.current_blobs[1]
+
+        # a second round keeps versioning forward on the same cursor chain
+        ingest_chunks(fitted, cluster, 1)
+        second = learner.maybe_refit()
+        assert second is not None and second.version == 2
+        assert second.cursor > report.cursor
+        assert learner.reports == [report, second]
+        learner.detach()
+
+    def test_maybe_refit_paces_by_interval(self, fitted, tmp_path):
+        cluster = fitted.serve(replicas=1)
+        learner = ContinualLearner(
+            fitted, cluster, workdir=tmp_path, interval_events=10 ** 6,
+            probe_queries=1, probe_candidates=4,
+        )
+        ingest_chunks(fitted, cluster, 1)
+        assert learner.maybe_refit() is None      # below the interval
+        assert cluster.model_version == 0
+        learner.detach()
+
+    def test_refit_requires_streamed_events(self, fitted, tmp_path):
+        cluster = fitted.serve(replicas=1)
+        learner = ContinualLearner(fitted, cluster, workdir=tmp_path)
+        with pytest.raises(RuntimeError, match="streamed events"):
+            learner.refit_and_swap()
+        learner.detach()
+
+
+class TestWalCursor:
+    def test_held_cursor_blocks_truncation_until_drain(self, fitted, tmp_path):
+        cluster = fitted.serve(replicas=1)  # wal_auto_truncate=True in TINY
+        learner = ContinualLearner(
+            fitted, cluster, workdir=tmp_path, probe_queries=1,
+            probe_candidates=4,
+        )
+        ingest_chunks(fitted, cluster, 2)
+        # the learner's cursor sits at 0, so auto-truncation dropped nothing
+        assert cluster.wal.base_offset == 0
+
+        report = learner.refit_and_swap()
+        # the drain advanced the cursor; the next ingest may now truncate
+        # every batch the refit consumed
+        ingest_chunks(fitted, cluster, 1)
+        assert cluster.wal.base_offset == report.cursor
+        assert learner.pending_events == len(cluster.wal) - report.cursor
+
+        # detaching releases the cursor: the floor jumps to the WAL head
+        learner.detach()
+        cluster.truncate_wal()
+        assert cluster.wal.base_offset == len(cluster.wal)
+
+    def test_learner_recovers_events_truncated_before_attach(
+        self, fitted, tmp_path
+    ):
+        """A learner attached to a cluster whose WAL already truncated must
+        still refit over the full stream — it recovers the dropped prefix
+        from the graph tail (the graph never truncates)."""
+        cluster = fitted.serve(replicas=1)
+        ingested = ingest_chunks(fitted, cluster, 2)
+        cluster.truncate_wal()                    # no cursors held -> all gone
+        assert cluster.wal.base_offset == ingested
+
+        learner = ContinualLearner(
+            fitted, cluster, workdir=tmp_path, probe_queries=1,
+            probe_candidates=4,
+        )
+        assert learner.pending_events == 0        # prefix already accumulated
+        ingest_chunks(fitted, cluster, 1)
+        report = learner.refit_and_swap()
+        assert report.verified
+        # train_events spans base + the full stream, truncated prefix included
+        base = fitted.trainer.split.train_end
+        assert report.train_events > base + report.drained_events
+        learner.detach()
+
+
+class TestProcessBackend:
+    def test_refit_swaps_into_process_fleet(self, fitted, tmp_path):
+        """The same learner drives a process fleet: drain, refit, hot-swap
+        over the wire, and cross-backend snapshot verification."""
+        with fitted.serve(replicas=2, process_replicas=True) as cluster:
+            learner = ContinualLearner(
+                fitted, cluster, workdir=tmp_path, probe_queries=2,
+                probe_candidates=6,
+            )
+            ingest_chunks(fitted, cluster, 2)
+            report = learner.refit_and_swap()
+            assert report.verified
+            assert cluster.model_version == 1
+            # the swapped fleet keeps serving
+            t = float(cluster.graph.timestamps[-1]) + 1.0
+            handle = cluster.submit_rank(3, np.arange(5, 11), t)
+            cluster.flush_all()
+            assert np.all(np.isfinite(handle.wait(30.0)))
+            learner.detach()

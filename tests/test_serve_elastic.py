@@ -1,0 +1,278 @@
+"""Elastic serving: the autoscaler control loop and hedged-request
+determinism.
+
+Scaling and hedging both touch the bitwise-serving contract: a replica
+added mid-flight must answer exactly like the fleet it joined, and a hedge
+must return byte-identical scores to the unhedged path (both sides flush
+singleton batches here, pinning micro-batch composition).  Everything runs
+on a fake clock — no sleeps, no wall-clock races.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.serve import ReplicaAutoscaler, ServingCluster, event_stream
+
+from helpers import toy_serving_setup
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def build_cluster(k=1, **kwargs):
+    model, decoder, g, serve_graph, split = toy_serving_setup()
+    kwargs.setdefault("policy", "round_robin")
+    kwargs.setdefault("max_batch_pairs", 10 ** 6)
+    kwargs.setdefault("max_delay", 100.0)
+    return ServingCluster(model, serve_graph, decoder, k=k, **kwargs), g, split
+
+
+def submit_n(cluster, g, n, candidates=4):
+    t = cluster.graph.max_time + 1.0
+    return [
+        cluster.submit_rank(int(g.src[i]), np.arange(12, 12 + candidates), t)
+        for i in range(n)
+    ]
+
+
+class TestAutoscalerValidation:
+    def test_bounds_and_hysteresis_are_enforced(self):
+        cluster, _, _ = build_cluster(k=1)
+        with pytest.raises(ValueError):
+            ReplicaAutoscaler(cluster, min_replicas=0, max_replicas=2)
+        with pytest.raises(ValueError):
+            ReplicaAutoscaler(cluster, min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError):
+            ReplicaAutoscaler(
+                cluster, min_replicas=1, max_replicas=2,
+                scale_up_queue=2.0, scale_down_queue=2.0,
+            )
+        with pytest.raises(ValueError):  # fleet outside [2, 3]
+            ReplicaAutoscaler(cluster, min_replicas=2, max_replicas=3)
+
+    def test_from_config_requires_autoscale_bounds(self):
+        cluster, _, _ = build_cluster(k=1)
+        with pytest.raises(ValueError):
+            ReplicaAutoscaler.from_config(cluster, SimpleNamespace(min_replicas=None))
+        cfg = SimpleNamespace(
+            min_replicas=1, max_replicas=3, scale_up_queue=4.0,
+            scale_down_queue=0.5, scale_interval_ms=50.0,
+        )
+        scaler = ReplicaAutoscaler.from_config(cluster, cfg, interval=0.0)
+        assert (scaler.min_replicas, scaler.max_replicas) == (1, 3)
+        assert scaler.interval == 0.0
+
+
+class TestAutoscalerControlLoop:
+    def test_scales_up_on_deep_queue_and_down_after_drain(self):
+        clock = FakeClock()
+        cluster, g, _ = build_cluster(k=1, clock=clock)
+        scaler = ReplicaAutoscaler(
+            cluster, min_replicas=1, max_replicas=3,
+            scale_up_queue=4.0, scale_down_queue=0.5,
+            interval=10.0, clock=clock,
+        )
+        handles = submit_n(cluster, g, 5)
+        decision = scaler.step()
+        assert decision is not None and decision.action == "up"
+        assert decision.replicas == 2 == len(cluster.replicas)
+        assert "queue/replica" in decision.reason
+        assert scaler.stats.scale_ups == 1
+
+        # cooldown: the queue is still deep, but no action inside `interval`
+        assert scaler.step() is None
+
+        cluster.flush_all()
+        assert all(np.all(np.isfinite(h.wait(5.0))) for h in handles)
+        clock.advance(11.0)
+        decision = scaler.step()
+        assert decision is not None and decision.action == "down"
+        assert len(cluster.replicas) == 1
+
+        # at min_replicas an empty queue is a no-op, not a violation
+        clock.advance(11.0)
+        assert scaler.step() is None
+        assert len(cluster.replicas) == 1
+
+    def test_never_scales_past_max_replicas(self):
+        clock = FakeClock()
+        cluster, g, _ = build_cluster(k=2, clock=clock)
+        scaler = ReplicaAutoscaler(
+            cluster, min_replicas=1, max_replicas=2,
+            scale_up_queue=1.0, scale_down_queue=0.5,
+            interval=0.0, clock=clock,
+        )
+        submit_n(cluster, g, 8)
+        assert scaler.step() is None  # already at max
+        assert len(cluster.replicas) == 2
+        cluster.flush_all()
+
+    def test_slo_breach_forces_scale_up_with_shallow_queue(self):
+        clock = FakeClock()
+        cluster, _, _ = build_cluster(k=1, clock=clock)
+        for _ in range(4):
+            cluster.request_latency.record(0.2)
+        scaler = ReplicaAutoscaler(
+            cluster, min_replicas=1, max_replicas=2,
+            scale_up_queue=100.0, scale_down_queue=1.0,
+            latency_slo=0.05, slo_quantile=99.0,
+            interval=0.0, clock=clock,
+        )
+        decision = scaler.step()
+        assert decision is not None and decision.action == "up"
+        assert "SLO" in decision.reason
+        assert len(cluster.replicas) == 2
+        # the breach also blocks scale-down, even with an empty queue
+        assert scaler.step() is None
+        assert len(cluster.replicas) == 2
+
+
+class TestElasticFleetState:
+    def test_added_replica_is_bitwise_identical_and_serves(self):
+        cluster, g, split = build_cluster(k=1, max_delay=1e-3)
+        for chunk in event_stream(g, split.train_end, split.val_end, chunk=40):
+            cluster.ingest(*chunk)
+        rep = cluster.add_replica()
+        ref = cluster.replicas[0].engine
+        assert np.array_equal(rep.engine.memory.memory, ref.memory.memory)
+        assert np.array_equal(rep.engine.memory.last_update, ref.memory.last_update)
+        assert np.array_equal(rep.engine.mailbox.mail, ref.mailbox.mail)
+
+        # round-robin lands one query on each replica; singleton flushes pin
+        # composition, so the answers must agree byte for byte
+        t = cluster.graph.max_time + 1.0
+        cands = np.arange(12, 20)
+        a = cluster.submit_rank(int(g.src[0]), cands, t)
+        cluster.replicas[0].batcher.flush()
+        b = cluster.submit_rank(int(g.src[0]), cands, t)
+        cluster.replicas[1].batcher.flush()
+        assert a.wait(5.0).tobytes() == b.wait(5.0).tobytes()
+
+    def test_removed_replica_drains_in_flight_work(self):
+        cluster, g, _ = build_cluster(k=2)
+        handles = submit_n(cluster, g, 2)  # one per replica (round robin)
+        assert cluster.replicas[1].load == 1
+        cluster.remove_replica()
+        assert len(cluster.replicas) == 1
+        # the popped replica is parked, not dropped: its request completes
+        cluster.flush_all()
+        for h in handles:
+            assert np.all(np.isfinite(h.wait(5.0)))
+
+    def test_remove_replica_refuses_to_empty_the_fleet(self):
+        cluster, _, _ = build_cluster(k=1)
+        with pytest.raises(ValueError):
+            cluster.remove_replica()
+
+
+class TestHedgedDeterminism:
+    def build_hedged(self, clock):
+        cluster, g, split = build_cluster(
+            k=2, clock=clock, max_delay=1.0,
+            hedge_quantile=99.0, hedge_min_delay=0.1,
+        )
+        return cluster, g
+
+    def test_hedge_returns_bitwise_identical_scores(self):
+        """A wedged primary is rescued by the hedge, and the hedged answer
+        equals the unhedged one byte for byte."""
+        clock = FakeClock()
+        cluster, g = self.build_hedged(clock)
+        t = cluster.graph.max_time + 1.0
+        cands = np.arange(12, 20)
+
+        front = cluster.submit_rank(int(g.src[0]), cands, t)
+        assert front._primary_index == 0 and not front.hedged
+        cluster._sweep()  # cold reservoir: delay = max_delay, not yet due
+        assert not front.hedged
+
+        clock.advance(2.0)  # past the hedge delay; primary stays wedged
+        cluster._sweep()
+        assert front.hedged and front._hedge_index == 1
+        assert cluster.stats.hedged == 1
+
+        cluster.replicas[1].batcher.flush()  # only the hedge lane flushes
+        hedged_scores = front.wait(5.0)
+        assert front.hedge_won
+
+        # unhedged baseline: identical weights (same toy seed), same query,
+        # singleton flush on the primary replica
+        baseline, g2, _ = build_cluster(k=2, max_delay=1.0)
+        ref = baseline.submit_rank(int(g2.src[0]), cands, t)
+        baseline.replicas[0].batcher.flush()
+        assert hedged_scores.tobytes() == ref.wait(5.0).tobytes()
+
+    def test_cancelled_loser_never_double_counts(self):
+        clock = FakeClock()
+        cluster, g = self.build_hedged(clock)
+        t = cluster.graph.max_time + 1.0
+        front = cluster.submit_rank(int(g.src[0]), np.arange(12, 20), t)
+        clock.advance(2.0)
+        cluster._sweep()
+        cluster.replicas[1].batcher.flush()
+        front.wait(5.0)
+
+        assert cluster.stats.completed == 1
+        assert cluster.stats.hedge_wins == 1
+        assert cluster.request_latency.count == 1
+
+        # the losing primary lane was cancelled before compute: flushing its
+        # batcher discards it without recording a second completion
+        cluster.replicas[0].batcher.flush()
+        assert cluster.replicas[0].batcher.stats.cancelled == 1
+        assert cluster.stats.completed == 1
+        assert cluster.request_latency.count == 1
+
+    def test_primary_win_cancels_the_hedge_lane(self):
+        clock = FakeClock()
+        cluster, g = self.build_hedged(clock)
+        t = cluster.graph.max_time + 1.0
+        front = cluster.submit_rank(int(g.src[0]), np.arange(12, 20), t)
+        clock.advance(2.0)
+        cluster._sweep()
+        assert front.hedged
+
+        cluster.replicas[0].batcher.flush()  # primary beats the hedge
+        front.wait(5.0)
+        assert not front.hedge_won
+        assert cluster.stats.hedge_wins == 0
+        cluster.replicas[1].batcher.flush()
+        assert cluster.replicas[1].batcher.stats.cancelled == 1
+        assert cluster.stats.completed == 1
+
+    def test_hedge_delay_semantics(self):
+        clock = FakeClock()
+        cluster, _ = self.build_hedged(clock)
+        # cold reservoir: fall back to the batcher deadline (1.0 > floor)
+        assert cluster.hedge_delay() == 1.0
+        # warm reservoir: the configured quantile, floored at hedge_min_delay
+        for _ in range(20):
+            cluster.request_latency.record(0.01)
+        assert cluster.hedge_delay() == pytest.approx(0.1)  # floor binds
+
+        off, _, _ = build_cluster(k=2)
+        assert off.hedge_delay() is None  # hedging disabled by default
+
+    def test_single_replica_never_hedges(self):
+        clock = FakeClock()
+        cluster, g, _ = build_cluster(
+            k=1, clock=clock, max_delay=1.0,
+            hedge_quantile=99.0, hedge_min_delay=0.1,
+        )
+        t = cluster.graph.max_time + 1.0
+        front = cluster.submit_rank(int(g.src[0]), np.arange(12, 16), t)
+        clock.advance(5.0)
+        cluster._sweep()
+        assert not front.hedged and cluster.stats.hedged == 0
+        cluster.flush_all()
+        front.wait(5.0)
