@@ -8,12 +8,24 @@ Run:
     python examples/quickstart.py
     python examples/quickstart.py --scale 0.004 --epochs 1   # CI smoke
     python examples/quickstart.py --backend process          # real processes
+    python examples/quickstart.py --backend fabric           # multi-host
 
 ``--backend process`` executes each plan on the ``repro.runtime`` backend —
 i*k real worker processes with shared-memory node state — and produces the
 same losses and metrics as the in-process logical trainers, bit for bit.
 The process fleet is fault tolerant: a rank killed mid-fit is respawned
 and the run still finishes bitwise identical to an unfaulted one.
+
+``--backend fabric`` goes one step further: the parallel plan gains an
+``@machines`` suffix and the launcher spawns one *host agent* per machine
+on localhost (two of them here), each agent rendezvousing over TCP and
+running its slice of the plan as real ranks — the full multi-host path,
+still bitwise identical.  On a real cluster you would start the agents
+yourself, one per machine::
+
+    python -m repro.cli agent --join <driver-host>:47000        # each host
+    python -m repro.cli train --backend fabric --config 1x1x4@2 \\
+        --rendezvous <driver-host>:47000 --external-agents      # driver
 
 Long runs can checkpoint themselves and continue exactly where they
 stopped::
@@ -53,11 +65,13 @@ def run(cfg: ExperimentConfig, backend: str):
     sess = Session(cfg)
     t0 = time.time()
     result = sess.fit(verbose=True, backend=backend)
-    workers = (
-        f" | {cfg.parallel.i * cfg.parallel.k} worker processes"
-        if backend == "process"
-        else ""
-    )
+    if backend == "process":
+        workers = f" | {cfg.parallel.i * cfg.parallel.k} worker processes"
+    elif backend == "fabric":
+        world = cfg.parallel.i * cfg.parallel.j * cfg.parallel.k
+        workers = f" | {world} ranks on {cfg.parallel.machines} host agent(s)"
+    else:
+        workers = ""
     print(
         f"[{label}] best val MRR {result.best_val:.4f} | test MRR "
         f"{result.test_metric:.4f} | {result.iterations_run} iterations | "
@@ -70,7 +84,9 @@ def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("--scale", type=float, default=0.01)
     ap.add_argument("--epochs", type=int, default=10)
-    ap.add_argument("--backend", choices=["local", "process"], default="local")
+    ap.add_argument(
+        "--backend", choices=["local", "process", "fabric"], default="local"
+    )
     # trace-and-replay step compiler (repro.nn.tape): records each step
     # shape once, then replays it as a flat tape with pooled buffers —
     # same losses/weights bit for bit, fewer Python cycles per step
@@ -95,12 +111,16 @@ def main() -> None:
     print("\n--- single GPU baseline (1x1x1) ---")
     baseline = run(cfg, args.backend)
 
-    print("\n--- 4-way memory parallelism (1x1x4) ---")
+    # on the fabric backend the same four memory groups land two-per-host
+    # on two localhost agents (machines must divide k: §3.2.3 keeps every
+    # memory group on one machine); results are identical either way
+    plan = "1x1x4@2" if args.backend == "fabric" else "1x1x4"
+    print(f"\n--- 4-way memory parallelism ({plan}) ---")
     # configs are immutable: a variant is a new tree with one section swapped
     parallel = run(
         ExperimentConfig(
             data=cfg.data, model=cfg.model, train=cfg.train,
-            parallel=ParallelConfig.parse("1x1x4"),
+            parallel=ParallelConfig.parse(plan),
         ),
         args.backend,
     )

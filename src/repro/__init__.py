@@ -50,6 +50,41 @@ Every ``Session`` can execute on two engines with **identical results**:
   between the two kinds).  ``python -m repro.cli train --backend process``
   and ``examples/quickstart.py --backend process`` drive the same switch.
 
+Multi-host runtime
+------------------
+``backend="fabric"`` runs the *full* ``i×j×k@machines`` plan — including
+the ``j`` epoch dimension as genuinely pipelined processes — across host
+agents that rendezvous over TCP.  Start one agent per machine, then point
+the fit at the rendezvous address::
+
+    # on each of the 2 hosts (here: two shells on localhost)
+    python -m repro.cli agent --join 127.0.0.1:47000
+
+    # driver: 2x2x2@2 = 8 real ranks fanned out over the 2 agents
+    cfg = repro.ExperimentConfig(
+        ...,
+        parallel=repro.ParallelConfig.parse("2x2x2@2"),
+    )
+    sess = repro.Session(cfg)
+    result = sess.fit(backend="fabric",
+                      rendezvous="127.0.0.1:47000",
+                      managed_agents=False)   # agents started above
+
+With the default ``managed_agents=True`` the launcher spawns local agent
+subprocesses itself (no shells needed) — that is also how the tests and
+``python -m repro.cli train --backend fabric`` run.  Placement follows the
+paper's §3.2.3 rule: ``machines`` must divide ``k`` so a memory group
+never spans hosts — node memory syncs inside a machine only, gradients
+alone cross machines, through the group leaders' ``star``/``ring``/
+``tree`` collective (``TrainConfig.topology``; ``runtime-bench
+--topology`` measures the sync-time difference, results stay bitwise).
+The rendezvous controller heartbeats every agent; a silent or dead host
+surfaces as a ``WorkerFailure``, and under a ``RecoveryPolicy`` budget the
+supervisor re-rendezvouses a replacement agent, respawns the lost ranks
+from the sealed commit, and finishes **bitwise identical** to an
+unfaulted local run — the same contract the process backend holds, now
+per machine.
+
 Fault tolerance & resumable runs
 --------------------------------
 The process backend survives the failures scale brings.  When a rank

@@ -140,6 +140,11 @@ class TrainConfig(ConfigBase):
     compile: bool = False             # trace-and-replay step compiler
                                       # (repro.nn.tape); REPRO_COMPILE=1/0
                                       # overrides at runtime
+    topology: str = "star"            # gradient allreduce topology on the
+                                      # process/fabric backends (star | ring
+                                      # | tree); all three reduce in the
+                                      # same rank order, so the choice is
+                                      # perf-only — results stay bitwise
     train_frac: float = 0.70          # chronological split boundaries; the
     val_frac: float = 0.15            # continual-learning refit moves them so
                                       # drained WAL events land in the train
@@ -160,6 +165,10 @@ class TrainConfig(ConfigBase):
             )
         if self.comb not in ("recent", "mean"):
             raise ValueError(f"comb must be 'recent' or 'mean', got {self.comb!r}")
+        if self.topology not in ("star", "ring", "tree"):
+            raise ValueError(
+                f"topology must be 'star', 'ring' or 'tree', got {self.topology!r}"
+            )
         if self.eval_prefetch_workers < 1:
             raise ValueError(
                 f"eval_prefetch_workers must be >= 1, got {self.eval_prefetch_workers}"

@@ -72,7 +72,10 @@ class Session:
             max_iterations: Optional[int] = None, backend: str = "local",
             recovery=None, timeout: Optional[float] = None,
             checkpoint_dir: Optional[Union[str, Path]] = None,
-            checkpoint_every: Optional[int] = None):
+            checkpoint_every: Optional[int] = None,
+            rendezvous: Optional[str] = None,
+            managed_agents: bool = True,
+            agents: Optional[int] = None):
         """Train per the config (``train.epochs`` unless overridden);
         returns the :class:`repro.train.TrainResult`.
 
@@ -95,6 +98,20 @@ class Session:
           takes a :class:`repro.runtime.RecoveryPolicy` to tune (or, with
           ``max_restarts=0``, disable) that behavior, and ``timeout``
           bounds the whole fit.
+        * ``'fabric'`` — the multi-host runtime: one host agent per
+          machine of the ``i×j×k@machines`` plan, each spawning its slice
+          of ``i·j·k`` real ranks, wired peer-to-peer over TCP sockets
+          (see :mod:`repro.runtime.fabric`).  The ``j`` epoch dimension —
+          simulated in lockstep by the other backends — here runs as
+          genuinely pipelined ranks.  Still bitwise-identical to
+          ``'local'``, and fault tolerance extends to whole-machine loss:
+          a SIGKILLed agent's ranks are respawned on a replacement agent
+          from the sealed commit.  ``rendezvous`` sets the controller's
+          bind address (default an ephemeral localhost port);
+          ``managed_agents=False`` waits for externally launched
+          ``repro.cli agent --join`` processes instead of spawning them;
+          ``agents`` asserts the expected agent count (must equal the
+          plan's ``machines``).
 
         ``checkpoint_dir`` (+ ``checkpoint_every``, default
         ``config.train.checkpoint_every``, or every block boundary when no
@@ -104,9 +121,15 @@ class Session:
         :meth:`resume`, calling ``fit()`` with no iteration arguments
         continues the interrupted run to its original target.
         """
-        if backend not in ("local", "process"):
+        if backend not in ("local", "process", "fabric"):
             raise ValueError(
-                f"backend must be 'local' or 'process', got {backend!r}"
+                f"backend must be 'local', 'process' or 'fabric', got {backend!r}"
+            )
+        if backend != "fabric" and (
+            rendezvous is not None or agents is not None or not managed_agents
+        ):
+            raise ValueError(
+                "rendezvous/managed_agents/agents apply to backend='fabric' only"
             )
         run_state = self._resume_state
         if run_state is not None:
@@ -128,6 +151,33 @@ class Session:
             # rather than silently writing nothing
             every = 1
         checkpointing = checkpoint_dir is not None
+        if backend == "fabric":
+            from ..runtime.fabric import run_fabric_fit
+            from ..runtime.launcher import apply_process_result
+
+            if checkpointing:
+                raise ValueError(
+                    "periodic checkpointing (checkpoint_dir) is a local-"
+                    "backend feature; the fabric backend gets fault "
+                    "tolerance from elastic restart instead"
+                )
+            kwargs = dict(
+                epochs=epochs,
+                max_iterations=max_iterations,
+                verbose=verbose,
+                recovery=recovery,
+                run_state=run_state,
+                rendezvous=rendezvous,
+                managed_agents=managed_agents,
+                agents=agents,
+            )
+            if timeout is not None:
+                kwargs["timeout"] = timeout
+            meta, arrays, states = run_fabric_fit(
+                self.config, self.trainer, **kwargs
+            )
+            self.result = apply_process_result(self.trainer, meta, arrays, states)
+            return self.result
         if backend == "process":
             from ..runtime.launcher import apply_process_result, run_process_fit
 
@@ -152,9 +202,11 @@ class Session:
             self.result = apply_process_result(self.trainer, meta, arrays, states)
             return self.result
         if recovery is not None:
-            raise ValueError("recovery policies apply to backend='process' only")
+            raise ValueError(
+                "recovery policies apply to backend='process'/'fabric' only"
+            )
         if timeout is not None:
-            raise ValueError("timeout applies to backend='process' only")
+            raise ValueError("timeout applies to backend='process'/'fabric' only")
         on_block_boundary = (
             self._checkpoint_callback(Path(checkpoint_dir), int(every))
             if checkpointing

@@ -19,7 +19,11 @@ Commands
 --------
 train       train a TGN under an i×j×k configuration and print the result
             (``--checkpoint-dir`` writes periodic resumable snapshots;
-            ``--backend process`` runs the fault-tolerant process fleet)
+            ``--backend process`` runs the fault-tolerant process fleet;
+            ``--backend fabric`` runs the multi-host agent fabric)
+agent       run a fabric host agent: join a controller's rendezvous socket
+            and spawn this machine's slice of the rank grid (the daemon a
+            ``fit(backend='fabric', managed_agents=False)`` waits for)
 resume      continue an interrupted ``train --checkpoint-dir`` run from its
             snapshot directory — bitwise identical to never interrupting it
 plan        run the §3.2.4 planner for a cluster + dataset
@@ -33,7 +37,8 @@ perf-bench  measure hot-path throughput (train step / eval sweep / serve
             write BENCH_hotpath.json
 runtime-bench  process-backend step throughput at 1/2/4 workers and write
             BENCH_runtime.json (``--trace-dir`` keeps the per-rank span
-            traces; phase columns come from the telemetry)
+            traces; phase columns come from the telemetry; ``--topology``
+            selects the allreduce wiring — star, ring or tree)
 trace       merge + summarize a span-trace directory: per-lane phase
             breakdown, sync fraction, recovery timeline
 
@@ -133,10 +138,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--static-dim", type=int, default=0)
     p_train.add_argument("--lr", type=float, default=1e-3)
     p_train.add_argument("--seed", type=int, default=0)
-    p_train.add_argument("--backend", choices=["local", "process"], default="local",
-                         help="execution engine: logical trainers in-process, or "
-                              "the repro.runtime i*k worker-process backend "
-                              "(identical results, real parallelism)")
+    p_train.add_argument("--backend", choices=["local", "process", "fabric"],
+                         default="local",
+                         help="execution engine: logical trainers in-process, "
+                              "the repro.runtime i*k worker-process backend, or "
+                              "the multi-host agent fabric (identical results, "
+                              "real parallelism)")
+    p_train.add_argument("--rendezvous", default=None, metavar="HOST:PORT",
+                         help="fabric controller bind address (default: an "
+                              "ephemeral localhost port); agents join it with "
+                              "`repro.cli agent --join HOST:PORT`")
+    p_train.add_argument("--external-agents", action="store_true",
+                         help="fabric: wait for externally launched "
+                              "`repro.cli agent` processes instead of "
+                              "spawning them (use with --rendezvous)")
+    p_train.add_argument("--agents", type=int, default=None, metavar="N",
+                         help="fabric: assert the expected agent count "
+                              "(must equal the plan's machines)")
     p_train.add_argument("--save", default=None, metavar="DIR",
                          help="persist the session (config + checkpoint) here")
     p_train.add_argument("--checkpoint-dir", default=None, metavar="DIR",
@@ -157,6 +175,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "identical results; REPRO_COMPILE=1/0 overrides)")
     p_train.add_argument("--quiet", action="store_true")
     _add_config_flags(p_train)
+
+    p_agent = sub.add_parser(
+        "agent",
+        help="run a fabric host agent: join a controller rendezvous and "
+             "spawn this machine's ranks",
+    )
+    p_agent.add_argument("--join", required=True, metavar="HOST:PORT",
+                         help="the fabric controller's rendezvous address "
+                              "(printed by / passed to the fabric fit)")
+    p_agent.add_argument("--timeout", type=float, default=600.0,
+                         help="control-channel receive timeout in seconds")
+    p_agent.add_argument("--quiet", action="store_true")
 
     p_resume = sub.add_parser(
         "resume",
@@ -258,6 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="training iterations per measured point")
     p_rt.add_argument("--batch-size", type=int, default=100,
                       help="local batch per worker (weak scaling)")
+    p_rt.add_argument("--topology", choices=["star", "ring", "tree"],
+                      default="star",
+                      help="gradient-allreduce wiring for the swept worker "
+                           "counts; the report also records a ring-vs-star "
+                           "comparison at the largest count")
     p_rt.add_argument("--seed", type=int, default=0)
     p_rt.add_argument("--out", default=None,
                       help="report path (default: BENCH_runtime.json at repo root)")
@@ -373,19 +408,31 @@ def cmd_train(args) -> int:
     if _maybe_dump(args, cfg):
         return 0
     sess = Session(cfg)
+    fit_kwargs = {}
+    if args.backend == "fabric":
+        fit_kwargs = dict(
+            rendezvous=args.rendezvous,
+            managed_agents=not args.external_agents,
+            agents=args.agents,
+        )
     with Timer() as t:
         result = sess.fit(
             verbose=not args.quiet,
             backend=args.backend,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
+            **fit_kwargs,
         )
     metric = "MRR" if sess.task == "link" else "F1-micro"
-    backend_note = (
-        f" | {cfg.parallel.i * cfg.parallel.k} worker processes"
-        if args.backend == "process"
-        else ""
-    )
+    if args.backend == "process":
+        backend_note = f" | {cfg.parallel.i * cfg.parallel.k} worker processes"
+    elif args.backend == "fabric":
+        world = cfg.parallel.i * cfg.parallel.j * cfg.parallel.k
+        backend_note = (
+            f" | {world} ranks on {cfg.parallel.machines} machine agent(s)"
+        )
+    else:
+        backend_note = ""
     print(
         f"[{cfg.parallel.label()}] {cfg.data.dataset}: best val {metric} "
         f"{result.best_val:.4f} | test {metric} {result.test_metric:.4f} | "
@@ -400,6 +447,12 @@ def cmd_train(args) -> int:
             f"(summarize with `repro.cli trace --dir {args.trace_dir}`)"
         )
     return 0
+
+
+def cmd_agent(args) -> int:
+    from .runtime.fabric import agent_main
+
+    return agent_main(args.join, timeout=args.timeout, quiet=args.quiet)
 
 
 def cmd_resume(args) -> int:
@@ -601,11 +654,14 @@ def cmd_runtime_bench(args) -> int:
     if _maybe_dump(args, base):
         return 0
     report = run_runtime_bench(
-        counts, steps=args.steps, base=base, trace_dir=args.trace_dir
+        counts, steps=args.steps, base=base, trace_dir=args.trace_dir,
+        topology=args.topology,
     )
     rows = [
         (
             f"{p['workers']}",
+            f"{p['hosts']}",
+            f"{p['topology']}",
             f"{p['events_per_sec']:,.0f}",
             f"{p['cpu_events_per_sec']:,.0f}",
             f"{p['step_ms']:.1f}",
@@ -619,12 +675,26 @@ def cmd_runtime_bench(args) -> int:
         f"core-independent measure)"
     )
     print(format_table(
-        ["workers", "wall ev/s", "ev per CPU-s", "step ms", "sync"], rows
+        ["workers", "hosts", "topology", "wall ev/s", "ev per CPU-s",
+         "step ms", "sync"],
+        rows,
     ))
     for key in ("speedup_vs_1", "cpu_speedup_vs_1"):
         if key in report:
             pretty = ", ".join(f"{w}w: {s:.2f}x" for w, s in report[key].items())
             print(f"{key}: {pretty}")
+    if "ring_vs_star" in report:
+        rvs = report["ring_vs_star"]
+        print(
+            f"ring vs star @ {rvs['workers']} workers: sync "
+            f"{rvs['star']['sync_s']:.3f}s (star) -> "
+            f"{rvs['ring']['sync_s']:.3f}s (ring)"
+            + (
+                f", {rvs['ring_sync_speedup']:.2f}x"
+                if rvs.get("ring_sync_speedup")
+                else ""
+            )
+        )
     path = write_rt_report(report, args.out)
     print(f"report written to {path}")
     if report.get("trace_dir"):
@@ -709,6 +779,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "train": cmd_train,
+        "agent": cmd_agent,
         "resume": cmd_resume,
         "plan": cmd_plan,
         "stats": cmd_stats,

@@ -20,6 +20,7 @@ skip unparseable lines rather than failing, so partial traces still merge.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -29,7 +30,10 @@ MERGED_NAME = "trace.merged.jsonl"
 SYNC_CATEGORY = "sync"
 
 #: recovery-related events surfaced on the summary timeline
-RECOVERY_SPANS = ("rollback", "respawn", "park")
+RECOVERY_SPANS = ("rollback", "respawn", "park", "machine-lost", "agent-join")
+
+#: fabric lane names carry their host: ``h<machine>.rank<rank>``
+_HOST_LANE_RE = re.compile(r"^h(\d+)\.")
 
 
 def read_trace_file(path: Union[str, Path]) -> List[dict]:
@@ -125,9 +129,18 @@ def summarize_trace(events: List[dict]) -> dict:
           "lanes": {pid: {"lane", "events", "wall_s", "sync_s",
                           "sync_frac", "phases": {name: {count, total_s}}}},
           "phases": {name: {"count", "total_s"}},        # across all lanes
+          "hosts": {host: {"lanes", "events", "wall_s", "sync_s",
+                           "sync_frac"}},    # multi-host (fabric) runs only
           "recovery": [ {"ts_s", "name", "lane", ...}, ...],
           "events": <int>,
         }
+
+    Fabric runs prefix their lane names with the host id
+    (``h<machine>.rank<rank>``, clock-aligned across hosts by the agents'
+    NTP-style offset); any such lanes are additionally rolled up per host
+    under ``hosts`` — ``wall_s``/``sync_s`` are the host's slowest lane
+    (the rank that paces the machine), matching the bench's
+    max-across-ranks convention.
 
     ``sync_s`` sums spans tagged ``args.cat == "sync"`` (barriers,
     allreduce, serial sections) **minus** spans tagged ``cat == "commit"``
@@ -199,10 +212,27 @@ def summarize_trace(events: List[dict]) -> dict:
             "sync_frac": sync / wall if wall > 0 else 0.0,
             "phases": info["phases"],
         }
+    hosts: Dict[str, dict] = {}
+    for lane in out_lanes.values():
+        m = _HOST_LANE_RE.match(lane["lane"])
+        if m is None:
+            continue
+        host = f"h{m.group(1)}"
+        agg = hosts.setdefault(
+            host, {"lanes": 0, "events": 0, "wall_s": 0.0, "sync_s": 0.0}
+        )
+        agg["lanes"] += 1
+        agg["events"] += lane["events"]
+        agg["wall_s"] = max(agg["wall_s"], lane["wall_s"])
+        agg["sync_s"] = max(agg["sync_s"], lane["sync_s"])
+    for agg in hosts.values():
+        agg["sync_frac"] = agg["sync_s"] / agg["wall_s"] if agg["wall_s"] > 0 else 0.0
+
     recovery.sort(key=lambda e: e["ts_s"])
     return {
         "lanes": out_lanes,
         "phases": overall,
+        "hosts": dict(sorted(hosts.items())),
         "recovery": recovery,
         "events": sum(v["events"] for v in lanes.values()),
     }
@@ -216,6 +246,15 @@ def format_summary(summary: dict) -> str:
     """Human-readable rendering of :func:`summarize_trace` for the CLI."""
     lines: List[str] = []
     lines.append(f"events: {summary['events']}  lanes: {len(summary['lanes'])}")
+    hosts = summary.get("hosts") or {}
+    if hosts:
+        lines.append("\nhosts:")
+        for host, agg in hosts.items():
+            lines.append(
+                f"  {host}: {agg['lanes']} lanes, {agg['events']} events, "
+                f"wall {agg['wall_s']:.3f}s, sync {agg['sync_s']:.3f}s "
+                f"(frac {agg['sync_frac']:.3f})"
+            )
     for pid, lane in summary["lanes"].items():
         lines.append(
             f"\nlane {lane['lane']} (pid {pid}): {lane['events']} events, "

@@ -30,11 +30,26 @@ Layers, bottom up:
 * :mod:`~repro.runtime.serving` — :class:`ProcessServingCluster`,
   process replicas with their own model copies over one shared serving
   state (bit-identical to the threaded cluster);
+* :mod:`~repro.runtime.fabric` — the multi-host generalization: host
+  agents (``repro.cli agent``) joined over a TCP rendezvous, rank-level
+  socket wiring with star/ring/tree collective topologies, the ``j``
+  dimension fanned out as pipelined ranks, and machine-loss recovery —
+  ``Session.fit(backend="fabric")`` runs the full ``i×j×k@machines``
+  plan bitwise-equal to local;
 * :mod:`~repro.runtime.bench` — the 1→2→4 worker scaling benchmark behind
   ``python -m repro.cli runtime-bench`` (``BENCH_runtime.json``).
 """
 
-from .collectives import Communicator, make_local_communicators
+from .collectives import (
+    ChainCommunicator,
+    Communicator,
+    TreeCommunicator,
+    make_local_chain_communicators,
+    make_local_communicators,
+    make_local_tree_communicators,
+    make_topology_communicators,
+)
+from .fabric import FabricLauncher, run_fabric_fit
 from .launcher import (
     ProcessGroup,
     RecoveryPolicy,
@@ -53,20 +68,26 @@ from .transport import (
     Channel,
     Frame,
     PipeEndpoint,
+    RetryPolicy,
     SocketEndpoint,
     TransportError,
     TransportTimeout,
+    connect_with_retry,
     decode_frame,
     encode_frame,
     pipe_channel_pair,
+    socket_channel,
 )
 
 __all__ = [
+    "ChainCommunicator",
     "Channel",
     "CommitSlab",
     "Communicator",
+    "FabricLauncher",
     "Frame",
     "RecoveryPolicy",
+    "RetryPolicy",
     "PipeEndpoint",
     "ProcessGroup",
     "ProcessPendingResult",
@@ -76,12 +97,19 @@ __all__ = [
     "SocketEndpoint",
     "TransportError",
     "TransportTimeout",
+    "TreeCommunicator",
     "WorkerFailure",
     "apply_process_result",
+    "connect_with_retry",
     "create_group_states",
     "decode_frame",
     "encode_frame",
+    "make_local_chain_communicators",
     "make_local_communicators",
+    "make_local_tree_communicators",
+    "make_topology_communicators",
     "pipe_channel_pair",
+    "run_fabric_fit",
     "run_process_fit",
+    "socket_channel",
 ]

@@ -29,6 +29,7 @@ inferred from a model:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import platform
@@ -69,21 +70,28 @@ def bench_config(workers: int = 1, batch_size: int = 100, seed: int = 0) -> Expe
 
 
 def _with_workers(
-    base: ExperimentConfig, workers: int, trace_dir: Optional[str] = None
+    base: ExperimentConfig,
+    workers: int,
+    trace_dir: Optional[str] = None,
+    topology: Optional[str] = None,
 ) -> ExperimentConfig:
     """``base`` with its parallel section replaced by ``workers×1×1`` (and
-    optionally its ``obs.trace_dir`` pointed at this run's directory)."""
+    optionally its ``obs.trace_dir`` pointed at this run's directory and
+    its allreduce ``topology`` overridden)."""
     obs = base.obs
     if trace_dir is not None:
         obs = ObsConfig(
             trace_dir=str(trace_dir),
             histogram_reservoir=base.obs.histogram_reservoir,
         )
+    train = base.train
+    if topology is not None and topology != train.topology:
+        train = dataclasses.replace(train, topology=topology)
     return ExperimentConfig(
         data=base.data,
         model=base.model,
         parallel=ParallelConfig(i=workers, j=1, k=1),
-        train=base.train,
+        train=train,
         serve=base.serve,
         obs=obs,
     )
@@ -95,6 +103,7 @@ def bench_worker_count(
     base: Optional[ExperimentConfig] = None,
     timeout: float = 600.0,
     trace_dir: Optional[Union[str, Path]] = None,
+    topology: Optional[str] = None,
 ) -> Dict[str, float]:
     """One measured point: a ``workers×1×1`` process fit of ``steps`` steps.
 
@@ -115,7 +124,10 @@ def bench_worker_count(
     else:
         run_dir = Path(trace_dir) / f"w{workers}"
     cfg = _with_workers(
-        base if base is not None else bench_config(), workers, trace_dir=str(run_dir)
+        base if base is not None else bench_config(),
+        workers,
+        trace_dir=str(run_dir),
+        topology=topology,
     )
     trainer = DistTGLTrainer(cfg.build_dataset(), cfg.parallel, cfg.trainer_spec())
     # the env override must not collapse every worker count into one trace
@@ -151,6 +163,8 @@ def bench_worker_count(
             phases[name] = max(phases.get(name, 0.0), float(total))
     point = {
         "workers": workers,
+        "hosts": cfg.parallel.machines,
+        "topology": cfg.train.topology,
         "steps": steps,
         "events": events,
         "wall_s": round(wall, 4),
@@ -175,8 +189,16 @@ def run_runtime_bench(
     timeout: float = 600.0,
     base: Optional[ExperimentConfig] = None,
     trace_dir: Optional[Union[str, Path]] = None,
+    topology: str = "star",
 ) -> Dict:
     """Measure every worker count; return the report dict.
+
+    ``topology`` selects the gradient-allreduce wiring (``star``, ``ring``
+    or ``tree`` — bitwise-identical results, different byte movement) for
+    the swept points.  At the largest multi-worker count the report also
+    records a dedicated ``ring_vs_star`` comparison of the measured
+    ``sync_s``, the serialized/synchronized share that topology actually
+    changes.
 
     ``base`` supplies the data/model/train sections of the measured
     workload (the CLI's ``--config``); by default it is the hot-path shape
@@ -200,7 +222,12 @@ def run_runtime_bench(
         trace_dir = env_trace_dir()
     points = {
         str(w): bench_worker_count(
-            w, steps=steps, base=base, timeout=timeout, trace_dir=trace_dir
+            w,
+            steps=steps,
+            base=base,
+            timeout=timeout,
+            trace_dir=trace_dir,
+            topology=topology,
         )
         for w in worker_counts
     }
@@ -209,6 +236,7 @@ def run_runtime_bench(
         "config": {
             "dataset": base.data.dataset,
             "plan": "w x 1 x 1 (weak scaling, fixed local batch)",
+            "topology": topology,
             "steps": steps,
             "local_batch": base.train.batch_size,
             "seed": base.train.seed,
@@ -232,6 +260,34 @@ def run_runtime_bench(
             w: round(p["cpu_events_per_sec"] / base_point["cpu_events_per_sec"], 3)
             for w, p in points.items()
             if w != "1" and base_point["cpu_events_per_sec"]
+        }
+    largest = worker_counts[-1]
+    if largest >= 2:
+        # the star root funnels 2(w-1) full gradient vectors through one
+        # rank per step; the ring pipelines 2 chunks per link — sync_s is
+        # where that difference lands (results stay bitwise identical)
+        comparison: Dict[str, Dict] = {}
+        for topo in ("star", "ring"):
+            if topo == topology:
+                pt = points[str(largest)]
+            else:
+                pt = bench_worker_count(
+                    largest, steps=steps, base=base, timeout=timeout, topology=topo
+                )
+            comparison[topo] = {
+                "sync_s": pt["sync_s"],
+                "sync_frac": pt["sync_frac"],
+                "wall_s": pt["wall_s"],
+                "step_ms": pt["step_ms"],
+            }
+        report["ring_vs_star"] = {
+            "workers": largest,
+            **comparison,
+            "ring_sync_speedup": round(
+                comparison["star"]["sync_s"] / comparison["ring"]["sync_s"], 3
+            )
+            if comparison["ring"]["sync_s"]
+            else None,
         }
     return report
 

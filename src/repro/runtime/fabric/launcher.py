@@ -1,0 +1,768 @@
+"""Fabric controller: rendezvous, spawn fan-out, machine-loss recovery.
+
+:class:`FabricLauncher` generalizes :class:`~repro.runtime.launcher.ProcessGroup`
+from "N local child processes" to "N host agents, each spawning its slice
+of the rank grid".  The controller is a plain TCP server:
+
+* **rendezvous** — agents dial in (``repro.cli agent --join host:port``)
+  and are assigned machine indices in join order; each receives a spawn
+  bundle naming the experiment config and the shared-memory segments, and
+  starts its contiguous rank range.  Extra agents beyond ``machines`` are
+  rejected at the door.  In *managed* mode the controller launches the
+  agent processes itself (same entrypoint, via subprocess), so a single
+  ``fit(backend="fabric")`` call needs no manual orchestration.
+* **wiring** — every rank opens its own listener and reports the address;
+  once all ``i·j·k`` hellos are in, the controller ships each rank its
+  link plan (see :mod:`.wire`) and the fabric wires itself peer-to-peer —
+  training bytes never route through the controller.
+* **supervision** — one select loop over the listener, agent channels and
+  rank channels.  Heartbeat silence, an agent channel EOF, or a managed
+  agent's process exit all declare the machine lost; a lost machine marks
+  every one of its ranks dead (their parent watchdogs guarantee the
+  processes are going down).  Survivors park exactly as in the process
+  backend — faster, in fact, since a parking rank closes all its sockets
+  and the EOF cascade parks the fleet within one collective op.
+* **recovery** — the process backend's rollback generalized to machine
+  loss: restore the live segments from the sealed shadow slot, spawn a
+  *replacement agent* for each lost machine (managed subprocess, even
+  when the original joined externally), respawn lost ranks with
+  failpoints neutralized, hand survivors the next generation, re-collect
+  addresses, re-wire, resume.  Bounded by
+  :class:`~repro.runtime.launcher.RecoveryPolicy.max_restarts`; past the
+  budget the dead host surfaces as a
+  :class:`~repro.runtime.launcher.WorkerFailure` naming every lost rank.
+
+:func:`run_fabric_fit` mirrors :func:`~repro.runtime.launcher.run_process_fit`
+— same iteration-plan arithmetic, same commit slab and shadow slots, same
+``(meta, arrays, group_states)`` result contract — so the Session treats
+the two backends identically.  Shared-memory segments are created by the
+controller; agents on the same box attach by name (the honest localhost
+simplification — the wire protocol itself never assumes it).
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ...obs import get_registry
+from ...obs.merge import merge_trace_dir
+from ...obs.trace import Tracer, resolve_trace_dir
+from ..launcher import (
+    DEFAULT_TIMEOUT,
+    RecoveryPolicy,
+    WorkerFailure,
+    prepare_recovery_state,
+)
+from ..sharedmem import CommitSlab, SharedGroupState, create_group_states, destroy_states
+from ..transport import Channel, Frame, SocketEndpoint, TransportError
+from .wire import link_plan, machine_of, ranks_of_machine
+
+__all__ = ["FabricLauncher", "run_fabric_fit"]
+
+
+@dataclass
+class _Agent:
+    """Controller-side record of one joined host agent."""
+
+    channel: Channel
+    pid: int
+    proc: Optional[subprocess.Popen] = None  # managed agents only
+    last_hb: float = field(default_factory=time.monotonic)
+    alive: bool = True
+
+
+def _agent_command(join: str) -> List[str]:
+    return [sys.executable, "-m", "repro.cli", "agent", "--join", join, "--quiet"]
+
+
+def _agent_env() -> dict:
+    """Child env with the repro package importable regardless of how the
+    controller itself was launched."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+class FabricLauncher:
+    """Rendezvous server + fleet supervisor for one fabric fit.
+
+    Everything experiment-specific arrives pre-built (spawn bundle, commit
+    slab, shadow pairs, live segments) — the launcher only moves control
+    frames and processes.  ``run()`` returns the rank-ordered result
+    frames or raises :class:`WorkerFailure`.
+    """
+
+    def __init__(
+        self,
+        *,
+        plan,
+        topology: str,
+        bundle: dict,
+        policy: RecoveryPolicy,
+        timeout: float,
+        slab: CommitSlab,
+        shadow_pairs: List[List[SharedGroupState]],
+        live_states: List[SharedGroupState],
+        rendezvous: str = "127.0.0.1:0",
+        managed_agents: bool = True,
+        tracer: Optional[Tracer] = None,
+        hb_interval: float = 2.0,
+        hb_timeout: float = 10.0,
+    ) -> None:
+        self.plan = plan
+        self.world = plan.i * plan.j * plan.k
+        self.machines = plan.machines
+        self.topology = topology
+        self.bundle = bundle
+        self.policy = policy
+        self.timeout = timeout
+        self.slab = slab
+        self.shadow_pairs = shadow_pairs
+        self.live_states = live_states
+        self.rendezvous = rendezvous
+        self.managed = managed_agents
+        self.tracer = tracer
+        self.hb_interval = hb_interval
+        self.hb_timeout = hb_timeout
+
+        self.listener: Optional[socket.socket] = None
+        self.agents: Dict[int, _Agent] = {}
+        self.pending_machines: List[int] = list(range(self.machines))
+        self.unassigned_procs: List[subprocess.Popen] = []
+        self.rank_chans: Dict[int, Channel] = {}
+        self.rank_addrs: Dict[int, Tuple[str, int]] = {}
+        self.status: Dict[int, str] = {}      # running | parked | dead | done
+        self.diags: Dict[int, str] = {}
+        self.park_iters: Dict[int, int] = {}
+        self.results: Dict[int, Frame] = {}
+        self.awaiting_hello: Set[int] = set()
+        self.dead_machines: Set[int] = set()
+        self.generation = 0
+        self.restarts = 0
+        self._clear_on_spawn = False
+        self._plans = link_plan(plan, topology)
+
+    # ------------------------------------------------------------ lifecycle
+    def _bind(self) -> Tuple[str, int]:
+        host, port_s = self.rendezvous.rsplit(":", 1)
+        host = host or "127.0.0.1"
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, int(port_s)))
+        sock.listen(self.machines + self.world + 8)
+        self.listener = sock
+        bound = sock.getsockname()
+        self.bundle["controller"] = [bound[0], int(bound[1])]
+        return bound[0], int(bound[1])
+
+    def _spawn_agent(self, join: str) -> None:
+        proc = subprocess.Popen(_agent_command(join), env=_agent_env())
+        self.unassigned_procs.append(proc)
+
+    # -------------------------------------------------------------- running
+    def run(self) -> List[Frame]:
+        host, port = self._bind()
+        join = f"{host}:{port}"
+        try:
+            if self.managed:
+                for _ in range(self.machines):
+                    self._spawn_agent(join)
+            self.awaiting_hello = set(range(self.world))
+            for rank in range(self.world):
+                self.status[rank] = "dead"  # not yet joined
+            deadline = time.monotonic() + self.timeout
+            self._await(
+                lambda: not self.pending_machines,
+                deadline,
+                f"{self.machines} host agents at {join}",
+            )
+            self._await(
+                lambda: not self.awaiting_hello,
+                deadline,
+                f"{self.world} rank hellos",
+            )
+            self._send_wire(range(self.world))
+            self._monitor(deadline)
+            return [self.results[r] for r in range(self.world)]
+        except BaseException:
+            self._cleanup(kill=True)
+            raise
+
+    def _await(self, predicate, deadline: float, what: str) -> None:
+        while not predicate():
+            if time.monotonic() > deadline:
+                self._fail(f"fabric rendezvous timed out waiting for {what}")
+            self._step(0.5)
+
+    def _monitor(self, deadline: float) -> None:
+        park_deadline: Optional[float] = None
+        while any(self.status[r] != "done" for r in range(self.world)):
+            if time.monotonic() > deadline:
+                self._fail(f"no result within {self.timeout:.0f}s")
+            self._step(0.5)
+            troubled = [
+                r for r, st in self.status.items() if st in ("parked", "dead")
+            ]
+            if not troubled:
+                park_deadline = None
+                continue
+            if park_deadline is None:
+                park_deadline = time.monotonic() + self.policy.grace
+            undecided = [r for r, st in self.status.items() if st == "running"]
+            if not undecided:
+                self._recover()
+                park_deadline = None
+            elif time.monotonic() > park_deadline:
+                for rank in undecided:
+                    ag = self.agents.get(machine_of(self.plan, rank))
+                    if ag is not None and ag.alive:
+                        try:
+                            ag.channel.send("kill", meta={"rank": rank})
+                        except TransportError:
+                            pass
+                    self.diags.setdefault(
+                        rank,
+                        f"unresponsive for {self.policy.grace:.0f}s "
+                        f"(wedged); killed",
+                    )
+                    self.status[rank] = "dead"
+                self._recover()
+                park_deadline = None
+        # orderly teardown: agents shut down, channels drained
+        self._cleanup(kill=False)
+
+    # ---------------------------------------------------------- event pump
+    def _step(self, timeout: float = 0.5) -> None:
+        waitables: Dict[object, Tuple[str, Optional[int]]] = {
+            self.listener: ("listen", None)
+        }
+        for mi, ag in self.agents.items():
+            if ag.alive:
+                waitables[ag.channel.endpoint.sock] = ("agent", mi)
+        for rank, ch in self.rank_chans.items():
+            if self.status.get(rank) in ("running", "parked"):
+                waitables[ch.endpoint.sock] = ("rank", rank)
+        try:
+            ready, _, _ = select.select(list(waitables), [], [], timeout)
+        except OSError:  # pragma: no cover - a racing close
+            ready = []
+        for obj in ready:
+            kind, key = waitables[obj]
+            if kind == "listen":
+                self._accept()
+            elif kind == "agent":
+                self._drain_agent(key)
+            else:
+                self._drain_rank(key)
+        self._check_agents()
+
+    def _accept(self) -> None:
+        try:
+            self.listener.settimeout(0.0)
+            sock, _ = self.listener.accept()
+        except (OSError, socket.timeout):
+            return
+        finally:
+            self.listener.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)
+        ch = Channel(SocketEndpoint(sock), default_timeout=self.timeout)
+        try:
+            frame = ch.recv(timeout=10.0)
+        except TransportError:
+            ch.close()
+            return
+        if frame.tag == "hello/agent":
+            self._admit_agent(ch, frame.meta)
+        elif frame.tag == "hello/rank":
+            self._admit_rank(ch, frame.meta)
+        else:
+            ch.close()
+
+    def _admit_agent(self, ch: Channel, meta: dict) -> None:
+        if not self.pending_machines:
+            # agent count exceeds the plan's machines: turn it away loudly
+            try:
+                ch.send(
+                    "error",
+                    meta={
+                        "error": f"fabric already has {self.machines} agents "
+                        f"(plan {self.plan.label()})"
+                    },
+                )
+            except TransportError:
+                pass
+            ch.close()
+            return
+        mi = self.pending_machines.pop(0)
+        pid = int(meta.get("pid", 0))
+        proc = None
+        for p in self.unassigned_procs:
+            if p.pid == pid:
+                proc = p
+                break
+        if proc is not None:
+            self.unassigned_procs.remove(proc)
+        old = self.agents.get(mi)
+        if old is not None and old.channel is not ch:
+            old.channel.close()
+        self.agents[mi] = _Agent(channel=ch, pid=pid, proc=proc)
+        self.dead_machines.discard(mi)
+        ch.send(
+            "welcome",
+            meta={
+                "agent_id": mi,
+                "machines": self.machines,
+                "time": time.time(),
+                "hb_interval": self.hb_interval,
+            },
+        )
+        ch.send(
+            "spawn",
+            meta={
+                "ranks": ranks_of_machine(self.plan, mi),
+                "bundle": self.bundle,
+                "generation": self.generation,
+                "clear_failpoints": self._clear_on_spawn,
+            },
+        )
+        if self.tracer is not None:
+            self.tracer.instant("agent-join", machine=mi, generation=self.generation)
+
+    def _admit_rank(self, ch: Channel, meta: dict) -> None:
+        rank = int(meta["rank"])
+        if not 0 <= rank < self.world:
+            ch.close()
+            return
+        old = self.rank_chans.pop(rank, None)
+        if old is not None:
+            old.close()
+        self.rank_chans[rank] = ch
+        self.rank_addrs[rank] = (meta["host"], int(meta["port"]))
+        self.status[rank] = "running"
+        self.awaiting_hello.discard(rank)
+
+    def _drain_agent(self, mi: int) -> None:
+        ag = self.agents.get(mi)
+        if ag is None or not ag.alive:
+            return
+        ch = ag.channel
+        try:
+            while ch.poll(0.0):
+                frame = ch.recv(timeout=1.0)
+                if frame.tag == "hb":
+                    ag.last_hb = time.monotonic()
+                elif frame.tag == "child/exit":
+                    rank = int(frame.meta["rank"])
+                    code = int(frame.meta.get("code", 0))
+                    self._drain_rank(rank)  # a result may have raced the exit
+                    if self.status.get(rank) not in ("done",):
+                        self.status[rank] = "dead"
+                        self.diags.setdefault(
+                            rank, f"rank process exited with code {code}"
+                        )
+        except TransportError:
+            self._agent_down(mi, "agent control channel closed")
+
+    def _drain_rank(self, rank: int) -> None:
+        ch = self.rank_chans.get(rank)
+        if ch is None or self.status.get(rank) == "done":
+            return
+        try:
+            while ch.poll(0.0) and self.status.get(rank) != "done":
+                frame = ch.recv(timeout=1.0)
+                if frame.tag == "result":
+                    self.results[rank] = frame
+                    self.status[rank] = "done"
+                elif frame.tag == "parked":
+                    self.status[rank] = "parked"
+                    self.diags.setdefault(
+                        rank, f"parked: {frame.meta.get('error', 'peer failure')}"
+                    )
+                    if "iteration" in frame.meta:
+                        self.park_iters[rank] = int(frame.meta["iteration"])
+                elif frame.tag == "error":
+                    self.diags[rank] = frame.meta.get("error", "unknown error")
+        except TransportError:
+            if self.status.get(rank) != "done":
+                self.status[rank] = "dead"
+                self.diags.setdefault(rank, "rank control channel closed")
+
+    def _check_agents(self) -> None:
+        now = time.monotonic()
+        for mi, ag in list(self.agents.items()):
+            if not ag.alive:
+                continue
+            if ag.proc is not None and ag.proc.poll() is not None:
+                self._agent_down(
+                    mi, f"agent process exited with code {ag.proc.returncode}"
+                )
+            elif now - ag.last_hb > self.hb_timeout:
+                self._agent_down(mi, f"no heartbeat for {self.hb_timeout:.0f}s")
+
+    def _agent_down(self, mi: int, why: str) -> None:
+        """A machine is lost: every non-done rank on it is dead (their
+        parent watchdogs are taking the processes down right now)."""
+        ag = self.agents.get(mi)
+        if ag is None or not ag.alive:
+            return
+        ag.alive = False
+        ag.channel.close()
+        if ag.proc is not None:
+            try:
+                ag.proc.kill()
+            except OSError:
+                pass
+        self.dead_machines.add(mi)
+        get_registry().counter("recovery/machine_losses").add()
+        if self.tracer is not None:
+            self.tracer.instant("machine-lost", machine=mi, reason=why)
+        for rank in ranks_of_machine(self.plan, mi):
+            if self.status.get(rank) != "done":
+                self.status[rank] = "dead"
+                self.diags.setdefault(rank, f"host agent {mi} lost: {why}")
+
+    # -------------------------------------------------------------- wiring
+    def _send_wire(self, ranks) -> None:
+        for rank in ranks:
+            if self.status.get(rank) == "done":
+                continue
+            links = []
+            for link in self._plans[rank]:
+                entry = {"key": link.key, "peer": link.peer, "dial": link.dial}
+                if link.dial:
+                    host, port = self.rank_addrs[link.peer]
+                    entry["host"] = host
+                    entry["port"] = port
+                links.append(entry)
+            self.rank_chans[rank].send(
+                "wire", meta={"generation": self.generation, "links": links}
+            )
+
+    # ------------------------------------------------------------ recovery
+    def _recover(self) -> None:
+        """Roll the fabric back to the last sealed commit: replacement
+        agents for lost machines, respawned ranks, a fresh wire plan."""
+        self.restarts += 1
+        if self.restarts > self.policy.max_restarts:
+            self._fail("failed and restart budget exhausted")
+        if any(st == "done" for st in self.status.values()):
+            self._fail("fleet failed after some ranks completed")
+        self.generation += 1
+        self._clear_on_spawn = True
+        slot, sealed_iteration = self.slab.header
+        depth = max(
+            (it - sealed_iteration for it in self.park_iters.values()), default=0
+        )
+        depth = max(depth, 0)
+        dead_ranks = [r for r, st in self.status.items() if st == "dead"]
+        lost = sorted(self.dead_machines)
+        registry = get_registry()
+        registry.counter("recovery/restarts").add()
+        registry.gauge("recovery/rollback_depth").set(float(depth))
+        registry.gauge("recovery/generation").set(float(self.generation))
+        rollback_span = (
+            self.tracer.span(
+                "rollback",
+                generation=self.generation,
+                restart=self.restarts,
+                slot=int(slot),
+                sealed_iteration=int(sealed_iteration),
+                depth=int(depth),
+                dead_ranks=dead_ranks,
+                lost_machines=lost,
+            )
+            if self.tracer is not None
+            else None
+        )
+        if rollback_span is not None:
+            rollback_span.__enter__()
+        try:
+            for live, pair in zip(self.live_states, self.shadow_pairs):
+                live.memory.copy_from(pair[slot].memory)
+                live.mailbox.copy_from(pair[slot].mailbox)
+
+            self.awaiting_hello = set(dead_ranks)
+            join = "{}:{}".format(*self.bundle["controller"])
+            t0 = time.perf_counter()
+            for mi in lost:
+                # replacement agents are always managed subprocesses, even
+                # when the lost one joined externally — recovery must not
+                # wait for an operator
+                self.pending_machines.append(mi)
+                self._spawn_agent(join)
+            # ranks that died on surviving machines respawn in place
+            by_machine: Dict[int, List[int]] = {}
+            for rank in dead_ranks:
+                mi = machine_of(self.plan, rank)
+                if mi not in self.dead_machines:
+                    by_machine.setdefault(mi, []).append(rank)
+            for mi, ranks in by_machine.items():
+                ag = self.agents.get(mi)
+                if ag is None or not ag.alive:
+                    continue
+                try:
+                    ag.channel.send(
+                        "spawn",
+                        meta={
+                            "ranks": sorted(ranks),
+                            "bundle": self.bundle,
+                            "generation": self.generation,
+                            "clear_failpoints": True,
+                        },
+                    )
+                except TransportError:
+                    self._agent_down(mi, "spawn request failed")
+            # parked survivors advance to the new generation in place
+            for rank, st in list(self.status.items()):
+                if st != "parked":
+                    continue
+                try:
+                    self.rank_chans[rank].send(
+                        "resume", meta={"generation": self.generation}
+                    )
+                    self.status[rank] = "running"
+                except TransportError:
+                    self.status[rank] = "dead"
+                    self.diags.setdefault(rank, "died while parked")
+                    self.awaiting_hello.add(rank)
+                    mi = machine_of(self.plan, rank)
+                    ag = self.agents.get(mi)
+                    if ag is not None and ag.alive:
+                        try:
+                            ag.channel.send(
+                                "spawn",
+                                meta={
+                                    "ranks": [rank],
+                                    "bundle": self.bundle,
+                                    "generation": self.generation,
+                                    "clear_failpoints": True,
+                                },
+                            )
+                        except TransportError:
+                            self._agent_down(mi, "spawn request failed")
+            # re-rendezvous: replacement agents join, respawned ranks hello
+            deadline = time.monotonic() + self.policy.grace + 60.0
+            self._await(
+                lambda: not self.pending_machines and not self.awaiting_hello,
+                deadline,
+                "respawned agents/ranks to rejoin",
+            )
+            registry.histogram("recovery/respawn_latency_s").record(
+                time.perf_counter() - t0
+            )
+            registry.counter("recovery/respawns").add(len(dead_ranks) or 1)
+            self._send_wire(range(self.world))
+        finally:
+            if rollback_span is not None:
+                rollback_span.__exit__(None, None, None)
+            if self.tracer is not None:
+                self.tracer.flush()
+        self.park_iters.clear()
+
+    # -------------------------------------------------------------- failure
+    def _fail(self, default: str) -> None:
+        failures = dict(self.diags)
+        for rank in range(self.world):
+            if self.status.get(rank) != "done":
+                failures.setdefault(rank, default)
+        self._cleanup(kill=True)
+        raise WorkerFailure(failures or {0: default})
+
+    def _cleanup(self, kill: bool) -> None:
+        for rank, ch in self.rank_chans.items():
+            if kill and self.status.get(rank) in ("parked", "running"):
+                try:
+                    ch.send("abort")
+                except TransportError:
+                    pass
+            ch.close()
+        for ag in self.agents.values():
+            if ag.alive:
+                try:
+                    ag.channel.send("shutdown", meta={"kill": kill})
+                except TransportError:
+                    pass
+        procs = [
+            ag.proc for ag in self.agents.values() if ag.proc is not None
+        ] + self.unassigned_procs
+        deadline = time.monotonic() + 10.0
+        for proc in procs:
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+        for ag in self.agents.values():
+            ag.channel.close()
+        if self.listener is not None:
+            self.listener.close()
+            self.listener = None
+
+
+# --------------------------------------------------------------- train fit
+def run_fabric_fit(
+    config,
+    trainer,
+    *,
+    epochs: Optional[int] = None,
+    max_iterations: Optional[int] = None,
+    eval_every_sweeps: int = 1,
+    verbose: bool = False,
+    timeout: float = DEFAULT_TIMEOUT,
+    recovery: Optional[RecoveryPolicy] = None,
+    run_state: Optional[dict] = None,
+    rendezvous: Optional[str] = None,
+    managed_agents: bool = True,
+    agents: Optional[int] = None,
+) -> Tuple[dict, Dict[str, np.ndarray], List[SharedGroupState]]:
+    """Execute ``config`` as ``i×j×k`` ranks over ``machines`` host agents,
+    continuing from ``trainer``'s current state — the fabric analogue of
+    :func:`~repro.runtime.launcher.run_process_fit` with the ``j``
+    dimension fanned out into real pipelined ranks.
+
+    ``rendezvous`` is the controller's bind address (default an ephemeral
+    localhost port).  ``managed_agents=True`` spawns the host agents as
+    subprocesses; ``False`` waits for externally-launched
+    ``repro.cli agent --join`` processes (the CI smoke mode).  ``agents``
+    optionally asserts the expected agent count — a fabric plan needs
+    exactly ``plan.machines`` of them.
+
+    Returns ``(meta, arrays, group_states)`` with the identical contract
+    (and, by construction, bitwise-identical contents) as the process and
+    local backends; feed it to
+    :func:`~repro.runtime.launcher.apply_process_result`.
+    """
+    from ..worker import initial_book
+
+    policy = recovery if recovery is not None else RecoveryPolicy()
+    plan = config.parallel
+    world = plan.i * plan.j * plan.k
+    if agents is not None and agents != plan.machines:
+        raise ValueError(
+            f"plan {plan.label()} needs exactly {plan.machines} agent(s), "
+            f"got agents={agents}"
+        )
+    graph = trainer.graph
+    topology = getattr(config.train, "topology", "star")
+
+    if run_state is not None:
+        target_iteration = int(run_state["target_iteration"])
+        book = {
+            "history": list(run_state["history"]),
+            "recent": list(run_state["recent"]),
+            "last_eval_sweeps": int(run_state["last_eval_sweeps"]),
+        }
+    else:
+        epochs_eq = epochs if epochs is not None else config.train.epochs
+        total_batch_visits = epochs_eq * trainer.num_batches
+        visits_per_iteration = plan.j * plan.k
+        iterations = max(1, total_batch_visits // visits_per_iteration)
+        if max_iterations is not None:
+            iterations = min(iterations, int(max_iterations))
+        target_iteration = trainer._iteration + iterations
+        book = initial_book()
+
+    trace_dir = resolve_trace_dir(config)
+    controller_tracer: Optional[Tracer] = None
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
+        controller_tracer = Tracer(
+            rank=world,
+            lane="supervisor",
+            path=Path(trace_dir) / "trace-supervisor.jsonl",
+        )
+        controller_tracer.instant(
+            "launch", world=world, machines=plan.machines, fabric=True
+        )
+
+    group_states = create_group_states(
+        plan.k,
+        num_nodes=graph.num_nodes,
+        memory_dim=config.model.memory_dim,
+        edge_dim=graph.edge_dim,
+        comb=config.train.comb,
+    )
+    slab: Optional[CommitSlab] = None
+    shadow_pairs: List[List[SharedGroupState]] = []
+    launcher: Optional[FabricLauncher] = None
+    try:
+        for st, g in zip(group_states, trainer.groups):
+            st.memory.copy_from(g.memory)
+            st.mailbox.copy_from(g.mailbox)
+        slab, shadow_pairs, shadow_specs = prepare_recovery_state(
+            config, trainer, book=book
+        )
+
+        train_meta = {
+            "target_iteration": target_iteration,
+            "eval_every_sweeps": eval_every_sweeps,
+            "verbose": verbose,
+            "commit_every": policy.commit_every,
+        }
+        if trace_dir is not None:
+            train_meta["trace_dir"] = str(trace_dir)
+
+        bundle = {
+            "config_dict": config.to_dict(),
+            "shared_specs": [st.spec.to_dict() for st in group_states],
+            "commit_spec": slab.to_dict(),
+            "shadow_specs": shadow_specs,
+            "train_meta": train_meta,
+            "topology": topology,
+            "collective_timeout": policy.collective_timeout,
+            "timeout": timeout,
+            "generation": 0,
+        }
+
+        launcher = FabricLauncher(
+            plan=plan,
+            topology=topology,
+            bundle=bundle,
+            policy=policy,
+            timeout=timeout,
+            slab=slab,
+            shadow_pairs=shadow_pairs,
+            live_states=group_states,
+            rendezvous=rendezvous or "127.0.0.1:0",
+            managed_agents=managed_agents,
+            tracer=controller_tracer,
+        )
+        results = launcher.run()
+    except BaseException:
+        destroy_states(group_states)
+        raise
+    finally:
+        for pair in shadow_pairs:
+            destroy_states(pair)
+        if slab is not None:
+            slab.close()
+            slab.unlink()
+        if trace_dir is not None:
+            try:
+                if controller_tracer is not None:
+                    controller_tracer.instant("join")
+                    controller_tracer.flush()
+                merge_trace_dir(trace_dir)
+            except Exception:  # pragma: no cover - defensive
+                pass
+    root = results[0]
+    return root.meta, root.arrays, group_states

@@ -54,7 +54,11 @@ import numpy as np
 from ..obs import get_registry
 from ..obs.merge import merge_trace_dir
 from ..obs.trace import Tracer, resolve_trace_dir
-from .collectives import Communicator, make_local_communicators
+from .collectives import (
+    Communicator,
+    make_local_communicators,
+    make_topology_communicators,
+)
 from .sharedmem import (
     CommitSlab,
     SharedGroupState,
@@ -493,6 +497,7 @@ class _ElasticSupervisor:
         timeout: float,
         name: str = "repro-rt",
         tracer: Optional[Tracer] = None,
+        reduce_gens: Optional[List[List]] = None,
     ) -> None:
         self.world = world
         self.make_kwargs = make_kwargs
@@ -501,6 +506,7 @@ class _ElasticSupervisor:
         self.live_states = live_states
         self.world_gens = world_gens
         self.group_gens = group_gens
+        self.reduce_gens = reduce_gens or []
         self.policy = policy
         self.timeout = timeout
         self.name = name
@@ -551,8 +557,12 @@ class _ElasticSupervisor:
         for ch in self.chans.values():
             ch.close()
         for gen in range(self.generation, len(self.world_gens)):
-            for comm in self.world_gens[gen] + self.group_gens[gen]:
+            for comm in self._gen_comms(gen):
                 comm.close()
+
+    def _gen_comms(self, gen: int) -> List:
+        extra = self.reduce_gens[gen] if gen < len(self.reduce_gens) else []
+        return self.world_gens[gen] + self.group_gens[gen] + list(extra)
 
     def _fail(self, default: str) -> None:
         failures = dict(self.diags)
@@ -632,7 +642,7 @@ class _ElasticSupervisor:
         for ch in self.chans.values():
             ch.close()
         for gen in range(self.generation, len(self.world_gens)):
-            for comm in self.world_gens[gen] + self.group_gens[gen]:
+            for comm in self._gen_comms(gen):
                 comm.close()
         return [self.results[r] for r in range(self.world)]
 
@@ -707,7 +717,7 @@ class _ElasticSupervisor:
             for live, pair in zip(self.live_states, self.shadow_pairs):
                 live.memory.copy_from(pair[slot].memory)
                 live.mailbox.copy_from(pair[slot].mailbox)
-            for comm in self.world_gens[prev] + self.group_gens[prev]:
+            for comm in self._gen_comms(prev):
                 comm.close()
             for rank in range(self.world):
                 st = self.status[rank]
@@ -831,7 +841,9 @@ def run_process_fit(
     shadow_pairs: List[List[SharedGroupState]] = []
     world_gens: List[List[Communicator]] = []
     group_gens: List[List[Communicator]] = []
+    reduce_gens: List[List] = []
     supervisor: Optional[_ElasticSupervisor] = None
+    topology = getattr(config.train, "topology", "star")
     try:
         # continue from the parent's node memory, not from zero state
         for st, g in zip(group_states, trainer.groups):
@@ -850,6 +862,16 @@ def run_process_fit(
                 )
             )
             group_gens.append(_make_group_comms(plan, policy.collective_timeout))
+            if topology != "star":
+                # a dedicated ring/tree communicator generation carries the
+                # gradient allreduce; barriers and control stay on the star
+                # (all three reduce in rank order, so results are bitwise
+                # identical — the topology only changes who moves the bytes)
+                reduce_gens.append(
+                    make_topology_communicators(
+                        topology, world, policy.collective_timeout
+                    )
+                )
 
         train_meta = {
             "target_iteration": target_iteration,
@@ -876,6 +898,14 @@ def run_process_fit(
                 "group_comms": {
                     g: group_gens[g][rank] for g in range(generation, generations)
                 },
+                "reduce_comms": (
+                    {
+                        g: reduce_gens[g][rank]
+                        for g in range(generation, generations)
+                    }
+                    if reduce_gens
+                    else None
+                ),
                 "generation": generation,
                 "train_meta": train_meta,
             }
@@ -891,6 +921,7 @@ def run_process_fit(
             policy=policy,
             timeout=timeout,
             tracer=supervisor_tracer,
+            reduce_gens=reduce_gens,
         )
         results = supervisor.run()
     except BaseException:
@@ -901,7 +932,7 @@ def run_process_fit(
         if supervisor is not None:
             supervisor._cleanup()
         else:
-            for gen_comms in world_gens + group_gens:
+            for gen_comms in world_gens + group_gens + reduce_gens:
                 for comm in gen_comms:
                     comm.close()
         destroy_states(group_states)

@@ -36,6 +36,30 @@ from ..memory.mailbox import Mailbox
 from ..memory.node_memory import NodeMemory
 
 
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    Attaching registers the segment with the *attacher's* tracker, which
+    unlinks it when the attacher exits — correct only for the creator.
+    The fabric's host agents are independent processes with their own
+    trackers, so an agent's orderly shutdown must not destroy segments the
+    controller still owns; and mp-spawned workers *share* the creator's
+    tracker, where an unregister-after-attach would double-remove the
+    creator's cache entry (the tracker daemon logs KeyError tracebacks).
+    Suppressing the registration during attach covers both without
+    touching the creator's own entry.  (Python 3.13's
+    ``SharedMemory(track=False)`` is this, spelled officially.)
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
 def _layout(
     num_nodes: int, memory_dim: int, edge_dim: int
 ) -> List[Tuple[str, Tuple[int, ...], np.dtype]]:
@@ -97,7 +121,7 @@ class SharedGroupState:
                 create=True, size=spec.nbytes, name=spec.name
             )
         else:
-            self.shm = shared_memory.SharedMemory(name=spec.name)
+            self.shm = _attach_untracked(spec.name)
             if self.shm.size < spec.nbytes:
                 self.close()
                 raise ValueError(
@@ -236,7 +260,7 @@ class CommitSlab:
             self.shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
             self._write_header(-1, -1)
         else:
-            self.shm = shared_memory.SharedMemory(name=name)
+            self.shm = _attach_untracked(name)
             if self.shm.size < nbytes:
                 self.shm.close()
                 raise ValueError(

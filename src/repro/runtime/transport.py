@@ -245,3 +245,89 @@ def pipe_channel_pair(default_timeout: float = 120.0):
 
     a, b = mp.Pipe(duplex=True)
     return Channel(a, default_timeout), Channel(b, default_timeout)
+
+
+# ------------------------------------------------------------ socket dialing
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for socket dialing.
+
+    ``connect_timeout`` caps the *total* time spent dialing (attempts plus
+    sleeps); ``handshake_timeout`` is what callers should allot to the
+    first application-level exchange after the TCP connect succeeds.
+    Delays double from ``base_delay`` up to ``max_delay`` between
+    attempts, so a peer that is merely slow to bind its listener (an agent
+    racing the controller, a respawn re-opening its port) is retried
+    instead of surfacing as an instant :class:`TransportError`.
+    """
+
+    connect_timeout: float = 20.0
+    handshake_timeout: float = 30.0
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.connect_timeout <= 0:
+            raise ValueError("connect_timeout must be positive")
+        if self.handshake_timeout <= 0:
+            raise ValueError("handshake_timeout must be positive")
+        if self.base_delay <= 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 < base_delay <= max_delay")
+
+    def delays(self):
+        """The backoff sequence: base, 2*base, ... capped at max_delay."""
+        delay = self.base_delay
+        while True:
+            yield delay
+            delay = min(delay * 2, self.max_delay)
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    retry: Optional[RetryPolicy] = None,
+) -> socket.socket:
+    """Dial ``host:port``, retrying refused/unreachable connects.
+
+    Returns a connected ``TCP_NODELAY`` socket or raises
+    :class:`TransportTimeout` once the policy's ``connect_timeout`` budget
+    is spent.  Refusals are *expected* during fleet bring-up — every rank
+    dials every lower-rank listener as soon as it learns the address, and
+    the listener may not have reached ``accept`` yet.
+    """
+    import time
+
+    retry = retry or RetryPolicy()
+    deadline = time.monotonic() + retry.connect_timeout
+    last_error: Optional[Exception] = None
+    for delay in retry.delays():
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        try:
+            sock = socket.create_connection(
+                (host, port), timeout=min(remaining, retry.max_delay * 4)
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(None)
+            return sock
+        except OSError as exc:
+            last_error = exc
+            time.sleep(min(delay, max(deadline - time.monotonic(), 0)))
+    raise TransportTimeout(
+        f"could not connect to {host}:{port} within "
+        f"{retry.connect_timeout:.1f}s (last error: {last_error})"
+    )
+
+
+def socket_channel(
+    host: str,
+    port: int,
+    retry: Optional[RetryPolicy] = None,
+    default_timeout: float = 120.0,
+) -> Channel:
+    """Dial with retry and wrap the socket as a frame :class:`Channel`."""
+    return Channel(
+        SocketEndpoint(connect_with_retry(host, port, retry)),
+        default_timeout=default_timeout,
+    )

@@ -105,6 +105,7 @@ def train_worker(
     shadow_specs: Optional[List[List[dict]]] = None,
     world_comms: Optional[Dict[int, Communicator]] = None,
     group_comms: Optional[Dict[int, Communicator]] = None,
+    reduce_comms: Optional[Dict[int, object]] = None,
     generation: int = 0,
     train_meta: Optional[dict] = None,
     clear_failpoints: bool = False,
@@ -130,6 +131,9 @@ def train_worker(
     world = i * k
     world_comm = world_comms[generation]
     group_comm = group_comms[generation]
+    # the gradient allreduce optionally rides a ring/tree communicator
+    # (TrainConfig.topology); control traffic stays on the star
+    reduce_comm = reduce_comms[generation] if reduce_comms else world_comm
     if world_comm.world != world or not 0 <= rank < world:
         raise ValueError(f"rank {rank} inconsistent with plan {cfg.parallel.label()}")
     m, s = rank // i, rank % i
@@ -253,7 +257,11 @@ def train_worker(
                 "worker.step",
                 rank=rank,
                 step=trainer._iteration,
-                pipe_drop=lambda: (world_comm.close(), group_comm.close()),
+                pipe_drop=lambda: (
+                    world_comm.close(),
+                    group_comm.close(),
+                    reduce_comm.close(),
+                ),
             )
             with use_fused(spec.fused):
                 if substep == 0:
@@ -323,9 +331,9 @@ def train_worker(
                         trainer._accumulate_term(acc, entry, r, substep)
                 vec = acc.to_vector()
                 if world > 1:
-                    # rank-ordered float64 sum at the root == the logical
-                    # trainer's block-order reduce_partials, bitwise
-                    vec = synced("allreduce", world_comm.allreduce_sum, vec)
+                    # rank-ordered float64 sum == the logical trainer's
+                    # block-order reduce_partials, bitwise on any topology
+                    vec = synced("allreduce", reduce_comm.allreduce_sum, vec)
                 global_loss = load_reduced(trainer.optimizer.params, vec)
                 clip_grad_norm(trainer.optimizer.params, spec.grad_clip)
                 trainer.optimizer.step()
@@ -392,6 +400,7 @@ def train_worker(
             generation = _park(channel, rank, exc, iteration=trainer._iteration)
             world_comm = world_comms[generation]
             group_comm = group_comms[generation]
+            reduce_comm = reduce_comms[generation] if reduce_comms else world_comm
             book = load_committed()
             history = list(book["history"])
             recent = list(book["recent"])

@@ -6,8 +6,10 @@ and the bitwise local≡process contract from the runtime backend makes that
 claim *testable by exact equality* instead of tolerance bands.  This module
 packages the test harness:
 
-* :func:`chaos_fit` — run ``Session.fit(backend="process")`` with a set of
-  failpoints armed (and reliably cleared afterwards, pass or fail);
+* :func:`chaos_fit` — run ``Session.fit(backend="process")`` (or
+  ``backend="fabric"``, where ``fabric.machine`` failpoints SIGKILL a
+  whole host agent) with a set of failpoints armed (and reliably cleared
+  afterwards, pass or fail);
 * :func:`differential_chaos_fit` — the full oracle: run the faulted
   process fit *and* an unfaulted reference fit of the same config, then
   compare everything observable (loss history, metrics, model weights,
@@ -59,19 +61,23 @@ def chaos_fit(
     epochs: Optional[int] = None,
     recovery=None,
     timeout: Optional[float] = None,
+    backend: str = "process",
 ):
-    """Run a process-backend fit with ``faults`` armed.
+    """Run a process- (or fabric-) backend fit with ``faults`` armed.
 
     ``faults`` maps failpoint specs to ``(kind, rank)`` — e.g.
-    ``{"worker.step:3": ("crash", 1)}``.  Failpoints are cleared on exit
-    even when the fit (or an assertion around it) raises, so an armed
-    crash can never leak into the next test.  Returns ``(session,
-    result)``.
+    ``{"worker.step:3": ("crash", 1)}``.  With ``backend="fabric"`` the
+    ``fabric.machine`` site is also live, so a spec like
+    ``{"fabric.machine:2": ("crash", 5)}`` SIGKILLs rank 5's *entire host
+    agent* (children included) at iteration 2 — the machine-loss drill.
+    Failpoints are cleared on exit even when the fit (or an assertion
+    around it) raises, so an armed crash can never leak into the next
+    test.  Returns ``(session, result)``.
     """
     sess = Session(config)
     with failpoints.scoped(faults):
         kwargs = dict(
-            max_iterations=max_iterations, epochs=epochs, backend="process"
+            max_iterations=max_iterations, epochs=epochs, backend=backend
         )
         if recovery is not None:
             kwargs["recovery"] = recovery
@@ -90,6 +96,7 @@ def differential_chaos_fit(
     recovery=None,
     timeout: Optional[float] = None,
     reference_backend: str = "local",
+    backend: str = "process",
 ) -> ChaosReport:
     """The recovery oracle: a faulted process fit vs. an unfaulted replay.
 
@@ -97,6 +104,8 @@ def differential_chaos_fit(
     no failpoints armed — on the logical trainer by default (the semantic
     reference, which also cross-checks the backend equivalence contract),
     or on a clean process fleet with ``reference_backend="process"``.
+    ``backend="fabric"`` runs the faulted fit on the multi-host fabric
+    instead (whole-machine-loss drills included).
     """
     faulted_sess, faulted_res = chaos_fit(
         config,
@@ -105,6 +114,7 @@ def differential_chaos_fit(
         epochs=epochs,
         recovery=recovery,
         timeout=timeout,
+        backend=backend,
     )
     ref_sess = Session(config)
     ref_kwargs = dict(max_iterations=max_iterations, epochs=epochs)

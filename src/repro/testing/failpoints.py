@@ -31,7 +31,11 @@ Spec syntax (one spec, also the env-var element; specs join with ``;``)::
     Optional rank scope; omitted = any rank.
 ``kind``
     ``crash``      — ``SIGKILL`` the process (no cleanup, no error frame:
-                     the hard-death path the launcher must survive);
+                     the hard-death path the launcher must survive).  A
+                     site may pass a ``crash`` callback to scope the blast
+                     radius — the fabric worker's ``fabric.machine`` site
+                     SIGKILLs its whole host agent (children included)
+                     instead of just itself, the machine-loss drill;
     ``wedge``      — spin forever (the process stays alive but makes no
                      progress: the timeout-detection path);
     ``pipe_drop``  — invoke the site's ``pipe_drop`` callback (the worker
@@ -185,13 +189,16 @@ class FailpointRegistry:
         rank: Optional[int] = None,
         step: Optional[int] = None,
         pipe_drop: Optional[Callable[[], None]] = None,
+        crash: Optional[Callable[[], None]] = None,
     ) -> None:
         """Evaluate ``site``; act out the first matching armed spec.
 
         ``step`` makes matching deterministic across restarts (the worker
         passes its global iteration); without it the per-process hit
         counter is used.  ``pipe_drop`` is the site's hook for the
-        ``pipe_drop`` kind (close your comm channels here).
+        ``pipe_drop`` kind (close your comm channels here); ``crash``
+        overrides the default self-SIGKILL with a site-specific blast
+        radius (the fabric's whole-machine kill).
         """
         self._load_env()
         if self._neutralized or not self._specs:
@@ -208,13 +215,20 @@ class FailpointRegistry:
             if key in self._fired:
                 continue
             self._fired.add(key)
-            self._act(spec, pipe_drop)
+            self._act(spec, pipe_drop, crash)
             return
 
-    def _act(self, spec: FailpointSpec, pipe_drop: Optional[Callable[[], None]]) -> None:
+    def _act(
+        self,
+        spec: FailpointSpec,
+        pipe_drop: Optional[Callable[[], None]],
+        crash: Optional[Callable[[], None]] = None,
+    ) -> None:
         if spec.kind == "crash":
             # a true SIGKILL: no atexit, no error frame, no flushed pipes —
             # exactly the failure mode elastic restart must absorb
+            if crash is not None:
+                crash()
             os.kill(os.getpid(), signal.SIGKILL)
         elif spec.kind == "wedge":
             while True:  # pragma: no cover - the supervisor kills us

@@ -267,6 +267,49 @@ class TestSummary:
         assert [e["name"] for e in recovery] == ["park", "rollback", "respawn"]
         assert recovery[1]["depth"] == 2 and recovery[2]["dur_s"] == 0.1
 
+    def test_host_prefixed_lanes_roll_up_per_host(self):
+        """Fabric lanes (``h<machine>.rank<rank>``) aggregate under
+        ``hosts``: slowest-lane wall/sync per host — the bench's
+        max-across-ranks convention — while plain lanes stay out."""
+        def lane(pid, name, wall_us, sync_us):
+            return [
+                {"ph": "M", "name": "process_name", "pid": pid,
+                 "args": {"name": name}},
+                {"name": "allreduce", "ph": "X", "ts": 0.0, "dur": sync_us,
+                 "pid": pid, "tid": 0, "args": {"cat": "sync"}},
+                {"name": "forward", "ph": "X", "ts": sync_us, "pid": pid,
+                 "dur": wall_us - sync_us, "tid": 0},
+            ]
+
+        events = (
+            lane(0, "h0.rank0", 4e6, 1e6)
+            + lane(1, "h0.rank1", 6e6, 3e6)
+            + lane(2, "h1.rank2", 5e6, 2e6)
+            + lane(9, "supervisor", 9e6, 0.0)
+        )
+        summary = summarize_trace(events)
+        hosts = summary["hosts"]
+        assert list(hosts) == ["h0", "h1"]
+        assert hosts["h0"]["lanes"] == 2 and hosts["h1"]["lanes"] == 1
+        # h0's slowest lane paces it: wall 6s, sync 3s
+        assert hosts["h0"]["wall_s"] == pytest.approx(6.0)
+        assert hosts["h0"]["sync_s"] == pytest.approx(3.0)
+        assert hosts["h0"]["sync_frac"] == pytest.approx(0.5)
+        assert hosts["h1"]["wall_s"] == pytest.approx(5.0)
+        text = obs.format_summary(summary)
+        assert "hosts:" in text and "h0: 2 lanes" in text
+
+    def test_no_host_lanes_means_empty_rollup(self):
+        events = [
+            {"ph": "M", "name": "process_name", "pid": 0,
+             "args": {"name": "rank0"}},
+            {"name": "forward", "ph": "X", "ts": 0.0, "dur": 1e6, "pid": 0,
+             "tid": 0},
+        ]
+        summary = summarize_trace(events)
+        assert summary["hosts"] == {}
+        assert "hosts:" not in obs.format_summary(summary)
+
     def test_summarize_file_round_trip(self, tmp_path):
         tr = Tracer(rank=0, path=tmp_path / "trace-rank0.jsonl", registry=None)
         with tr.span("forward"):

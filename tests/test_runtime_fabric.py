@@ -1,0 +1,219 @@
+"""Multi-host fabric backend: layout, wiring, parity, machine-loss recovery.
+
+The fabric's contract extends the process backend's in two directions and
+these tests hold it to both:
+
+* an ``i×j×k@machines`` fit over real host agents — including the ``j``
+  epoch dimension fanned out into genuinely pipelined ranks — must be
+  **bitwise identical** to ``backend="local"``;
+* SIGKILLing an entire host agent mid-epoch (machine loss, the
+  ``fabric.machine`` failpoint) must recover through a replacement agent
+  and still finish bitwise identical to an unfaulted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.config import (
+    DataConfig,
+    ExperimentConfig,
+    ModelConfig,
+    TrainConfig,
+)
+from repro.api.session import Session
+from repro.parallel.config import ParallelConfig
+from repro.runtime.fabric import run_fabric_fit
+from repro.runtime.fabric.wire import (
+    coords_of,
+    link_plan,
+    machine_of,
+    rank_of,
+    ranks_of_machine,
+)
+
+
+def tiny_config(plan: str, seed: int = 0, topology: str = "star") -> ExperimentConfig:
+    return ExperimentConfig(
+        data=DataConfig(dataset="wikipedia", scale=0.004, seed=seed),
+        model=ModelConfig(memory_dim=16, time_dim=8, embed_dim=16, num_neighbors=5),
+        parallel=ParallelConfig.parse(plan),
+        train=TrainConfig(
+            epochs=2, batch_size=50, seed=seed,
+            eval_candidates=10, num_negative_groups=4, topology=topology,
+        ),
+    )
+
+
+def assert_bitwise(local: Session, fab: Session, r_local, r_fab) -> None:
+    assert r_local.history == r_fab.history
+    assert r_local.test_metric == r_fab.test_metric
+    assert r_local.iterations_run == r_fab.iterations_run
+    for (n_l, p_l), (n_f, p_f) in zip(
+        local.model.named_parameters(), fab.model.named_parameters()
+    ):
+        assert n_l == n_f
+        np.testing.assert_array_equal(p_f.data, p_l.data, err_msg=n_l)
+    m_l, v_l, s_l = local.trainer.optimizer.state_arrays()
+    m_f, v_f, s_f = fab.trainer.optimizer.state_arrays()
+    assert s_l == s_f
+    for a, b in zip(m_l, m_f):
+        np.testing.assert_array_equal(b, a)
+    for a, b in zip(v_l, v_f):
+        np.testing.assert_array_equal(b, a)
+    for g_l, g_f in zip(local.trainer.groups, fab.trainer.groups):
+        np.testing.assert_array_equal(g_f.memory.memory, g_l.memory.memory)
+        np.testing.assert_array_equal(g_f.mailbox.mail, g_l.mailbox.mail)
+        assert g_f.position == g_l.position
+        assert g_f.prev_batch == g_l.prev_batch
+        assert g_f.sweeps_completed == g_l.sweeps_completed
+
+
+class TestRankLayout:
+    def test_coords_roundtrip_every_rank(self):
+        plan = ParallelConfig.parse("2x3x4@2")
+        world = plan.i * plan.j * plan.k
+        seen = set()
+        for rank in range(world):
+            m, r, s = coords_of(plan, rank)
+            assert 0 <= m < plan.k and 0 <= r < plan.j and 0 <= s < plan.i
+            assert rank_of(plan, m, r, s) == rank
+            seen.add((m, r, s))
+        assert len(seen) == world
+
+    def test_machine_ranges_are_contiguous_and_partition_world(self):
+        plan = ParallelConfig.parse("2x2x4@2")
+        world = plan.i * plan.j * plan.k
+        covered = []
+        for mi in range(plan.machines):
+            ranks = ranks_of_machine(plan, mi)
+            assert ranks == list(range(ranks[0], ranks[0] + len(ranks)))
+            assert all(machine_of(plan, r) == mi for r in ranks)
+            covered += ranks
+        assert sorted(covered) == list(range(world))
+
+    def test_memory_groups_never_span_machines(self):
+        # §3.2.3: memory never syncs across machines, so all ranks of one
+        # memory group must land on one machine
+        plan = ParallelConfig.parse("2x2x4@2")
+        for m in range(plan.k):
+            machines = {
+                machine_of(plan, rank_of(plan, m, r, s))
+                for r in range(plan.j)
+                for s in range(plan.i)
+            }
+            assert len(machines) == 1
+
+
+class TestLinkPlan:
+    @pytest.mark.parametrize("topology", ["star", "ring", "tree"])
+    @pytest.mark.parametrize("plan_s", ["1x1x1", "2x1x2@2", "2x2x2@2", "1x3x2@2"])
+    def test_every_edge_has_one_dialer_one_acceptor(self, plan_s, topology):
+        plan = ParallelConfig.parse(plan_s)
+        world = plan.i * plan.j * plan.k
+        plans = link_plan(plan, topology)
+        assert len(plans) == world
+        by_key = {}
+        for rank, links in enumerate(plans):
+            for link in links:
+                assert link.peer != rank
+                by_key.setdefault(link.key, []).append((rank, link))
+        for key, ends in by_key.items():
+            assert len(ends) == 2, f"{key} has {len(ends)} endpoints"
+            (ra, la), (rb, lb) = ends
+            assert la.peer == rb and lb.peer == ra, key
+            assert la.dial != lb.dial, f"{key} needs exactly one dialer"
+            dialer = ra if la.dial else rb
+            acceptor = rb if la.dial else ra
+            assert dialer > acceptor, f"{key}: higher rank dials"
+
+    def test_world_one_needs_no_links(self):
+        plan = ParallelConfig.parse("1x1x1")
+        assert link_plan(plan, "star") == [[]]
+
+    def test_token_chain_links_j_rows(self):
+        plan = ParallelConfig.parse("1x3x1")
+        plans = link_plan(plan, "star")
+        tok_keys = {
+            link.key
+            for links in plans
+            for link in links
+            if link.key.startswith("tok:")
+        }
+        assert tok_keys == {"tok:0:1", "tok:0:2"}
+
+
+class TestMachinePlacementValidation:
+    def test_k_not_multiple_of_machines_rejected(self):
+        with pytest.raises(ValueError, match="multiple of machines"):
+            ParallelConfig(i=1, j=1, k=3, machines=2)
+
+    def test_k_smaller_than_machines_rejected(self):
+        with pytest.raises(ValueError, match="machines"):
+            ParallelConfig.parse("2x2x1@2")
+
+    def test_parse_label_roundtrip_with_machines(self):
+        for text in ("2x2x2@2", "1x1x4@4", "2x1x2"):
+            plan = ParallelConfig.parse(text)
+            assert ParallelConfig.parse(plan.label(with_machines=True)) == plan
+
+    def test_agent_count_must_match_machines(self):
+        from repro.train.distributed import DistTGLTrainer
+
+        cfg = tiny_config("2x1x2@2")
+        ds = cfg.build_dataset()
+        trainer = DistTGLTrainer(ds, cfg.parallel, cfg.trainer_spec())
+        with pytest.raises(ValueError, match="agent"):
+            run_fabric_fit(cfg, trainer, agents=3, max_iterations=1)
+
+    def test_session_rejects_fabric_kwargs_on_other_backends(self):
+        cfg = tiny_config("1x1x1")
+        sess = Session(cfg)
+        with pytest.raises(ValueError, match="fabric"):
+            sess.fit(backend="local", rendezvous="127.0.0.1:0")
+
+
+class TestFabricParity:
+    def test_2x1x2_at_2_matches_local_bitwise(self):
+        """The CI smoke shape: 4 ranks on 2 localhost agents."""
+        cfg = tiny_config("2x1x2@2")
+        local = Session(cfg)
+        r_local = local.fit(backend="local")
+        fab = Session(cfg)
+        r_fab = fab.fit(backend="fabric", timeout=240.0)
+        assert_bitwise(local, fab, r_local, r_fab)
+
+    def test_2x2x2_at_2_pipelined_j_matches_local_bitwise(self):
+        """The acceptance plan: 8 real ranks on 2 machines, the j=2 epoch
+        rows running as genuinely separate pipelined processes."""
+        cfg = tiny_config("2x2x2@2")
+        local = Session(cfg)
+        r_local = local.fit(backend="local")
+        fab = Session(cfg)
+        r_fab = fab.fit(backend="fabric", timeout=240.0)
+        assert_bitwise(local, fab, r_local, r_fab)
+
+    def test_ring_topology_matches_local_bitwise(self):
+        cfg = tiny_config("2x1x2@2", topology="ring")
+        local = Session(tiny_config("2x1x2@2"))
+        r_local = local.fit(backend="local")
+        fab = Session(cfg)
+        r_fab = fab.fit(backend="fabric", timeout=240.0)
+        assert_bitwise(local, fab, r_local, r_fab)
+
+
+class TestMachineLoss:
+    def test_sigkilled_agent_recovers_bitwise(self):
+        """The machine-loss drill: SIGKILL rank 5's whole host agent at
+        iteration 2; the supervisor must re-rendezvous a replacement agent,
+        respawn the lost ranks from the sealed commit, and still finish
+        bitwise identical to an unfaulted local run."""
+        from repro.testing.chaos import differential_chaos_fit
+
+        report = differential_chaos_fit(
+            tiny_config("2x2x2@2"),
+            {"fabric.machine:2": ("crash", 5)},
+            backend="fabric",
+            timeout=240.0,
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences

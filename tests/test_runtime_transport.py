@@ -245,3 +245,141 @@ class TestSharedMemory:
         spec = SharedStateSpec("repro-test-missing", 4, 2, 0)
         with pytest.raises(FileNotFoundError):
             SharedGroupState(spec, create=False)
+
+
+class TestRetryPolicy:
+    def test_delays_double_from_base_and_cap_at_max(self):
+        from repro.runtime.transport import RetryPolicy
+
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5)
+        gen = policy.delays()
+        seq = [next(gen) for _ in range(5)]
+        assert seq == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_invalid_policies_rejected(self):
+        from repro.runtime.transport import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(connect_timeout=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(handshake_timeout=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=0.5, max_delay=0.1)
+
+    def test_connect_retries_until_listener_binds_late(self):
+        import threading
+        import time
+
+        from repro.runtime.transport import RetryPolicy, connect_with_retry
+
+        # reserve a port, then bind the real listener only after a delay:
+        # the dialer must absorb the refusals and connect once it appears
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        accepted = []
+
+        def late_listener():
+            time.sleep(0.3)
+            srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            srv.bind(("127.0.0.1", port))
+            srv.listen(1)
+            conn, _ = srv.accept()
+            accepted.append(True)
+            conn.close()
+            srv.close()
+
+        t = threading.Thread(target=late_listener)
+        t.start()
+        sock = connect_with_retry(
+            "127.0.0.1", port, RetryPolicy(connect_timeout=10.0, base_delay=0.02)
+        )
+        sock.close()
+        t.join(timeout=10.0)
+        assert accepted == [True]
+
+    def test_connect_times_out_within_budget(self):
+        import time
+
+        from repro.runtime.transport import RetryPolicy, connect_with_retry
+
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        start = time.monotonic()
+        with pytest.raises(TransportTimeout):
+            connect_with_retry(
+                "127.0.0.1",
+                port,
+                RetryPolicy(connect_timeout=0.4, base_delay=0.02, max_delay=0.1),
+            )
+        assert time.monotonic() - start < 5.0
+
+
+class TestTopologyCollectives:
+    @pytest.mark.parametrize("topology", ["ring", "tree"])
+    @pytest.mark.parametrize("world", [1, 2, 3, 5])
+    def test_allreduce_bitwise_equals_star(self, topology, world):
+        """Ring and tree move the bytes differently but must fold in rank
+        order — allreduce results are bitwise identical to the star's."""
+        from repro.runtime.collectives import make_topology_communicators
+
+        vecs = [
+            np.random.default_rng(100 + r).standard_normal(1000)
+            for r in range(world)
+        ]
+        star = make_local_communicators(world, default_timeout=10.0)
+        expected = _run_threaded(star, lambda c, r: c.allreduce_sum(vecs[r]))
+        comms = make_topology_communicators(topology, world, default_timeout=10.0)
+        out = _run_threaded(comms, lambda c, r: c.allreduce_sum(vecs[r]))
+        for a, b in zip(out, expected):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("topology", ["ring", "tree"])
+    def test_barrier_root_section_runs_before_release(self, topology):
+        from repro.runtime.collectives import make_topology_communicators
+
+        comms = make_topology_communicators(topology, 3, default_timeout=10.0)
+        box = []
+
+        def fn(comm, rank):
+            comm.barrier(
+                "sync", root_section=(lambda: box.append(rank)) if rank == 0 else None
+            )
+            return len(box)
+
+        out = _run_threaded(comms, fn)
+        assert box == [0]
+        assert out == [1, 1, 1]
+
+    def test_unknown_topology_rejected(self):
+        from repro.runtime.collectives import make_topology_communicators
+
+        with pytest.raises(ValueError, match="topology"):
+            make_topology_communicators("mesh", 2)
+
+    def test_reduce_to_root_folds_in_rank_order(self):
+        """The fabric's first reduction hop: members ship their vector to
+        the root, which folds in rank order and returns the total; members
+        get None (the fan-out happens later via broadcast)."""
+        world = 3
+        comms = make_local_communicators(world, default_timeout=10.0)
+        vecs = [np.random.default_rng(7 + r).standard_normal(64) for r in range(world)]
+        out = _run_threaded(comms, lambda c, r: c.reduce_to_root(vecs[r]))
+        expected = vecs[0].astype(np.float64).copy()
+        for v in vecs[1:]:
+            expected += v
+        np.testing.assert_array_equal(out[0], expected)
+        assert out[1] is None and out[2] is None
+
+    def test_reduce_to_root_world_one_copies(self):
+        comm = Communicator(0, 1)
+        vec = np.ones(4)
+        out = comm.reduce_to_root(vec)
+        np.testing.assert_array_equal(out, vec)
+        out[0] = 9.0
+        assert vec[0] == 1.0
