@@ -28,14 +28,16 @@ yourself, one per machine::
         --rendezvous <driver-host>:47000 --external-agents      # driver
 
 Long runs can checkpoint themselves and continue exactly where they
-stopped::
+stopped — on any backend (process/fabric fits export the sealed commit
+slab from the supervisor at the same block boundaries)::
 
-    sess.fit(checkpoint_dir="runs/ckpt")        # periodic snapshots
+    sess.fit(checkpoint_dir="runs/ckpt",        # periodic snapshots
+             backend="process")
     sess = Session.resume("runs/ckpt")          # later / elsewhere
     sess.fit()                                  # bitwise == uninterrupted
 
 (or ``python -m repro.cli train --checkpoint-dir runs/ckpt`` and
-``python -m repro.cli resume --dir runs/ckpt``).
+``python -m repro.cli resume --dir runs/ckpt --backend fabric``).
 
 Want to see where a run spends its time?  Telemetry is off by default;
 flip it on per run and summarize the merged span trace::

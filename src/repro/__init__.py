@@ -93,16 +93,25 @@ rolls the fleet back to the last committed step boundary (a double-
 buffered shared-memory commit slab + per-group shadow segments), respawns
 the dead rank, and resumes — and because both backends execute bit-exact
 arithmetic, the recovered run still finishes **bitwise identical** to an
-unfaulted one.  ``repro.runtime.RecoveryPolicy`` tunes the restart budget,
-detection timeouts and commit cadence::
+unfaulted one.  There is no window where a fault is fatal: ranks seal a
+*final* commit before the end barrier, so a SIGKILL landing during
+finalization (after training finished, before results ship) recovers by
+replaying finalization from that sealed commit; two ranks dying in the
+same block fold into one restart; and a fault that interrupts recovery
+itself re-enters the same rollback without double-charging the budget.
+``repro.runtime.RecoveryPolicy`` tunes the restart budget, detection
+timeouts and commit cadence::
 
     sess.fit(backend="process",
              recovery=repro.runtime.RecoveryPolicy(max_restarts=2))
 
-Long runs checkpoint themselves and resume exactly::
+Long runs checkpoint themselves and resume exactly — on **every**
+backend: local fits snapshot from inside the step loop, process/fabric
+fits export the sealed commit slab from the supervisor at the same block
+boundaries, producing the same checkpoint format::
 
-    sess.fit(checkpoint_dir="runs/wiki-ckpt")   # cadence from
-                                                # train.checkpoint_every
+    sess.fit(checkpoint_dir="runs/wiki-ckpt",   # cadence from
+             backend="process")                 # train.checkpoint_every
     ...                                         # interrupted? then later:
     sess = repro.Session.resume("runs/wiki-ckpt")
     sess.fit()        # continues to the original target; final weights,
@@ -166,10 +175,21 @@ it is reusable for any experiment that must survive chaos:
   losses, metrics, weights, optimizer moments and node memory for exact
   equality (``report.bitwise_equal``); ``assert_sessions_bitwise_equal``
   is the standalone comparator.  ``tests/test_runtime_recovery.py`` is the
-  worked example — every failure kind, hard deadlines, no hangs.
+  worked example — every failure kind, the finalization window
+  (``worker.finalize`` failpoints fire *after* the end barrier),
+  concurrent faults, hard deadlines, no hangs.
   ``differential_chaos_serve`` applies the same oracle to the serving
   tier: SIGKILL a replica mid-stream (``serve.replica`` failpoints) and
   require every response byte-equal to an unfaulted reference fleet.
+* ``repro.testing.ChaosSchedule`` — seeded *random* fault schedules:
+  ``ChaosSchedule.random(seed, world=4, backend="fabric")`` draws fault
+  sites (mid-step, finalization window, whole-machine loss), kinds, ranks
+  and iterations deterministically from the seed; ``run_chaos_schedule``
+  executes it under the differential oracle, and ``chaos_schedules()`` is
+  the ``hypothesis`` strategy over the same space.  The CI fuzz matrix is
+  one command — ``python -m repro.cli chaos --seeds 5 --backends
+  process,fabric`` — which reports any failing seed's schedule as JSON so
+  a red run reproduces locally with ``--seed-base <seed> --seeds 1``.
 
 Observability guide
 -------------------

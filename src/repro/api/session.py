@@ -117,9 +117,13 @@ class Session:
         ``config.train.checkpoint_every``, or every block boundary when no
         cadence is configured) writes periodic mid-run snapshots — config +
         trainer checkpoint + run bookkeeping — that :meth:`Session.resume`
-        continues from.  On a session produced by
-        :meth:`resume`, calling ``fit()`` with no iteration arguments
-        continues the interrupted run to its original target.
+        continues from.  It works on **every** backend: the local backend
+        snapshots from the trainer at block boundaries, while the process
+        and fabric backends export the sealed commit slab (plus shadow
+        memory segments) from the supervisor, so a hard-killed distributed
+        fit resumes bitwise too.  On a session produced by :meth:`resume`,
+        calling ``fit()`` with no iteration arguments continues the
+        interrupted run to its original target — on any backend.
         """
         if backend not in ("local", "process", "fabric"):
             raise ValueError(
@@ -155,12 +159,6 @@ class Session:
             from ..runtime.fabric import run_fabric_fit
             from ..runtime.launcher import apply_process_result
 
-            if checkpointing:
-                raise ValueError(
-                    "periodic checkpointing (checkpoint_dir) is a local-"
-                    "backend feature; the fabric backend gets fault "
-                    "tolerance from elastic restart instead"
-                )
             kwargs = dict(
                 epochs=epochs,
                 max_iterations=max_iterations,
@@ -171,6 +169,9 @@ class Session:
                 managed_agents=managed_agents,
                 agents=agents,
             )
+            if checkpointing:
+                kwargs["checkpoint_dir"] = str(checkpoint_dir)
+                kwargs["checkpoint_every"] = int(every)
             if timeout is not None:
                 kwargs["timeout"] = timeout
             meta, arrays, states = run_fabric_fit(
@@ -181,12 +182,6 @@ class Session:
         if backend == "process":
             from ..runtime.launcher import apply_process_result, run_process_fit
 
-            if checkpointing:
-                raise ValueError(
-                    "periodic checkpointing (checkpoint_dir) is a local-"
-                    "backend feature; the process backend gets fault "
-                    "tolerance from elastic restart instead"
-                )
             kwargs = dict(
                 epochs=epochs,
                 max_iterations=max_iterations,
@@ -194,6 +189,9 @@ class Session:
                 recovery=recovery,
                 run_state=run_state,
             )
+            if checkpointing:
+                kwargs["checkpoint_dir"] = str(checkpoint_dir)
+                kwargs["checkpoint_every"] = int(every)
             if timeout is not None:
                 kwargs["timeout"] = timeout
             meta, arrays, states = run_process_fit(

@@ -41,6 +41,11 @@ runtime-bench  process-backend step throughput at 1/2/4 workers and write
             selects the allreduce wiring — star, ring or tree)
 trace       merge + summarize a span-trace directory: per-lane phase
             breakdown, sync fraction, recovery timeline
+chaos       seeded randomized fault-injection matrix: draw N random fault
+            schedules (site x kind x rank x iteration, multi-fault and
+            finalization-window included), run each through the
+            differential recovery oracle, and fail loudly — with the
+            reproducing seed — on any non-bitwise recovery
 
 Dataset and routing-policy choices come from the ``repro.api`` registries,
 so components added with ``@register_dataset`` / ``@register_router`` show
@@ -196,7 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="checkpoint directory written by "
                                "`train --checkpoint-dir` (config + "
                                "checkpoint.npz + resume.json)")
-    p_resume.add_argument("--backend", choices=["local", "process"],
+    p_resume.add_argument("--backend", choices=["local", "process", "fabric"],
                           default="local")
     p_resume.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                           help="keep snapshotting the continued run here "
@@ -326,6 +331,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--json", action="store_true",
                          help="print the structural summary as JSON instead "
                               "of the human-readable rendering")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded randomized fault matrix: N random schedules through "
+             "the differential recovery oracle (CI's chaos-matrix job)",
+    )
+    p_chaos.add_argument("--dataset", choices=datasets, default="wikipedia")
+    p_chaos.add_argument("--scale", type=float, default=0.01)
+    p_chaos.add_argument("--seeds", type=int, default=5, metavar="N",
+                         help="how many random schedules to draw and run")
+    p_chaos.add_argument("--seed-base", type=int, default=0,
+                         help="first schedule seed (seeds are base..base+N-1)")
+    p_chaos.add_argument("--backends", default="process",
+                         help="comma-separated faulted backends to sweep "
+                              "(process, fabric)")
+    p_chaos.add_argument("--iterations", type=int, default=8,
+                         help="training iterations per run (faults are drawn "
+                              "inside this range, plus the finalization "
+                              "window after it)")
+    p_chaos.add_argument("--max-faults", type=int, default=2,
+                         help="max concurrent/sequential faults per schedule")
+    p_chaos.add_argument("--timeout", type=float, default=180.0,
+                         help="per-run fit timeout in seconds")
+    p_chaos.add_argument("--artifacts", default=None, metavar="DIR",
+                         help="write failing schedules (schedule.json + "
+                              "differences) and per-run traces here — the "
+                              "directory CI uploads on failure")
+    p_chaos.add_argument("--quiet", action="store_true")
+    _add_config_flags(p_chaos, default=ParallelConfig(i=2, j=1, k=1))
 
     return parser
 
@@ -460,10 +494,8 @@ def cmd_resume(args) -> int:
     start = sess.trainer._iteration
     # the continued run keeps checkpointing (into the same directory unless
     # redirected) — a resumed run interrupted again must stay resumable;
-    # the local backend is the one that supports periodic snapshots
+    # every backend supports periodic snapshots now
     ckpt_dir = args.dir if args.checkpoint_dir is None else args.checkpoint_dir
-    if args.backend != "local":
-        ckpt_dir = None
     with Timer() as t:
         result = sess.fit(
             verbose=not args.quiet,
@@ -775,6 +807,101 @@ def cmd_perf_bench(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json as _json
+
+    from .testing.chaos import ChaosSchedule, run_chaos_schedule
+
+    backends = [b.strip() for b in str(args.backends).split(",") if b.strip()]
+    bad = [b for b in backends if b not in ("process", "fabric")]
+    if bad or not backends:
+        print(f"--backends must name process and/or fabric, got {args.backends!r}")
+        return 2
+    plan = (
+        args.config.parallel
+        if isinstance(args.config, ExperimentConfig)
+        else args.config
+    )
+    world = plan.i * plan.j * plan.k
+    md = 16
+    base_cfg = (
+        args.config
+        if isinstance(args.config, ExperimentConfig)
+        else ExperimentConfig(
+            data=DataConfig(dataset=args.dataset, scale=args.scale, seed=0),
+            model=ModelConfig(memory_dim=md, embed_dim=md, time_dim=8),
+            parallel=plan,
+            train=TrainConfig(epochs=10, batch_size=100, seed=0),
+        )
+    )
+    if _maybe_dump(args, base_cfg):
+        return 0
+    artifacts = Path(args.artifacts) if args.artifacts else None
+    failures = 0
+    runs = 0
+    for backend in backends:
+        for seed in range(args.seed_base, args.seed_base + args.seeds):
+            schedule = ChaosSchedule.random(
+                seed,
+                world=world,
+                max_iteration=args.iterations,
+                backend=backend,
+                max_faults=args.max_faults,
+            )
+            cfg = base_cfg
+            run_dir = None
+            if artifacts is not None:
+                run_dir = artifacts / f"{backend}-seed{seed}"
+                run_dir.mkdir(parents=True, exist_ok=True)
+                cfg = dataclasses.replace(
+                    base_cfg,
+                    obs=ObsConfig(
+                        trace_dir=str(run_dir / "trace"),
+                        histogram_reservoir=base_cfg.obs.histogram_reservoir,
+                    ),
+                )
+            if not args.quiet:
+                print(f"[chaos] {schedule.describe()}")
+            runs += 1
+            try:
+                report = run_chaos_schedule(cfg, schedule, timeout=args.timeout)
+                ok = report.recovered and report.bitwise_equal
+                differences = report.differences
+            except Exception as exc:  # noqa: BLE001 - a hang/crash IS a finding
+                ok = False
+                differences = [f"{type(exc).__name__}: {exc}"]
+            if ok:
+                if not args.quiet:
+                    print(f"[chaos] seed {seed} ({backend}): bitwise OK")
+                continue
+            failures += 1
+            print(f"[chaos] seed {seed} ({backend}): FAILED")
+            for diff in differences:
+                print(f"  - {diff}")
+            print(
+                f"  reproduce: repro.cli chaos --seeds 1 --seed-base {seed} "
+                f"--backends {backend} --iterations {args.iterations} "
+                f"--max-faults {args.max_faults}"
+            )
+            if run_dir is not None:
+                (run_dir / "schedule.json").write_text(
+                    _json.dumps(
+                        {
+                            "schedule": schedule.to_dict(),
+                            "differences": differences,
+                        },
+                        indent=2,
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+    print(
+        f"[chaos] {runs - failures}/{runs} schedules recovered bitwise"
+        + (f"; {failures} FAILED" if failures else "")
+    )
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -788,6 +915,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "runtime-bench": cmd_runtime_bench,
         "perf-bench": cmd_perf_bench,
         "trace": cmd_trace,
+        "chaos": cmd_chaos,
     }[args.command]
     return handler(args)
 

@@ -34,6 +34,7 @@ import threading
 import time
 from typing import Dict, Optional
 
+from ...testing.failpoints import ENV_VAR
 from ..transport import Channel, RetryPolicy, TransportError, socket_channel
 
 __all__ = ["agent_main", "parse_hostport"]
@@ -142,6 +143,12 @@ def agent_main(
                 bundle["clear_failpoints"] = bool(
                     frame.meta.get("clear_failpoints", False)
                 )
+                if bundle["clear_failpoints"]:
+                    # respawned ranks inherit the agent's environment via
+                    # the spawn context — scrub the schedule here too, or a
+                    # replacement agent re-arms the very fault it is
+                    # recovering from on every future spawn
+                    os.environ.pop(ENV_VAR, None)
                 bundle["generation"] = int(frame.meta.get("generation", 0))
                 for rank in frame.meta["ranks"]:
                     rank = int(rank)

@@ -57,9 +57,11 @@ import numpy as np
 from ...obs import get_registry
 from ...obs.merge import merge_trace_dir
 from ...obs.trace import Tracer, resolve_trace_dir
+from ...testing import failpoints
 from ..launcher import (
     DEFAULT_TIMEOUT,
     RecoveryPolicy,
+    SlabCheckpointer,
     WorkerFailure,
     prepare_recovery_state,
 )
@@ -123,6 +125,7 @@ class FabricLauncher:
         tracer: Optional[Tracer] = None,
         hb_interval: float = 2.0,
         hb_timeout: float = 10.0,
+        checkpointer: Optional[SlabCheckpointer] = None,
     ) -> None:
         self.plan = plan
         self.world = plan.i * plan.j * plan.k
@@ -156,6 +159,20 @@ class FabricLauncher:
         self.restarts = 0
         self._clear_on_spawn = False
         self._plans = link_plan(plan, topology)
+        self.checkpointer = checkpointer
+        # the iteration plan's absolute target: a sealed commit at (or
+        # past) it means faults land in the finalization window
+        tm = bundle.get("train_meta") or {}
+        self.target_iteration: Optional[int] = (
+            int(tm["target_iteration"]) if "target_iteration" in tm else None
+        )
+        # per-episode restart accounting (see _ElasticSupervisor): every
+        # recovery rolling back to the same sealed commit is one restart
+        self._episode_seal: Optional[Tuple[int, int]] = None
+        self._episode_retries = 0
+        # once the fleet enters finalize recovery, every later spawn is a
+        # finalize-only replay (nothing re-enters the training loop)
+        self._finalize_mode = False
 
     # ------------------------------------------------------------ lifecycle
     def _bind(self) -> Tuple[str, int]:
@@ -171,7 +188,14 @@ class FabricLauncher:
         return bound[0], int(bound[1])
 
     def _spawn_agent(self, join: str) -> None:
-        proc = subprocess.Popen(_agent_command(join), env=_agent_env())
+        env = _agent_env()
+        if self._clear_on_spawn:
+            # a replacement agent must not re-arm the inherited failpoint
+            # schedule: its children neutralize in-process, but the agent's
+            # own environment would re-export the specs to every future
+            # spawn — scrub at the source
+            env.pop(failpoints.ENV_VAR, None)
+        proc = subprocess.Popen(_agent_command(join), env=env)
         self.unassigned_procs.append(proc)
 
     # -------------------------------------------------------------- running
@@ -215,6 +239,8 @@ class FabricLauncher:
             if time.monotonic() > deadline:
                 self._fail(f"no result within {self.timeout:.0f}s")
             self._step(0.5)
+            if self.checkpointer is not None:
+                self.checkpointer.tick()
             troubled = [
                 r for r, st in self.status.items() if st in ("parked", "dead")
             ]
@@ -225,7 +251,7 @@ class FabricLauncher:
                 park_deadline = time.monotonic() + self.policy.grace
             undecided = [r for r, st in self.status.items() if st == "running"]
             if not undecided:
-                self._recover()
+                self._recover_guarded()
                 park_deadline = None
             elif time.monotonic() > park_deadline:
                 for rank in undecided:
@@ -241,7 +267,7 @@ class FabricLauncher:
                         f"(wedged); killed",
                     )
                     self.status[rank] = "dead"
-                self._recover()
+                self._recover_guarded()
                 park_deadline = None
         # orderly teardown: agents shut down, channels drained
         self._cleanup(kill=False)
@@ -336,13 +362,20 @@ class FabricLauncher:
             "spawn",
             meta={
                 "ranks": ranks_of_machine(self.plan, mi),
-                "bundle": self.bundle,
+                "bundle": self._spawn_bundle(),
                 "generation": self.generation,
                 "clear_failpoints": self._clear_on_spawn,
             },
         )
         if self.tracer is not None:
             self.tracer.instant("agent-join", machine=mi, generation=self.generation)
+
+    def _spawn_bundle(self) -> dict:
+        """The bundle for a (re)spawn frame: once the run is in finalize
+        recovery, every spawned rank replays finalization only."""
+        if self._finalize_mode:
+            return {**self.bundle, "finalize_only": True}
+        return self.bundle
 
     def _admit_rank(self, ch: Channel, meta: dict) -> None:
         rank = int(meta["rank"])
@@ -455,17 +488,55 @@ class FabricLauncher:
             )
 
     # ------------------------------------------------------------ recovery
+    def _recover_guarded(self) -> None:
+        """Re-entrant wrapper: a fault *inside* recovery (supervisor-side
+        failpoint, racing transport error) must not take the fleet down —
+        the half-recovered ranks re-park on their collective timeout and
+        the monitor loop folds them into the next recovery pass."""
+        try:
+            self._recover()
+        except WorkerFailure:
+            raise
+        except BaseException as exc:
+            get_registry().counter("recovery/recover_faults").add()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "recover-fault", error=f"{type(exc).__name__}: {exc}"
+                )
+
     def _recover(self) -> None:
         """Roll the fabric back to the last sealed commit: replacement
         agents for lost machines, respawned ranks, a fresh wire plan."""
-        self.restarts += 1
+        failpoints.fire("supervisor.recover")
+        slot, sealed_iteration = self.slab.header
+        seal = (int(slot), int(sealed_iteration))
+        if seal == self._episode_seal:
+            # still recovering toward the same sealed commit: concurrent
+            # faults and mid-recovery faults fold into one restart
+            self._episode_retries += 1
+            if self._episode_retries > 8:
+                self._fail("repeated faults within one recovery episode")
+        else:
+            self._episode_seal = seal
+            self._episode_retries = 0
+            self.restarts += 1
         if self.restarts > self.policy.max_restarts:
             self._fail("failed and restart budget exhausted")
+        if (
+            self.target_iteration is not None
+            and sealed_iteration >= self.target_iteration
+        ):
+            # every surviving rank already sealed the final commit: the
+            # fault landed in the finalization window — replay finalization
+            # from the seal instead of rolling back the training loop
+            self._recover_finalize(int(slot), int(sealed_iteration))
+            return
         if any(st == "done" for st in self.status.values()):
+            # unreachable: a rank only finishes past the end barrier, and
+            # by then the final seal puts us on the finalize path above
             self._fail("fleet failed after some ranks completed")
         self.generation += 1
         self._clear_on_spawn = True
-        slot, sealed_iteration = self.slab.header
         depth = max(
             (it - sealed_iteration for it in self.park_iters.values()), default=0
         )
@@ -575,6 +646,117 @@ class FabricLauncher:
                 self.tracer.flush()
         self.park_iters.clear()
 
+    def _recover_finalize(self, slot: int, sealed_iteration: int) -> None:
+        """Finalization-window recovery: the final commit is sealed, so no
+        collective work remains — restore the sealed segments and have
+        every non-done rank replay finalization from the slab.  Done ranks
+        keep their results; no generation bump, no re-wiring (finalize
+        ranks never open collectives)."""
+        self._finalize_mode = True
+        self._clear_on_spawn = True
+        registry = get_registry()
+        registry.counter("recovery/restarts").add()
+        registry.counter("recovery/finalize_recoveries").add()
+        registry.gauge("recovery/rollback_depth").set(0.0)
+        dead_ranks = [r for r, st in self.status.items() if st == "dead"]
+        lost = sorted(self.dead_machines)
+        rollback_span = (
+            self.tracer.span(
+                "rollback",
+                generation=self.generation,
+                restart=self.restarts,
+                slot=int(slot),
+                sealed_iteration=int(sealed_iteration),
+                depth=0,
+                dead_ranks=dead_ranks,
+                lost_machines=lost,
+                finalize=True,
+            )
+            if self.tracer is not None
+            else None
+        )
+        if rollback_span is not None:
+            rollback_span.__enter__()
+        try:
+            for live, pair in zip(self.live_states, self.shadow_pairs):
+                live.memory.copy_from(pair[slot].memory)
+                live.mailbox.copy_from(pair[slot].mailbox)
+
+            self.awaiting_hello = set(dead_ranks)
+            join = "{}:{}".format(*self.bundle["controller"])
+            t0 = time.perf_counter()
+            for mi in lost:
+                self.pending_machines.append(mi)
+                self._spawn_agent(join)
+            by_machine: Dict[int, List[int]] = {}
+            for rank in dead_ranks:
+                mi = machine_of(self.plan, rank)
+                if mi not in self.dead_machines:
+                    by_machine.setdefault(mi, []).append(rank)
+            for mi, ranks in by_machine.items():
+                ag = self.agents.get(mi)
+                if ag is None or not ag.alive:
+                    continue
+                try:
+                    ag.channel.send(
+                        "spawn",
+                        meta={
+                            "ranks": sorted(ranks),
+                            "bundle": self._spawn_bundle(),
+                            "generation": self.generation,
+                            "clear_failpoints": True,
+                        },
+                    )
+                except TransportError:
+                    self._agent_down(mi, "spawn request failed")
+            for rank, st in list(self.status.items()):
+                if st != "parked":
+                    continue
+                try:
+                    self.rank_chans[rank].send(
+                        "resume",
+                        meta={"generation": self.generation, "finalize": True},
+                    )
+                    self.status[rank] = "running"
+                except TransportError:
+                    self.status[rank] = "dead"
+                    self.diags.setdefault(rank, "died while parked")
+                    self.awaiting_hello.add(rank)
+                    mi = machine_of(self.plan, rank)
+                    ag = self.agents.get(mi)
+                    if ag is not None and ag.alive:
+                        try:
+                            ag.channel.send(
+                                "spawn",
+                                meta={
+                                    "ranks": [rank],
+                                    "bundle": self._spawn_bundle(),
+                                    "generation": self.generation,
+                                    "clear_failpoints": True,
+                                },
+                            )
+                        except TransportError:
+                            self._agent_down(mi, "spawn request failed")
+            # await the respawns' hellos so the monitor's wedge-killer
+            # cannot mistake a still-booting replay rank for a hung one
+            deadline = time.monotonic() + self.policy.grace + 60.0
+            self._await(
+                lambda: not self.pending_machines and not self.awaiting_hello,
+                deadline,
+                "finalize respawns to rejoin",
+            )
+            registry.histogram("recovery/respawn_latency_s").record(
+                time.perf_counter() - t0
+            )
+            registry.counter("recovery/respawns").add(len(dead_ranks) or 1)
+            # no _send_wire: finalize ranks skip every collective
+        finally:
+            if rollback_span is not None:
+                rollback_span.__exit__(None, None, None)
+            if self.tracer is not None:
+                self.tracer.flush()
+        self.park_iters.clear()
+
     # -------------------------------------------------------------- failure
     def _fail(self, default: str) -> None:
         failures = dict(self.diags)
@@ -633,6 +815,8 @@ def run_fabric_fit(
     rendezvous: Optional[str] = None,
     managed_agents: bool = True,
     agents: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
 ) -> Tuple[dict, Dict[str, np.ndarray], List[SharedGroupState]]:
     """Execute ``config`` as ``i×j×k`` ranks over ``machines`` host agents,
     continuing from ``trainer``'s current state — the fabric analogue of
@@ -645,6 +829,11 @@ def run_fabric_fit(
     ``repro.cli agent --join`` processes (the CI smoke mode).  ``agents``
     optionally asserts the expected agent count — a fabric plan needs
     exactly ``plan.machines`` of them.
+
+    ``checkpoint_dir`` enables controller-side periodic checkpoints: every
+    ``checkpoint_every`` commit boundaries the sealed slab is exported as
+    a v2 checkpoint directory (same exporter as the process backend), so
+    a hard-killed fabric fit resumes bitwise via ``Session.resume``.
 
     Returns ``(meta, arrays, group_states)`` with the identical contract
     (and, by construction, bitwise-identical contents) as the process and
@@ -733,6 +922,19 @@ def run_fabric_fit(
             "generation": 0,
         }
 
+        checkpointer = None
+        if checkpoint_dir is not None:
+            checkpointer = SlabCheckpointer(
+                directory=checkpoint_dir,
+                config=config,
+                trainer=trainer,
+                slab=slab,
+                shadow_pairs=shadow_pairs,
+                target_iteration=target_iteration,
+                start_iteration=trainer._iteration,
+                every=checkpoint_every,
+            )
+
         launcher = FabricLauncher(
             plan=plan,
             topology=topology,
@@ -745,6 +947,7 @@ def run_fabric_fit(
             rendezvous=rendezvous or "127.0.0.1:0",
             managed_agents=managed_agents,
             tracer=controller_tracer,
+            checkpointer=checkpointer,
         )
         results = launcher.run()
     except BaseException:

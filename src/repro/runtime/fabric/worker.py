@@ -35,7 +35,9 @@ children do not outlive the machine they simulate).
 
 Failpoints: ``worker.step`` (as in the process worker) plus
 ``fabric.machine`` — whose ``crash`` callback SIGKILLs the whole host
-agent, the machine-loss drill ``differential_chaos_fit`` runs.
+agent, the machine-loss drill ``differential_chaos_fit`` runs — and
+``worker.finalize`` right after the end barrier (the finalization-window
+drill; recovery replays finalization from the sealed final commit).
 """
 
 from __future__ import annotations
@@ -133,8 +135,15 @@ def _wire(
     return RankComms(plan, topology, rank, {**dialed, **accepted}), generation
 
 
-def _park(ctrl: Channel, rank: int, exc: BaseException, iteration: int) -> int:
-    """Report a fabric failure to the controller and await its verdict."""
+def _park(
+    ctrl: Channel, rank: int, exc: BaseException, iteration: int
+) -> Tuple[int, bool]:
+    """Report a fabric failure to the controller and await its verdict.
+
+    Returns ``(generation, finalize)`` — ``finalize`` means the fault
+    landed in the finalization window and the rank should replay
+    finalization from the sealed final commit instead of re-wiring.
+    """
     obs_instant("park", iteration=int(iteration), error=repr(exc))
     obs_flush()
     try:
@@ -147,7 +156,9 @@ def _park(ctrl: Channel, rank: int, exc: BaseException, iteration: int) -> int:
     while True:
         frame = ctrl.recv()  # channel default timeout bounds the wait
         if frame.tag == "resume":
-            return int(frame.meta["generation"])
+            return int(frame.meta["generation"]), bool(
+                frame.meta.get("finalize", False)
+            )
         if frame.tag == "abort":
             raise SystemExit(1)
 
@@ -464,11 +475,23 @@ def _rank_main(
                 if blocks_done % commit_every == 0:
                     commit_window()
 
-        synced("barrier", comms.world.barrier, "end")
+        # final seal before the end barrier: the finalization window
+        # (trailing eval, bench gather, result report) replays from this
+        # commit if a fault lands in it — see the process worker
+        if slab.header[1] < trainer._iteration:
+            commit_window()
 
-    # ---- supervised execution: wire / run / park / rewire
+        synced("barrier", comms.world.barrier, "end")
+        # kill-after-end-barrier drill (hit-counter keyed)
+        failpoints.fire("worker.finalize", rank=rank, pipe_drop=comms.close)
+
+    # ---- supervised execution: wire / run / park / rewire.  A rank in
+    # finalize-only mode (respawned into, or resumed inside, the
+    # finalization window) skips wiring and collectives entirely — the
+    # sealed final commit it loaded is the end-of-run state.
     bench = None
-    while True:
+    finalize_only = bool(bundle.get("finalize_only"))
+    while not finalize_only:
         try:
             if comms is None:
                 comms, generation = _wire(
@@ -495,7 +518,9 @@ def _rank_main(
             if comms is not None:
                 comms.close()
                 comms = None
-            generation = _park(ctrl, rank, exc, iteration=trainer._iteration)
+            generation, finalize = _park(
+                ctrl, rank, exc, iteration=trainer._iteration
+            )
             book = load_committed()
             history = list(book["history"])
             recent = list(book["recent"])
@@ -504,6 +529,10 @@ def _rank_main(
             substep = 0
             blocks_done = 0
             cache_entry = None
+            if finalize:
+                # no collectives remain to rejoin (the controller sends no
+                # wire plan): finish from the sealed state; bench is lost
+                break
 
     if comms is not None:
         comms.close()

@@ -21,7 +21,8 @@ sentinels, so every failure mode becomes one raised
 :func:`run_process_fit` is the training orchestration on top: allocate the
 shared-memory segments (live node state per memory group, double-buffered
 shadow slots, and one :class:`~repro.runtime.sharedmem.CommitSlab`), wire
-``max_restarts + 1`` generations of collective communicators, spawn
+``max_restarts + 3`` generations of collective communicators (the budget
+plus headroom for same-episode retries), spawn
 ``i×k`` :func:`~repro.runtime.worker.train_worker` ranks under the
 **elastic supervisor**, and fold rank 0's result plus the final shared
 state back into a :class:`~repro.train.distributed.TrainResult` + state
@@ -42,6 +43,7 @@ budget the run raises :class:`WorkerFailure` exactly as before.
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import time
 import traceback
@@ -52,6 +54,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..obs import get_registry
+from ..testing import failpoints
 from ..obs.merge import merge_trace_dir
 from ..obs.trace import Tracer, resolve_trace_dir
 from .collectives import (
@@ -474,6 +477,136 @@ def prepare_recovery_state(
     return slab, shadow_pairs, shadow_specs
 
 
+class SlabCheckpointer:
+    """Parent-side periodic checkpoint export from the sealed commit slab.
+
+    The local backend checkpoints from inside the training loop
+    (``Session._checkpoint_callback``); the process and fabric backends
+    cannot — the trainer lives in the workers.  But every ``commit_every``
+    blocks the fleet seals a complete resumable state into the commit slab
+    + shadow segments, and the parent can read both.  This exporter turns
+    the latest sealed commit into exactly the artifacts the local backend
+    writes — ``config.json`` once, then ``checkpoint.npz`` + ``resume.json``
+    via write-to-temp + rename, checkpoint first — so ``Session.resume``
+    is backend-agnostic and a resumed process/fabric fit equals an
+    uninterrupted one bitwise.
+
+    Export is torn-read safe without stalling the fleet: the sealed slot is
+    copied optimistically, then the slab header is re-read — commits only
+    move forward, so *any* concurrent seal changes the header and the copy
+    is discarded until the next supervise-loop tick.
+    """
+
+    def __init__(
+        self,
+        *,
+        directory,
+        config,
+        trainer,
+        slab: CommitSlab,
+        shadow_pairs: List[List[SharedGroupState]],
+        target_iteration: int,
+        start_iteration: int,
+        every: int,
+    ) -> None:
+        self.directory = Path(directory)
+        self.slab = slab
+        self.shadow_pairs = shadow_pairs
+        self.target_iteration = int(target_iteration)
+        self.start_iteration = int(start_iteration)
+        self.every = max(1, int(every))
+        # one block advances the global iteration by j (the j sub-steps of
+        # a block are iterations); cadence counts block boundaries, like
+        # the local backend's on_block_boundary callback
+        self.iterations_per_block = max(1, int(config.parallel.j))
+        self.marks = 0                 # cadence marks already exported
+        self.last_exported = int(start_iteration)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        (self.directory / "config.json").write_text(config.to_json() + "\n")
+        # static metadata the slab payload does not carry (the checkpoint
+        # layout is train.checkpoint's format 2, byte-compatible)
+        self.base_meta = {
+            "format_version": 2,
+            "config": config.parallel.label(),
+            "machines": config.parallel.machines,
+            "dataset": trainer.dataset.name,
+            "task": trainer.dataset.task,
+            "rank_rng": trainer.rank_rng.bit_generator.state,
+        }
+
+    def tick(self) -> None:
+        """Export the latest sealed commit if a cadence mark is due."""
+        slot, sealed = self.slab.header
+        if sealed < 0 or int(sealed) <= self.last_exported:
+            return
+        blocks = (int(sealed) - self.start_iteration) // self.iterations_per_block
+        due = blocks // self.every
+        if due <= self.marks:
+            return
+        meta, arrays, book = decode_commit(self.slab.read())
+        groups: Dict[str, np.ndarray] = {}
+        for g, pair in enumerate(self.shadow_pairs):
+            st = pair[slot]
+            groups[f"group{g}/memory"] = np.array(st.memory.memory, copy=True)
+            groups[f"group{g}/last_update"] = np.array(
+                st.memory.last_update, copy=True
+            )
+            groups[f"group{g}/mail"] = np.array(st.mailbox.mail, copy=True)
+            groups[f"group{g}/mail_time"] = np.array(st.mailbox.mail_time, copy=True)
+            groups[f"group{g}/has_mail"] = np.array(st.mailbox.has_mail, copy=True)
+        if tuple(self.slab.header) != (slot, sealed) or int(
+            meta["iteration"]
+        ) != int(sealed):
+            return  # a commit raced the copy; pick it up next tick
+        ckpt: Dict[str, np.ndarray] = {
+            "meta/json": np.frombuffer(
+                json.dumps(
+                    {
+                        **self.base_meta,
+                        "iteration": int(meta["iteration"]),
+                        "sweep_negative_offset": int(
+                            meta["sweep_negative_offset"]
+                        ),
+                    }
+                ).encode("utf-8"),
+                dtype=np.uint8,
+            ),
+            "model/blob": arrays["model"],
+            "decoder/blob": arrays["decoder"],
+            "opt/step": np.array([int(meta["opt_step"])], dtype=np.int64),
+        }
+        idx = 0
+        while f"opt/m{idx}" in arrays:
+            ckpt[f"opt/m{idx}"] = arrays[f"opt/m{idx}"]
+            ckpt[f"opt/v{idx}"] = arrays[f"opt/v{idx}"]
+            idx += 1
+        for cursor in meta["groups"]:
+            ckpt[f"group{cursor['index']}/cursor"] = np.array(
+                [
+                    cursor["position"],
+                    cursor["prev_batch"],
+                    cursor["sweeps_completed"],
+                ],
+                dtype=np.int64,
+            )
+        ckpt.update(groups)
+        tmp_ckpt = self.directory / "checkpoint.tmp.npz"
+        np.savez_compressed(tmp_ckpt, **ckpt)
+        tmp_ckpt.replace(self.directory / "checkpoint.npz")
+        state = {
+            "target_iteration": self.target_iteration,
+            "history": book["history"],
+            "recent": book["recent"],
+            "last_eval_sweeps": book["last_eval_sweeps"],
+            "iteration": int(meta["iteration"]),
+        }
+        tmp_json = self.directory / "resume.json.tmp"
+        tmp_json.write_text(json.dumps(state, indent=2, sort_keys=True) + "\n")
+        tmp_json.replace(self.directory / "resume.json")
+        self.marks = due
+        self.last_exported = int(sealed)
+
+
 class _ElasticSupervisor:
     """Parent-side fleet supervisor with rollback recovery.
 
@@ -498,6 +631,8 @@ class _ElasticSupervisor:
         name: str = "repro-rt",
         tracer: Optional[Tracer] = None,
         reduce_gens: Optional[List[List]] = None,
+        target_iteration: Optional[int] = None,
+        checkpointer: Optional["SlabCheckpointer"] = None,
     ) -> None:
         self.world = world
         self.make_kwargs = make_kwargs
@@ -511,6 +646,8 @@ class _ElasticSupervisor:
         self.timeout = timeout
         self.name = name
         self.tracer = tracer              # supervisor lane of the run trace
+        self.target_iteration = target_iteration
+        self.checkpointer = checkpointer
         self.ctx = mp.get_context("spawn")
         self.procs: Dict[int, mp.Process] = {}
         self.chans: Dict[int, Channel] = {}
@@ -520,9 +657,15 @@ class _ElasticSupervisor:
         self.results: Dict[int, Frame] = {}
         self.generation = 0
         self.restarts = 0
+        # restart accounting is per *episode* — every recovery that rolls
+        # back to the same sealed commit (a second rank dying while the
+        # first rollback re-executes, a fault inside _recover itself, a
+        # finalization-window replay) is one failure event, not several
+        self._episode_seal: Optional[Tuple[int, int]] = None
+        self._episode_retries = 0
 
     # ------------------------------------------------------------ lifecycle
-    def _spawn(self, rank: int, respawn: bool) -> None:
+    def _spawn(self, rank: int, respawn: bool, finalize: bool = False) -> None:
         from .worker import train_worker
 
         old = self.chans.pop(rank, None)
@@ -531,6 +674,7 @@ class _ElasticSupervisor:
         parent_ch, child_ch = pipe_channel_pair(self.timeout)
         kwargs = self.make_kwargs(rank, self.generation)
         kwargs["clear_failpoints"] = respawn
+        kwargs["finalize_only"] = finalize
         proc = self.ctx.Process(
             target=_worker_shell,
             args=(train_worker, rank, child_ch, kwargs),
@@ -609,6 +753,9 @@ class _ElasticSupervisor:
                         self.status[rank] = "dead"
                         self.diags.setdefault(rank, f"exited with code {code}")
 
+            if self.checkpointer is not None:
+                self.checkpointer.tick()
+
             troubled = [
                 r for r, st in self.status.items() if st in ("parked", "dead")
             ]
@@ -619,7 +766,7 @@ class _ElasticSupervisor:
                     r for r, st in self.status.items() if st == "running"
                 ]
                 if not undecided:
-                    self._recover()
+                    self._recover_guarded()
                     park_deadline = None
                     reaped.clear()  # respawned ranks have fresh processes
                 elif time.monotonic() > park_deadline:
@@ -633,7 +780,7 @@ class _ElasticSupervisor:
                         )
                         self._kill(rank)
                         self.status[rank] = "dead"
-                    self._recover()
+                    self._recover_guarded()
                     park_deadline = None
                     reaped.clear()
 
@@ -667,6 +814,34 @@ class _ElasticSupervisor:
             elif frame.tag == "error":
                 self.diags[rank] = frame.meta.get("error", "unknown error")
 
+    def _recover_guarded(self) -> None:
+        """Run one recovery attempt, folding *its own* failures back into
+        the supervise loop instead of hanging or double-restoring.
+
+        ``_recover`` is re-entrant: every mutation it performs (restoring
+        live segments from the sealed slot, resuming parked ranks,
+        respawning dead ones) is idempotent against a retry from the same
+        sealed commit, and the episode accounting makes the retry free.  So
+        a fault *inside* recovery — the ``supervisor.recover`` failpoint, a
+        rank dying mid-rollback, an I/O error wiring a generation — leaves
+        a state the next loop pass recognizes as still-troubled and folds
+        into the same recovery episode.
+        """
+        try:
+            self._recover()
+        except WorkerFailure:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - fold into the episode
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "recover-fault", generation=self.generation, error=repr(exc)
+                )
+                self.tracer.flush()
+            get_registry().counter("recovery/recover_faults").add()
+            # ranks the aborted attempt already resumed/respawned will park
+            # again on their collective timeout; the ones it never reached
+            # are still parked/dead — either way the loop re-enters recovery
+
     def _recover(self) -> None:
         """Roll the fleet back to the last sealed commit and resume it.
 
@@ -674,18 +849,49 @@ class _ElasticSupervisor:
         (with per-rank ``respawn`` sub-spans) and a set of ``recovery/*``
         registry metrics, so a chaos run's recovery is auditable from the
         trace/metrics alone.
+
+        If the sealed commit already covers the whole iteration plan the
+        fleet was in its *finalization window* (trailing eval / result
+        report after the end barrier).  That window holds no collectives a
+        finished rank would be missed from, so "done" ranks stay done and
+        everyone else replays finalization from the sealed final commit —
+        a fault after the end barrier recovers bitwise instead of failing.
         """
-        self.restarts += 1
+        # the supervisor is not exempt from chaos: this site lets tests
+        # land a fault inside recovery itself (the re-entrancy drill)
+        failpoints.fire("supervisor.recover")
+        slot, sealed_iteration = self.slab.header
+        seal = (int(slot), int(sealed_iteration))
+        if seal == self._episode_seal:
+            # same rollback target as the previous recovery: a concurrent
+            # fault within one episode (rollback re-execution died, or the
+            # recovery itself faulted) — no fresh progress was lost, so it
+            # consumes a bounded retry, not a restart
+            self._episode_retries += 1
+            if self._episode_retries > 8:
+                self._fail("repeated faults within one recovery episode")
+        else:
+            self._episode_seal = seal
+            self._episode_retries = 0
+            self.restarts += 1
         if self.restarts > self.policy.max_restarts:
             self._fail("failed and restart budget exhausted")
+        finalized = (
+            self.target_iteration is not None
+            and sealed_iteration >= self.target_iteration
+        )
+        if finalized:
+            self._recover_finalize(slot, sealed_iteration)
+            return
         if any(st == "done" for st in self.status.values()):
-            # a rank that finished and exited can never rejoin a collective;
-            # the remaining fleet cannot complete (failure landed in the
-            # tiny window after the end barrier) — give up cleanly
+            # a rank can only finish after the final commit sealed, which
+            # the branch above handles; reaching here means the slab went
+            # backwards — give up loudly rather than diverge
             self._fail("fleet failed after some ranks completed")
+        if self.generation + 1 >= len(self.world_gens):
+            self._fail("failed and communicator generations exhausted")
         prev = self.generation
         self.generation += 1
-        slot, sealed_iteration = self.slab.header
         # rollback depth: iterations of re-execution the fleet pays — how
         # far past the sealed commit the furthest surviving rank had run
         depth = max(
@@ -740,16 +946,71 @@ class _ElasticSupervisor:
                 self.tracer.flush()
         self.park_iters.clear()
 
-    def _respawn_traced(self, rank: int) -> None:
+    def _recover_finalize(self, slot: int, sealed_iteration: int) -> None:
+        """Recover a fault that landed in the finalization window.
+
+        The final commit (sealed just before the end barrier) holds the
+        complete end-of-run state, so nothing needs re-execution: restore
+        the live segments, and have every non-done rank replay finalization
+        straight from the sealed commit — no collectives, no generation
+        bump.  Ranks that already reported stay "done"; a dead rank 0 is
+        respawned in finalize-only mode and reproduces its result bitwise
+        (minus the bench gather, which needs the whole fleet alive).
+        """
+        registry = get_registry()
+        registry.counter("recovery/restarts").add()
+        registry.counter("recovery/finalize_recoveries").add()
+        registry.gauge("recovery/rollback_depth").set(0.0)
+        span_ctx = (
+            self.tracer.span(
+                "rollback",
+                generation=self.generation,
+                restart=self.restarts,
+                slot=int(slot),
+                sealed_iteration=int(sealed_iteration),
+                finalize=True,
+                dead_ranks=[r for r, st in self.status.items() if st == "dead"],
+            )
+            if self.tracer is not None
+            else None
+        )
+        if span_ctx is not None:
+            span_ctx.__enter__()
+        try:
+            for live, pair in zip(self.live_states, self.shadow_pairs):
+                live.memory.copy_from(pair[slot].memory)
+                live.mailbox.copy_from(pair[slot].mailbox)
+            for rank in range(self.world):
+                st = self.status[rank]
+                if st == "dead":
+                    self._respawn_traced(rank, finalize=True)
+                elif st == "parked":
+                    try:
+                        self.chans[rank].send(
+                            "resume",
+                            meta={"generation": self.generation, "finalize": True},
+                        )
+                        self.status[rank] = "running"
+                    except TransportError:
+                        self.diags.setdefault(rank, "died while parked")
+                        self._respawn_traced(rank, finalize=True)
+        finally:
+            if span_ctx is not None:
+                span_ctx.__exit__(None, None, None)
+            if self.tracer is not None:
+                self.tracer.flush()
+        self.park_iters.clear()
+
+    def _respawn_traced(self, rank: int, finalize: bool = False) -> None:
         """Respawn one dead rank, recording its spawn latency as a span and
         a ``recovery/respawn_latency_s`` histogram sample."""
         registry = get_registry()
         t0 = time.perf_counter()
         if self.tracer is not None:
             with self.tracer.span("respawn", rank=rank, generation=self.generation):
-                self._spawn(rank, respawn=True)
+                self._spawn(rank, respawn=True, finalize=finalize)
         else:
-            self._spawn(rank, respawn=True)
+            self._spawn(rank, respawn=True, finalize=finalize)
         registry.counter("recovery/respawns").add()
         registry.histogram("recovery/respawn_latency_s").record(
             time.perf_counter() - t0
@@ -767,6 +1028,8 @@ def run_process_fit(
     timeout: float = DEFAULT_TIMEOUT,
     recovery: Optional[RecoveryPolicy] = None,
     run_state: Optional[dict] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
 ) -> Tuple[dict, Dict[str, np.ndarray], List[SharedGroupState]]:
     """Execute ``config`` across ``i×k`` worker processes, **continuing**
     from ``trainer``'s current state (weights, optimizer moments, node
@@ -779,6 +1042,9 @@ def run_process_fit(
     (``Session.resume``): ``{"target_iteration", "history", "recent",
     "last_eval_sweeps"}`` — when given, the fit continues *that* run to its
     original target instead of starting a fresh iteration plan.
+    ``checkpoint_dir`` makes the supervisor export every ``checkpoint_every``
+    sealed block boundaries to a :class:`SlabCheckpointer` directory that
+    ``Session.resume`` continues from, exactly like a local-backend fit.
 
     Returns ``(meta, arrays, group_states)`` from rank 0: the training
     result + cursor metadata, the trained weight/optimizer arrays, and the
@@ -854,7 +1120,11 @@ def run_process_fit(
         )
         shared_specs = [st.spec.to_dict() for st in group_states]
 
-        generations = policy.max_restarts + 1
+        # one generation per counted restart, plus headroom for the same-
+        # episode retries that do not consume the budget (a fault during
+        # rollback re-execution still needs a fresh communicator wiring);
+        # the supervisor fails cleanly if even the headroom runs out
+        generations = policy.max_restarts + 3
         for _ in range(generations):
             world_gens.append(
                 make_local_communicators(
@@ -910,6 +1180,19 @@ def run_process_fit(
                 "train_meta": train_meta,
             }
 
+        checkpointer: Optional[SlabCheckpointer] = None
+        if checkpoint_dir is not None:
+            checkpointer = SlabCheckpointer(
+                directory=checkpoint_dir,
+                config=config,
+                trainer=trainer,
+                slab=slab,
+                shadow_pairs=shadow_pairs,
+                target_iteration=target_iteration,
+                start_iteration=trainer._iteration,
+                every=checkpoint_every,
+            )
+
         supervisor = _ElasticSupervisor(
             world=world,
             make_kwargs=make_kwargs,
@@ -922,6 +1205,8 @@ def run_process_fit(
             timeout=timeout,
             tracer=supervisor_tracer,
             reduce_gens=reduce_gens,
+            target_iteration=target_iteration,
+            checkpointer=checkpointer,
         )
         results = supervisor.run()
     except BaseException:

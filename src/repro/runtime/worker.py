@@ -57,9 +57,17 @@ Fault tolerance (the elastic-restart protocol, parent side in
   unfaulted one.
 
 Failpoints: the loop evaluates the ``worker.step`` failpoint (keyed on the
-global iteration) each iteration — see :mod:`repro.testing.failpoints`.
+global iteration) each iteration, and ``worker.finalize`` (hit-counter
+keyed) right after the end barrier — the finalization-window drill.
 Respawned ranks neutralize inherited failpoints so a crash schedule fires
 once, not once per restart.
+
+Finalization window: the loop seals a *final* commit before the end
+barrier, so a fault at any later instant (trailing eval, bench gather,
+result report) recovers by replaying finalization from that sealed commit
+— the launcher resumes parked ranks with ``finalize=True`` (or respawns
+dead ones with ``finalize_only=True``) and they finish without rejoining
+any collective, still bitwise identical (the bench gather alone is lost).
 """
 
 from __future__ import annotations
@@ -109,6 +117,7 @@ def train_worker(
     generation: int = 0,
     train_meta: Optional[dict] = None,
     clear_failpoints: bool = False,
+    finalize_only: bool = False,
 ) -> Tuple[dict, Dict[str, np.ndarray]]:
     """Execute one rank of a process-parallel ``fit``; returns the result
     frame payload (rank 0 carries the trained state, peers ack)."""
@@ -373,11 +382,33 @@ def train_worker(
                 if blocks_done % commit_every == 0:
                     commit_window()
 
-        synced("barrier", world_comm.barrier, "end")
+        # final seal: make the complete end-of-run state durable *before*
+        # the end barrier, so a fault at any later instant (the
+        # finalization window) replays from this commit instead of
+        # aborting.  The header is stable here — every seal happens at a
+        # barrier all ranks passed — so the guard is deterministic.
+        if slab.header[1] < trainer._iteration:
+            commit_window()
 
-    # ---- supervised execution: commit / park / rollback / resume
+        synced("barrier", world_comm.barrier, "end")
+        # the canonical kill-after-end-barrier site (hit-counter keyed):
+        # from here on no training collectives remain, only finalization
+        failpoints.fire(
+            "worker.finalize",
+            rank=rank,
+            pipe_drop=lambda: (
+                world_comm.close(),
+                group_comm.close(),
+                reduce_comm.close(),
+            ),
+        )
+
+    # ---- supervised execution: commit / park / rollback / resume.  A
+    # finalize-only rank (respawned into the finalization window, or
+    # resumed into it) skips the loop and collectives entirely: the sealed
+    # final commit it loaded *is* the end-of-run state.
     bench = None
-    while True:
+    while not finalize_only:
         try:
             run_loop()
             obs_flush()
@@ -397,10 +428,9 @@ def train_worker(
             )
             break
         except TransportError as exc:
-            generation = _park(channel, rank, exc, iteration=trainer._iteration)
-            world_comm = world_comms[generation]
-            group_comm = group_comms[generation]
-            reduce_comm = reduce_comms[generation] if reduce_comms else world_comm
+            generation, finalize = _park(
+                channel, rank, exc, iteration=trainer._iteration
+            )
             book = load_committed()
             history = list(book["history"])
             recent = list(book["recent"])
@@ -409,6 +439,14 @@ def train_worker(
             substep = 0
             blocks_done = 0
             cache = None
+            if finalize:
+                # the fleet sealed its final commit before the fault: no
+                # collectives remain to rejoin (peers may already be gone),
+                # finish from the sealed state; the bench gather is lost
+                break
+            world_comm = world_comms[generation]
+            group_comm = group_comms[generation]
+            reduce_comm = reduce_comms[generation] if reduce_comms else world_comm
 
     # ---- finalization (rank 0 only): trailing eval, test metric, state out
     if rank != 0:
@@ -457,11 +495,16 @@ def train_worker(
     return meta, snap["arrays"]
 
 
-def _park(channel, rank: int, exc: BaseException, iteration: int = -1) -> int:
+def _park(
+    channel, rank: int, exc: BaseException, iteration: int = -1
+) -> Tuple[int, bool]:
     """Report a collective failure and wait for the launcher's verdict.
 
-    Returns the communicator generation to resume on.  If the launcher is
-    gone (or answers ``abort``) the worker exits instead of lingering.
+    Returns ``(generation, finalize)``: the communicator generation to
+    resume on, and whether the fault landed in the finalization window
+    (resume by replaying finalization from the sealed final commit instead
+    of rejoining collectives).  If the launcher is gone (or answers
+    ``abort``) the worker exits instead of lingering.
     """
     # mark the park on the timeline and make the trace durable before
     # blocking — if recovery never comes, the events are already on disk
@@ -477,6 +520,8 @@ def _park(channel, rank: int, exc: BaseException, iteration: int = -1) -> int:
     while True:
         frame = channel.recv()  # channel default timeout bounds the wait
         if frame.tag == "resume":
-            return int(frame.meta["generation"])
+            return int(frame.meta["generation"]), bool(
+                frame.meta.get("finalize", False)
+            )
         if frame.tag == "abort":
             raise SystemExit(1)

@@ -9,7 +9,9 @@ Two pieces, usable independently:
   run a plan with failpoints armed, replay it unfaulted, and assert the
   two runs are **bitwise identical** (losses, metrics, weights, node
   memory) — the recovery-correctness oracle the bitwise local≡process
-  contract makes possible.
+  contract makes possible.  :class:`~repro.testing.chaos.ChaosSchedule`
+  generalizes hand-picked schedules to seed-reproducible *random* ones
+  (multi-fault, finalization window, machine loss) for the CI fuzz matrix.
 
 ``chaos`` pulls in the full ``repro.api`` stack, so it is imported lazily:
 worker processes that only need ``failpoints`` stay light.
@@ -20,17 +22,23 @@ from . import failpoints
 __all__ = [
     "failpoints",
     "ChaosReport",
+    "ChaosSchedule",
     "chaos_fit",
+    "chaos_schedules",
     "differential_chaos_fit",
     "differential_chaos_serve",
+    "run_chaos_schedule",
     "assert_sessions_bitwise_equal",
 ]
 
 _CHAOS_NAMES = {
     "ChaosReport",
+    "ChaosSchedule",
     "chaos_fit",
+    "chaos_schedules",
     "differential_chaos_fit",
     "differential_chaos_serve",
+    "run_chaos_schedule",
     "assert_sessions_bitwise_equal",
 }
 

@@ -15,7 +15,13 @@ packages the test harness:
   compare everything observable (loss history, metrics, model weights,
   optimizer moments, node memory, mailbox state) for exact equality;
 * :func:`assert_sessions_bitwise_equal` — the state comparator, reusable
-  against any two sessions that should agree.
+  against any two sessions that should agree;
+* :class:`ChaosSchedule` — a seed-reproducible *randomized* fault
+  schedule drawing site (training step, finalization window, whole
+  machine), kind, rank and iteration, including multi-fault schedules;
+  :func:`run_chaos_schedule` feeds one straight into the differential
+  oracle.  ``repro.cli chaos`` and the CI ``chaos-matrix`` job sweep
+  seeds so every runtime change is fuzzed against the full fault space.
 
 Example::
 
@@ -28,6 +34,14 @@ Example::
         recovery=RecoveryPolicy(collective_timeout=15.0),
     )
     assert report.recovered and report.bitwise_equal, report.differences
+
+Randomized::
+
+    from repro.testing import ChaosSchedule, run_chaos_schedule
+
+    schedule = ChaosSchedule.random(1234, world=2, max_iteration=8)
+    report = run_chaos_schedule(cfg, schedule, timeout=120.0)
+    assert report.bitwise_equal, (schedule.describe(), report.differences)
 """
 
 from __future__ import annotations
@@ -132,6 +146,173 @@ def differential_chaos_fit(
         differences=differences,
         faulted_result=faulted_res,
         reference_result=ref_res,
+    )
+
+
+# ------------------------------------------------- randomized chaos drawer
+#: sites the random drawer samples; ``fabric.machine`` joins for fabric runs
+CHAOS_SITES = ("worker.step", "worker.finalize")
+#: every failure mode the runtime claims to absorb
+CHAOS_KINDS = ("crash", "wedge", "pipe_drop", "exc")
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A seed-reproducible randomized fault schedule.
+
+    ``entries`` is a tuple of ``(point, kind, rank)`` triples in the
+    failpoint grammar (``site:hit@rank``) — ranks are distinct, so a
+    schedule with several entries is a genuine concurrent/sequential
+    multi-fault drill.  The same ``(seed, world, max_iteration, backend,
+    max_faults)`` always draws the same schedule: a CI failure names a
+    seed, and the seed replays the exact fault sequence locally.
+    """
+
+    seed: int
+    backend: str
+    world: int
+    max_iteration: int
+    entries: Tuple[Tuple[str, str, int], ...]
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        world: int = 2,
+        max_iteration: int = 8,
+        backend: str = "process",
+        max_faults: int = 2,
+    ) -> "ChaosSchedule":
+        """Draw a schedule: 1..``max_faults`` faults on distinct ranks,
+        each an independent (site, kind, iteration) sample.  Sites cover
+        the training loop (step-keyed, any iteration), the finalization
+        window (``worker.finalize``, after the end barrier) and — on the
+        fabric backend — whole-machine loss (``fabric.machine``)."""
+        rng = np.random.default_rng(seed)
+        n_faults = int(rng.integers(1, max_faults + 1))
+        ranks = [int(r) for r in rng.choice(world, size=min(n_faults, world),
+                                            replace=False)]
+        entries = []
+        for rank in ranks:
+            if rng.random() < 0.25:
+                site = "worker.finalize"
+            elif backend == "fabric" and rng.random() < 0.25:
+                site = "fabric.machine"
+            else:
+                site = "worker.step"
+            if site == "worker.finalize":
+                # hit-counter keyed: the first execution past the end barrier
+                hit = 1
+                kind = str(rng.choice(CHAOS_KINDS))
+            elif site == "fabric.machine":
+                # the site's callback SIGKILLs the whole host agent
+                hit = int(rng.integers(1, max_iteration))
+                kind = "crash"
+            else:
+                hit = int(rng.integers(0, max_iteration))
+                kind = str(rng.choice(CHAOS_KINDS))
+            entries.append((f"{site}:{hit}@{rank}", kind, rank))
+        return cls(
+            seed=int(seed),
+            backend=backend,
+            world=int(world),
+            max_iteration=int(max_iteration),
+            entries=tuple(entries),
+        )
+
+    def to_faults(self) -> Dict[str, Tuple[str, Optional[int]]]:
+        """The ``{point: (kind, rank)}`` dict :func:`chaos_fit` takes —
+        rank-suffixed points, so same-iteration faults on different ranks
+        never collide."""
+        return {point: (kind, rank) for point, kind, rank in self.entries}
+
+    def describe(self) -> str:
+        faults = ", ".join(f"{p}={k}" for p, k, _ in self.entries)
+        return (
+            f"seed={self.seed} backend={self.backend} world={self.world} "
+            f"iters={self.max_iteration} faults=[{faults}]"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the CI artifact written for a failing seed)."""
+        return {
+            "seed": self.seed,
+            "backend": self.backend,
+            "world": self.world,
+            "max_iteration": self.max_iteration,
+            "entries": [list(e) for e in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSchedule":
+        return cls(
+            seed=int(data["seed"]),
+            backend=str(data["backend"]),
+            world=int(data["world"]),
+            max_iteration=int(data["max_iteration"]),
+            entries=tuple(
+                (str(p), str(k), int(r)) for p, k, r in data["entries"]
+            ),
+        )
+
+
+def chaos_schedules(
+    backends: Tuple[str, ...] = ("process",),
+    *,
+    world: int = 2,
+    max_iteration: int = 8,
+    max_faults: int = 2,
+):
+    """A hypothesis strategy over :class:`ChaosSchedule` (property tests
+    draw seeds; shrinking walks toward small seeds, which is exactly the
+    reproduction artifact a failure should hand back)."""
+    from hypothesis import strategies as st
+
+    return st.builds(
+        lambda seed, backend: ChaosSchedule.random(
+            seed,
+            world=world,
+            max_iteration=max_iteration,
+            backend=backend,
+            max_faults=max_faults,
+        ),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.sampled_from(list(backends)),
+    )
+
+
+def run_chaos_schedule(
+    config: ExperimentConfig,
+    schedule: ChaosSchedule,
+    *,
+    recovery=None,
+    timeout: Optional[float] = None,
+    reference_backend: str = "local",
+) -> ChaosReport:
+    """Run one randomized schedule through the differential oracle.
+
+    The default :class:`~repro.runtime.RecoveryPolicy` budgets one restart
+    per scheduled fault plus one (sequential faults each open a new
+    episode), with short collective timeouts so wedge faults are detected
+    in CI time.
+    """
+    if recovery is None:
+        from ..runtime.launcher import RecoveryPolicy
+
+        recovery = RecoveryPolicy(
+            max_restarts=len(schedule.entries) + 1,
+            collective_timeout=8.0,
+            park_grace=10.0,
+        )
+    return differential_chaos_fit(
+        config,
+        schedule.to_faults(),
+        max_iterations=schedule.max_iteration,
+        recovery=recovery,
+        timeout=timeout,
+        backend=schedule.backend,
+        reference_backend=reference_backend,
     )
 
 

@@ -17,6 +17,8 @@ import os
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.api.config import (
     DataConfig,
@@ -29,11 +31,15 @@ from repro.parallel.config import ParallelConfig
 from repro.runtime.launcher import RecoveryPolicy, WorkerFailure
 from repro.runtime.sharedmem import CommitSlab
 from repro.testing import (
+    ChaosSchedule,
     assert_sessions_bitwise_equal,
     chaos_fit,
+    chaos_schedules,
     differential_chaos_fit,
     failpoints,
+    run_chaos_schedule,
 )
+from repro.testing.chaos import CHAOS_KINDS
 from repro.testing.failpoints import ENV_VAR, FailpointError, FailpointRegistry, FailpointSpec
 
 #: deadlines for the chaos fits: short enough to fail fast, long enough
@@ -278,6 +284,180 @@ class TestElasticRecovery:
         assert report.bitwise_equal, report.differences
 
 
+# ------------------------------------------------------ finalization window
+class TestFinalizationWindow:
+    """A fault after the end barrier (trailing eval, bench gather, result
+    report) used to be fatal — ``_fail("fleet failed after some ranks
+    completed")``.  The final commit sealed before the end barrier makes
+    the whole window replayable: a SIGKILL at *any* instant recovers
+    bitwise."""
+
+    def test_kill_after_end_barrier_recovers_bitwise(self):
+        report = differential_chaos_fit(
+            tiny_config("2x1x1"),
+            {"worker.finalize:1@1": ("crash", 1)},
+            max_iterations=8,
+            recovery=POLICY,
+            timeout=FIT_TIMEOUT,
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences
+
+    def test_kill_rank0_after_end_barrier_recovers_bitwise(self):
+        """Rank 0 produces the result meta; its finalize replay must
+        reproduce the trailing eval and test metric from the sealed
+        final commit."""
+        report = differential_chaos_fit(
+            tiny_config("2x1x1"),
+            {"worker.finalize:1@0": ("crash", 0)},
+            max_iterations=8,
+            recovery=POLICY,
+            timeout=FIT_TIMEOUT,
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences
+
+    def test_finalize_pipe_drop_recovers_bitwise(self):
+        """Dead pipes inside the bench gather: survivors park, the
+        controller resumes them straight into finalization (bench is
+        lost; the compared results are not)."""
+        report = differential_chaos_fit(
+            tiny_config("2x1x1"),
+            {"worker.finalize:1@0": ("pipe_drop", 0)},
+            max_iterations=8,
+            recovery=POLICY,
+            timeout=FIT_TIMEOUT,
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences
+
+    def test_kill_after_end_barrier_fabric_recovers_bitwise(self):
+        report = differential_chaos_fit(
+            tiny_config("2x1x1"),
+            {"worker.finalize:1@1": ("crash", 1)},
+            max_iterations=6,
+            recovery=POLICY,
+            timeout=FIT_TIMEOUT,
+            backend="fabric",
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences
+
+
+# -------------------------------------------------------- concurrent faults
+class TestConcurrentFaults:
+    """Faults landing together — or landing while a recovery is already in
+    flight — must fold into one recovery episode instead of hanging,
+    double-restoring, or double-billing the restart budget."""
+
+    def test_two_ranks_dead_same_block_one_restart(self):
+        """Both ranks SIGKILLed at the same iteration: one recovery pass,
+        one restart — max_restarts=1 must survive it."""
+        report = differential_chaos_fit(
+            tiny_config("2x1x1"),
+            {"worker.step:3@0": ("crash", 0), "worker.step:3@1": ("crash", 1)},
+            max_iterations=8,
+            recovery=RecoveryPolicy(
+                max_restarts=1, collective_timeout=8.0, park_grace=10.0
+            ),
+            timeout=FIT_TIMEOUT,
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences
+
+    def test_fault_during_rollback_reexecution_same_episode(self):
+        """commit_every=3 keeps the seal at iteration 3 while the fleet
+        re-executes 3..6 after the first crash; the second fault fires
+        inside that re-execution, before any new seal — same episode,
+        ONE restart, so max_restarts=1 still survives both."""
+        report = differential_chaos_fit(
+            tiny_config("2x1x1"),
+            {"worker.step:3@1": ("crash", 1), "worker.step:4@0": ("exc", 0)},
+            max_iterations=8,
+            recovery=RecoveryPolicy(
+                max_restarts=1, commit_every=3,
+                collective_timeout=8.0, park_grace=10.0,
+            ),
+            timeout=FIT_TIMEOUT,
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences
+
+    def test_supervisor_fault_during_recovery_is_absorbed(self):
+        """The supervisor-side failpoint aborts the first recovery attempt
+        mid-flight; the guarded re-entry folds the half-recovered fleet
+        into the next pass — and the aborted attempt does not consume a
+        restart."""
+        report = differential_chaos_fit(
+            tiny_config("2x1x1"),
+            {
+                "worker.step:3@1": ("crash", 1),
+                "supervisor.recover:1": ("exc", None),
+            },
+            max_iterations=8,
+            recovery=RecoveryPolicy(
+                max_restarts=1, collective_timeout=8.0, park_grace=10.0
+            ),
+            timeout=FIT_TIMEOUT,
+        )
+        assert report.recovered
+        assert report.bitwise_equal, report.differences
+
+
+# ------------------------------------------------------ randomized schedules
+class TestChaosSchedule:
+    """The seed-reproducible randomized drawer behind ``repro.cli chaos``
+    and the CI chaos-matrix job."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        backend=st.sampled_from(["process", "fabric"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_draw_is_valid_and_deterministic(self, seed, backend):
+        a = ChaosSchedule.random(
+            seed, world=4, max_iteration=6, backend=backend, max_faults=3
+        )
+        b = ChaosSchedule.random(
+            seed, world=4, max_iteration=6, backend=backend, max_faults=3
+        )
+        assert a == b                                   # seed == schedule
+        assert 1 <= len(a.entries) <= 3
+        ranks = [rank for _, _, rank in a.entries]
+        assert len(set(ranks)) == len(ranks)            # distinct ranks
+        for point, kind, rank in a.entries:
+            spec = FailpointSpec.parse(f"{point}={kind}")
+            assert spec.rank == rank and 0 <= rank < 4
+            assert kind in CHAOS_KINDS
+            if spec.site == "worker.finalize":
+                assert spec.hit == 1
+            elif spec.site == "fabric.machine":
+                assert backend == "fabric" and kind == "crash"
+            else:
+                assert spec.site == "worker.step"
+                assert 0 <= spec.hit < 6
+        assert ChaosSchedule.from_dict(a.to_dict()) == a
+
+    @given(chaos_schedules(backends=("process",), world=2, max_iteration=8))
+    @settings(max_examples=25, deadline=None)
+    def test_strategy_draws_runnable_fault_dicts(self, schedule):
+        faults = schedule.to_faults()
+        assert len(faults) == len(schedule.entries)
+        for point, (kind, rank) in faults.items():
+            spec = FailpointSpec.parse(f"{point}={kind}")
+            assert spec.rank == rank
+
+    def test_seeded_schedule_recovers_bitwise(self):
+        """One end-to-end randomized run through the differential oracle
+        (the CI matrix sweeps many seeds; this pins the plumbing)."""
+        schedule = ChaosSchedule.random(1, world=2, max_iteration=8)
+        report = run_chaos_schedule(
+            tiny_config("2x1x1"), schedule, timeout=FIT_TIMEOUT
+        )
+        assert report.recovered, schedule.describe()
+        assert report.bitwise_equal, (schedule.describe(), report.differences)
+
+
 # ----------------------------------------------------------- Session.resume
 class TestSessionResume:
     def run_pair(self, tmp_path, plan="1x1x1", iters=10, every=3,
@@ -395,13 +575,44 @@ class TestSessionResume:
         assert (tmp_path / "c" / "checkpoint.npz").exists()
         assert (tmp_path / "c" / "config.json").exists()
 
-    def test_process_backend_rejects_checkpoint_dir(self, tmp_path):
+    def test_process_backend_checkpoint_dir_resumes_bitwise(self, tmp_path):
+        """The supervisor exports the sealed slab as a v2 checkpoint at
+        the cadence boundaries; a resume from it equals the uninterrupted
+        reference bitwise (the process/fabric ValueError hole is closed)."""
+        iters = 10
+        ref = Session(tiny_config("1x1x1"))
+        ref_result = ref.fit(max_iterations=iters)
         sess = Session(tiny_config("1x1x1"))
-        with pytest.raises(ValueError, match="local"):
-            sess.fit(
-                max_iterations=2, backend="process",
-                checkpoint_dir=tmp_path / "c", checkpoint_every=1,
-            )
+        sess.fit(
+            max_iterations=iters, backend="process",
+            checkpoint_dir=tmp_path / "c", checkpoint_every=3,
+            recovery=POLICY, timeout=FIT_TIMEOUT,
+        )
+        assert (tmp_path / "c" / "resume.json").exists()
+        assert (tmp_path / "c" / "checkpoint.npz").exists()
+        resumed = Session.resume(tmp_path / "c")
+        assert 0 < resumed.trainer._iteration <= iters
+        resumed_result = resumed.fit()
+        assert_sessions_bitwise_equal(resumed, ref)
+        assert resumed_result.test_metric == ref_result.test_metric
+        assert resumed_result.iterations_run == ref_result.iterations_run
+
+    def test_fabric_backend_checkpoint_dir_resumes_bitwise(self, tmp_path):
+        iters = 8
+        ref = Session(tiny_config("2x1x1"))
+        ref_result = ref.fit(max_iterations=iters)
+        sess = Session(tiny_config("2x1x1"))
+        sess.fit(
+            max_iterations=iters, backend="fabric",
+            checkpoint_dir=tmp_path / "c", checkpoint_every=2,
+            recovery=POLICY, timeout=FIT_TIMEOUT,
+        )
+        assert (tmp_path / "c" / "resume.json").exists()
+        resumed = Session.resume(tmp_path / "c")
+        assert 0 < resumed.trainer._iteration <= iters
+        resumed_result = resumed.fit()
+        assert_sessions_bitwise_equal(resumed, ref)
+        assert resumed_result.test_metric == ref_result.test_metric
 
 
 class TestFailpointHygiene:
